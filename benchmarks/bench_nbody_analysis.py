@@ -1,0 +1,91 @@
+"""Benchmark: the Section 2.3 N-body analyses.
+
+FOF halo finding (with a linking-length sweep), CIC assignment, power
+spectra, correlation functions, octree construction/decimation, and
+light-cone extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.science.nbody import (
+    ZeldovichSimulation,
+    build_lightcone,
+    cic_density,
+    density_contrast,
+    find_halos,
+    power_spectrum,
+    two_point_correlation,
+)
+from repro.spatial import Octree
+
+BOX = 100.0
+
+
+@pytest.fixture(scope="module")
+def snap():
+    sim = ZeldovichSimulation(particles_per_axis=16, box_size=BOX,
+                              spectral_index=-3.0, seed=1)
+    return sim.snapshot(2.5)
+
+
+@pytest.fixture(scope="module")
+def snaps():
+    sim = ZeldovichSimulation(particles_per_axis=12, box_size=BOX,
+                              spectral_index=-3.0, seed=2)
+    return sim.snapshots([2.5, 2.0, 1.5, 1.0])
+
+
+@pytest.mark.parametrize("b", [0.3, 0.4, 0.6])
+def test_fof_linking_length_sweep(benchmark, snap, b):
+    linking = BOX / 16 * b
+    halos = benchmark(find_halos, snap.positions, snap.ids, BOX,
+                      linking, 8)
+    assert isinstance(halos, list)
+
+
+@pytest.mark.parametrize("grid", [16, 32])
+def test_cic_assignment(benchmark, snap, grid):
+    density = benchmark(cic_density, snap.positions, BOX, grid)
+    assert density.sum() == pytest.approx(snap.n_particles)
+
+
+def test_power_spectrum(benchmark, snap):
+    delta = density_contrast(cic_density(snap.positions, BOX, 32))
+    k, pk, _n = benchmark(power_spectrum, delta, BOX)
+    assert len(k) == len(pk)
+
+
+def test_two_point_correlation(benchmark, snap):
+    edges = np.linspace(2.0, 20.0, 5)
+    r, xi = benchmark(two_point_correlation, snap.positions, BOX,
+                      edges, 2 * snap.n_particles, 0)
+    assert len(xi) == 4
+
+
+def test_octree_build(benchmark, snap):
+    tree = benchmark(Octree, snap.positions, BOX, 32)
+    assert tree.size == snap.n_particles
+
+
+def test_octree_decimation(benchmark, snap):
+    tree = Octree(snap.positions, BOX, max_points=32)
+    pts, weights = benchmark(tree.decimate, 3)
+    assert weights.sum() == snap.n_particles
+
+
+def test_lightcone(benchmark, snaps):
+    entries = benchmark(build_lightcone, snaps, [50, 50, 50],
+                        [1, 1, 0], 0.5, 48.0)
+    assert entries
+
+
+def test_more_clustering_more_halos(snap):
+    """Sanity on the sweep: larger linking lengths find more (or equal)
+    halo membership overall."""
+    linked = []
+    for b in (0.3, 0.5):
+        halos = find_halos(snap.positions, snap.ids, BOX,
+                           BOX / 16 * b, min_members=8)
+        linked.append(sum(h.n_members for h in halos))
+    assert linked[1] >= linked[0]

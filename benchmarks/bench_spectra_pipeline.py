@@ -1,0 +1,112 @@
+"""Benchmark: the Section 2.2 spectrum pipeline stages.
+
+Resampling, normalization, composite aggregation, PCA fitting, masked
+expansion, and kd-tree search — each stage measured separately so the
+balance matches the paper's narrative (resampling and fitting dominate;
+search is fast once coefficients exist).
+"""
+
+import numpy as np
+import pytest
+
+from repro.science.spectra import (
+    SpectrumBasis,
+    SpectrumGenerator,
+    SpectrumSearchService,
+    common_grid,
+    make_composite,
+    normalize,
+    resample_spectrum,
+)
+
+
+@pytest.fixture(scope="module")
+def survey():
+    gen = SpectrumGenerator(n_bins=256, n_classes=3, seed=5)
+    spectra = [gen.make(class_id=i % 3, redshift=0.02)
+               for i in range(120)]
+    return gen, spectra
+
+
+def test_resample_one_spectrum(benchmark, survey):
+    _gen, spectra = survey
+    s = spectra[0]
+    edges = common_grid(spectra, 128)
+    out = benchmark(resample_spectrum, s.wave, s.flux, edges)
+    assert out.shape == (128,)
+
+
+def test_normalize_one_spectrum(benchmark, survey):
+    _gen, spectra = survey
+    s = spectra[0]
+    w = s.wave.to_numpy()
+    out = benchmark(normalize, s, float(w[20]), float(w[-20]))
+    assert out.n_bins == s.n_bins
+
+
+def test_composite_of_40(benchmark, survey):
+    _gen, spectra = survey
+    subset = [s for s in spectra if s.class_id == 0][:40]
+    edges, comp = benchmark(make_composite, subset, 128)
+    assert comp.shape == (128,)
+
+
+def test_pca_fit(benchmark, survey):
+    _gen, spectra = survey
+
+    def fit():
+        return SpectrumBasis(n_components=5, n_bins=128).fit(spectra)
+
+    basis = benchmark(fit)
+    assert basis.pca is not None
+
+
+def test_masked_expansion(benchmark, survey):
+    gen, spectra = survey
+    basis = SpectrumBasis(n_components=5, n_bins=128).fit(spectra)
+    flagged = gen.make(class_id=1, redshift=0.02, bad_fraction=0.2)
+    coeffs = benchmark(basis.expand, flagged)
+    assert coeffs.shape == (5,)
+
+
+def test_kdtree_search(benchmark, survey):
+    gen, spectra = survey
+    svc = SpectrumSearchService(
+        SpectrumBasis(n_components=5, n_bins=128)).build(spectra)
+    query = gen.make(class_id=2, redshift=0.02)
+    results = benchmark(svc.search, query, 10)
+    assert len(results) == 10
+
+
+def test_search_cheaper_than_fit(survey):
+    """Once the basis exists, a single search (expand + kNN) is far
+    cheaper than refitting — the reason coefficients are stored as
+    columns."""
+    import time
+    gen, spectra = survey
+    t0 = time.perf_counter()
+    svc = SpectrumSearchService(
+        SpectrumBasis(n_components=5, n_bins=128)).build(spectra)
+    build = time.perf_counter() - t0
+    query = gen.make(class_id=0, redshift=0.02)
+    t0 = time.perf_counter()
+    svc.search(query, 5)
+    search = time.perf_counter() - t0
+    assert search < build / 10
+
+
+def test_sql_composites(benchmark, survey):
+    """The Section 2.2 composite-by-redshift query, executed entirely
+    inside SQL via the array AvgAgg aggregate."""
+    from repro.science.spectra import SpectrumArchive
+    from repro.sqlbind import connect
+
+    _gen, spectra = survey
+    archive = SpectrumArchive(connect())
+    archive.add_many(spectra)
+
+    def composites():
+        return archive.sql_composites_by_redshift(0.02)
+
+    rows = benchmark(composites)
+    assert sum(count for _b, count, _c in rows) == len(spectra)

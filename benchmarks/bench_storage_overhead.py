@@ -1,0 +1,57 @@
+"""Benchmark: the Section 6.2 storage-overhead claim.
+
+"This second table had 24 bytes overhead per row resulting from the
+vector headers which made the whole table 43 % bigger."
+
+Also measures insert throughput for the two layouts (the cost of
+paying the header at load time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SHORT_HEADER_SIZE
+from repro.engine import Column, Database
+from repro.tsql import FloatArray
+
+
+def test_header_is_24_bytes():
+    blob = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)
+    assert len(blob) - 5 * 8 == SHORT_HEADER_SIZE == 24
+
+
+def test_vector_table_size_ratio(table1_db):
+    _db, tscalar, tvector, _values = table1_db
+    ratio = tvector.data_bytes() / tscalar.data_bytes()
+    # Paper: 43 % bigger.
+    assert ratio == pytest.approx(1.43, abs=0.10)
+
+
+def _load_scalar(rows):
+    db = Database()
+    t = db.create_table("s", [Column("id", "bigint")] +
+                        [Column(f"v{i}", "float") for i in range(1, 6)])
+    values = np.random.default_rng(0).standard_normal((rows, 5))
+    for i in range(rows):
+        t.insert((i, *values[i]))
+    return t
+
+
+def _load_vector(rows):
+    db = Database()
+    t = db.create_table("v", [Column("id", "bigint"),
+                              Column("v", "varbinary", cap=100)])
+    values = np.random.default_rng(0).standard_normal((rows, 5))
+    for i in range(rows):
+        t.insert((i, FloatArray.Vector_5(*values[i])))
+    return t
+
+
+def test_load_scalar_table(benchmark):
+    t = benchmark(_load_scalar, 2000)
+    assert t.row_count == 2000
+
+
+def test_load_vector_table(benchmark):
+    t = benchmark(_load_vector, 2000)
+    assert t.row_count == 2000

@@ -1,0 +1,79 @@
+"""Benchmark: partial subarray reads vs whole-blob materialization.
+
+Section 3.3's benefit of the stream wrapper: "it supports reading only
+parts of the binary data if the whole array is not required.  The
+latter can significantly speed up certain array subsetting operations."
+
+Sweeps the stored-array size for a fixed 8^3 window (the 8-point
+interpolation neighbourhood of Section 2.1) and reports the byte and
+page savings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SqlArray, ops
+from repro.core.partial import read_subarray
+from repro.engine import BlobStore, BufferPool, PageFile
+
+
+def _stored_cube(edge):
+    pagefile = PageFile()
+    store = BlobStore(pagefile)
+    pool = BufferPool(pagefile)
+    values = np.arange(edge ** 3, dtype="f8").reshape(edge, edge, edge)
+    ref = store.store(SqlArray.from_numpy(values).to_blob())
+    return store, pool, ref, values
+
+
+def _partial(store, pool, ref):
+    stream = store.open(ref, pool)
+    return read_subarray(stream, (4, 4, 4), (8, 8, 8))
+
+
+def _full(store, pool, ref):
+    blob = store.read_all(ref, pool)
+    return ops.subarray(SqlArray.from_blob(blob), (4, 4, 4), (8, 8, 8))
+
+
+@pytest.mark.parametrize("edge", [16, 32, 64])
+def test_partial_window_read(benchmark, edge):
+    store, pool, ref, values = _stored_cube(edge)
+    window = benchmark(_partial, store, pool, ref)
+    np.testing.assert_array_equal(window.to_numpy(),
+                                  values[4:12, 4:12, 4:12])
+
+
+@pytest.mark.parametrize("edge", [16, 32, 64])
+def test_full_blob_read(benchmark, edge):
+    store, pool, ref, values = _stored_cube(edge)
+    window = benchmark(_full, store, pool, ref)
+    np.testing.assert_array_equal(window.to_numpy(),
+                                  values[4:12, 4:12, 4:12])
+
+
+def test_savings_grow_with_blob_size():
+    """The crossover claim: the bigger the stored array, the bigger the
+    partial-read win (whole-blob cost grows, window cost does not)."""
+    savings = []
+    for edge in (16, 32, 64):
+        store, pool, ref, _values = _stored_cube(edge)
+        stream = store.open(ref, pool)
+        read_subarray(stream, (4, 4, 4), (8, 8, 8))
+        savings.append(ref.length / stream.bytes_read)
+    assert savings[0] < savings[1] < savings[2]
+    assert savings[2] > 50  # 64^3 blob vs 8^3 window
+
+
+def test_page_touches_scale_with_window_not_blob():
+    store, pool, ref, _values = _stored_cube(64)
+    pool.reset_counters()
+    stream = store.open(ref, pool)
+    read_subarray(stream, (4, 4, 4), (8, 8, 8))
+    partial_pages = pool.counters.logical_reads
+
+    pool.clear()
+    pool.reset_counters()
+    store.read_all(ref, pool)
+    full_pages = pool.counters.logical_reads
+    assert partial_pages < full_pages / 3

@@ -1,0 +1,91 @@
+"""Benchmark: the five Table 1 queries (paper Section 6.3).
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` measures the wall
+time of each query against the storage-engine simulator at laptop scale
+and verifies the paper-scale *shape*: Q1/Q2/Q3 IO-bound, Q4/Q5
+CPU-bound, Q4 > Q5 > Q2 > Q1 in execution time.  The printed
+reproduction of the full table lives in ``table1_harness.py``.
+"""
+
+import pytest
+
+from repro.engine import Col, Const, Count, Executor, ScalarUdf, Sum
+from repro.tsql import FloatArray
+
+from conftest import PAPER_ROWS, TABLE1_ROWS
+
+
+def _item(blob, i):
+    return FloatArray.Item_1(blob, i)
+
+
+def _empty(blob, i):
+    return 0.0
+
+
+def _query(db, table, aggs, label):
+    return Executor(db).run(table, aggs, label=label)
+
+
+def test_query1_count_scalar(benchmark, table1_db):
+    db, tscalar, _tv, _values = table1_db
+    (n,), _m = benchmark(_query, db, tscalar, [Count()], "Query 1")
+    assert n == TABLE1_ROWS
+
+
+def test_query2_count_vector(benchmark, table1_db):
+    db, _ts, tvector, _values = table1_db
+    (n,), _m = benchmark(_query, db, tvector, [Count()], "Query 2")
+    assert n == TABLE1_ROWS
+
+
+def test_query3_sum_scalar(benchmark, table1_db):
+    db, tscalar, _tv, values = table1_db
+    (total,), _m = benchmark(_query, db, tscalar, [Sum(Col("v1"))],
+                             "Query 3")
+    assert total == pytest.approx(values[:, 0].sum())
+
+
+def test_query4_sum_udf_item(benchmark, table1_db):
+    db, _ts, tvector, values = table1_db
+    aggs = [Sum(ScalarUdf(_item, Col("v"), Const(0),
+                          body_cost="item", name="Item_1"))]
+    (total,), _m = benchmark(_query, db, tvector, aggs, "Query 4")
+    assert total == pytest.approx(values[:, 0].sum())
+
+
+def test_query5_sum_empty_udf(benchmark, table1_db):
+    db, _ts, tvector, _values = table1_db
+    aggs = [Sum(ScalarUdf(_empty, Col("v"), Const(0),
+                          body_cost="empty", name="EmptyFunction"))]
+    (total,), _m = benchmark(_query, db, tvector, aggs, "Query 5")
+    assert total == 0.0
+
+
+def test_table1_projected_shape(table1_db):
+    """Paper-scale projections reproduce Table 1 within tolerance."""
+    db, tscalar, tvector, _values = table1_db
+    ex = Executor(db)
+    factor = PAPER_ROWS / TABLE1_ROWS
+
+    def project(table, aggs, label):
+        (_,), m = ex.run(table, aggs, label=label)
+        return m.scaled(factor, fixed_random_reads=m.random_reads)
+
+    q1 = project(tscalar, [Count()], "Query 1")
+    q2 = project(tvector, [Count()], "Query 2")
+    q3 = project(tscalar, [Sum(Col("v1"))], "Query 3")
+    q4 = project(tvector, [Sum(ScalarUdf(
+        _item, Col("v"), Const(0), body_cost="item"))], "Query 4")
+    q5 = project(tvector, [Sum(ScalarUdf(
+        _empty, Col("v"), Const(0), body_cost="empty"))], "Query 5")
+
+    paper = {"q1": (18, 45, 1150), "q2": (25, 38, 1150),
+             "q3": (18, 90, 1150), "q4": (133, 98, 215),
+             "q5": (109, 99, 265)}
+    got = {"q1": q1, "q2": q2, "q3": q3, "q4": q4, "q5": q5}
+    for key, (t_ref, cpu_ref, io_ref) in paper.items():
+        m = got[key]
+        assert m.sim_exec_seconds == pytest.approx(t_ref, rel=0.25), key
+        assert m.cpu_percent == pytest.approx(cpu_ref, abs=15), key
+        assert m.io_mb_per_s == pytest.approx(io_ref, rel=0.25), key

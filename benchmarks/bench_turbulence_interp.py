@@ -1,0 +1,104 @@
+"""Benchmark: the Section 2.1 turbulence interpolation service.
+
+Measures particle-interpolation throughput per kernel, and the
+partial-read vs whole-blob byte traffic across blob sizes — the
+quantified version of "Accessing the whole blob (6 MB) for an 8-point
+3D interpolation is obviously overkill.  By using much smaller blobs
+... we could have a much lower overhead on disk IOs."
+"""
+
+import numpy as np
+import pytest
+
+from repro.science.turbulence import (
+    BlobPartitioner,
+    MemoryBlobBackend,
+    ParticleQueryService,
+    TurbulenceStore,
+    make_field,
+)
+
+GRID = 64
+
+
+@pytest.fixture(scope="module")
+def store():
+    field = make_field(GRID, seed=0)
+    s = TurbulenceStore(BlobPartitioner(GRID, 16, 4),
+                        MemoryBlobBackend())
+    s.load_field(field)
+    return field, s
+
+
+@pytest.fixture(scope="module")
+def particles():
+    field = make_field(8, seed=1)  # just for the box size constant
+    rng = np.random.default_rng(3)
+    return rng.random((200, 3)) * field.box_size
+
+
+@pytest.mark.parametrize("kernel", ["nearest", "lagrange4", "lagrange6",
+                                    "lagrange8", "pchip"])
+def test_interpolation_throughput(benchmark, store, particles, kernel):
+    _field, s = store
+    svc = ParticleQueryService(s, kernel)
+    values, _stats = benchmark(svc.query, particles)
+    assert np.isfinite(values).all()
+
+
+def test_partial_vs_full_byte_traffic(store, particles):
+    _field, s = store
+    svc = ParticleQueryService(s, "lagrange8")
+    _v, partial = svc.query(particles)
+    _v, full = svc.query_full_read(particles)
+    assert partial.bytes_read < full.bytes_read
+    # Per-particle traffic: an 8^3 x 4-component float32 window is 8 kB
+    # + header; whole blobs are hundreds of kB.
+    per_particle = partial.bytes_read / partial.particles
+    assert per_particle < 20_000
+
+
+def test_savings_grow_with_blob_size():
+    """The paper's blob-size experiment: with bigger blobs (they use
+    6 MB) the whole-blob baseline gets worse while partial reads stay
+    flat."""
+    field = make_field(GRID, seed=0)
+    rng = np.random.default_rng(5)
+    particles = rng.random((100, 3)) * field.box_size
+    ratios = []
+    for cube in (8, 16, 32):
+        s = TurbulenceStore(BlobPartitioner(GRID, cube, 4),
+                            MemoryBlobBackend())
+        s.load_field(field)
+        svc = ParticleQueryService(s, "lagrange8")
+        _v, stats = svc.query(particles)
+        ratios.append(stats.full_blob_bytes / stats.bytes_read)
+    # Bigger blobs make whole-blob reading strictly worse than partial
+    # reads; the middle point wobbles with how many blobs the batch
+    # touches, so assert the endpoints and a floor.
+    assert ratios[-1] > ratios[0]
+    assert min(ratios) > 5
+
+
+def test_temporal_query_throughput(benchmark, particles):
+    """Position-and-time queries (the full service contract)."""
+    from repro.science.turbulence import (SnapshotSeries,
+                                          TemporalQueryService)
+    series = SnapshotSeries(BlobPartitioner(32, 16, 4))
+    for step in range(3):
+        series.add_snapshot(float(step), make_field(32, seed=step))
+    svc = TemporalQueryService(series, "lagrange4")
+    times = np.random.default_rng(9).uniform(0.0, 2.0, len(particles))
+    pos = np.mod(particles, series.store_at(0).box_size)
+    values, _stats = benchmark(svc.query, pos, times)
+    assert np.isfinite(values).all()
+
+
+def test_subdomain_extraction(benchmark, store):
+    """Sub-domain grabs reassembled from partial blob reads."""
+    from repro.science.turbulence import extract_subdomain
+    _field, s = store
+    data, stats = benchmark(extract_subdomain, s, (8, 8, 8),
+                            (40, 40, 40))
+    assert data.shape == (4, 32, 32, 32)
+    assert stats.savings_factor > 1

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale note: the paper's evaluation tables hold 357 million rows; the
+benchmarks load :data:`TABLE1_ROWS` rows (the executor is pure Python)
+and project simulated metrics to paper scale via
+:meth:`QueryMetrics.scaled` — see ``table1_harness.py`` for the printed
+Table 1 reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database
+from repro.tsql import FloatArray
+
+#: Rows loaded into the evaluation tables (paper: 357,000,000).
+TABLE1_ROWS = 20_000
+
+#: The paper's row count, used to project simulated metrics.
+PAPER_ROWS = 357_000_000
+
+
+@pytest.fixture(scope="session")
+def table1_db():
+    """The two Section 6.2 evaluation tables, loaded once per run."""
+    db = Database()
+    tscalar = db.create_table(
+        "Tscalar",
+        [Column("id", "bigint")] +
+        [Column(f"v{i}", "float") for i in range(1, 6)])
+    tvector = db.create_table(
+        "Tvector",
+        [Column("id", "bigint"), Column("v", "varbinary", cap=100)])
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((TABLE1_ROWS, 5))
+    for i in range(TABLE1_ROWS):
+        tscalar.insert((i, *values[i]))
+        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    return db, tscalar, tvector, values

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Simulation databases end to end: the storage plans of Sections 2.1
+and 2.3 working together.
+
+* A multi-snapshot turbulence series with queries at arbitrary
+  positions *and times* (the public JHU-style service), plus
+  sub-domain grabs reassembled from partial blob reads.
+* The N-body particle database: z-order bucket rows of array blobs in
+  SQLite, spatial box retrieval touching only overlapping buckets, and
+  per-particle trajectory extraction across snapshots.
+
+Run:  python examples/simulation_database.py
+"""
+
+import numpy as np
+
+from repro.science.nbody import ParticleDatabase, ZeldovichSimulation
+from repro.science.turbulence import (
+    BlobPartitioner,
+    SnapshotSeries,
+    TemporalQueryService,
+    extract_subdomain,
+    make_field,
+)
+from repro.sqlbind import connect
+
+
+def turbulence_part():
+    print("=== Turbulence: time-dependent service + sub-domain grabs "
+          "===")
+    series = SnapshotSeries(BlobPartitioner(32, 16, 4))
+    for step in range(5):
+        series.add_snapshot(0.5 * step, make_field(32, seed=step))
+    print(f"stored {series.n_snapshots} snapshots at times "
+          f"{series.times}")
+
+    svc = TemporalQueryService(series, kernel="lagrange6",
+                               time_interp="pchip")
+    rng = np.random.default_rng(0)
+    box = series.store_at(0).box_size
+    positions = rng.random((500, 3)) * box
+    times = rng.uniform(0.0, 2.0, 500)
+    velocities, stats = svc.query(positions, times)
+    print(f"interpolated {stats.particles} (position, time) pairs; "
+          f"read {stats.bytes_read / 1e6:.2f} MB "
+          f"(whole blobs: {stats.full_blob_bytes / 1e6:.1f} MB)")
+
+    data, sstats = extract_subdomain(series.store_at(2),
+                                     (4, 8, 2), (28, 24, 30))
+    print(f"sub-domain grab {data.shape[1:]} voxels x "
+          f"{data.shape[0]} components: {sstats.blobs_opened} blobs, "
+          f"{sstats.bytes_read / 1024:.0f} kB read "
+          f"({sstats.savings_factor:.1f}x less than full blobs)")
+
+
+def mhd_part():
+    print("\n=== MHD snapshot: 8 components per voxel ===")
+    from repro.science.turbulence import (BlobPartitioner,
+                                          MemoryBlobBackend,
+                                          ParticleQueryService,
+                                          TurbulenceStore,
+                                          make_mhd_field)
+    field = make_mhd_field(16, seed=8)
+    store = TurbulenceStore(BlobPartitioner(16, 8, 4),
+                            MemoryBlobBackend())
+    store.load_field(field)
+    svc = ParticleQueryService(store, "lagrange4")
+    pos = np.random.default_rng(2).random((100, 3)) * field.box_size
+    values, _stats = svc.query(pos, n_components=8)
+    names = ["u", "v", "w", "p", "Bx", "By", "Bz", "pB"]
+    rms = " ".join(f"{n}={values[:, i].std():.2f}"
+                   for i, n in enumerate(names))
+    print(f"  interpolated all 8 MHD components; rms: {rms}")
+
+
+def nbody_part():
+    print("\n=== N-body: bucketed particle database in SQLite ===")
+    conn = connect()
+    pdb = ParticleDatabase(conn, cells_per_axis=4)
+    for sim_id in (0, 1):
+        sim = ZeldovichSimulation(particles_per_axis=14, box_size=100.0,
+                                  spectral_index=-3.0, seed=sim_id,
+                                  sim_id=sim_id)
+        for step, growth in enumerate([1.0, 1.5, 2.0, 2.5]):
+            pdb.store_snapshot(sim.snapshot(growth, step=step))
+    n_rows = conn.execute(
+        "SELECT COUNT(*) FROM particle_buckets").fetchone()[0]
+    n_particles = conn.execute(
+        "SELECT SUM(BigIntArray_Count(ids)) FROM particle_buckets"
+    ).fetchone()[0]
+    print(f"{n_rows} bucket rows hold {n_particles} particle records "
+          "(2 simulations x 4 snapshots)")
+
+    lo, hi = (20.0, 20.0, 20.0), (60.0, 60.0, 60.0)
+    ids, pos, _vel = pdb.particles_in_box(0, 3, lo, hi)
+    touched = pdb.buckets_touched_by_box(0, 3, lo, hi)
+    print(f"box query: {len(ids)} particles from {touched} of "
+          f"{pdb.bucket_count(0, 3)} buckets")
+
+    steps, track = pdb.particle_track(0, 777)
+    diff = np.abs(track[-1] - track[0])
+    diff = np.minimum(diff, 100.0 - diff)  # minimum image on the torus
+    print(f"particle 777 tracked over steps "
+          f"{[int(s) for s in steps]}; comoving drift "
+          f"{np.linalg.norm(diff):.2f}")
+
+    # The bucket blobs are ordinary SQL arrays: aggregate in SQL.
+    mean_speed = conn.execute(
+        "SELECT AVG(FloatArray_Max(vel)) FROM particle_buckets "
+        "WHERE sim = 0 AND step = 3").fetchone()[0]
+    print(f"SQL-side aggregate over velocity arrays: "
+          f"AVG(max component) = {mean_speed:.3f}")
+
+
+def main():
+    turbulence_part()
+    mhd_part()
+    nbody_part()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The astronomical spectrum pipeline (paper Section 2.2), end to end.
+
+Generates a synthetic spectrum survey, stores the spectra as array
+blobs in SQLite, then runs the paper's processing chain:
+
+1. flux-conserving resampling to a common wavelength grid,
+2. normalization and composite building (the SQL aggregate),
+3. PCA over the set (correlation matrix + gesvd),
+4. masked least-squares expansion of flagged spectra,
+5. kd-tree similar-spectrum search,
+6. IFU-cube collapse via axis aggregates.
+
+Run:  python examples/spectrum_pipeline.py
+"""
+
+import numpy as np
+
+from repro.science.spectra import (
+    SpectrumBasis,
+    SpectrumGenerator,
+    SpectrumSearchService,
+    classify_nearest_centroid,
+    collapse_cube,
+    make_composite,
+)
+from repro.sqlbind import connect
+
+
+def main():
+    gen = SpectrumGenerator(n_bins=256, n_classes=3, seed=123)
+    print("Generating a 300-spectrum survey (3 spectral classes) ...")
+    survey = [gen.make(class_id=i % 3, redshift=0.02) for i in range(300)]
+
+    # Store every spectrum as array blobs in SQLite, one row per object
+    # — the paper's storage model for spectrum databases.
+    conn = connect()
+    conn.execute("CREATE TABLE spectra (id INTEGER PRIMARY KEY, "
+                 "class_hint INTEGER, wave BLOB, flux BLOB, err BLOB, "
+                 "flags BLOB)")
+    for i, s in enumerate(survey):
+        conn.execute(
+            "INSERT INTO spectra VALUES (?, ?, ?, ?, ?, ?)",
+            (i, s.class_id, s.wave.to_blob(), s.flux.to_blob(),
+             s.error.to_blob(), s.flags.to_blob()))
+    n, bins = conn.execute(
+        "SELECT COUNT(*), FloatArray_Count(flux) FROM spectra"
+    ).fetchone()
+    print(f"  stored {n} spectra of {bins} bins each")
+
+    print("\nComposite spectrum of class 0 (SQL-side aggregation "
+          "equivalent):")
+    class0 = [s for s in survey if s.class_id == 0][:50]
+    edges, composite = make_composite(class0, n_bins=128)
+    print(f"  {len(class0)} spectra -> composite with "
+          f"{composite.shape[0]} bins, "
+          f"S/N-weighted, flux-conserving resample")
+
+    print("\nFitting the PCA basis (correlation matrix + gesvd) ...")
+    basis = SpectrumBasis(n_components=5, n_bins=128).fit(survey[:200])
+    ratio = basis.pca.explained_variance_ratio()
+    print("  explained variance ratio:", np.round(ratio, 3))
+
+    print("\nClassifying 60 held-out spectra by nearest centroid ...")
+    train_coeffs = basis.expand_many(survey[:200])
+    train_labels = [s.class_id for s in survey[:200]]
+    test = [gen.make(class_id=i % 3, redshift=0.02) for i in range(60)]
+    pred = classify_nearest_centroid(train_coeffs, train_labels,
+                                     basis.expand_many(test))
+    accuracy = (pred == np.array([t.class_id for t in test])).mean()
+    print(f"  accuracy: {accuracy:.1%}")
+
+    print("\nSimilar-spectrum search (kd-tree over coefficients):")
+    search = SpectrumSearchService(basis, conn=conn).build(survey[:200])
+    query = gen.make(class_id=1, redshift=0.02, bad_fraction=0.1)
+    results = search.search(query, k=5)
+    print(f"  query class: {query.class_id} "
+          f"({(~query.good_mask()).sum()} flagged bins -> masked "
+          "least-squares expansion)")
+    for rank, (idx, dist, s) in enumerate(results, 1):
+        print(f"  #{rank}: spectrum {idx} (class {s.class_id}), "
+              f"coefficient distance {dist:.3f}")
+
+    print("\nIFU data cube: collapse to the total spectrum "
+          "(sum over both spatial axes):")
+    _wave, cube = gen.make_ifu_cube(n_side=8, class_id=2)
+    total = collapse_cube(cube, axis_to_keep=0)
+    print(f"  cube {cube.shape} -> spectrum {total.shape}, total flux "
+          f"{float(total.to_numpy().sum()):.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The turbulence particle-query service (paper Section 2.1), end to end.
+
+Builds a synthetic isotropic-turbulence snapshot, partitions it into
+z-order blobs with ghost zones (the paper's (64+8)^3 layout, scaled
+down), loads the blobs into the storage-engine database as out-of-page
+rows, and serves a batch of particle interpolation queries — reading
+only each particle's kernel neighbourhood through partial blob reads.
+
+The closing comparison quantifies the paper's motivating observation:
+"Accessing the whole blob (6 MB) for an 8-point 3D interpolation is
+obviously overkill."
+
+Run:  python examples/turbulence_service.py
+"""
+
+import numpy as np
+
+from repro.engine import Database
+from repro.science.turbulence import (
+    BlobPartitioner,
+    EngineBlobBackend,
+    ParticleQueryService,
+    TurbulenceStore,
+    make_field,
+)
+
+
+def main():
+    grid, cube, ghost = 64, 16, 4
+    print(f"Generating a {grid}^3 isotropic turbulence snapshot ...")
+    field = make_field(grid_size=grid, seed=42)
+
+    print(f"Partitioning into ({cube}+{2 * ghost})^3 z-order blobs ...")
+    db = Database()
+    backend = EngineBlobBackend(db)
+    store = TurbulenceStore(BlobPartitioner(grid, cube, ghost), backend)
+    n_blobs = store.load_field(field)
+    blob_bytes = backend.open(backend.keys()[0]).length()
+    print(f"  {n_blobs} blobs, {blob_bytes / 1024:.0f} kB each "
+          f"(the paper's blobs are ~6 MB)")
+
+    # The paper's service receives ~10,000 particle positions per call.
+    rng = np.random.default_rng(7)
+    particles = rng.random((2000, 3)) * field.box_size
+
+    for kernel in ("nearest", "lagrange4", "lagrange8", "pchip"):
+        svc = ParticleQueryService(store, kernel)
+        values, stats = svc.query(particles)
+        print(f"\nkernel={kernel:10s} velocity rms="
+              f"{values.std():.3f}")
+        print(f"  blobs touched: {stats.blobs_opened}, "
+              f"bytes read: {stats.bytes_read / 1024:.0f} kB "
+              f"(full blobs would be "
+              f"{stats.full_blob_bytes / 1024:.0f} kB)")
+
+    print("\nPartial reads vs whole-blob reads (lagrange8):")
+    svc = ParticleQueryService(store, "lagrange8")
+    sample = particles[:500]
+    _v1, partial = svc.query(sample)
+    _v2, full = svc.query_full_read(sample)
+    print(f"  partial: {partial.bytes_read / 1e6:.2f} MB read")
+    print(f"  full:    {full.bytes_read / 1e6:.2f} MB read")
+    print(f"  -> partial reads move {full.bytes_read / partial.bytes_read:.1f}x "
+          "fewer bytes")
+
+    # IO accounting from the storage engine's buffer pool.
+    io = db.pool.counters
+    print(f"\nStorage engine page reads: {io.logical_reads} logical, "
+          f"{io.physical_reads} physical")
+
+
+if __name__ == "__main__":
+    main()

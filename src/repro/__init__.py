@@ -1,0 +1,27 @@
+"""repro — reproduction of Dobos et al., "Array Requirements for
+Scientific Applications and an Implementation for Microsoft SQL Server"
+(EDBT 2011).
+
+Subpackages:
+
+* :mod:`repro.core` — the array library: blob format, ``SqlArray``,
+  operations, aggregates, partial reads.
+* :mod:`repro.tsql` — the T-SQL-style function schemas
+  (``FloatArray.Vector_5`` etc.) and the array-notation pre-parser.
+* :mod:`repro.engine` — a paged storage-engine simulator standing in for
+  Microsoft SQL Server (8 kB pages, clustered B+trees, on-page vs
+  out-of-page blobs, buffer pool, IO/CPU cost model).
+* :mod:`repro.sqlbind` — the same array functions registered as real
+  SQLite UDFs.
+* :mod:`repro.mathlib` — LAPACK/FFTW-style wrappers (SVD, FFT, least
+  squares, NNLS, PCA).
+* :mod:`repro.spatial` — Morton codes, kd-tree, octree.
+* :mod:`repro.science` — the paper's three scientific use cases end to
+  end (turbulence, spectra, N-body).
+"""
+
+from .core import SqlArray
+
+__version__ = "1.0.0"
+
+__all__ = ["SqlArray", "__version__"]

@@ -1,0 +1,61 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1 [rows]`` — regenerate the paper's Table 1 (delegates to
+  the benchmark harness logic).
+* ``info`` — print the library inventory: schemas, registered SQL
+  functions, supported element types.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _cmd_table1(args: list[str]) -> int:
+    rows = int(args[0]) if args else 20_000
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                    "..", "..", "benchmarks"))
+    try:
+        from table1_harness import main as harness_main
+    except ImportError:
+        print("table1_harness.py not found; run from a source checkout",
+              file=sys.stderr)
+        return 1
+    harness_main(rows)
+    return 0
+
+
+def _cmd_info(_args: list[str]) -> int:
+    from repro.core import ALL_DTYPES
+    from repro.sqlbind import connect
+    from repro.tsql import MATH_EXPORTS, NAMESPACES
+
+    print("Element types:")
+    for dt in ALL_DTYPES:
+        print(f"  {dt.name:<11} code 0x{dt.code:02x}  "
+              f"{dt.itemsize} bytes  schema {dt.schema_name}")
+    print(f"\nT-SQL schemas: {len(NAMESPACES)} "
+          f"({', '.join(sorted(NAMESPACES)[:6])}, ...)")
+    print(f"Math UDFs per float/complex schema: {len(MATH_EXPORTS)}")
+    conn = connect()
+    print(f"SQLite functions registered by connect(): "
+          f"{conn.registered_functions}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {"table1": _cmd_table1, "info": _cmd_info}
+    if not argv or argv[0] not in commands:
+        names = ", ".join(sorted(commands))
+        print(f"usage: python -m repro {{{names}}} [args]",
+              file=sys.stderr)
+        return 2
+    return commands[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

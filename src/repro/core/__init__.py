@@ -1,0 +1,95 @@
+"""Core array library: blob format, the :class:`SqlArray` value class,
+and the operations backing the paper's T-SQL surface.
+
+Quick tour::
+
+    from repro.core import SqlArray, ops
+
+    a = SqlArray.from_values([1.0, 2.0, 3.0, 4.0, 5.0], "float64")
+    ops.item(a, 3)                     # -> 4.0
+    b = ops.subarray(a, [1], [3])      # elements 1..3
+    m = ops.reshape(SqlArray.from_values(range(6), "int32"), (2, 3))
+"""
+
+from . import aggregates, ops, partial
+from .dtypes import (
+    ALL_DTYPES,
+    COMPLEX64,
+    COMPLEX128,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    ArrayDType,
+    dtype_by_code,
+    dtype_by_name,
+    dtype_for_numpy,
+)
+from .errors import (
+    AggregateError,
+    ArrayError,
+    BoundsError,
+    HeaderError,
+    ShapeError,
+    ShortArrayLimitError,
+    StorageClassError,
+    TypeMismatchError,
+)
+from .header import (
+    SHORT_HEADER_SIZE,
+    SHORT_MAX_BLOB_BYTES,
+    SHORT_MAX_DIM,
+    SHORT_MAX_RANK,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    ArrayHeader,
+    decode_header,
+    encode_header,
+    max_header_size,
+    peek_storage_class,
+)
+from .complextype import SqlComplex
+from .sqlarray import SqlArray, preferred_storage
+
+__all__ = [
+    "SqlArray",
+    "SqlComplex",
+    "preferred_storage",
+    "ops",
+    "aggregates",
+    "partial",
+    "ArrayDType",
+    "ALL_DTYPES",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "COMPLEX64",
+    "COMPLEX128",
+    "dtype_by_code",
+    "dtype_by_name",
+    "dtype_for_numpy",
+    "ArrayError",
+    "HeaderError",
+    "TypeMismatchError",
+    "StorageClassError",
+    "ShapeError",
+    "BoundsError",
+    "ShortArrayLimitError",
+    "AggregateError",
+    "ArrayHeader",
+    "decode_header",
+    "encode_header",
+    "peek_storage_class",
+    "max_header_size",
+    "STORAGE_SHORT",
+    "STORAGE_MAX",
+    "SHORT_HEADER_SIZE",
+    "SHORT_MAX_BLOB_BYTES",
+    "SHORT_MAX_DIM",
+    "SHORT_MAX_RANK",
+]

@@ -1,0 +1,149 @@
+"""Scalar complex numbers as a user-defined type.
+
+Paper Section 3.4: "we added support for float and double complex
+numbers as well.  Scalar complex numbers are implemented as user-defined
+types and use the native serialization format of SQL Server."
+
+:class:`SqlComplex` is that UDT: an immutable complex scalar whose
+serialized form is simply the two IEEE components back to back (the
+"native" format a fixed-size UDT gets), in single or double precision.
+It carries the arithmetic and polar helpers a query-side complex type
+needs; :mod:`repro.sqlbind.registry` exposes them to SQL as
+``Complex_*`` functions.
+"""
+
+from __future__ import annotations
+
+import cmath
+import struct
+from dataclasses import dataclass
+
+from .errors import HeaderError
+
+__all__ = ["SqlComplex"]
+
+_DOUBLE = struct.Struct("<dd")
+_SINGLE = struct.Struct("<ff")
+
+
+@dataclass(frozen=True)
+class SqlComplex:
+    """An immutable complex scalar UDT.
+
+    Attributes:
+        value: The Python complex value.
+        single: Whether the serialized form is single precision
+            (8 bytes) rather than double (16 bytes).
+    """
+
+    value: complex
+    single: bool = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def new(cls, re: float, im: float, single: bool = False
+            ) -> "SqlComplex":
+        """Create from rectangular components."""
+        return cls(complex(re, im), single)
+
+    @classmethod
+    def from_polar(cls, magnitude: float, phase: float,
+                   single: bool = False) -> "SqlComplex":
+        """Create from polar components (radians)."""
+        return cls(cmath.rect(magnitude, phase), single)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SqlComplex":
+        """Deserialize from the native format (8 or 16 bytes).
+
+        Raises:
+            HeaderError: for any other length.
+        """
+        if len(blob) == _DOUBLE.size:
+            re, im = _DOUBLE.unpack(blob)
+            return cls(complex(re, im), single=False)
+        if len(blob) == _SINGLE.size:
+            re, im = _SINGLE.unpack(blob)
+            return cls(complex(re, im), single=True)
+        raise HeaderError(
+            f"a serialized complex scalar is 8 or 16 bytes, got "
+            f"{len(blob)}")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the native fixed-size format."""
+        s = _SINGLE if self.single else _DOUBLE
+        return s.pack(self.value.real, self.value.imag)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def real(self) -> float:
+        return self.value.real
+
+    @property
+    def imag(self) -> float:
+        return self.value.imag
+
+    def abs(self) -> float:
+        """Magnitude."""
+        return abs(self.value)
+
+    def phase(self) -> float:
+        """Argument in radians."""
+        return cmath.phase(self.value)
+
+    def conjugate(self) -> "SqlComplex":
+        return SqlComplex(self.value.conjugate(), self.single)
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _coerce(self, other) -> complex:
+        if isinstance(other, SqlComplex):
+            return other.value
+        return complex(other)
+
+    def __add__(self, other) -> "SqlComplex":
+        return SqlComplex(self.value + self._coerce(other), self.single)
+
+    def __sub__(self, other) -> "SqlComplex":
+        return SqlComplex(self.value - self._coerce(other), self.single)
+
+    def __mul__(self, other) -> "SqlComplex":
+        return SqlComplex(self.value * self._coerce(other), self.single)
+
+    def __truediv__(self, other) -> "SqlComplex":
+        return SqlComplex(self.value / self._coerce(other), self.single)
+
+    def __neg__(self) -> "SqlComplex":
+        return SqlComplex(-self.value, self.single)
+
+    def __complex__(self) -> complex:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SqlComplex):
+            return self.value == other.value
+        if isinstance(other, (int, float, complex)):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    # -- text -----------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """``a+bj`` text form (round-trips through
+        :meth:`from_string`)."""
+        return f"{self.value.real!r}{self.value.imag:+}j"
+
+    @classmethod
+    def from_string(cls, text: str, single: bool = False
+                    ) -> "SqlComplex":
+        """Parse the :meth:`to_string` format (or anything Python's
+        ``complex()`` accepts)."""
+        try:
+            return cls(complex(text.strip()), single)
+        except ValueError:
+            raise HeaderError(f"malformed complex literal {text!r}")

@@ -1,0 +1,170 @@
+"""Element-type registry for SQL arrays.
+
+The library supports the numeric types the paper lists in Section 3.4:
+signed integers of 1/2/4/8 bytes, single and double precision floats, and
+single and double precision complex numbers.  Fixed-precision (decimal)
+numbers are deliberately not supported, "as the main application of our
+library is for scientific data".
+
+Each supported type is described by an :class:`ArrayDType` record which
+ties together
+
+* the one-byte *type code* written into every blob header,
+* the T-SQL-ish name used to build function schema names
+  (``FloatArray``, ``IntArray``, ...),
+* the SQL Server base-type name the paper refers to (``bigint``,
+  ``real``, ...), and
+* the numpy dtype used for in-memory manipulation.
+
+The registry is the single source of truth: the T-SQL namespaces in
+:mod:`repro.tsql.namespaces` and the SQLite bindings in
+:mod:`repro.sqlbind.registry` are generated from it, mirroring how the
+paper instantiates one C++/CLI template specialization per base type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import TypeMismatchError
+
+__all__ = [
+    "ArrayDType",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "COMPLEX64",
+    "COMPLEX128",
+    "ALL_DTYPES",
+    "dtype_by_code",
+    "dtype_by_name",
+    "dtype_for_numpy",
+]
+
+
+@dataclass(frozen=True)
+class ArrayDType:
+    """Description of one supported element type.
+
+    Attributes:
+        code: One-byte identifier stored in blob headers.
+        name: Canonical lower-case name (``"float64"``).
+        schema_name: Prefix of the T-SQL schema the paper uses for this
+            type's functions (``"FloatArray"`` for ``float64`` — the paper
+            calls double precision ``float``, following T-SQL).
+        sql_name: The SQL Server base type (``"float"``, ``"bigint"``...).
+        itemsize: Bytes per element.
+        numpy_dtype: Equivalent numpy dtype (little-endian, matching the
+            on-disk byte order of the blob format).
+        is_complex: Whether the element is a complex number.
+        is_integer: Whether the element is a (signed) integer.
+    """
+
+    code: int
+    name: str
+    schema_name: str
+    sql_name: str
+    itemsize: int
+    numpy_dtype: np.dtype
+    is_complex: bool = False
+    is_integer: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_float(self) -> bool:
+        """True for real floating types (not integer, not complex)."""
+        return not self.is_complex and not self.is_integer
+
+
+def _dt(code, name, schema_name, sql_name, np_name, *, is_complex=False,
+        is_integer=False):
+    numpy_dtype = np.dtype(np_name).newbyteorder("<")
+    return ArrayDType(
+        code=code,
+        name=name,
+        schema_name=schema_name,
+        sql_name=sql_name,
+        itemsize=numpy_dtype.itemsize,
+        numpy_dtype=numpy_dtype,
+        is_complex=is_complex,
+        is_integer=is_integer,
+    )
+
+
+#: The supported element types (paper Section 3.4).  Codes are stable and
+#: part of the on-disk format; never renumber them.
+INT8 = _dt(0x01, "int8", "TinyIntArray", "tinyint", "i1", is_integer=True)
+INT16 = _dt(0x02, "int16", "SmallIntArray", "smallint", "i2", is_integer=True)
+INT32 = _dt(0x03, "int32", "IntArray", "int", "i4", is_integer=True)
+INT64 = _dt(0x04, "int64", "BigIntArray", "bigint", "i8", is_integer=True)
+FLOAT32 = _dt(0x10, "float32", "RealArray", "real", "f4")
+FLOAT64 = _dt(0x11, "float64", "FloatArray", "float", "f8")
+COMPLEX64 = _dt(0x20, "complex64", "ComplexRealArray", "complexreal", "c8",
+                is_complex=True)
+COMPLEX128 = _dt(0x21, "complex128", "ComplexArray", "complex", "c16",
+                 is_complex=True)
+
+ALL_DTYPES = (
+    INT8, INT16, INT32, INT64, FLOAT32, FLOAT64, COMPLEX64, COMPLEX128,
+)
+
+_BY_CODE = {dt.code: dt for dt in ALL_DTYPES}
+_BY_NAME = {dt.name: dt for dt in ALL_DTYPES}
+# Accept a few aliases users will reach for.
+_BY_NAME.update({
+    "tinyint": INT8,
+    "smallint": INT16,
+    "int": INT32,
+    "bigint": INT64,
+    "real": FLOAT32,
+    "float": FLOAT64,
+    "double": FLOAT64,
+    "complexreal": COMPLEX64,
+    "complex": COMPLEX128,
+})
+
+
+def dtype_by_code(code: int) -> ArrayDType:
+    """Look up a dtype by its header type code.
+
+    Raises:
+        TypeMismatchError: if the code is not a registered element type.
+    """
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise TypeMismatchError(f"unknown array element type code 0x{code:02x}")
+
+
+def dtype_by_name(name: str) -> ArrayDType:
+    """Look up a dtype by canonical name or SQL alias (case-insensitive)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown array element type {name!r}")
+
+
+def dtype_for_numpy(np_dtype) -> ArrayDType:
+    """Map a numpy dtype to the corresponding registered element type.
+
+    Byte order is ignored: big-endian inputs map to the same element type
+    and are byte-swapped on serialization.
+
+    Raises:
+        TypeMismatchError: for unsupported kinds (bool, unsigned,
+            strings, float16, ...).
+    """
+    np_dtype = np.dtype(np_dtype)
+    for dt in ALL_DTYPES:
+        if (np_dtype.kind, np_dtype.itemsize) == (
+                dt.numpy_dtype.kind, dt.numpy_dtype.itemsize):
+            return dt
+    raise TypeMismatchError(
+        f"numpy dtype {np_dtype!r} has no corresponding SQL array type")

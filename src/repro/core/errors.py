@@ -1,0 +1,58 @@
+"""Exception hierarchy for the array library.
+
+The paper (Section 3.5) stores type and storage-class flags in every blob
+header specifically so that "type mismatches at runtime when the blobs are
+passed to the wrong functions" can be detected.  This module defines the
+errors raised when those checks — and the other argument checks the T-SQL
+surface performs — fail.
+"""
+
+from __future__ import annotations
+
+
+class ArrayError(Exception):
+    """Base class for every error raised by the array library."""
+
+
+class HeaderError(ArrayError):
+    """A blob does not start with a well-formed array header."""
+
+
+class TypeMismatchError(ArrayError):
+    """A blob was passed to a function expecting a different element type.
+
+    This is the runtime check enabled by the dtype code stored in the
+    header (paper Section 3.5).
+    """
+
+
+class StorageClassError(ArrayError):
+    """A short-array function received a max array, or vice versa.
+
+    Short (on-page) and max (out-of-page) arrays live in different
+    function schemas in the paper (``FloatArray`` vs ``FloatArrayMax``)
+    and are not interchangeable without an explicit conversion.
+    """
+
+
+class ShapeError(ArrayError):
+    """Dimensions are inconsistent: wrong rank, negative sizes, or a
+    reshape/subarray request that does not fit the source array."""
+
+
+class BoundsError(ArrayError, IndexError):
+    """An item index or subarray window falls outside the array."""
+
+
+class ShortArrayLimitError(ArrayError):
+    """A short array would exceed its storage-class limits.
+
+    Short arrays are restricted to rank <= 6, dimension sizes that fit a
+    signed 16-bit integer, and a payload small enough to stay on an 8 kB
+    data page (paper Sections 3.3 and 3.5).
+    """
+
+
+class AggregateError(ArrayError):
+    """An array aggregate received incompatible inputs (e.g. arrays of
+    different shapes or dtypes, or an empty input set)."""

@@ -1,0 +1,491 @@
+"""Array operations with the semantics of the paper's T-SQL functions.
+
+Every function here takes and returns :class:`~repro.core.sqlarray.SqlArray`
+values (or plain scalars), mirroring one of the T-SQL entry points from
+Section 5.1 of the paper:
+
+================  =====================================================
+Paper function    This module
+================  =====================================================
+``Item_k``        :func:`item`
+``UpdateItem_k``  :func:`update_item`
+``Subarray``      :func:`subarray` (contiguous windows only, with the
+                  optional collapse of length-1 dimensions)
+``Reshape``       :func:`reshape` (size must not change)
+``Cast``          :func:`cast_raw` (prefix raw bytes with a header)
+``Raw``           :func:`raw` (strip the header)
+conversions       :func:`convert` (element type), :func:`to_short` /
+                  :func:`to_max` (storage class)
+``ToTable``       :func:`to_table`
+string conv.      :func:`to_string` / :func:`from_string`
+================  =====================================================
+
+Plus the axis reductions and element-wise arithmetic the requirements
+list in Section 1 calls for ("perform various aggregate operations over
+arrays", "computing aggregates over certain dimensions").
+
+Indices are zero-based and given in array order: ``item(a, i, j)`` reads
+element ``(i, j)`` of a two-dimensional array.  Because elements are laid
+out column-major, the linear offset of ``(i0, i1, ..., ik)`` in an array
+with shape ``(n0, n1, ..., nk)`` is ``i0 + n0*(i1 + n1*(i2 + ...))``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .dtypes import ArrayDType, dtype_by_name
+from .errors import BoundsError, HeaderError, ShapeError
+from .header import STORAGE_MAX, STORAGE_SHORT, encode_header
+from .sqlarray import SqlArray
+
+__all__ = [
+    "linear_offset",
+    "item",
+    "update_item",
+    "subarray",
+    "reshape",
+    "raw",
+    "cast_raw",
+    "convert",
+    "to_short",
+    "to_max",
+    "to_table",
+    "from_table",
+    "to_string",
+    "from_string",
+    "concat",
+    "fill_item_count",
+    "elementwise",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "scale",
+    "shift",
+    "negate",
+    "dot",
+    "aggregate_all",
+    "aggregate_axis",
+]
+
+
+def _check_index(shape: tuple[int, ...], indices: Sequence[int]) -> None:
+    if len(indices) != len(shape):
+        raise BoundsError(
+            f"array has {len(shape)} dimensions but {len(indices)} "
+            "indices were given")
+    for axis, (i, n) in enumerate(zip(indices, shape)):
+        if not 0 <= i < n:
+            raise BoundsError(
+                f"index {i} out of range [0, {n}) on dimension {axis}")
+
+
+def linear_offset(shape: tuple[int, ...], indices: Sequence[int]) -> int:
+    """Column-major linear offset of a multi-index.
+
+    This is the same arithmetic the storage layer uses to compute byte
+    ranges for partial reads (:mod:`repro.core.partial`).
+    """
+    _check_index(shape, indices)
+    offset = 0
+    stride = 1
+    for i, n in zip(indices, shape):
+        offset += i * stride
+        stride *= n
+    return offset
+
+
+def item(array: SqlArray, *indices: int):
+    """Read one element (the paper's ``Item_1`` .. ``Item_6``).
+
+    Returns a Python scalar of the natural kind (int, float, complex).
+    """
+    off = linear_offset(array.shape, [int(i) for i in indices])
+    start = array.header.data_offset + off * array.dtype.itemsize
+    value = np.frombuffer(array.to_blob(), dtype=array.dtype.numpy_dtype,
+                          count=1, offset=start)[0]
+    return value.item()
+
+
+def update_item(array: SqlArray, indices: Sequence[int], value) -> SqlArray:
+    """Return a copy of ``array`` with one element replaced
+    (the paper's ``UpdateItem_k``)."""
+    off = linear_offset(array.shape, [int(i) for i in indices])
+    start = array.header.data_offset + off * array.dtype.itemsize
+    encoded = np.array([value], dtype=array.dtype.numpy_dtype).tobytes()
+    blob = array.to_blob()
+    patched = blob[:start] + encoded + blob[start + len(encoded):]
+    return SqlArray.from_blob(patched)
+
+
+def subarray(array: SqlArray, offset: Sequence[int], size: Sequence[int],
+             collapse: bool = False) -> SqlArray:
+    """Extract a contiguous window (the paper's ``Subarray``).
+
+    Args:
+        array: Source array.
+        offset: Start index of the window on each dimension.
+        size: Extent of the window on each dimension.
+        collapse: When true, dimensions of length 1 in the result are
+            dropped ("automatically converted to a lower dimensional
+            array" — useful e.g. for retrieving matrix columns).  If all
+            dimensions collapse, one dimension of length 1 is kept.
+
+    Only contiguous (hyper-rectangular, stride-1) windows are supported,
+    matching the paper.
+    """
+    offset = [int(o) for o in offset]
+    size = [int(s) for s in size]
+    if len(offset) != array.rank or len(size) != array.rank:
+        raise ShapeError(
+            f"offset/size must each have {array.rank} entries, got "
+            f"{len(offset)}/{len(size)}")
+    for axis, (o, s, n) in enumerate(zip(offset, size, array.shape)):
+        if s < 1:
+            raise ShapeError(f"subarray size must be >= 1 on dimension "
+                             f"{axis}, got {s}")
+        if o < 0 or o + s > n:
+            raise BoundsError(
+                f"window [{o}, {o + s}) out of range [0, {n}) on "
+                f"dimension {axis}")
+    data = array.to_numpy()
+    window = data[tuple(slice(o, o + s) for o, s in zip(offset, size))]
+    new_shape = tuple(size)
+    if collapse:
+        kept = tuple(s for s in new_shape if s != 1)
+        new_shape = kept if kept else (1,)
+        window = window.reshape(new_shape, order="F")
+    return SqlArray.from_numpy(window, array.dtype)
+
+
+def reshape(array: SqlArray, new_shape: Sequence[int]) -> SqlArray:
+    """Recast the dimensions without reordering elements
+    (the paper's ``Reshape``; "original and target sizes must not
+    differ")."""
+    new_shape = tuple(int(s) for s in new_shape)
+    count = 1
+    for s in new_shape:
+        count *= s
+    if count != array.count:
+        raise ShapeError(
+            f"reshape from {array.shape} ({array.count} elements) to "
+            f"{new_shape} ({count} elements) changes the size")
+    head = encode_header(
+        _storage_for(array.dtype, new_shape, prefer=array.storage),
+        array.dtype, new_shape)
+    return SqlArray.from_blob(head + array.data_bytes())
+
+
+def _storage_for(dtype: ArrayDType, shape: tuple[int, ...],
+                 prefer: int) -> int:
+    """Keep the preferred storage class if the shape still permits it."""
+    if prefer == STORAGE_SHORT:
+        try:
+            from .header import check_short_limits
+            check_short_limits(dtype, shape)
+            return STORAGE_SHORT
+        except Exception:
+            return STORAGE_MAX
+    return prefer
+
+
+def raw(array: SqlArray) -> bytes:
+    """Strip the header and return the elements as raw binary
+    (the paper's ``Raw``)."""
+    return array.data_bytes()
+
+
+def cast_raw(blob: bytes, dtype: ArrayDType | str,
+             shape: Sequence[int], storage: int | None = None) -> SqlArray:
+    """Treat raw consecutive numbers as an array by prefixing a header
+    (the paper's ``Cast``).
+
+    Raises:
+        HeaderError: if the byte count does not match the declared
+            shape and element type.
+    """
+    adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+    shape = tuple(int(s) for s in shape)
+    count = 1
+    for s in shape:
+        count *= s
+    if len(blob) != count * adt.itemsize:
+        raise HeaderError(
+            f"raw payload is {len(blob)} bytes but shape {shape} of "
+            f"{adt.name} needs {count * adt.itemsize}")
+    if storage is None:
+        from .sqlarray import preferred_storage
+        storage = preferred_storage(adt, shape)
+    return SqlArray.from_blob(encode_header(storage, adt, shape) + bytes(blob))
+
+
+def convert(array: SqlArray, dtype: ArrayDType | str) -> SqlArray:
+    """Convert to a different element type (value-preserving cast).
+
+    Conversion functions between base types "exist" per Section 5.1.
+    Complex-to-real conversion keeps the real part, matching C casts.
+    """
+    adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+    values = array.to_numpy()
+    if array.dtype.is_complex and not adt.is_complex:
+        values = values.real
+    return SqlArray.from_numpy(values.astype(adt.numpy_dtype), adt)
+
+
+def to_short(array: SqlArray) -> SqlArray:
+    """Convert to the short (on-page) storage class.
+
+    Raises:
+        ShortArrayLimitError: if the array exceeds short limits.
+    """
+    if array.is_short:
+        return array
+    head = encode_header(STORAGE_SHORT, array.dtype, array.shape)
+    return SqlArray.from_blob(head + array.data_bytes())
+
+
+def to_max(array: SqlArray) -> SqlArray:
+    """Convert to the max (out-of-page) storage class."""
+    if not array.is_short:
+        return array
+    head = encode_header(STORAGE_MAX, array.dtype, array.shape)
+    return SqlArray.from_blob(head + array.data_bytes())
+
+
+def to_table(array: SqlArray) -> Iterator[tuple]:
+    """Yield ``(i0, i1, ..., value)`` rows (the paper's ``ToTable`` /
+    ``MatrixToTable`` table-valued functions).
+
+    Rows are produced in column-major (storage) order.
+    """
+    data = array.to_numpy()
+    for flat in range(array.count):
+        idx = []
+        rem = flat
+        for n in array.shape:
+            idx.append(rem % n if n else 0)
+            rem //= n if n else 1
+        yield tuple(idx) + (data[tuple(idx)].item(),)
+
+
+def from_table(rows, shape: Sequence[int],
+               dtype: ArrayDType | str) -> SqlArray:
+    """Assemble an array from ``(i0, ..., value)`` rows.
+
+    This is the reader-based table-to-array conversion the paper found
+    preferable to the ``Concat`` aggregate (Section 4.2); see also
+    :mod:`repro.core.aggregates` for both variants with cost accounting.
+    Cells not covered by any row are zero; duplicate rows are an error.
+    """
+    adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+    shape = tuple(int(s) for s in shape)
+    out = np.zeros(shape, dtype=adt.numpy_dtype, order="F")
+    seen = set()
+    for row in rows:
+        *idx, value = row
+        idx = tuple(int(i) for i in idx)
+        _check_index(shape, idx)
+        if idx in seen:
+            raise ShapeError(f"duplicate index {idx} in table input")
+        seen.add(idx)
+        out[idx] = value
+    return SqlArray.from_numpy(out, adt)
+
+
+def to_string(array: SqlArray) -> str:
+    """Render as a string, e.g. ``float64[2,2]{1,2,3,4}`` with elements
+    in column-major order ("arrays can also be converted to and from
+    strings", Section 5.1)."""
+    dims = ",".join(str(s) for s in array.shape)
+    flat = array.to_numpy().reshape(-1, order="F")
+    if array.dtype.is_complex:
+        items = ",".join(
+            f"{float(v.real)!r}{float(v.imag):+}j" for v in flat)
+    elif array.dtype.is_integer:
+        items = ",".join(str(int(v)) for v in flat)
+    else:
+        items = ",".join(repr(float(v)) for v in flat)
+    return f"{array.dtype.name}[{dims}]{{{items}}}"
+
+
+def from_string(text: str) -> SqlArray:
+    """Parse the :func:`to_string` format back into an array."""
+    text = text.strip()
+    try:
+        name, rest = text.split("[", 1)
+        dims_text, rest = rest.split("]", 1)
+        if not (rest.startswith("{") and rest.endswith("}")):
+            raise ValueError
+        body = rest[1:-1]
+    except ValueError:
+        raise HeaderError(f"malformed array literal {text!r}")
+    adt = dtype_by_name(name)
+    shape = tuple(int(s) for s in dims_text.split(","))
+    if body.strip():
+        parts = [p.strip() for p in body.split(",")]
+    else:
+        parts = []
+    if adt.is_complex:
+        values = [complex(p) for p in parts]
+    elif adt.is_integer:
+        values = [int(p) for p in parts]
+    else:
+        values = [float(p) for p in parts]
+    count = 1
+    for s in shape:
+        count *= s
+    if len(values) != count:
+        raise ShapeError(
+            f"literal has {len(values)} elements but shape {shape} "
+            f"needs {count}")
+    arr = np.array(values, dtype=adt.numpy_dtype).reshape(shape, order="F")
+    return SqlArray.from_numpy(arr, adt)
+
+
+def concat(arrays: Sequence[SqlArray], axis: int = 0) -> SqlArray:
+    """Concatenate arrays along one existing axis.
+
+    All inputs must share the element type and every dimension size
+    except the concatenation axis.  The complement of ``Subarray``:
+    windows cut from a larger array (e.g. neighbouring turbulence
+    cubes) stitch back together exactly.
+    """
+    if not arrays:
+        raise ShapeError("concat needs at least one array")
+    first = arrays[0]
+    if not 0 <= axis < first.rank:
+        raise BoundsError(f"axis {axis} out of range for rank "
+                          f"{first.rank}")
+    for a in arrays[1:]:
+        if a.dtype.code != first.dtype.code:
+            raise ShapeError(
+                f"concat over mixed element types "
+                f"{first.dtype.name} and {a.dtype.name}")
+        if a.rank != first.rank or any(
+                s != t for i, (s, t) in enumerate(zip(a.shape,
+                                                      first.shape))
+                if i != axis):
+            raise ShapeError(
+                f"concat shapes {first.shape} and {a.shape} differ "
+                f"off axis {axis}")
+    out = np.concatenate([a.to_numpy() for a in arrays], axis=axis)
+    return SqlArray.from_numpy(np.asfortranarray(out), first.dtype)
+
+
+def fill_item_count(shape: Sequence[int]) -> int:
+    """Element count of a shape (helper for the T-SQL ``Count`` UDF)."""
+    count = 1
+    for s in shape:
+        count *= int(s)
+    return count
+
+
+# -- element-wise arithmetic -------------------------------------------
+
+
+def elementwise(op, a: SqlArray, b: SqlArray) -> SqlArray:
+    """Apply a binary numpy ufunc element-wise to two same-shape arrays.
+
+    The operands may have different element types (the spectra use case
+    multiplies double flux vectors by integer flag masks); the result
+    takes numpy's promotion, clamped to a supported element type.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"element-wise operation on mismatched shapes {a.shape} "
+            f"and {b.shape}")
+    out = op(a.to_numpy(), b.to_numpy())
+    return SqlArray.from_numpy(out)
+
+
+def add(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Element-wise sum."""
+    return elementwise(np.add, a, b)
+
+
+def subtract(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Element-wise difference."""
+    return elementwise(np.subtract, a, b)
+
+
+def multiply(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Element-wise product."""
+    return elementwise(np.multiply, a, b)
+
+
+def divide(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Element-wise true division (always floating point)."""
+    return elementwise(np.true_divide, a, b)
+
+
+def scale(a: SqlArray, factor) -> SqlArray:
+    """Multiply every element by a scalar (flux normalization path)."""
+    return SqlArray.from_numpy(a.to_numpy() * factor)
+
+
+def shift(a: SqlArray, offset) -> SqlArray:
+    """Add a scalar to every element."""
+    return SqlArray.from_numpy(a.to_numpy() + offset)
+
+
+def negate(a: SqlArray) -> SqlArray:
+    """Element-wise negation."""
+    return SqlArray.from_numpy(-a.to_numpy(), a.dtype)
+
+
+def dot(a: SqlArray, b: SqlArray):
+    """Dot product of two vectors (spectrum expansion on a basis)."""
+    if a.rank != 1 or b.rank != 1:
+        raise ShapeError("dot requires two one-dimensional arrays")
+    if a.shape != b.shape:
+        raise ShapeError(f"dot on mismatched lengths {a.shape[0]} "
+                         f"and {b.shape[0]}")
+    return np.dot(a.to_numpy(), b.to_numpy()).item()
+
+
+_REDUCERS = {
+    "sum": np.sum,
+    "mean": np.mean,
+    "min": np.min,
+    "max": np.max,
+    "std": np.std,
+    "prod": np.prod,
+}
+
+
+def aggregate_all(array: SqlArray, func: str):
+    """Reduce the whole array to a scalar (``sum``, ``mean``, ``min``,
+    ``max``, ``std``, ``prod``)."""
+    try:
+        reducer = _REDUCERS[func]
+    except KeyError:
+        raise ShapeError(f"unknown aggregate {func!r}; expected one of "
+                         f"{sorted(_REDUCERS)}")
+    if array.count == 0:
+        raise ShapeError(f"cannot {func} an empty array")
+    return reducer(array.to_numpy()).item()
+
+
+def aggregate_axis(array: SqlArray, func: str, axis: int) -> SqlArray:
+    """Reduce over one dimension, returning a rank-1-smaller array.
+
+    This is the "summation over certain axes" operation Section 2.2 asks
+    for (e.g. collapsing an integral-field data cube to a 1D spectrum).
+    Reducing a one-dimensional array returns a one-element vector.
+    """
+    try:
+        reducer = _REDUCERS[func]
+    except KeyError:
+        raise ShapeError(f"unknown aggregate {func!r}; expected one of "
+                         f"{sorted(_REDUCERS)}")
+    if not 0 <= axis < array.rank:
+        raise BoundsError(f"axis {axis} out of range for rank {array.rank}")
+    if array.shape[axis] == 0:
+        raise ShapeError(f"cannot {func} over empty dimension {axis}")
+    out = reducer(array.to_numpy(), axis=axis)
+    if out.ndim == 0:
+        out = out.reshape(1)
+    return SqlArray.from_numpy(np.asfortranarray(out))

@@ -1,0 +1,239 @@
+"""The :class:`SqlArray` value class.
+
+A :class:`SqlArray` is the in-memory handle for one array blob: it pairs a
+decoded header with the raw element bytes and provides conversions to and
+from numpy (always column-major, the FORTRAN/LAPACK convention the paper
+adopts in Section 3.5 so that "interfacing with LAPACK is exceptionally
+easy").
+
+Everything in this module is value-oriented: arrays are immutable once
+constructed, and operations that "modify" an array (see
+:mod:`repro.core.ops`) return a new blob, exactly like the T-SQL functions
+in the paper return new ``VARBINARY`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .dtypes import ArrayDType, dtype_by_name, dtype_for_numpy
+from .errors import ShapeError, StorageClassError, TypeMismatchError
+from .header import (
+    SHORT_MAX_BLOB_BYTES,
+    SHORT_MAX_DIM,
+    SHORT_MAX_RANK,
+    SHORT_HEADER_SIZE,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    ArrayHeader,
+    decode_header,
+    encode_header,
+)
+
+__all__ = ["SqlArray", "preferred_storage"]
+
+
+def preferred_storage(dtype: ArrayDType, shape: Sequence[int]) -> int:
+    """Pick the storage class the library would choose automatically.
+
+    Arrays that satisfy every short-array limit (rank <= 6, int16 dims,
+    blob <= 8000 bytes) are stored short (on-page); everything else is
+    max (out-of-page).  This mirrors the paper's rationale: deliver the
+    best performance for arrays smaller than a data page.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) > SHORT_MAX_RANK or any(s > SHORT_MAX_DIM for s in shape):
+        return STORAGE_MAX
+    count = 1
+    for s in shape:
+        count *= s
+    if SHORT_HEADER_SIZE + count * dtype.itemsize > SHORT_MAX_BLOB_BYTES:
+        return STORAGE_MAX
+    return STORAGE_SHORT
+
+
+class SqlArray:
+    """An immutable multidimensional array value backed by a binary blob.
+
+    Construct with :meth:`from_numpy`, :meth:`from_blob`,
+    :meth:`from_values`, :meth:`zeros` or :meth:`filled`; convert back
+    with :meth:`to_numpy` or :meth:`to_blob`.
+    """
+
+    __slots__ = ("_header", "_blob")
+
+    def __init__(self, header: ArrayHeader, blob: bytes):
+        self._header = header
+        self._blob = blob
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_blob(cls, blob) -> "SqlArray":
+        """Wrap an existing binary blob, validating its header."""
+        blob = bytes(blob)
+        return cls(decode_header(blob), blob)
+
+    @classmethod
+    def from_numpy(cls, values, dtype: ArrayDType | str | None = None,
+                   storage: int | None = None) -> "SqlArray":
+        """Build an array from any numpy-convertible value.
+
+        Args:
+            values: Array-like.  Multidimensional input is serialized in
+                column-major order regardless of its memory layout.
+            dtype: Target element type; inferred from ``values`` when
+                omitted.
+            storage: :data:`STORAGE_SHORT`, :data:`STORAGE_MAX`, or
+                ``None`` to choose automatically via
+                :func:`preferred_storage`.
+        """
+        arr = np.asarray(values)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if dtype is None:
+            if arr.dtype == np.dtype(object):
+                raise TypeMismatchError(
+                    "cannot infer an element type from object arrays")
+            adt = dtype_for_numpy(
+                arr.dtype if arr.dtype.kind in "ifc" else np.dtype("f8"))
+        elif isinstance(dtype, str):
+            adt = dtype_by_name(dtype)
+        else:
+            adt = dtype
+        arr = np.asfortranarray(arr.astype(adt.numpy_dtype, copy=False))
+        if storage is None:
+            storage = preferred_storage(adt, arr.shape)
+        blob = encode_header(storage, adt, arr.shape) + arr.tobytes(order="F")
+        return cls(decode_header(blob), blob)
+
+    @classmethod
+    def from_values(cls, values: Iterable, dtype: ArrayDType | str,
+                    storage: int | None = None) -> "SqlArray":
+        """Build a one-dimensional array (a vector) from scalar values.
+
+        This is the Python equivalent of the paper's ``Vector_N``
+        functions.
+        """
+        adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+        arr = np.array(list(values), dtype=adt.numpy_dtype)
+        if arr.ndim != 1:
+            raise ShapeError("from_values expects a flat sequence of scalars")
+        return cls.from_numpy(arr, adt, storage)
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], dtype: ArrayDType | str,
+              storage: int | None = None) -> "SqlArray":
+        """Create a zero-filled array of the given shape.
+
+        The paper's requirements list asks for a "simple way to create an
+        array of a given size"; this is it.
+        """
+        adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+        return cls.from_numpy(
+            np.zeros(tuple(int(s) for s in shape), dtype=adt.numpy_dtype),
+            adt, storage)
+
+    @classmethod
+    def filled(cls, shape: Sequence[int], value,
+               dtype: ArrayDType | str, storage: int | None = None
+               ) -> "SqlArray":
+        """Create an array of the given shape filled with ``value``."""
+        adt = dtype_by_name(dtype) if isinstance(dtype, str) else dtype
+        return cls.from_numpy(
+            np.full(tuple(int(s) for s in shape), value,
+                    dtype=adt.numpy_dtype),
+            adt, storage)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def header(self) -> ArrayHeader:
+        return self._header
+
+    @property
+    def dtype(self) -> ArrayDType:
+        return self._header.dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._header.shape
+
+    @property
+    def rank(self) -> int:
+        return self._header.rank
+
+    @property
+    def count(self) -> int:
+        """Total number of elements."""
+        return self._header.count
+
+    @property
+    def storage(self) -> int:
+        return self._header.storage
+
+    @property
+    def is_short(self) -> bool:
+        return self._header.is_short
+
+    @property
+    def nbytes(self) -> int:
+        """Total blob size, header included."""
+        return len(self._blob)
+
+    def to_blob(self) -> bytes:
+        """Return the serialized form (header + column-major elements)."""
+        return self._blob
+
+    def data_bytes(self) -> bytes:
+        """Return the raw element payload without the header.
+
+        This is the paper's ``Raw`` function.
+        """
+        return self._blob[self._header.data_offset:]
+
+    def to_numpy(self) -> np.ndarray:
+        """Decode to a numpy array (column-major / F-contiguous).
+
+        The returned array does not alias the blob and is writable.
+        """
+        flat = np.frombuffer(
+            self._blob, dtype=self.dtype.numpy_dtype,
+            count=self.count, offset=self._header.data_offset)
+        return flat.reshape(self.shape, order="F").copy(order="F")
+
+    # -- dunder plumbing -------------------------------------------------
+
+    def __len__(self) -> int:
+        """Length of the first dimension."""
+        return self.shape[0]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SqlArray):
+            return NotImplemented
+        return self._blob == other._blob
+
+    def __hash__(self) -> int:
+        return hash(self._blob)
+
+    def __repr__(self) -> str:
+        storage = "short" if self.is_short else "max"
+        return (f"SqlArray({self.dtype.name}, shape={self.shape}, "
+                f"{storage}, {self.nbytes} bytes)")
+
+    def require_dtype(self, dtype: ArrayDType) -> None:
+        """Raise :class:`TypeMismatchError` unless this array has the
+        given element type — the runtime check the header flags enable."""
+        if self.dtype.code != dtype.code:
+            raise TypeMismatchError(
+                f"expected a {dtype.name} array, got {self.dtype.name}")
+
+    def require_storage(self, storage: int) -> None:
+        """Raise :class:`StorageClassError` unless this array has the
+        given storage class."""
+        if self.storage != storage:
+            want = "short" if storage == STORAGE_SHORT else "max"
+            got = "short" if self.is_short else "max"
+            raise StorageClassError(f"expected a {want} array, got {got}")

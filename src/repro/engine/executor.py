@@ -1,0 +1,614 @@
+"""Query executor: clustered scans with aggregates and scalar UDFs.
+
+This is the slice of a SQL executor the paper's evaluation exercises:
+``SELECT <aggregate>(<expression>) FROM <table>`` over a clustered index
+scan, where the expression may call a scalar UDF — the shape of all five
+Table 1 queries.  Real work happens (the UDFs genuinely run and results
+are exact); simulated time is charged through the
+:class:`~repro.engine.costmodel.CostModel`, producing the execution
+time / CPU % / IO MB/s triple per query.
+
+Example::
+
+    db = Database()
+    t = db.create_table("Tscalar", [Column("id", "bigint"),
+                                    Column("v1", "float")])
+    ...
+    ex = Executor(db)
+    (count,), metrics = ex.run(t, [Count()], label="Query 1")
+    (total,), metrics = ex.run(t, [Sum(Col("v1"))], label="Query 3")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .blob import BlobStore
+from .bufferpool import BufferPool
+from .costmodel import PAPER_HARDWARE, CostModel
+from .metrics import QueryMetrics
+from .page import PageFile
+from .table import Column, MaxBlobHandle, Table
+
+__all__ = [
+    "Database",
+    "Executor",
+    "Expression",
+    "Col",
+    "Const",
+    "ScalarUdf",
+    "ReadBlob",
+    "Aggregate",
+    "Count",
+    "Sum",
+    "Avg",
+    "Min",
+    "Max",
+]
+
+
+class Database:
+    """A page file, blob store, buffer pool and table catalog."""
+
+    def __init__(self, buffer_pages: int | None = None):
+        self.pagefile = PageFile()
+        self.blob_store = BlobStore(self.pagefile)
+        self.pool = BufferPool(self.pagefile, buffer_pages)
+        self.tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        """Create and register a clustered table."""
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, columns, self.pagefile, self.blob_store)
+        self.tables[name] = table
+        return table
+
+    def report(self) -> str:
+        """Human-readable catalog report: per-table rows, pages, sizes
+        and fill factors, plus file and buffer-pool totals."""
+        lines = [f"{'table':<20} {'rows':>10} {'pages':>8} "
+                 f"{'MB':>8} {'fill':>6} {'height':>7}  indexes"]
+        for name in sorted(self.tables):
+            s = self.tables[name].page_fill_stats()
+            lines.append(
+                f"{name:<20} {s['rows']:>10} {s['leaf_pages']:>8} "
+                f"{s['data_bytes'] / 1e6:>8.2f} {s['avg_fill']:>6.0%} "
+                f"{s['height']:>7}  {', '.join(s['indexes']) or '-'}")
+        lines.append(
+            f"file: {self.pagefile.allocated_page_count} pages used / "
+            f"{self.pagefile.page_count} reserved "
+            f"({self.pagefile.total_bytes / 1e6:.2f} MB); "
+            f"buffer pool: {self.pool.cached_pages} cached pages")
+        return "\n".join(lines)
+
+
+class _RowContext:
+    """Evaluation context handed to expressions for one row."""
+
+    __slots__ = ("table", "row", "pool", "udf_calls", "stream_calls",
+                 "stream_bytes", "extra_cpu")
+
+    def __init__(self, table: Table, pool: BufferPool):
+        self.table = table
+        self.pool = pool
+        self.row: tuple = ()
+        self.udf_calls = 0
+        self.stream_calls = 0
+        self.stream_bytes = 0
+        self.extra_cpu = 0.0
+
+
+class Expression:
+    """Base class for scalar expressions evaluated per row."""
+
+    def columns(self) -> set[str]:
+        """Names of table columns this expression reads."""
+        return set()
+
+    def static_cpu_cost(self, table: Table, model: CostModel) -> float:
+        """Per-row CPU cost that does not depend on the row's values."""
+        return 0.0
+
+    def eval(self, ctx: _RowContext):
+        raise NotImplementedError
+
+
+class Col(Expression):
+    """Reference to a table column by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def static_cpu_cost(self, table: Table, model: CostModel) -> float:
+        col = table.columns[table.column_index(self.name)]
+        if col.type in ("varbinary", "varbinary_max"):
+            return model.cpu_decode_varbinary
+        return model.cpu_decode_fixed
+
+    def eval(self, ctx: _RowContext):
+        return ctx.row[ctx.table.column_index(self.name)]
+
+
+class Const(Expression):
+    """A literal value."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, ctx: _RowContext):
+        return self.value
+
+
+class ReadBlob(Expression):
+    """Materialize a ``varbinary_max`` column value.
+
+    In-row values pass through unchanged; out-of-page values are read in
+    full through the blob stream wrapper, charging the stream-call and
+    per-byte costs plus the (random) page reads the chunks require.
+    """
+
+    def __init__(self, inner: Expression):
+        self.inner = inner
+
+    def columns(self) -> set[str]:
+        return self.inner.columns()
+
+    def static_cpu_cost(self, table: Table, model: CostModel) -> float:
+        return self.inner.static_cpu_cost(table, model)
+
+    def eval(self, ctx: _RowContext):
+        value = self.inner.eval(ctx)
+        if isinstance(value, MaxBlobHandle):
+            stream = value.open_stream(ctx.pool)
+            data = stream.read_at(0, value.length)
+            ctx.stream_calls += stream.stream_calls
+            ctx.stream_bytes += stream.bytes_read
+            return data
+        return value
+
+
+class ScalarUdf(Expression):
+    """A scalar user-defined function call.
+
+    Every call is charged the flat CLR invocation cost plus a managed
+    body cost: pass ``body_cost="item"`` for an array-item extraction
+    body, ``body_cost="empty"`` for an empty function (the paper's
+    ``dbo.EmptyFunction``), or a float for a custom cost in seconds.
+
+    Args:
+        func: The Python callable that does the real work.
+        args: Argument expressions.
+        body_cost: See above.
+        name: Label used in messages.
+    """
+
+    _BODY_KEYS = ("item", "empty")
+
+    def __init__(self, func: Callable, *args: Expression,
+                 body_cost="item", name: str | None = None):
+        self.func = func
+        self.args = args
+        self.body_cost = body_cost
+        self.name = name or getattr(func, "__name__", "udf")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.columns()
+        return out
+
+    def _body_seconds(self, model: CostModel) -> float:
+        if self.body_cost == "item":
+            return model.cpu_udf_body_item
+        if self.body_cost == "empty":
+            return model.cpu_udf_body_empty
+        return float(self.body_cost)
+
+    def static_cpu_cost(self, table: Table, model: CostModel) -> float:
+        cost = model.cpu_udf_call + self._body_seconds(model)
+        for a in self.args:
+            cost += a.static_cpu_cost(table, model)
+        return cost
+
+    def eval(self, ctx: _RowContext):
+        ctx.udf_calls += 1
+        return self.func(*[a.eval(ctx) for a in self.args])
+
+
+class Aggregate:
+    """Base class for aggregate functions."""
+
+    expr: Expression | None = None
+
+    def step_cost(self, model: CostModel) -> float:
+        raise NotImplementedError
+
+    def start(self):
+        raise NotImplementedError
+
+    def step(self, state, ctx: _RowContext):
+        raise NotImplementedError
+
+    def finish(self, state, rows: int):
+        return state
+
+
+class Count(Aggregate):
+    """``COUNT(*)``."""
+
+    expr = None
+
+    def step_cost(self, model: CostModel) -> float:
+        return model.cpu_count_step
+
+    def start(self):
+        return 0
+
+    def step(self, state, ctx):
+        return state + 1
+
+
+class Sum(Aggregate):
+    """``SUM(expr)`` (SQL semantics: NULL inputs are skipped)."""
+
+    def __init__(self, expr: Expression):
+        self.expr = expr
+
+    def step_cost(self, model: CostModel) -> float:
+        return model.cpu_sum_step
+
+    def start(self):
+        return None
+
+    def step(self, state, ctx):
+        value = self.expr.eval(ctx)
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+
+class Avg(Sum):
+    """``AVG(expr)``."""
+
+    def step_cost(self, model: CostModel) -> float:
+        return model.cpu_sum_step + model.cpu_count_step
+
+    def start(self):
+        return (None, 0)
+
+    def step(self, state, ctx):
+        total, n = state
+        value = self.expr.eval(ctx)
+        if value is None:
+            return state
+        return (value if total is None else total + value), n + 1
+
+    def finish(self, state, rows):
+        total, n = state
+        return None if n == 0 else total / n
+
+
+class Min(Aggregate):
+    """``MIN(expr)``."""
+
+    def __init__(self, expr: Expression):
+        self.expr = expr
+
+    def step_cost(self, model: CostModel) -> float:
+        return model.cpu_sum_step
+
+    def start(self):
+        return None
+
+    def step(self, state, ctx):
+        value = self.expr.eval(ctx)
+        if value is None:
+            return state
+        return value if state is None else min(state, value)
+
+
+class Max(Min):
+    """``MAX(expr)``."""
+
+    def step(self, state, ctx):
+        value = self.expr.eval(ctx)
+        if value is None:
+            return state
+        return value if state is None else max(state, value)
+
+
+class Executor:
+    """Runs aggregate scans against one database under a cost model."""
+
+    def __init__(self, db: Database, model: CostModel = PAPER_HARDWARE):
+        self.db = db
+        self.model = model
+
+    def run_grouped(self, table: Table, group_expr: "Expression",
+                    aggregates: Sequence[Aggregate],
+                    where: "Expression | None" = None, cold: bool = True,
+                    label: str = "") -> tuple[list[tuple], QueryMetrics]:
+        """Execute ``SELECT group, aggs FROM table GROUP BY group``.
+
+        One hash-aggregation pass over the clustered scan; rows are
+        returned sorted by group key.  This is the paper's
+        composite-spectra query shape ("group spectra by certain
+        parameters ... with a simple SQL query", Section 2.2).
+
+        Returns:
+            ``(rows, metrics)`` where each row is
+            ``(group_value, agg1, agg2, ...)``.
+        """
+        model = self.model
+        pool = self.db.pool
+        if cold:
+            pool.clear()
+        before = pool.counters.snapshot()
+
+        decode_cost = group_expr.static_cpu_cost(table, model)
+        seen = set(group_expr.columns())
+        for agg in aggregates:
+            if agg.expr is not None:
+                decode_cost += agg.expr.static_cpu_cost(table, model)
+                seen |= agg.expr.columns()
+        if where is not None:
+            decode_cost += where.static_cpu_cost(table, model)
+        # Hash probe per row on top of the aggregate steps.
+        step_cost = sum(a.step_cost(model) for a in aggregates) \
+            + model.cpu_count_step
+
+        ctx = _RowContext(table, pool)
+        groups: dict = {}
+        rows = 0
+        payload_bytes = 0
+        started = time.perf_counter()
+        for key, payload in table.tree.scan(pool):
+            rows += 1
+            payload_bytes += len(payload)
+            ctx.row = table.decode(key, payload)
+            if where is not None and not where.eval(ctx):
+                continue
+            group = group_expr.eval(ctx)
+            states = groups.get(group)
+            if states is None:
+                states = [a.start() for a in aggregates]
+                groups[group] = states
+            for i, agg in enumerate(aggregates):
+                states[i] = agg.step(states[i], ctx)
+        wall = time.perf_counter() - started
+
+        result = [
+            (group, *(a.finish(s, rows)
+                      for a, s in zip(aggregates, states)))
+            for group, states in sorted(
+                groups.items(),
+                key=lambda kv: (kv[0] is None, kv[0]))]
+
+        io = pool.counters.delta_since(before)
+        cpu = (rows * (model.cpu_row_base + decode_cost + step_cost)
+               + payload_bytes * model.cpu_per_record_byte
+               + ctx.stream_calls * model.cpu_stream_call
+               + ctx.stream_bytes * model.cpu_stream_byte)
+        io_seq, io_random = model.io_seconds_split(io)
+        metrics = QueryMetrics(
+            label=label, rows=rows, io_bytes=io.physical_bytes,
+            physical_reads=io.physical_reads,
+            sequential_reads=io.sequential_reads,
+            random_reads=io.random_reads,
+            stream_calls=ctx.stream_calls, udf_calls=ctx.udf_calls,
+            sim_io_seconds=io_seq + io_random,
+            sim_io_seq_seconds=io_seq,
+            sim_io_random_seconds=io_random,
+            sim_cpu_core_seconds=cpu,
+            sim_exec_seconds=model.exec_seconds(io_seq + io_random, cpu),
+            cores=model.cores, wall_seconds=wall)
+        return result, metrics
+
+    def run_index(self, table: Table, column: str,
+                  aggregates: Sequence[Aggregate], equals=None,
+                  lo=None, hi=None, cold: bool = True, label: str = ""
+                  ) -> tuple[tuple, QueryMetrics]:
+        """Execute aggregates over rows found through a secondary
+        index: an index seek / range scan plus one clustered key lookup
+        per qualifying row.
+
+        Args:
+            column: The indexed column.
+            equals: Equality value (exclusive with lo/hi).
+            lo / hi: Half-open value range ``[lo, hi)``.
+        """
+        index = table.index_on(column)
+        if index is None:
+            raise ValueError(f"no index on column {column!r}")
+        model = self.model
+        pool = self.db.pool
+        if cold:
+            pool.clear()
+        before = pool.counters.snapshot()
+        ctx = _RowContext(table, pool)
+        states = [a.start() for a in aggregates]
+        rows = 0
+        started = time.perf_counter()
+        if equals is not None:
+            pks = index.seek(equals, pool)
+        else:
+            pks = index.range(lo, hi, pool)
+        for pk in pks:
+            payload = table.tree.search(pk, pool)
+            if payload is None:
+                continue
+            rows += 1
+            ctx.row = table.decode(pk, payload)
+            for i, agg in enumerate(aggregates):
+                states[i] = agg.step(states[i], ctx)
+        wall = time.perf_counter() - started
+        values = tuple(a.finish(s, rows)
+                       for a, s in zip(aggregates, states))
+
+        io = pool.counters.delta_since(before)
+        decode_cost = sum(
+            a.expr.static_cpu_cost(table, model) for a in aggregates
+            if a.expr is not None)
+        cpu = (rows * (model.cpu_row_base + decode_cost
+                       + sum(a.step_cost(model) for a in aggregates))
+               + io.logical_reads * model.cpu_row_base
+               + ctx.stream_calls * model.cpu_stream_call
+               + ctx.stream_bytes * model.cpu_stream_byte)
+        io_seq, io_random = model.io_seconds_split(io)
+        metrics = QueryMetrics(
+            label=label, rows=rows, io_bytes=io.physical_bytes,
+            physical_reads=io.physical_reads,
+            sequential_reads=io.sequential_reads,
+            random_reads=io.random_reads,
+            stream_calls=ctx.stream_calls, udf_calls=ctx.udf_calls,
+            sim_io_seconds=io_seq + io_random,
+            sim_io_seq_seconds=io_seq,
+            sim_io_random_seconds=io_random,
+            sim_cpu_core_seconds=cpu,
+            sim_exec_seconds=model.exec_seconds(io_seq + io_random, cpu),
+            cores=model.cores, wall_seconds=wall)
+        return values, metrics
+
+    def run_point(self, table: Table, key: int,
+                  aggregates: Sequence[Aggregate], cold: bool = True,
+                  label: str = "") -> tuple[tuple, QueryMetrics]:
+        """Execute aggregates over the single row with the given
+        primary key — a clustered index *seek* instead of a scan.
+
+        The B-tree descent touches ``height`` pages instead of every
+        leaf; this is the plan the paper's narrow queries (one blob row
+        by z-index) rely on.
+        """
+        model = self.model
+        pool = self.db.pool
+        if cold:
+            pool.clear()
+        before = pool.counters.snapshot()
+        ctx = _RowContext(table, pool)
+        states = [a.start() for a in aggregates]
+        rows = 0
+        started = time.perf_counter()
+        payload = table.tree.search(int(key), pool)
+        if payload is not None:
+            rows = 1
+            ctx.row = table.decode(int(key), payload)
+            for i, agg in enumerate(aggregates):
+                states[i] = agg.step(states[i], ctx)
+        wall = time.perf_counter() - started
+        values = tuple(a.finish(s, rows)
+                       for a, s in zip(aggregates, states))
+
+        io = pool.counters.delta_since(before)
+        decode_cost = sum(
+            a.expr.static_cpu_cost(table, model) for a in aggregates
+            if a.expr is not None)
+        cpu = (rows * (model.cpu_row_base + decode_cost
+                       + sum(a.step_cost(model) for a in aggregates))
+               # Binary searches down the tree: ~one row-base of work
+               # per level touched.
+               + io.logical_reads * model.cpu_row_base
+               + ctx.stream_calls * model.cpu_stream_call
+               + ctx.stream_bytes * model.cpu_stream_byte)
+        io_seq, io_random = model.io_seconds_split(io)
+        metrics = QueryMetrics(
+            label=label, rows=rows, io_bytes=io.physical_bytes,
+            physical_reads=io.physical_reads,
+            sequential_reads=io.sequential_reads,
+            random_reads=io.random_reads,
+            stream_calls=ctx.stream_calls, udf_calls=ctx.udf_calls,
+            sim_io_seconds=io_seq + io_random,
+            sim_io_seq_seconds=io_seq,
+            sim_io_random_seconds=io_random,
+            sim_cpu_core_seconds=cpu,
+            sim_exec_seconds=model.exec_seconds(io_seq + io_random, cpu),
+            cores=model.cores, wall_seconds=wall)
+        return values, metrics
+
+    def run(self, table: Table, aggregates: Sequence[Aggregate],
+            where: Expression | None = None, cold: bool = True,
+            label: str = "") -> tuple[tuple, QueryMetrics]:
+        """Execute ``SELECT aggs FROM table [WHERE where]``.
+
+        Args:
+            table: Table to scan (clustered index scan, key order).
+            aggregates: Aggregate list; their final values are returned
+                in order.
+            where: Optional predicate expression (rows where it
+                evaluates falsy are skipped after being scanned).
+            cold: Clear the buffer pool first, like the paper's runs.
+            label: Name recorded in the metrics.
+
+        Returns:
+            ``(values, metrics)``.
+        """
+        model = self.model
+        pool = self.db.pool
+        if cold:
+            pool.clear()
+        before = pool.counters.snapshot()
+
+        # Per-row static CPU: scan base + referenced-column decodes +
+        # aggregate steps (+ predicate).  UDF calls inside expressions
+        # are part of static cost too (one call per row); data-dependent
+        # costs (blob streaming) are charged via the row context.
+        decode_cost = 0.0
+        seen: set[str] = set()
+        exprs = [a.expr for a in aggregates if a.expr is not None]
+        if where is not None:
+            exprs.append(where)
+        for expr in exprs:
+            decode_cost += expr.static_cpu_cost(table, model)
+            seen |= expr.columns()
+        step_cost = sum(a.step_cost(model) for a in aggregates)
+
+        ctx = _RowContext(table, pool)
+        states = [a.start() for a in aggregates]
+        rows = 0
+        payload_bytes = 0
+        started = time.perf_counter()
+        for key, payload in table.tree.scan(pool):
+            rows += 1
+            payload_bytes += len(payload)
+            ctx.row = table.decode(key, payload)
+            if where is not None and not where.eval(ctx):
+                continue
+            for i, agg in enumerate(aggregates):
+                states[i] = agg.step(states[i], ctx)
+        wall = time.perf_counter() - started
+
+        values = tuple(a.finish(s, rows) for a, s in zip(aggregates, states))
+
+        io = pool.counters.delta_since(before)
+        cpu_core_seconds = (
+            rows * (model.cpu_row_base + decode_cost + step_cost)
+            + payload_bytes * model.cpu_per_record_byte
+            + ctx.stream_calls * model.cpu_stream_call
+            + ctx.stream_bytes * model.cpu_stream_byte
+            + ctx.extra_cpu)
+        io_seq, io_random = model.io_seconds_split(io)
+        io_seconds = io_seq + io_random
+        metrics = QueryMetrics(
+            label=label,
+            rows=rows,
+            io_bytes=io.physical_bytes,
+            physical_reads=io.physical_reads,
+            sequential_reads=io.sequential_reads,
+            random_reads=io.random_reads,
+            stream_calls=ctx.stream_calls,
+            udf_calls=ctx.udf_calls,
+            sim_io_seconds=io_seconds,
+            sim_io_seq_seconds=io_seq,
+            sim_io_random_seconds=io_random,
+            sim_cpu_core_seconds=cpu_core_seconds,
+            sim_exec_seconds=model.exec_seconds(io_seconds,
+                                                cpu_core_seconds),
+            cores=model.cores,
+            wall_seconds=wall,
+        )
+        return values, metrics

@@ -1,0 +1,218 @@
+"""Slotted 8 kB pages and the page file that holds them.
+
+A :class:`Page` is a fixed-size byte buffer with a slot array growing
+backwards from the end, exactly like a SQL Server data page: records are
+appended to the body and located through 2-byte slot entries, so records
+can be variable length and pages report precisely how full they are.
+
+The :class:`PageFile` is the flat page address space ("the database
+file"); every page is reachable by id.  All access goes through the
+buffer pool (:mod:`repro.engine.bufferpool`) so reads are counted and
+charged to the IO model.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from .constants import (
+    PAGE_BODY_SIZE,
+    PAGE_HEADER_SIZE,
+    PAGE_SIZE,
+    SLOT_SIZE,
+)
+
+__all__ = ["Page", "PageFile", "PageFullError"]
+
+_HEADER_STRUCT = struct.Struct("<IBBHiiH")  # page_id, kind, level,
+# slot_count, prev_page, next_page, free_offset
+
+
+class PageFullError(Exception):
+    """Raised when a record does not fit in the page's free space."""
+
+
+class Page:
+    """One fixed-size slotted page.
+
+    Attributes:
+        page_id: Address of this page in the page file.
+        kind: One of the ``PAGE_*`` tags from
+            :mod:`repro.engine.constants`.
+        level: B-tree level (0 for leaves and plain data pages).
+        prev_page / next_page: Sibling links for leaf-level scans
+            (-1 when absent).
+    """
+
+    __slots__ = ("page_id", "kind", "level", "prev_page", "next_page",
+                 "_body", "_slots")
+
+    def __init__(self, page_id: int, kind: int, level: int = 0):
+        self.page_id = page_id
+        self.kind = kind
+        self.level = level
+        self.prev_page = -1
+        self.next_page = -1
+        self._body = bytearray()
+        self._slots: list[tuple[int, int]] = []  # (offset, length)
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed, header and slot array included."""
+        return (PAGE_HEADER_SIZE + len(self._body)
+                + SLOT_SIZE * len(self._slots))
+
+    @property
+    def free_bytes(self) -> int:
+        return PAGE_SIZE - self.used_bytes
+
+    def fits(self, record_size: int) -> bool:
+        """Whether a record of ``record_size`` bytes fits (with its
+        slot entry)."""
+        return record_size + SLOT_SIZE <= self.free_bytes
+
+    # -- records ------------------------------------------------------------
+
+    def add_record(self, record: bytes) -> int:
+        """Append a record; returns its slot number.
+
+        Raises:
+            PageFullError: if the record does not fit.
+        """
+        if len(record) > PAGE_BODY_SIZE:
+            raise PageFullError(
+                f"record of {len(record)} bytes can never fit a page "
+                f"(body is {PAGE_BODY_SIZE} bytes)")
+        if not self.fits(len(record)):
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit in "
+                f"{self.free_bytes} free bytes")
+        offset = len(self._body)
+        self._body += record
+        self._slots.append((offset, len(record)))
+        return len(self._slots) - 1
+
+    def insert_record(self, slot: int, record: bytes) -> None:
+        """Insert a record at a slot position, shifting later slots
+        (B-tree pages keep records in key order)."""
+        if not self.fits(len(record)):
+            raise PageFullError(
+                f"record of {len(record)} bytes does not fit in "
+                f"{self.free_bytes} free bytes")
+        offset = len(self._body)
+        self._body += record
+        self._slots.insert(slot, (offset, len(record)))
+
+    def get_record(self, slot: int) -> bytes:
+        """Read the record in one slot."""
+        offset, length = self._slots[slot]
+        return bytes(self._body[offset:offset + length])
+
+    def replace_record(self, slot: int, record: bytes) -> None:
+        """Replace the record in a slot (used by B-tree maintenance).
+
+        The old bytes are left as garbage in the body, like a real
+        slotted page before compaction; compaction happens implicitly on
+        :meth:`split_records`.
+        """
+        growth = len(record)
+        if growth + SLOT_SIZE > self.free_bytes + 0:
+            raise PageFullError("replacement record does not fit")
+        offset = len(self._body)
+        self._body += record
+        self._slots[slot] = (offset, len(record))
+
+    def delete_record(self, slot: int) -> None:
+        """Remove a slot (bytes become garbage until compaction)."""
+        del self._slots[slot]
+
+    def records(self) -> Iterator[bytes]:
+        """Iterate all records in slot order."""
+        for offset, length in self._slots:
+            yield bytes(self._body[offset:offset + length])
+
+    def take_all_records(self) -> list[bytes]:
+        """Return all records and clear the page (used when splitting)."""
+        records = [self.get_record(i) for i in range(len(self._slots))]
+        self._body = bytearray()
+        self._slots = []
+        return records
+
+    def compact(self) -> None:
+        """Rewrite the body dropping garbage left by replace/delete."""
+        records = [self.get_record(i) for i in range(len(self._slots))]
+        self._body = bytearray()
+        self._slots = []
+        for record in records:
+            self.add_record(record)
+
+    def header_bytes(self) -> bytes:
+        """Serialize the page header (for size accounting and tests)."""
+        return _HEADER_STRUCT.pack(
+            self.page_id, self.kind, self.level, len(self._slots),
+            self.prev_page, self.next_page, len(self._body))
+
+
+class PageFile:
+    """The flat page address space of one database.
+
+    Pages are allocated from per-tag *extents*
+    (:data:`~repro.engine.constants.EXTENT_PAGES` contiguous pages per
+    extent): all pages carrying the same allocation tag — one table's
+    B-tree, one blob store — form long contiguous runs even when several
+    objects are loaded concurrently, so clustered scans read
+    sequentially.  ``page_count * PAGE_SIZE`` is the database size,
+    unused extent slack included (as in a real data file).
+    """
+
+    def __init__(self):
+        self._pages: list[Page | None] = []
+        self._extents: dict[str | None, list[int]] = {}
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def allocated_page_count(self) -> int:
+        """Pages actually holding data (extent slack excluded)."""
+        return sum(1 for p in self._pages if p is not None)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    def allocate(self, kind: int, level: int = 0,
+                 tag: str | None = None) -> Page:
+        """Allocate a fresh page of the given kind within ``tag``'s
+        current extent (a new extent is opened when it fills)."""
+        free = self._extents.get(tag)
+        if not free:
+            start = len(self._pages)
+            from .constants import EXTENT_PAGES
+            self._pages.extend([None] * EXTENT_PAGES)
+            # Keep ascending order so pages of one tag are read forward.
+            free = list(range(start + EXTENT_PAGES - 1, start - 1, -1))
+            self._extents[tag] = free
+        page_id = free.pop()
+        page = Page(page_id, kind, level)
+        self._pages[page_id] = page
+        return page
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page by id (no IO accounting — use the buffer pool)."""
+        page = self._pages[page_id]
+        if page is None:
+            raise IndexError(f"page {page_id} is unallocated extent slack")
+        return page
+
+    def pages_of_kind(self, kind: int) -> Iterator[Page]:
+        """Iterate pages with a given kind tag."""
+        return (p for p in self._pages if p is not None and p.kind == kind)

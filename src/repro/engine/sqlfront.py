@@ -1,0 +1,824 @@
+"""A T-SQL front-end for the storage engine.
+
+Parses the slice of T-SQL the paper's evaluation uses — aggregate
+selects over one table with optional ``WITH (NOLOCK)`` and ``WHERE`` —
+and compiles it onto the executor, so the five Table 1 queries run
+*verbatim*::
+
+    from repro.engine import Database
+    from repro.engine.sqlfront import SqlSession
+
+    session = SqlSession(db)
+    (n,), metrics = session.query(
+        "SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)")
+    (s,), metrics = session.query(
+        "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)")
+
+Grammar::
+
+    stmt    := query | create | insert | delete
+    query   := SELECT item (',' item)* FROM name [WITH '(' NOLOCK ')']
+               [WHERE pred] [GROUP BY expr]
+    item    := agg | expr            (plain exprs only with GROUP BY)
+    create  := CREATE TABLE name '(' col type [PRIMARY KEY] ... ')'
+    insert  := INSERT INTO name VALUES '(' value, ... ')' [, ...]
+    delete  := DELETE FROM name [WHERE pred]
+    agg     := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' expr ')'
+    expr    := term (('+'|'-') term)*
+    term    := factor (('*'|'/') factor)*
+    factor  := number | string | column | func | '(' expr ')' | '-' factor
+    func    := name '.' name '(' [expr (',' expr)*] ')'
+    pred    := conj (OR conj)* ; conj := unit (AND unit)*
+    unit    := NOT unit | expr cmp expr | '(' pred ')'
+    cmp     := = | <> | != | < | <= | > | >=
+
+Schema-qualified function calls (``FloatArray.Item_1``) resolve against
+the generated T-SQL namespaces; additional scalar functions (the
+paper's ``dbo.EmptyFunction``) can be registered per session.  UDF
+calls are charged the CLR call cost from the cost model; ``Item_*`` and
+other array functions get the "item" body cost, registered functions
+declare their own.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from ..tsql.namespaces import NAMESPACES
+from .costmodel import CostModel
+from .executor import (
+    Avg,
+    Col,
+    Const,
+    Count,
+    Database,
+    Executor,
+    Expression,
+    Max,
+    Min,
+    ReadBlob,
+    ScalarUdf,
+    Sum,
+)
+from .metrics import QueryMetrics
+from .table import Table
+
+__all__ = ["SqlSession", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(Exception):
+    """Raised for SQL the front-end cannot parse or resolve."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|[=<>().,*+\-/])
+  | (?P<string>'[^']*')
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "WITH", "NOLOCK", "AND", "OR",
+             "NOT", "COUNT", "SUM", "AVG", "MIN", "MAX", "AS", "NULL",
+             "IS", "GROUP", "BY", "CREATE", "TABLE", "INSERT", "INTO",
+             "VALUES", "PRIMARY", "KEY", "DELETE"}
+
+
+def _tokenize(text: str):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SqlSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = m.lastgroup
+        if kind != "ws":
+            value = m.group()
+            if kind == "name" and value.upper() in _KEYWORDS:
+                tokens.append(("kw", value.upper()))
+            else:
+                tokens.append((kind, value))
+        pos = m.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _BinOp(Expression):
+    """Arithmetic/comparison/boolean operator over two expressions."""
+
+    _FUNCS: dict[str, Callable] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "AND": lambda a, b: bool(a) and bool(b),
+        "OR": lambda a, b: bool(a) or bool(b),
+    }
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self):
+        return self.left.columns() | self.right.columns()
+
+    def static_cpu_cost(self, table: Table, model: CostModel) -> float:
+        # A native operator costs about one aggregate step's worth of
+        # per-row work on top of its operands.
+        return (self.left.static_cpu_cost(table, model)
+                + self.right.static_cpu_cost(table, model)
+                + model.cpu_count_step)
+
+    def eval(self, ctx):
+        left = self.left.eval(ctx)
+        right = self.right.eval(ctx)
+        if left is None or right is None:
+            return None  # SQL three-valued logic, collapsed to NULL
+        return self._FUNCS[self.op](left, right)
+
+
+class _Not(Expression):
+    def __init__(self, inner: Expression):
+        self.inner = inner
+
+    def columns(self):
+        return self.inner.columns()
+
+    def static_cpu_cost(self, table, model):
+        return self.inner.static_cpu_cost(table, model)
+
+    def eval(self, ctx):
+        value = self.inner.eval(ctx)
+        return None if value is None else not bool(value)
+
+
+class _IsNull(Expression):
+    def __init__(self, inner: Expression, negate: bool):
+        self.inner = inner
+        self.negate = negate
+
+    def columns(self):
+        return self.inner.columns()
+
+    def static_cpu_cost(self, table, model):
+        return self.inner.static_cpu_cost(table, model)
+
+    def eval(self, ctx):
+        is_null = self.inner.eval(ctx) is None
+        return not is_null if self.negate else is_null
+
+
+class _EvalContext:
+    """Minimal row context for evaluating predicates outside the
+    executor (the DELETE path)."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.row: tuple = ()
+        self.pool = None
+        self.udf_calls = 0
+        self.stream_calls = 0
+        self.stream_bytes = 0
+        self.extra_cpu = 0.0
+
+
+class SqlSession:
+    """Parses and executes T-SQL aggregate queries against a database.
+
+    Args:
+        db: The database whose tables the queries reference.
+        model: Cost model (defaults to the paper-calibrated one).
+    """
+
+    def __init__(self, db: Database, model: CostModel | None = None):
+        self.db = db
+        self.executor = Executor(db, model) if model else Executor(db)
+        self._functions: dict[str, tuple[Callable, object]] = {}
+        # The paper's cross-check UDF ships registered.
+        self.register_function("dbo.EmptyFunction",
+                               lambda *args: 0.0, body_cost="empty")
+
+    def register_function(self, qualified_name: str, func: Callable,
+                          body_cost="item") -> None:
+        """Register a scalar UDF callable as ``Schema.Name(...)``.
+
+        ``body_cost`` is the managed-body cost class charged per call
+        ("item", "empty", or seconds as float).
+        """
+        self._functions[qualified_name.lower()] = (func, body_cost)
+
+    # -- public API --------------------------------------------------------
+
+    def execute(self, sql: str, cold: bool = True):
+        """Execute any supported statement.
+
+        ``SELECT`` returns ``(values, metrics)`` (or ``(rows, metrics)``
+        with GROUP BY); ``CREATE TABLE`` returns the new
+        :class:`~repro.engine.table.Table`; ``INSERT`` returns the
+        number of rows inserted.
+        """
+        tokens = _tokenize(sql)
+        head = tokens[0]
+        if head == ("kw", "SELECT"):
+            return self.query(sql, cold=cold)
+        if head == ("kw", "CREATE"):
+            return _Ddl(self, tokens).create_table()
+        if head == ("kw", "INSERT"):
+            return _Ddl(self, tokens).insert()
+        if head == ("kw", "DELETE"):
+            return self._delete(tokens)
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {head[1]!r}")
+
+    def _delete(self, tokens) -> int:
+        """``DELETE FROM t [WHERE pred]``; returns rows deleted."""
+        parser = _Parser(self, tokens)
+        parser._expect("kw", "DELETE")
+        parser._expect("kw", "FROM")
+        name_tok = parser._next()
+        if name_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name")
+        table = self._resolve_table(name_tok[1])
+        parser.table = table
+        where = None
+        if parser._peek() == ("kw", "WHERE"):
+            parser._next()
+            where = parser._predicate()
+        if parser._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {parser._peek()[1]!r}")
+        if where is None:
+            keys = [row[0] for row in table.scan()]
+        else:
+            key = self._seek_key(table, where)
+            if key is not None:
+                keys = [key] if table.get(key) is not None else []
+            else:
+                ctx = _EvalContext(table)
+                keys = []
+                for row in table.scan():
+                    ctx.row = row
+                    if where.eval(ctx):
+                        keys.append(row[0])
+        for key in keys:
+            table.delete(key)
+        return len(keys)
+
+    def query(self, sql: str, cold: bool = True):
+        """Execute one aggregate SELECT; returns (values, metrics).
+
+        A ``WHERE <pk> = <constant>`` predicate is planned as a
+        clustered index *seek* (B-tree descent) instead of a full scan;
+        ``GROUP BY`` runs the hash-aggregation plan and returns
+        ``(rows, metrics)`` with one ``(group, agg...)`` row per group.
+        """
+        parser = _Parser(self, _tokenize(sql))
+        table, items, where, group = parser.parse()
+        label = sql.strip()
+        if group is not None:
+            group_expr, group_text = group
+            plain = [it for it in items if it[0] == "expr"]
+            aggs = [it[1] for it in items if it[0] == "agg"]
+            if len(plain) != 1 or items[0][0] != "expr":
+                raise SqlSyntaxError(
+                    "GROUP BY queries must select the group expression "
+                    "first, then aggregates")
+            if plain[0][2] != group_text:
+                raise SqlSyntaxError(
+                    f"selected expression {plain[0][2]!r} does not "
+                    f"match GROUP BY {group_text!r}")
+            if not aggs:
+                raise SqlSyntaxError(
+                    "GROUP BY queries need at least one aggregate")
+            return self.executor.run_grouped(
+                table, group_expr, aggs, where=where, cold=cold,
+                label=label)
+        aggregates = []
+        for item in items:
+            if item[0] != "agg":
+                raise SqlSyntaxError(
+                    "non-aggregate select items need a GROUP BY")
+            aggregates.append(item[1])
+        key = self._seek_key(table, where)
+        if key is not None:
+            return self.executor.run_point(table, key, aggregates,
+                                           cold=cold, label=label)
+        plan = self._index_plan(table, where)
+        if plan is not None:
+            column, equals, lo, hi = plan
+            return self.executor.run_index(
+                table, column, aggregates, equals=equals, lo=lo, hi=hi,
+                cold=cold, label=label)
+        return self.executor.run(table, aggregates, where=where,
+                                 cold=cold, label=label)
+
+    def explain(self, sql: str) -> str:
+        """Describe the plan a SELECT would use without executing it.
+
+        Returns one of ``clustered index seek``, ``index seek``,
+        ``index range scan``, ``hash aggregate (clustered scan)``, or
+        ``clustered index scan``, with the table and predicate column.
+        """
+        parser = _Parser(self, _tokenize(sql))
+        table, _items, where, group = parser.parse()
+        if group is not None:
+            return (f"hash aggregate (clustered scan) on {table.name} "
+                    f"grouped by {group[1]}")
+        key = self._seek_key(table, where)
+        if key is not None:
+            return f"clustered index seek on {table.name} (id = {key})"
+        plan = self._index_plan(table, where)
+        if plan is not None:
+            column, equals, lo, hi = plan
+            if equals is not None:
+                return (f"index seek on {table.name}.{column} "
+                        f"(= {equals})")
+            return (f"index range scan on {table.name}.{column} "
+                    f"([{lo}, {hi}))")
+        suffix = " with residual predicate" if where is not None else ""
+        return f"clustered index scan on {table.name}{suffix}"
+
+    @staticmethod
+    def _cmp_parts(node):
+        """Decompose ``col <op> const`` (either side order) into
+        ``(column, op, const)``; None if the node is not that shape."""
+        if not isinstance(node, _BinOp) or node.op not in (
+                "=", "<", "<=", ">", ">="):
+            return None
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+        if isinstance(node.left, Col) and isinstance(node.right, Const):
+            return node.left.name, node.op, node.right.value
+        if isinstance(node.left, Const) and isinstance(node.right, Col):
+            return node.right.name, flip[node.op], node.left.value
+        return None
+
+    def _index_plan(self, table: Table, where):
+        """Choose an index seek/range plan for simple predicates on an
+        indexed column: ``col = c`` or ``col >= a AND col < b``."""
+        single = self._cmp_parts(where)
+        if single is not None:
+            column, op, value = single
+            if op == "=" and table.index_on(column) is not None:
+                return column, value, None, None
+            return None
+        if isinstance(where, _BinOp) and where.op == "AND":
+            left = self._cmp_parts(where.left)
+            right = self._cmp_parts(where.right)
+            if left and right and left[0] == right[0] and \
+                    table.index_on(left[0]) is not None:
+                lo = hi = None
+                for _col, op, value in (left, right):
+                    if op == ">=":
+                        lo = value
+                    elif op == "<":
+                        hi = value
+                    else:
+                        return None
+                if lo is not None and hi is not None:
+                    return left[0], None, lo, hi
+        return None
+
+    @staticmethod
+    def _seek_key(table: Table, where) -> int | None:
+        """Extract the key of a ``pk = const`` predicate, if that is
+        the whole WHERE clause."""
+        if not isinstance(where, _BinOp) or where.op != "=":
+            return None
+        pk = table.columns[0].name
+        sides = (where.left, where.right)
+        for col, const in (sides, sides[::-1]):
+            if isinstance(col, Col) and col.name == pk and \
+                    isinstance(const, Const) and \
+                    isinstance(const.value, (int, float)):
+                return int(const.value)
+        return None
+
+    # -- resolution helpers ---------------------------------------------------
+
+    def _resolve_table(self, name: str) -> Table:
+        for table_name, table in self.db.tables.items():
+            if table_name.lower() == name.lower():
+                return table
+        raise SqlSyntaxError(f"unknown table {name!r}")
+
+    def _resolve_function(self, schema: str, func: str
+                          ) -> tuple[Callable, object]:
+        qualified = f"{schema}.{func}".lower()
+        if qualified in self._functions:
+            return self._functions[qualified]
+        for ns_name, ns in NAMESPACES.items():
+            if ns_name.lower() == schema.lower():
+                method = getattr(ns, func, None)
+                if method is None:
+                    for attr in dir(ns):
+                        if attr.lower() == func.lower():
+                            method = getattr(ns, attr)
+                            break
+                if method is None:
+                    raise SqlSyntaxError(
+                        f"schema {ns_name} has no function {func!r}")
+                return method, "item"
+        raise SqlSyntaxError(f"unknown function {schema}.{func}")
+
+
+class _Parser:
+    """Recursive-descent parser producing executor plans."""
+
+    def __init__(self, session: SqlSession, tokens):
+        self.session = session
+        self.tokens = tokens
+        self.i = 0
+        self.table: Table | None = None
+
+    def _peek(self):
+        return self.tokens[self.i]
+
+    def _next(self):
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def _expect(self, kind, value=None):
+        tok = self._next()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            raise SqlSyntaxError(
+                f"expected {value or kind}, got {tok[1]!r}")
+        return tok
+
+    def parse(self):
+        self._expect("kw", "SELECT")
+        agg_tokens_start = self.i
+        # The FROM table must be known before expressions referencing
+        # columns are built; scan ahead for it first.
+        depth = 0
+        j = self.i
+        while self.tokens[j][0] != "eof":
+            kind, value = self.tokens[j]
+            if kind == "op" and value == "(":
+                depth += 1
+            elif kind == "op" and value == ")":
+                depth -= 1
+            elif kind == "kw" and value == "FROM" and depth == 0:
+                break
+            j += 1
+        if self.tokens[j][0] == "eof":
+            raise SqlSyntaxError("missing FROM clause")
+        table_tok = self.tokens[j + 1]
+        if table_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name after FROM")
+        self.table = self.session._resolve_table(table_tok[1])
+
+        items = [self._select_item()]
+        while self._peek() == ("op", ","):
+            self._next()
+            items.append(self._select_item())
+        self._expect("kw", "FROM")
+        self._next()  # table name, already resolved
+        if self._peek() == ("kw", "WITH"):
+            self._next()
+            self._expect("op", "(")
+            self._expect("kw", "NOLOCK")
+            self._expect("op", ")")
+        where = None
+        if self._peek() == ("kw", "WHERE"):
+            self._next()
+            where = self._predicate()
+        group = None
+        if self._peek() == ("kw", "GROUP"):
+            self._next()
+            self._expect("kw", "BY")
+            start = self.i
+            expr = self._expr()
+            group = (expr, self._span_text(start, self.i))
+        if self._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._peek()[1]!r}")
+        return self.table, items, where, group
+
+    def _span_text(self, start: int, stop: int) -> str:
+        """Normalized text of a token span (for GROUP BY matching)."""
+        return " ".join(t[1] for t in self.tokens[start:stop])
+
+    def _select_item(self):
+        """One select-list item: an aggregate or a plain expression
+        (the latter only legal with GROUP BY)."""
+        tok = self._peek()
+        if tok[0] == "kw" and tok[1] in ("COUNT", "SUM", "AVG", "MIN",
+                                         "MAX"):
+            return ("agg", self._aggregate())
+        start = self.i
+        expr = self._expr()
+        return ("expr", expr, self._span_text(start, self.i))
+
+    # -- aggregates -----------------------------------------------------------
+
+    def _aggregate(self):
+        tok = self._next()
+        if tok[0] != "kw" or tok[1] not in ("COUNT", "SUM", "AVG",
+                                            "MIN", "MAX"):
+            raise SqlSyntaxError(
+                f"expected an aggregate function, got {tok[1]!r}")
+        self._expect("op", "(")
+        if tok[1] == "COUNT":
+            self._expect("op", "*")
+            self._expect("op", ")")
+            return Count()
+        expr = self._expr()
+        self._expect("op", ")")
+        return {"SUM": Sum, "AVG": Avg, "MIN": Min, "MAX": Max}[tok[1]](
+            expr)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self) -> Expression:
+        node = self._term()
+        while self._peek() in (("op", "+"), ("op", "-")):
+            op = self._next()[1]
+            node = _BinOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Expression:
+        node = self._factor()
+        while self._peek() in (("op", "*"), ("op", "/")):
+            op = self._next()[1]
+            node = _BinOp(op, node, self._factor())
+        return node
+
+    def _factor(self) -> Expression:
+        kind, value = self._next()
+        if kind == "number":
+            return Const(float(value) if "." in value or "e" in
+                         value.lower() else int(value))
+        if kind == "string":
+            return Const(value[1:-1])
+        if kind == "kw" and value == "NULL":
+            return Const(None)
+        if kind == "op" and value == "-":
+            return _BinOp("-", Const(0), self._factor())
+        if kind == "op" and value == "(":
+            node = self._expr()
+            self._expect("op", ")")
+            return node
+        if kind == "name":
+            if self._peek() == ("op", "."):
+                self._next()
+                func_tok = self._next()
+                # Function names may collide with SQL keywords
+                # (FloatArray.Sum, .Min, .Max, .Count ...).
+                if func_tok[0] not in ("name", "kw"):
+                    raise SqlSyntaxError("expected a function name "
+                                         "after '.'")
+                func_name = func_tok[1]
+                if func_tok[0] == "kw":
+                    func_name = func_name.capitalize()
+                return self._call(value, func_name)
+            return self._column(value)
+        raise SqlSyntaxError(f"unexpected token {value!r}")
+
+    def _column(self, name: str) -> Expression:
+        table = self.table
+        try:
+            index = table.column_index(name)
+        except Exception:
+            # Case-insensitive fallback, like T-SQL.
+            matches = [c.name for c in table.columns
+                       if c.name.lower() == name.lower()]
+            if not matches:
+                raise SqlSyntaxError(
+                    f"table {table.name} has no column {name!r}")
+            name = matches[0]
+            index = table.column_index(name)
+        col = Col(name)
+        if table.columns[index].type == "varbinary_max":
+            return ReadBlob(col)
+        return col
+
+    def _call(self, schema: str, func: str) -> Expression:
+        self._expect("op", "(")
+        args = []
+        if self._peek() != ("op", ")"):
+            args.append(self._expr())
+            while self._peek() == ("op", ","):
+                self._next()
+                args.append(self._expr())
+        self._expect("op", ")")
+        callable_, body_cost = self.session._resolve_function(schema,
+                                                              func)
+        return ScalarUdf(callable_, *args, body_cost=body_cost,
+                         name=f"{schema}.{func}")
+
+    # -- predicates ---------------------------------------------------------------
+
+    def _predicate(self) -> Expression:
+        node = self._conjunction()
+        while self._peek() == ("kw", "OR"):
+            self._next()
+            node = _BinOp("OR", node, self._conjunction())
+        return node
+
+    def _conjunction(self) -> Expression:
+        node = self._pred_unit()
+        while self._peek() == ("kw", "AND"):
+            self._next()
+            node = _BinOp("AND", node, self._pred_unit())
+        return node
+
+    def _pred_unit(self) -> Expression:
+        if self._peek() == ("kw", "NOT"):
+            self._next()
+            return _Not(self._pred_unit())
+        # '(' could open a nested predicate or a scalar expression; try
+        # the predicate reading first and backtrack if it fails or the
+        # parenthesized unit turns out to be an operand.
+        if self._peek() == ("op", "("):
+            save = self.i
+            try:
+                self._next()
+                node = self._predicate()
+                self._expect("op", ")")
+                follow = self._peek()
+                if not (follow[0] == "op"
+                        and follow[1] in ("+", "-", "*", "/", "=", "<>",
+                                          "!=", "<", "<=", ">", ">=")):
+                    return node
+            except SqlSyntaxError:
+                pass
+            self.i = save
+        left = self._expr()
+        if self._peek() == ("kw", "IS"):
+            self._next()
+            negate = False
+            if self._peek() == ("kw", "NOT"):
+                self._next()
+                negate = True
+            self._expect("kw", "NULL")
+            return _IsNull(left, negate)
+        kind, value = self._peek()
+        if kind == "op" and value in ("=", "<>", "!=", "<", "<=", ">",
+                                      ">="):
+            self._next()
+            right = self._expr()
+            return _BinOp(value, left, right)
+        return left
+
+
+class _Ddl:
+    """Parser/executor for CREATE TABLE and INSERT statements."""
+
+    _TYPES = {"BIGINT": "bigint", "INT": "int", "SMALLINT": "smallint",
+              "TINYINT": "tinyint", "FLOAT": "float", "REAL": "real"}
+
+    def __init__(self, session: SqlSession, tokens):
+        self.session = session
+        self.tokens = tokens
+        self.i = 0
+
+    def _peek(self):
+        return self.tokens[self.i]
+
+    def _next(self):
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def _expect(self, kind, value=None):
+        tok = self._next()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            raise SqlSyntaxError(
+                f"expected {value or kind}, got {tok[1]!r}")
+        return tok
+
+    def create_table(self) -> Table:
+        """``CREATE TABLE name (col TYPE [PRIMARY KEY], ...)``.
+
+        Supported types: BIGINT, INT, SMALLINT, TINYINT, FLOAT, REAL,
+        VARBINARY(n), VARBINARY(MAX).  The first column is the
+        clustered primary key (a trailing PRIMARY KEY marker on it is
+        accepted and ignored, any other placement is an error).
+        """
+        from .table import Column
+
+        self._expect("kw", "CREATE")
+        self._expect("kw", "TABLE")
+        name_tok = self._next()
+        if name_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name")
+        self._expect("op", "(")
+        columns = []
+        while True:
+            col_tok = self._next()
+            if col_tok[0] != "name":
+                raise SqlSyntaxError("expected a column name")
+            columns.append(self._column_def(col_tok[1],
+                                            first=not columns))
+            tok = self._next()
+            if tok == ("op", ")"):
+                break
+            if tok != ("op", ","):
+                raise SqlSyntaxError(
+                    f"expected ',' or ')', got {tok[1]!r}")
+        if self._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._peek()[1]!r}")
+        return self.session.db.create_table(name_tok[1], columns)
+
+    def _column_def(self, col_name: str, first: bool):
+        from .table import Column
+
+        type_tok = self._next()
+        type_name = type_tok[1].upper()
+        if type_name in self._TYPES:
+            column = Column(col_name, self._TYPES[type_name])
+        elif type_name == "VARBINARY":
+            self._expect("op", "(")
+            size_tok = self._next()
+            if size_tok[0] == "number":
+                column = Column(col_name, "varbinary",
+                                cap=int(size_tok[1]))
+            elif size_tok[1].upper() == "MAX":
+                column = Column(col_name, "varbinary_max")
+            else:
+                raise SqlSyntaxError(
+                    "VARBINARY needs a size or MAX")
+            self._expect("op", ")")
+        else:
+            raise SqlSyntaxError(f"unknown column type {type_tok[1]!r}")
+        if self._peek() == ("kw", "PRIMARY"):
+            self._next()
+            self._expect("kw", "KEY")
+            if not first:
+                raise SqlSyntaxError(
+                    "only the first column can be the primary key")
+        return column
+
+    def insert(self) -> int:
+        """``INSERT INTO name VALUES (v, ...), (v, ...), ...``.
+
+        Values are literals, NULL, or schema-qualified function calls
+        over literals (``FloatArray.Vector_3(1, 2, 3)``).
+        """
+        self._expect("kw", "INSERT")
+        self._expect("kw", "INTO")
+        name_tok = self._next()
+        if name_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name")
+        table = self.session._resolve_table(name_tok[1])
+        self._expect("kw", "VALUES")
+        inserted = 0
+        while True:
+            self._expect("op", "(")
+            values = [self._value()]
+            while self._peek() == ("op", ","):
+                self._next()
+                values.append(self._value())
+            self._expect("op", ")")
+            table.insert(tuple(values))
+            inserted += 1
+            if self._peek() == ("op", ","):
+                self._next()
+                continue
+            break
+        if self._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._peek()[1]!r}")
+        return inserted
+
+    def _value(self):
+        kind, text = self._next()
+        if kind == "number":
+            return float(text) if "." in text or "e" in text.lower() \
+                else int(text)
+        if kind == "string":
+            return text[1:-1].encode()
+        if kind == "kw" and text == "NULL":
+            return None
+        if kind == "op" and text == "-":
+            inner = self._value()
+            return -inner
+        if kind == "name" and self._peek() == ("op", "."):
+            self._next()
+            func_tok = self._next()
+            func_name = (func_tok[1].capitalize()
+                         if func_tok[0] == "kw" else func_tok[1])
+            self._expect("op", "(")
+            args = []
+            if self._peek() != ("op", ")"):
+                args.append(self._value())
+                while self._peek() == ("op", ","):
+                    self._next()
+                    args.append(self._value())
+            self._expect("op", ")")
+            callable_, _cost = self.session._resolve_function(
+                text, func_name)
+            return callable_(*args)
+        raise SqlSyntaxError(f"unexpected value token {text!r}")

@@ -1,0 +1,41 @@
+"""Math library support: the LAPACK/FFTW wrappers of paper Sections 3.6
+and 5.3 plus the fitting routines the spectrum use case requires.
+
+* :mod:`repro.mathlib.lapack` — SVD (``gesvd``), least squares, masked
+  least squares, matrix products.
+* :mod:`repro.mathlib.fftw` — forward/inverse DFT with FFTW's
+  aligned-buffer call discipline, power spectra.
+* :mod:`repro.mathlib.nnls` — Lawson-Hanson non-negative least squares
+  (from scratch).
+* :mod:`repro.mathlib.pca` — the correlation-matrix + SVD PCA pipeline.
+"""
+
+from .fftw import ALIGNMENT, aligned_copy, fft_forward, fft_inverse, \
+    power_spectrum
+from .lapack import (
+    gesvd,
+    masked_lstsq,
+    matmul,
+    solve_lstsq,
+    svd_values,
+    transpose,
+)
+from .nnls import nnls, nnls_arrays
+from .pca import PCA
+
+__all__ = [
+    "gesvd",
+    "svd_values",
+    "solve_lstsq",
+    "masked_lstsq",
+    "matmul",
+    "transpose",
+    "fft_forward",
+    "fft_inverse",
+    "power_spectrum",
+    "aligned_copy",
+    "ALIGNMENT",
+    "nnls",
+    "nnls_arrays",
+    "PCA",
+]

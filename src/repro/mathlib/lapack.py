@@ -1,0 +1,121 @@
+"""LAPACK-style linear algebra over SQL arrays.
+
+The paper wraps "LAPACK's singular value decomposition driver function
+``*gesvd``" so it can run inside the server (Section 3.6), and the
+spectrum use case (Section 2.2) additionally needs plain and *masked*
+least squares ("because of the flags that mask out wrong measurements
+bin by bin, dot product cannot be used for expanding spectra on a basis
+but least squares fitting is necessary").
+
+Arrays are stored column-major (the FORTRAN convention) precisely so
+these calls marshal by reference with no data reordering; here the numpy
+arrays produced by :meth:`SqlArray.to_numpy` are F-contiguous for the
+same reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ShapeError
+from ..core.sqlarray import SqlArray
+
+__all__ = ["gesvd", "svd_values", "solve_lstsq", "masked_lstsq",
+           "matmul", "transpose"]
+
+
+def _as_matrix(a: SqlArray) -> np.ndarray:
+    if a.rank != 2:
+        raise ShapeError(f"expected a matrix, got rank {a.rank}")
+    return a.to_numpy().astype("f8" if not a.dtype.is_complex else "c16",
+                               copy=False)
+
+
+def gesvd(a: SqlArray, full_matrices: bool = False
+          ) -> tuple[SqlArray, SqlArray, SqlArray]:
+    """Singular value decomposition, LAPACK ``*gesvd`` semantics.
+
+    Returns ``(U, S, VT)`` with ``A = U @ diag(S) @ VT``; ``S`` is a
+    vector of singular values in descending order.
+    """
+    m = _as_matrix(a)
+    if m.size == 0:
+        raise ShapeError("cannot decompose an empty matrix")
+    u, s, vt = np.linalg.svd(m, full_matrices=full_matrices)
+    return (SqlArray.from_numpy(np.asfortranarray(u)),
+            SqlArray.from_numpy(s),
+            SqlArray.from_numpy(np.asfortranarray(vt)))
+
+
+def svd_values(a: SqlArray) -> SqlArray:
+    """Singular values only (cheaper than :func:`gesvd`)."""
+    m = _as_matrix(a)
+    if m.size == 0:
+        raise ShapeError("cannot decompose an empty matrix")
+    return SqlArray.from_numpy(np.linalg.svd(m, compute_uv=False))
+
+
+def solve_lstsq(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Least squares solution of ``A x ~ b`` (LAPACK ``*gels``
+    equivalent).
+
+    ``a`` is an (m, n) design matrix and ``b`` an m-vector; returns the
+    n-vector minimizing ``||A x - b||_2``.
+    """
+    m = _as_matrix(a)
+    if b.rank != 1:
+        raise ShapeError("right-hand side must be a vector")
+    rhs = b.to_numpy().astype(m.dtype, copy=False)
+    if rhs.shape[0] != m.shape[0]:
+        raise ShapeError(
+            f"design matrix has {m.shape[0]} rows but the right-hand "
+            f"side has {rhs.shape[0]}")
+    x, _residuals, _rank, _sv = np.linalg.lstsq(m, rhs, rcond=None)
+    return SqlArray.from_numpy(x)
+
+
+def masked_lstsq(a: SqlArray, b: SqlArray, mask: SqlArray) -> SqlArray:
+    """Least squares restricted to unmasked rows.
+
+    ``mask`` is an integer or float vector of the same length as ``b``;
+    rows with mask value 0 are excluded from the fit (the paper's
+    per-bin flag vectors marking wrong measurements).  This is the
+    operation that replaces the dot product when expanding a flagged
+    spectrum on a basis.
+
+    Raises:
+        ShapeError: if fewer unmasked rows remain than unknowns.
+    """
+    m = _as_matrix(a)
+    if b.rank != 1 or mask.rank != 1:
+        raise ShapeError("b and mask must be vectors")
+    rhs = b.to_numpy().astype(m.dtype, copy=False)
+    good = mask.to_numpy().astype(bool)
+    if rhs.shape[0] != m.shape[0] or good.shape[0] != m.shape[0]:
+        raise ShapeError("a, b and mask must agree on the row count")
+    keep = np.nonzero(good)[0]
+    if keep.shape[0] < m.shape[1]:
+        raise ShapeError(
+            f"only {keep.shape[0]} unmasked rows for {m.shape[1]} "
+            "unknowns")
+    x, _res, _rank, _sv = np.linalg.lstsq(m[keep], rhs[keep], rcond=None)
+    return SqlArray.from_numpy(x)
+
+
+def matmul(a: SqlArray, b: SqlArray) -> SqlArray:
+    """Matrix product (matrix@matrix, matrix@vector or vector@matrix)."""
+    am, bm = a.to_numpy(), b.to_numpy()
+    try:
+        out = am @ bm
+    except ValueError as exc:
+        raise ShapeError(str(exc))
+    if np.ndim(out) == 0:
+        out = np.reshape(out, (1,))
+    return SqlArray.from_numpy(np.asfortranarray(out))
+
+
+def transpose(a: SqlArray) -> SqlArray:
+    """Matrix transpose."""
+    if a.rank != 2:
+        raise ShapeError(f"expected a matrix, got rank {a.rank}")
+    return SqlArray.from_numpy(np.asfortranarray(a.to_numpy().T), a.dtype)

@@ -1,0 +1,126 @@
+"""Principal component analysis over sets of vectors.
+
+The paper's spectrum-classification pipeline (Section 2.2): "Running PCA
+over a set of spectra requires resampling and normalization of the
+individual data vectors, computing the correlation matrix and executing
+a singular value decomposition (SVD) algorithm over the correlation
+matrix.  The spectra then have to be expanded on the basis derived from
+the SVD."
+
+:class:`PCA` implements exactly that path — covariance/correlation
+matrix assembled by the array aggregate, decomposed by the
+:func:`~repro.mathlib.lapack.gesvd` wrapper — and the expansion step
+supports the masked least-squares variant required when flag vectors
+mark bad bins (dot products are then invalid).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.aggregates import correlation_matrix, covariance_matrix
+from ..core.errors import AggregateError, ShapeError
+from ..core.sqlarray import SqlArray
+from .lapack import gesvd, masked_lstsq
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """PCA basis fitted to a set of equal-length vectors.
+
+    Args:
+        n_components: Basis size to keep; ``None`` keeps all.
+        use_correlation: Decompose the correlation matrix instead of the
+            covariance matrix (scale-free variant).
+
+    Attributes (after :meth:`fit`):
+        mean: Per-dimension mean vector.
+        components: ``(n_components, dim)`` matrix whose rows are the
+            principal directions, ordered by decreasing variance.
+        explained_variance: Variance captured by each component.
+    """
+
+    def __init__(self, n_components: int | None = None,
+                 use_correlation: bool = False):
+        self.n_components = n_components
+        self.use_correlation = use_correlation
+        self.mean: np.ndarray | None = None
+        self.components: np.ndarray | None = None
+        self.explained_variance: np.ndarray | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, vectors: Sequence[SqlArray]) -> "PCA":
+        """Fit the basis: matrix aggregate + SVD, as in the paper."""
+        if len(vectors) < 2:
+            raise AggregateError("PCA needs at least two vectors")
+        matrix_agg = (correlation_matrix if self.use_correlation
+                      else covariance_matrix)
+        cov = matrix_agg(list(vectors))
+        stacked = np.stack([v.to_numpy() for v in vectors]).astype("f8")
+        self.mean = stacked.mean(axis=0)
+
+        _u, s, vt = gesvd(cov)
+        basis = vt.to_numpy()
+        variance = s.to_numpy()
+        k = self.n_components or basis.shape[0]
+        if not 1 <= k <= basis.shape[0]:
+            raise ShapeError(
+                f"n_components={k} out of range [1, {basis.shape[0]}]")
+        self.components = basis[:k]
+        self.explained_variance = variance[:k]
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.components is None:
+            raise AggregateError("PCA is not fitted yet")
+
+    # -- expansion ------------------------------------------------------------
+
+    def transform(self, vector: SqlArray) -> SqlArray:
+        """Expand one vector on the basis via dot products (valid when
+        no bins are flagged)."""
+        self._require_fitted()
+        v = vector.to_numpy().astype("f8")
+        if v.ndim != 1 or v.shape[0] != self.components.shape[1]:
+            raise ShapeError(
+                f"vector length {v.shape} does not match basis "
+                f"dimension {self.components.shape[1]}")
+        return SqlArray.from_numpy(self.components @ (v - self.mean))
+
+    def transform_masked(self, vector: SqlArray,
+                         mask: SqlArray) -> SqlArray:
+        """Expand a flagged vector by masked least squares.
+
+        "In practice, because of the flags that mask out wrong
+        measurements bin by bin, dot product cannot be used for
+        expanding spectra on a basis but least squares fitting is
+        necessary" (Section 2.2).
+        """
+        self._require_fitted()
+        centered = SqlArray.from_numpy(
+            vector.to_numpy().astype("f8") - self.mean)
+        design = SqlArray.from_numpy(
+            np.asfortranarray(self.components.T))
+        return masked_lstsq(design, centered, mask)
+
+    def reconstruct(self, coefficients: SqlArray) -> SqlArray:
+        """Rebuild a vector from basis coefficients."""
+        self._require_fitted()
+        c = coefficients.to_numpy().astype("f8")
+        if c.shape[0] != self.components.shape[0]:
+            raise ShapeError(
+                f"{c.shape[0]} coefficients for a "
+                f"{self.components.shape[0]}-component basis")
+        return SqlArray.from_numpy(self.mean + self.components.T @ c)
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total captured variance per kept component."""
+        self._require_fitted()
+        total = self.explained_variance.sum()
+        if total == 0:
+            return np.zeros_like(self.explained_variance)
+        return self.explained_variance / total

@@ -1,0 +1,7 @@
+"""The paper's three scientific use cases, end to end (Section 2):
+:mod:`~repro.science.turbulence` (2.1), :mod:`~repro.science.spectra`
+(2.2), and :mod:`~repro.science.nbody` (2.3)."""
+
+from . import nbody, spectra, turbulence
+
+__all__ = ["turbulence", "spectra", "nbody"]

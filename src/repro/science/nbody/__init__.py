@@ -1,0 +1,49 @@
+"""Cosmological N-body use case (paper Section 2.3): Zel'dovich
+snapshot generation, z-order particle buckets as array blobs, FOF halo
+finding, merger trees, CIC density, power spectra, correlation
+functions, and light cones."""
+
+from .cic import cic_density, cic_density_array, density_contrast
+from .database import ParticleDatabase
+from .correlation import (
+    pair_counts,
+    periodic_distance,
+    three_point_counts,
+    two_point_correlation,
+)
+from .fof import Halo, UnionFind, find_halos, friends_of_friends
+from .lightcone import LightconeEntry, build_lightcone
+from .mergertree import HaloLink, MergerTree, link_halos
+from .power import density_fourier_modes, power_spectrum
+from .snapshots import (
+    ParticleBucket,
+    Snapshot,
+    ZeldovichSimulation,
+    bucketize,
+)
+
+__all__ = [
+    "ParticleDatabase",
+    "Snapshot",
+    "ZeldovichSimulation",
+    "ParticleBucket",
+    "bucketize",
+    "UnionFind",
+    "friends_of_friends",
+    "Halo",
+    "find_halos",
+    "HaloLink",
+    "link_halos",
+    "MergerTree",
+    "cic_density",
+    "cic_density_array",
+    "density_contrast",
+    "power_spectrum",
+    "density_fourier_modes",
+    "pair_counts",
+    "two_point_correlation",
+    "three_point_counts",
+    "periodic_distance",
+    "LightconeEntry",
+    "build_lightcone",
+]

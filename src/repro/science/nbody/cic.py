@@ -1,0 +1,87 @@
+"""Cloud-in-cell density assignment.
+
+Paper Section 2.3: "We will also need to compute the density over a
+640^3 grid, interpolating over the particle positions, using a
+cloud-in-cell (CIC) algorithm, then Fourier transform it and compute
+its power spectrum."
+
+CIC spreads each particle's mass over the 8 grid cells its unit cube
+overlaps (trilinear weights), on a periodic grid.  The implementation
+is vectorized over particles and verified in tests by exact mass
+conservation and against direct per-particle assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.sqlarray import SqlArray
+
+__all__ = ["cic_density", "cic_density_array", "density_contrast"]
+
+
+def cic_density(positions: np.ndarray, box_size: float,
+                grid_size: int, weights: np.ndarray | None = None
+                ) -> np.ndarray:
+    """CIC mass assignment onto a periodic ``grid_size^3`` mesh.
+
+    Args:
+        positions: ``(n, 3)`` coordinates in ``[0, box)^3``.
+        box_size: Periodic box edge.
+        grid_size: Cells per axis.
+        weights: Optional per-particle masses (default 1).
+
+    Returns:
+        ``(g, g, g)`` array whose sum equals the total assigned mass.
+    """
+    positions = np.asarray(positions, dtype="f8")
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be an (n, 3) array")
+    if grid_size < 2:
+        raise ValueError("grid_size must be at least 2")
+    n = len(positions)
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype="f8")
+        if weights.shape != (n,):
+            raise ValueError("one weight per particle required")
+
+    g = grid_size
+    # Cell coordinates with the particle's cloud centered on it: the
+    # cloud of a particle at grid coordinate x spans [x - .5, x + .5].
+    x = positions / box_size * g - 0.5
+    i0 = np.floor(x).astype(np.int64)
+    frac = x - i0                      # weight toward the upper cell
+    density = np.zeros((g, g, g))
+    for dx in (0, 1):
+        wx = frac[:, 0] if dx else 1.0 - frac[:, 0]
+        ix = np.mod(i0[:, 0] + dx, g)
+        for dy in (0, 1):
+            wy = frac[:, 1] if dy else 1.0 - frac[:, 1]
+            iy = np.mod(i0[:, 1] + dy, g)
+            for dz in (0, 1):
+                wz = frac[:, 2] if dz else 1.0 - frac[:, 2]
+                iz = np.mod(i0[:, 2] + dz, g)
+                np.add.at(density, (ix, iy, iz),
+                          weights * wx * wy * wz)
+    return density
+
+
+def cic_density_array(positions: np.ndarray, box_size: float,
+                      grid_size: int) -> SqlArray:
+    """:func:`cic_density` wrapped as a max SQL array (the gridded
+    density is exactly the kind of large dense array the library
+    stores)."""
+    return SqlArray.from_numpy(
+        np.asfortranarray(cic_density(positions, box_size, grid_size)))
+
+
+def density_contrast(density: np.ndarray) -> np.ndarray:
+    """Overdensity field ``delta = rho / <rho> - 1`` (the field whose
+    Fourier transform gives the power spectrum)."""
+    density = np.asarray(density, dtype="f8")
+    mean = density.mean()
+    if mean == 0:
+        raise ValueError("empty density field")
+    return density / mean - 1.0

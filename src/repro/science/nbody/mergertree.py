@@ -1,0 +1,145 @@
+"""Halo merger history across snapshots.
+
+Paper Section 2.3: "These FOF halos need to be linked up between the
+different time steps to determine the so called merger history.  This
+can be best done by comparing the particle labels in the halos at
+different time steps."
+
+:func:`link_halos` matches halos of consecutive snapshots by shared
+particle IDs; :class:`MergerTree` accumulates the links over a snapshot
+sequence and answers progenitor/descendant queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .fof import Halo
+
+__all__ = ["HaloLink", "link_halos", "MergerTree"]
+
+
+@dataclass(frozen=True)
+class HaloLink:
+    """One progenitor -> descendant link.
+
+    Attributes:
+        progenitor: Halo index in the earlier snapshot's halo list.
+        descendant: Halo index in the later snapshot's halo list.
+        shared: Number of shared particle IDs.
+        fraction: Shared particles as a fraction of the progenitor's
+            size.
+    """
+
+    progenitor: int
+    descendant: int
+    shared: int
+    fraction: float
+
+
+def link_halos(earlier: Sequence[Halo], later: Sequence[Halo],
+               min_fraction: float = 0.5) -> list[HaloLink]:
+    """Match halos by comparing particle labels.
+
+    A link is made from each earlier halo to the later halo holding the
+    largest share of its particles, provided at least ``min_fraction``
+    of them went there.
+    """
+    if not 0 < min_fraction <= 1:
+        raise ValueError("min_fraction must be in (0, 1]")
+    owner: dict[int, int] = {}
+    for j, halo in enumerate(later):
+        for pid in halo.member_ids:
+            owner[int(pid)] = j
+    links = []
+    for i, halo in enumerate(earlier):
+        counts: dict[int, int] = {}
+        for pid in halo.member_ids:
+            j = owner.get(int(pid))
+            if j is not None:
+                counts[j] = counts.get(j, 0) + 1
+        if not counts:
+            continue
+        j, shared = max(counts.items(), key=lambda kv: kv[1])
+        fraction = shared / halo.n_members
+        if fraction >= min_fraction:
+            links.append(HaloLink(progenitor=i, descendant=j,
+                                  shared=shared, fraction=fraction))
+    return links
+
+
+@dataclass
+class MergerTree:
+    """Merger history over a sequence of snapshots.
+
+    Build with :meth:`from_halo_lists`; nodes are ``(step, halo_index)``
+    pairs.
+    """
+
+    halos_per_step: list[list[Halo]] = field(default_factory=list)
+    links_per_step: list[list[HaloLink]] = field(default_factory=list)
+
+    @classmethod
+    def from_halo_lists(cls, halo_lists: Sequence[Sequence[Halo]],
+                        min_fraction: float = 0.5) -> "MergerTree":
+        """Link each consecutive pair of snapshot halo lists."""
+        tree = cls(halos_per_step=[list(h) for h in halo_lists])
+        for earlier, later in zip(halo_lists[:-1], halo_lists[1:]):
+            tree.links_per_step.append(
+                link_halos(earlier, later, min_fraction))
+        return tree
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.halos_per_step)
+
+    def progenitors(self, step: int, halo_index: int) -> list[int]:
+        """Indices of step-1 halos that merged into this halo."""
+        if step == 0:
+            return []
+        return [l.progenitor for l in self.links_per_step[step - 1]
+                if l.descendant == halo_index]
+
+    def descendant(self, step: int, halo_index: int) -> int | None:
+        """Index of the step+1 halo this halo went into, if any."""
+        if step >= self.n_steps - 1:
+            return None
+        for link in self.links_per_step[step]:
+            if link.progenitor == halo_index:
+                return link.descendant
+        return None
+
+    def main_branch(self, step: int, halo_index: int
+                    ) -> list[tuple[int, int]]:
+        """Follow the most-massive-progenitor branch back in time.
+
+        Returns ``(step, halo_index)`` pairs from the given halo to its
+        earliest traced ancestor.
+        """
+        branch = [(step, halo_index)]
+        current = halo_index
+        for s in range(step, 0, -1):
+            progs = self.progenitors(s, current)
+            if not progs:
+                break
+            current = max(
+                progs,
+                key=lambda i: self.halos_per_step[s - 1][i].n_members)
+            branch.append((s - 1, current))
+        return branch
+
+    def merger_counts(self) -> list[int]:
+        """Number of halos per step that absorbed >= 2 progenitors —
+        a simple merger-rate summary."""
+        out = []
+        for s in range(self.n_steps):
+            if s == 0:
+                out.append(0)
+                continue
+            absorbed = {}
+            for link in self.links_per_step[s - 1]:
+                absorbed[link.descendant] = \
+                    absorbed.get(link.descendant, 0) + 1
+            out.append(sum(1 for v in absorbed.values() if v >= 2))
+        return out

@@ -1,0 +1,187 @@
+"""Synthetic cosmological N-body snapshots (Zel'dovich approximation).
+
+The paper's plan (Section 2.3): 500 simulations of 320^3 particles with
+100 snapshots each, "dumping the ID, position and velocity for each
+particle, and a hash bucket ID, a time step, and simulation ID", with
+particles grouped "an order of a few thousand particles per bucket"
+along a space-filling curve so each bucket is one array-blob row.
+
+Real simulation outputs are unavailable, so snapshots are generated with
+the Zel'dovich approximation: particles start on a uniform grid and move
+along a Gaussian random displacement field scaled by a growth factor —
+cheap, deterministic, and it develops genuine clustering (caustics,
+proto-halos), which is what FOF/CIC/correlation analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.sqlarray import SqlArray
+from ...spatial.zorder import points_to_codes
+
+__all__ = ["Snapshot", "ZeldovichSimulation", "ParticleBucket",
+           "bucketize"]
+
+
+@dataclass
+class Snapshot:
+    """One simulation snapshot.
+
+    Attributes:
+        sim_id: Simulation identifier.
+        step: Time-step index.
+        growth: Growth factor D(t) used for the displacement.
+        ids: ``(n,)`` int64 particle IDs (stable across snapshots).
+        positions: ``(n, 3)`` comoving positions in ``[0, box)^3``.
+        velocities: ``(n, 3)`` peculiar velocities.
+        box_size: Box edge length.
+    """
+
+    sim_id: int
+    step: int
+    growth: float
+    ids: np.ndarray
+    positions: np.ndarray
+    velocities: np.ndarray
+    box_size: float
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.ids)
+
+
+class ZeldovichSimulation:
+    """A reproducible Zel'dovich-approximation simulation.
+
+    Args:
+        particles_per_axis: Cube root of the particle count (the paper
+            uses 320; scale down for laptop runs).
+        box_size: Comoving box edge.
+        spectral_index: Power-law slope of the displacement power
+            spectrum (more negative = more large-scale power).
+        seed / sim_id: Identity of this realization.
+    """
+
+    def __init__(self, particles_per_axis: int = 16,
+                 box_size: float = 100.0, spectral_index: float = -2.0,
+                 seed: int = 0, sim_id: int = 0):
+        if particles_per_axis < 4:
+            raise ValueError("particles_per_axis must be at least 4")
+        self.n_axis = particles_per_axis
+        self.box_size = float(box_size)
+        self.sim_id = sim_id
+        n = particles_per_axis
+        rng = np.random.default_rng(seed)
+
+        # Lagrangian grid positions q.
+        grid = (np.arange(n) + 0.5) * (box_size / n)
+        qx, qy, qz = np.meshgrid(grid, grid, grid, indexing="ij")
+        self._q = np.stack([qx, qy, qz], axis=-1).reshape(-1, 3)
+        self.ids = np.arange(self._q.shape[0], dtype=np.int64)
+
+        # Displacement field psi = grad(phi), phi a Gaussian random
+        # potential with power-law spectrum; gradient taken in Fourier
+        # space so psi is curl-free (as Zel'dovich requires).
+        k1 = np.fft.fftfreq(n, d=1.0 / n) * (2 * np.pi / box_size)
+        kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+        k2 = kx ** 2 + ky ** 2 + kz ** 2
+        k2[0, 0, 0] = 1.0
+        kmag = np.sqrt(k2)
+        amp = kmag ** (spectral_index / 2.0) / k2
+        amp[0, 0, 0] = 0.0
+        phase = rng.standard_normal((n, n, n)) \
+            + 1j * rng.standard_normal((n, n, n))
+        phi_k = phase * amp
+        psi = np.stack([
+            np.fft.ifftn(1j * kx * phi_k).real,
+            np.fft.ifftn(1j * ky * phi_k).real,
+            np.fft.ifftn(1j * kz * phi_k).real,
+        ], axis=-1).reshape(-1, 3)
+        # Normalize so growth = 1 gives rms displacement of ~4 % of the
+        # box (well clustered but not fully shell-crossed).
+        rms = np.sqrt((psi ** 2).sum(axis=1).mean())
+        if rms > 0:
+            psi *= 0.04 * box_size / rms
+        self._psi = psi
+
+    def snapshot(self, growth: float, step: int | None = None,
+                 growth_rate: float = 1.0) -> Snapshot:
+        """Realize the snapshot at growth factor ``D``.
+
+        Positions: ``x = q + D psi`` (periodic wrap); velocities:
+        ``v = dD/dt psi = growth_rate * D * psi`` in simulation units.
+        """
+        if growth < 0:
+            raise ValueError("growth must be non-negative")
+        positions = np.mod(self._q + growth * self._psi, self.box_size)
+        velocities = growth_rate * growth * self._psi
+        return Snapshot(
+            sim_id=self.sim_id,
+            step=step if step is not None else 0,
+            growth=float(growth),
+            ids=self.ids.copy(),
+            positions=positions,
+            velocities=velocities,
+            box_size=self.box_size,
+        )
+
+    def snapshots(self, growths, growth_rate: float = 1.0
+                  ) -> list[Snapshot]:
+        """Snapshots at a sequence of growth factors (time steps)."""
+        return [self.snapshot(g, step=i, growth_rate=growth_rate)
+                for i, g in enumerate(growths)]
+
+
+@dataclass
+class ParticleBucket:
+    """One bucket row: a few thousand particles as array blobs.
+
+    This is the storage layout of Section 2.3 — "if we group together
+    and store an order of a few thousand particles per bucket we can
+    reduce the number of data table rows ... but retrieving information
+    about individual particles will require array-based data access."
+    """
+
+    sim_id: int
+    step: int
+    bucket_id: int
+    ids: SqlArray          # (n,) int64
+    positions: SqlArray    # (n, 3) float64
+    velocities: SqlArray   # (n, 3) float64
+
+    @property
+    def n_particles(self) -> int:
+        return self.ids.shape[0]
+
+
+def bucketize(snapshot: Snapshot, cells_per_axis: int = 4
+              ) -> list[ParticleBucket]:
+    """Group a snapshot into z-order hash buckets of array blobs.
+
+    The bucket id is the Morton code of the particle's spatial cell, so
+    bucket order follows the space-filling curve.
+    """
+    codes = points_to_codes(snapshot.positions, snapshot.box_size,
+                            cells_per_axis)
+    order = np.argsort(codes, kind="stable")
+    codes_sorted = codes[order]
+    buckets = []
+    boundaries = np.concatenate([
+        [0], np.nonzero(np.diff(codes_sorted))[0] + 1,
+        [len(codes_sorted)]])
+    for b in range(len(boundaries) - 1):
+        members = order[boundaries[b]:boundaries[b + 1]]
+        buckets.append(ParticleBucket(
+            sim_id=snapshot.sim_id,
+            step=snapshot.step,
+            bucket_id=int(codes_sorted[boundaries[b]]),
+            ids=SqlArray.from_numpy(snapshot.ids[members], "int64"),
+            positions=SqlArray.from_numpy(
+                np.asfortranarray(snapshot.positions[members])),
+            velocities=SqlArray.from_numpy(
+                np.asfortranarray(snapshot.velocities[members])),
+        ))
+    return buckets

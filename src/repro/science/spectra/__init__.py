@@ -1,0 +1,45 @@
+"""Astronomical spectrum use case (paper Section 2.2): synthetic
+spectra, flux-conserving resampling, normalization/corrections/
+composites, PCA classification with masked expansion, and kd-tree
+similar-spectrum search."""
+
+from .archive import SpectrumArchive
+from .classify import SpectrumBasis, classify_nearest_centroid
+from .model import LINE_LIST, Spectrum, SpectrumGenerator
+from .process import (
+    apply_correction,
+    collapse_cube,
+    extract_slit_spectrum,
+    integrate_flux,
+    make_composite,
+    normalize,
+    slit_spatial_profile,
+)
+from .resample import (
+    common_grid,
+    overlap_matrix,
+    resample_flux,
+    resample_spectrum,
+)
+from .search import SpectrumSearchService
+
+__all__ = [
+    "Spectrum",
+    "SpectrumGenerator",
+    "LINE_LIST",
+    "overlap_matrix",
+    "resample_flux",
+    "resample_spectrum",
+    "common_grid",
+    "integrate_flux",
+    "normalize",
+    "apply_correction",
+    "collapse_cube",
+    "extract_slit_spectrum",
+    "slit_spatial_profile",
+    "make_composite",
+    "SpectrumBasis",
+    "classify_nearest_centroid",
+    "SpectrumSearchService",
+    "SpectrumArchive",
+]

@@ -1,0 +1,121 @@
+"""PCA-based spectrum classification.
+
+The Section 2.2 pipeline: resample + normalize every spectrum, run PCA
+(correlation matrix + SVD), expand each spectrum on the resulting basis
+— by masked least squares when flag vectors mark bad bins — and use the
+coefficient vectors for classification and similarity search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...core.errors import AggregateError, ShapeError
+from ...core.sqlarray import SqlArray
+from ...mathlib.pca import PCA
+from .model import Spectrum
+from .process import normalize
+from .resample import common_grid, overlap_matrix, resample_spectrum
+
+__all__ = ["SpectrumBasis", "classify_nearest_centroid"]
+
+
+@dataclass
+class _Prepared:
+    flux: SqlArray
+    mask: SqlArray
+
+
+class SpectrumBasis:
+    """A PCA basis fitted to a set of spectra.
+
+    Args:
+        n_components: Basis size.
+        n_bins: Common-grid resolution (defaults to the smallest input
+            spectrum).
+
+    After :meth:`fit`, :meth:`expand` turns any spectrum into a
+    coefficient vector on the shared basis; flagged bins are excluded
+    through the masked least-squares path.
+    """
+
+    def __init__(self, n_components: int = 5, n_bins: int | None = None):
+        self.n_components = n_components
+        self.n_bins = n_bins
+        self.edges: np.ndarray | None = None
+        self.pca: PCA | None = None
+        self._norm_window: tuple[float, float] | None = None
+
+    def fit(self, spectra: Sequence[Spectrum]) -> "SpectrumBasis":
+        """Resample, normalize and PCA-decompose the training set."""
+        if len(spectra) < 2:
+            raise AggregateError("need at least two spectra to fit")
+        self.edges = common_grid(spectra, self.n_bins)
+        self._norm_window = (float(self.edges[len(self.edges) // 4]),
+                             float(self.edges[3 * len(self.edges) // 4]))
+        prepared = [self._prepare(s) for s in spectra]
+        self.pca = PCA(self.n_components).fit([p.flux for p in prepared])
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.pca is None:
+            raise AggregateError("basis is not fitted yet")
+
+    def _prepare(self, spectrum: Spectrum) -> _Prepared:
+        """Normalize and resample one spectrum onto the common grid,
+        carrying its flag mask along (a grid bin is good only if every
+        contributing source bin is good)."""
+        s = normalize(spectrum, *self._norm_window)
+        flux = resample_spectrum(s.wave, s.flux, self.edges)
+        w = overlap_matrix(s.bin_edges(), self.edges)
+        bad = (~s.good_mask()).astype("f8")
+        grid_bad = w @ bad
+        mask = (grid_bad < 1e-12).astype(np.int16)
+        return _Prepared(flux=flux,
+                         mask=SqlArray.from_numpy(mask, "int16"))
+
+    def expand(self, spectrum: Spectrum) -> SqlArray:
+        """Coefficient vector of one spectrum on the basis.
+
+        Uses plain dot products when no grid bin is flagged; otherwise
+        the masked least-squares expansion (the paper's point that "dot
+        product cannot be used" with flags).
+        """
+        self._require_fitted()
+        p = self._prepare(spectrum)
+        if bool((p.mask.to_numpy() == 1).all()):
+            return self.pca.transform(p.flux)
+        return self.pca.transform_masked(p.flux, p.mask)
+
+    def expand_many(self, spectra: Sequence[Spectrum]) -> np.ndarray:
+        """Coefficients of several spectra as an ``(n, k)`` array."""
+        return np.stack([self.expand(s).to_numpy() for s in spectra])
+
+    def reconstruct(self, coefficients: SqlArray) -> SqlArray:
+        """Flux on the common grid rebuilt from coefficients."""
+        self._require_fitted()
+        return self.pca.reconstruct(coefficients)
+
+
+def classify_nearest_centroid(
+        train_coeffs: np.ndarray, train_labels: Sequence[int],
+        query_coeffs: np.ndarray) -> np.ndarray:
+    """Nearest-centroid classification in coefficient space.
+
+    A deliberately simple classifier: the point of the paper's pipeline
+    is that once spectra are reduced to coefficient vectors inside the
+    database, classification and search are ordinary vector problems.
+    """
+    train_coeffs = np.asarray(train_coeffs, dtype="f8")
+    query_coeffs = np.atleast_2d(np.asarray(query_coeffs, dtype="f8"))
+    labels = np.asarray(list(train_labels))
+    if train_coeffs.shape[0] != labels.shape[0]:
+        raise ShapeError("one label per training vector required")
+    classes = np.unique(labels)
+    centroids = np.stack([train_coeffs[labels == c].mean(axis=0)
+                          for c in classes])
+    d2 = ((query_coeffs[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    return classes[np.argmin(d2, axis=1)]

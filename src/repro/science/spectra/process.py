@@ -1,0 +1,174 @@
+"""Spectrum processing primitives.
+
+The "typical processing steps" of paper Section 2.2: normalization
+(integrate the flux in a window, scale), wavelength-dependent
+corrections ("multiplying the flux vector with a number that is a
+function of the wavelength"), composite building (weighted averaging of
+resampled spectra — "could be very easily solved using an aggregate
+function"), and the axis reductions higher-dimensional spectra need
+("summation over certain axes to get ... the overall spectrum of an
+object that was originally observed with an integral field
+spectrograph").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...core import ops
+from ...core.aggregates import average_arrays
+from ...core.errors import ShapeError
+from ...core.sqlarray import SqlArray
+from .model import Spectrum
+from .resample import common_grid, resample_spectrum
+
+__all__ = [
+    "integrate_flux",
+    "normalize",
+    "apply_correction",
+    "collapse_cube",
+    "extract_slit_spectrum",
+    "slit_spatial_profile",
+    "make_composite",
+]
+
+
+def integrate_flux(wave: SqlArray, flux: SqlArray,
+                   lo: float, hi: float) -> float:
+    """Integrated flux over ``[lo, hi]`` (trapezoidal on bin centers,
+    clipped to the window — the normalization integral)."""
+    w = wave.to_numpy()
+    f = flux.to_numpy()
+    if w.shape != f.shape or wave.rank != 1:
+        raise ShapeError("wave and flux must be equal-length vectors")
+    if hi <= lo:
+        raise ShapeError(f"empty integration window [{lo}, {hi}]")
+    inside = (w >= lo) & (w <= hi)
+    if inside.sum() < 2:
+        raise ShapeError(
+            f"integration window [{lo}, {hi}] covers fewer than two "
+            "wavelength bins")
+    return float(np.trapezoid(f[inside], w[inside]))
+
+
+def normalize(spectrum: Spectrum, lo: float, hi: float) -> Spectrum:
+    """Scale a spectrum so its integrated flux over ``[lo, hi]`` is 1.
+
+    Error scales with the flux; flags and wavelengths are untouched.
+    """
+    total = integrate_flux(spectrum.wave, spectrum.flux, lo, hi)
+    if total == 0:
+        raise ShapeError("cannot normalize: zero integrated flux")
+    factor = 1.0 / total
+    return Spectrum(
+        wave=spectrum.wave,
+        flux=ops.scale(spectrum.flux, factor),
+        error=ops.scale(spectrum.error, abs(factor)),
+        flags=spectrum.flags,
+        redshift=spectrum.redshift,
+        class_id=spectrum.class_id,
+    )
+
+
+def apply_correction(spectrum: Spectrum,
+                     correction: Callable[[np.ndarray], np.ndarray]
+                     ) -> Spectrum:
+    """Multiply the flux by a wavelength-dependent correction function
+    (extinction, flux calibration, ...)."""
+    w = spectrum.wave.to_numpy()
+    factor = np.asarray(correction(w), dtype="f8")
+    if factor.shape != w.shape:
+        raise ShapeError(
+            "correction function must return one factor per bin")
+    fac_arr = SqlArray.from_numpy(factor)
+    return Spectrum(
+        wave=spectrum.wave,
+        flux=ops.multiply(spectrum.flux, fac_arr),
+        error=ops.multiply(spectrum.error,
+                           SqlArray.from_numpy(np.abs(factor))),
+        flags=spectrum.flags,
+        redshift=spectrum.redshift,
+        class_id=spectrum.class_id,
+    )
+
+
+def collapse_cube(cube: SqlArray, axis_to_keep: int = 0) -> SqlArray:
+    """Sum an IFU cube over its spatial axes, keeping the wavelength
+    axis — "the overall spectrum of an object that was originally
+    observed with an integral field spectrograph"."""
+    if cube.rank < 2:
+        raise ShapeError("collapse_cube expects a rank >= 2 array")
+    if not 0 <= axis_to_keep < cube.rank:
+        raise ShapeError(f"axis {axis_to_keep} out of range")
+    out = cube
+    # Repeatedly sum over the highest remaining axis that is not the
+    # kept one (axis numbering shifts as ranks drop).
+    while out.rank > 1:
+        axis = out.rank - 1 if out.rank - 1 != axis_to_keep else \
+            out.rank - 2
+        out = ops.aggregate_axis(out, "sum", axis)
+        if axis < axis_to_keep:
+            axis_to_keep -= 1
+    return out
+
+
+def extract_slit_spectrum(flux2d: SqlArray, position: int) -> SqlArray:
+    """One spatial position's spectrum out of a 2-D slit array.
+
+    Section 2.2: "different fluxes are measured depending on the
+    position along this slit" — this is the Subarray-with-collapse
+    retrieval of a single column, the paper's own example of why the
+    collapse flag exists.
+    """
+    if flux2d.rank != 2:
+        raise ShapeError("slit flux must be a 2-D array")
+    n_wave, n_pos = flux2d.shape
+    if not 0 <= position < n_pos:
+        raise ShapeError(
+            f"position {position} out of range [0, {n_pos})")
+    return ops.subarray(flux2d, (0, position), (n_wave, 1),
+                        collapse=True)
+
+
+def slit_spatial_profile(flux2d: SqlArray) -> SqlArray:
+    """Total flux per slit position (integrate over wavelength) — the
+    source's spatial profile along the slit."""
+    if flux2d.rank != 2:
+        raise ShapeError("slit flux must be a 2-D array")
+    return ops.aggregate_axis(flux2d, "sum", 0)
+
+
+def make_composite(spectra: Sequence[Spectrum],
+                   n_bins: int | None = None,
+                   norm_window: tuple[float, float] | None = None
+                   ) -> tuple[np.ndarray, SqlArray]:
+    """Build a composite: resample to a common grid, normalize, and
+    average with inverse-variance weights.
+
+    This is the full Section 2.2 recipe ("once resampled to common
+    grid, spectra can be averaged to get composites with high signal to
+    noise ratio").  Returns ``(grid_edges, composite_flux)``.
+    """
+    if not spectra:
+        raise ShapeError("make_composite needs at least one spectrum")
+    edges = common_grid(spectra, n_bins)
+    if norm_window is None:
+        norm_window = (edges[len(edges) // 4],
+                       edges[3 * len(edges) // 4])
+    resampled = []
+    weights = []
+    for s in spectra:
+        s = normalize(s, *norm_window)
+        flux = resample_spectrum(s.wave, s.flux, edges)
+        err = s.error.to_numpy()
+        good = s.good_mask()
+        snr2 = float((1.0 / np.maximum(err[good], 1e-30) ** 2).mean()) \
+            if good.any() else 0.0
+        resampled.append(flux)
+        weights.append(snr2)
+    if not any(w > 0 for w in weights):
+        weights = [1.0] * len(resampled)
+    composite = average_arrays(resampled, weights)
+    return edges, composite

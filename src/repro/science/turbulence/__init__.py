@@ -1,0 +1,46 @@
+"""Turbulence use case (paper Section 2.1): synthetic isotropic
+turbulence snapshots, z-order blob partitioning with ghost zones, and
+the particle-interpolation query service with partial blob reads."""
+
+from .blobs import (
+    BlobPartitioner,
+    EngineBlobBackend,
+    MemoryBlobBackend,
+    SqliteBlobBackend,
+    TurbulenceStore,
+)
+from .field import TurbulenceField, make_field, make_mhd_field
+from .interp import (
+    KERNELS,
+    interpolate_neighborhood,
+    kernel_width,
+    lagrange_weights,
+    neighborhood_origin,
+    pchip_interpolate_1d,
+)
+from .service import ParticleQueryService, QueryStats
+from .subdomain import SubdomainStats, extract_subdomain
+from .temporal import SnapshotSeries, TemporalQueryService
+
+__all__ = [
+    "TurbulenceField",
+    "make_field",
+    "make_mhd_field",
+    "BlobPartitioner",
+    "TurbulenceStore",
+    "MemoryBlobBackend",
+    "EngineBlobBackend",
+    "SqliteBlobBackend",
+    "KERNELS",
+    "kernel_width",
+    "lagrange_weights",
+    "pchip_interpolate_1d",
+    "neighborhood_origin",
+    "interpolate_neighborhood",
+    "ParticleQueryService",
+    "QueryStats",
+    "SnapshotSeries",
+    "TemporalQueryService",
+    "extract_subdomain",
+    "SubdomainStats",
+]

@@ -1,0 +1,239 @@
+"""Z-order blob partitioning of turbulence snapshots.
+
+Paper Section 2.1: "The data is partitioned along a space filling curve
+(z-index) into cubes of (64+8)^3.  The +8 means that each cube contains
+an extra 8 voxel wide buffer so that particles on the edge of the
+original cube still have their neighbors within 4 voxels in the same
+blob.  Each blob is about 6 MB and stored in a separate row."
+
+:class:`BlobPartitioner` cuts a :class:`~repro.science.turbulence.field.
+TurbulenceField` into cubes of ``cube_size`` voxels with a ``ghost``
+voxel overlap on every face (periodic wrap), serializes each cube —
+ghost zones included — as a max array of shape
+``(4, cube+2g, cube+2g, cube+2g)``, and keys it by the Morton code of
+its cube coordinate, so blobs that are close in space are close in key
+order (and therefore on disk).
+
+Storage backends: an in-memory dict, the storage-engine database (blobs
+as out-of-page ``varbinary_max`` rows supporting *partial* reads), or a
+SQLite database through :mod:`repro.sqlbind` (partial reads via
+incremental blob IO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ...core.partial import BlobStream, BytesBlobStream
+from ...core.sqlarray import SqlArray
+from ...spatial.zorder import decode3, encode3
+from .field import TurbulenceField
+
+__all__ = [
+    "BlobPartitioner",
+    "BlobStore",
+    "MemoryBlobBackend",
+    "EngineBlobBackend",
+    "SqliteBlobBackend",
+    "TurbulenceStore",
+]
+
+
+class BlobStore(Protocol):
+    """Backend interface: store blobs by z-index key, reopen them as
+    streams."""
+
+    def put(self, zindex: int, blob: bytes) -> None: ...
+
+    def open(self, zindex: int) -> BlobStream: ...
+
+    def keys(self) -> list[int]: ...
+
+
+class MemoryBlobBackend:
+    """Dict-backed store (unit tests, quick examples)."""
+
+    def __init__(self):
+        self._blobs: dict[int, bytes] = {}
+
+    def put(self, zindex: int, blob: bytes) -> None:
+        self._blobs[zindex] = blob
+
+    def open(self, zindex: int) -> BytesBlobStream:
+        return BytesBlobStream(self._blobs[zindex])
+
+    def keys(self) -> list[int]:
+        return sorted(self._blobs)
+
+
+class EngineBlobBackend:
+    """Blob rows in the storage-engine simulator.
+
+    Each blob is a ``(zindex BIGINT PK, data VARBINARY(MAX))`` row;
+    opening a key returns the out-of-page blob-tree stream, so partial
+    reads touch only the pages the requested window covers — with full
+    IO accounting through the database's buffer pool.
+    """
+
+    def __init__(self, db, table_name: str = "turbulence"):
+        from ...engine import Column
+        self._db = db
+        self._table = db.create_table(table_name, [
+            Column("zindex", "bigint"),
+            Column("data", "varbinary_max"),
+        ])
+        self._keys: list[int] = []
+
+    @property
+    def table(self):
+        return self._table
+
+    def put(self, zindex: int, blob: bytes) -> None:
+        self._table.insert((zindex, blob))
+        self._keys.append(zindex)
+
+    def open(self, zindex: int) -> BlobStream:
+        row = self._table.get(zindex, self._db.pool)
+        if row is None:
+            raise KeyError(f"no blob with z-index {zindex}")
+        handle = row[1]
+        if isinstance(handle, (bytes, bytearray)):
+            return BytesBlobStream(handle)
+        return handle.open_stream(self._db.pool)
+
+    def keys(self) -> list[int]:
+        return sorted(self._keys)
+
+
+class SqliteBlobBackend:
+    """Blob rows in SQLite, streamed via incremental blob handles."""
+
+    def __init__(self, conn, table_name: str = "turbulence"):
+        self._conn = conn
+        self._table = table_name
+        conn.execute(f"CREATE TABLE IF NOT EXISTS {table_name} "
+                     "(zindex INTEGER PRIMARY KEY, data BLOB)")
+
+    def put(self, zindex: int, blob: bytes) -> None:
+        self._conn.execute(
+            f"INSERT INTO {self._table} VALUES (?, ?)", (zindex, blob))
+
+    def open(self, zindex: int) -> BlobStream:
+        row = self._conn.execute(
+            f"SELECT rowid FROM {self._table} WHERE zindex = ?",
+            (zindex,)).fetchone()
+        if row is None:
+            raise KeyError(f"no blob with z-index {zindex}")
+        return self._conn.open_array_blob(self._table, "data", row[0])
+
+    def keys(self) -> list[int]:
+        return [r[0] for r in self._conn.execute(
+            f"SELECT zindex FROM {self._table} ORDER BY zindex")]
+
+
+@dataclass(frozen=True)
+class BlobPartitioner:
+    """Geometry of the z-order blob decomposition.
+
+    Args:
+        grid_size: Field voxels per axis.
+        cube_size: Core voxels per blob axis (the paper's 64).
+        ghost: Overlap voxels on *each* face (the paper's 4, giving the
+            "+8" total).
+    """
+
+    grid_size: int
+    cube_size: int
+    ghost: int
+
+    def __post_init__(self):
+        if self.grid_size % self.cube_size != 0:
+            raise ValueError(
+                f"cube_size {self.cube_size} must divide grid_size "
+                f"{self.grid_size}")
+        if not 0 <= self.ghost < self.cube_size:
+            raise ValueError("ghost must be in [0, cube_size)")
+
+    @property
+    def cubes_per_axis(self) -> int:
+        return self.grid_size // self.cube_size
+
+    @property
+    def blob_edge(self) -> int:
+        """Stored blob edge length in voxels (core + both ghosts)."""
+        return self.cube_size + 2 * self.ghost
+
+    def zindex_of_cube(self, cx: int, cy: int, cz: int) -> int:
+        return encode3(cx, cy, cz)
+
+    def cube_of_voxel(self, i: int, j: int, k: int) -> tuple[int, int, int]:
+        n = self.cubes_per_axis
+        return ((i // self.cube_size) % n, (j // self.cube_size) % n,
+                (k // self.cube_size) % n)
+
+    def extract_blob(self, field: TurbulenceField,
+                     cx: int, cy: int, cz: int) -> SqlArray:
+        """Cut one cube (with periodic ghost zones) out of a field and
+        wrap it as a max array of shape ``(n_components, e, e, e)``."""
+        n = self.grid_size
+        e = self.blob_edge
+        idx = [np.mod(np.arange(c * self.cube_size - self.ghost,
+                                c * self.cube_size - self.ghost + e), n)
+               for c in (cx, cy, cz)]
+        cube = field.data[
+            :, idx[0][:, None, None], idx[1][None, :, None],
+            idx[2][None, None, :]]
+        return SqlArray.from_numpy(np.asfortranarray(cube), "float32")
+
+
+class TurbulenceStore:
+    """A partitioned snapshot in a blob store.
+
+    This is the database of Section 2.1 in miniature: one row per
+    z-order cube, the blob holding the ghost-padded ``(4, e, e, e)``
+    array.
+    """
+
+    def __init__(self, partitioner: BlobPartitioner, backend: BlobStore):
+        self.partitioner = partitioner
+        self.backend = backend
+        self.box_size: float | None = None
+        self.n_components: int = 4
+
+    def load_field(self, field: TurbulenceField) -> int:
+        """Partition and store a snapshot; returns the blob count.
+
+        Blobs are inserted in Morton order, so clustered storage lays
+        them out along the space-filling curve (the paper's layout).
+        """
+        p = self.partitioner
+        if field.grid_size != p.grid_size:
+            raise ValueError(
+                f"field grid {field.grid_size} does not match "
+                f"partitioner grid {p.grid_size}")
+        self.box_size = field.box_size
+        self.n_components = field.n_components
+        cubes = []
+        n = p.cubes_per_axis
+        for cx in range(n):
+            for cy in range(n):
+                for cz in range(n):
+                    cubes.append((p.zindex_of_cube(cx, cy, cz),
+                                  cx, cy, cz))
+        cubes.sort()
+        for zindex, cx, cy, cz in cubes:
+            blob = p.extract_blob(field, cx, cy, cz)
+            self.backend.put(zindex, blob.to_blob())
+        return len(cubes)
+
+    def open_cube(self, cx: int, cy: int, cz: int) -> BlobStream:
+        """Open the blob stream of one cube."""
+        return self.backend.open(
+            self.partitioner.zindex_of_cube(cx, cy, cz))
+
+    def cube_coordinates(self) -> list[tuple[int, int, int]]:
+        """Cube coordinates of every stored blob (Morton order)."""
+        return [decode3(z) for z in self.backend.keys()]

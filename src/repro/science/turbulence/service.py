@@ -1,0 +1,208 @@
+"""The particle-query service over a partitioned turbulence database.
+
+Paper Section 2.1: "users can submit a set of about 10,000 particle
+positions ... and then can retrieve the interpolated values of the
+velocity field at those positions.  This can be considered as the
+equivalent of placing small sensors into the simulation instead of
+downloading all the data."  And the motivating inefficiency: "Accessing
+the whole blob (6 MB) for an 8-point 3D interpolation is obviously
+overkill."
+
+:class:`ParticleQueryService` implements the service loop: group the
+requested positions by their z-order cube, open each cube's blob stream
+once, and for every particle read *only* the ``m^3`` kernel neighborhood
+(4 components) through a partial subarray read, then apply the chosen
+interpolation kernel.  :class:`QueryStats` records exactly how many
+bytes traveled versus the whole-blob alternative — the paper's argument,
+quantified.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core.partial import read_subarray
+from .blobs import TurbulenceStore
+from .interp import interpolate_neighborhood, kernel_width, \
+    neighborhood_origin
+
+__all__ = ["QueryStats", "ParticleQueryService"]
+
+
+@dataclass
+class QueryStats:
+    """IO accounting of one particle batch.
+
+    Attributes:
+        particles: Positions interpolated.
+        blobs_opened: Distinct cube blobs touched.
+        bytes_read: Payload bytes actually read from blob streams.
+        full_blob_bytes: What reading every touched blob end-to-end
+            would have cost (the paper's "overkill" baseline).
+        read_calls: Stream read invocations.
+    """
+
+    particles: int = 0
+    blobs_opened: int = 0
+    bytes_read: int = 0
+    full_blob_bytes: int = 0
+    read_calls: int = 0
+
+    @property
+    def savings_factor(self) -> float:
+        """How many times cheaper partial reads were."""
+        if self.bytes_read == 0:
+            return float("inf")
+        return self.full_blob_bytes / self.bytes_read
+
+
+class ParticleQueryService:
+    """Interpolates field values at arbitrary particle positions.
+
+    Args:
+        store: A loaded :class:`~repro.science.turbulence.blobs.
+            TurbulenceStore`.
+        kernel: ``nearest``, ``lagrange4``, ``lagrange6``,
+            ``lagrange8`` or ``pchip``.
+
+    Raises:
+        ValueError: if the store's ghost zone is too thin for the
+            kernel (the paper sizes ghosts at half the widest kernel).
+    """
+
+    def __init__(self, store: TurbulenceStore, kernel: str = "lagrange8"):
+        self.store = store
+        self.kernel = kernel
+        self._m = kernel_width(kernel)
+        ghost = store.partitioner.ghost
+        if self._m > 1 and ghost < self._m // 2:
+            raise ValueError(
+                f"kernel {kernel} needs a ghost zone of at least "
+                f"{self._m // 2} voxels, store has {ghost}")
+        if store.box_size is None:
+            raise ValueError("store has no loaded field")
+
+    # -- geometry ------------------------------------------------------------
+
+    def _locate(self, position: np.ndarray):
+        """Cube coordinate, local window origin and in-stencil offsets
+        for one (periodic-wrapped) position."""
+        p = self.store.partitioner
+        box = self.store.box_size
+        voxel = box / p.grid_size
+        pos = np.mod(position, box)
+        cube = tuple(
+            min(int(pos[a] / (p.cube_size * voxel)), p.cubes_per_axis - 1)
+            for a in range(3))
+        local_origin = []
+        ts = []
+        for a in range(3):
+            i0, t = neighborhood_origin(pos[a], voxel, self._m)
+            # Voxel index of the blob's first (ghost) voxel on axis a.
+            blob_start = cube[a] * p.cube_size - p.ghost
+            local_origin.append(i0 - blob_start)
+            ts.append(t)
+        return cube, local_origin, ts
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, positions, include_pressure: bool = False,
+              n_components: int | None = None
+              ) -> tuple[np.ndarray, QueryStats]:
+        """Interpolate field values at each position.
+
+        Args:
+            positions: ``(n, 3)`` array of physical coordinates
+                (wrapped periodically into the box).
+            include_pressure: Append the interpolated pressure as a
+                fourth output column (shorthand for
+                ``n_components=4``).
+            n_components: Interpolate the first N stored components
+                (e.g. 8 for an MHD store); overrides
+                ``include_pressure``.
+
+        Returns:
+            ``(values, stats)`` with values of shape
+            ``(n, n_components)``.
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype="f8"))
+        if positions.shape[1] != 3:
+            raise ValueError("positions must be an (n, 3) array")
+        m = self._m
+        components = n_components if n_components is not None \
+            else (4 if include_pressure else 3)
+        if not 1 <= components <= self.store.n_components:
+            raise ValueError(
+                f"store holds {self.store.n_components} components, "
+                f"cannot interpolate {components}")
+        out = np.empty((len(positions), components))
+        stats = QueryStats(particles=len(positions))
+
+        by_cube: dict[tuple, list[int]] = defaultdict(list)
+        located = []
+        for i, pos in enumerate(positions):
+            cube, origin, ts = self._locate(pos)
+            located.append((origin, ts))
+            by_cube[cube].append(i)
+
+        for cube, members in sorted(by_cube.items()):
+            stream = self.store.open_cube(*cube)
+            stats.blobs_opened += 1
+            stats.full_blob_bytes += stream.length()
+            for i in members:
+                origin, ts = located[i]
+                window = read_subarray(
+                    stream, (0, *origin), (components, m, m, m))
+                cube_vals = window.to_numpy()
+                for c in range(components):
+                    out[i, c] = interpolate_neighborhood(
+                        cube_vals[c], self.kernel, *ts)
+            stats.bytes_read += stream.bytes_read
+            stats.read_calls += getattr(stream, "read_calls",
+                                        getattr(stream, "stream_calls", 0))
+        return out, stats
+
+    def query_full_read(self, positions, include_pressure: bool = False,
+                        n_components: int | None = None
+                        ) -> tuple[np.ndarray, QueryStats]:
+        """The baseline the paper calls overkill: materialize every
+        touched blob in full, then interpolate in memory.
+
+        Produces identical values to :meth:`query`; only the IO
+        accounting differs.
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype="f8"))
+        m = self._m
+        components = n_components if n_components is not None \
+            else (4 if include_pressure else 3)
+        out = np.empty((len(positions), components))
+        stats = QueryStats(particles=len(positions))
+
+        by_cube: dict[tuple, list[int]] = defaultdict(list)
+        located = []
+        for i, pos in enumerate(positions):
+            cube, origin, ts = self._locate(pos)
+            located.append((origin, ts))
+            by_cube[cube].append(i)
+
+        from ...core.sqlarray import SqlArray
+
+        for cube, members in sorted(by_cube.items()):
+            stream = self.store.open_cube(*cube)
+            stats.blobs_opened += 1
+            stats.full_blob_bytes += stream.length()
+            whole = SqlArray.from_blob(
+                stream.read_at(0, stream.length())).to_numpy()
+            stats.bytes_read += stream.bytes_read
+            stats.read_calls += 1
+            for i in members:
+                origin, ts = located[i]
+                window = whole[(slice(0, components),)
+                               + tuple(slice(o, o + m) for o in origin)]
+                for c in range(components):
+                    out[i, c] = interpolate_neighborhood(
+                        window[c], self.kernel, *ts)
+        return out, stats

@@ -1,0 +1,36 @@
+"""Spatial indexing substrates: Morton (z-order) codes, a kd-tree, and
+an octree — the multidimensional search machinery the paper's use cases
+rely on (Sections 2.1-2.3)."""
+
+from .kdtree import KdTree
+from .octree import Octree, OctreeNode
+from .zorder import (
+    MAX_BITS_2D,
+    MAX_BITS_3D,
+    cell_of_point,
+    decode2,
+    decode3,
+    decode3_array,
+    encode2,
+    encode2_array,
+    encode3,
+    encode3_array,
+    points_to_codes,
+)
+
+__all__ = [
+    "KdTree",
+    "Octree",
+    "OctreeNode",
+    "encode2",
+    "decode2",
+    "encode3",
+    "decode3",
+    "encode2_array",
+    "encode3_array",
+    "decode3_array",
+    "cell_of_point",
+    "points_to_codes",
+    "MAX_BITS_2D",
+    "MAX_BITS_3D",
+]

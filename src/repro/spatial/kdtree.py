@@ -1,0 +1,156 @@
+"""kd-tree for nearest-neighbour search, implemented from scratch.
+
+Section 2.2 of the paper: "One builds a kd-tree over the coefficients so
+nearest neighbor searches can be executed very quickly.  A 'query'
+spectrum is expanded on the same basis on the fly and the nearest
+neighbors of its coefficient vector are looked up using the kd-tree."
+
+This is a median-split kd-tree over an ``(n, d)`` point set with
+k-nearest-neighbour and radius queries.  No ``scipy.spatial`` is used in
+library code; the test suite verifies against brute force (and scipy as
+an oracle where available).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KdTree"]
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    """One kd-tree node: either a split or a leaf over an index range."""
+
+    axis: int = -1
+    split: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    start: int = 0
+    stop: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class KdTree:
+    """kd-tree over an ``(n, d)`` float point set.
+
+    Args:
+        points: Point coordinates; copied and reordered internally.
+        leaf_size: Points per leaf below which splitting stops.
+    """
+
+    def __init__(self, points, leaf_size: int = _LEAF_SIZE):
+        points = np.asarray(points, dtype="f8")
+        if points.ndim != 2:
+            raise ValueError("points must be an (n, d) array")
+        if len(points) == 0:
+            raise ValueError("cannot build a kd-tree over zero points")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self._leaf_size = leaf_size
+        self._index = np.arange(len(points))
+        self._points = points.copy()
+        self._root = self._build(0, len(points), depth=0)
+
+    @property
+    def size(self) -> int:
+        return len(self._points)
+
+    @property
+    def dim(self) -> int:
+        return self._points.shape[1]
+
+    def _build(self, start: int, stop: int, depth: int) -> _Node:
+        n = stop - start
+        if n <= self._leaf_size:
+            return _Node(start=start, stop=stop)
+        # Split the widest axis at the median (better balance than
+        # cycling axes when the data is anisotropic).
+        block = self._points[start:stop]
+        axis = int(np.argmax(block.max(axis=0) - block.min(axis=0)))
+        order = np.argsort(block[:, axis], kind="stable")
+        self._points[start:stop] = block[order]
+        self._index[start:stop] = self._index[start:stop][order]
+        mid = start + n // 2
+        split = float(self._points[mid, axis])
+        node = _Node(axis=axis, split=split, start=start, stop=stop)
+        node.left = self._build(start, mid, depth + 1)
+        node.right = self._build(mid, stop, depth + 1)
+        return node
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, point, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbours of ``point``.
+
+        Returns:
+            ``(distances, indices)`` sorted by increasing distance;
+            indices refer to the original point order.
+        """
+        point = np.asarray(point, dtype="f8").reshape(-1)
+        if point.shape[0] != self.dim:
+            raise ValueError(
+                f"query point has {point.shape[0]} dimensions, tree "
+                f"has {self.dim}")
+        if not 1 <= k <= self.size:
+            raise ValueError(f"k={k} out of range [1, {self.size}]")
+        # Max-heap of (-dist2, index) holding the best k so far.
+        heap: list[tuple[float, int]] = []
+        self._knn(self._root, point, k, heap)
+        order = sorted((-d2, idx) for d2, idx in heap)
+        dists = np.sqrt([d2 for d2, _ in order])
+        idx = np.array([self._index[i] for _, i in order])
+        return dists, idx
+
+    def _knn(self, node: _Node, point: np.ndarray, k: int,
+             heap: list) -> None:
+        if node.is_leaf:
+            block = self._points[node.start:node.stop]
+            d2 = ((block - point) ** 2).sum(axis=1)
+            for offset, dist2 in enumerate(d2):
+                entry = (-float(dist2), node.start + offset)
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+            return
+        diff = point[node.axis] - node.split
+        near, far = ((node.left, node.right) if diff < 0
+                     else (node.right, node.left))
+        self._knn(near, point, k, heap)
+        worst = -heap[0][0] if len(heap) == k else np.inf
+        if diff * diff <= worst:
+            self._knn(far, point, k, heap)
+
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Indices of all points within ``radius`` of ``point``
+        (unsorted)."""
+        point = np.asarray(point, dtype="f8").reshape(-1)
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: list[int] = []
+        self._radius(self._root, point, radius * radius, out)
+        return self._index[np.array(out, dtype=int)] if out else \
+            np.empty(0, dtype=int)
+
+    def _radius(self, node: _Node, point: np.ndarray, r2: float,
+                out: list[int]) -> None:
+        if node.is_leaf:
+            block = self._points[node.start:node.stop]
+            d2 = ((block - point) ** 2).sum(axis=1)
+            out.extend(node.start + i for i in np.nonzero(d2 <= r2)[0])
+            return
+        diff = point[node.axis] - node.split
+        near, far = ((node.left, node.right) if diff < 0
+                     else (node.right, node.left))
+        self._radius(near, point, r2, out)
+        if diff * diff <= r2:
+            self._radius(far, point, r2, out)

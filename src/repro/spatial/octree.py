@@ -1,0 +1,367 @@
+"""Octree over 3-D point sets, implemented from scratch.
+
+Section 2.3 of the paper needs the data "arranged in coherent chunks
+organized into a spatial octree, not necessarily balanced", computed
+from a space-filling curve index, plus:
+
+* "a decimated octree of particles for several hierarchical levels ...
+  for the purposes of visualization where each sub-sampled particle
+  would get a different weight according to the number of original
+  particles in its region of attraction" — :meth:`Octree.decimate`;
+* "a spatial index that can retrieve points from within a cone or other
+  geometric primitives" (light-cone construction) —
+  :meth:`Octree.query_cone`, :meth:`query_box`, :meth:`query_sphere`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Octree", "OctreeNode"]
+
+
+@dataclass
+class OctreeNode:
+    """One octree cell.
+
+    Attributes:
+        center: Cell center (3,).
+        half: Half the cell edge length.
+        depth: Root is depth 0.
+        children: Eight children (octant order: bit 0 = x high,
+            bit 1 = y high, bit 2 = z high) or empty for a leaf.
+        start/stop: Index range of the tree's reordered point buffer
+            covered by this cell.
+    """
+
+    center: np.ndarray
+    half: float
+    depth: int
+    start: int
+    stop: int
+    children: list = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+
+class Octree:
+    """Adaptive (unbalanced) octree over points in a cubic domain.
+
+    Args:
+        points: ``(n, 3)`` coordinates inside ``[0, box_size)^3``.
+        box_size: Domain edge length.
+        max_points: Leaves are split while they hold more points than
+            this (and ``max_depth`` is not exceeded).
+        max_depth: Hard depth cap.
+    """
+
+    def __init__(self, points, box_size: float, max_points: int = 32,
+                 max_depth: int = 21):
+        points = np.asarray(points, dtype="f8")
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be an (n, 3) array")
+        if box_size <= 0:
+            raise ValueError("box_size must be positive")
+        if len(points) and (points.min() < 0 or points.max() >= box_size):
+            raise ValueError("points must lie inside [0, box_size)^3")
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        self.box_size = float(box_size)
+        self._points = points.copy()
+        self._index = np.arange(len(points))
+        half = box_size / 2.0
+        self.root = OctreeNode(
+            center=np.array([half, half, half]), half=half, depth=0,
+            start=0, stop=len(points))
+        self._max_points = max_points
+        self._max_depth = max_depth
+        if len(points):
+            self._split(self.root)
+
+    @property
+    def size(self) -> int:
+        return len(self._points)
+
+    @classmethod
+    def from_morton(cls, points, box_size: float, max_points: int = 32,
+                    max_depth: int = 21) -> "Octree":
+        """Build the octree from a space-filling-curve sort.
+
+        Paper Section 2.3: "the data [is] arranged in coherent chunks
+        organized into a spatial octree ... The octree would be
+        computed from a space filling curve index."  Sorting points by
+        their Morton code makes every octree cell a *contiguous run* of
+        the sorted order (an octant's children occupy consecutive code
+        ranges), so the recursive build never moves points again — the
+        construction used for bucketed, disk-resident data.
+
+        The resulting tree is equivalent to the direct constructor's
+        (same cells, same memberships); only the build path differs.
+        """
+        points = np.asarray(points, dtype="f8")
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be an (n, 3) array")
+        if len(points):
+            from .zorder import points_to_codes
+            depth_bits = min(max_depth, 21)
+            codes = points_to_codes(points, box_size, 1 << depth_bits)
+            order = np.argsort(codes, kind="stable")
+            tree = cls.__new__(cls)
+            tree.box_size = float(box_size)
+            if (points.min() < 0) or (points.max() >= box_size):
+                raise ValueError(
+                    "points must lie inside [0, box_size)^3")
+            tree._points = points[order].copy()
+            tree._index = order.copy()
+            half = box_size / 2.0
+            tree.root = OctreeNode(
+                center=np.array([half, half, half]), half=half,
+                depth=0, start=0, stop=len(points))
+            tree._max_points = max_points
+            tree._max_depth = max_depth
+            tree._split_sorted(tree.root,
+                               codes[order].astype(np.uint64),
+                               depth_bits)
+            return tree
+        return cls(points, box_size, max_points, max_depth)
+
+    def _split_sorted(self, node: OctreeNode, codes: np.ndarray,
+                      depth_bits: int) -> None:
+        """Recursive build over Morton-sorted points: each child's
+        members are found with two binary searches on the code array
+        instead of a partition pass."""
+        if node.count <= self._max_points or \
+                node.depth >= self._max_depth:
+            return
+        shift = np.uint64(3 * (depth_bits - node.depth - 1))
+        block = codes[node.start:node.stop]
+        octants = (block >> shift) & np.uint64(7)
+        bounds = np.searchsorted(octants, np.arange(9))
+        quarter = node.half / 2.0
+        for o in range(8):
+            start = node.start + int(bounds[o])
+            stop = node.start + int(bounds[o + 1])
+            # Morton bit order: bit 0 = x, bit 1 = y, bit 2 = z.
+            offset = np.array([
+                quarter if o & 1 else -quarter,
+                quarter if o & 2 else -quarter,
+                quarter if o & 4 else -quarter,
+            ])
+            child = OctreeNode(center=node.center + offset,
+                               half=quarter, depth=node.depth + 1,
+                               start=start, stop=stop)
+            node.children.append(child)
+            if child.count:
+                self._split_sorted(child, codes, depth_bits)
+
+    def _split(self, node: OctreeNode) -> None:
+        if node.count <= self._max_points or \
+                node.depth >= self._max_depth:
+            return
+        block = self._points[node.start:node.stop]
+        octant = ((block[:, 0] >= node.center[0]).astype(int)
+                  | ((block[:, 1] >= node.center[1]).astype(int) << 1)
+                  | ((block[:, 2] >= node.center[2]).astype(int) << 2))
+        order = np.argsort(octant, kind="stable")
+        self._points[node.start:node.stop] = block[order]
+        self._index[node.start:node.stop] = \
+            self._index[node.start:node.stop][order]
+        octant = octant[order]
+        bounds = np.searchsorted(octant, np.arange(9))
+        quarter = node.half / 2.0
+        for o in range(8):
+            start = node.start + int(bounds[o])
+            stop = node.start + int(bounds[o + 1])
+            offset = np.array([
+                quarter if o & 1 else -quarter,
+                quarter if o & 2 else -quarter,
+                quarter if o & 4 else -quarter,
+            ])
+            child = OctreeNode(center=node.center + offset, half=quarter,
+                               depth=node.depth + 1, start=start, stop=stop)
+            node.children.append(child)
+            if child.count:
+                self._split(child)
+
+    # -- traversal helpers --------------------------------------------------
+
+    def nodes(self):
+        """Yield every node, depth-first."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def leaf_nodes(self):
+        """Yield non-empty leaves."""
+        return (n for n in self.nodes() if n.is_leaf and n.count)
+
+    def depth(self) -> int:
+        """Deepest node depth."""
+        return max((n.depth for n in self.nodes()), default=0)
+
+    # -- queries ------------------------------------------------------------
+
+    def _collect(self, node: OctreeNode, test_cell, test_points,
+                 out: list) -> None:
+        status = test_cell(node)
+        if status == 0:      # disjoint
+            return
+        if status == 2:      # fully inside
+            out.extend(range(node.start, node.stop))
+            return
+        if node.is_leaf:
+            block = self._points[node.start:node.stop]
+            if node.count:
+                hits = np.nonzero(test_points(block))[0]
+                out.extend(node.start + int(i) for i in hits)
+            return
+        for child in node.children:
+            if child.count:
+                self._collect(child, test_cell, test_points, out)
+
+    def _finish(self, out: list) -> np.ndarray:
+        return (self._index[np.array(out, dtype=int)] if out
+                else np.empty(0, dtype=int))
+
+    def query_box(self, lo, hi) -> np.ndarray:
+        """Indices of points with ``lo <= p < hi`` per axis."""
+        lo = np.asarray(lo, dtype="f8")
+        hi = np.asarray(hi, dtype="f8")
+
+        def test_cell(node):
+            cmin = node.center - node.half
+            cmax = node.center + node.half
+            if (cmax <= lo).any() or (cmin >= hi).any():
+                return 0
+            if (cmin >= lo).all() and (cmax <= hi).all():
+                return 2
+            return 1
+
+        def test_points(block):
+            return ((block >= lo) & (block < hi)).all(axis=1)
+
+        out: list = []
+        self._collect(self.root, test_cell, test_points, out)
+        return self._finish(out)
+
+    def query_sphere(self, center, radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of ``center``."""
+        center = np.asarray(center, dtype="f8")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        r2 = radius * radius
+
+        def test_cell(node):
+            # Distance from sphere center to the cell (AABB).
+            d = np.maximum(np.abs(center - node.center) - node.half, 0.0)
+            if (d ** 2).sum() > r2:
+                return 0
+            # Farthest cell corner inside the sphere -> fully inside.
+            far = np.abs(center - node.center) + node.half
+            if (far ** 2).sum() <= r2:
+                return 2
+            return 1
+
+        def test_points(block):
+            return ((block - center) ** 2).sum(axis=1) <= r2
+
+        out: list = []
+        self._collect(self.root, test_cell, test_points, out)
+        return self._finish(out)
+
+    def query_cone(self, apex, direction, half_angle: float,
+                   max_distance: float | None = None) -> np.ndarray:
+        """Indices of points inside a (possibly truncated) cone.
+
+        The light-cone primitive of Section 2.3: points ``p`` with the
+        angle between ``p - apex`` and ``direction`` at most
+        ``half_angle`` (radians), optionally with ``|p - apex| <=
+        max_distance``.
+        """
+        apex = np.asarray(apex, dtype="f8")
+        direction = np.asarray(direction, dtype="f8")
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            raise ValueError("direction must be nonzero")
+        if not 0 < half_angle < np.pi:
+            raise ValueError("half_angle must be in (0, pi)")
+        direction = direction / norm
+        cos_half = np.cos(half_angle)
+
+        def test_cell(node):
+            # Conservative: the cell's bounding sphere vs cone expanded
+            # by the sphere radius (classic cone-sphere test).
+            radius = node.half * np.sqrt(3.0)
+            v = node.center - apex
+            dist = np.linalg.norm(v)
+            if max_distance is not None and dist - radius > max_distance:
+                return 0
+            if dist <= radius:
+                return 1
+            # Angle between the cell center and the axis, minus the
+            # angular radius of the bounding sphere.
+            cos_c = float(v @ direction) / dist
+            ang = np.arccos(np.clip(cos_c, -1.0, 1.0))
+            ang_r = np.arcsin(np.clip(radius / dist, 0.0, 1.0))
+            if ang - ang_r > half_angle:
+                return 0
+            return 1
+
+        def test_points(block):
+            v = block - apex
+            dist = np.linalg.norm(v, axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                cos_p = (v @ direction) / dist
+            inside = np.where(dist == 0, True, cos_p >= cos_half)
+            if max_distance is not None:
+                inside &= dist <= max_distance
+            return inside
+
+        out: list = []
+        self._collect(self.root, test_cell, test_points, out)
+        return self._finish(out)
+
+    # -- decimation -----------------------------------------------------------
+
+    def decimate(self, depth: int) -> tuple[np.ndarray, np.ndarray]:
+        """Hierarchical subsample at an octree level.
+
+        For every non-empty node at ``depth`` (or shallower leaf) one
+        representative particle is chosen (the one nearest the cell's
+        center of mass) and weighted by the number of original particles
+        in that cell — the paper's visualization decimation.
+
+        Returns:
+            ``(points, weights)`` — representatives' coordinates and
+            particle counts.
+        """
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
+        reps: list[np.ndarray] = []
+        weights: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0:
+                continue
+            if node.depth == depth or node.is_leaf:
+                block = self._points[node.start:node.stop]
+                com = block.mean(axis=0)
+                nearest = int(np.argmin(((block - com) ** 2).sum(axis=1)))
+                reps.append(block[nearest])
+                weights.append(node.count)
+            else:
+                stack.extend(node.children)
+        if not reps:
+            return np.empty((0, 3)), np.empty(0, dtype=int)
+        return np.stack(reps), np.array(weights, dtype=int)

@@ -1,0 +1,178 @@
+"""Morton (z-order) space-filling curve codes.
+
+Both big use cases partition space along a z-index: the turbulence
+database is "partitioned along a space filling curve (z-index) into
+cubes" (Section 2.1), and the N-body octree "would be computed from a
+space filling curve index" (Section 2.3).  Morton codes interleave the
+bits of the per-axis cell coordinates, so nearby cells in space tend to
+be nearby on disk — the clustering property the paper relies on to keep
+disk access controllable "at the application level".
+
+Scalar and vectorized (numpy) encoders/decoders are provided for 2-D
+and 3-D, using the standard magic-number bit-spreading construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MAX_BITS_3D",
+    "MAX_BITS_2D",
+    "encode2",
+    "decode2",
+    "encode3",
+    "decode3",
+    "encode3_array",
+    "decode3_array",
+    "encode2_array",
+    "cell_of_point",
+    "points_to_codes",
+]
+
+#: Bits per axis that fit a 64-bit 3-D Morton code.
+MAX_BITS_3D = 21
+#: Bits per axis that fit a 64-bit 2-D Morton code.
+MAX_BITS_2D = 32
+
+_U = np.uint64
+
+
+def _spread3(x):
+    """Spread the low 21 bits of ``x`` so consecutive bits land 3 apart
+    (works elementwise on uint64 scalars or arrays)."""
+    x = x & _U(0x1FFFFF)
+    x = (x | (x << _U(32))) & _U(0x1F00000000FFFF)
+    x = (x | (x << _U(16))) & _U(0x1F0000FF0000FF)
+    x = (x | (x << _U(8))) & _U(0x100F00F00F00F00F)
+    x = (x | (x << _U(4))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x << _U(2))) & _U(0x1249249249249249)
+    return x
+
+
+def _compact3(x):
+    """Inverse of :func:`_spread3`."""
+    x = x & _U(0x1249249249249249)
+    x = (x ^ (x >> _U(2))) & _U(0x10C30C30C30C30C3)
+    x = (x ^ (x >> _U(4))) & _U(0x100F00F00F00F00F)
+    x = (x ^ (x >> _U(8))) & _U(0x1F0000FF0000FF)
+    x = (x ^ (x >> _U(16))) & _U(0x1F00000000FFFF)
+    x = (x ^ (x >> _U(32))) & _U(0x1FFFFF)
+    return x
+
+
+def _spread2(x):
+    """Spread the low 32 bits so consecutive bits land 2 apart."""
+    x = x & _U(0xFFFFFFFF)
+    x = (x | (x << _U(16))) & _U(0x0000FFFF0000FFFF)
+    x = (x | (x << _U(8))) & _U(0x00FF00FF00FF00FF)
+    x = (x | (x << _U(4))) & _U(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << _U(2))) & _U(0x3333333333333333)
+    x = (x | (x << _U(1))) & _U(0x5555555555555555)
+    return x
+
+
+def _compact2(x):
+    x = x & _U(0x5555555555555555)
+    x = (x ^ (x >> _U(1))) & _U(0x3333333333333333)
+    x = (x ^ (x >> _U(2))) & _U(0x0F0F0F0F0F0F0F0F)
+    x = (x ^ (x >> _U(4))) & _U(0x00FF00FF00FF00FF)
+    x = (x ^ (x >> _U(8))) & _U(0x0000FFFF0000FFFF)
+    x = (x ^ (x >> _U(16))) & _U(0xFFFFFFFF)
+    return x
+
+
+def _check(coord: int, bits: int, axis: str) -> None:
+    if not 0 <= coord < (1 << bits):
+        raise ValueError(
+            f"coordinate {axis}={coord} out of range [0, 2^{bits})")
+
+
+def encode3(x: int, y: int, z: int, bits: int = MAX_BITS_3D) -> int:
+    """Morton-encode a 3-D cell coordinate.
+
+    Bit ``3k`` of the code is bit ``k`` of ``x``, then ``y``, then ``z``.
+    """
+    if bits > MAX_BITS_3D:
+        raise ValueError(f"at most {MAX_BITS_3D} bits per axis in 3-D")
+    for axis, c in (("x", x), ("y", y), ("z", z)):
+        _check(c, bits, axis)
+    return int(_spread3(_U(x)) | (_spread3(_U(y)) << _U(1))
+               | (_spread3(_U(z)) << _U(2)))
+
+
+def decode3(code: int) -> tuple[int, int, int]:
+    """Inverse of :func:`encode3`."""
+    c = _U(code)
+    return (int(_compact3(c)), int(_compact3(c >> _U(1))),
+            int(_compact3(c >> _U(2))))
+
+
+def encode2(x: int, y: int, bits: int = MAX_BITS_2D) -> int:
+    """Morton-encode a 2-D cell coordinate."""
+    if bits > MAX_BITS_2D:
+        raise ValueError(f"at most {MAX_BITS_2D} bits per axis in 2-D")
+    _check(x, bits, "x")
+    _check(y, bits, "y")
+    return int(_spread2(_U(x)) | (_spread2(_U(y)) << _U(1)))
+
+
+def decode2(code: int) -> tuple[int, int]:
+    """Inverse of :func:`encode2`."""
+    c = _U(code)
+    return int(_compact2(c)), int(_compact2(c >> _U(1)))
+
+
+def encode3_array(coords: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`encode3` over an ``(n, 3)`` integer array."""
+    coords = np.asarray(coords, dtype=np.uint64)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError("expected an (n, 3) coordinate array")
+    if coords.size and int(coords.max()) >= (1 << MAX_BITS_3D):
+        raise ValueError(f"coordinates exceed 2^{MAX_BITS_3D} - 1")
+    return (_spread3(coords[:, 0]) | (_spread3(coords[:, 1]) << _U(1))
+            | (_spread3(coords[:, 2]) << _U(2)))
+
+
+def decode3_array(codes: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`decode3`; returns an ``(n, 3)`` uint64 array."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    return np.stack([_compact3(codes), _compact3(codes >> _U(1)),
+                     _compact3(codes >> _U(2))], axis=1)
+
+
+def encode2_array(coords: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`encode2` over an ``(n, 2)`` integer array."""
+    coords = np.asarray(coords, dtype=np.uint64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError("expected an (n, 2) coordinate array")
+    if coords.size and int(coords.max()) >= (1 << MAX_BITS_2D):
+        raise ValueError(f"coordinates exceed 2^{MAX_BITS_2D} - 1")
+    return _spread2(coords[:, 0]) | (_spread2(coords[:, 1]) << _U(1))
+
+
+def cell_of_point(point, box_size: float, cells_per_axis: int
+                  ) -> tuple[int, ...]:
+    """Cell coordinate of a point in a cubic ``[0, box_size)^d`` domain
+    divided into ``cells_per_axis`` cells per axis."""
+    out = []
+    for p in point:
+        c = int(p / box_size * cells_per_axis)
+        out.append(min(max(c, 0), cells_per_axis - 1))
+    return tuple(out)
+
+
+def points_to_codes(points: np.ndarray, box_size: float,
+                    cells_per_axis: int) -> np.ndarray:
+    """Morton codes of 3-D points in a cubic domain (vectorized).
+
+    This is the bucketing step both the turbulence partitioner and the
+    N-body octree builder start from.
+    """
+    points = np.asarray(points, dtype="f8")
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("expected an (n, 3) point array")
+    cells = np.clip(
+        (points / box_size * cells_per_axis).astype(np.int64),
+        0, cells_per_axis - 1)
+    return encode3_array(cells.astype(np.uint64))

@@ -1,0 +1,23 @@
+"""Real SQL surface: the array library registered as SQLite UDFs.
+
+::
+
+    from repro.sqlbind import connect
+
+    conn = connect()
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)")
+    conn.execute("INSERT INTO t VALUES (1, FloatArray_Vector_3(1, 2, 3))")
+    conn.execute("SELECT FloatArray_Item_1(v, 2) FROM t").fetchone()
+"""
+
+from .connection import ArrayConnection, SqliteBlobStream, connect
+from .registry import SCALAR_EXPORTS, register_all, register_namespace
+
+__all__ = [
+    "connect",
+    "ArrayConnection",
+    "SqliteBlobStream",
+    "register_all",
+    "register_namespace",
+    "SCALAR_EXPORTS",
+]

@@ -1,0 +1,26 @@
+"""T-SQL-style surface: per-type function schemas and the array-notation
+pre-parser.
+
+The generated schemas are importable directly::
+
+    from repro.tsql import FloatArray, FloatArrayMax, IntArray
+
+    a = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)
+    FloatArray.Item_1(a, 3)     # -> 4.0
+
+See :data:`repro.tsql.namespaces.NAMESPACES` for the full registry and
+:mod:`repro.tsql.parser` for the ``a[1:6, 2]`` syntactic sugar.
+"""
+
+from . import parser
+from .mathfuncs import MATH_EXPORTS, attach_math_functions
+from .namespaces import NAMESPACES, ArrayNamespace, FromString, namespace_for
+
+__all__ = ["NAMESPACES", "ArrayNamespace", "namespace_for", "FromString",
+           "parser", "MATH_EXPORTS", "attach_math_functions"] \
+    + sorted(NAMESPACES)
+
+# Export every generated schema (FloatArray, FloatArrayMax, IntArray,
+# IntArrayMax, BigIntArray, ...) as a module attribute, mirroring the SQL
+# schema names from the paper.
+globals().update(NAMESPACES)

@@ -1,0 +1,151 @@
+"""Math-library UDFs on the T-SQL schemas (paper Section 5.3).
+
+The paper exposes LAPACK and FFTW directly from T-SQL::
+
+    DECLARE @ft VARBINARY(MAX)
+    SET @ft = FloatArrayMax.FFTForward(@a)
+
+This module attaches those functions to every floating/complex schema:
+
+=================  =====================================================
+Function           Meaning
+=================  =====================================================
+``FFTForward``     N-D forward DFT; returns a complex array blob
+``FFTInverse``     Inverse DFT (complex input)
+``PowerSpectrum``  ``|FFT|^2`` as a real array
+``SvdValues``      Singular values of a matrix (``*gesvd``, values only)
+``SvdU/SvdVT``     The U / V^T factors of the thin SVD
+``Lstsq``          Least squares solve ``A x ~ b``
+``MaskedLstsq``    Least squares over unmasked rows only
+``Nnls``           Non-negative least squares (Lawson-Hanson)
+``MatMul``         Matrix / matrix-vector product
+``Transpose``      Matrix transpose
+=================  =====================================================
+
+Results follow the invoking schema's storage class; complex results go
+to the matching complex schema's blob format (``FFTForward`` on
+``FloatArray`` returns a ``ComplexArray`` blob, exactly as the native
+library would hand back a complex buffer).
+
+Integer schemas do not receive these functions — the paper's math layer
+is floating-point only.
+"""
+
+from __future__ import annotations
+
+from ..core import ops as _ops
+from ..core.header import STORAGE_SHORT
+from ..core.sqlarray import SqlArray
+from ..mathlib import fftw as _fftw
+from ..mathlib import lapack as _lapack
+from ..mathlib.nnls import nnls_arrays as _nnls_arrays
+from .namespaces import NAMESPACES, ArrayNamespace
+
+__all__ = ["attach_math_functions", "MATH_EXPORTS"]
+
+#: Math functions exported to SQL, with their argument counts.
+MATH_EXPORTS = {
+    "FFTForward": 1,
+    "FFTInverse": 1,
+    "PowerSpectrum": 1,
+    "SvdValues": 1,
+    "SvdU": 1,
+    "SvdVT": 1,
+    "Lstsq": 2,
+    "MaskedLstsq": 3,
+    "Nnls": 2,
+    "NnlsResidual": 2,
+    "MatMul": 2,
+    "Transpose": 1,
+}
+
+
+def _attach(ns: ArrayNamespace) -> None:
+    """Generate the math methods for one schema."""
+
+    def out_same(arr: SqlArray) -> bytes:
+        return ns._out(arr)
+
+    def out_typed(arr: SqlArray) -> bytes:
+        """Serialize keeping the result's own element type but this
+        schema's storage class (complex results from real schemas)."""
+        if arr.storage != ns.storage:
+            arr = (_ops.to_short(arr) if ns.storage == STORAGE_SHORT
+                   else _ops.to_max(arr))
+        return arr.to_blob()
+
+    def FFTForward(blob: bytes) -> bytes:
+        """Forward DFT of the array; returns a complex array blob."""
+        return out_typed(_fftw.fft_forward(ns._wrap(blob)))
+
+    def FFTInverse(blob: bytes) -> bytes:
+        """Inverse DFT (this schema must be complex)."""
+        return out_typed(_fftw.fft_inverse(ns._wrap(blob)))
+
+    def PowerSpectrum(blob: bytes) -> bytes:
+        """``|FFT|^2`` as a float64 array blob."""
+        return out_typed(_fftw.power_spectrum(ns._wrap(blob)))
+
+    def SvdValues(blob: bytes) -> bytes:
+        """Singular values of a matrix, descending (``*gesvd``)."""
+        return out_typed(_lapack.svd_values(ns._wrap(blob)))
+
+    def SvdU(blob: bytes) -> bytes:
+        """U factor of the thin SVD."""
+        u, _s, _vt = _lapack.gesvd(ns._wrap(blob))
+        return out_typed(u)
+
+    def SvdVT(blob: bytes) -> bytes:
+        """V^T factor of the thin SVD."""
+        _u, _s, vt = _lapack.gesvd(ns._wrap(blob))
+        return out_typed(vt)
+
+    def Lstsq(a: bytes, b: bytes) -> bytes:
+        """Least squares solution of ``A x ~ b``."""
+        return out_typed(_lapack.solve_lstsq(ns._wrap(a), ns._wrap(b)))
+
+    def MaskedLstsq(a: bytes, b: bytes, mask: bytes) -> bytes:
+        """Least squares restricted to rows with nonzero mask."""
+        return out_typed(_lapack.masked_lstsq(
+            ns._wrap(a), ns._wrap(b), SqlArray.from_blob(mask)))
+
+    def Nnls(a: bytes, b: bytes) -> bytes:
+        """Non-negative least squares solution vector."""
+        x, _rnorm = _nnls_arrays(ns._wrap(a), ns._wrap(b))
+        return out_typed(x)
+
+    def NnlsResidual(a: bytes, b: bytes) -> float:
+        """Residual 2-norm of the NNLS solution."""
+        _x, rnorm = _nnls_arrays(ns._wrap(a), ns._wrap(b))
+        return rnorm
+
+    def MatMul(a: bytes, b: bytes) -> bytes:
+        """Matrix (or matrix-vector) product."""
+        return out_typed(_lapack.matmul(ns._wrap(a), ns._wrap(b)))
+
+    def Transpose(blob: bytes) -> bytes:
+        """Matrix transpose."""
+        return out_same(_lapack.transpose(ns._wrap(blob)))
+
+    local = locals()
+    for name in MATH_EXPORTS:
+        setattr(ns, name, local[name])
+
+
+def attach_math_functions() -> list[str]:
+    """Attach the math UDFs to every floating and complex schema.
+
+    Returns the schema names that received them.  Idempotent.
+    """
+    attached = []
+    for ns in NAMESPACES.values():
+        if ns.dtype.is_integer:
+            continue
+        _attach(ns)
+        attached.append(ns.name)
+    return attached
+
+
+# The schemas ship with the math layer attached, like the paper's
+# library deploys its LAPACK/FFTW wrappers with the array assembly.
+attach_math_functions()

@@ -1,0 +1,456 @@
+"""Array-notation pre-parser — the syntactic sugar the paper asks for.
+
+Section 8 of the paper concludes that "a syntactic sugar to T-SQL and a
+pre-parser would be desirable that translates a special flavor of SQL
+designed for array notation to standard T-SQL with function calls".
+This module implements that pre-parser for the expression language:
+
+=====================  ==============================================
+Array expression       Translation
+=====================  ==============================================
+``a[3]``               ``FloatArray.Item_1(@a, 3)``
+``m[1, 0]``            ``FloatArray.Item_2(@m, 1, 0)``
+``a[1:6]``             ``FloatArray.Subarray(@a, Vector(1), Vector(5))``
+``c[0:5, 2:4, 1:2]``   ``...Subarray(@c, Vector(0,2,1), Vector(5,2,1))``
+``a[2] := 4.5``        ``FloatArray.UpdateItem_1(@a, 2, 4.5)``
+``a + b``, ``a * 2``   ``Add`` / ``Scale`` calls
+``sum(a)``, ``dot(a, b)``  aggregate / product calls
+=====================  ==============================================
+
+Slices use Python-style half-open ``start:stop`` bounds.  The parser both
+*translates* (producing the T-SQL call text, so it can be used as a
+pre-processor in front of a SQL connection) and *evaluates* (against an
+environment of named blobs, so the sugar also works directly in Python).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from ..core import ops as _ops
+from ..core.errors import ArrayError
+from ..core.sqlarray import SqlArray
+
+__all__ = ["ArrayExpressionError", "parse", "evaluate", "translate"]
+
+
+class ArrayExpressionError(ArrayError):
+    """Raised for syntax or evaluation errors in array expressions."""
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+              |\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<assign>:=)
+  | (?P<op>[\[\]():,+\-*/])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ArrayExpressionError(
+                f"unexpected character {text[pos]!r} at position {pos}")
+        kind = m.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+# -- AST ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Num:
+    value: float | int
+
+
+@dataclass(frozen=True)
+class _Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class _Index:
+    target: "_Node"
+    indices: tuple  # ints/_Node for items; (lo, hi) tuples for slices
+
+
+@dataclass(frozen=True)
+class _Bin:
+    op: str
+    left: "_Node"
+    right: "_Node"
+
+
+@dataclass(frozen=True)
+class _Neg:
+    operand: "_Node"
+
+
+@dataclass(frozen=True)
+class _Call:
+    func: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class _Assign:
+    target: _Index
+    value: "_Node"
+
+
+_Node = object
+
+
+class _Parser:
+    """Recursive-descent parser for the array expression grammar."""
+
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._i = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> _Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def _expect(self, text: str) -> _Token:
+        tok = self._next()
+        if tok.text != text:
+            raise ArrayExpressionError(
+                f"expected {text!r} at position {tok.pos}, "
+                f"got {tok.text!r}")
+        return tok
+
+    def parse(self) -> _Node:
+        node = self._expr()
+        if self._peek().kind == "assign":
+            if not isinstance(node, _Index) or any(
+                    isinstance(i, tuple) for i in node.indices):
+                raise ArrayExpressionError(
+                    "only item references (a[i, j]) can be assigned")
+            self._next()
+            value = self._expr()
+            node = _Assign(node, value)
+        tok = self._peek()
+        if tok.kind != "eof":
+            raise ArrayExpressionError(
+                f"unexpected {tok.text!r} at position {tok.pos}")
+        return node
+
+    def _expr(self) -> _Node:
+        node = self._term()
+        while self._peek().text in ("+", "-"):
+            op = self._next().text
+            node = _Bin(op, node, self._term())
+        return node
+
+    def _term(self) -> _Node:
+        node = self._unary()
+        while self._peek().text in ("*", "/"):
+            op = self._next().text
+            node = _Bin(op, node, self._unary())
+        return node
+
+    def _unary(self) -> _Node:
+        if self._peek().text == "-":
+            self._next()
+            return _Neg(self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> _Node:
+        node = self._primary()
+        while self._peek().text == "[":
+            self._next()
+            indices = [self._index_part()]
+            while self._peek().text == ",":
+                self._next()
+                indices.append(self._index_part())
+            self._expect("]")
+            node = _Index(node, tuple(indices))
+        return node
+
+    def _index_part(self):
+        lo = self._expr()
+        if self._peek().text == ":":
+            self._next()
+            hi = self._expr()
+            return (lo, hi)
+        return lo
+
+    def _primary(self) -> _Node:
+        tok = self._next()
+        if tok.kind == "number":
+            text = tok.text
+            value = float(text) if ("." in text or "e" in text.lower()) \
+                else int(text)
+            return _Num(value)
+        if tok.kind == "name":
+            if self._peek().text == "(":
+                self._next()
+                args = []
+                if self._peek().text != ")":
+                    args.append(self._expr())
+                    while self._peek().text == ",":
+                        self._next()
+                        args.append(self._expr())
+                self._expect(")")
+                return _Call(tok.text.lower(), tuple(args))
+            return _Var(tok.text)
+        if tok.text == "(":
+            node = self._expr()
+            self._expect(")")
+            return node
+        raise ArrayExpressionError(
+            f"unexpected {tok.text!r} at position {tok.pos}")
+
+
+def parse(text: str) -> _Node:
+    """Parse an array expression into an AST (mostly useful for tests
+    and for :func:`translate`)."""
+    return _Parser(text).parse()
+
+
+# -- evaluation -------------------------------------------------------------
+
+
+_AGG_FUNCS = {"sum", "mean", "min", "max", "std"}
+
+
+def _eval(node: _Node, env: dict):
+    if isinstance(node, _Num):
+        return node.value
+    if isinstance(node, _Var):
+        try:
+            value = env[node.name]
+        except KeyError:
+            raise ArrayExpressionError(f"unknown name {node.name!r}")
+        if isinstance(value, (bytes, bytearray)):
+            return SqlArray.from_blob(value)
+        return value
+    if isinstance(node, _Neg):
+        operand = _eval(node.operand, env)
+        if isinstance(operand, SqlArray):
+            return _ops.negate(operand)
+        return -operand
+    if isinstance(node, _Bin):
+        left = _eval(node.left, env)
+        right = _eval(node.right, env)
+        return _apply_bin(node.op, left, right)
+    if isinstance(node, _Index):
+        target = _eval(node.target, env)
+        if not isinstance(target, SqlArray):
+            raise ArrayExpressionError("indexing a non-array value")
+        return _apply_index(target, node.indices, env)
+    if isinstance(node, _Call):
+        args = [_eval(a, env) for a in node.args]
+        return _apply_call(node.func, args)
+    if isinstance(node, _Assign):
+        target = _eval(node.target.target, env)
+        if not isinstance(target, SqlArray):
+            raise ArrayExpressionError("assigning into a non-array value")
+        indices = [int(_eval(i, env)) for i in node.target.indices]
+        value = _eval(node.value, env)
+        return _ops.update_item(target, indices, value)
+    raise ArrayExpressionError(f"cannot evaluate node {node!r}")
+
+
+def _apply_index(target: SqlArray, indices, env):
+    has_slice = any(isinstance(i, tuple) for i in indices)
+    if not has_slice:
+        return _ops.item(target, *[int(_eval(i, env)) for i in indices])
+    offsets, sizes = [], []
+    for part in indices:
+        if isinstance(part, tuple):
+            lo = int(_eval(part[0], env))
+            hi = int(_eval(part[1], env))
+            if hi <= lo:
+                raise ArrayExpressionError(
+                    f"empty slice [{lo}:{hi}] in subarray expression")
+            offsets.append(lo)
+            sizes.append(hi - lo)
+        else:
+            offsets.append(int(_eval(part, env)))
+            sizes.append(1)
+    # Mixed item/slice indexing collapses the singleton dimensions, the
+    # way the paper retrieves matrix columns.
+    return _ops.subarray(target, offsets, sizes, collapse=has_slice and
+                         any(s == 1 for s in sizes))
+
+
+def _apply_bin(op: str, left, right):
+    both_arrays = isinstance(left, SqlArray) and isinstance(right, SqlArray)
+    if both_arrays:
+        table = {"+": _ops.add, "-": _ops.subtract, "*": _ops.multiply,
+                 "/": _ops.divide}
+        return table[op](left, right)
+    if isinstance(left, SqlArray) or isinstance(right, SqlArray):
+        arr, scalar = ((left, right) if isinstance(left, SqlArray)
+                       else (right, left))
+        if op == "+":
+            return _ops.shift(arr, scalar)
+        if op == "*":
+            return _ops.scale(arr, scalar)
+        if op == "-":
+            if isinstance(left, SqlArray):
+                return _ops.shift(arr, -scalar)
+            return _ops.shift(_ops.negate(arr), scalar)
+        if op == "/":
+            if isinstance(left, SqlArray):
+                return _ops.scale(arr, 1.0 / scalar)
+            raise ArrayExpressionError("scalar / array is not defined")
+    table = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+             "*": lambda a, b: a * b, "/": lambda a, b: a / b}
+    return table[op](left, right)
+
+
+def _apply_call(func: str, args):
+    if func in _AGG_FUNCS:
+        if len(args) != 1 or not isinstance(args[0], SqlArray):
+            raise ArrayExpressionError(f"{func}() takes one array argument")
+        return _ops.aggregate_all(args[0], func)
+    if func == "dot":
+        if len(args) != 2:
+            raise ArrayExpressionError("dot() takes two array arguments")
+        return _ops.dot(args[0], args[1])
+    if func == "reshape":
+        if len(args) < 2 or not isinstance(args[0], SqlArray):
+            raise ArrayExpressionError(
+                "reshape() takes an array and dimension sizes")
+        return _ops.reshape(args[0], [int(a) for a in args[1:]])
+    raise ArrayExpressionError(f"unknown function {func!r}")
+
+
+def evaluate(text: str, env: dict):
+    """Evaluate an array expression against named values.
+
+    ``env`` maps names to blobs (``bytes``), :class:`SqlArray` values, or
+    scalars.  Returns a scalar or a :class:`SqlArray`.
+    """
+    return _eval(parse(text), env)
+
+
+# -- translation to T-SQL ------------------------------------------------------
+
+
+def _schema_of(env_types: dict, name: str) -> str:
+    try:
+        return env_types[name]
+    except KeyError:
+        raise ArrayExpressionError(
+            f"no declared schema for variable {name!r}")
+
+
+def _translate(node: _Node, env_types: dict) -> tuple[str, str | None]:
+    """Return ``(sql_text, schema)`` where schema is the array schema the
+    expression produces, or None for scalars."""
+    if isinstance(node, _Num):
+        return repr(node.value), None
+    if isinstance(node, _Var):
+        schema = env_types.get(node.name)
+        return f"@{node.name}", schema
+    if isinstance(node, _Neg):
+        text, schema = _translate(node.operand, env_types)
+        if schema:
+            return f"{schema}.Scale({text}, -1)", schema
+        return f"-{text}", None
+    if isinstance(node, _Index):
+        target_text, schema = _translate(node.target, env_types)
+        if schema is None:
+            raise ArrayExpressionError("indexing a scalar expression")
+        has_slice = any(isinstance(i, tuple) for i in node.indices)
+        if not has_slice:
+            parts = [_translate(i, env_types)[0] for i in node.indices]
+            n = len(parts)
+            return (f"{schema}.Item_{n}({target_text}, "
+                    f"{', '.join(parts)})", None)
+        offsets, sizes = [], []
+        for part in node.indices:
+            if isinstance(part, tuple):
+                lo = _translate(part[0], env_types)[0]
+                hi = _translate(part[1], env_types)[0]
+                offsets.append(lo)
+                sizes.append(f"{hi} - {lo}")
+            else:
+                offsets.append(_translate(part, env_types)[0])
+                sizes.append("1")
+        n = len(offsets)
+        off = f"IntArray.Vector_{n}({', '.join(offsets)})"
+        size = f"IntArray.Vector_{n}({', '.join(sizes)})"
+        return (f"{schema}.Subarray({target_text}, {off}, {size}, 1)",
+                schema)
+    if isinstance(node, _Bin):
+        lt, ls = _translate(node.left, env_types)
+        rt, rs = _translate(node.right, env_types)
+        if ls and rs:
+            name = {"+": "Add", "-": "Subtract", "*": "Multiply",
+                    "/": "Divide"}[node.op]
+            return f"{ls}.{name}({lt}, {rt})", ls
+        if ls or rs:
+            schema = ls or rs
+            arr, scal = (lt, rt) if ls else (rt, lt)
+            if node.op == "*":
+                return f"{schema}.Scale({arr}, {scal})", schema
+            if node.op == "/" and ls:
+                return f"{schema}.Scale({arr}, 1.0 / ({scal}))", schema
+            raise ArrayExpressionError(
+                f"array {node.op} scalar has no single-call translation; "
+                "rewrite with Scale/Shift")
+        return f"({lt} {node.op} {rt})", None
+    if isinstance(node, _Call):
+        args = [_translate(a, env_types) for a in node.args]
+        if node.func in _AGG_FUNCS:
+            text, schema = args[0]
+            if schema is None:
+                raise ArrayExpressionError(
+                    f"{node.func}() takes an array argument")
+            return f"{schema}.{node.func.capitalize()}({text})", None
+        if node.func == "dot":
+            (at, aschema), (bt, _bs) = args
+            return f"{aschema}.Dot({at}, {bt})", None
+        if node.func == "reshape":
+            (at, aschema), *dims = args
+            n = len(dims)
+            vec = f"IntArray.Vector_{n}({', '.join(d[0] for d in dims)})"
+            return f"{aschema}.Reshape({at}, {vec})", aschema
+        raise ArrayExpressionError(f"unknown function {node.func!r}")
+    if isinstance(node, _Assign):
+        target_text, schema = _translate(node.target.target, env_types)
+        parts = [_translate(i, env_types)[0] for i in node.target.indices]
+        value_text, _ = _translate(node.value, env_types)
+        n = len(parts)
+        return (f"{schema}.UpdateItem_{n}({target_text}, "
+                f"{', '.join(parts)}, {value_text})", schema)
+    raise ArrayExpressionError(f"cannot translate node {node!r}")
+
+
+def translate(text: str, schemas: dict[str, str]) -> str:
+    """Translate an array expression to T-SQL function-call text.
+
+    ``schemas`` declares the array schema of each variable, e.g.
+    ``{"a": "FloatArray", "m": "FloatArrayMax"}``; variables not listed
+    are treated as scalars.
+
+    >>> translate("m[1, 0]", {"m": "FloatArray"})
+    'FloatArray.Item_2(@m, 1, 0)'
+    """
+    sql, _schema = _translate(parse(text), schemas)
+    return sql

@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import ALL_DTYPES
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+def small_shapes(max_rank=4, max_side=6):
+    """Hypothesis strategy for small array shapes (at least 1 element
+    per dimension keeps most operations meaningful)."""
+    return st.lists(st.integers(1, max_side), min_size=1,
+                    max_size=max_rank).map(tuple)
+
+
+def dtype_strategy():
+    """Strategy over every registered element type."""
+    return st.sampled_from(ALL_DTYPES)
+
+
+def values_for(dtype, shape, seed):
+    """Deterministic values of a given dtype and shape."""
+    gen = np.random.default_rng(seed)
+    count = int(np.prod(shape))
+    if dtype.is_complex:
+        data = gen.standard_normal(count) + 1j * gen.standard_normal(count)
+    elif dtype.is_integer:
+        info = np.iinfo(dtype.numpy_dtype)
+        data = gen.integers(info.min, info.max, size=count, dtype=np.int64)
+    else:
+        data = gen.standard_normal(count)
+    return data.astype(dtype.numpy_dtype).reshape(shape, order="F")

@@ -1,0 +1,168 @@
+"""Tests for array aggregation: the Concat UDA vs the reader design,
+and element-wise set aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregateError, FLOAT64, SqlArray
+from repro.core.aggregates import (
+    ConcatAggregate,
+    UdaCostLog,
+    average_arrays,
+    concat_reader,
+    concat_uda,
+    correlation_matrix,
+    covariance_matrix,
+    max_arrays,
+    min_arrays,
+    sum_arrays,
+)
+
+
+def _rows(shape, seed=0):
+    gen = np.random.default_rng(seed)
+    values = gen.standard_normal(shape)
+    rows = [(idx, values[idx]) for idx in np.ndindex(*shape)]
+    gen.shuffle(rows)
+    return rows, values
+
+
+class TestConcat:
+    def test_uda_and_reader_agree(self):
+        rows, values = _rows((4, 5))
+        a = concat_uda(iter(rows), (4, 5), FLOAT64)
+        b = concat_reader(iter(rows), (4, 5), FLOAT64)
+        assert a == b
+        np.testing.assert_allclose(a.to_numpy(), values)
+
+    def test_uda_serialization_cost_is_per_row(self):
+        # Section 4.2: "the state of aggregation had to be serialized
+        # via a binary stream interface for each row".
+        rows, _ = _rows((6, 6))
+        log = UdaCostLog()
+        concat_uda(iter(rows), (6, 6), FLOAT64, cost_log=log)
+        assert log.rows == 36
+        assert log.serializations == 36
+        # Each serialization carries the whole state: O(rows * state).
+        state_bytes = 36 * 8 + (36 + 7) // 8
+        assert log.bytes_serialized == 36 * state_bytes
+
+    def test_unfilled_cells_are_zero(self):
+        out = concat_reader([((0, 0), 5.0)], (2, 2), FLOAT64)
+        np.testing.assert_array_equal(out.to_numpy(),
+                                      [[5.0, 0.0], [0.0, 0.0]])
+
+    def test_accumulate_validates_index(self):
+        agg = ConcatAggregate((2, 2), FLOAT64)
+        with pytest.raises(AggregateError):
+            agg.accumulate((0,), 1.0)
+        from repro.core import BoundsError
+        with pytest.raises(BoundsError):
+            agg.accumulate((2, 0), 1.0)
+
+    def test_merge_parallel_states(self):
+        left = ConcatAggregate((2, 2), FLOAT64)
+        right = ConcatAggregate((2, 2), FLOAT64)
+        left.accumulate((0, 0), 1.0)
+        right.accumulate((1, 1), 2.0)
+        left.merge(right)
+        np.testing.assert_array_equal(left.terminate().to_numpy(),
+                                      [[1.0, 0.0], [0.0, 2.0]])
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(AggregateError):
+            ConcatAggregate((2, 2), FLOAT64).merge(
+                ConcatAggregate((3,), FLOAT64))
+
+    def test_serialize_deserialize_roundtrip(self):
+        agg = ConcatAggregate((3, 2), "int32")
+        agg.accumulate((2, 1), 7)
+        agg.accumulate((0, 0), -1)
+        back = ConcatAggregate.deserialize(agg.serialize(), (3, 2),
+                                           "int32")
+        assert back.terminate() == agg.terminate()
+        # The fill mask round-trips too: re-accumulating elsewhere must
+        # not clobber the existing cells on merge.
+        other = ConcatAggregate((3, 2), "int32")
+        other.accumulate((1, 1), 9)
+        back.merge(other)
+        out = back.terminate().to_numpy()
+        assert out[2, 1] == 7 and out[0, 0] == -1 and out[1, 1] == 9
+
+
+class TestSetAggregates:
+    def _vectors(self, n=5, length=4, seed=0):
+        gen = np.random.default_rng(seed)
+        return [SqlArray.from_numpy(gen.standard_normal(length))
+                for _ in range(n)]
+
+    def test_average(self):
+        vs = self._vectors()
+        out = average_arrays(vs)
+        expected = np.mean([v.to_numpy() for v in vs], axis=0)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_weighted_average(self):
+        vs = self._vectors(3)
+        out = average_arrays(vs, weights=[1.0, 0.0, 0.0])
+        np.testing.assert_allclose(out.to_numpy(), vs[0].to_numpy())
+
+    def test_weight_validation(self):
+        vs = self._vectors(2)
+        with pytest.raises(AggregateError):
+            average_arrays(vs, weights=[1.0])
+        with pytest.raises(AggregateError):
+            average_arrays(vs, weights=[0.0, 0.0])
+
+    def test_sum_min_max(self):
+        vs = self._vectors(4)
+        stacked = np.stack([v.to_numpy() for v in vs])
+        np.testing.assert_allclose(sum_arrays(vs).to_numpy(),
+                                   stacked.sum(axis=0))
+        np.testing.assert_allclose(min_arrays(vs).to_numpy(),
+                                   stacked.min(axis=0))
+        np.testing.assert_allclose(max_arrays(vs).to_numpy(),
+                                   stacked.max(axis=0))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(AggregateError):
+            average_arrays([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AggregateError):
+            average_arrays([SqlArray.from_numpy(np.zeros(2)),
+                            SqlArray.from_numpy(np.zeros(3))])
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(AggregateError):
+            average_arrays([SqlArray.from_numpy(np.zeros(2)),
+                            SqlArray.from_numpy(
+                                np.zeros(2, dtype="i4"))])
+
+    def test_covariance_matches_numpy(self):
+        vs = self._vectors(20, 6, seed=3)
+        cov = covariance_matrix(vs).to_numpy()
+        expected = np.cov(np.stack([v.to_numpy() for v in vs]).T)
+        np.testing.assert_allclose(cov, expected)
+
+    def test_covariance_needs_two(self):
+        with pytest.raises(AggregateError):
+            covariance_matrix(self._vectors(1))
+
+    def test_covariance_rejects_matrices(self):
+        with pytest.raises(AggregateError):
+            covariance_matrix([SqlArray.from_numpy(np.zeros((2, 2)))] * 3)
+
+    def test_correlation_diagonal_and_range(self):
+        vs = self._vectors(30, 5, seed=9)
+        corr = correlation_matrix(vs).to_numpy()
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        assert (np.abs(corr) <= 1.0 + 1e-12).all()
+        np.testing.assert_allclose(corr, corr.T)
+
+    def test_correlation_zero_variance_dimension(self):
+        vs = [SqlArray.from_numpy(np.array([1.0, float(i)]))
+              for i in range(5)]
+        corr = correlation_matrix(vs).to_numpy()
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0

@@ -1,0 +1,122 @@
+"""Scalar complex UDT tests (paper Section 3.4)."""
+
+import cmath
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import HeaderError, SqlComplex
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e100, max_value=1e100)
+
+
+class TestSerialization:
+    def test_double_is_16_bytes(self):
+        assert len(SqlComplex.new(1.0, 2.0).to_bytes()) == 16
+
+    def test_single_is_8_bytes(self):
+        assert len(SqlComplex.new(1.0, 2.0, single=True).to_bytes()) == 8
+
+    @given(re=finite, im=finite)
+    def test_double_roundtrip(self, re, im):
+        c = SqlComplex.new(re, im)
+        assert SqlComplex.from_bytes(c.to_bytes()) == c
+
+    def test_single_roundtrip_loses_precision_gracefully(self):
+        c = SqlComplex.new(1.5, -2.25, single=True)  # representable
+        back = SqlComplex.from_bytes(c.to_bytes())
+        assert back == c
+        assert back.single
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(HeaderError):
+            SqlComplex.from_bytes(b"12345")
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self):
+        a = SqlComplex.new(1.0, 2.0)
+        b = SqlComplex.new(3.0, -1.0)
+        assert (a + b).value == 4 + 1j
+        assert (a - b).value == -2 + 3j
+        assert (a * b).value == (1 + 2j) * (3 - 1j)
+        assert (a / b).value == (1 + 2j) / (3 - 1j)
+
+    def test_scalar_operands(self):
+        a = SqlComplex.new(1.0, 1.0)
+        assert (a * 2).value == 2 + 2j
+        assert (a + 1).value == 2 + 1j
+
+    def test_neg_conj(self):
+        a = SqlComplex.new(1.0, 2.0)
+        assert (-a).value == -1 - 2j
+        assert a.conjugate().value == 1 - 2j
+
+    def test_precision_flag_propagates(self):
+        a = SqlComplex.new(1.0, 2.0, single=True)
+        assert (a + a).single
+        assert a.conjugate().single
+
+
+class TestPolarAndText:
+    def test_abs_phase(self):
+        c = SqlComplex.new(3.0, 4.0)
+        assert c.abs() == 5.0
+        assert c.phase() == pytest.approx(cmath.phase(3 + 4j))
+
+    @given(mag=st.floats(0, 1e10), phase=st.floats(-3.14, 3.14))
+    def test_from_polar_roundtrip(self, mag, phase):
+        c = SqlComplex.from_polar(mag, phase)
+        assert c.abs() == pytest.approx(mag, rel=1e-12, abs=1e-12)
+
+    @given(re=finite, im=finite)
+    def test_string_roundtrip(self, re, im):
+        c = SqlComplex.new(re, im)
+        assert SqlComplex.from_string(c.to_string()) == c
+
+    def test_bad_literal(self):
+        with pytest.raises(HeaderError):
+            SqlComplex.from_string("not complex")
+
+    def test_complex_conversion(self):
+        assert complex(SqlComplex.new(1.0, -1.0)) == 1 - 1j
+
+
+class TestInSql:
+    @pytest.fixture
+    def conn(self):
+        from repro.sqlbind import connect
+        return connect()
+
+    def test_construct_and_render(self, conn):
+        out = conn.execute(
+            "SELECT Complex_ToString(Complex_New(1.5, -2.0))"
+        ).fetchone()[0]
+        assert out == "1.5-2.0j"
+
+    def test_arithmetic_chain(self, conn):
+        out = conn.execute(
+            "SELECT Complex_Abs(Complex_Mul(Complex_New(3, 4), "
+            "Complex_Conj(Complex_New(3, 4))))").fetchone()[0]
+        assert out == pytest.approx(25.0)
+
+    def test_polar(self, conn):
+        out = conn.execute(
+            "SELECT Complex_Re(Complex_FromPolar(2.0, 0.0))"
+        ).fetchone()[0]
+        assert out == pytest.approx(2.0)
+
+    def test_stored_in_table(self, conn):
+        conn.execute("CREATE TABLE c (id INTEGER, z BLOB)")
+        conn.execute("INSERT INTO c VALUES (1, Complex_New(1, 1))")
+        conn.execute("INSERT INTO c VALUES (2, Complex_New(2, -1))")
+        re_sum = conn.execute(
+            "SELECT SUM(Complex_Re(z)) FROM c").fetchone()[0]
+        assert re_sum == 3.0
+
+    def test_error_surfaces(self, conn):
+        import sqlite3
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("SELECT Complex_Re(X'0102')").fetchone()

@@ -1,0 +1,100 @@
+"""Element-type registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_DTYPES,
+    COMPLEX64,
+    COMPLEX128,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TypeMismatchError,
+    dtype_by_code,
+    dtype_by_name,
+    dtype_for_numpy,
+)
+
+
+def test_registry_covers_paper_types():
+    # Section 3.4: Int8/16/32/64 signed, float, double, plus float and
+    # double complex.
+    assert {d.name for d in ALL_DTYPES} == {
+        "int8", "int16", "int32", "int64", "float32", "float64",
+        "complex64", "complex128"}
+
+
+def test_codes_are_unique_and_stable():
+    codes = [d.code for d in ALL_DTYPES]
+    assert len(set(codes)) == len(codes)
+    # On-disk stability: these exact values are part of the format.
+    assert INT8.code == 0x01
+    assert INT64.code == 0x04
+    assert FLOAT64.code == 0x11
+    assert COMPLEX128.code == 0x21
+
+
+def test_itemsizes():
+    assert [d.itemsize for d in (INT8, INT16, INT32, INT64)] == \
+        [1, 2, 4, 8]
+    assert FLOAT32.itemsize == 4
+    assert FLOAT64.itemsize == 8
+    assert COMPLEX64.itemsize == 8
+    assert COMPLEX128.itemsize == 16
+
+
+def test_kind_flags():
+    assert INT32.is_integer and not INT32.is_complex and not INT32.is_float
+    assert FLOAT64.is_float and not FLOAT64.is_integer
+    assert COMPLEX64.is_complex and not COMPLEX64.is_float
+
+
+def test_lookup_by_code_roundtrip():
+    for d in ALL_DTYPES:
+        assert dtype_by_code(d.code) is d
+
+
+def test_lookup_by_code_unknown():
+    with pytest.raises(TypeMismatchError):
+        dtype_by_code(0xEE)
+
+
+def test_lookup_by_name_and_sql_aliases():
+    assert dtype_by_name("float64") is FLOAT64
+    # T-SQL names from the paper's requirements list.
+    assert dtype_by_name("bigint") is INT64
+    assert dtype_by_name("int") is INT32
+    assert dtype_by_name("smallint") is INT16
+    assert dtype_by_name("tinyint") is INT8
+    assert dtype_by_name("real") is FLOAT32
+    assert dtype_by_name("float") is FLOAT64
+    assert dtype_by_name("FLOAT") is FLOAT64  # case-insensitive
+    assert dtype_by_name("complex") is COMPLEX128
+
+
+def test_lookup_by_name_unknown():
+    with pytest.raises(TypeMismatchError):
+        dtype_by_name("decimal")
+
+
+def test_schema_names_follow_sql_convention():
+    assert FLOAT64.schema_name == "FloatArray"
+    assert INT32.schema_name == "IntArray"
+    assert INT64.schema_name == "BigIntArray"
+
+
+def test_dtype_for_numpy():
+    assert dtype_for_numpy(np.float64) is FLOAT64
+    assert dtype_for_numpy(np.dtype(">f8")) is FLOAT64  # byte order ignored
+    assert dtype_for_numpy(np.int16) is INT16
+    assert dtype_for_numpy(np.complex64) is COMPLEX64
+
+
+@pytest.mark.parametrize("bad", [np.bool_, np.uint32, np.float16, "U4"])
+def test_dtype_for_numpy_unsupported(bad):
+    with pytest.raises(TypeMismatchError):
+        dtype_for_numpy(bad)

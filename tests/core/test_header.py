@@ -1,0 +1,175 @@
+"""Blob header codec tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    HeaderError,
+    ShapeError,
+    ShortArrayLimitError,
+    StorageClassError,
+    SHORT_HEADER_SIZE,
+    SHORT_MAX_BLOB_BYTES,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    decode_header,
+    encode_header,
+    max_header_size,
+    peek_storage_class,
+)
+from tests.conftest import dtype_strategy
+
+
+def _blob(storage, dtype, shape):
+    count = 1
+    for s in shape:
+        count *= s
+    return encode_header(storage, dtype, shape) \
+        + bytes(count * dtype.itemsize)
+
+
+def test_short_header_is_24_bytes():
+    # Section 3.5: "In case of short arrays the header is 24 bytes long."
+    assert len(encode_header(STORAGE_SHORT, FLOAT64, (5,))) == 24
+    assert SHORT_HEADER_SIZE == 24
+
+
+def test_max_header_size_varies_with_rank():
+    # "Because max arrays support any number of dimensions the header
+    # size may vary."
+    assert len(encode_header(STORAGE_MAX, FLOAT64, (5,))) == \
+        max_header_size(1)
+    assert len(encode_header(STORAGE_MAX, FLOAT64, (2,) * 8)) == \
+        max_header_size(8)
+    assert max_header_size(8) - max_header_size(1) == 7 * 4
+
+
+def test_decode_short_roundtrip():
+    h = decode_header(_blob(STORAGE_SHORT, INT16, (3, 4)))
+    assert h.storage == STORAGE_SHORT
+    assert h.dtype is INT16
+    assert h.shape == (3, 4)
+    assert h.count == 12
+    assert h.data_offset == 24
+    assert h.blob_size == 24 + 24
+
+
+def test_decode_max_roundtrip_high_rank():
+    shape = (2, 3, 1, 2, 2, 1, 3, 2)  # rank 8 > short limit of 6
+    h = decode_header(_blob(STORAGE_MAX, FLOAT32, shape))
+    assert h.shape == shape
+    assert h.data_offset == max_header_size(8)
+
+
+@given(dtype=dtype_strategy(),
+       shape=st.lists(st.integers(1, 5), min_size=1, max_size=6))
+def test_short_roundtrip_property(dtype, shape):
+    shape = tuple(shape)
+    count = 1
+    for s in shape:
+        count *= s
+    if SHORT_HEADER_SIZE + count * dtype.itemsize > SHORT_MAX_BLOB_BYTES:
+        return
+    h = decode_header(_blob(STORAGE_SHORT, dtype, shape))
+    assert (h.dtype, h.shape, h.storage) == (dtype, shape, STORAGE_SHORT)
+
+
+@given(dtype=dtype_strategy(),
+       shape=st.lists(st.integers(1, 4), min_size=1, max_size=9))
+def test_max_roundtrip_property(dtype, shape):
+    shape = tuple(shape)
+    h = decode_header(_blob(STORAGE_MAX, dtype, shape))
+    assert (h.dtype, h.shape, h.storage) == (dtype, shape, STORAGE_MAX)
+
+
+def test_zero_size_dimension_allowed():
+    h = decode_header(_blob(STORAGE_MAX, FLOAT64, (0, 4)))
+    assert h.count == 0
+    assert h.data_size == 0
+
+
+def test_short_limits_rank():
+    with pytest.raises(ShortArrayLimitError):
+        encode_header(STORAGE_SHORT, INT8, (1,) * 7)
+
+
+def test_short_limits_dimension_size():
+    with pytest.raises(ShortArrayLimitError):
+        encode_header(STORAGE_SHORT, INT8, (2 ** 15,))
+
+
+def test_short_limits_blob_size():
+    # 998 float64s -> 24 + 7984 = 8008 > 8000.
+    with pytest.raises(ShortArrayLimitError):
+        encode_header(STORAGE_SHORT, FLOAT64, (998,))
+    # 997 just fits: 24 + 7976 = 8000.
+    encode_header(STORAGE_SHORT, FLOAT64, (997,))
+
+
+def test_unknown_storage_class():
+    with pytest.raises(StorageClassError):
+        encode_header(0x7F, FLOAT64, (3,))
+
+
+def test_invalid_shapes():
+    with pytest.raises(ShapeError):
+        encode_header(STORAGE_SHORT, FLOAT64, ())
+    with pytest.raises(ShapeError):
+        encode_header(STORAGE_SHORT, FLOAT64, (-1,))
+    with pytest.raises(ShapeError):
+        encode_header(STORAGE_MAX, FLOAT64, (2 ** 31,))
+
+
+def test_peek_storage_class():
+    assert peek_storage_class(_blob(STORAGE_SHORT, INT8, (2,))) == \
+        STORAGE_SHORT
+    assert peek_storage_class(_blob(STORAGE_MAX, INT8, (2,))) == \
+        STORAGE_MAX
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(HeaderError):
+        decode_header(b"XX" + bytes(30))
+
+
+def test_too_small_rejected():
+    with pytest.raises(HeaderError):
+        decode_header(b"SA")
+
+
+def test_truncated_payload_rejected():
+    blob = _blob(STORAGE_SHORT, FLOAT64, (5,))
+    with pytest.raises(HeaderError):
+        decode_header(blob[:-1])
+
+
+def test_truncated_max_dimension_list_rejected():
+    blob = _blob(STORAGE_MAX, FLOAT64, (2, 2, 2))
+    with pytest.raises(HeaderError):
+        decode_header(blob[:18])  # cuts into the dims
+
+
+def test_count_shape_mismatch_rejected():
+    blob = bytearray(_blob(STORAGE_SHORT, FLOAT64, (5,)))
+    blob[6:10] = (99).to_bytes(4, "little")  # corrupt element count
+    with pytest.raises(HeaderError):
+        decode_header(bytes(blob))
+
+
+def test_nonzero_padding_in_unused_dims_rejected():
+    blob = bytearray(_blob(STORAGE_SHORT, FLOAT64, (5,)))
+    blob[12] = 1  # second dimension slot of a rank-1 array
+    with pytest.raises(HeaderError):
+        decode_header(bytes(blob))
+
+
+def test_flags_magic_mismatch_rejected():
+    blob = bytearray(_blob(STORAGE_SHORT, FLOAT64, (5,)))
+    blob[2] = STORAGE_MAX  # short magic, max flags
+    with pytest.raises(HeaderError):
+        decode_header(bytes(blob))

@@ -1,0 +1,350 @@
+"""Tests for the T-SQL operation semantics (repro.core.ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    BoundsError,
+    FLOAT64,
+    HeaderError,
+    INT32,
+    ShapeError,
+    SqlArray,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    ops,
+)
+from tests.conftest import dtype_strategy, small_shapes, values_for
+
+
+def _arr(values, dtype="float64"):
+    return SqlArray.from_numpy(np.asarray(values), dtype)
+
+
+class TestItem:
+    def test_vector(self):
+        a = _arr([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ops.item(a, 3) == 4.0
+
+    def test_matrix_column_major(self):
+        # The paper's Matrix_2(0.1, 0.2, 0.3, 0.4) example: elements in
+        # column-major order, Item_2(@m, 1, 0) is row 1 col 0.
+        m = SqlArray.from_numpy(
+            np.array([0.1, 0.2, 0.3, 0.4]).reshape((2, 2), order="F"))
+        assert ops.item(m, 1, 0) == pytest.approx(0.2)
+        assert ops.item(m, 0, 1) == pytest.approx(0.3)
+
+    def test_returns_python_scalars(self):
+        assert isinstance(ops.item(_arr([1], "int32"), 0), int)
+        assert isinstance(ops.item(_arr([1.0]), 0), float)
+        assert isinstance(ops.item(_arr([1 + 1j], "complex128"), 0),
+                          complex)
+
+    def test_out_of_range(self):
+        a = _arr([1.0, 2.0])
+        with pytest.raises(BoundsError):
+            ops.item(a, 2)
+        with pytest.raises(BoundsError):
+            ops.item(a, -1)
+
+    def test_wrong_index_count(self):
+        with pytest.raises(BoundsError):
+            ops.item(_arr([[1.0, 2.0]]), 0)
+
+    @given(dtype=dtype_strategy(), shape=small_shapes(3, 4),
+           seed=st.integers(0, 999), data=st.data())
+    def test_matches_numpy_property(self, dtype, shape, seed, data):
+        values = values_for(dtype, shape, seed)
+        idx = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+        a = SqlArray.from_numpy(values, dtype)
+        assert ops.item(a, *idx) == values[idx].item()
+
+
+class TestUpdateItem:
+    def test_roundtrip(self):
+        a = _arr([1.0, 2.0, 3.0])
+        b = ops.update_item(a, [1], 9.5)
+        assert ops.item(b, 1) == 9.5
+        assert ops.item(a, 1) == 2.0  # original untouched (value type)
+
+    def test_keeps_shape_and_storage(self):
+        a = SqlArray.from_numpy(np.zeros((2, 3)), storage=STORAGE_MAX)
+        b = ops.update_item(a, (1, 2), 4.0)
+        assert b.shape == a.shape
+        assert b.storage == a.storage
+
+    def test_out_of_range(self):
+        with pytest.raises(BoundsError):
+            ops.update_item(_arr([1.0]), [1], 0.0)
+
+
+class TestSubarray:
+    def test_paper_example_shape(self):
+        a = SqlArray.from_numpy(np.arange(10 * 10 * 10, dtype="f8")
+                                .reshape(10, 10, 10))
+        b = ops.subarray(a, (1, 4, 4), (5, 5, 5))
+        assert b.shape == (5, 5, 5)
+        np.testing.assert_array_equal(
+            b.to_numpy(), a.to_numpy()[1:6, 4:9, 4:9])
+
+    def test_collapse_extracts_matrix_column(self):
+        # "useful, for example, for retrieving the column vectors of a
+        # matrix" (Section 5.1).
+        m = SqlArray.from_numpy(np.arange(12, dtype="f8").reshape(3, 4))
+        col = ops.subarray(m, (0, 2), (3, 1), collapse=True)
+        assert col.shape == (3,)
+        np.testing.assert_array_equal(col.to_numpy(),
+                                      m.to_numpy()[:, 2])
+
+    def test_no_collapse_keeps_rank(self):
+        m = SqlArray.from_numpy(np.arange(12, dtype="f8").reshape(3, 4))
+        col = ops.subarray(m, (0, 2), (3, 1), collapse=False)
+        assert col.shape == (3, 1)
+
+    def test_collapse_all_singleton_keeps_one_dim(self):
+        m = SqlArray.from_numpy(np.arange(12, dtype="f8").reshape(3, 4))
+        one = ops.subarray(m, (1, 1), (1, 1), collapse=True)
+        assert one.shape == (1,)
+
+    def test_window_out_of_range(self):
+        a = _arr([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(BoundsError):
+            ops.subarray(a, (1, 0), (2, 2))
+
+    def test_bad_window_spec(self):
+        a = _arr([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ShapeError):
+            ops.subarray(a, (0,), (2,))
+        with pytest.raises(ShapeError):
+            ops.subarray(a, (0, 0), (0, 2))
+
+    @given(shape=small_shapes(3, 6), seed=st.integers(0, 999),
+           data=st.data())
+    def test_matches_numpy_slicing_property(self, shape, seed, data):
+        values = values_for(FLOAT64, shape, seed)
+        offset, size = [], []
+        for s in shape:
+            o = data.draw(st.integers(0, s - 1))
+            offset.append(o)
+            size.append(data.draw(st.integers(1, s - o)))
+        a = SqlArray.from_numpy(values)
+        window = ops.subarray(a, offset, size)
+        expected = values[tuple(slice(o, o + z)
+                                for o, z in zip(offset, size))]
+        np.testing.assert_array_equal(window.to_numpy(), expected)
+
+
+class TestReshape:
+    def test_preserves_column_major_element_order(self):
+        a = SqlArray.from_numpy(np.arange(6, dtype="f8"))
+        m = ops.reshape(a, (2, 3))
+        # Reshape "without reordering the array elements".
+        np.testing.assert_array_equal(
+            m.to_numpy().reshape(-1, order="F"), a.to_numpy())
+
+    def test_size_must_match(self):
+        with pytest.raises(ShapeError):
+            ops.reshape(_arr([1.0, 2.0, 3.0]), (2, 2))
+
+    def test_reshape_falls_back_to_max_when_needed(self):
+        a = SqlArray.from_numpy(np.zeros(64), storage=STORAGE_SHORT)
+        b = ops.reshape(a, (1, 1, 1, 1, 1, 1, 64)[:7])  # rank 7
+        assert b.storage == STORAGE_MAX
+
+
+class TestRawAndCast:
+    def test_raw_strips_header(self):
+        a = _arr([1.0, 2.0])
+        assert ops.raw(a) == np.array([1.0, 2.0]).tobytes()
+
+    def test_cast_roundtrip(self):
+        raw = np.arange(12, dtype="<i4").tobytes()
+        a = ops.cast_raw(raw, INT32, (3, 4))
+        assert a.shape == (3, 4)
+        assert ops.raw(a) == raw
+
+    def test_cast_size_mismatch(self):
+        with pytest.raises(HeaderError):
+            ops.cast_raw(bytes(10), FLOAT64, (2,))
+
+
+class TestConvert:
+    def test_widening(self):
+        a = _arr([1, 2, 3], "int32")
+        b = ops.convert(a, "float64")
+        assert b.dtype is FLOAT64
+        np.testing.assert_array_equal(b.to_numpy(), [1.0, 2.0, 3.0])
+
+    def test_complex_to_real_keeps_real_part(self):
+        a = _arr([1 + 2j, 3 - 4j], "complex128")
+        b = ops.convert(a, "float64")
+        np.testing.assert_array_equal(b.to_numpy(), [1.0, 3.0])
+
+    def test_storage_conversions(self):
+        a = SqlArray.from_numpy(np.zeros(8))
+        m = ops.to_max(a)
+        assert m.storage == STORAGE_MAX
+        s = ops.to_short(m)
+        assert s.storage == STORAGE_SHORT
+        assert s.to_numpy().shape == (8,)
+        # Idempotent.
+        assert ops.to_max(m) is m
+        assert ops.to_short(s) is s
+
+
+class TestTableConversion:
+    def test_to_table_column_major_rows(self):
+        m = SqlArray.from_numpy(
+            np.array([[1.0, 3.0], [2.0, 4.0]]))
+        rows = list(ops.to_table(m))
+        assert rows == [(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0),
+                        (1, 1, 4.0)]
+
+    def test_from_table_roundtrip(self):
+        m = SqlArray.from_numpy(np.arange(6, dtype="f8").reshape(2, 3))
+        back = ops.from_table(ops.to_table(m), (2, 3), FLOAT64)
+        assert back == m
+
+    def test_from_table_duplicate_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.from_table([(0, 1.0), (0, 2.0)], (2,), FLOAT64)
+
+
+class TestStrings:
+    @given(dtype=dtype_strategy(), shape=small_shapes(2, 4),
+           seed=st.integers(0, 500))
+    def test_roundtrip_property(self, dtype, shape, seed):
+        a = SqlArray.from_numpy(values_for(dtype, shape, seed), dtype)
+        assert ops.from_string(ops.to_string(a)) == a
+
+    def test_format(self):
+        a = _arr([1.5, -2.0])
+        assert ops.to_string(a) == "float64[2]{1.5,-2.0}"
+
+    def test_malformed_literals(self):
+        with pytest.raises(HeaderError):
+            ops.from_string("not an array")
+        with pytest.raises(ShapeError):
+            ops.from_string("float64[3]{1.0,2.0}")
+
+
+class TestArithmeticAndAggregates:
+    def test_elementwise_ops(self):
+        a = _arr([1.0, 2.0, 3.0])
+        b = _arr([4.0, 5.0, 6.0])
+        np.testing.assert_array_equal(ops.add(a, b).to_numpy(),
+                                      [5.0, 7.0, 9.0])
+        np.testing.assert_array_equal(ops.subtract(b, a).to_numpy(),
+                                      [3.0, 3.0, 3.0])
+        np.testing.assert_array_equal(ops.multiply(a, b).to_numpy(),
+                                      [4.0, 10.0, 18.0])
+        np.testing.assert_array_equal(ops.divide(b, a).to_numpy(),
+                                      [4.0, 2.5, 2.0])
+
+    def test_mixed_dtype_promotion(self):
+        # The spectra use case multiplies double flux by integer flags.
+        flux = _arr([1.0, 2.0])
+        flags = _arr([0, 1], "int16")
+        out = ops.multiply(flux, flags)
+        np.testing.assert_array_equal(out.to_numpy(), [0.0, 2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.add(_arr([1.0]), _arr([1.0, 2.0]))
+
+    def test_scale_shift_negate(self):
+        a = _arr([1.0, -2.0])
+        np.testing.assert_array_equal(ops.scale(a, 2).to_numpy(),
+                                      [2.0, -4.0])
+        np.testing.assert_array_equal(ops.shift(a, 1).to_numpy(),
+                                      [2.0, -1.0])
+        np.testing.assert_array_equal(ops.negate(a).to_numpy(),
+                                      [-1.0, 2.0])
+
+    def test_dot(self):
+        assert ops.dot(_arr([1.0, 2.0]), _arr([3.0, 4.0])) == 11.0
+        with pytest.raises(ShapeError):
+            ops.dot(_arr([[1.0]]), _arr([1.0]))
+        with pytest.raises(ShapeError):
+            ops.dot(_arr([1.0]), _arr([1.0, 2.0]))
+
+    def test_aggregate_all(self):
+        a = _arr([[1.0, 2.0], [3.0, 4.0]])
+        assert ops.aggregate_all(a, "sum") == 10.0
+        assert ops.aggregate_all(a, "mean") == 2.5
+        assert ops.aggregate_all(a, "min") == 1.0
+        assert ops.aggregate_all(a, "max") == 4.0
+
+    def test_aggregate_unknown_function(self):
+        with pytest.raises(ShapeError):
+            ops.aggregate_all(_arr([1.0]), "median")
+
+    def test_aggregate_empty(self):
+        empty = SqlArray.from_numpy(np.empty((0,)))
+        with pytest.raises(ShapeError):
+            ops.aggregate_all(empty, "sum")
+
+    def test_aggregate_axis_reduces_rank(self):
+        cube = SqlArray.from_numpy(
+            np.arange(24, dtype="f8").reshape(2, 3, 4))
+        out = ops.aggregate_axis(cube, "sum", 1)
+        assert out.shape == (2, 4)
+        np.testing.assert_array_equal(out.to_numpy(),
+                                      cube.to_numpy().sum(axis=1))
+
+    def test_aggregate_axis_of_vector_gives_one_element(self):
+        out = ops.aggregate_axis(_arr([1.0, 2.0]), "sum", 0)
+        assert out.shape == (1,)
+        assert out.to_numpy()[0] == 3.0
+
+    def test_aggregate_axis_out_of_range(self):
+        with pytest.raises(BoundsError):
+            ops.aggregate_axis(_arr([1.0]), "sum", 1)
+
+
+class TestLinearOffset:
+    @given(shape=small_shapes(4, 5), data=st.data())
+    def test_matches_numpy_fortran_order(self, shape, data):
+        idx = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+        expected = np.ravel_multi_index(idx, shape, order="F")
+        assert ops.linear_offset(shape, idx) == expected
+
+
+class TestConcat:
+    def test_vectors(self):
+        a = _arr([1.0, 2.0])
+        b = _arr([3.0])
+        np.testing.assert_array_equal(
+            ops.concat([a, b]).to_numpy(), [1.0, 2.0, 3.0])
+
+    def test_matrices_both_axes(self):
+        m = SqlArray.from_numpy(np.arange(6, dtype="f8").reshape(2, 3))
+        v = ops.concat([m, m], axis=0)
+        assert v.shape == (4, 3)
+        h = ops.concat([m, m], axis=1)
+        assert h.shape == (2, 6)
+        np.testing.assert_array_equal(
+            h.to_numpy(), np.concatenate([m.to_numpy()] * 2, axis=1))
+
+    def test_subarray_concat_roundtrip(self):
+        """Cutting an array into windows and concatenating them back
+        reproduces the original — Subarray's inverse."""
+        values = np.arange(24, dtype="f8").reshape(4, 6)
+        a = SqlArray.from_numpy(values)
+        left = ops.subarray(a, (0, 0), (4, 2))
+        right = ops.subarray(a, (0, 2), (4, 4))
+        assert ops.concat([left, right], axis=1) == a
+
+    def test_validation(self):
+        a = _arr([1.0, 2.0])
+        with pytest.raises(ShapeError):
+            ops.concat([])
+        with pytest.raises(ShapeError):
+            ops.concat([a, _arr([1], "int32")])
+        with pytest.raises(ShapeError):
+            ops.concat([a, SqlArray.from_numpy(np.zeros((2, 2)))])
+        from repro.core import BoundsError
+        with pytest.raises(BoundsError):
+            ops.concat([a], axis=1)

@@ -1,0 +1,125 @@
+"""SqlArray value-class tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    SqlArray,
+    StorageClassError,
+    TypeMismatchError,
+    preferred_storage,
+)
+from tests.conftest import dtype_strategy, small_shapes, values_for
+
+
+def test_from_values_vector():
+    a = SqlArray.from_values([1.0, 2.0, 3.0], "float64")
+    assert a.shape == (3,)
+    assert a.dtype is FLOAT64
+    assert a.is_short
+    np.testing.assert_array_equal(a.to_numpy(), [1.0, 2.0, 3.0])
+
+
+def test_from_numpy_column_major_serialization():
+    m = np.array([[1.0, 2.0], [3.0, 4.0]])  # C order input
+    a = SqlArray.from_numpy(m)
+    # Column-major payload: 1, 3, 2, 4 (paper Section 3.5 / LAPACK).
+    flat = np.frombuffer(a.data_bytes(), dtype="<f8")
+    np.testing.assert_array_equal(flat, [1.0, 3.0, 2.0, 4.0])
+    np.testing.assert_array_equal(a.to_numpy(), m)
+
+
+def test_to_numpy_is_fortran_and_writable():
+    a = SqlArray.from_numpy(np.zeros((3, 4)))
+    out = a.to_numpy()
+    assert out.flags["F_CONTIGUOUS"]
+    out[0, 0] = 7.0  # must not blow up (no read-only buffer alias)
+
+
+def test_blob_roundtrip():
+    a = SqlArray.from_numpy(np.arange(6, dtype="i4").reshape(2, 3))
+    b = SqlArray.from_blob(a.to_blob())
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_preferred_storage_thresholds():
+    assert preferred_storage(FLOAT64, (997,)) == STORAGE_SHORT
+    assert preferred_storage(FLOAT64, (998,)) == STORAGE_MAX
+    assert preferred_storage(FLOAT64, (1,) * 7) == STORAGE_MAX
+    assert preferred_storage(INT32, (2 ** 15,)) == STORAGE_MAX
+
+
+def test_explicit_storage_override():
+    a = SqlArray.from_numpy(np.zeros(4), storage=STORAGE_MAX)
+    assert not a.is_short
+
+
+def test_zeros_and_filled():
+    z = SqlArray.zeros((2, 2), "int32")
+    assert z.to_numpy().sum() == 0
+    f = SqlArray.filled((3,), 7, "int64")
+    np.testing.assert_array_equal(f.to_numpy(), [7, 7, 7])
+
+
+def test_dtype_inference_from_numpy():
+    assert SqlArray.from_numpy(np.zeros(3, dtype="f4")).dtype is FLOAT32
+    assert SqlArray.from_numpy([1, 2, 3]).dtype.is_integer
+    assert SqlArray.from_numpy([1.5]).dtype is FLOAT64
+    assert SqlArray.from_numpy([1 + 2j]).dtype.is_complex
+
+
+def test_object_array_rejected():
+    with pytest.raises(TypeMismatchError):
+        SqlArray.from_numpy(np.array(["a", None], dtype=object))
+
+
+def test_scalar_input_becomes_one_element_vector():
+    a = SqlArray.from_numpy(3.5)
+    assert a.shape == (1,)
+
+
+def test_require_dtype_and_storage():
+    a = SqlArray.from_values([1.0], "float64")
+    a.require_dtype(FLOAT64)
+    with pytest.raises(TypeMismatchError):
+        a.require_dtype(INT32)
+    a.require_storage(STORAGE_SHORT)
+    with pytest.raises(StorageClassError):
+        a.require_storage(STORAGE_MAX)
+
+
+def test_len_and_repr():
+    a = SqlArray.from_numpy(np.zeros((4, 2)))
+    assert len(a) == 4
+    assert "float64" in repr(a)
+    assert "short" in repr(a)
+
+
+def test_nbytes_accounts_for_header():
+    a = SqlArray.from_values([1.0, 2.0], "float64")
+    assert a.nbytes == 24 + 16
+
+
+@given(dtype=dtype_strategy(), shape=small_shapes(),
+       seed=st.integers(0, 2 ** 16))
+def test_numpy_roundtrip_property(dtype, shape, seed):
+    values = values_for(dtype, shape, seed)
+    a = SqlArray.from_numpy(values, dtype)
+    np.testing.assert_array_equal(a.to_numpy(), values)
+    assert a.shape == shape
+    # Serialization round-trips exactly.
+    assert SqlArray.from_blob(a.to_blob()) == a
+
+
+def test_big_endian_input_normalized():
+    be = np.arange(4, dtype=">f8")
+    a = SqlArray.from_numpy(be)
+    np.testing.assert_array_equal(a.to_numpy(), be.astype("<f8"))

@@ -1,0 +1,102 @@
+"""Out-of-page blob store and stream wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BlobStore, BufferPool, PageFile
+from repro.engine.constants import BLOB_CHUNK_SIZE
+
+
+@pytest.fixture
+def setup():
+    f = PageFile()
+    store = BlobStore(f)
+    pool = BufferPool(f)
+    return f, store, pool
+
+
+class TestStoreAndRead:
+    def test_roundtrip_small(self, setup):
+        _f, store, pool = setup
+        ref = store.store(b"hello blob")
+        assert ref.length == 10
+        assert store.read_all(ref, pool) == b"hello blob"
+
+    def test_roundtrip_multi_chunk(self, setup):
+        _f, store, pool = setup
+        data = np.random.default_rng(0).bytes(3 * BLOB_CHUNK_SIZE + 123)
+        ref = store.store(data)
+        assert store.read_all(ref, pool) == data
+
+    def test_empty_blob(self, setup):
+        _f, store, pool = setup
+        ref = store.store(b"")
+        assert ref.length == 0
+        assert store.read_all(ref, pool) == b""
+
+    def test_chunk_boundary_exact(self, setup):
+        _f, store, pool = setup
+        data = (bytes(range(256)) * (BLOB_CHUNK_SIZE // 256 + 1))
+        data = data[:BLOB_CHUNK_SIZE]
+        assert len(data) == BLOB_CHUNK_SIZE
+        ref = store.store(data)
+        assert store.read_all(ref, pool) == data
+
+
+class TestPartialReads:
+    def test_read_at_arbitrary_ranges(self, setup):
+        _f, store, pool = setup
+        data = np.random.default_rng(1).bytes(2 * BLOB_CHUNK_SIZE + 500)
+        ref = store.store(data)
+        stream = store.open(ref, pool)
+        for start, size in [(0, 10), (BLOB_CHUNK_SIZE - 5, 10),
+                            (BLOB_CHUNK_SIZE, BLOB_CHUNK_SIZE),
+                            (len(data) - 7, 7), (100, 0)]:
+            assert stream.read_at(start, size) == data[start:start + size]
+
+    def test_out_of_range_rejected(self, setup):
+        _f, store, pool = setup
+        ref = store.store(b"0123456789")
+        stream = store.open(ref, pool)
+        with pytest.raises(ValueError):
+            stream.read_at(5, 10)
+        with pytest.raises(ValueError):
+            stream.read_at(-1, 2)
+
+    def test_partial_read_touches_fewer_pages(self, setup):
+        _f, store, pool = setup
+        data = bytes(10 * BLOB_CHUNK_SIZE)
+        ref = store.store(data)
+        pool.reset_counters()
+        stream = store.open(ref, pool)
+        stream.read_at(0, 100)
+        small = pool.counters.logical_reads
+        pool.reset_counters()
+        stream2 = store.open(ref, pool)
+        stream2.read_at(0, len(data))
+        assert small < pool.counters.logical_reads
+
+    def test_stream_call_accounting(self, setup):
+        _f, store, pool = setup
+        ref = store.store(bytes(100))
+        stream = store.open(ref, pool)
+        stream.read_at(0, 10)
+        stream.read_at(50, 10)
+        assert stream.stream_calls == 2
+        assert stream.bytes_read == 20
+
+    def test_blobstream_protocol_with_read_subarray(self, setup):
+        """The engine's blob stream plugs straight into the partial
+        subarray reader — the end-to-end max-array subsetting path."""
+        from repro.core import SqlArray
+        from repro.core.partial import read_subarray
+
+        _f, store, pool = setup
+        values = np.arange(30 ** 3, dtype="f8").reshape(30, 30, 30)
+        blob = SqlArray.from_numpy(values).to_blob()
+        ref = store.store(blob)
+        stream = store.open(ref, pool)
+        window = read_subarray(stream, (5, 6, 7), (4, 4, 4))
+        np.testing.assert_array_equal(window.to_numpy(),
+                                      values[5:9, 6:10, 7:11])
+        assert stream.bytes_read < len(blob) / 10

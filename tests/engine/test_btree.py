@@ -1,0 +1,192 @@
+"""B+tree tests: ordered scans, point lookups, splits, random orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BTree, BufferPool, DuplicateKeyError, PageFile
+from repro.engine.constants import PAGE_DATA
+
+
+def _tree_with(keys, payload=lambda k: f"row{k}".encode()):
+    f = PageFile()
+    t = BTree(f, PAGE_DATA, tag="t")
+    for k in keys:
+        t.insert(k, payload(k))
+    return f, t
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        _f, t = _tree_with([5, 1, 9, 3])
+        assert t.search(3) == b"row3"
+        assert t.search(9) == b"row9"
+        assert t.search(2) is None
+        assert t.count == 4
+
+    def test_duplicate_rejected(self):
+        _f, t = _tree_with([1])
+        with pytest.raises(DuplicateKeyError):
+            t.insert(1, b"again")
+        assert t.count == 1
+
+    def test_scan_is_ordered(self):
+        keys = [7, 2, 9, 4, 1, 8]
+        _f, t = _tree_with(keys)
+        assert [k for k, _v in t.scan()] == sorted(keys)
+
+    def test_scan_range(self):
+        _f, t = _tree_with(range(0, 100, 2))
+        got = [k for k, _v in t.scan(start=10, stop=30)]
+        assert got == list(range(10, 30, 2))
+        # start between keys
+        got = [k for k, _v in t.scan(start=11, stop=19)]
+        assert got == [12, 14, 16, 18]
+
+    def test_empty_tree(self):
+        f = PageFile()
+        t = BTree(f, PAGE_DATA)
+        assert t.search(1) is None
+        assert list(t.scan()) == []
+        assert t.height == 1
+
+
+class TestSplitting:
+    def test_grows_beyond_one_page(self):
+        n = 2000
+        _f, t = _tree_with(range(n), payload=lambda k: bytes(64))
+        assert t.height >= 2
+        assert len(t.leaf_page_ids()) > 1
+        assert [k for k, _v in t.scan()] == list(range(n))
+        for k in (0, 1234, n - 1):
+            assert t.search(k) is not None
+
+    def test_ascending_load_packs_pages(self):
+        # The append-split optimization: in-order loads should fill
+        # pages nearly fully, not 50 %.
+        n = 3000
+        _f, t = _tree_with(range(n), payload=lambda k: bytes(64))
+        leaves = t.leaf_page_ids()
+        payload_per_page = n / len(leaves)
+        # 64+8 bytes per record + 2 slot => ~109 records/page max.
+        assert payload_per_page > 0.9 * (8096 // 74)
+
+    def test_random_load_still_correct(self):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(5000).tolist()
+        _f, t = _tree_with(keys, payload=lambda k: bytes(32))
+        assert [k for k, _v in t.scan()] == sorted(keys)
+        assert t.count == 5000
+
+    def test_descending_load(self):
+        _f, t = _tree_with(range(1999, -1, -1), payload=lambda k: bytes(64))
+        assert [k for k, _v in t.scan()] == list(range(2000))
+
+    def test_leaf_chain_consistent_after_splits(self):
+        f, t = _tree_with(np.random.default_rng(1).permutation(3000)
+                          .tolist(), payload=lambda k: bytes(48))
+        leaves = t.leaf_page_ids()
+        # Chain covers every record exactly once, in order.
+        seen = []
+        for pid in leaves:
+            page = f.get(pid)
+            for record in page.records():
+                seen.append(int.from_bytes(record[:8], "little"))
+        assert seen == sorted(seen)
+        assert len(seen) == 3000
+
+
+class TestBufferPoolIntegration:
+    def test_scan_counts_pages(self):
+        f, t = _tree_with(range(2000), payload=lambda k: bytes(64))
+        pool = BufferPool(f)
+        list(t.scan(pool))
+        assert pool.counters.physical_reads >= len(t.leaf_page_ids())
+
+    def test_point_lookup_touches_height_pages(self):
+        f, t = _tree_with(range(5000), payload=lambda k: bytes(64))
+        pool = BufferPool(f)
+        t.search(2500, pool)
+        assert pool.counters.logical_reads == t.height
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=st.lists(st.integers(-10 ** 9, 10 ** 9), min_size=1,
+                     max_size=300, unique=True))
+def test_model_based_property(keys):
+    """The tree behaves exactly like a sorted dict."""
+    _f, t = _tree_with(keys, payload=lambda k: k.to_bytes(8, "little",
+                                                          signed=True))
+    model = {k: k for k in keys}
+    assert [k for k, _v in t.scan()] == sorted(model)
+    for k in list(model)[:20]:
+        assert int.from_bytes(t.search(k), "little", signed=True) == k
+    assert t.search(10 ** 10) is None
+
+
+class TestDeleteAndUpdate:
+    def test_delete_existing(self):
+        _f, t = _tree_with([1, 2, 3])
+        assert t.delete(2)
+        assert t.search(2) is None
+        assert [k for k, _v in t.scan()] == [1, 3]
+        assert t.count == 2
+
+    def test_delete_missing(self):
+        _f, t = _tree_with([1])
+        assert not t.delete(9)
+        assert t.count == 1
+
+    def test_delete_all_then_reinsert(self):
+        keys = list(range(500))
+        _f, t = _tree_with(keys, payload=lambda k: bytes(64))
+        for k in keys:
+            assert t.delete(k)
+        assert t.count == 0
+        assert list(t.scan()) == []
+        t.insert(42, b"back")
+        assert t.search(42) == b"back"
+
+    def test_delete_empties_leaves_and_scan_stays_correct(self):
+        n = 3000
+        f, t = _tree_with(range(n), payload=lambda k: bytes(64))
+        # Wipe a whole band of keys, emptying interior leaves.
+        for k in range(1000, 2000):
+            assert t.delete(k)
+        remaining = [k for k, _v in t.scan()]
+        assert remaining == list(range(1000)) + list(range(2000, n))
+        assert t.search(1500) is None
+        assert t.search(999) is not None
+
+    def test_interleaved_delete_insert(self):
+        rng = np.random.default_rng(3)
+        _f, t = _tree_with([])
+        model = {}
+        for step in range(2000):
+            k = int(rng.integers(0, 300))
+            if k in model:
+                assert t.delete(k)
+                del model[k]
+            else:
+                t.insert(k, k.to_bytes(8, "little"))
+                model[k] = True
+        assert [k for k, _v in t.scan()] == sorted(model)
+
+    def test_update_in_place(self):
+        _f, t = _tree_with([1, 2, 3])
+        assert t.update(2, b"new payload")
+        assert t.search(2) == b"new payload"
+        assert t.count == 3
+
+    def test_update_missing(self):
+        _f, t = _tree_with([1])
+        assert not t.update(9, b"x")
+
+    def test_update_growing_payload_forwards_row(self):
+        # Fill a page nearly full, then grow one record so it cannot
+        # stay: it must be rewritten, not lost.
+        _f, t = _tree_with(range(100), payload=lambda k: bytes(70))
+        assert t.update(50, bytes(4000))
+        assert t.search(50) == bytes(4000)
+        assert [k for k, _v in t.scan()] == list(range(100))

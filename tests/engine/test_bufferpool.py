@@ -1,0 +1,120 @@
+"""Buffer pool accounting tests."""
+
+from repro.engine import BufferPool, PageFile
+from repro.engine.bufferpool import SEQ_READ_WINDOW
+from repro.engine.constants import PAGE_DATA
+
+
+def _file_with(n):
+    f = PageFile()
+    pages = [f.allocate(PAGE_DATA, tag="t") for _ in range(n)]
+    return f, [p.page_id for p in pages]
+
+
+class TestHitMiss:
+    def test_first_fetch_is_physical(self):
+        f, ids = _file_with(3)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        assert pool.counters.physical_reads == 1
+        assert pool.counters.logical_reads == 1
+
+    def test_second_fetch_is_logical_only(self):
+        f, ids = _file_with(3)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        pool.fetch(ids[0])
+        assert pool.counters.physical_reads == 1
+        assert pool.counters.logical_reads == 2
+
+    def test_clear_forces_reread(self):
+        f, ids = _file_with(3)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        pool.clear()
+        pool.fetch(ids[0])
+        assert pool.counters.physical_reads == 2
+
+    def test_lru_eviction(self):
+        f, ids = _file_with(5)
+        pool = BufferPool(f, capacity_pages=2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        pool.fetch(ids[2])  # evicts ids[0]
+        assert pool.cached_pages == 2
+        pool.fetch(ids[0])
+        assert pool.counters.physical_reads == 4
+
+    def test_lru_recency_update(self):
+        f, ids = _file_with(5)
+        pool = BufferPool(f, capacity_pages=2)
+        pool.fetch(ids[0])
+        pool.fetch(ids[1])
+        pool.fetch(ids[0])  # refresh 0
+        pool.fetch(ids[2])  # evicts 1, not 0
+        pool.fetch(ids[0])
+        assert pool.counters.physical_reads == 3
+
+
+class TestSequentialDetection:
+    def test_ascending_run_is_sequential(self):
+        f, ids = _file_with(10)
+        pool = BufferPool(f)
+        for pid in ids:
+            pool.fetch(pid)
+        # First read has no predecessor -> random; rest sequential.
+        assert pool.counters.sequential_reads == 9
+        assert pool.counters.random_reads == 1
+
+    def test_short_forward_jump_rides_readahead(self):
+        f, ids = _file_with(10)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        pool.fetch(ids[5])  # small forward gap
+        assert pool.counters.sequential_reads == 1
+
+    def test_backward_jump_is_random(self):
+        f, ids = _file_with(10)
+        pool = BufferPool(f)
+        pool.fetch(ids[5])
+        pool.fetch(ids[0])
+        assert pool.counters.random_reads == 2
+
+    def test_long_forward_jump_is_random(self):
+        f = PageFile()
+        first = f.allocate(PAGE_DATA, tag="a")
+        for _ in range(SEQ_READ_WINDOW + 300):
+            last = f.allocate(PAGE_DATA, tag="a")
+        pool = BufferPool(f)
+        pool.fetch(first.page_id)
+        pool.fetch(last.page_id)
+        assert pool.counters.random_reads == 2
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        f, ids = _file_with(4)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        before = pool.counters.snapshot()
+        pool.fetch(ids[1])
+        pool.fetch(ids[1])
+        delta = pool.counters.delta_since(before)
+        assert delta.physical_reads == 1
+        assert delta.logical_reads == 2
+
+    def test_physical_bytes(self):
+        from repro.engine import PAGE_SIZE
+        f, ids = _file_with(3)
+        pool = BufferPool(f)
+        for pid in ids:
+            pool.fetch(pid)
+        assert pool.counters.physical_bytes == 3 * PAGE_SIZE
+
+    def test_reset(self):
+        f, ids = _file_with(2)
+        pool = BufferPool(f)
+        pool.fetch(ids[0])
+        old = pool.reset_counters()
+        assert old.physical_reads == 1
+        assert pool.counters.physical_reads == 0

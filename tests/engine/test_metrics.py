@@ -1,0 +1,107 @@
+"""QueryMetrics and cost-model arithmetic tests."""
+
+import pytest
+
+from repro.engine import PAPER_HARDWARE, QueryMetrics, format_table
+from repro.engine.bufferpool import IoCounters
+
+
+def _metrics(**kwargs):
+    defaults = dict(
+        label="Q", rows=1000, io_bytes=8192 * 100,
+        physical_reads=100, sequential_reads=98, random_reads=2,
+        sim_io_seconds=1.0, sim_io_seq_seconds=0.9,
+        sim_io_random_seconds=0.1, sim_cpu_core_seconds=4.0,
+        sim_exec_seconds=1.0, cores=8)
+    defaults.update(kwargs)
+    return QueryMetrics(**defaults)
+
+
+class TestDerivedColumns:
+    def test_cpu_percent(self):
+        m = _metrics(sim_cpu_core_seconds=4.0, sim_exec_seconds=1.0)
+        assert m.cpu_percent == pytest.approx(50.0)
+
+    def test_cpu_percent_capped_at_100(self):
+        m = _metrics(sim_cpu_core_seconds=100.0, sim_exec_seconds=1.0)
+        assert m.cpu_percent == 100.0
+
+    def test_io_rate(self):
+        m = _metrics(io_bytes=115_000_000, sim_exec_seconds=0.1)
+        assert m.io_mb_per_s == pytest.approx(1150.0)
+
+    def test_zero_exec_time(self):
+        m = _metrics(sim_exec_seconds=0.0)
+        assert m.cpu_percent == 0.0
+        assert m.io_mb_per_s == 0.0
+
+
+class TestScaling:
+    def test_linear_quantities_scale(self):
+        m = _metrics()
+        big = m.scaled(100.0)
+        assert big.rows == 100_000
+        assert big.io_bytes == m.io_bytes * 100
+        assert big.sim_cpu_core_seconds == pytest.approx(400.0)
+
+    def test_cpu_percent_invariant_when_everything_scales(self):
+        m = _metrics(random_reads=0, sim_io_random_seconds=0.0,
+                     sim_io_seconds=0.9, sim_exec_seconds=0.9)
+        big = m.scaled(50.0)
+        assert big.cpu_percent == pytest.approx(m.cpu_percent, abs=0.5)
+
+    def test_fixed_random_reads_do_not_scale(self):
+        m = _metrics()
+        big = m.scaled(1000.0, fixed_random_reads=2)
+        # Only the two descent seeks remain: random time stays put.
+        assert big.random_reads == 2
+        assert big.sim_io_random_seconds == pytest.approx(0.1)
+        assert big.sim_io_seq_seconds == pytest.approx(900.0)
+
+    def test_scaling_random_reads_without_fixed(self):
+        m = _metrics()
+        big = m.scaled(1000.0)
+        assert big.random_reads == 2000
+        assert big.sim_io_random_seconds == pytest.approx(100.0)
+
+
+class TestCostModel:
+    def test_io_split_adds_up(self):
+        c = IoCounters(logical_reads=10, physical_reads=10,
+                       sequential_reads=8, random_reads=2)
+        seq, rand = PAPER_HARDWARE.io_seconds_split(c)
+        assert seq + rand == pytest.approx(PAPER_HARDWARE.io_seconds(c))
+        assert seq == pytest.approx(
+            8 * 8192 / PAPER_HARDWARE.seq_read_bytes_per_sec)
+        assert rand == pytest.approx(
+            2 / PAPER_HARDWARE.random_reads_per_sec)
+
+    def test_exec_is_max_of_io_and_cpu(self):
+        m = PAPER_HARDWARE
+        assert m.exec_seconds(10.0, 8.0) == 10.0   # IO-bound
+        assert m.exec_seconds(1.0, 80.0) == 10.0   # CPU-bound, 8 cores
+
+    def test_with_overrides(self):
+        faster = PAPER_HARDWARE.with_overrides(cores=16)
+        assert faster.cores == 16
+        assert PAPER_HARDWARE.cores == 8  # original untouched
+
+    def test_parallelism_ablation(self):
+        """Fewer cores push a CPU-bound query's time up linearly —
+        Table 1's Q4 depends on all eight cores."""
+        core_secs = 1000.0
+        io = 25.0
+        t8 = PAPER_HARDWARE.exec_seconds(io, core_secs)
+        t1 = PAPER_HARDWARE.with_overrides(cores=1).exec_seconds(
+            io, core_secs)
+        assert t8 == pytest.approx(core_secs / 8)
+        assert t1 == pytest.approx(core_secs)
+
+
+class TestFormatting:
+    def test_format_table_layout(self):
+        text = format_table([_metrics(label="Query 1")])
+        assert "Execution time [s]" in text
+        assert "Query 1" in text
+        lines = text.splitlines()
+        assert len(lines) == 3  # title, header, one row

@@ -1,0 +1,198 @@
+"""Tests for SQL DDL/DML and GROUP BY in the front-end."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, SqlSession, SqlSyntaxError
+from repro.tsql import FloatArray
+
+
+@pytest.fixture
+def session():
+    return SqlSession(Database())
+
+
+class TestCreateTable:
+    def test_all_types(self, session):
+        t = session.execute(
+            "CREATE TABLE t (id BIGINT PRIMARY KEY, a INT, "
+            "b SMALLINT, c TINYINT, d FLOAT, e REAL, "
+            "f VARBINARY(100), g VARBINARY(MAX))")
+        assert [c.type for c in t.columns] == [
+            "bigint", "int", "smallint", "tinyint", "float", "real",
+            "varbinary", "varbinary_max"]
+        assert t.columns[6].cap == 100
+
+    def test_registered_in_catalog(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        assert "t" in session.db.tables
+
+    def test_primary_key_only_on_first(self, session):
+        with pytest.raises(SqlSyntaxError):
+            session.execute(
+                "CREATE TABLE t (id BIGINT, x FLOAT PRIMARY KEY)")
+
+    def test_unknown_type(self, session):
+        with pytest.raises(SqlSyntaxError):
+            session.execute("CREATE TABLE t (id BIGINT, x TEXT)")
+
+    def test_varbinary_needs_size(self, session):
+        with pytest.raises(SqlSyntaxError):
+            session.execute("CREATE TABLE t (id BIGINT, v VARBINARY)")
+
+
+class TestInsert:
+    def test_literals_and_nulls(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        n = session.execute(
+            "INSERT INTO t VALUES (1, 2.5), (2, NULL), (3, -4.5)")
+        assert n == 3
+        (count, total), _m = session.execute(
+            "SELECT COUNT(*), SUM(x) FROM t")
+        assert count == 3
+        assert total == pytest.approx(-2.0)
+
+    def test_array_constructor_values(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, v VARBINARY(100))")
+        session.execute(
+            "INSERT INTO t VALUES (1, FloatArray.Vector_3(1, 2, 3))")
+        (item,), _m = session.execute(
+            "SELECT SUM(FloatArray.Item_1(v, 1)) FROM t")
+        assert item == 2.0
+
+    def test_string_value(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, v VARBINARY(20))")
+        session.execute("INSERT INTO t VALUES (1, 'abc')")
+        assert session.db.tables["t"].get(1)[1] == b"abc"
+
+    def test_insert_into_unknown_table(self, session):
+        with pytest.raises(SqlSyntaxError):
+            session.execute("INSERT INTO nope VALUES (1)")
+
+    def test_full_workflow_sql_only(self, session):
+        """The paper's workflow with no Python API at all."""
+        session.execute(
+            "CREATE TABLE Tvector (id BIGINT PRIMARY KEY, "
+            "v VARBINARY(100))")
+        for i in range(50):
+            session.execute(
+                f"INSERT INTO Tvector VALUES ({i}, "
+                f"FloatArray.Vector_2({i}, {i * 2}))")
+        (total,), m = session.execute(
+            "SELECT SUM(FloatArray.Item_1(v, 1)) FROM Tvector "
+            "WITH (NOLOCK)")
+        assert total == sum(i * 2 for i in range(50))
+        assert m.udf_calls == 50
+
+
+class TestGroupBy:
+    @pytest.fixture
+    def loaded(self, session):
+        session.execute("CREATE TABLE s (id BIGINT, zbin INT, "
+                        "flux FLOAT)")
+        rng = np.random.default_rng(0)
+        data = []
+        for i in range(200):
+            zbin = int(rng.integers(0, 4))
+            flux = float(rng.standard_normal() + zbin * 10)
+            data.append((zbin, flux))
+            session.execute(
+                f"INSERT INTO s VALUES ({i}, {zbin}, {flux})")
+        return session, data
+
+    def test_group_means(self, loaded):
+        session, data = loaded
+        rows, _m = session.execute(
+            "SELECT zbin, COUNT(*), AVG(flux) FROM s GROUP BY zbin")
+        assert [r[0] for r in rows] == [0, 1, 2, 3]
+        for zbin, count, avg in rows:
+            members = [f for z, f in data if z == zbin]
+            assert count == len(members)
+            assert avg == pytest.approx(np.mean(members))
+
+    def test_group_with_where(self, loaded):
+        session, data = loaded
+        rows, _m = session.execute(
+            "SELECT zbin, COUNT(*) FROM s WHERE flux > 0 "
+            "GROUP BY zbin")
+        for zbin, count in rows:
+            assert count == sum(1 for z, f in data
+                                if z == zbin and f > 0)
+
+    def test_group_expression(self, loaded):
+        session, data = loaded
+        rows, _m = session.execute(
+            "SELECT zbin * 2, COUNT(*) FROM s GROUP BY zbin * 2")
+        assert [r[0] for r in rows] == [0, 2, 4, 6]
+
+    def test_group_selection_must_match(self, loaded):
+        session, _data = loaded
+        with pytest.raises(SqlSyntaxError):
+            session.execute(
+                "SELECT flux, COUNT(*) FROM s GROUP BY zbin")
+
+    def test_group_needs_aggregate(self, loaded):
+        session, _data = loaded
+        with pytest.raises(SqlSyntaxError):
+            session.execute("SELECT zbin FROM s GROUP BY zbin")
+
+    def test_plain_expr_without_group_rejected(self, loaded):
+        session, _data = loaded
+        with pytest.raises(SqlSyntaxError):
+            session.execute("SELECT zbin FROM s")
+
+    def test_composite_by_redshift_query_shape(self, session):
+        """Section 2.2's motivating query: composites grouped by
+        redshift bin, via a UDF-built scalar per row."""
+        session.execute("CREATE TABLE spectra (id BIGINT, zbin INT, "
+                        "flux VARBINARY(200))")
+        rng = np.random.default_rng(1)
+        for i in range(60):
+            zbin = i % 3
+            values = rng.standard_normal(8) + 5 * zbin
+            blob = FloatArray.Vector(values)
+            session.db.tables["spectra"].insert((i, zbin, blob))
+        rows, _m = session.execute(
+            "SELECT zbin, AVG(FloatArray.Mean(flux)), COUNT(*) "
+            "FROM spectra GROUP BY zbin")
+        means = [r[1] for r in rows]
+        assert means[0] < means[1] < means[2]
+        assert all(r[2] == 20 for r in rows)
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, session):
+        session.execute("CREATE TABLE d (id BIGINT, x FLOAT)")
+        session.execute(
+            "INSERT INTO d VALUES (1, 1.0), (2, -1.0), (3, 5.0)")
+        assert session.execute("DELETE FROM d WHERE x < 0") == 1
+        (n,), _m = session.execute("SELECT COUNT(*) FROM d")
+        assert n == 2
+
+    def test_delete_by_key_uses_seek(self, session):
+        session.execute("CREATE TABLE d2 (id BIGINT, x FLOAT)")
+        for i in range(20):
+            session.execute(f"INSERT INTO d2 VALUES ({i}, {i}.0)")
+        assert session.execute("DELETE FROM d2 WHERE id = 7") == 1
+        assert session.execute("DELETE FROM d2 WHERE id = 7") == 0
+        (n,), _m = session.execute("SELECT COUNT(*) FROM d2")
+        assert n == 19
+
+    def test_delete_all(self, session):
+        session.execute("CREATE TABLE d3 (id BIGINT, x FLOAT)")
+        session.execute("INSERT INTO d3 VALUES (1, 1.0), (2, 2.0)")
+        assert session.execute("DELETE FROM d3") == 2
+        (n,), _m = session.execute("SELECT COUNT(*) FROM d3")
+        assert n == 0
+
+    def test_delete_maintains_indexes(self, session):
+        session.execute("CREATE TABLE d4 (id BIGINT, cat INT)")
+        for i in range(10):
+            session.execute(f"INSERT INTO d4 VALUES ({i}, {i % 2})")
+        table = session.db.tables["d4"]
+        table.create_index("cat")
+        session.execute("DELETE FROM d4 WHERE cat = 0")
+        assert table.index_on("cat").seek(0) == []
+        (n,), _m = session.execute(
+            "SELECT COUNT(*) FROM d4 WHERE cat = 1")
+        assert n == 5

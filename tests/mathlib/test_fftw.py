@@ -1,0 +1,96 @@
+"""FFT wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeError, SqlArray, TypeMismatchError
+from repro.mathlib import (
+    ALIGNMENT,
+    aligned_copy,
+    fft_forward,
+    fft_inverse,
+    power_spectrum,
+)
+
+
+def _arr(values, dtype=None):
+    return SqlArray.from_numpy(np.asarray(values), dtype)
+
+
+class TestForwardInverse:
+    def test_roundtrip_1d(self, rng):
+        x = rng.standard_normal(32)
+        back = fft_inverse(fft_forward(_arr(x))).to_numpy()
+        np.testing.assert_allclose(back.real, x, atol=1e-12)
+        np.testing.assert_allclose(back.imag, 0, atol=1e-12)
+
+    def test_roundtrip_3d(self, rng):
+        x = rng.standard_normal((8, 8, 8))
+        back = fft_inverse(fft_forward(_arr(x))).to_numpy()
+        np.testing.assert_allclose(back.real, x, atol=1e-12)
+
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 6))
+        ours = fft_forward(_arr(x)).to_numpy()
+        np.testing.assert_allclose(ours, np.fft.fftn(x), atol=1e-10)
+
+    def test_single_precision_stays_single(self, rng):
+        x = rng.standard_normal(16).astype("f4")
+        out = fft_forward(_arr(x, "float32"))
+        assert out.dtype.name == "complex64"
+
+    def test_double_gives_complex128(self, rng):
+        out = fft_forward(_arr(rng.standard_normal(8)))
+        assert out.dtype.name == "complex128"
+
+    def test_complex_input_accepted(self, rng):
+        x = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        out = fft_forward(SqlArray.from_numpy(x))
+        np.testing.assert_allclose(out.to_numpy(), np.fft.fft(x),
+                                   atol=1e-10)
+
+    def test_integer_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            fft_forward(_arr(np.arange(8), "int32"))
+
+    def test_inverse_requires_complex(self, rng):
+        with pytest.raises(TypeMismatchError):
+            fft_inverse(_arr(rng.standard_normal(8)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            fft_forward(SqlArray.from_numpy(np.empty(0)))
+
+
+class TestAlignedCopy:
+    def test_alignment(self, rng):
+        for shape in [(17,), (5, 7), (3, 4, 5)]:
+            buf = aligned_copy(rng.standard_normal(shape))
+            assert buf.ctypes.data % ALIGNMENT == 0
+            assert buf.shape == shape
+
+    def test_values_preserved_column_major(self, rng):
+        x = np.asfortranarray(rng.standard_normal((4, 5)))
+        buf = aligned_copy(x)
+        np.testing.assert_array_equal(buf, x)
+        assert buf.flags["F_CONTIGUOUS"]
+
+    def test_is_a_copy(self, rng):
+        x = rng.standard_normal(8)
+        buf = aligned_copy(x)
+        buf[0] = 999.0
+        assert x[0] != 999.0
+
+
+class TestPowerSpectrum:
+    def test_parseval_consistency(self, rng):
+        x = rng.standard_normal(64)
+        p = power_spectrum(_arr(x)).to_numpy()
+        # Parseval: sum |X_k|^2 = N * sum |x_n|^2.
+        np.testing.assert_allclose(p.sum(), 64 * (x ** 2).sum(),
+                                   rtol=1e-12)
+
+    def test_real_output(self, rng):
+        p = power_spectrum(_arr(rng.standard_normal((4, 4))))
+        assert not p.dtype.is_complex
+        assert (p.to_numpy() >= 0).all()

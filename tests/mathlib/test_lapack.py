@@ -1,0 +1,139 @@
+"""LAPACK wrapper tests (SVD, least squares, masked least squares)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeError, SqlArray
+from repro.mathlib import (
+    gesvd,
+    masked_lstsq,
+    matmul,
+    solve_lstsq,
+    svd_values,
+    transpose,
+)
+
+
+def _arr(values):
+    return SqlArray.from_numpy(np.asarray(values, dtype="f8"))
+
+
+class TestGesvd:
+    def test_reconstruction(self, rng):
+        m = rng.standard_normal((6, 4))
+        u, s, vt = gesvd(_arr(m))
+        rebuilt = u.to_numpy() @ np.diag(s.to_numpy()) @ vt.to_numpy()
+        np.testing.assert_allclose(rebuilt, m, atol=1e-10)
+
+    def test_singular_values_descending(self, rng):
+        _u, s, _vt = gesvd(_arr(rng.standard_normal((5, 5))))
+        sv = s.to_numpy()
+        assert (np.diff(sv) <= 1e-12).all()
+        assert (sv >= 0).all()
+
+    def test_full_matrices_shapes(self, rng):
+        m = rng.standard_normal((6, 4))
+        u, s, vt = gesvd(_arr(m), full_matrices=True)
+        assert u.shape == (6, 6)
+        assert vt.shape == (4, 4)
+        u, s, vt = gesvd(_arr(m), full_matrices=False)
+        assert u.shape == (6, 4)
+        assert vt.shape == (4, 4)
+
+    def test_complex_input(self, rng):
+        m = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        u, s, vt = gesvd(SqlArray.from_numpy(m))
+        rebuilt = u.to_numpy() @ np.diag(s.to_numpy()) @ vt.to_numpy()
+        np.testing.assert_allclose(rebuilt, m, atol=1e-10)
+
+    def test_svd_values_match(self, rng):
+        m = _arr(rng.standard_normal((5, 3)))
+        _u, s, _vt = gesvd(m)
+        np.testing.assert_allclose(svd_values(m).to_numpy(),
+                                   s.to_numpy())
+
+    def test_vector_rejected(self):
+        with pytest.raises(ShapeError):
+            gesvd(_arr([1.0, 2.0]))
+
+    def test_matches_scipy_oracle(self, rng):
+        import scipy.linalg
+        m = rng.standard_normal((7, 5))
+        _u, s, _vt = gesvd(_arr(m))
+        np.testing.assert_allclose(
+            s.to_numpy(), scipy.linalg.svdvals(m), atol=1e-10)
+
+
+class TestLeastSquares:
+    def test_exact_system(self):
+        a = _arr([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        b = _arr([1.0, 2.0, 3.0])
+        x = solve_lstsq(a, b).to_numpy()
+        np.testing.assert_allclose(x, [1.0, 2.0], atol=1e-12)
+
+    def test_overdetermined_minimizes_residual(self, rng):
+        a = rng.standard_normal((20, 3))
+        x_true = np.array([1.0, -2.0, 0.5])
+        b = a @ x_true + rng.normal(0, 0.01, 20)
+        x = solve_lstsq(_arr(a), _arr(b)).to_numpy()
+        np.testing.assert_allclose(x, x_true, atol=0.05)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            solve_lstsq(_arr([[1.0], [2.0]]), _arr([1.0, 2.0, 3.0]))
+
+
+class TestMaskedLstsq:
+    def test_mask_excludes_corrupted_rows(self, rng):
+        a = rng.standard_normal((30, 3))
+        x_true = np.array([2.0, -1.0, 0.5])
+        b = a @ x_true
+        b[5] = 1e6  # corrupted measurement
+        b[17] = -1e6
+        mask = np.ones(30, dtype="i2")
+        mask[[5, 17]] = 0
+        x = masked_lstsq(_arr(a), _arr(b),
+                         SqlArray.from_numpy(mask, "int16")).to_numpy()
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_all_good_matches_plain(self, rng):
+        a = rng.standard_normal((10, 2))
+        b = rng.standard_normal(10)
+        mask = SqlArray.from_numpy(np.ones(10, dtype="i2"), "int16")
+        np.testing.assert_allclose(
+            masked_lstsq(_arr(a), _arr(b), mask).to_numpy(),
+            solve_lstsq(_arr(a), _arr(b)).to_numpy())
+
+    def test_too_few_unmasked_rows(self, rng):
+        a = rng.standard_normal((5, 4))
+        b = rng.standard_normal(5)
+        mask = SqlArray.from_numpy(
+            np.array([1, 1, 0, 0, 0], dtype="i2"), "int16")
+        with pytest.raises(ShapeError):
+            masked_lstsq(_arr(a), _arr(b), mask)
+
+
+class TestMatmulTranspose:
+    def test_matmul(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(
+            matmul(_arr(a), _arr(b)).to_numpy(), a @ b)
+
+    def test_matvec_gives_vector(self, rng):
+        a = rng.standard_normal((3, 4))
+        v = rng.standard_normal(4)
+        out = matmul(_arr(a), _arr(v))
+        assert out.shape == (3,)
+
+    def test_incompatible(self, rng):
+        with pytest.raises(ShapeError):
+            matmul(_arr(rng.standard_normal((3, 4))),
+                   _arr(rng.standard_normal((3, 4))))
+
+    def test_transpose(self, rng):
+        m = rng.standard_normal((2, 5))
+        np.testing.assert_array_equal(
+            transpose(_arr(m)).to_numpy(), m.T)
+        with pytest.raises(ShapeError):
+            transpose(_arr([1.0, 2.0]))

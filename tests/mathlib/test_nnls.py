@@ -1,0 +1,81 @@
+"""NNLS tests: correctness against the scipy oracle and KKT checks."""
+
+import numpy as np
+import pytest
+import scipy.optimize
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ShapeError, SqlArray
+from repro.mathlib import nnls, nnls_arrays
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_problems(self, seed):
+        gen = np.random.default_rng(seed)
+        m, n = gen.integers(3, 15), gen.integers(2, 8)
+        a = gen.standard_normal((m, n))
+        b = gen.standard_normal(m)
+        x_ours, r_ours = nnls(a, b)
+        x_ref, r_ref = scipy.optimize.nnls(a, b)
+        np.testing.assert_allclose(x_ours, x_ref, atol=1e-8)
+        assert r_ours == pytest.approx(r_ref, abs=1e-8)
+
+    def test_nonnegative_target_recovers_exactly(self, rng):
+        a = np.abs(rng.standard_normal((20, 5)))
+        x_true = np.array([0.0, 1.5, 0.0, 2.0, 0.3])
+        b = a @ x_true
+        x, rnorm = nnls(a, b)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+        assert rnorm < 1e-8
+
+
+class TestKktConditions:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_solution_is_kkt_point(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.standard_normal((10, 4))
+        b = gen.standard_normal(10)
+        x, _r = nnls(a, b)
+        w = a.T @ (b - a @ x)
+        scale = max(np.abs(a).max(), 1.0)
+        # Primal feasibility.
+        assert (x >= 0).all()
+        # Dual feasibility: gradient non-positive where x is at bound.
+        assert (w[x == 0] <= 1e-6 * scale * 10).all()
+        # Complementary slackness: gradient ~0 where x > 0.
+        assert np.abs(w[x > 0]).max(initial=0.0) <= 1e-6 * scale * 10
+
+
+class TestEdgeCases:
+    def test_zero_rhs(self):
+        a = np.eye(3)
+        x, rnorm = nnls(a, np.zeros(3))
+        np.testing.assert_array_equal(x, np.zeros(3))
+        assert rnorm == 0.0
+
+    def test_all_negative_rhs_gives_zero_solution(self):
+        a = np.eye(3)
+        x, _r = nnls(a, -np.ones(3))
+        np.testing.assert_array_equal(x, np.zeros(3))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            nnls(np.zeros(3), np.zeros(3))
+        with pytest.raises(ShapeError):
+            nnls(np.zeros((3, 2)), np.zeros(4))
+
+    def test_array_wrapper(self, rng):
+        a = np.abs(rng.standard_normal((8, 3)))
+        b = a @ np.array([1.0, 0.0, 2.0])
+        x, rnorm = nnls_arrays(SqlArray.from_numpy(a),
+                               SqlArray.from_numpy(b))
+        np.testing.assert_allclose(x.to_numpy(), [1.0, 0.0, 2.0],
+                                   atol=1e-8)
+
+    def test_array_wrapper_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            nnls_arrays(SqlArray.from_numpy(np.zeros(3)),
+                        SqlArray.from_numpy(np.zeros(3)))

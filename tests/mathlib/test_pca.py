@@ -1,0 +1,98 @@
+"""PCA pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregateError, ShapeError, SqlArray
+from repro.mathlib import PCA
+
+
+def _vectors(n, dim, seed=0, rank=None):
+    """Vectors drawn from a low-rank subspace plus noise."""
+    gen = np.random.default_rng(seed)
+    rank = rank or dim
+    basis = gen.standard_normal((rank, dim))
+    coeffs = gen.standard_normal((n, rank))
+    data = coeffs @ basis + gen.normal(0, 0.01, (n, dim))
+    return [SqlArray.from_numpy(row) for row in data], data
+
+
+class TestFit:
+    def test_components_orthonormal(self):
+        vs, _data = _vectors(50, 8, rank=3)
+        pca = PCA(4).fit(vs)
+        g = pca.components @ pca.components.T
+        np.testing.assert_allclose(g, np.eye(4), atol=1e-8)
+
+    def test_explained_variance_descending(self):
+        vs, _data = _vectors(50, 8)
+        pca = PCA().fit(vs)
+        assert (np.diff(pca.explained_variance) <= 1e-12).all()
+
+    def test_low_rank_data_detected(self):
+        vs, _data = _vectors(80, 10, rank=2)
+        pca = PCA().fit(vs)
+        ratio = pca.explained_variance_ratio()
+        assert ratio[:2].sum() > 0.99
+
+    def test_matches_numpy_eigendecomposition(self):
+        vs, data = _vectors(60, 6)
+        pca = PCA().fit(vs)
+        cov = np.cov(data.T)
+        eigvals = np.sort(np.linalg.eigvalsh(cov))[::-1]
+        np.testing.assert_allclose(pca.explained_variance, eigvals,
+                                   atol=1e-8)
+
+    def test_needs_two_vectors(self):
+        with pytest.raises(AggregateError):
+            PCA().fit([SqlArray.from_numpy(np.zeros(3))])
+
+    def test_n_components_out_of_range(self):
+        vs, _data = _vectors(10, 4)
+        with pytest.raises(ShapeError):
+            PCA(5).fit(vs)
+
+    def test_correlation_variant(self):
+        vs, _data = _vectors(40, 5)
+        pca = PCA(3, use_correlation=True).fit(vs)
+        assert pca.components.shape == (3, 5)
+
+
+class TestTransformReconstruct:
+    def test_roundtrip_full_basis(self):
+        vs, data = _vectors(30, 5)
+        pca = PCA().fit(vs)
+        c = pca.transform(vs[0])
+        back = pca.reconstruct(c)
+        np.testing.assert_allclose(back.to_numpy(), data[0], atol=1e-8)
+
+    def test_truncated_basis_approximates(self):
+        vs, data = _vectors(60, 8, rank=2)
+        pca = PCA(2).fit(vs)
+        back = pca.reconstruct(pca.transform(vs[3])).to_numpy()
+        np.testing.assert_allclose(back, data[3], atol=0.1)
+
+    def test_masked_transform_ignores_bad_bins(self):
+        vs, data = _vectors(60, 8, rank=3)
+        pca = PCA(3).fit(vs)
+        clean = pca.transform(vs[0]).to_numpy()
+        corrupted = data[0].copy()
+        corrupted[2] = 1e5
+        mask = np.ones(8, dtype="i2")
+        mask[2] = 0
+        masked = pca.transform_masked(
+            SqlArray.from_numpy(corrupted),
+            SqlArray.from_numpy(mask, "int16")).to_numpy()
+        np.testing.assert_allclose(masked, clean, atol=0.05)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(AggregateError):
+            PCA().transform(SqlArray.from_numpy(np.zeros(3)))
+
+    def test_dimension_checks(self):
+        vs, _data = _vectors(20, 5)
+        pca = PCA(2).fit(vs)
+        with pytest.raises(ShapeError):
+            pca.transform(SqlArray.from_numpy(np.zeros(7)))
+        with pytest.raises(ShapeError):
+            pca.reconstruct(SqlArray.from_numpy(np.zeros(5)))

@@ -1,0 +1,96 @@
+"""Spectrum archive tests (the SQL-backed Spectrum Services)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AggregateError
+from repro.science.spectra import SpectrumArchive, SpectrumGenerator
+from repro.sqlbind import connect
+
+
+@pytest.fixture(scope="module")
+def archive():
+    gen = SpectrumGenerator(n_bins=96, n_classes=3, seed=21)
+    arch = SpectrumArchive(connect())
+    spectra = []
+    for i in range(90):
+        s = gen.make(class_id=i % 3, redshift=0.02 + 0.02 * (i % 5))
+        spectra.append(s)
+    ids = arch.add_many(spectra)
+    return gen, arch, spectra, ids
+
+
+class TestStorage:
+    def test_size(self, archive):
+        _gen, arch, spectra, _ids = archive
+        assert arch.size == len(spectra)
+
+    def test_roundtrip(self, archive):
+        _gen, arch, spectra, ids = archive
+        got = arch.get(ids[7])
+        want = spectra[7]
+        np.testing.assert_array_equal(got.flux.to_numpy(),
+                                      want.flux.to_numpy())
+        np.testing.assert_array_equal(got.flags.to_numpy(),
+                                      want.flags.to_numpy())
+        assert got.redshift == want.redshift
+        assert got.class_id == want.class_id
+
+    def test_missing_id(self, archive):
+        _gen, arch, _s, _ids = archive
+        with pytest.raises(KeyError):
+            arch.get(10 ** 9)
+
+    def test_by_redshift(self, archive):
+        _gen, arch, spectra, _ids = archive
+        got = arch.by_redshift(0.03, 0.07)
+        want = [s for s in spectra if 0.03 <= s.redshift < 0.07]
+        assert len(got) == len(want)
+        assert all(0.03 <= s.redshift < 0.07 for s in got)
+
+
+class TestSqlProcessing:
+    def test_composites_by_redshift_bin(self, archive):
+        _gen, arch, spectra, _ids = archive
+        rows = arch.sql_composites_by_redshift(0.02)
+        assert sum(count for _b, count, _c in rows) == len(spectra)
+        for zbin, count, composite in rows:
+            members = [s for s in spectra
+                       if int(s.redshift / 0.02) == zbin]
+            assert count == len(members)
+            expected = np.mean([m.flux.to_numpy() for m in members],
+                               axis=0)
+            np.testing.assert_allclose(composite.to_numpy(), expected,
+                                       rtol=1e-12)
+
+    def test_bin_width_validation(self, archive):
+        _gen, arch, _s, _ids = archive
+        with pytest.raises(AggregateError):
+            arch.sql_composites_by_redshift(0.0)
+
+    def test_flux_statistics(self, archive):
+        _gen, arch, spectra, _ids = archive
+        stats = arch.sql_flux_statistics()
+        assert stats["count"] == len(spectra)
+        lo = min(s.flux.to_numpy().min() for s in spectra)
+        hi = max(s.flux.to_numpy().max() for s in spectra)
+        assert stats["min_flux"] == pytest.approx(lo)
+        assert stats["max_flux"] == pytest.approx(hi)
+
+
+class TestSearch:
+    def test_requires_index(self, archive):
+        gen, arch, _s, _ids = archive
+        fresh = SpectrumArchive(connect())
+        fresh.add(gen.make())
+        with pytest.raises(AggregateError):
+            fresh.find_similar(gen.make())
+
+    def test_similarity_search(self, archive):
+        gen, arch, _spectra, _ids = archive
+        arch.build_search_index(n_components=4, n_bins=64)
+        query = gen.make(class_id=1, redshift=0.03)
+        results = arch.find_similar(query, k=5)
+        assert len(results) == 5
+        classes = [s.class_id for _i, _d, s in results]
+        assert classes.count(1) >= 3

@@ -1,0 +1,146 @@
+"""Tests for the storage-facing science layers: the N-body particle
+database and turbulence sub-domain retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.science.nbody import ParticleDatabase, ZeldovichSimulation
+from repro.science.turbulence import (
+    BlobPartitioner,
+    MemoryBlobBackend,
+    TurbulenceStore,
+    extract_subdomain,
+    make_field,
+)
+from repro.sqlbind import connect
+
+BOX = 100.0
+
+
+@pytest.fixture(scope="module")
+def pdb():
+    sim = ZeldovichSimulation(particles_per_axis=12, box_size=BOX,
+                              spectral_index=-3.0, seed=7)
+    db = ParticleDatabase(connect(), cells_per_axis=4)
+    snaps = sim.snapshots([1.0, 1.5, 2.0])
+    for s in snaps:
+        db.store_snapshot(s)
+    return db, snaps
+
+
+class TestParticleDatabase:
+    def test_bucket_rows_created(self, pdb):
+        db, snaps = pdb
+        assert db.bucket_count(0, 0) == 4 ** 3
+        assert db.snapshots(0) == [0, 1, 2]
+
+    def test_meta(self, pdb):
+        db, snaps = pdb
+        meta = db.meta(0, 1)
+        assert meta["growth"] == snaps[1].growth
+        assert meta["n_particles"] == snaps[1].n_particles
+        with pytest.raises(KeyError):
+            db.meta(0, 99)
+
+    def test_load_snapshot_roundtrip(self, pdb):
+        db, snaps = pdb
+        ids, pos, vel = db.load_snapshot(0, 2)
+        snap = snaps[2]
+        order = np.argsort(ids)
+        ref_order = np.argsort(snap.ids)
+        np.testing.assert_array_equal(ids[order], snap.ids[ref_order])
+        np.testing.assert_allclose(pos[order],
+                                   snap.positions[ref_order])
+        np.testing.assert_allclose(vel[order],
+                                   snap.velocities[ref_order])
+
+    def test_box_query_matches_brute_force(self, pdb):
+        db, snaps = pdb
+        lo, hi = np.array([20.0, 5.0, 50.0]), np.array([70.0, 60.0,
+                                                        95.0])
+        ids, pos, _vel = db.particles_in_box(0, 1, lo, hi)
+        snap = snaps[1]
+        mask = ((snap.positions >= lo) & (snap.positions < hi)).all(
+            axis=1)
+        assert sorted(ids) == sorted(snap.ids[mask])
+        assert ((pos >= lo) & (pos < hi)).all()
+
+    def test_box_query_touches_few_buckets(self, pdb):
+        db, _snaps = pdb
+        touched = db.buckets_touched_by_box(
+            0, 0, (0.0, 0.0, 0.0), (30.0, 30.0, 30.0))
+        assert 0 < touched < db.bucket_count(0, 0) / 4
+
+    def test_empty_box(self, pdb):
+        db, _snaps = pdb
+        ids, pos, vel = db.particles_in_box(
+            0, 0, (50.0, 50.0, 50.0), (50.0, 50.0, 50.0))
+        assert len(ids) == 0
+
+    def test_particle_track(self, pdb):
+        db, snaps = pdb
+        steps, track = db.particle_track(0, 100)
+        assert list(steps) == [0, 1, 2]
+        for step, position in zip(steps, track):
+            snap = snaps[step]
+            idx = int(np.nonzero(snap.ids == 100)[0][0])
+            np.testing.assert_allclose(position, snap.positions[idx])
+
+    def test_missing_particle(self, pdb):
+        db, _snaps = pdb
+        with pytest.raises(KeyError):
+            db.particle_track(0, 10 ** 9)
+
+
+@pytest.fixture(scope="module")
+def turb_store():
+    field = make_field(32, seed=3)
+    store = TurbulenceStore(BlobPartitioner(32, 16, 4),
+                            MemoryBlobBackend())
+    store.load_field(field)
+    return field, store
+
+
+class TestSubdomain:
+    def test_matches_source_field(self, turb_store):
+        field, store = turb_store
+        data, _stats = extract_subdomain(store, (5, 10, 3),
+                                         (25, 20, 30))
+        np.testing.assert_allclose(data,
+                                   field.data[:, 5:25, 10:20, 3:30])
+
+    def test_full_domain(self, turb_store):
+        field, store = turb_store
+        data, _stats = extract_subdomain(store, (0, 0, 0),
+                                         (32, 32, 32))
+        np.testing.assert_allclose(data, field.data)
+
+    def test_single_voxel(self, turb_store):
+        field, store = turb_store
+        data, stats = extract_subdomain(store, (7, 8, 9), (8, 9, 10))
+        np.testing.assert_allclose(data[:, 0, 0, 0],
+                                   field.data[:, 7, 8, 9])
+        assert stats.blobs_opened == 1
+
+    def test_component_subset(self, turb_store):
+        field, store = turb_store
+        data, _stats = extract_subdomain(store, (0, 0, 0), (8, 8, 8),
+                                         components=(3,))
+        np.testing.assert_allclose(data[0], field.data[3, :8, :8, :8])
+
+    def test_partial_reads_save_io(self, turb_store):
+        _field, store = turb_store
+        _data, stats = extract_subdomain(store, (2, 2, 2), (10, 10, 10))
+        assert stats.savings_factor > 5
+
+    def test_validation(self, turb_store):
+        _field, store = turb_store
+        with pytest.raises(ValueError):
+            extract_subdomain(store, (0, 0, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            extract_subdomain(store, (0, 0, 0), (40, 8, 8))
+        with pytest.raises(ValueError):
+            extract_subdomain(store, (0, 0), (8, 8))
+        with pytest.raises(ValueError):
+            extract_subdomain(store, (0, 0, 0), (8, 8, 8),
+                              components=(4,))

@@ -1,0 +1,356 @@
+"""N-body use-case tests (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.science.nbody import (
+    MergerTree,
+    UnionFind,
+    ZeldovichSimulation,
+    bucketize,
+    build_lightcone,
+    cic_density,
+    density_contrast,
+    density_fourier_modes,
+    find_halos,
+    friends_of_friends,
+    link_halos,
+    pair_counts,
+    power_spectrum,
+    three_point_counts,
+    two_point_correlation,
+)
+
+BOX = 100.0
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return ZeldovichSimulation(particles_per_axis=16, box_size=BOX,
+                               spectral_index=-3.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def snap(sim):
+    return sim.snapshot(2.5)
+
+
+class TestSnapshots:
+    def test_particles_stay_in_box(self, sim):
+        for g in (0.0, 1.0, 5.0):
+            s = sim.snapshot(g)
+            assert (s.positions >= 0).all()
+            assert (s.positions < BOX).all()
+
+    def test_growth_zero_is_uniform_grid(self, sim):
+        s = sim.snapshot(0.0)
+        assert np.allclose(s.velocities, 0.0)
+        spacing = BOX / 16
+        np.testing.assert_allclose(np.sort(np.unique(s.positions[:, 0])),
+                                   (np.arange(16) + 0.5) * spacing)
+
+    def test_ids_stable_across_snapshots(self, sim):
+        a, b = sim.snapshot(0.5), sim.snapshot(1.5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_velocities_proportional_to_displacement_rate(self, sim):
+        s1 = sim.snapshot(1.0, growth_rate=1.0)
+        s2 = sim.snapshot(1.0, growth_rate=2.0)
+        np.testing.assert_allclose(s2.velocities, 2 * s1.velocities)
+
+    def test_clustering_grows(self, sim):
+        """Later epochs are more clustered: CIC density variance
+        rises."""
+        early = sim.snapshot(0.5)
+        late = sim.snapshot(2.5)
+        var_early = cic_density(early.positions, BOX, 8).var()
+        var_late = cic_density(late.positions, BOX, 8).var()
+        assert var_late > var_early
+
+    def test_bucketize_partitions_all(self, snap):
+        buckets = bucketize(snap, 4)
+        assert sum(b.n_particles for b in buckets) == snap.n_particles
+        ids = np.concatenate([b.ids.to_numpy() for b in buckets])
+        assert len(np.unique(ids)) == snap.n_particles
+        # Bucket ids ascend along the z-curve.
+        bids = [b.bucket_id for b in buckets]
+        assert bids == sorted(bids)
+
+    def test_bucket_arrays_roundtrip(self, snap):
+        b = bucketize(snap, 2)[0]
+        pos = b.positions.to_numpy()
+        assert pos.shape[1] == 3
+        assert b.ids.dtype.name == "int64"
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(3) == uf.find(4)
+        assert uf.find(0) != uf.find(3)
+
+    def test_transitive(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert len(set(labels[:4])) == 1
+        assert labels[4] != labels[0]
+
+
+class TestFof:
+    def test_two_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        a = 20 + rng.normal(0, 0.5, (50, 3))
+        b = 70 + rng.normal(0, 0.5, (50, 3))
+        pts = np.concatenate([a, b])
+        labels = friends_of_friends(pts, BOX, 5.0)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((120, 3)) * BOX
+        b = 8.0
+        labels = friends_of_friends(pts, BOX, b)
+        # Brute-force connected components via repeated expansion.
+        diff = np.abs(pts[:, None, :] - pts[None])
+        diff = np.minimum(diff, BOX - diff)
+        adj = (diff ** 2).sum(axis=2) <= b * b
+        reach = adj.copy()
+        for _ in range(len(pts)):
+            newr = reach @ adj
+            if (newr == reach).all():
+                break
+            reach = newr
+        for i in range(len(pts)):
+            for j in range(len(pts)):
+                assert (labels[i] == labels[j]) == bool(reach[i, j])
+
+    def test_periodic_wrap_links_across_boundary(self):
+        pts = np.array([[0.5, 50.0, 50.0], [99.5, 50.0, 50.0]])
+        labels = friends_of_friends(pts, BOX, 2.0)
+        assert labels[0] == labels[1]
+
+    def test_linking_length_validation(self, rng):
+        pts = rng.random((10, 3)) * BOX
+        with pytest.raises(ValueError):
+            friends_of_friends(pts, BOX, 0.0)
+        with pytest.raises(ValueError):
+            friends_of_friends(pts, BOX, 50.0)
+
+    def test_empty_input(self):
+        assert len(friends_of_friends(np.empty((0, 3)), BOX, 1.0)) == 0
+
+    def test_find_halos_filters_and_sorts(self, snap):
+        halos = find_halos(snap.positions, snap.ids, BOX,
+                           BOX / 16 * 0.4, min_members=8)
+        assert len(halos) > 0
+        sizes = [h.n_members for h in halos]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(s >= 8 for s in sizes)
+
+    def test_halo_center_inside_box(self, snap):
+        halos = find_halos(snap.positions, snap.ids, BOX,
+                           BOX / 16 * 0.4, min_members=8)
+        for h in halos:
+            assert ((h.center >= 0) & (h.center < BOX)).all()
+
+
+class TestMergerTree:
+    @pytest.fixture(scope="class")
+    def halo_lists(self, sim):
+        return [find_halos(s.positions, s.ids, BOX, BOX / 16 * 0.4,
+                           min_members=6)
+                for s in sim.snapshots([1.5, 2.0, 2.5])]
+
+    def test_links_by_shared_ids(self, halo_lists):
+        links = link_halos(halo_lists[0], halo_lists[1],
+                           min_fraction=0.3)
+        assert links, "expected at least one progenitor link"
+        for link in links:
+            earlier = set(halo_lists[0][link.progenitor].member_ids)
+            later = set(halo_lists[1][link.descendant].member_ids)
+            assert len(earlier & later) == link.shared
+            assert link.fraction >= 0.3
+
+    def test_tree_progenitors_and_descendants(self, halo_lists):
+        tree = MergerTree.from_halo_lists(halo_lists, min_fraction=0.3)
+        assert tree.n_steps == 3
+        for link in tree.links_per_step[0]:
+            assert link.progenitor in \
+                tree.progenitors(1, link.descendant)
+            assert tree.descendant(0, link.progenitor) == \
+                link.descendant
+
+    def test_main_branch_walks_back(self, halo_lists):
+        tree = MergerTree.from_halo_lists(halo_lists, min_fraction=0.3)
+        if tree.halos_per_step[2]:
+            branch = tree.main_branch(2, 0)
+            steps = [s for s, _i in branch]
+            assert steps == sorted(steps, reverse=True)
+
+    def test_min_fraction_validation(self, halo_lists):
+        with pytest.raises(ValueError):
+            link_halos(halo_lists[0], halo_lists[1], min_fraction=0.0)
+
+
+class TestCic:
+    def test_mass_conservation(self, snap):
+        d = cic_density(snap.positions, BOX, 12)
+        assert d.sum() == pytest.approx(snap.n_particles, rel=1e-12)
+
+    def test_single_particle_at_cell_center(self):
+        # A particle exactly at a cell center puts all mass there.
+        g = 8
+        pos = np.array([[(2 + 0.5) * BOX / g, (3 + 0.5) * BOX / g,
+                         (4 + 0.5) * BOX / g]])
+        d = cic_density(pos, BOX, g)
+        assert d[2, 3, 4] == pytest.approx(1.0)
+
+    def test_particle_between_cells_splits_mass(self):
+        g = 8
+        cell = BOX / g
+        pos = np.array([[3 * cell, 0.5 * cell, 0.5 * cell]])
+        d = cic_density(pos, BOX, g)
+        assert d[2, 0, 0] == pytest.approx(0.5)
+        assert d[3, 0, 0] == pytest.approx(0.5)
+
+    def test_periodic_wrap(self):
+        g = 8
+        pos = np.array([[BOX - 1e-9, BOX / g * 0.5, BOX / g * 0.5]])
+        d = cic_density(pos, BOX, g)
+        assert d.sum() == pytest.approx(1.0)
+        # Mass split between the last and first cell on axis 0.
+        assert d[7, 0, 0] + d[0, 0, 0] == pytest.approx(1.0)
+
+    def test_weights(self):
+        pos = np.array([[50.0, 50.0, 50.0]])
+        d = cic_density(pos, BOX, 4, weights=np.array([2.5]))
+        assert d.sum() == pytest.approx(2.5)
+
+    def test_density_contrast_zero_mean(self, snap):
+        delta = density_contrast(cic_density(snap.positions, BOX, 8))
+        assert delta.mean() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPowerSpectrum:
+    def test_uniform_grid_has_no_power(self, sim):
+        s = sim.snapshot(0.0)
+        delta = density_contrast(cic_density(s.positions, BOX, 16))
+        _k, pk, _n = power_spectrum(delta, BOX)
+        assert np.abs(pk).max() < 1e-20
+
+    def test_clustered_field_has_power(self, snap):
+        delta = density_contrast(cic_density(snap.positions, BOX, 16))
+        _k, pk, counts = power_spectrum(delta, BOX)
+        assert pk[counts > 0].max() > 0
+
+    def test_single_mode_lands_in_right_bin(self):
+        g = 32
+        x = np.arange(g) * (BOX / g)
+        delta = np.cos(2 * np.pi * 4 * x / BOX)[:, None, None] \
+            * np.ones((1, g, g))
+        k, pk, _c = power_spectrum(delta, BOX, n_bins=16)
+        k_expected = 2 * np.pi * 4 / BOX
+        assert abs(k[np.argmax(pk)] - k_expected) < 2 * np.pi / BOX
+
+    def test_fourier_modes_cube_truncation(self, snap):
+        delta = density_contrast(cic_density(snap.positions, BOX, 16))
+        modes = density_fourier_modes(delta, keep=8)
+        assert modes.shape == (8, 8, 8)
+        assert modes.dtype.is_complex
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_spectrum(np.zeros((4, 5, 4)), BOX)
+
+
+class TestCorrelation:
+    def test_uniform_points_have_no_correlation(self, rng):
+        pts = rng.random((600, 3)) * BOX
+        edges = np.linspace(3, 15, 5)
+        _r, xi = two_point_correlation(pts, BOX, edges, n_random=1200,
+                                       seed=2)
+        assert np.abs(xi).max() < 0.5
+
+    def test_clustered_points_positive_at_small_r(self, rng):
+        centers = rng.random((25, 3)) * BOX
+        pts = (centers[:, None, :] +
+               rng.normal(0, 1.0, (25, 20, 3))).reshape(-1, 3) % BOX
+        edges = np.array([0.5, 2.0, 10.0, 20.0])
+        _r, xi = two_point_correlation(pts, BOX, edges, n_random=1000,
+                                       seed=3)
+        assert xi[0] > 1.0          # strong clustering at small r
+        assert xi[0] > xi[-1]       # decreasing with separation
+
+    def test_pair_counts_match_brute_force(self, rng):
+        pts = rng.random((80, 3)) * BOX
+        edges = np.linspace(2, 20, 4)
+        got = pair_counts(pts, edges, BOX)
+        diff = np.abs(pts[:, None] - pts[None])
+        diff = np.minimum(diff, BOX - diff)
+        d = np.sqrt((diff ** 2).sum(axis=2))
+        iu = np.triu_indices(len(pts), k=1)
+        want = np.histogram(d[iu], bins=edges)[0]
+        np.testing.assert_array_equal(got, want)
+
+    def test_separation_limit_enforced(self, rng):
+        with pytest.raises(ValueError):
+            pair_counts(rng.random((10, 3)) * BOX,
+                        np.array([1.0, 60.0]), BOX)
+
+    def test_three_point_counts_positive_for_triangles(self):
+        # An equilateral triangle of side 5 plus isolated points.
+        base = np.array([[50.0, 50.0, 50.0],
+                         [55.0, 50.0, 50.0],
+                         [52.5, 50.0 + 5 * np.sqrt(3) / 2, 50.0]])
+        pts = np.concatenate([base, [[10.0, 10.0, 10.0]]])
+        n = three_point_counts(pts, BOX, 5.0, 5.0, tolerance=0.1)
+        assert n == 3  # one triangle counted once per vertex
+
+
+class TestLightcone:
+    def test_shells_use_corresponding_snapshots(self, sim):
+        snaps = sim.snapshots([2.5, 2.0, 1.5, 1.0])  # latest first
+        entries = build_lightcone(snaps, [50, 50, 50], [1, 0, 0],
+                                  0.6, 48.0)
+        assert entries
+        shell = 48.0 / 4
+        for e in entries:
+            assert e.step == min(int(e.distance // shell), 3)
+
+    def test_entries_sorted_and_in_cone(self, sim):
+        snaps = sim.snapshots([2.0, 1.0])
+        axis = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        entries = build_lightcone(snaps, [50, 50, 50], axis, 0.5, 40.0)
+        dists = [e.distance for e in entries]
+        assert dists == sorted(dists)
+        for e in entries[:50]:
+            cosang = (e.position @ axis) / e.distance
+            assert cosang >= np.cos(0.5) - 1e-9
+
+    def test_redshift_includes_doppler(self, sim):
+        snaps = sim.snapshots([2.0])
+        entries = build_lightcone(snaps, [50, 50, 50], [1, 0, 0],
+                                  0.8, 40.0, hubble=0.1)
+        from repro.science.nbody.lightcone import SPEED_OF_LIGHT
+        snap = snaps[0]
+        for e in entries[:20]:
+            radial = e.position / e.distance
+            idx = int(np.nonzero(snap.ids == e.particle_id)[0][0])
+            v_los = snap.velocities[idx] @ radial
+            expected = 0.1 * e.distance / SPEED_OF_LIGHT \
+                + v_los / SPEED_OF_LIGHT
+            assert e.redshift == pytest.approx(expected, rel=1e-9)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            build_lightcone([], [0, 0, 0], [1, 0, 0], 0.5, 10.0)
+        with pytest.raises(ValueError):
+            build_lightcone(sim.snapshots([1.0]), [0, 0, 0],
+                            [0, 0, 0], 0.5, 10.0)

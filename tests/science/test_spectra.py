@@ -1,0 +1,326 @@
+"""Spectrum use-case tests (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeError
+from repro.science.spectra import (
+    SpectrumBasis,
+    extract_slit_spectrum,
+    slit_spatial_profile,
+    SpectrumGenerator,
+    SpectrumSearchService,
+    apply_correction,
+    classify_nearest_centroid,
+    collapse_cube,
+    common_grid,
+    integrate_flux,
+    make_composite,
+    normalize,
+    overlap_matrix,
+    resample_flux,
+    resample_spectrum,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return SpectrumGenerator(n_bins=128, n_classes=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def training_set(gen):
+    return [gen.make(class_id=i % 3, redshift=0.01) for i in range(60)]
+
+
+class TestGenerator:
+    def test_vectors_have_matching_lengths(self, gen):
+        s = gen.make()
+        assert s.wave.shape == s.flux.shape == s.error.shape == \
+            s.flags.shape
+
+    def test_flags_are_int16(self, gen):
+        assert gen.make().flags.dtype.name == "int16"
+
+    def test_bad_fraction_controls_flags(self, gen):
+        clean = gen.make(bad_fraction=0.0)
+        assert clean.good_mask().all()
+        dirty = gen.make(bad_fraction=0.3)
+        assert (~dirty.good_mask()).sum() > 0
+
+    def test_wavelengths_increase(self, gen):
+        w = gen.make().wave.to_numpy()
+        assert (np.diff(w) > 0).all()
+
+    def test_class_id_validation(self, gen):
+        with pytest.raises(ValueError):
+            gen.make(class_id=99)
+
+    def test_slit_and_cube_shapes(self, gen):
+        wave, pos, flux2d = gen.make_slit(n_positions=10)
+        assert flux2d.shape == (wave.shape[0], 10)
+        wave, cube = gen.make_ifu_cube(n_side=5)
+        assert cube.shape == (wave.shape[0], 5, 5)
+
+
+class TestResample:
+    def test_overlap_matrix_rows_sum_to_one_when_covered(self):
+        src = np.linspace(0, 10, 21)
+        dst = np.linspace(1, 9, 9)
+        w = overlap_matrix(src, dst)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+
+    def test_flux_conservation_exact(self, rng):
+        """The paper's requirement: "the integrated flux in any
+        wavelength range remains the same"."""
+        src = np.sort(rng.uniform(0, 10, 30))
+        src[0], src[-1] = 0.0, 10.0
+        flux = rng.random(29)
+        dst = np.linspace(0, 10, 13)
+        out = resample_flux(src, flux, dst)
+        total_in = (flux * np.diff(src)).sum()
+        total_out = (out * np.diff(dst)).sum()
+        assert total_out == pytest.approx(total_in, rel=1e-12)
+
+    def test_identity_grid_is_identity(self, rng):
+        edges = np.linspace(0, 5, 11)
+        flux = rng.random(10)
+        np.testing.assert_allclose(resample_flux(edges, flux, edges),
+                                   flux)
+
+    def test_constant_field_preserved(self):
+        src = np.linspace(0, 1, 11)
+        dst = np.linspace(0.1, 0.9, 7)
+        out = resample_flux(src, np.full(10, 3.0), dst)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_order_1_also_conserves(self, rng):
+        src = np.linspace(0, 10, 31)
+        flux = np.sin(np.linspace(0, 3, 30)) + 2
+        dst = np.linspace(0, 10, 11)
+        out0 = resample_flux(src, flux, dst, order=0)
+        out1 = resample_flux(src, flux, dst, order=1)
+        total_in = (flux * np.diff(src)).sum()
+        assert (out1 * np.diff(dst)).sum() == \
+            pytest.approx(total_in, rel=1e-10)
+        # Higher order tracks a smooth signal at least as well.
+        fine = np.sin(np.linspace(0, 3, 30)) + 2
+        assert np.abs(out1 - out0).max() < 1.0
+
+    def test_uncovered_target_bins_are_zero(self):
+        src = np.linspace(2, 4, 5)
+        out = resample_flux(src, np.ones(4), np.linspace(0, 1, 3))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_edge_validation(self):
+        with pytest.raises(ShapeError):
+            resample_flux([3, 2, 1], [1, 1], [0, 1])
+        with pytest.raises(ShapeError):
+            resample_flux([0, 1, 2], [1.0], [0, 1])
+
+    def test_resample_spectrum_wrapper(self, gen):
+        s = gen.make(bad_fraction=0.0)
+        edges = common_grid([s], 64)
+        out = resample_spectrum(s.wave, s.flux, edges)
+        assert out.shape == (64,)
+
+    def test_common_grid_intersection(self, gen):
+        spectra = [gen.make() for _ in range(5)]
+        edges = common_grid(spectra)
+        for s in spectra:
+            w = s.wave.to_numpy()
+            assert edges[0] >= w[0] - 1e-9
+            assert edges[-1] <= w[-1] + 1e-9
+
+
+class TestProcessing:
+    def test_normalize_unit_integral(self, gen):
+        s = gen.make(bad_fraction=0.0)
+        w = s.wave.to_numpy()
+        lo, hi = w[10], w[-10]
+        n = normalize(s, lo, hi)
+        assert integrate_flux(n.wave, n.flux, lo, hi) == \
+            pytest.approx(1.0, rel=1e-9)
+
+    def test_normalize_error_scales(self, gen):
+        s = gen.make(bad_fraction=0.0)
+        w = s.wave.to_numpy()
+        n = normalize(s, w[10], w[-10])
+        ratio_f = n.flux.to_numpy()[50] / s.flux.to_numpy()[50]
+        ratio_e = n.error.to_numpy()[50] / s.error.to_numpy()[50]
+        assert ratio_e == pytest.approx(abs(ratio_f), rel=1e-9)
+
+    def test_integration_window_validation(self, gen):
+        s = gen.make()
+        with pytest.raises(ShapeError):
+            integrate_flux(s.wave, s.flux, 5000.0, 5000.0)
+        with pytest.raises(ShapeError):
+            integrate_flux(s.wave, s.flux, 1.0, 2.0)  # outside range
+
+    def test_apply_correction(self, gen):
+        s = gen.make(bad_fraction=0.0)
+        doubled = apply_correction(s, lambda w: np.full_like(w, 2.0))
+        np.testing.assert_allclose(doubled.flux.to_numpy(),
+                                   2 * s.flux.to_numpy())
+
+    def test_correction_shape_checked(self, gen):
+        with pytest.raises(ShapeError):
+            apply_correction(gen.make(), lambda w: np.zeros(3))
+
+    def test_collapse_cube_sums_spatial_axes(self, gen):
+        _wave, cube = gen.make_ifu_cube(4)
+        total = collapse_cube(cube, 0)
+        np.testing.assert_allclose(
+            total.to_numpy(), cube.to_numpy().sum(axis=(1, 2)),
+            rtol=1e-9)
+
+    def test_composite_improves_snr(self, gen):
+        noisy = [gen.make(class_id=0, redshift=0.0, snr=5.0,
+                          bad_fraction=0.0) for _ in range(40)]
+        edges, comp = make_composite(noisy, 64)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        template = gen.template_flux(0, 0.0, centers)
+        # Normalize both before comparing shapes.
+        comp_v = comp.to_numpy()
+        comp_v /= comp_v.mean()
+        template /= template.mean()
+        one = noisy[0]
+        one_r = resample_spectrum(one.wave, one.flux, edges).to_numpy()
+        one_r /= one_r.mean()
+        err_comp = np.abs(comp_v - template).mean()
+        err_one = np.abs(one_r - template).mean()
+        assert err_comp < err_one
+
+
+class TestClassification:
+    def test_accuracy_on_held_out(self, gen, training_set):
+        basis = SpectrumBasis(n_components=4, n_bins=64)
+        basis.fit(training_set)
+        coeffs = basis.expand_many(training_set)
+        labels = [s.class_id for s in training_set]
+        test = [gen.make(class_id=i % 3, redshift=0.01)
+                for i in range(30)]
+        pred = classify_nearest_centroid(
+            coeffs, labels, basis.expand_many(test))
+        accuracy = (pred == np.array([t.class_id for t in test])).mean()
+        assert accuracy >= 0.7
+
+    def test_masked_expansion_robust_to_flags(self, gen, training_set):
+        basis = SpectrumBasis(n_components=4, n_bins=64)
+        basis.fit(training_set)
+        clean = gen.make(class_id=1, redshift=0.01, bad_fraction=0.0)
+        c_clean = basis.expand(clean).to_numpy()
+        # Corrupt some bins but flag them.
+        flagged = gen.make(class_id=1, redshift=0.01, bad_fraction=0.15)
+        c_flagged = basis.expand(flagged).to_numpy()
+        assert np.isfinite(c_flagged).all()
+        # Same class: coefficients land near the clean ones.
+        assert np.linalg.norm(c_flagged - c_clean) < \
+            3 * np.linalg.norm(c_clean)
+
+    def test_reconstruct_shape(self, training_set):
+        basis = SpectrumBasis(n_components=3, n_bins=64)
+        basis.fit(training_set)
+        flux = basis.reconstruct(basis.expand(training_set[0]))
+        assert flux.shape == (64,)
+
+
+class TestSearch:
+    def test_self_search_finds_self(self, training_set):
+        svc = SpectrumSearchService(SpectrumBasis(4, 64))
+        svc.build(training_set)
+        results = svc.search(training_set[7], k=1)
+        assert results[0][0] == 7
+
+    def test_neighbours_share_class(self, gen, training_set):
+        svc = SpectrumSearchService(SpectrumBasis(4, 64))
+        svc.build(training_set)
+        query = gen.make(class_id=2, redshift=0.01)
+        top = svc.search(query, k=5)
+        classes = [s.class_id for _i, _d, s in top]
+        assert classes.count(2) >= 3
+
+    def test_sqlite_storage_agrees_with_kdtree(self, gen, training_set):
+        from repro.sqlbind import connect
+        svc = SpectrumSearchService(SpectrumBasis(4, 64),
+                                    conn=connect())
+        svc.build(training_set)
+        query = gen.make(class_id=0, redshift=0.01)
+        via_tree = [i for i, _d, _s in svc.search(query, k=4)]
+        via_sql = [i for i, _d in svc.search_stored(query, k=4)]
+        assert via_tree == via_sql
+
+    def test_unbuilt_search_rejected(self, training_set):
+        from repro.core import AggregateError
+        with pytest.raises(AggregateError):
+            SpectrumSearchService().search(training_set[0])
+
+
+class TestSlitProcessing:
+    def test_extract_slit_spectrum(self, gen):
+        _wave, _pos, flux2d = gen.make_slit(n_positions=10)
+        col = extract_slit_spectrum(flux2d, 4)
+        assert col.shape == (flux2d.shape[0],)
+        np.testing.assert_allclose(col.to_numpy(),
+                                   flux2d.to_numpy()[:, 4])
+
+    def test_extract_position_out_of_range(self, gen):
+        _wave, _pos, flux2d = gen.make_slit(n_positions=6)
+        with pytest.raises(ShapeError):
+            extract_slit_spectrum(flux2d, 6)
+
+    def test_spatial_profile(self, gen):
+        _wave, _pos, flux2d = gen.make_slit(n_positions=12)
+        profile = slit_spatial_profile(flux2d)
+        assert profile.shape == (12,)
+        np.testing.assert_allclose(profile.to_numpy(),
+                                   flux2d.to_numpy().sum(axis=0))
+        # The synthetic source is centered: flux peaks mid-slit.
+        peak = int(np.argmax(profile.to_numpy()))
+        assert 3 <= peak <= 8
+
+    def test_rank_validation(self, gen):
+        s = gen.make()
+        with pytest.raises(ShapeError):
+            extract_slit_spectrum(s.flux, 0)
+        with pytest.raises(ShapeError):
+            slit_spatial_profile(s.flux)
+
+
+class TestResampleProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), n_src=st.integers(4, 40),
+           n_dst=st.integers(2, 40))
+    def test_conservation_property(self, seed, n_src, n_dst):
+        """Flux conservation holds for arbitrary grids covering the
+        same range (the paper's hard requirement, fuzzed)."""
+        gen = np.random.default_rng(seed)
+        src = np.concatenate([[0.0], np.sort(gen.uniform(0, 10, n_src)),
+                              [10.0]])
+        src = np.unique(src)
+        if len(src) < 2:
+            return
+        dst = np.linspace(0.0, 10.0, n_dst + 1)
+        flux = gen.uniform(-5, 5, len(src) - 1)
+        out = resample_flux(src, flux, dst)
+        np.testing.assert_allclose(
+            (out * np.diff(dst)).sum(),
+            (flux * np.diff(src)).sum(), rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_output_within_input_range(self, seed):
+        """Order-0 rebinning is an average: no new extrema."""
+        gen = np.random.default_rng(seed)
+        src = np.linspace(0, 1, 21)
+        dst = np.sort(gen.uniform(0, 1, 8))
+        if len(np.unique(dst)) < 2:
+            return
+        dst = np.unique(dst)
+        flux = gen.uniform(-3, 3, 20)
+        out = resample_flux(src, flux, dst)
+        assert out.min() >= flux.min() - 1e-12
+        assert out.max() <= flux.max() + 1e-12

@@ -1,0 +1,184 @@
+"""Tests for time-dependent turbulence queries (positions AND times)."""
+
+import numpy as np
+import pytest
+
+from repro.science.turbulence import (
+    BlobPartitioner,
+    ParticleQueryService,
+    SnapshotSeries,
+    TemporalQueryService,
+    make_field,
+)
+
+GRID = 16
+
+
+def _series(n_snaps=4):
+    series = SnapshotSeries(BlobPartitioner(GRID, 8, 4))
+    for step in range(n_snaps):
+        series.add_snapshot(float(step), make_field(GRID, seed=step))
+    return series
+
+
+@pytest.fixture(scope="module")
+def series():
+    return _series()
+
+
+class TestSnapshotSeries:
+    def test_times_must_increase(self):
+        s = SnapshotSeries(BlobPartitioner(GRID, 8, 4))
+        s.add_snapshot(0.0, make_field(GRID, seed=0))
+        with pytest.raises(ValueError):
+            s.add_snapshot(0.0, make_field(GRID, seed=1))
+
+    def test_bracketing(self, series):
+        assert series.bracketing(0.0) == (0, 0, 0.0)
+        assert series.bracketing(3.0) == (3, 3, 0.0)
+        i0, i1, w = series.bracketing(1.25)
+        assert (i0, i1) == (1, 2)
+        assert w == pytest.approx(0.25)
+
+    def test_out_of_range_rejected(self, series):
+        with pytest.raises(ValueError):
+            series.bracketing(-0.1)
+        with pytest.raises(ValueError):
+            series.bracketing(3.1)
+
+    def test_empty_series_rejected(self):
+        s = SnapshotSeries(BlobPartitioner(GRID, 8, 4))
+        with pytest.raises(ValueError):
+            s.bracketing(0.0)
+        with pytest.raises(ValueError):
+            TemporalQueryService(s)
+
+
+class TestLinearTime:
+    def test_exact_at_snapshot_times(self, series):
+        svc = TemporalQueryService(series, "lagrange4")
+        rng = np.random.default_rng(0)
+        field = make_field(GRID, seed=2)
+        pos = rng.random((20, 3)) * field.box_size
+        v, _s = svc.query(pos, np.full(20, 2.0))
+        spatial = ParticleQueryService(series.store_at(2), "lagrange4")
+        ref, _s = spatial.query(pos)
+        np.testing.assert_allclose(v, ref, rtol=1e-6)
+
+    def test_midpoint_is_average(self, series):
+        svc = TemporalQueryService(series, "lagrange4")
+        pos = np.array([[1.0, 2.0, 3.0]])
+        v_mid, _s = svc.query(pos, [1.5])
+        v0, _s = svc.query(pos, [1.0])
+        v1, _s = svc.query(pos, [2.0])
+        np.testing.assert_allclose(v_mid, 0.5 * (v0 + v1), rtol=1e-6)
+
+    def test_continuous_in_time(self, series):
+        svc = TemporalQueryService(series, "lagrange4")
+        pos = np.array([[2.0, 2.0, 2.0]])
+        v_a, _s = svc.query(pos, [1.999])
+        v_b, _s = svc.query(pos, [2.001])
+        assert np.abs(v_a - v_b).max() < 0.05
+
+    def test_mixed_times_batched(self, series):
+        svc = TemporalQueryService(series, "lagrange4")
+        rng = np.random.default_rng(1)
+        pos = rng.random((30, 3)) * series.store_at(0).box_size
+        times = rng.uniform(0.0, 3.0, 30)
+        v, stats = svc.query(pos, times)
+        assert v.shape == (30, 3)
+        assert np.isfinite(v).all()
+        assert stats.particles == 30
+        # Cross-check each particle individually.
+        for i in (0, 7, 29):
+            vi, _s = svc.query(pos[i:i + 1], times[i:i + 1])
+            np.testing.assert_allclose(vi[0], v[i], rtol=1e-9)
+
+    def test_one_time_per_position_required(self, series):
+        svc = TemporalQueryService(series, "lagrange4")
+        with pytest.raises(ValueError):
+            svc.query(np.zeros((3, 3)), [0.0, 1.0])
+
+
+class TestPchipTime:
+    def test_needs_four_snapshots(self):
+        with pytest.raises(ValueError):
+            TemporalQueryService(_series(3), time_interp="pchip")
+
+    def test_exact_at_interior_snapshot_times(self, series):
+        svc = TemporalQueryService(series, "lagrange4",
+                                   time_interp="pchip")
+        pos = np.array([[1.0, 1.0, 1.0], [3.0, 2.0, 1.0]])
+        v, _s = svc.query(pos, [1.0, 2.0])
+        lin = TemporalQueryService(series, "lagrange4")
+        ref, _s = lin.query(pos, [1.0, 2.0])
+        np.testing.assert_allclose(v, ref, atol=1e-9)
+
+    def test_no_overshoot_between_steps(self, series):
+        """PCHIP in time stays within the bracketing snapshot values."""
+        svc = TemporalQueryService(series, "lagrange4",
+                                   time_interp="pchip")
+        lin = TemporalQueryService(series, "lagrange4")
+        pos = np.array([[2.5, 2.5, 2.5]])
+        v0, _ = lin.query(pos, [1.0])
+        v1, _ = lin.query(pos, [2.0])
+        lo = np.minimum(v0, v1) - 1e-9
+        hi = np.maximum(v0, v1) + 1e-9
+        for t in np.linspace(1.0, 2.0, 9):
+            v, _ = svc.query(pos, [t])
+            assert ((v >= lo) & (v <= hi)).all()
+
+    def test_invalid_mode(self, series):
+        with pytest.raises(ValueError):
+            TemporalQueryService(series, time_interp="spline")
+
+
+class TestPersistentBackends:
+    def test_sqlite_backed_series(self):
+        """Each snapshot step in its own SQLite blob table — the
+        (time step, z-index) storage layout of the paper's database."""
+        from repro.science.turbulence import SqliteBlobBackend
+        from repro.sqlbind import connect
+
+        conn = connect()
+        counter = [0]
+
+        def factory():
+            counter[0] += 1
+            return SqliteBlobBackend(conn, f"turb_step{counter[0]}")
+
+        series = SnapshotSeries(BlobPartitioner(GRID, 8, 4), factory)
+        for step in range(3):
+            series.add_snapshot(float(step), make_field(GRID, seed=step))
+        svc = TemporalQueryService(series, "lagrange4")
+        pos = np.random.default_rng(0).random((10, 3)) \
+            * series.store_at(0).box_size
+        v, stats = svc.query(pos, np.full(10, 1.5))
+        assert np.isfinite(v).all()
+        assert stats.bytes_read > 0
+        # Three blob tables really exist in SQLite.
+        names = [r[0] for r in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' "
+            "AND name LIKE 'turb_step%'")]
+        assert len(names) == 3
+
+    def test_engine_backed_series(self):
+        from repro.engine import Database
+        from repro.science.turbulence import EngineBlobBackend
+
+        db = Database()
+        counter = [0]
+
+        def factory():
+            counter[0] += 1
+            return EngineBlobBackend(db, f"turb_step{counter[0]}")
+
+        series = SnapshotSeries(BlobPartitioner(GRID, 8, 4), factory)
+        for step in range(2):
+            series.add_snapshot(float(step), make_field(GRID, seed=step))
+        svc = TemporalQueryService(series, "lagrange4")
+        pos = np.random.default_rng(1).random((5, 3)) \
+            * series.store_at(0).box_size
+        v, _stats = svc.query(pos, np.full(5, 0.5))
+        assert np.isfinite(v).all()
+        assert db.pool.counters.logical_reads > 0

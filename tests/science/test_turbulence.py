@@ -1,0 +1,309 @@
+"""Turbulence use-case tests (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.science.turbulence import (
+    BlobPartitioner,
+    EngineBlobBackend,
+    MemoryBlobBackend,
+    ParticleQueryService,
+    SqliteBlobBackend,
+    TurbulenceStore,
+    interpolate_neighborhood,
+    kernel_width,
+    lagrange_weights,
+    make_field,
+    neighborhood_origin,
+    pchip_interpolate_1d,
+)
+
+
+@pytest.fixture(scope="module")
+def field():
+    return make_field(grid_size=32, seed=7)
+
+
+@pytest.fixture(scope="module")
+def store(field):
+    s = TurbulenceStore(BlobPartitioner(32, 16, 4), MemoryBlobBackend())
+    s.load_field(field)
+    return s
+
+
+class TestField:
+    def test_shape_and_dtype(self, field):
+        assert field.data.shape == (4, 32, 32, 32)
+        assert field.data.dtype == np.float32
+
+    def test_reproducible(self):
+        a = make_field(16, seed=3)
+        b = make_field(16, seed=3)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_velocity_is_divergence_free_spectrally(self, field):
+        # The projection is exact in Fourier space: k . u_k ~ 0.
+        u = field.data[:3].astype("f8")
+        k1 = np.fft.fftfreq(32, d=1.0 / 32)
+        kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+        uk = np.fft.fftn(u, axes=(1, 2, 3))
+        div_k = kx * uk[0] + ky * uk[1] + kz * uk[2]
+        assert np.abs(div_k).max() < 1e-5 * np.abs(uk).max()
+
+    def test_unit_rms_velocity(self, field):
+        assert field.data[:3].std() == pytest.approx(1.0, rel=0.05)
+
+    def test_spectrum_slope_is_negative(self, field):
+        # Energy must fall with k (Kolmogorov-ish).
+        u = field.data[0].astype("f8")
+        uk = np.abs(np.fft.fftn(u)) ** 2
+        k1 = np.fft.fftfreq(32, d=1 / 32)
+        kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+        kmag = np.sqrt(kx ** 2 + ky ** 2 + kz ** 2)
+        low = uk[(kmag > 1) & (kmag < 3)].mean()
+        high = uk[(kmag > 6) & (kmag < 10)].mean()
+        assert high < low
+
+    def test_grid_size_validation(self):
+        with pytest.raises(ValueError):
+            make_field(4)
+
+
+class TestPartitioner:
+    def test_paper_geometry(self):
+        # The (64+8)^3 layout: 64 core, 4 ghost per face.
+        p = BlobPartitioner(1024, 64, 4)
+        assert p.blob_edge == 72
+        assert p.cubes_per_axis == 16
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            BlobPartitioner(100, 64, 4)
+
+    def test_ghost_range(self):
+        with pytest.raises(ValueError):
+            BlobPartitioner(64, 16, 16)
+
+    def test_blob_contains_core_and_ghosts(self, field):
+        p = BlobPartitioner(32, 16, 4)
+        blob = p.extract_blob(field, 1, 0, 1)
+        cube = blob.to_numpy()
+        assert cube.shape == (4, 24, 24, 24)
+        # Core voxel (0,0,0) of cube (1,0,1) is field voxel (16,0,16);
+        # in the blob it sits at ghost offset (4,4,4).
+        np.testing.assert_allclose(cube[:, 4, 4, 4],
+                                   field.data[:, 16, 0, 16], rtol=1e-6)
+        # Ghost voxel below the core wraps periodically.
+        np.testing.assert_allclose(cube[:, 0, 4, 4],
+                                   field.data[:, 12, 0, 16], rtol=1e-6)
+
+    def test_store_load_count(self, store):
+        assert len(store.backend.keys()) == 8
+        assert len(store.cube_coordinates()) == 8
+
+
+class TestInterpolationKernels:
+    def test_lagrange_weights_sum_to_one(self):
+        for m in (4, 6, 8):
+            for t in (m / 2 - 1, m / 2 - 0.5, m / 2):
+                assert lagrange_weights(m, t).sum() == \
+                    pytest.approx(1.0)
+
+    def test_lagrange_exact_on_polynomials(self):
+        # m-point Lagrange reproduces degree m-1 polynomials exactly.
+        for m in (4, 6, 8):
+            nodes = np.arange(m, dtype="f8")
+            poly = 0.3 * nodes ** (m - 1) - nodes + 2
+            t = m / 2 - 0.3
+            w = lagrange_weights(m, t)
+            expected = 0.3 * t ** (m - 1) - t + 2
+            assert w @ poly == pytest.approx(expected, rel=1e-9)
+
+    def test_lagrange_at_node_is_exact(self):
+        w = lagrange_weights(4, 1.0)
+        np.testing.assert_allclose(w, [0, 1, 0, 0], atol=1e-12)
+
+    def test_pchip_interpolates_endpoints(self):
+        y = np.array([0.0, 1.0, 3.0, 2.0])
+        assert pchip_interpolate_1d(y, 1.0) == pytest.approx(1.0)
+        assert pchip_interpolate_1d(y, 2.0) == pytest.approx(3.0)
+
+    def test_pchip_no_overshoot(self):
+        # The monotone property: values stay within [y1, y2].
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        for t in np.linspace(1.0, 2.0, 21):
+            v = pchip_interpolate_1d(y, t)
+            assert -1e-12 <= v <= 1.0 + 1e-12
+
+    def test_pchip_monotone_data_monotone_interp(self):
+        y = np.array([0.0, 1.0, 2.0, 10.0])
+        vals = [pchip_interpolate_1d(y, t)
+                for t in np.linspace(1.0, 2.0, 11)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_neighborhood_shape_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_neighborhood(np.zeros((4, 4, 3)), "lagrange4",
+                                     1.5, 1.5, 1.5)
+        with pytest.raises(ValueError):
+            interpolate_neighborhood(np.zeros((4, 4, 4)), "spline",
+                                     1.5, 1.5, 1.5)
+
+    def test_kernel_width(self):
+        assert kernel_width("lagrange8") == 8
+        assert kernel_width("nearest") == 1
+        with pytest.raises(ValueError):
+            kernel_width("cubic")
+
+    def test_neighborhood_origin_centered(self):
+        # Query exactly at a voxel center: stencil centered around it.
+        i0, t = neighborhood_origin(5.5, 1.0, 4)
+        assert i0 == 4
+        assert t == pytest.approx(1.0)
+
+
+class TestService:
+    def test_voxel_center_exact_for_all_kernels(self, field, store):
+        vox = (np.array([5, 9, 13]) + 0.5) * field.voxel_size
+        truth = field.data[:3, 5, 9, 13]
+        for kernel in ("nearest", "lagrange4", "lagrange6", "lagrange8",
+                       "pchip"):
+            svc = ParticleQueryService(store, kernel)
+            out, _stats = svc.query(vox[None])
+            np.testing.assert_allclose(out[0], truth, atol=1e-5)
+
+    def test_partial_equals_full_read(self, field, store, rng):
+        svc = ParticleQueryService(store, "lagrange8")
+        pos = rng.random((50, 3)) * field.box_size
+        a, stats_a = svc.query(pos)
+        b, stats_b = svc.query_full_read(pos)
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+        assert stats_a.bytes_read < stats_b.bytes_read
+
+    def test_positions_wrap_periodically(self, field, store):
+        svc = ParticleQueryService(store, "lagrange4")
+        p = np.array([[1.0, 2.0, 3.0]])
+        a, _s = svc.query(p)
+        b, _s = svc.query(p + field.box_size)
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_include_pressure(self, field, store):
+        svc = ParticleQueryService(store, "lagrange4")
+        out, _s = svc.query(np.array([[1.0, 1.0, 1.0]]),
+                            include_pressure=True)
+        assert out.shape == (1, 4)
+
+    def test_ghost_too_thin_rejected(self, field):
+        thin = TurbulenceStore(BlobPartitioner(32, 16, 2),
+                               MemoryBlobBackend())
+        thin.load_field(field)
+        with pytest.raises(ValueError):
+            ParticleQueryService(thin, "lagrange8")
+        # 4-point kernel only needs ghost 2.
+        ParticleQueryService(thin, "lagrange4")
+
+    def test_stats_accounting(self, field, store, rng):
+        svc = ParticleQueryService(store, "lagrange8")
+        pos = rng.random((20, 3)) * field.box_size
+        _out, stats = svc.query(pos)
+        assert stats.particles == 20
+        assert stats.blobs_opened <= 8
+        assert stats.bytes_read > 0
+        assert stats.savings_factor > 0
+
+    def test_smoothness_between_voxels(self, field, store):
+        """Interpolated value between two voxel centers lies near the
+        local field values (no wild oscillation)."""
+        svc = ParticleQueryService(store, "lagrange8")
+        i, j, k = 8, 8, 8
+        h = field.voxel_size
+        between = np.array([[(i + 1.0) * h, (j + 0.5) * h,
+                             (k + 0.5) * h]])
+        out, _s = svc.query(between)
+        lo = field.data[:3, i - 2:i + 4, j, k].min(axis=1)
+        hi = field.data[:3, i - 2:i + 4, j, k].max(axis=1)
+        span = hi - lo
+        assert ((out[0] > lo - span) & (out[0] < hi + span)).all()
+
+
+class TestBackends:
+    def test_engine_backend_roundtrip(self, field, rng):
+        from repro.engine import Database
+        db = Database()
+        backend = EngineBlobBackend(db)
+        s = TurbulenceStore(BlobPartitioner(32, 16, 4), backend)
+        s.load_field(field)
+        svc = ParticleQueryService(s, "lagrange4")
+        pos = rng.random((10, 3)) * field.box_size
+        out, stats = svc.query(pos)
+        ref_store = TurbulenceStore(BlobPartitioner(32, 16, 4),
+                                    MemoryBlobBackend())
+        ref_store.load_field(field)
+        ref, _ = ParticleQueryService(ref_store, "lagrange4").query(pos)
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_sqlite_backend_roundtrip(self, field, rng):
+        from repro.sqlbind import connect
+        backend = SqliteBlobBackend(connect())
+        s = TurbulenceStore(BlobPartitioner(32, 16, 4), backend)
+        s.load_field(field)
+        svc = ParticleQueryService(s, "lagrange4")
+        pos = rng.random((10, 3)) * field.box_size
+        out, stats = svc.query(pos)
+        assert np.isfinite(out).all()
+        assert stats.bytes_read < stats.full_blob_bytes
+
+
+class TestMhd:
+    def test_mhd_field_has_eight_components(self):
+        from repro.science.turbulence import make_mhd_field
+        f = make_mhd_field(16, seed=2)
+        assert f.data.shape == (8, 16, 16, 16)
+        assert f.n_components == 8
+        # Magnetic pressure (component 7) is |B|^2 / 2 of components 4-6.
+        b2 = (f.data[4:7].astype("f8") ** 2).sum(axis=0) / 2
+        np.testing.assert_allclose(f.data[7], b2, rtol=1e-4, atol=1e-6)
+
+    def test_service_interpolates_all_components(self, rng):
+        from repro.science.turbulence import make_mhd_field
+        f = make_mhd_field(16, seed=4)
+        store = TurbulenceStore(BlobPartitioner(16, 8, 4),
+                                MemoryBlobBackend())
+        store.load_field(f)
+        svc = ParticleQueryService(store, "lagrange4")
+        pos = rng.random((15, 3)) * f.box_size
+        values, _stats = svc.query(pos, n_components=8)
+        assert values.shape == (15, 8)
+        assert np.isfinite(values).all()
+        # Voxel-center exactness holds for the magnetic components too.
+        vox = (np.array([3, 5, 7]) + 0.5) * f.voxel_size
+        out, _s = svc.query(vox[None], n_components=8)
+        np.testing.assert_allclose(out[0], f.data[:, 3, 5, 7],
+                                   atol=1e-5)
+
+    def test_component_count_validation(self, rng):
+        from repro.science.turbulence import make_mhd_field
+        f = make_mhd_field(16, seed=4)
+        store = TurbulenceStore(BlobPartitioner(16, 8, 4),
+                                MemoryBlobBackend())
+        store.load_field(f)
+        svc = ParticleQueryService(store, "lagrange4")
+        with pytest.raises(ValueError):
+            svc.query(np.zeros((1, 3)), n_components=9)
+        hydro_store = TurbulenceStore(BlobPartitioner(32, 16, 4),
+                                      MemoryBlobBackend())
+        hydro_store.load_field(make_field(32, seed=1))
+        with pytest.raises(ValueError):
+            ParticleQueryService(hydro_store, "lagrange4").query(
+                np.zeros((1, 3)), n_components=8)
+
+    def test_subdomain_bfield_extraction(self):
+        from repro.science.turbulence import extract_subdomain, \
+            make_mhd_field
+        f = make_mhd_field(16, seed=6)
+        store = TurbulenceStore(BlobPartitioner(16, 8, 4),
+                                MemoryBlobBackend())
+        store.load_field(f)
+        data, _stats = extract_subdomain(store, (2, 2, 2), (10, 10, 10),
+                                         components=(4, 5, 6))
+        np.testing.assert_allclose(data, f.data[4:7, 2:10, 2:10, 2:10])

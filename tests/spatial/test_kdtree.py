@@ -1,0 +1,117 @@
+"""kd-tree tests against brute force and the scipy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import KdTree
+
+
+def _brute_knn(points, q, k):
+    d = np.linalg.norm(points - q, axis=1)
+    idx = np.argsort(d, kind="stable")[:k]
+    return d[idx], idx
+
+
+class TestKnn:
+    def test_self_query(self, rng):
+        pts = rng.random((100, 3))
+        tree = KdTree(pts)
+        d, i = tree.query(pts[17], k=1)
+        assert i[0] == 17
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((300, 4))
+        tree = KdTree(pts)
+        for q in rng.random((20, 4)):
+            d, i = tree.query(q, k=5)
+            bd, _bi = _brute_knn(pts, q, 5)
+            np.testing.assert_allclose(d, bd, atol=1e-12)
+
+    def test_matches_scipy_oracle(self, rng):
+        from scipy.spatial import cKDTree
+        pts = rng.random((500, 3))
+        ours = KdTree(pts)
+        ref = cKDTree(pts)
+        for q in rng.random((10, 3)):
+            d, _i = ours.query(q, k=8)
+            rd, _ri = ref.query(q, k=8)
+            np.testing.assert_allclose(d, rd, atol=1e-12)
+
+    def test_k_equals_n(self, rng):
+        pts = rng.random((10, 2))
+        d, i = KdTree(pts).query(pts[0], k=10)
+        assert len(i) == 10
+        assert sorted(i) == list(range(10))
+
+    def test_distances_sorted(self, rng):
+        pts = rng.random((200, 3))
+        d, _i = KdTree(pts).query(rng.random(3), k=20)
+        assert (np.diff(d) >= 0).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), n=st.integers(2, 80),
+           dim=st.integers(1, 5), k=st.integers(1, 5))
+    def test_knn_property(self, seed, n, dim, k):
+        gen = np.random.default_rng(seed)
+        pts = gen.random((n, dim))
+        k = min(k, n)
+        q = gen.random(dim)
+        d, _i = KdTree(pts, leaf_size=4).query(q, k=k)
+        bd, _bi = _brute_knn(pts, q, k)
+        np.testing.assert_allclose(d, bd, atol=1e-12)
+
+
+class TestRadius:
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((300, 3))
+        tree = KdTree(pts)
+        for q in rng.random((10, 3)):
+            got = sorted(tree.query_radius(q, 0.2))
+            want = sorted(np.nonzero(
+                np.linalg.norm(pts - q, axis=1) <= 0.2)[0])
+            assert got == want
+
+    def test_zero_radius(self, rng):
+        pts = rng.random((50, 2))
+        got = KdTree(pts).query_radius(pts[3], 0.0)
+        assert 3 in got
+
+    def test_negative_radius_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KdTree(rng.random((5, 2))).query_radius([0, 0], -1.0)
+
+    def test_empty_result(self, rng):
+        pts = rng.random((20, 2))
+        out = KdTree(pts).query_radius([50.0, 50.0], 0.1)
+        assert len(out) == 0
+
+
+class TestValidation:
+    def test_empty_points(self):
+        with pytest.raises(ValueError):
+            KdTree(np.empty((0, 3)))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError):
+            KdTree(np.zeros(5))
+
+    def test_dim_mismatch_on_query(self, rng):
+        tree = KdTree(rng.random((10, 3)))
+        with pytest.raises(ValueError):
+            tree.query([0.0, 0.0], k=1)
+
+    def test_k_out_of_range(self, rng):
+        tree = KdTree(rng.random((10, 3)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(3), k=11)
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(3), k=0)
+
+    def test_duplicate_points(self):
+        pts = np.ones((40, 2))
+        tree = KdTree(pts, leaf_size=4)
+        d, _i = tree.query([1.0, 1.0], k=5)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)

@@ -1,0 +1,181 @@
+"""Octree tests against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.spatial import Octree
+
+
+@pytest.fixture
+def cloud(rng):
+    # Clustered + uniform mix so the tree is genuinely unbalanced.
+    uniform = rng.random((300, 3))
+    cluster = 0.5 + rng.normal(0, 0.02, (200, 3)).clip(-0.4, 0.4)
+    return np.concatenate([uniform, cluster])
+
+
+class TestBuild:
+    def test_partition_is_complete(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=20)
+        total = sum(n.count for n in tree.leaf_nodes())
+        assert total == len(cloud)
+
+    def test_leaves_respect_max_points_or_depth(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=20, max_depth=12)
+        for leaf in tree.leaf_nodes():
+            assert leaf.count <= 20 or leaf.depth == 12
+
+    def test_unbalanced_on_clustered_data(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=10)
+        depths = [n.depth for n in tree.leaf_nodes()]
+        assert max(depths) > min(depths)
+
+    def test_points_inside_their_cells(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=20)
+        for node in tree.leaf_nodes():
+            block = tree._points[node.start:node.stop]
+            lo = node.center - node.half - 1e-9
+            hi = node.center + node.half + 1e-9
+            assert ((block >= lo) & (block <= hi)).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Octree(rng.random((5, 2)), 1.0)
+        with pytest.raises(ValueError):
+            Octree(rng.random((5, 3)) + 2.0, 1.0)
+        with pytest.raises(ValueError):
+            Octree(rng.random((5, 3)), -1.0)
+        with pytest.raises(ValueError):
+            Octree(rng.random((5, 3)), 1.0, max_points=0)
+
+    def test_empty_tree(self):
+        tree = Octree(np.empty((0, 3)), 1.0)
+        assert tree.size == 0
+        assert list(tree.leaf_nodes()) == []
+
+
+class TestQueries:
+    def test_box_matches_brute(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=16)
+        lo, hi = np.array([0.2, 0.3, 0.1]), np.array([0.7, 0.6, 0.9])
+        got = sorted(tree.query_box(lo, hi))
+        want = sorted(np.nonzero(
+            ((cloud >= lo) & (cloud < hi)).all(axis=1))[0])
+        assert got == want
+
+    def test_sphere_matches_brute(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=16)
+        for center, r in [((0.5, 0.5, 0.5), 0.15), ((0.1, 0.9, 0.2),
+                                                    0.3)]:
+            got = sorted(tree.query_sphere(center, r))
+            want = sorted(np.nonzero(
+                np.linalg.norm(cloud - center, axis=1) <= r)[0])
+            assert got == want
+
+    def test_cone_matches_brute(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=16)
+        apex = np.zeros(3)
+        axis = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
+        half = 0.4
+        got = sorted(tree.query_cone(apex, [1, 1, 1], half))
+        v = cloud - apex
+        dist = np.linalg.norm(v, axis=1)
+        cosp = (v @ axis) / dist
+        want = sorted(np.nonzero(cosp >= np.cos(half))[0])
+        assert got == want
+
+    def test_truncated_cone(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=16)
+        got = tree.query_cone([0, 0, 0], [1, 1, 1], 0.4,
+                              max_distance=0.5)
+        dist = np.linalg.norm(cloud[got], axis=1)
+        assert (dist <= 0.5).all()
+
+    def test_cone_validation(self, cloud):
+        tree = Octree(cloud, 1.0)
+        with pytest.raises(ValueError):
+            tree.query_cone([0, 0, 0], [0, 0, 0], 0.3)
+        with pytest.raises(ValueError):
+            tree.query_cone([0, 0, 0], [1, 0, 0], 0.0)
+
+    def test_sphere_validation(self, cloud):
+        with pytest.raises(ValueError):
+            Octree(cloud, 1.0).query_sphere([0, 0, 0], -0.1)
+
+
+class TestDecimation:
+    def test_weights_sum_to_particle_count(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=8)
+        for depth in (0, 1, 2, 3):
+            pts, weights = tree.decimate(depth)
+            assert weights.sum() == len(cloud)
+            assert len(pts) == len(weights)
+
+    def test_deeper_levels_have_more_representatives(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=8)
+        sizes = [len(tree.decimate(d)[0]) for d in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_depth_zero_is_single_representative(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=8)
+        pts, weights = tree.decimate(0)
+        assert len(pts) == 1
+        assert weights[0] == len(cloud)
+
+    def test_representatives_are_real_points(self, cloud):
+        tree = Octree(cloud, 1.0, max_points=8)
+        pts, _w = tree.decimate(2)
+        # Every representative must be one of the input points.
+        for p in pts:
+            assert (np.linalg.norm(cloud - p, axis=1) < 1e-12).any()
+
+    def test_negative_depth_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            Octree(cloud, 1.0).decimate(-1)
+
+
+class TestMortonBuild:
+    def test_equivalent_to_direct_build(self, cloud):
+        direct = Octree(cloud, 1.0, max_points=16)
+        morton = Octree.from_morton(cloud, 1.0, max_points=16)
+        assert morton.size == direct.size
+        # Same query answers on boxes, spheres and cones.
+        for center, r in [((0.5, 0.5, 0.5), 0.2), ((0.2, 0.8, 0.4),
+                                                   0.3)]:
+            assert sorted(morton.query_sphere(center, r)) == \
+                sorted(direct.query_sphere(center, r))
+        lo, hi = np.array([0.1, 0.2, 0.3]), np.array([0.6, 0.9, 0.7])
+        assert sorted(morton.query_box(lo, hi)) == \
+            sorted(direct.query_box(lo, hi))
+
+    def test_same_leaf_structure(self, cloud):
+        direct = Octree(cloud, 1.0, max_points=16)
+        morton = Octree.from_morton(cloud, 1.0, max_points=16)
+
+        def leaf_signature(tree):
+            return sorted(
+                (tuple(np.round(n.center, 9)), n.count)
+                for n in tree.leaf_nodes())
+
+        assert leaf_signature(morton) == leaf_signature(direct)
+
+    def test_partition_complete(self, cloud):
+        tree = Octree.from_morton(cloud, 1.0, max_points=8)
+        assert sum(n.count for n in tree.leaf_nodes()) == len(cloud)
+        got = np.sort(tree._index)
+        np.testing.assert_array_equal(got, np.arange(len(cloud)))
+
+    def test_decimate_works_on_morton_tree(self, cloud):
+        tree = Octree.from_morton(cloud, 1.0, max_points=8)
+        _pts, weights = tree.decimate(2)
+        assert weights.sum() == len(cloud)
+
+    def test_empty_input(self):
+        tree = Octree.from_morton(np.empty((0, 3)), 1.0)
+        assert tree.size == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Octree.from_morton(rng.random((5, 2)), 1.0)
+        with pytest.raises(ValueError):
+            Octree.from_morton(rng.random((5, 3)) + 2.0, 1.0)

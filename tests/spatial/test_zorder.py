@@ -1,0 +1,102 @@
+"""Morton code tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    MAX_BITS_2D,
+    MAX_BITS_3D,
+    cell_of_point,
+    decode2,
+    decode3,
+    decode3_array,
+    encode2,
+    encode2_array,
+    encode3,
+    encode3_array,
+    points_to_codes,
+)
+
+
+class TestScalar:
+    @given(x=st.integers(0, 2 ** MAX_BITS_3D - 1),
+           y=st.integers(0, 2 ** MAX_BITS_3D - 1),
+           z=st.integers(0, 2 ** MAX_BITS_3D - 1))
+    def test_encode3_roundtrip(self, x, y, z):
+        assert decode3(encode3(x, y, z)) == (x, y, z)
+
+    @given(x=st.integers(0, 2 ** MAX_BITS_2D - 1),
+           y=st.integers(0, 2 ** MAX_BITS_2D - 1))
+    def test_encode2_roundtrip(self, x, y):
+        assert decode2(encode2(x, y)) == (x, y)
+
+    def test_known_values(self):
+        # Interleave pattern: x gets bit 0, y bit 1, z bit 2.
+        assert encode3(1, 0, 0) == 0b001
+        assert encode3(0, 1, 0) == 0b010
+        assert encode3(0, 0, 1) == 0b100
+        assert encode3(1, 1, 1) == 0b111
+        assert encode2(1, 0) == 0b01
+        assert encode2(0, 1) == 0b10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode3(2 ** MAX_BITS_3D, 0, 0)
+        with pytest.raises(ValueError):
+            encode3(-1, 0, 0)
+        with pytest.raises(ValueError):
+            encode2(2 ** MAX_BITS_2D, 0)
+
+    def test_monotone_within_octant(self):
+        # Doubling every coordinate shifts the code by 3 bits.
+        assert encode3(2, 2, 2) == encode3(1, 1, 1) << 3
+
+
+class TestVectorized:
+    def test_matches_scalar(self, rng):
+        coords = rng.integers(0, 2 ** 16, size=(200, 3))
+        codes = encode3_array(coords)
+        for c, code in zip(coords[:20], codes[:20]):
+            assert encode3(*map(int, c)) == int(code)
+
+    def test_decode_roundtrip(self, rng):
+        coords = rng.integers(0, 2 ** MAX_BITS_3D, size=(500, 3),
+                              dtype=np.uint64)
+        np.testing.assert_array_equal(
+            decode3_array(encode3_array(coords)), coords)
+
+    def test_2d_matches_scalar(self, rng):
+        coords = rng.integers(0, 2 ** 20, size=(50, 2))
+        codes = encode2_array(coords)
+        for c, code in zip(coords, codes):
+            assert encode2(*map(int, c)) == int(code)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            encode3_array(np.zeros((3, 2), dtype=np.uint64))
+
+
+class TestSpatialLocality:
+    def test_z_order_clusters_neighbours(self, rng):
+        """The property the paper's partitioning relies on: points close
+        in space have nearby codes much more often than random pairs."""
+        points = rng.random((400, 3))
+        codes = points_to_codes(points, 1.0, 64).astype(np.int64)
+        order = np.argsort(codes)
+        ordered = points[order]
+        consecutive = np.linalg.norm(
+            np.diff(ordered, axis=0), axis=1).mean()
+        shuffled = points[rng.permutation(400)]
+        random_pairs = np.linalg.norm(
+            shuffled[:-1] - shuffled[1:], axis=1).mean()
+        assert consecutive < random_pairs / 2
+
+    def test_cell_of_point_clamps(self):
+        assert cell_of_point((0.999, 0.0, 0.5), 1.0, 8) == (7, 0, 4)
+        assert cell_of_point((1.5, -0.1, 0.0), 1.0, 8) == (7, 0, 0)
+
+    def test_points_to_codes_validation(self):
+        with pytest.raises(ValueError):
+            points_to_codes(np.zeros((5, 2)), 1.0, 8)

@@ -1,0 +1,189 @@
+"""SQLite binding tests: scalar UDFs, aggregates, blob streaming."""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core import SqlArray
+from repro.core.partial import read_subarray
+from repro.sqlbind import SCALAR_EXPORTS, connect
+
+
+@pytest.fixture
+def conn():
+    c = connect()
+    yield c
+    c.close()
+
+
+class TestRegistration:
+    def test_function_count(self, conn):
+        from repro.tsql import MATH_EXPORTS
+        per_schema = len(SCALAR_EXPORTS) + 3  # + 3 aggregates
+        math = 8 * len(MATH_EXPORTS)  # float/complex schemas only
+        complex_udt = 15
+        assert conn.registered_functions == \
+            16 * per_schema + math + complex_udt + 1
+
+    def test_every_schema_callable(self, conn):
+        for schema in ("FloatArray", "FloatArrayMax", "IntArray",
+                       "BigIntArrayMax", "TinyIntArray", "RealArray"):
+            blob = conn.execute(
+                f"SELECT {schema}_Vector_2(1, 2)").fetchone()[0]
+            assert conn.execute(
+                f"SELECT {schema}_Count(?)", (blob,)).fetchone()[0] == 2
+
+
+class TestScalarFunctions:
+    def test_paper_workflow_in_sql(self, conn):
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)")
+        conn.execute(
+            "INSERT INTO t VALUES (1, FloatArray_Vector_5(1,2,3,4,5))")
+        item, total = conn.execute(
+            "SELECT FloatArray_Item_1(v, 3), FloatArray_Sum(v) FROM t"
+        ).fetchone()
+        assert (item, total) == (4.0, 15.0)
+
+    def test_subarray_in_sql(self, conn):
+        row = conn.execute(
+            "SELECT FloatArray_Subarray(FloatArray_Vector_5(1,2,3,4,5),"
+            " IntArray_Vector_1(1), IntArray_Vector_1(3), 0)"
+        ).fetchone()[0]
+        np.testing.assert_array_equal(conn.load_array(row),
+                                      [2.0, 3.0, 4.0])
+
+    def test_update_item_in_sql(self, conn):
+        row = conn.execute(
+            "SELECT FloatArray_Item_1(FloatArray_UpdateItem_1("
+            "FloatArray_Vector_3(1,2,3), 0, 9.5), 0)").fetchone()[0]
+        assert row == 9.5
+
+    def test_tostring(self, conn):
+        text = conn.execute(
+            "SELECT IntArray_ToString(IntArray_Vector_2(3, 4))"
+        ).fetchone()[0]
+        assert text == "int32[2]{3,4}"
+        blob = conn.execute("SELECT Array_FromString(?)",
+                            (text,)).fetchone()[0]
+        np.testing.assert_array_equal(conn.load_array(blob), [3, 4])
+
+    def test_complex_returned_as_text(self, conn):
+        out = conn.execute(
+            "SELECT ComplexArray_Sum(ComplexArray_Vector_2(1, 2))"
+        ).fetchone()[0]
+        assert complex(out.strip("()")) == 3 + 0j
+
+    def test_errors_surface_as_operational_error(self, conn):
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute(
+                "SELECT FloatArray_Item_1(FloatArray_Vector_2(1,2), 5)"
+            ).fetchone()
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("SELECT FloatArray_Sum(X'00112233')").fetchone()
+
+    def test_type_mismatch_detected_in_sql(self, conn):
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute(
+                "SELECT FloatArray_Sum(IntArray_Vector_2(1, 2))"
+            ).fetchone()
+
+
+class TestAggregates:
+    def test_concat_agg(self, conn):
+        conn.execute("CREATE TABLE cells (ix BLOB, val REAL)")
+        for i in range(6):
+            conn.execute(
+                "INSERT INTO cells VALUES (IntArray_Vector_2(?, ?), ?)",
+                (i % 2, i // 2, float(i)))
+        blob = conn.execute(
+            "SELECT FloatArray_ConcatAgg(IntArray_Vector_2(2, 3), ix, "
+            "val) FROM cells").fetchone()[0]
+        out = conn.load_array(blob)
+        np.testing.assert_array_equal(
+            out, np.arange(6.0).reshape((2, 3), order="F"))
+
+    def test_avg_agg_composites(self, conn):
+        conn.execute("CREATE TABLE spectra (id INTEGER, flux BLOB)")
+        rng = np.random.default_rng(0)
+        fluxes = [rng.standard_normal(16) for _ in range(5)]
+        for i, f in enumerate(fluxes):
+            conn.execute("INSERT INTO spectra VALUES (?, ?)",
+                         (i, conn.store_array(f)))
+        blob = conn.execute(
+            "SELECT FloatArray_AvgAgg(flux) FROM spectra").fetchone()[0]
+        np.testing.assert_allclose(conn.load_array(blob),
+                                   np.mean(fluxes, axis=0))
+
+    def test_avg_agg_group_by(self, conn):
+        # The paper's composite-by-redshift-bin query shape.
+        conn.execute(
+            "CREATE TABLE s (zbin INTEGER, flux BLOB)")
+        for zbin, base in ((0, 1.0), (0, 3.0), (1, 10.0)):
+            conn.execute("INSERT INTO s VALUES (?, ?)",
+                         (zbin, conn.store_array(
+                             np.full(4, base))))
+        rows = conn.execute(
+            "SELECT zbin, FloatArray_AvgAgg(flux) FROM s GROUP BY zbin "
+            "ORDER BY zbin").fetchall()
+        np.testing.assert_array_equal(conn.load_array(rows[0][1]),
+                                      np.full(4, 2.0))
+        np.testing.assert_array_equal(conn.load_array(rows[1][1]),
+                                      np.full(4, 10.0))
+
+    def test_sum_agg(self, conn):
+        conn.execute("CREATE TABLE s (flux BLOB)")
+        for base in (1.0, 2.0):
+            conn.execute("INSERT INTO s VALUES (?)",
+                         (conn.store_array(np.full(3, base)),))
+        blob = conn.execute(
+            "SELECT FloatArray_SumAgg(flux) FROM s").fetchone()[0]
+        np.testing.assert_array_equal(conn.load_array(blob),
+                                      np.full(3, 3.0))
+
+    def test_agg_null_handling(self, conn):
+        conn.execute("CREATE TABLE s (flux BLOB)")
+        conn.execute("INSERT INTO s VALUES (NULL)")
+        assert conn.execute(
+            "SELECT FloatArray_AvgAgg(flux) FROM s").fetchone()[0] is None
+
+    def test_agg_shape_mismatch_errors(self, conn):
+        conn.execute("CREATE TABLE s (flux BLOB)")
+        conn.execute("INSERT INTO s VALUES (?)",
+                     (conn.store_array(np.zeros(2)),))
+        conn.execute("INSERT INTO s VALUES (?)",
+                     (conn.store_array(np.zeros(3)),))
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("SELECT FloatArray_AvgAgg(flux) FROM s"
+                         ).fetchone()
+
+
+class TestClientHelpers:
+    def test_store_load_roundtrip(self, conn):
+        m = np.random.default_rng(1).standard_normal((3, 4))
+        out = conn.load_array(conn.store_array(m))
+        np.testing.assert_array_equal(out, m)
+        assert out.flags["F_CONTIGUOUS"]
+
+    def test_to_table(self, conn):
+        blob = conn.store_array(np.array([[1.0, 2.0]]))
+        rows = list(conn.to_table(blob))
+        assert rows == [(0, 0, 1.0), (0, 1, 2.0)]
+
+    def test_incremental_blob_subarray(self, conn):
+        values = np.arange(16 ** 3, dtype="f8").reshape(16, 16, 16)
+        conn.execute(
+            "CREATE TABLE cubes (id INTEGER PRIMARY KEY, data BLOB)")
+        conn.execute("INSERT INTO cubes VALUES (1, ?)",
+                     (conn.store_array(values),))
+        with conn.open_array_blob("cubes", "data", 1) as stream:
+            window = read_subarray(stream, (2, 3, 4), (5, 5, 5))
+            np.testing.assert_array_equal(
+                window.to_numpy(), values[2:7, 3:8, 4:9])
+            assert stream.bytes_read < values.nbytes / 5
+
+    def test_context_manager_transaction(self):
+        with connect() as conn:
+            conn.execute("CREATE TABLE t (x BLOB)")
+            conn.execute("INSERT INTO t VALUES (FloatArray_Vector_1(1))")
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchone()[0] == 1

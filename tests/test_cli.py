@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestMain:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "float64" in out
+        assert "T-SQL schemas: 16" in out
+
+    def test_usage_on_unknown(self, capsys):
+        assert main(["nope"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_usage_on_empty(self, capsys):
+        assert main([]) == 2
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Query 1" in out
+        assert "Query 5" in out
+        assert "Section 7.1" in out
+
+
+def test_module_invocation():
+    """``python -m repro info`` works as a subprocess too."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "info"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0
+    assert "Element types" in result.stdout

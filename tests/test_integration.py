@@ -1,0 +1,149 @@
+"""Cross-module integration tests: the library working end to end.
+
+Each test exercises a full paper workflow across several subpackages —
+array format + storage engine + T-SQL surface + math layer + science
+code — where unit tests only cover the pieces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SqlArray, ops
+from repro.core.partial import read_subarray
+from repro.engine import (
+    Column,
+    Database,
+    Executor,
+    ReadBlob,
+    Col,
+    ScalarUdf,
+    SqlSession,
+    Sum,
+)
+from repro.sqlbind import connect
+from repro.tsql import FloatArray, FloatArrayMax, IntArray
+
+
+class TestArrayThroughEngine:
+    """Arrays stored in the engine, subset through partial reads,
+    processed by the math layer — the §2.1 path end to end."""
+
+    def test_stored_cube_fft_pipeline(self):
+        db = Database()
+        t = db.create_table("cubes", [Column("id", "bigint"),
+                                      Column("data", "varbinary_max")])
+        rng = np.random.default_rng(0)
+        cube = rng.standard_normal((24, 24, 24))
+        t.insert((1, SqlArray.from_numpy(cube).to_blob()))
+
+        # Partial-read a window straight out of the stored blob.
+        handle = t.get(1, db.pool)[1]
+        stream = handle.open_stream(db.pool)
+        window = read_subarray(stream, (4, 4, 4), (8, 8, 8))
+        np.testing.assert_allclose(window.to_numpy(),
+                                   cube[4:12, 4:12, 4:12])
+
+        # Run the math layer on the window via the T-SQL surface.
+        spectrum = FloatArrayMax.FFTForward(ops.to_max(window).to_blob())
+        power = np.abs(SqlArray.from_blob(spectrum).to_numpy()) ** 2
+        assert power.shape == (8, 8, 8)
+        # Parseval ties the SQL-side FFT back to the raw data.
+        assert power.sum() == pytest.approx(
+            8 ** 3 * (cube[4:12, 4:12, 4:12] ** 2).sum(), rel=1e-9)
+
+    def test_udf_query_over_stored_max_arrays(self):
+        db = Database()
+        t = db.create_table("vecs", [Column("id", "bigint"),
+                                     Column("v", "varbinary_max")])
+        rng = np.random.default_rng(1)
+        rows = [rng.standard_normal(1200) for _ in range(40)]
+        for i, values in enumerate(rows):
+            t.insert((i, SqlArray.from_numpy(values).to_blob()))
+
+        def first(blob):
+            return FloatArrayMax.Item_1(blob, 0)
+
+        (total,), m = Executor(db).run(
+            t, [Sum(ScalarUdf(first, ReadBlob(Col("v")),
+                              body_cost="item"))])
+        assert total == pytest.approx(sum(v[0] for v in rows))
+        assert m.stream_calls >= 40  # each blob went through the wrapper
+
+
+class TestSqlFrontToTsqlToMath:
+    """The five-layer stack: SQL text -> parser -> executor -> array
+    UDF -> math wrapper."""
+
+    def test_norm_query(self):
+        db = Database()
+        t = db.create_table("m", [Column("id", "bigint"),
+                                  Column("v", "varbinary", cap=200)])
+        rng = np.random.default_rng(2)
+        data = [rng.standard_normal(6) for _ in range(25)]
+        for i, values in enumerate(data):
+            t.insert((i, SqlArray.from_numpy(values).to_blob()))
+        session = SqlSession(db)
+        (total,), _m = session.query(
+            "SELECT SUM(FloatArray.Dot(v, v)) FROM m")
+        assert total == pytest.approx(sum((v ** 2).sum() for v in data))
+
+
+class TestSqliteRoundtrips:
+    """Every element type survives SQL storage and the UDF path."""
+
+    @pytest.mark.parametrize("dtype", ["int8", "int16", "int32",
+                                       "int64", "float32", "float64",
+                                       "complex64", "complex128"])
+    def test_store_query_load(self, dtype):
+        conn = connect()
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v BLOB)")
+        rng = np.random.default_rng(3)
+        if dtype.startswith("complex"):
+            values = (rng.standard_normal(7)
+                      + 1j * rng.standard_normal(7)).astype(dtype)
+        elif dtype.startswith("int"):
+            values = rng.integers(-100, 100, 7).astype(dtype)
+        else:
+            values = rng.standard_normal(7).astype(dtype)
+        conn.execute("INSERT INTO t VALUES (1, ?)",
+                     (conn.store_array(values, dtype),))
+        blob = conn.execute("SELECT v FROM t").fetchone()[0]
+        np.testing.assert_array_equal(conn.load_array(blob), values)
+        arr = SqlArray.from_blob(blob)
+        assert arr.dtype.name == dtype
+        # The right schema accepts it; the wrong one refuses.
+        from repro.tsql import namespace_for
+        ns = namespace_for(dtype, arr.storage)
+        assert ns.Count(blob) == 7
+
+    def test_spectra_in_engine_tables(self):
+        """Spectrum vectors stored as engine rows and aggregated."""
+        from repro.science.spectra import SpectrumGenerator
+        db = Database()
+        t = db.create_table("spectra", [
+            Column("id", "bigint"),
+            Column("flux", "varbinary", cap=3000)])
+        gen = SpectrumGenerator(n_bins=64, seed=4)
+        spectra = [gen.make(class_id=0, bad_fraction=0.0)
+                   for _ in range(10)]
+        for i, s in enumerate(spectra):
+            t.insert((i, s.flux.to_blob()))
+        session = SqlSession(db)
+        (max_flux,), _m = session.query(
+            "SELECT MAX(FloatArray.Max(flux)) FROM spectra")
+        expected = max(s.flux.to_numpy().max() for s in spectra)
+        assert max_flux == pytest.approx(expected)
+
+
+class TestParserToNamespaces:
+    def test_sugar_evaluates_like_sql(self):
+        """The Section 8 pre-parser and the SQLite UDFs agree."""
+        from repro.tsql.parser import evaluate
+        conn = connect()
+        a = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)
+        via_sugar = evaluate("sum(a[1:4])", {"a": a})
+        via_sql = conn.execute(
+            "SELECT FloatArray_Sum(FloatArray_Subarray(?, "
+            "IntArray_Vector_1(1), IntArray_Vector_1(3), 0))",
+            (a,)).fetchone()[0]
+        assert via_sugar == via_sql == 9.0

@@ -1,0 +1,146 @@
+"""Tests for the math-library UDFs on the T-SQL schemas (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SqlArray, TypeMismatchError
+from repro.tsql import (
+    ComplexArray,
+    FloatArray,
+    FloatArrayMax,
+    IntArray,
+    MATH_EXPORTS,
+    RealArray,
+)
+
+
+def _blob(values, storage=None):
+    return SqlArray.from_numpy(np.asarray(values), storage=storage) \
+        .to_blob()
+
+
+class TestAvailability:
+    def test_float_and_complex_schemas_have_math(self):
+        for schema in (FloatArray, FloatArrayMax, RealArray,
+                       ComplexArray):
+            for name in MATH_EXPORTS:
+                assert callable(getattr(schema, name)), name
+
+    def test_integer_schemas_do_not(self):
+        assert not hasattr(IntArray, "FFTForward")
+        assert not hasattr(IntArray, "SvdValues")
+
+
+class TestFFT:
+    def test_paper_example(self):
+        # SET @ft = FloatArrayMax.FFTForward(@a)
+        a = SqlArray.from_numpy(
+            np.sin(2 * np.pi * 3 * np.arange(32) / 32),
+            storage=2).to_blob()
+        ft = FloatArrayMax.FFTForward(a)
+        spectrum = SqlArray.from_blob(ft)
+        assert spectrum.dtype.is_complex
+        mags = np.abs(spectrum.to_numpy())
+        assert int(np.argmax(mags[:16])) == 3
+
+    def test_roundtrip_through_complex_schema(self):
+        a = _blob(np.random.default_rng(0).standard_normal(16))
+        ft = FloatArray.FFTForward(a)
+        back = ComplexArray.FFTInverse(ft)
+        out = SqlArray.from_blob(back).to_numpy()
+        np.testing.assert_allclose(
+            out.real, SqlArray.from_blob(a).to_numpy(), atol=1e-12)
+
+    def test_power_spectrum_real(self):
+        a = _blob(np.random.default_rng(1).standard_normal(8))
+        p = SqlArray.from_blob(FloatArray.PowerSpectrum(a))
+        assert not p.dtype.is_complex
+        assert (p.to_numpy() >= 0).all()
+
+    def test_wrong_schema_rejected(self):
+        a = _blob(np.zeros(4, dtype="f4"))
+        with pytest.raises(TypeMismatchError):
+            FloatArray.FFTForward(a)  # float32 blob on float64 schema
+
+
+class TestSVD:
+    def test_values_match_numpy(self):
+        m = np.random.default_rng(2).standard_normal((5, 3))
+        sv = SqlArray.from_blob(FloatArray.SvdValues(_blob(m)))
+        np.testing.assert_allclose(sv.to_numpy(),
+                                   np.linalg.svd(m, compute_uv=False),
+                                   atol=1e-10)
+
+    def test_factors_reconstruct(self):
+        m = np.random.default_rng(3).standard_normal((4, 4))
+        blob = _blob(m)
+        u = SqlArray.from_blob(FloatArray.SvdU(blob)).to_numpy()
+        s = SqlArray.from_blob(FloatArray.SvdValues(blob)).to_numpy()
+        vt = SqlArray.from_blob(FloatArray.SvdVT(blob)).to_numpy()
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, m, atol=1e-10)
+
+
+class TestFitting:
+    def test_lstsq(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((20, 3))
+        x_true = np.array([1.0, -2.0, 3.0])
+        b = a @ x_true
+        x = SqlArray.from_blob(
+            FloatArray.Lstsq(_blob(a), _blob(b))).to_numpy()
+        np.testing.assert_allclose(x, x_true, atol=1e-10)
+
+    def test_masked_lstsq_via_schema(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((20, 2))
+        x_true = np.array([2.0, 1.0])
+        b = a @ x_true
+        b[3] = 1e9
+        mask = np.ones(20, dtype="i2")
+        mask[3] = 0
+        x = SqlArray.from_blob(FloatArray.MaskedLstsq(
+            _blob(a), _blob(b),
+            SqlArray.from_numpy(mask, "int16").to_blob())).to_numpy()
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_nnls(self):
+        rng = np.random.default_rng(6)
+        a = np.abs(rng.standard_normal((15, 4)))
+        x_true = np.array([0.0, 1.0, 0.0, 2.0])
+        b = a @ x_true
+        x = SqlArray.from_blob(
+            FloatArray.Nnls(_blob(a), _blob(b))).to_numpy()
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+        assert FloatArray.NnlsResidual(_blob(a), _blob(b)) == \
+            pytest.approx(0.0, abs=1e-8)
+
+
+class TestLinearAlgebra:
+    def test_matmul_and_transpose(self):
+        a = np.arange(6, dtype="f8").reshape(2, 3)
+        b = np.arange(12, dtype="f8").reshape(3, 4)
+        out = SqlArray.from_blob(
+            FloatArray.MatMul(_blob(a), _blob(b))).to_numpy()
+        np.testing.assert_allclose(out, a @ b)
+        t = SqlArray.from_blob(FloatArray.Transpose(_blob(a))).to_numpy()
+        np.testing.assert_allclose(t, a.T)
+
+    def test_storage_class_follows_schema(self):
+        m = np.random.default_rng(7).standard_normal((4, 4))
+        blob_max = SqlArray.from_numpy(m, storage=2).to_blob()
+        out = FloatArrayMax.SvdValues(blob_max)
+        assert not SqlArray.from_blob(out).is_short
+
+
+class TestSqlIntegration:
+    def test_fft_and_svd_in_sqlite(self):
+        from repro.sqlbind import connect
+        conn = connect()
+        row = conn.execute(
+            "SELECT ComplexArray_Count(FloatArray_FFTForward("
+            "FloatArray_Vector_4(1, 0, -1, 0)))").fetchone()[0]
+        assert row == 4
+        sv = conn.execute(
+            "SELECT FloatArray_ToString(FloatArray_SvdValues("
+            "FloatArray_Matrix_2(3, 0, 0, 4)))").fetchone()[0]
+        assert sv == "float64[2]{4.0,3.0}"

@@ -1,0 +1,220 @@
+"""Tests for the T-SQL-style function schemas."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ShapeError,
+    SqlArray,
+    STORAGE_MAX,
+    STORAGE_SHORT,
+    StorageClassError,
+    TypeMismatchError,
+)
+from repro.tsql import (
+    BigIntArray,
+    ComplexArray,
+    FloatArray,
+    FloatArrayMax,
+    FromString,
+    IntArray,
+    NAMESPACES,
+    namespace_for,
+)
+
+
+class TestRegistry:
+    def test_every_dtype_has_short_and_max_schema(self):
+        # 8 element types x 2 storage classes.
+        assert len(NAMESPACES) == 16
+        assert "FloatArray" in NAMESPACES
+        assert "FloatArrayMax" in NAMESPACES
+        assert "TinyIntArrayMax" in NAMESPACES
+
+    def test_namespace_for(self):
+        assert namespace_for("float64", STORAGE_SHORT) is FloatArray
+        assert namespace_for("float64", STORAGE_MAX) is FloatArrayMax
+        assert namespace_for("bigint", STORAGE_SHORT) is BigIntArray
+
+
+class TestPaperExamples:
+    """The exact T-SQL snippets from Section 5.1."""
+
+    def test_vector_5_and_item_1(self):
+        a = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert FloatArray.Item_1(a, 3) == 4.0  # "third (zero indexed)"
+
+    def test_matrix_2_and_item_2(self):
+        m = FloatArray.Matrix_2(0.1, 0.2, 0.3, 0.4)
+        assert FloatArray.Item_2(m, 1, 0) == pytest.approx(0.2)
+
+    def test_subarray_5_cube(self):
+        big = SqlArray.from_numpy(
+            np.arange(10 ** 3, dtype="f8").reshape(10, 10, 10),
+            storage=STORAGE_MAX)
+        b = FloatArrayMax.Subarray(
+            big.to_blob(),
+            IntArray.Vector_3(1, 4, 4),
+            IntArray.Vector_3(5, 5, 5), 0)
+        assert SqlArray.from_blob(b).shape == (5, 5, 5)
+
+    def test_update_item_1(self):
+        a = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)
+        b = FloatArray.UpdateItem_1(a, 3, 4.5)
+        assert FloatArray.Item_1(b, 3) == 4.5
+
+
+class TestNumberedVariants:
+    def test_vector_arity_enforced(self):
+        with pytest.raises(ShapeError):
+            FloatArray.Vector_3(1.0, 2.0)
+
+    def test_matrix_n_takes_n_squared(self):
+        m = FloatArray.Matrix_3(*range(9))
+        assert SqlArray.from_blob(m).shape == (3, 3)
+        with pytest.raises(ShapeError):
+            FloatArray.Matrix_3(1.0, 2.0, 3.0)
+
+    def test_item_arity_enforced(self):
+        m = FloatArray.Matrix_2(1.0, 2.0, 3.0, 4.0)
+        with pytest.raises(ShapeError):
+            FloatArray.Item_2(m, 0)
+
+    def test_zeros_and_fill(self):
+        z = IntArray.Zeros_2(3, 4)
+        assert IntArray.Count(z) == 12
+        assert IntArray.Sum(z) == 0
+        f = IntArray.Fill_1(7, 5)
+        assert IntArray.Sum(f) == 35
+
+    def test_all_numbered_variants_exist(self):
+        for n in range(1, 11):
+            assert callable(getattr(FloatArray, f"Vector_{n}"))
+        for n in range(1, 7):
+            assert callable(getattr(FloatArray, f"Item_{n}"))
+            assert callable(getattr(FloatArray, f"UpdateItem_{n}"))
+
+
+class TestTypeAndStorageChecks:
+    """The runtime mismatch detection of Section 3.5."""
+
+    def test_wrong_dtype_rejected(self):
+        a = IntArray.Vector_2(1, 2)
+        with pytest.raises(TypeMismatchError):
+            FloatArray.Item_1(a, 0)
+
+    def test_wrong_storage_rejected(self):
+        a = FloatArray.Vector_2(1.0, 2.0)
+        with pytest.raises(StorageClassError):
+            FloatArrayMax.Item_1(a, 0)
+
+    def test_garbage_blob_rejected(self):
+        from repro.core import HeaderError
+        with pytest.raises(HeaderError):
+            FloatArray.Item_1(b"garbage bytes here", 0)
+
+
+class TestShapeIntrospection:
+    def test_rank_count_dims(self):
+        m = FloatArray.Matrix_2(1.0, 2.0, 3.0, 4.0)
+        assert FloatArray.Rank(m) == 2
+        assert FloatArray.Count(m) == 4
+        assert FloatArray.DimSize(m, 0) == 2
+        dims = SqlArray.from_blob(FloatArray.Dims(m))
+        np.testing.assert_array_equal(dims.to_numpy(), [2, 2])
+
+    def test_dimsize_out_of_range(self):
+        from repro.core import BoundsError
+        m = FloatArray.Matrix_2(1.0, 2.0, 3.0, 4.0)
+        with pytest.raises(BoundsError):
+            FloatArray.DimSize(m, 2)
+
+
+class TestConversionsAndStrings:
+    def test_raw_cast_roundtrip(self):
+        a = FloatArray.Vector_3(1.0, 2.0, 3.0)
+        raw = FloatArray.Raw(a)
+        assert len(raw) == 24
+        back = FloatArray.Cast(raw, IntArray.Vector_1(3))
+        assert back == a
+
+    def test_reshape(self):
+        a = FloatArray.Vector_4(1.0, 2.0, 3.0, 4.0)
+        m = FloatArray.Reshape(a, IntArray.Vector_2(2, 2))
+        assert SqlArray.from_blob(m).shape == (2, 2)
+        assert FloatArray.Item_2(m, 1, 0) == 2.0  # column-major order
+
+    def test_storage_class_conversion(self):
+        a = FloatArray.Vector_2(1.0, 2.0)
+        m = FloatArray.ToMax(a)
+        assert SqlArray.from_blob(m).storage == STORAGE_MAX
+        s = FloatArrayMax.ToShort(m)
+        assert SqlArray.from_blob(s).storage == STORAGE_SHORT
+
+    def test_convert_to_other_type(self):
+        a = IntArray.Vector_3(1, 2, 3)
+        f = IntArray.ConvertTo(a, "float64")
+        arr = SqlArray.from_blob(f)
+        assert arr.dtype.name == "float64"
+        assert arr.storage == STORAGE_SHORT
+
+    def test_to_string_from_string(self):
+        a = FloatArray.Vector_2(1.5, 2.5)
+        text = FloatArray.ToString(a)
+        assert FromString(text) == a
+
+
+class TestTableConversion:
+    def test_to_table(self):
+        m = FloatArray.Matrix_2(1.0, 2.0, 3.0, 4.0)
+        rows = list(FloatArray.ToTable(m))
+        assert rows[0] == (0, 0, 1.0)
+        assert len(rows) == 4
+
+    def test_concat_reader_style(self):
+        rows = [(IntArray.Vector_2(i % 2, i // 2), float(i))
+                for i in range(6)]
+        a = FloatArray.Concat(rows, IntArray.Vector_2(2, 3))
+        arr = SqlArray.from_blob(a)
+        assert arr.shape == (2, 3)
+        assert FloatArray.Item_2(a, 1, 2) == 5.0
+
+
+class TestAggregatesAndArithmetic:
+    def test_scalar_aggregates(self):
+        a = FloatArray.Vector_4(1.0, 2.0, 3.0, 4.0)
+        assert FloatArray.Sum(a) == 10.0
+        assert FloatArray.Mean(a) == 2.5
+        assert FloatArray.Min(a) == 1.0
+        assert FloatArray.Max(a) == 4.0
+
+    def test_axis_aggregates(self):
+        m = FloatArray.Matrix_2(1.0, 2.0, 3.0, 4.0)
+        sums = FloatArray.SumAxis(m, 0)
+        np.testing.assert_array_equal(
+            SqlArray.from_blob(sums).to_numpy(), [3.0, 7.0])
+
+    def test_arithmetic(self):
+        a = FloatArray.Vector_2(1.0, 2.0)
+        b = FloatArray.Vector_2(3.0, 4.0)
+        assert FloatArray.Sum(FloatArray.Add(a, b)) == 10.0
+        assert FloatArray.Dot(a, b) == 11.0
+        scaled = FloatArray.Scale(a, 10)
+        assert FloatArray.Item_1(scaled, 1) == 20.0
+
+    def test_result_coerced_to_schema_dtype(self):
+        # Divide of ints promotes to float in numpy; the Int schema
+        # casts the result back, like the T-SQL function signature
+        # would.
+        a = IntArray.Vector_2(4, 9)
+        b = IntArray.Vector_2(2, 3)
+        out = SqlArray.from_blob(IntArray.Divide(a, b))
+        assert out.dtype.name == "int32"
+        np.testing.assert_array_equal(out.to_numpy(), [2, 3])
+
+
+class TestComplexSchema:
+    def test_complex_vector(self):
+        a = ComplexArray.Vector_2(1 + 2j, 3 - 1j)
+        assert ComplexArray.Item_1(a, 0) == 1 + 2j
+        assert ComplexArray.Sum(a) == 4 + 1j

@@ -1,0 +1,163 @@
+"""Tests for the array-notation pre-parser (Section 8's wished-for
+syntactic sugar)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SqlArray
+from repro.tsql import FloatArray, IntArray
+from repro.tsql.parser import ArrayExpressionError, evaluate, parse, \
+    translate
+
+
+@pytest.fixture
+def env():
+    return {
+        "a": FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0),
+        "b": FloatArray.Vector_5(10.0, 20.0, 30.0, 40.0, 50.0),
+        "m": SqlArray.from_numpy(
+            np.arange(12, dtype="f8").reshape(3, 4)).to_blob(),
+        "k": 2,
+    }
+
+
+SCHEMAS = {"a": "FloatArray", "b": "FloatArray", "m": "FloatArray"}
+
+
+class TestEvaluate:
+    def test_item(self, env):
+        assert evaluate("a[3]", env) == 4.0
+
+    def test_item_2d(self, env):
+        m = SqlArray.from_blob(env["m"]).to_numpy()
+        assert evaluate("m[2, 1]", env) == m[2, 1]
+
+    def test_index_with_variable(self, env):
+        assert evaluate("a[k]", env) == 3.0
+
+    def test_slice(self, env):
+        out = evaluate("a[1:4]", env)
+        np.testing.assert_array_equal(out.to_numpy(), [2.0, 3.0, 4.0])
+
+    def test_mixed_slice_collapses(self, env):
+        out = evaluate("m[0:3, 1]", env)
+        assert out.shape == (3,)
+
+    def test_assignment_returns_new_array(self, env):
+        out = evaluate("a[2] := 99.0", env)
+        assert isinstance(out, SqlArray)
+        assert out.to_numpy()[2] == 99.0
+        # Original blob unchanged.
+        assert SqlArray.from_blob(env["a"]).to_numpy()[2] == 3.0
+
+    def test_arithmetic(self, env):
+        out = evaluate("a + b", env)
+        np.testing.assert_array_equal(
+            out.to_numpy(), [11.0, 22.0, 33.0, 44.0, 55.0])
+        out = evaluate("a * 2 + 1", env)
+        np.testing.assert_array_equal(
+            out.to_numpy(), [3.0, 5.0, 7.0, 9.0, 11.0])
+        out = evaluate("-a", env)
+        assert out.to_numpy()[0] == -1.0
+
+    def test_aggregate_functions(self, env):
+        assert evaluate("sum(a)", env) == 15.0
+        assert evaluate("mean(a)", env) == 3.0
+        assert evaluate("max(a[0:2])", env) == 2.0
+
+    def test_dot_and_reshape(self, env):
+        assert evaluate("dot(a, b)", env) == 550.0
+        out = evaluate("reshape(a[0:4], 2, 2)", env)
+        assert out.shape == (2, 2)
+
+    def test_scalar_arithmetic(self, env):
+        assert evaluate("2 + 3 * 4", env) == 14
+        assert evaluate("(2 + 3) * 4", env) == 20
+
+    def test_nested_expression(self, env):
+        assert evaluate("sum(a[1:4] * 2)", env) == 18.0
+
+    def test_unknown_name(self, env):
+        with pytest.raises(ArrayExpressionError):
+            evaluate("zz[0]", env)
+
+    def test_unknown_function(self, env):
+        with pytest.raises(ArrayExpressionError):
+            evaluate("median(a)", env)
+
+    def test_empty_slice_rejected(self, env):
+        with pytest.raises(ArrayExpressionError):
+            evaluate("a[3:3]", env)
+
+    def test_assign_to_slice_rejected(self, env):
+        with pytest.raises(ArrayExpressionError):
+            evaluate("a[0:2] := 1.0", env)
+
+    def test_syntax_errors(self, env):
+        for bad in ["a[", "a[1", "sum(", "a +", "1 2", "a[1,]", "$x"]:
+            with pytest.raises(ArrayExpressionError):
+                evaluate(bad, env)
+
+
+class TestTranslate:
+    def test_item(self):
+        assert translate("m[1, 0]", SCHEMAS) == \
+            "FloatArray.Item_2(@m, 1, 0)"
+
+    def test_subarray(self):
+        sql = translate("a[1:6]", SCHEMAS)
+        assert sql.startswith("FloatArray.Subarray(@a, ")
+        assert "IntArray.Vector_1(1)" in sql
+
+    def test_update(self):
+        assert translate("a[2] := 4.5", SCHEMAS) == \
+            "FloatArray.UpdateItem_1(@a, 2, 4.5)"
+
+    def test_arithmetic(self):
+        assert translate("a + b", SCHEMAS) == "FloatArray.Add(@a, @b)"
+        assert translate("a * 2", SCHEMAS) == "FloatArray.Scale(@a, 2)"
+
+    def test_aggregates(self):
+        assert translate("sum(a)", SCHEMAS) == "FloatArray.Sum(@a)"
+        assert translate("dot(a, b)", SCHEMAS) == \
+            "FloatArray.Dot(@a, @b)"
+
+    def test_reshape(self):
+        assert translate("reshape(a, 2, 3)", SCHEMAS) == \
+            "FloatArray.Reshape(@a, IntArray.Vector_2(2, 3))"
+
+    def test_scalar_expression(self):
+        assert translate("1 + 2", SCHEMAS) == "(1 + 2)"
+
+    def test_undeclared_variable_is_scalar(self):
+        # Scalars pass through as parameters.
+        assert translate("a[n]", SCHEMAS) == "FloatArray.Item_1(@a, @n)"
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(ArrayExpressionError):
+            translate("n[0]", SCHEMAS)
+
+
+class TestEvalTranslateConsistency:
+    """The translated SQL, executed through the namespaces, must agree
+    with direct evaluation."""
+
+    def test_item_consistency(self, env):
+        sql = translate("m[2, 1]", SCHEMAS)
+        # Execute the translation by hand.
+        from repro.tsql import FloatArray as F
+        value = F.Item_2(env["m"], 2, 1)
+        assert value == evaluate("m[2, 1]", env)
+        assert sql == "FloatArray.Item_2(@m, 2, 1)"
+
+    def test_add_consistency(self, env):
+        from repro.tsql import FloatArray as F
+        via_sql = F.Add(env["a"], env["b"])
+        via_eval = evaluate("a + b", env)
+        np.testing.assert_array_equal(
+            SqlArray.from_blob(via_sql).to_numpy(), via_eval.to_numpy())
+
+
+def test_parse_produces_ast():
+    node = parse("a[1:2] + sum(b)")
+    assert node is not None
