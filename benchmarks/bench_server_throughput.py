@@ -1,0 +1,161 @@
+"""Benchmark: server throughput and tail latency vs. concurrent clients.
+
+The paper's Table 1 is a *server* workload — per-call overhead only
+matters because many scientific clients hit the database at once.  This
+bench drives the serving layer (:mod:`repro.server`) with 1, 4 and 16
+concurrent clients issuing the Table 1 query mix over the wire and
+reports queries/sec plus p50/p95 latency.
+
+As a pytest-benchmark suite the numbers land in ``extra_info`` (so
+``--benchmark-json`` captures them like the other benches); run the
+file directly to get a standalone JSON document::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database
+from repro.server import ArrayClient, ServerConfig, ServerThread
+from repro.tsql import FloatArray
+
+ROWS = 2_000
+CLIENT_COUNTS = (1, 4, 16)
+QUERIES_PER_CLIENT = 8
+QUERY_MIX = [
+    "SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)",
+    "SELECT SUM(v1) FROM Tscalar WITH (NOLOCK)",
+    "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)",
+]
+
+
+def make_db(rows: int = ROWS) -> Database:
+    db = Database()
+    tscalar = db.create_table(
+        "Tscalar", [Column("id", "bigint")] +
+        [Column(f"v{i}", "float") for i in range(1, 6)])
+    tvector = db.create_table(
+        "Tvector", [Column("id", "bigint"),
+                    Column("v", "varbinary", cap=100)])
+    values = np.random.default_rng(0).standard_normal((rows, 5))
+    for i in range(rows):
+        tscalar.insert((i, *values[i]))
+        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    return db
+
+
+def bench_config() -> ServerConfig:
+    # Queue sized so 16 clients never bounce — this bench measures
+    # throughput under load, not the rejection path.
+    return ServerConfig(max_workers=8, queue_limit=64,
+                        query_timeout=120.0)
+
+
+def run_load(port: int, n_clients: int,
+             queries_per_client: int = QUERIES_PER_CLIENT) -> dict:
+    """Drive the server with ``n_clients`` threads; returns qps and
+    latency percentiles."""
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_worker(seed: int):
+        try:
+            with ArrayClient("127.0.0.1", port) as client:
+                barrier.wait(timeout=60)
+                for i in range(queries_per_client):
+                    sql = QUERY_MIX[(seed + i) % len(QUERY_MIX)]
+                    t0 = time.perf_counter()
+                    client.query(sql, cold=False)
+                    dt = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(dt)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client_worker, args=(i,))
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=60)  # all connected; start the clock now
+    started = time.perf_counter()
+    for t in threads:
+        t.join(timeout=600)
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    ordered = sorted(latencies)
+
+    def pct(p):
+        return ordered[min(len(ordered) - 1,
+                           round(p / 100 * (len(ordered) - 1)))]
+
+    return {
+        "clients": n_clients,
+        "queries": len(latencies),
+        "wall_seconds": wall,
+        "qps": len(latencies) / wall,
+        "latency_p50_ms": pct(50) * 1e3,
+        "latency_p95_ms": pct(95) * 1e3,
+    }
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+@pytest.fixture(scope="module")
+def served():
+    with ServerThread(make_db(), bench_config()) as handle:
+        yield handle
+
+
+@pytest.mark.parametrize("n_clients", CLIENT_COUNTS)
+def test_throughput_vs_clients(benchmark, served, n_clients):
+    result = benchmark.pedantic(
+        run_load, args=(served.port, n_clients), rounds=2, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["queries"] == n_clients * QUERIES_PER_CLIENT
+    assert result["qps"] > 0
+
+
+def test_stats_reflect_load(served):
+    with ArrayClient("127.0.0.1", served.port) as client:
+        client.query(QUERY_MIX[0], cold=False)
+        stats = client.stats()
+    assert stats["queries_ok"] >= 1
+    assert stats["latency_p95"] is not None
+    assert stats["rejected_busy"] == 0
+
+
+# -- standalone JSON mode -----------------------------------------------------
+
+def main() -> None:
+    db = make_db()
+    results = []
+    with ServerThread(db, bench_config()) as handle:
+        for n in CLIENT_COUNTS:
+            results.append(run_load(handle.port, n))
+        with ArrayClient("127.0.0.1", handle.port) as client:
+            stats = client.stats()
+    print(json.dumps({
+        "bench": "server_throughput",
+        "rows": ROWS,
+        "query_mix": QUERY_MIX,
+        "results": results,
+        "server_stats": {
+            "queries_ok": stats["queries_ok"],
+            "rejected_busy": stats["rejected_busy"],
+            "timeouts": stats["timeouts"],
+            "latency_p50": stats["latency_p50"],
+            "latency_p95": stats["latency_p95"],
+        },
+    }, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -26,23 +26,29 @@ def table1_block(rows: int) -> None:
     print(f"S6.2 size overhead: {ratio - 1:.1%}   (paper: 43 %)")
     metrics = run_queries(db, ts, tv)
     factor = PAPER_ROWS / rows
-    for m in metrics:
-        big = m.scaled(factor, fixed_random_reads=m.random_reads)
-        p = PAPER[m.label]
-        print(f"{m.label}: {big.sim_exec_seconds:5.0f} s "
-              f"{big.cpu_percent:4.0f} % {big.io_mb_per_s:6.0f} MB/s"
+    # One canonical flattening per query — the same dicts the server's
+    # wire protocol ships — instead of plucking attributes ad hoc.
+    projected = {
+        m.label: m.scaled(factor,
+                          fixed_random_reads=m.random_reads).to_dict()
+        for m in metrics}
+    for label, d in projected.items():
+        p = PAPER[label]
+        print(f"{label}: {d['sim_exec_seconds']:5.0f} s "
+              f"{d['cpu_percent']:4.0f} % {d['io_mb_per_s']:6.0f} MB/s"
               f"   (paper: {p[0]} s, {p[1]} %, {p[2]} MB/s)")
-    q2, q4, q5 = metrics[1], metrics[3], metrics[4]
-    per_call = (q5.sim_cpu_core_seconds - q2.sim_cpu_core_seconds) \
-        / q5.udf_calls
+    raw = {m.label: m.to_dict() for m in metrics}
+    q2, q4, q5 = raw["Query 2"], raw["Query 4"], raw["Query 5"]
+    per_call = (q5["sim_cpu_core_seconds"]
+                - q2["sim_cpu_core_seconds"]) / q5["udf_calls"]
     print(f"S7.1 UDF call cost: {per_call * 1e6:.2f} us/call "
           "(paper: ~2 us)")
     from repro.engine import PAPER_HARDWARE
-    share = PAPER_HARDWARE.cpu_udf_call * q5.udf_calls \
-        / q5.sim_cpu_core_seconds
+    share = PAPER_HARDWARE.cpu_udf_call * q5["udf_calls"] \
+        / q5["sim_cpu_core_seconds"]
     print(f"S7.1 empty-call CPU share: {share:.0%} "
           "(paper: 'at least 38 %')")
-    extra = q4.sim_cpu_core_seconds / q5.sim_cpu_core_seconds - 1
+    extra = q4["sim_cpu_core_seconds"] / q5["sim_cpu_core_seconds"] - 1
     print(f"S7.1 item extraction surcharge: {extra:.1%} (paper: 22 %)")
 
 

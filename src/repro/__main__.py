@@ -6,10 +6,15 @@ Commands:
   the benchmark harness logic).
 * ``info`` — print the library inventory: schemas, registered SQL
   functions, supported element types.
+* ``serve`` — run the array-database server over the two Table 1
+  evaluation tables (see ``docs/SERVER.md``).
+* ``client`` — issue a query (or fetch stats) against a running
+  server and print rows plus the Table 1 metrics triple.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 
@@ -46,9 +51,126 @@ def _cmd_info(_args: list[str]) -> int:
     return 0
 
 
+def _load_demo_db(rows: int):
+    """The two Section 6.2 evaluation tables, for a self-contained
+    server deployment."""
+    import numpy as np
+
+    from repro.engine import Column, Database
+    from repro.tsql import FloatArray
+
+    db = Database()
+    tscalar = db.create_table(
+        "Tscalar", [Column("id", "bigint")] +
+        [Column(f"v{i}", "float") for i in range(1, 6)])
+    tvector = db.create_table(
+        "Tvector", [Column("id", "bigint"),
+                    Column("v", "varbinary", cap=100)])
+    values = np.random.default_rng(0).standard_normal((rows, 5))
+    for i in range(rows):
+        tscalar.insert((i, *values[i]))
+        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    return db
+
+
+def _cmd_serve(args: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the array database over TCP.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument("--rows", type=int, default=5000,
+                        help="rows loaded into the evaluation tables")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent query workers")
+    parser.add_argument("--queue", type=int, default=8,
+                        help="admission queue depth beyond the workers")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-query timeout in seconds")
+    opts = parser.parse_args(args)
+
+    import asyncio
+
+    from repro.server import ArrayServer, ServerConfig
+
+    print(f"Loading evaluation tables at {opts.rows:,} rows ...")
+    db = _load_demo_db(opts.rows)
+    config = ServerConfig(host=opts.host, port=opts.port,
+                          max_workers=opts.workers,
+                          queue_limit=opts.queue,
+                          query_timeout=opts.timeout)
+    server = ArrayServer(db, config)
+
+    async def _serve():
+        await server.start()
+        print(f"repro-array-server listening on "
+              f"{opts.host}:{server.port} "
+              f"(workers={opts.workers}, queue={opts.queue}, "
+              f"timeout={opts.timeout:g}s)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_client(args: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Query a running array-database server.")
+    parser.add_argument("sql", nargs="?",
+                        help="statement to execute")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument("--stats", action="store_true",
+                        help="print the server stats snapshot instead")
+    parser.add_argument("--warm", action="store_true",
+                        help="keep the buffer pool warm (cold is the "
+                             "paper's default)")
+    opts = parser.parse_args(args)
+    if not opts.stats and not opts.sql:
+        parser.error("need a SQL statement (or --stats)")
+
+    import json
+
+    from repro.server import ArrayClient, ServerError
+
+    try:
+        with ArrayClient(opts.host, opts.port) as client:
+            if opts.stats:
+                print(json.dumps(client.stats(), indent=2,
+                                 sort_keys=True))
+                return 0
+            result = client.query(opts.sql, cold=not opts.warm)
+            if result.kind == "ok":
+                print(f"ok ({result.rowcount} rows affected)")
+                return 0
+            for row in result.rows:
+                print("\t".join(
+                    f"0x{cell.hex()}" if isinstance(cell, bytes)
+                    else str(cell) for cell in row))
+            m = result.metrics or {}
+            print(f"-- {result.rowcount} row(s); "
+                  f"sim {m.get('sim_exec_seconds', 0):.3f} s, "
+                  f"cpu {m.get('cpu_percent', 0):.0f} %, "
+                  f"io {m.get('io_mb_per_s', 0):.0f} MB/s; "
+                  f"server wall {result.elapsed_seconds * 1e3:.1f} ms")
+            return 0
+    except ServerError as exc:
+        print(f"server error — {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {opts.host}:{opts.port} — {exc}",
+              file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    commands = {"table1": _cmd_table1, "info": _cmd_info}
+    commands = {"table1": _cmd_table1, "info": _cmd_info,
+                "serve": _cmd_serve, "client": _cmd_client}
     if not argv or argv[0] not in commands:
         names = ", ".join(sorted(commands))
         print(f"usage: python -m repro {{{names}}} [args]",

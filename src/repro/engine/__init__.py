@@ -22,6 +22,7 @@ from .constants import (
 from .costmodel import PAPER_HARDWARE, CostModel
 from .indexes import SecondaryIndex, float_to_ordered_int, \
     ordered_int_to_float
+from .locks import RWLock
 from .executor import (
     Avg,
     Col,
@@ -65,6 +66,7 @@ __all__ = [
     "ordered_int_to_float",
     "MaxBlobHandle",
     "SchemaError",
+    "RWLock",
     "CostModel",
     "PAPER_HARDWARE",
     "QueryMetrics",

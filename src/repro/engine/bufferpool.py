@@ -11,6 +11,7 @@ reads so the cost model can charge them differently.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -63,6 +64,12 @@ class IoCounters:
 class BufferPool:
     """LRU page cache with physical/logical read accounting.
 
+    Thread-safe: :meth:`fetch`, :meth:`clear` and
+    :meth:`reset_counters` are serialized on an internal lock, so
+    concurrent sessions (the :mod:`repro.server` worker pool) never
+    corrupt the LRU structure and the counter invariant
+    ``physical == sequential + random <= logical`` always holds.
+
     Args:
         pagefile: The page address space to serve.
         capacity_pages: Cache size; ``None`` means unbounded (everything
@@ -77,6 +84,7 @@ class BufferPool:
         self._cached: OrderedDict[int, None] = OrderedDict()
         self.counters = IoCounters()
         self._last_physical: int | None = None
+        self._lock = threading.RLock()
 
     @property
     def pagefile(self) -> PageFile:
@@ -92,35 +100,45 @@ class BufferPool:
         Returns the page object; whether the fetch was physical is
         visible in :attr:`counters`.
         """
-        self.counters.logical_reads += 1
-        if page_id in self._cached:
-            self._cached.move_to_end(page_id)
-        else:
-            self.counters.physical_reads += 1
-            # Short forward jumps ride the read-ahead/elevator stream
-            # (skipping another object's extent costs no seek); backward
-            # or long jumps are seeks.
-            if self._last_physical is not None and \
-                    0 < page_id - self._last_physical <= SEQ_READ_WINDOW:
-                self.counters.sequential_reads += 1
+        with self._lock:
+            self.counters.logical_reads += 1
+            if page_id in self._cached:
+                self._cached.move_to_end(page_id)
             else:
-                self.counters.random_reads += 1
-            self._last_physical = page_id
-            self._cached[page_id] = None
-            if self._capacity is not None and \
-                    len(self._cached) > self._capacity:
-                self._cached.popitem(last=False)
+                self.counters.physical_reads += 1
+                # Short forward jumps ride the read-ahead/elevator
+                # stream (skipping another object's extent costs no
+                # seek); backward or long jumps are seeks.
+                if self._last_physical is not None and \
+                        0 < page_id - self._last_physical \
+                        <= SEQ_READ_WINDOW:
+                    self.counters.sequential_reads += 1
+                else:
+                    self.counters.random_reads += 1
+                self._last_physical = page_id
+                self._cached[page_id] = None
+                if self._capacity is not None and \
+                        len(self._cached) > self._capacity:
+                    self._cached.popitem(last=False)
         return self._pagefile.get(page_id)
 
     def clear(self) -> None:
         """Drop every cached page — the paper's explicit cache clear
         before each performance run (DBCC DROPCLEANBUFFERS)."""
-        self._cached.clear()
-        self._last_physical = None
+        with self._lock:
+            self._cached.clear()
+            self._last_physical = None
+
+    def snapshot_counters(self) -> IoCounters:
+        """Consistent copy of the counters (taken under the lock, so a
+        concurrent fetch can never be seen half-applied)."""
+        with self._lock:
+            return self.counters.snapshot()
 
     def reset_counters(self) -> IoCounters:
         """Zero the counters, returning the values they had."""
-        old = self.counters
-        self.counters = IoCounters()
-        self._last_physical = None
-        return old
+        with self._lock:
+            old = self.counters
+            self.counters = IoCounters()
+            self._last_physical = None
+            return old

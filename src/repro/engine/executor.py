@@ -21,6 +21,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -28,6 +29,7 @@ from typing import Callable, Sequence
 from .blob import BlobStore
 from .bufferpool import BufferPool
 from .costmodel import PAPER_HARDWARE, CostModel
+from .locks import RWLock
 from .metrics import QueryMetrics
 from .page import PageFile
 from .table import Column, MaxBlobHandle, Table
@@ -50,21 +52,33 @@ __all__ = [
 
 
 class Database:
-    """A page file, blob store, buffer pool and table catalog."""
+    """A page file, blob store, buffer pool and table catalog.
+
+    One database may be shared by many sessions (the
+    :mod:`repro.server` worker pool multiplexes per-connection
+    :class:`~repro.engine.sqlfront.SqlSession` objects over a single
+    instance).  :attr:`lock` is the statement-granularity
+    reader/writer lock those sessions take — shared for SELECT,
+    exclusive for DDL/DML — and :meth:`create_table` itself guards the
+    catalog dict so two concurrent CREATEs cannot race.
+    """
 
     def __init__(self, buffer_pages: int | None = None):
         self.pagefile = PageFile()
         self.blob_store = BlobStore(self.pagefile)
         self.pool = BufferPool(self.pagefile, buffer_pages)
         self.tables: dict[str, Table] = {}
+        self.lock = RWLock()
+        self._catalog_lock = threading.Lock()
 
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         """Create and register a clustered table."""
-        if name in self.tables:
-            raise ValueError(f"table {name!r} already exists")
-        table = Table(name, columns, self.pagefile, self.blob_store)
-        self.tables[name] = table
-        return table
+        with self._catalog_lock:
+            if name in self.tables:
+                raise ValueError(f"table {name!r} already exists")
+            table = Table(name, columns, self.pagefile, self.blob_store)
+            self.tables[name] = table
+            return table
 
     def report(self) -> str:
         """Human-readable catalog report: per-table rows, pages, sizes
@@ -349,7 +363,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.counters.snapshot()
+        before = pool.snapshot_counters()
 
         decode_cost = group_expr.static_cpu_cost(table, model)
         seen = set(group_expr.columns())
@@ -390,7 +404,7 @@ class Executor:
                 groups.items(),
                 key=lambda kv: (kv[0] is None, kv[0]))]
 
-        io = pool.counters.delta_since(before)
+        io = pool.snapshot_counters().delta_since(before)
         cpu = (rows * (model.cpu_row_base + decode_cost + step_cost)
                + payload_bytes * model.cpu_per_record_byte
                + ctx.stream_calls * model.cpu_stream_call
@@ -430,7 +444,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.counters.snapshot()
+        before = pool.snapshot_counters()
         ctx = _RowContext(table, pool)
         states = [a.start() for a in aggregates]
         rows = 0
@@ -451,7 +465,7 @@ class Executor:
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
-        io = pool.counters.delta_since(before)
+        io = pool.snapshot_counters().delta_since(before)
         decode_cost = sum(
             a.expr.static_cpu_cost(table, model) for a in aggregates
             if a.expr is not None)
@@ -489,7 +503,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.counters.snapshot()
+        before = pool.snapshot_counters()
         ctx = _RowContext(table, pool)
         states = [a.start() for a in aggregates]
         rows = 0
@@ -504,7 +518,7 @@ class Executor:
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
-        io = pool.counters.delta_since(before)
+        io = pool.snapshot_counters().delta_since(before)
         decode_cost = sum(
             a.expr.static_cpu_cost(table, model) for a in aggregates
             if a.expr is not None)
@@ -551,7 +565,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.counters.snapshot()
+        before = pool.snapshot_counters()
 
         # Per-row static CPU: scan base + referenced-column decodes +
         # aggregate steps (+ predicate).  UDF calls inside expressions
@@ -584,7 +598,7 @@ class Executor:
 
         values = tuple(a.finish(s, rows) for a, s in zip(aggregates, states))
 
-        io = pool.counters.delta_since(before)
+        io = pool.snapshot_counters().delta_since(before)
         cpu_core_seconds = (
             rows * (model.cpu_row_base + decode_cost + step_cost)
             + payload_bytes * model.cpu_per_record_byte

@@ -1,0 +1,100 @@
+"""Reader/writer lock for the shared engine.
+
+The paper's array library runs inside SQL Server, whose lock manager
+lets any number of readers scan a table while writers are serialized
+(the Table 1 queries even opt *out* of shared locks with ``WITH
+(NOLOCK)``).  The reproduction's engine was single-threaded until the
+serving layer (:mod:`repro.server`) started multiplexing per-connection
+sessions over one shared :class:`~repro.engine.executor.Database`; this
+module supplies the equivalent coarse-grained protection: a
+writer-preferring reader/writer lock taken at statement granularity.
+
+Readers (SELECT) share; writers (CREATE/INSERT/DELETE, index builds)
+are exclusive.  Writer preference keeps a steady stream of analytical
+scans from starving catalog changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """A writer-preferring reader/writer lock.
+
+    Any number of threads may hold the read side at once; the write
+    side is exclusive against both readers and other writers.  Once a
+    writer is waiting, new readers queue behind it.
+
+    Not reentrant on the write side, and a read holder must not try to
+    take the write side (classic upgrade deadlock) — callers lock at
+    statement granularity, entering once per statement.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- read side -----------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the shared side; returns False on timeout."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and not self._writers_waiting,
+                timeout)
+            if not ok:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_lock(self):
+        """``with lock.read_lock(): ...`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # -- write side -----------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the exclusive side; returns False on timeout."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout)
+                if not ok:
+                    return False
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_lock(self):
+        """``with lock.write_lock(): ...`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -69,6 +69,44 @@ class QueryMetrics:
             return 0.0
         return self.io_bytes / self.sim_exec_seconds / 1e6
 
+    def to_dict(self) -> dict:
+        """All fields plus the derived Table 1 columns, as a plain
+        JSON-serializable dict.
+
+        This is the one canonical flattening of a metrics object — the
+        wire protocol's metrics payload (:mod:`repro.server.protocol`)
+        and the benchmark collectors both use it instead of plucking
+        fields ad hoc.
+        """
+        return {
+            "label": self.label,
+            "rows": self.rows,
+            "io_bytes": self.io_bytes,
+            "physical_reads": self.physical_reads,
+            "sequential_reads": self.sequential_reads,
+            "random_reads": self.random_reads,
+            "stream_calls": self.stream_calls,
+            "udf_calls": self.udf_calls,
+            "sim_io_seconds": self.sim_io_seconds,
+            "sim_io_seq_seconds": self.sim_io_seq_seconds,
+            "sim_io_random_seconds": self.sim_io_random_seconds,
+            "sim_cpu_core_seconds": self.sim_cpu_core_seconds,
+            "sim_exec_seconds": self.sim_exec_seconds,
+            "cores": self.cores,
+            "wall_seconds": self.wall_seconds,
+            # Derived Table 1 columns.
+            "cpu_percent": self.cpu_percent,
+            "io_mb_per_s": self.io_mb_per_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryMetrics":
+        """Rebuild a metrics object from :meth:`to_dict` output
+        (derived keys are ignored; unknown keys rejected)."""
+        fields = {k: v for k, v in data.items()
+                  if k not in ("cpu_percent", "io_mb_per_s")}
+        return cls(**fields)
+
     def scaled(self, row_factor: float,
                fixed_random_reads: int = 0) -> "QueryMetrics":
         """Project the metrics to a dataset ``row_factor`` times larger.

@@ -232,11 +232,14 @@ class SqlSession:
         if head == ("kw", "SELECT"):
             return self.query(sql, cold=cold)
         if head == ("kw", "CREATE"):
-            return _Ddl(self, tokens).create_table()
+            with self.db.lock.write_lock():
+                return _Ddl(self, tokens).create_table()
         if head == ("kw", "INSERT"):
-            return _Ddl(self, tokens).insert()
+            with self.db.lock.write_lock():
+                return _Ddl(self, tokens).insert()
         if head == ("kw", "DELETE"):
-            return self._delete(tokens)
+            with self.db.lock.write_lock():
+                return self._delete(tokens)
         raise SqlSyntaxError(
             f"unsupported statement starting with {head[1]!r}")
 
@@ -281,7 +284,14 @@ class SqlSession:
         clustered index *seek* (B-tree descent) instead of a full scan;
         ``GROUP BY`` runs the hash-aggregation plan and returns
         ``(rows, metrics)`` with one ``(group, agg...)`` row per group.
+
+        Executes under the database's shared (read) lock, so any number
+        of sessions can scan concurrently while writers wait.
         """
+        with self.db.lock.read_lock():
+            return self._query_locked(sql, cold)
+
+    def _query_locked(self, sql: str, cold: bool):
         parser = _Parser(self, _tokenize(sql))
         table, items, where, group = parser.parse()
         label = sql.strip()

@@ -1,0 +1,61 @@
+"""The serving layer: a concurrent array-database server and client.
+
+The paper's array library matters because it lives inside a *server*
+that many scientific clients hit at once; this package is the
+reproduction's equivalent of that hosting layer.  It multiplexes
+per-connection :class:`~repro.engine.sqlfront.SqlSession` objects over
+one shared :class:`~repro.engine.executor.Database`, speaks a
+length-prefixed JSON + binary wire protocol
+(:mod:`repro.server.protocol`), bounds concurrency with admission
+control (:mod:`repro.server.admission`) so overload degrades into fast
+``SERVER_BUSY`` rejections instead of collapse, and aggregates the
+engine's per-query metrics into server-level observability
+(:mod:`repro.server.stats`).
+
+See ``docs/SERVER.md`` for the protocol spec and deployment knobs.
+"""
+
+from .admission import AdmissionController
+from .client import (
+    ArrayClient,
+    AsyncArrayClient,
+    QueryResult,
+    QueryTimeoutError,
+    ServerBusyError,
+    ServerError,
+)
+from .protocol import (
+    BAD_FRAME,
+    INTERNAL,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    QUERY_TIMEOUT,
+    SERVER_BUSY,
+    SQL_ERROR,
+    ProtocolError,
+)
+from .server import ArrayServer, ServerConfig, ServerThread
+from .stats import LatencyWindow, ServerStats
+
+__all__ = [
+    "AdmissionController",
+    "ArrayClient",
+    "AsyncArrayClient",
+    "QueryResult",
+    "ServerError",
+    "ServerBusyError",
+    "QueryTimeoutError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "SERVER_BUSY",
+    "QUERY_TIMEOUT",
+    "SQL_ERROR",
+    "BAD_FRAME",
+    "INTERNAL",
+    "ArrayServer",
+    "ServerConfig",
+    "ServerThread",
+    "LatencyWindow",
+    "ServerStats",
+]

@@ -1,0 +1,289 @@
+"""Client library for the array-database server.
+
+Mirrors the paper's Section 5.2 .NET client surface: the application
+talks SQL, gets back typed rows whose array cells are raw ``VARBINARY``
+blobs, and converts those blobs to native arrays client-side (the
+paper's ``SqlArray.ToArray()`` round trip is :meth:`query_array` here,
+going through :class:`repro.core.SqlArray`).
+
+Two flavours over the same wire protocol:
+
+* :class:`ArrayClient` — blocking sockets, for scripts, benchmarks and
+  the CLI.
+* :class:`AsyncArrayClient` — asyncio streams, for concurrent callers
+  living inside an event loop.
+
+Example::
+
+    with ArrayClient("127.0.0.1", 7433) as client:
+        result = client.query(
+            "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Tvector "
+            "WITH (NOLOCK)")
+        total = result.scalar()
+        print(result.metrics["sim_exec_seconds"])
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from . import protocol
+
+__all__ = [
+    "ServerError",
+    "ServerBusyError",
+    "QueryTimeoutError",
+    "QueryResult",
+    "ArrayClient",
+    "AsyncArrayClient",
+]
+
+
+class ServerError(Exception):
+    """An error frame from the server (or a broken conversation)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the query; back off and retry."""
+
+
+class QueryTimeoutError(ServerError):
+    """The query outlived its per-query budget and was abandoned."""
+
+
+_ERROR_TYPES = {
+    protocol.SERVER_BUSY: ServerBusyError,
+    protocol.QUERY_TIMEOUT: QueryTimeoutError,
+}
+
+
+def _raise_for_error(header: dict) -> None:
+    if header.get("type") == "error":
+        code = header.get("code", protocol.INTERNAL)
+        exc_type = _ERROR_TYPES.get(code, ServerError)
+        raise exc_type(code, header.get("message", ""))
+
+
+@dataclass
+class QueryResult:
+    """One statement's outcome.
+
+    Attributes:
+        kind: ``"rows"`` for SELECT, ``"ok"`` for DDL/DML.
+        rows: Result rows (blob cells are ``bytes``).
+        rowcount: Rows returned, or rows affected for DDL/DML.
+        metrics: The server's :meth:`QueryMetrics.to_dict` payload
+            (None for DDL/DML).
+        elapsed_seconds: Server-side wall latency of the call.
+    """
+
+    kind: str
+    rows: list = field(default_factory=list)
+    rowcount: int = 0
+    metrics: dict | None = None
+    elapsed_seconds: float = 0.0
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"result is not scalar ({self.rowcount} rows)")
+        return self.rows[0][0]
+
+    def metrics_obj(self):
+        """The metrics as a :class:`~repro.engine.QueryMetrics`."""
+        from ..engine.metrics import QueryMetrics
+
+        if self.metrics is None:
+            raise ValueError("statement carried no metrics")
+        return QueryMetrics.from_dict(self.metrics)
+
+
+def _parse_result(header: dict, blobs) -> QueryResult:
+    _raise_for_error(header)
+    if header.get("type") != "result":
+        raise ServerError(protocol.INTERNAL,
+                          f"expected a result frame, got "
+                          f"{header.get('type')!r}")
+    return QueryResult(
+        kind=header.get("kind", "rows"),
+        rows=protocol.unpack_rows(header.get("rows", []), blobs),
+        rowcount=header.get("rowcount", 0),
+        metrics=header.get("metrics"),
+        elapsed_seconds=header.get("elapsed_seconds", 0.0))
+
+
+class ArrayClient:
+    """Blocking client; connects (and reads the hello) on construction.
+
+    Args:
+        host / port: Server address.
+        timeout: Socket timeout for connect and replies (seconds).
+        max_frame: Largest accepted reply frame.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7433,
+                 timeout: float | None = 60.0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        self._max_frame = max_frame
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello, _ = self._request_raw(None)
+        if hello.get("type") != "hello":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected hello, got {hello!r}")
+        self.server_name = hello.get("server", "")
+        self.session_id = hello.get("session_id")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request_raw(self, header: dict | None,
+                     blobs=()) -> tuple[dict, list[bytes]]:
+        if header is not None:
+            protocol.write_frame_sock(self._sock, header, blobs)
+        reply = protocol.read_frame_sock(self._sock, self._max_frame)
+        if reply is None:
+            raise ServerError(protocol.INTERNAL,
+                              "server closed the connection")
+        return reply
+
+    # -- public API ----------------------------------------------------------
+
+    def query(self, sql: str, cold: bool = True,
+              timeout: float | None = None) -> QueryResult:
+        """Execute one statement; raises :class:`ServerBusyError`,
+        :class:`QueryTimeoutError` or :class:`ServerError`."""
+        header, blobs = self._request_raw(
+            {"type": "query", "sql": sql, "cold": cold,
+             "timeout": timeout})
+        return _parse_result(header, blobs)
+
+    execute = query
+
+    def query_array(self, sql: str, cold: bool = True,
+                    timeout: float | None = None):
+        """Run a query whose scalar result is an array blob and decode
+        it to a NumPy array (the paper's client-side ``ToArray()``)."""
+        from ..core import SqlArray
+
+        blob = self.query(sql, cold=cold, timeout=timeout).scalar()
+        if not isinstance(blob, (bytes, bytearray)):
+            raise ValueError(
+                f"query returned {type(blob).__name__}, not a blob")
+        return SqlArray.from_blob(blob).to_numpy()
+
+    def stats(self) -> dict:
+        """The server's stats snapshot (admission, latency, IO)."""
+        header, _ = self._request_raw({"type": "stats"})
+        _raise_for_error(header)
+        return header
+
+    def ping(self) -> None:
+        header, _ = self._request_raw({"type": "ping"})
+        _raise_for_error(header)
+        if header.get("type") != "pong":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected pong, got {header!r}")
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and drop the socket."""
+        try:
+            protocol.write_frame_sock(self._sock, {"type": "close"})
+            protocol.read_frame_sock(self._sock, self._max_frame)
+        except (OSError, protocol.ProtocolError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ArrayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncArrayClient:
+    """Asyncio twin of :class:`ArrayClient`.
+
+    Use :meth:`connect` (or ``async with AsyncArrayClient.connect(...)``
+    via :func:`contextlib.asynccontextmanager`-free protocol below)::
+
+        client = await AsyncArrayClient.connect(host, port)
+        result = await client.query("SELECT COUNT(*) FROM T")
+        await client.close()
+    """
+
+    def __init__(self, reader, writer,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self.server_name = ""
+        self.session_id = None
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7433,
+                      max_frame: int = protocol.MAX_FRAME_BYTES
+                      ) -> "AsyncArrayClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame)
+        hello = await protocol.read_frame(reader, max_frame)
+        if hello is None or hello[0].get("type") != "hello":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected hello, got {hello!r}")
+        client.server_name = hello[0].get("server", "")
+        client.session_id = hello[0].get("session_id")
+        return client
+
+    async def _request(self, header: dict) -> tuple[dict, list[bytes]]:
+        await protocol.write_frame(self._writer, header)
+        reply = await protocol.read_frame(self._reader, self._max_frame)
+        if reply is None:
+            raise ServerError(protocol.INTERNAL,
+                              "server closed the connection")
+        return reply
+
+    async def query(self, sql: str, cold: bool = True,
+                    timeout: float | None = None) -> QueryResult:
+        header, blobs = await self._request(
+            {"type": "query", "sql": sql, "cold": cold,
+             "timeout": timeout})
+        return _parse_result(header, blobs)
+
+    async def stats(self) -> dict:
+        header, _ = await self._request({"type": "stats"})
+        _raise_for_error(header)
+        return header
+
+    async def ping(self) -> None:
+        header, _ = await self._request({"type": "ping"})
+        _raise_for_error(header)
+        if header.get("type") != "pong":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected pong, got {header!r}")
+
+    async def close(self) -> None:
+        try:
+            await self._request({"type": "close"})
+        except (OSError, ServerError, protocol.ProtocolError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncArrayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

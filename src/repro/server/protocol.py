@@ -1,0 +1,266 @@
+"""The wire protocol: length-prefixed frames of JSON plus raw blobs.
+
+The paper's clients talk to SQL Server over TDS; this reproduction's
+serving layer speaks a much smaller protocol with the same split
+personality — a structured header for query text, result rows and
+metrics, and an *uninterpreted binary tail* for array blobs, so a
+gigabyte ``VARBINARY`` never round-trips through base64 or JSON string
+escaping.
+
+Frame layout (all integers big-endian)::
+
+    +-------------+--------------+---------------+-----------------+
+    | total: u32  | hdr_len: u32 | header (JSON) | blob bytes ...  |
+    +-------------+--------------+---------------+-----------------+
+
+``total`` counts everything after itself.  The header is a UTF-8 JSON
+object with at least a ``"type"`` key; if it carries blobs it lists
+their lengths under ``"blobs"`` and the binary tail is their
+concatenation in order.  Inside JSON-encoded rows a blob-valued cell
+is the marker object ``{"$blob": i}`` referencing tail blob ``i``.
+
+Message types
+-------------
+
+Client to server:
+
+``query``   ``{"type": "query", "sql": str, "cold": bool,
+"timeout": float | None}``
+``stats``   ``{"type": "stats"}``
+``ping``    ``{"type": "ping"}``
+``close``   ``{"type": "close"}``
+
+Server to client:
+
+``hello``   ``{"type": "hello", "server": str, "protocol": 1}``
+``result``  ``{"type": "result", "kind": "rows" | "ok",
+"rows": [...], "rowcount": int, "metrics": dict | None}``
+``error``   ``{"type": "error", "code": str, "message": str}``
+``stats``   ``{"type": "stats", ...snapshot...}``
+``pong``    ``{"type": "pong"}``
+``goodbye`` ``{"type": "goodbye"}``
+
+Error codes are the :data:`SERVER_BUSY`, :data:`QUERY_TIMEOUT`,
+:data:`SQL_ERROR`, :data:`BAD_FRAME` and :data:`INTERNAL` constants.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import socket
+import struct
+from typing import Sequence
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "SERVER_BUSY",
+    "QUERY_TIMEOUT",
+    "SQL_ERROR",
+    "BAD_FRAME",
+    "INTERNAL",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "pack_rows",
+    "unpack_rows",
+    "read_frame",
+    "write_frame",
+    "read_frame_sock",
+    "write_frame_sock",
+]
+
+#: Protocol revision carried in the server's hello frame.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame ceiling (64 MiB) — a malformed or hostile length
+#: prefix is rejected before any allocation happens.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Error codes.
+SERVER_BUSY = "SERVER_BUSY"
+QUERY_TIMEOUT = "QUERY_TIMEOUT"
+SQL_ERROR = "SQL_ERROR"
+BAD_FRAME = "BAD_FRAME"
+INTERNAL = "INTERNAL"
+
+_U32 = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """Raised for frames that violate the wire format."""
+
+
+# -- value packing -----------------------------------------------------------
+
+def _pack_value(value, blobs: list[bytes]):
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        blobs.append(bytes(value))
+        return {"$blob": len(blobs) - 1}
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_pack_value(v, blobs) for v in value]
+    raise ProtocolError(
+        f"cannot encode value of type {type(value).__name__}")
+
+
+def _unpack_value(value, blobs: Sequence[bytes]):
+    if isinstance(value, dict):
+        if set(value) != {"$blob"}:
+            raise ProtocolError(f"unexpected object cell {value!r}")
+        index = value["$blob"]
+        if not isinstance(index, int) or not 0 <= index < len(blobs):
+            raise ProtocolError(f"blob reference {index!r} out of range")
+        return blobs[index]
+    if isinstance(value, list):
+        return [_unpack_value(v, blobs) for v in value]
+    return value
+
+
+def pack_rows(rows: Sequence[Sequence]) -> tuple[list, list[bytes]]:
+    """JSON-encode result rows; blob cells are moved to the binary
+    tail and replaced by ``{"$blob": i}`` markers."""
+    blobs: list[bytes] = []
+    packed = [[_pack_value(cell, blobs) for cell in row]
+              for row in rows]
+    return packed, blobs
+
+
+def unpack_rows(rows: Sequence[Sequence],
+                blobs: Sequence[bytes]) -> list[tuple]:
+    """Invert :func:`pack_rows`, resolving blob markers."""
+    return [tuple(_unpack_value(cell, blobs) for cell in row)
+            for row in rows]
+
+
+# -- framing -----------------------------------------------------------------
+
+def encode_frame(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
+    """Serialize one frame (header JSON + binary tail)."""
+    if "type" not in header:
+        raise ProtocolError("frame header needs a 'type' key")
+    if blobs:
+        header = dict(header, blobs=[len(b) for b in blobs])
+    body = json.dumps(header, separators=(",", ":")).encode()
+    tail = b"".join(blobs)
+    total = 4 + len(body) + len(tail)
+    return _U32.pack(total) + _U32.pack(len(body)) + body + tail
+
+
+def decode_frame(payload: bytes) -> tuple[dict, list[bytes]]:
+    """Parse one frame payload (everything after the ``total`` prefix)
+    into ``(header, blobs)``."""
+    if len(payload) < 4:
+        raise ProtocolError("frame shorter than its header-length field")
+    (hdr_len,) = _U32.unpack_from(payload)
+    if 4 + hdr_len > len(payload):
+        raise ProtocolError(
+            f"header length {hdr_len} exceeds frame of {len(payload)} "
+            "bytes")
+    try:
+        header = json.loads(payload[4:4 + hdr_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError("header is not an object with a 'type' key")
+    tail = payload[4 + hdr_len:]
+    lengths = header.get("blobs", [])
+    if not isinstance(lengths, list) or \
+            not all(isinstance(n, int) and n >= 0 for n in lengths):
+        raise ProtocolError(f"bad blob length list {lengths!r}")
+    if sum(lengths) != len(tail):
+        raise ProtocolError(
+            f"blob lengths {lengths} do not cover a {len(tail)}-byte "
+            "tail")
+    blobs = []
+    pos = 0
+    for n in lengths:
+        blobs.append(tail[pos:pos + n])
+        pos += n
+    return header, blobs
+
+
+def _check_total(total: int, max_frame: int) -> None:
+    if total < 4:
+        raise ProtocolError(f"frame of {total} bytes is too short")
+    if total > max_frame:
+        raise ProtocolError(
+            f"frame of {total} bytes exceeds the {max_frame}-byte limit")
+
+
+# -- asyncio stream IO --------------------------------------------------------
+
+async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES
+                     ) -> tuple[dict, list[bytes]] | None:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on a clean EOF (peer closed between frames);
+    raises :class:`ProtocolError` on truncation or malformed data.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from exc
+    (total,) = _U32.unpack(prefix)
+    _check_total(total, max_frame)
+    try:
+        payload = await reader.readexactly(total)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_frame(payload)
+
+
+async def write_frame(writer, header: dict,
+                      blobs: Sequence[bytes] = ()) -> None:
+    """Write one frame to an asyncio stream writer and drain."""
+    writer.write(encode_frame(header, blobs))
+    await writer.drain()
+
+
+# -- blocking socket IO (sync client) ----------------------------------------
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(
+                "connection closed mid-frame" if chunks or n != remaining
+                else "connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(sock: socket.socket,
+                    max_frame: int = MAX_FRAME_BYTES
+                    ) -> tuple[dict, list[bytes]] | None:
+    """Blocking-socket twin of :func:`read_frame` (None on clean EOF)."""
+    prefix = sock.recv(4)
+    if not prefix:
+        return None
+    while len(prefix) < 4:
+        more = sock.recv(4 - len(prefix))
+        if not more:
+            raise ProtocolError("connection closed mid-prefix")
+        prefix += more
+    (total,) = _U32.unpack(prefix)
+    _check_total(total, max_frame)
+    return decode_frame(_recv_exactly(sock, total))
+
+
+def write_frame_sock(sock: socket.socket, header: dict,
+                     blobs: Sequence[bytes] = ()) -> None:
+    """Blocking-socket twin of :func:`write_frame`."""
+    sock.sendall(encode_frame(header, blobs))

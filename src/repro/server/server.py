@@ -1,0 +1,357 @@
+"""The array-database server: asyncio TCP front, threaded query pool.
+
+One process holds one shared :class:`~repro.engine.executor.Database`.
+Each TCP connection gets its own
+:class:`~repro.engine.sqlfront.SqlSession` (per-session UDF registry,
+like a SQL Server SPID); statements execute on a bounded thread pool
+behind the admission controller, under the database's reader/writer
+lock, so concurrent scans share and writers serialize — the same
+coarse protection the paper's host gives its CLR functions.
+
+The connection protocol is strict request/response (no pipelining): the
+handler reads one frame, answers it, and only then reads the next.  A
+query that outlives its timeout gets an immediate ``QUERY_TIMEOUT``
+error; the worker thread finishes in the background and its admission
+slot is returned only when it actually ends, so timeouts cannot be used
+to stampede past the concurrency bound.
+
+Embedders (tests, benchmarks, the CLI client's self-serve mode) can use
+:class:`ServerThread` to run a server on a background event loop::
+
+    with ServerThread(db) as handle:
+        client = ArrayClient("127.0.0.1", handle.port)
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..engine.executor import Database
+from ..engine.sqlfront import SqlSession, SqlSyntaxError
+from ..engine.table import MaxBlobHandle, Table
+from . import protocol
+from .admission import AdmissionController
+from .stats import ServerStats
+
+__all__ = ["ServerConfig", "ArrayServer", "ServerThread"]
+
+
+@dataclass
+class ServerConfig:
+    """Deployment knobs for one server process.
+
+    Attributes:
+        host / port: Listen address (port 0 picks a free port; the
+            bound port is on :attr:`ArrayServer.port` after start).
+        max_workers: Queries executing concurrently (thread pool size).
+        queue_limit: Admitted queries allowed to wait for a worker;
+            beyond ``max_workers + queue_limit`` clients get
+            ``SERVER_BUSY``.
+        query_timeout: Default per-query wall-clock budget in seconds
+            (a query frame may lower it; ``None`` disables).
+        max_frame: Largest accepted/emitted frame in bytes.
+        name: Server name reported in the hello frame.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_workers: int = 4
+    queue_limit: int = 8
+    query_timeout: float | None = 30.0
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    name: str = "repro-array-server"
+
+
+class ArrayServer:
+    """Serves the wire protocol over one shared database.
+
+    Args:
+        db: The shared database (scans run under ``db.lock``).
+        config: Deployment knobs; defaults are test-friendly.
+        session_setup: Optional callable invoked with each new
+            connection's :class:`SqlSession` — the hook deployments use
+            to register extra UDFs server-side.
+    """
+
+    def __init__(self, db: Database, config: ServerConfig | None = None,
+                 session_setup: Callable[[SqlSession], None] | None = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.session_setup = session_setup
+        self.stats = ServerStats()
+        self.admission = AdmissionController(self.config.max_workers,
+                                             self.config.queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-query")
+        self._server: asyncio.AbstractServer | None = None
+        self._next_session_id = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop live connections, shut the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._next_session_id += 1
+        session_id = self._next_session_id
+        self._writers.add(writer)
+        session = SqlSession(self.db)
+        if self.session_setup is not None:
+            self.session_setup(session)
+        self.stats.session_opened(session_id)
+        try:
+            await protocol.write_frame(writer, {
+                "type": "hello", "server": self.config.name,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "session_id": session_id})
+            while True:
+                try:
+                    frame = await protocol.read_frame(
+                        reader, self.config.max_frame)
+                except protocol.ProtocolError as exc:
+                    # One best-effort diagnostic, then hang up: framing
+                    # is broken, so the stream cannot be resynced.
+                    try:
+                        await protocol.write_frame(writer, _error(
+                            protocol.BAD_FRAME, str(exc)))
+                    except (ConnectionError, RuntimeError):
+                        pass
+                    break
+                if frame is None:
+                    break
+                header, blobs = frame
+                done = await self._dispatch(writer, session, session_id,
+                                            header, blobs)
+                if done:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-write; nothing to answer
+        finally:
+            self.stats.session_closed(session_id)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, writer, session: SqlSession,
+                        session_id: int, header: dict, blobs) -> bool:
+        """Answer one request frame; True means close the connection."""
+        kind = header.get("type")
+        if kind == "ping":
+            await protocol.write_frame(writer, {"type": "pong"})
+            return False
+        if kind == "close":
+            await protocol.write_frame(writer, {"type": "goodbye"})
+            return True
+        if kind == "stats":
+            await protocol.write_frame(writer, self._stats_frame())
+            return False
+        if kind == "query":
+            reply, reply_blobs = await self._run_query(
+                session, session_id, header)
+            await protocol.write_frame(writer, reply, reply_blobs)
+            return False
+        await protocol.write_frame(writer, _error(
+            protocol.BAD_FRAME, f"unknown message type {kind!r}"))
+        return False
+
+    # -- the query path -----------------------------------------------------
+
+    async def _run_query(self, session: SqlSession, session_id: int,
+                         header: dict) -> tuple[dict, list[bytes]]:
+        sql = header.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return _error(protocol.SQL_ERROR,
+                          "query frame needs a non-empty 'sql'"), []
+        cold = bool(header.get("cold", True))
+        timeout = header.get("timeout", self.config.query_timeout)
+
+        if not self.admission.try_acquire():
+            self.stats.record_busy()
+            return _error(
+                protocol.SERVER_BUSY,
+                f"admission queue full "
+                f"({self.admission.capacity} in flight); retry later"), []
+
+        loop = asyncio.get_running_loop()
+        future = self._executor.submit(self._execute_sync, session, sql,
+                                       cold)
+        # The slot is held until the worker truly finishes — releasing
+        # on timeout would let abandoned queries pile up unbounded.
+        future.add_done_callback(lambda _f: self.admission.release())
+        wrapped = asyncio.wrap_future(future, loop=loop)
+        started = loop.time()
+        try:
+            result = await asyncio.wait_for(asyncio.shield(wrapped),
+                                            timeout)
+        except asyncio.TimeoutError:
+            future.cancel()  # frees it if it was still queued
+            # The abandoned future's eventual result/exception is
+            # nobody's business now; consume it silently.
+            wrapped.add_done_callback(
+                lambda f: f.cancelled() or f.exception())
+            self.stats.record_timeout(session_id)
+            return _error(
+                protocol.QUERY_TIMEOUT,
+                f"query exceeded its {timeout:g} s budget"), []
+        except SqlSyntaxError as exc:
+            self.stats.record_failure(session_id)
+            return _error(protocol.SQL_ERROR, str(exc)), []
+        except CancelledError:
+            self.stats.record_failure(session_id)
+            return _error(protocol.INTERNAL, "query cancelled"), []
+        except Exception as exc:  # engine bug surfaced to one client
+            self.stats.record_failure(session_id)
+            return _error(protocol.INTERNAL,
+                          f"{type(exc).__name__}: {exc}"), []
+        latency = loop.time() - started
+        self.stats.record_query(session_id, latency,
+                                result.get("metrics"))
+        packed, reply_blobs = protocol.pack_rows(result["rows"])
+        reply = {"type": "result", "kind": result["kind"],
+                 "rows": packed, "rowcount": result["rowcount"],
+                 "metrics": result["metrics"],
+                 "elapsed_seconds": latency}
+        return reply, reply_blobs
+
+    def _execute_sync(self, session: SqlSession, sql: str,
+                      cold: bool) -> dict:
+        """Worker-thread body: execute and normalize the result."""
+        result = session.execute(sql, cold=cold)
+        if isinstance(result, Table):
+            return {"kind": "ok", "rows": [],
+                    "rowcount": 0, "metrics": None,
+                    "detail": f"table {result.name} created"}
+        if isinstance(result, int):
+            return {"kind": "ok", "rows": [], "rowcount": result,
+                    "metrics": None}
+        values, metrics = result
+        rows = values if isinstance(values, list) else [tuple(values)]
+        rows = [tuple(self._materialize(cell) for cell in row)
+                for row in rows]
+        return {"kind": "rows", "rows": rows, "rowcount": len(rows),
+                "metrics": metrics.to_dict()}
+
+    def _materialize(self, cell):
+        """Out-of-page blob handles cannot cross the wire — read them
+        fully (charged to the shared pool) and ship the bytes."""
+        if isinstance(cell, MaxBlobHandle):
+            return cell.read_all(self.db.pool)
+        return cell
+
+    # -- stats ----------------------------------------------------------------
+
+    def _stats_frame(self) -> dict:
+        pool = self.db.pool.snapshot_counters()
+        return {
+            "type": "stats",
+            "server": self.config.name,
+            "admission": self.admission.snapshot(),
+            "pool_counters": {
+                "logical_reads": pool.logical_reads,
+                "physical_reads": pool.physical_reads,
+                "sequential_reads": pool.sequential_reads,
+                "random_reads": pool.random_reads,
+            },
+            **self.stats.snapshot(),
+        }
+
+
+def _error(code: str, message: str) -> dict:
+    return {"type": "error", "code": code, "message": message}
+
+
+class ServerThread:
+    """Runs an :class:`ArrayServer` on a daemon thread's event loop.
+
+    The embedding pattern used by the tests, the throughput benchmark
+    and ``repro client --serve-rows``: start, read :attr:`port`,
+    connect ordinary blocking clients, stop.  Also usable as a context
+    manager.
+    """
+
+    def __init__(self, db: Database, config: ServerConfig | None = None,
+                 session_setup=None):
+        self.server = ArrayServer(db, config, session_setup)
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 30 s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # startup failure → re-raised
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.server.stop()

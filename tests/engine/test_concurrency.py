@@ -1,0 +1,219 @@
+"""Concurrency safety of the shared engine: BufferPool under a
+fetch/clear hammer, two SqlSessions over one Database, and the
+reader/writer lock itself."""
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    PAGE_DATA,
+    BufferPool,
+    Column,
+    Database,
+    PageFile,
+    RWLock,
+)
+from repro.engine.sqlfront import SqlSession
+from repro.tsql import FloatArray
+
+
+def _counters_consistent(c):
+    assert c.physical_reads == c.sequential_reads + c.random_reads
+    assert c.logical_reads >= c.physical_reads
+    assert c.logical_reads >= 0
+
+
+class TestBufferPoolThreadSafety:
+    def test_fetch_clear_hammer(self):
+        """Many threads fetching while others clear: no exceptions,
+        no corrupted counters, no LRU overflow."""
+        pagefile = PageFile()
+        page_ids = [pagefile.allocate(PAGE_DATA).page_id
+                    for _ in range(64)]
+        pool = BufferPool(pagefile, capacity_pages=16)
+        stop = threading.Event()
+        errors = []
+
+        def fetcher(seed):
+            try:
+                i = seed
+                while not stop.is_set():
+                    pool.fetch(page_ids[i % len(page_ids)])
+                    i += 7
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def clearer():
+            try:
+                while not stop.is_set():
+                    pool.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetcher, args=(s,))
+                   for s in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        # Let them contend for a moment.
+        threading.Event().wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        snap = pool.snapshot_counters()
+        _counters_consistent(snap)
+        assert snap.logical_reads > 0
+        assert pool.cached_pages <= 16
+
+    def test_snapshot_counters_is_copy(self):
+        pagefile = PageFile()
+        pid = pagefile.allocate(PAGE_DATA).page_id
+        pool = BufferPool(pagefile)
+        before = pool.snapshot_counters()
+        pool.fetch(pid)
+        after = pool.snapshot_counters()
+        assert before.logical_reads == 0
+        assert after.logical_reads == 1
+        d = after.delta_since(before)
+        _counters_consistent(d)
+
+
+class TestConcurrentSessions:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        t = db.create_table(
+            "Tvector", [Column("id", "bigint"),
+                        Column("v", "varbinary", cap=100)])
+        for i in range(500):
+            t.insert((i, FloatArray.Vector_3(float(i), 2.0, 3.0)))
+        return db
+
+    def test_two_sessions_hammer_queries(self, db):
+        """Two sessions issuing Table 1-style queries from separate
+        threads get correct values and consistent counters."""
+        results = {0: [], 1: []}
+        errors = []
+
+        def worker(idx):
+            session = SqlSession(db)
+            try:
+                for _ in range(10):
+                    (n,), m = session.query(
+                        "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")
+                    (s,), _ = session.query(
+                        "SELECT SUM(FloatArray.Item_1(v, 0)) "
+                        "FROM Tvector WITH (NOLOCK)")
+                    results[idx].append((n, s, m))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        expected_sum = float(sum(range(500)))
+        for idx in (0, 1):
+            assert len(results[idx]) == 10
+            for n, s, m in results[idx]:
+                assert n == 500
+                assert s == pytest.approx(expected_sum)
+                assert m.rows == 500
+        _counters_consistent(db.pool.snapshot_counters())
+
+    def test_writer_excludes_readers(self, db):
+        """An INSERT in one session never interleaves mid-scan with a
+        COUNT in another: counts observed are consistent totals."""
+        errors = []
+        counts = []
+
+        def reader():
+            session = SqlSession(db)
+            try:
+                for _ in range(20):
+                    (n,), _ = session.query(
+                        "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)",
+                        cold=False)
+                    counts.append(n)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer():
+            session = SqlSession(db)
+            try:
+                for i in range(20):
+                    session.execute(
+                        f"INSERT INTO Tvector VALUES ({1000 + i}, "
+                        "FloatArray.Vector_3(1.0, 2.0, 3.0))")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader),
+                   threading.Thread(target=writer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # Monotone non-decreasing totals within [500, 520]: a torn scan
+        # would show a value outside the range.
+        assert all(500 <= n <= 520 for n in counts)
+        final = SqlSession(db).query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")[0][0]
+        assert final == 520
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        acquired = []
+
+        def reader():
+            with lock.read_lock():
+                acquired.append(1)
+                barrier.wait(timeout=10)
+
+        barrier = threading.Barrier(3)
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(acquired) == 3
+
+    def test_writer_exclusive(self):
+        lock = RWLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_lock():
+                order.append("read")
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()          # blocked behind the writer
+        order.append("write-done")
+        lock.release_write()
+        t.join(timeout=10)
+        assert order == ["write-done", "read"]
+
+    def test_write_timeout(self):
+        lock = RWLock()
+        lock.acquire_read()
+        assert lock.acquire_write(timeout=0.05) is False
+        lock.release_read()
+        assert lock.acquire_write(timeout=1.0) is True
+        lock.release_write()
+
+    def test_read_timeout_behind_writer(self):
+        lock = RWLock()
+        lock.acquire_write()
+        assert lock.acquire_read(timeout=0.05) is False
+        lock.release_write()

@@ -105,3 +105,23 @@ class TestFormatting:
         assert "Query 1" in text
         lines = text.splitlines()
         assert len(lines) == 3  # title, header, one row
+
+
+class TestDictRoundTrip:
+    def test_to_dict_has_every_field_and_derived_columns(self):
+        m = _metrics(label="Query 4", udf_calls=42)
+        d = m.to_dict()
+        assert d["label"] == "Query 4"
+        assert d["udf_calls"] == 42
+        assert d["cpu_percent"] == pytest.approx(m.cpu_percent)
+        assert d["io_mb_per_s"] == pytest.approx(m.io_mb_per_s)
+        import json
+        json.dumps(d)  # must be JSON-serializable as-is
+
+    def test_from_dict_inverts_to_dict(self):
+        m = _metrics(label="Query 2", stream_calls=7, wall_seconds=0.5)
+        assert QueryMetrics.from_dict(m.to_dict()) == m
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError):
+            QueryMetrics.from_dict({"label": "Q", "bogus": 1})

@@ -1,0 +1,221 @@
+"""Wire-protocol tests: round-trips for every message type, value
+packing, and malformed-frame rejection."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    pack_rows,
+    read_frame,
+    read_frame_sock,
+    unpack_rows,
+    write_frame_sock,
+)
+
+# Every message type both sides of the conversation use.
+MESSAGES = [
+    {"type": "query", "sql": "SELECT COUNT(*) FROM T", "cold": True,
+     "timeout": None},
+    {"type": "query", "sql": "SELECT 1", "cold": False, "timeout": 2.5},
+    {"type": "stats"},
+    {"type": "ping"},
+    {"type": "close"},
+    {"type": "hello", "server": "repro-array-server", "protocol": 1,
+     "session_id": 7},
+    {"type": "result", "kind": "rows", "rows": [[1, 2.5, None]],
+     "rowcount": 1, "metrics": {"rows": 10, "udf_calls": 0}},
+    {"type": "result", "kind": "ok", "rows": [], "rowcount": 3,
+     "metrics": None},
+    {"type": "error", "code": protocol.SERVER_BUSY,
+     "message": "queue full"},
+    {"type": "error", "code": protocol.QUERY_TIMEOUT, "message": "slow"},
+    {"type": "pong"},
+    {"type": "goodbye"},
+    {"type": "stats", "queries_ok": 5, "latency_p95": 0.25,
+     "io_totals": {"io_bytes": 8192}},
+]
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("header", MESSAGES,
+                             ids=lambda h: h["type"])
+    def test_every_message_type(self, header):
+        payload = encode_frame(header)
+        total = struct.unpack("!I", payload[:4])[0]
+        assert total == len(payload) - 4
+        decoded, blobs = decode_frame(payload[4:])
+        assert decoded == header
+        assert blobs == []
+
+    def test_frame_with_blobs(self):
+        blobs_in = [b"\x00" * 100, b"hello", b""]
+        payload = encode_frame({"type": "result", "rows": []}, blobs_in)
+        header, blobs = decode_frame(payload[4:])
+        assert blobs == blobs_in
+        assert header["blobs"] == [100, 5, 0]
+
+    def test_round_trip_through_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame_sock(a, {"type": "ping"})
+            write_frame_sock(a, {"type": "result", "rows": []},
+                             [b"abc"])
+            assert read_frame_sock(b) == ({"type": "ping"}, [])
+            header, blobs = read_frame_sock(b)
+            assert header["type"] == "result"
+            assert blobs == [b"abc"]
+            a.close()
+            assert read_frame_sock(b) is None  # clean EOF
+        finally:
+            b.close()
+
+
+class TestValuePacking:
+    def test_mixed_row(self):
+        rows = [(1, 2.5, None, True, "txt", b"\x01\x02"),
+                (2, -1.0, b"zz", False, "s", b"")]
+        packed, blobs = pack_rows(rows)
+        assert blobs == [b"\x01\x02", b"zz", b""]
+        assert packed[0][5] == {"$blob": 0}
+        assert unpack_rows(packed, blobs) == rows
+
+    def test_numpy_scalars_coerced(self):
+        np = pytest.importorskip("numpy")
+        packed, blobs = pack_rows([(np.int64(3), np.float64(1.5))])
+        assert packed == [[3, 1.5]]
+        assert isinstance(packed[0][0], int)
+        assert isinstance(packed[0][1], float)
+
+    def test_nested_lists(self):
+        rows = [([1, 2, [3, b"x"]],)]
+        packed, blobs = pack_rows(rows)
+        assert unpack_rows(packed, blobs) == [(([1, 2, [3, b"x"]]),)]
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            pack_rows([(object(),)])
+
+    def test_bad_blob_reference(self):
+        with pytest.raises(ProtocolError, match="out of range"):
+            unpack_rows([[{"$blob": 5}]], [b"only-one"])
+
+    def test_unexpected_object_cell(self):
+        with pytest.raises(ProtocolError, match="unexpected object"):
+            unpack_rows([[{"x": 1}]], [])
+
+
+class TestMalformedFrames:
+    def test_missing_type_key(self):
+        with pytest.raises(ProtocolError, match="'type'"):
+            encode_frame({"sql": "SELECT 1"})
+
+    def test_short_payload(self):
+        with pytest.raises(ProtocolError, match="shorter"):
+            decode_frame(b"\x00\x01")
+
+    def test_header_length_beyond_frame(self):
+        payload = struct.pack("!I", 4096) + b"{}"
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(payload)
+
+    def test_bad_json(self):
+        body = b"{not json!"
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+    def test_header_not_object(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="not an object"):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+    def test_blob_lengths_mismatch(self):
+        body = b'{"type":"result","blobs":[10]}'
+        payload = struct.pack("!I", len(body)) + body + b"abc"
+        with pytest.raises(ProtocolError, match="do not cover"):
+            decode_frame(payload)
+
+    def test_negative_blob_length(self):
+        body = b'{"type":"result","blobs":[-1]}'
+        with pytest.raises(ProtocolError, match="bad blob length"):
+            decode_frame(struct.pack("!I", len(body)) + body)
+
+    def test_oversized_frame_rejected_before_read(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="limit"):
+                read_frame_sock(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undersized_total_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", 2) + b"xx")
+            with pytest.raises(ProtocolError, match="too short"):
+                read_frame_sock(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_sock(self):
+        a, b = socket.socketpair()
+        try:
+            payload = encode_frame({"type": "ping"})
+            a.sendall(payload[:-2])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                read_frame_sock(b)
+        finally:
+            b.close()
+
+
+class TestAsyncFrameIO:
+    def _reader_with(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_clean_eof_returns_none(self):
+        async def run():
+            return await read_frame(self._reader_with(b""))
+        assert asyncio.run(run()) is None
+
+    def test_round_trip(self):
+        payload = encode_frame({"type": "ping"})
+
+        async def run():
+            return await read_frame(self._reader_with(payload))
+        assert asyncio.run(run()) == ({"type": "ping"}, [])
+
+    def test_truncated_prefix(self):
+        async def run():
+            return await read_frame(self._reader_with(b"\x00\x00"))
+        with pytest.raises(ProtocolError, match="mid-prefix"):
+            asyncio.run(run())
+
+    def test_truncated_body(self):
+        payload = encode_frame({"type": "ping"})[:-3]
+
+        async def run():
+            return await read_frame(self._reader_with(payload))
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            asyncio.run(run())
+
+    def test_oversized_rejected(self):
+        data = struct.pack("!I", MAX_FRAME_BYTES + 1) + b"x" * 16
+
+        async def run():
+            return await read_frame(self._reader_with(data))
+        with pytest.raises(ProtocolError, match="limit"):
+            asyncio.run(run())

@@ -1,0 +1,368 @@
+"""End-to-end server tests: an in-process server, concurrent clients,
+admission control, timeouts, and fault injection."""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database
+from repro.server import (
+    ArrayClient,
+    AsyncArrayClient,
+    QueryTimeoutError,
+    ServerBusyError,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+    protocol,
+)
+from repro.server.protocol import read_frame_sock, write_frame_sock
+from repro.tsql import FloatArray
+
+ROWS = 300
+
+
+def make_db() -> Database:
+    """The two Table 1 evaluation tables at test scale."""
+    db = Database()
+    tscalar = db.create_table(
+        "Tscalar", [Column("id", "bigint")] +
+        [Column(f"v{i}", "float") for i in range(1, 6)])
+    tvector = db.create_table(
+        "Tvector", [Column("id", "bigint"),
+                    Column("v", "varbinary", cap=100)])
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((ROWS, 5))
+    for i in range(ROWS):
+        tscalar.insert((i, *values[i]))
+        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    db.expected_sum_v1 = float(values[:, 0].sum())
+    db.expected_vector_7 = values[7]
+    return db
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(make_db()) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with ArrayClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestBasicConversation:
+    def test_hello_carries_identity(self, server):
+        with ArrayClient("127.0.0.1", server.port) as c:
+            assert c.server_name == "repro-array-server"
+            assert isinstance(c.session_id, int)
+
+    def test_ping(self, client):
+        client.ping()
+
+    def test_scalar_query_with_metrics(self, client):
+        result = client.query(
+            "SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)")
+        assert result.scalar() == ROWS
+        m = result.metrics
+        assert m["rows"] == ROWS
+        assert m["physical_reads"] > 0
+        assert m["sim_exec_seconds"] > 0
+        assert result.metrics_obj().rows == ROWS
+
+    def test_array_udf_query_returns_blob(self, client, server):
+        """A Table 1-style UDF query whose result is an array blob."""
+        blob = client.query(
+            "SELECT MAX(v) FROM Tvector WHERE id = 7").scalar()
+        assert isinstance(blob, bytes)
+        assert FloatArray.Item_1(blob, 0) == pytest.approx(
+            server.server.db.expected_vector_7[0])
+
+    def test_query_array_decodes_to_numpy(self, client, server):
+        arr = client.query_array("SELECT MAX(v) FROM Tvector "
+                                 "WHERE id = 7")
+        np.testing.assert_allclose(
+            arr, server.server.db.expected_vector_7)
+
+    def test_sql_error_keeps_connection(self, client):
+        with pytest.raises(ServerError) as err:
+            client.query("SELECT FROM nowhere")
+        assert err.value.code == protocol.SQL_ERROR
+        # Still usable afterwards.
+        assert client.query("SELECT COUNT(*) FROM Tscalar "
+                            "WITH (NOLOCK)").scalar() == ROWS
+
+    def test_ddl_dml_round_trip(self, client):
+        created = client.query(
+            "CREATE TABLE Twire (id BIGINT PRIMARY KEY, x FLOAT)")
+        assert created.kind == "ok"
+        inserted = client.query(
+            "INSERT INTO Twire VALUES (1, 1.5), (2, 2.5)")
+        assert inserted.rowcount == 2
+        total = client.query(
+            "SELECT SUM(x) FROM Twire WITH (NOLOCK)").scalar()
+        assert total == pytest.approx(4.0)
+        deleted = client.query("DELETE FROM Twire WHERE x > 2.0")
+        assert deleted.rowcount == 1
+
+    def test_unknown_message_type_is_answered(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port))
+        try:
+            assert read_frame_sock(sock)[0]["type"] == "hello"
+            write_frame_sock(sock, {"type": "bogus"})
+            header, _ = read_frame_sock(sock)
+            assert header["type"] == "error"
+            assert header["code"] == protocol.BAD_FRAME
+            # Connection survives an unknown type.
+            write_frame_sock(sock, {"type": "ping"})
+            assert read_frame_sock(sock)[0]["type"] == "pong"
+        finally:
+            sock.close()
+
+
+class TestStats:
+    def test_snapshot_shape(self, client):
+        client.query("SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)")
+        s = client.stats()
+        assert s["queries_ok"] >= 1
+        assert s["sessions_active"] >= 1
+        assert s["latency_p50"] is not None
+        assert s["latency_p95"] >= s["latency_p50"] * 0.0
+        assert s["io_totals"]["physical_reads"] > 0
+        assert s["pool_counters"]["physical_reads"] > 0
+        assert s["pool_counters"]["physical_reads"] == \
+            s["pool_counters"]["sequential_reads"] + \
+            s["pool_counters"]["random_reads"]
+        assert s["admission"]["max_workers"] == 4
+        assert str(client.session_id) in s["per_session_queries"] or \
+            client.session_id in s["per_session_queries"]
+
+
+class TestConcurrentClients:
+    def test_parallel_table1_queries(self, server):
+        """Acceptance path: >= 2 concurrent clients issuing Table
+        1-style queries (one returning an array blob) all get correct
+        results and populated metrics."""
+        expected_sum = server.server.db.expected_sum_v1
+        errors = []
+        outcomes = []
+
+        def worker(n):
+            try:
+                with ArrayClient("127.0.0.1", server.port) as c:
+                    for _ in range(5):
+                        count = c.query(
+                            "SELECT COUNT(*) FROM Tscalar "
+                            "WITH (NOLOCK)")
+                        total = c.query(
+                            "SELECT SUM(v1) FROM Tscalar "
+                            "WITH (NOLOCK)")
+                        blob = c.query(
+                            "SELECT MAX(v) FROM Tvector "
+                            "WHERE id = 7").scalar()
+                        outcomes.append(
+                            (count.scalar(), total.scalar(), blob,
+                             count.metrics["rows"]))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(outcomes) == 20
+        for count, total, blob, mrows in outcomes:
+            assert count == ROWS
+            assert total == pytest.approx(expected_sum)
+            assert isinstance(blob, bytes) and len(blob) > 0
+            assert mrows == ROWS
+
+    def test_async_clients_gather(self, server):
+        async def one_client():
+            client = await AsyncArrayClient.connect("127.0.0.1",
+                                                    server.port)
+            try:
+                result = await client.query(
+                    "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")
+                return result.scalar()
+            finally:
+                await client.close()
+
+        async def run():
+            return await asyncio.gather(*[one_client()
+                                          for _ in range(3)])
+
+        assert asyncio.run(run()) == [ROWS, ROWS, ROWS]
+
+
+class SlowServer:
+    """A 1-worker, 0-queue server with a sleeping UDF for saturation
+    and timeout tests."""
+
+    def __init__(self):
+        self.query_started = threading.Event()
+        db = Database()
+        t = db.create_table("Tone", [Column("id", "bigint"),
+                                     Column("x", "float")])
+        t.insert((1, 1.0))
+        self.db = db
+
+    def session_setup(self, session):
+        def sleep_udf(seconds):
+            self.query_started.set()
+            time.sleep(float(seconds))
+            return 0.0
+        session.register_function("dbo.Sleep", sleep_udf,
+                                  body_cost="empty")
+
+    def config(self, **overrides):
+        defaults = dict(max_workers=1, queue_limit=0,
+                        query_timeout=30.0)
+        defaults.update(overrides)
+        return ServerConfig(**defaults)
+
+
+@pytest.fixture
+def slow():
+    return SlowServer()
+
+
+class TestAdmissionControl:
+    SLEEP_SQL = "SELECT SUM(dbo.Sleep(0.6)) FROM Tone WITH (NOLOCK)"
+
+    def test_server_busy_when_saturated(self, slow):
+        """With one worker and no queue, a second concurrent query is
+        rejected with SERVER_BUSY — and admission recovers after."""
+        with ServerThread(slow.db, slow.config(),
+                          session_setup=slow.session_setup) as handle:
+            background = []
+
+            def run_slow():
+                with ArrayClient("127.0.0.1", handle.port) as c:
+                    background.append(c.query(self.SLEEP_SQL))
+
+            t = threading.Thread(target=run_slow)
+            t.start()
+            assert slow.query_started.wait(timeout=10)
+            with ArrayClient("127.0.0.1", handle.port) as c2:
+                with pytest.raises(ServerBusyError):
+                    c2.query("SELECT COUNT(*) FROM Tone WITH (NOLOCK)")
+                t.join(timeout=30)
+                # Slot released: the same connection now succeeds.
+                assert c2.query("SELECT COUNT(*) FROM Tone "
+                                "WITH (NOLOCK)").scalar() == 1
+                s = c2.stats()
+            assert s["rejected_busy"] == 1
+            assert s["admission"]["rejected_total"] == 1
+            assert len(background) == 1
+            assert background[0].scalar() == pytest.approx(0.0)
+
+    def test_queue_admits_beyond_workers(self, slow):
+        """queue_limit=1 lets a second query wait instead of bouncing."""
+        with ServerThread(slow.db, slow.config(queue_limit=1),
+                          session_setup=slow.session_setup) as handle:
+            results = []
+
+            def run_query():
+                with ArrayClient("127.0.0.1", handle.port) as c:
+                    results.append(c.query(self.SLEEP_SQL).scalar())
+
+            threads = [threading.Thread(target=run_query)
+                       for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert results == [pytest.approx(0.0)] * 2
+
+    def test_query_timeout(self, slow):
+        with ServerThread(slow.db, slow.config(),
+                          session_setup=slow.session_setup) as handle:
+            with ArrayClient("127.0.0.1", handle.port) as c:
+                with pytest.raises(QueryTimeoutError):
+                    c.query(self.SLEEP_SQL, timeout=0.1)
+                # The abandoned worker finishes in the background and
+                # returns its admission slot.
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    s = c.stats()
+                    if s["admission"]["in_flight"] == 0:
+                        break
+                    time.sleep(0.05)
+                assert s["admission"]["in_flight"] == 0
+                assert s["timeouts"] == 1
+                assert c.query("SELECT COUNT(*) FROM Tone "
+                               "WITH (NOLOCK)").scalar() == 1
+
+
+class TestFaultInjection:
+    def test_malformed_frame_rejected_then_closed(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port))
+        try:
+            assert read_frame_sock(sock)[0]["type"] == "hello"
+            # A frame whose header length points past its end.
+            sock.sendall(struct.pack("!I", 8) + struct.pack("!I", 4096)
+                         + b"{}xx")
+            header, _ = read_frame_sock(sock)
+            assert header["type"] == "error"
+            assert header["code"] == protocol.BAD_FRAME
+            assert read_frame_sock(sock) is None  # server hung up
+        finally:
+            sock.close()
+
+    def test_oversized_frame_rejected(self, slow):
+        config = slow.config(max_frame=1024)
+        with ServerThread(slow.db, config,
+                          session_setup=slow.session_setup) as handle:
+            sock = socket.create_connection(("127.0.0.1", handle.port))
+            try:
+                assert read_frame_sock(sock)[0]["type"] == "hello"
+                sock.sendall(struct.pack("!I", 1 << 20))
+                header, _ = read_frame_sock(sock)
+                assert header["code"] == protocol.BAD_FRAME
+            finally:
+                sock.close()
+
+    def test_disconnect_mid_query_leaves_server_healthy(self, slow):
+        """A client that vanishes while its query runs must not take
+        the server (or its admission slot) with it."""
+        with ServerThread(slow.db, slow.config(),
+                          session_setup=slow.session_setup) as handle:
+            sock = socket.create_connection(("127.0.0.1", handle.port))
+            assert read_frame_sock(sock)[0]["type"] == "hello"
+            write_frame_sock(sock, {
+                "type": "query", "cold": True, "timeout": None,
+                "sql": "SELECT SUM(dbo.Sleep(0.6)) FROM Tone "
+                       "WITH (NOLOCK)"})
+            assert slow.query_started.wait(timeout=10)
+            sock.close()  # goodbye mid-flight
+
+            # Server stays serviceable once the worker drains.
+            deadline = time.time() + 15
+            while time.time() < deadline:
+                with ArrayClient("127.0.0.1", handle.port) as c:
+                    if c.stats()["admission"]["in_flight"] == 0:
+                        break
+                time.sleep(0.05)
+            with ArrayClient("127.0.0.1", handle.port) as c:
+                assert c.query("SELECT COUNT(*) FROM Tone "
+                               "WITH (NOLOCK)").scalar() == 1
+                assert c.stats()["admission"]["in_flight"] == 0
+
+    def test_disconnect_between_frames(self, server):
+        sock = socket.create_connection(("127.0.0.1", server.port))
+        assert read_frame_sock(sock)[0]["type"] == "hello"
+        sock.close()
+        # The server must keep answering others.
+        with ArrayClient("127.0.0.1", server.port) as c:
+            c.ping()

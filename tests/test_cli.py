@@ -30,6 +30,81 @@ class TestMain:
         assert "Section 7.1" in out
 
 
+class TestServeAndClient:
+    @pytest.fixture(scope="class")
+    def served(self):
+        """A server over the demo tables, on a background thread."""
+        from repro.__main__ import _load_demo_db
+        from repro.server import ServerThread
+
+        with ServerThread(_load_demo_db(200)) as handle:
+            yield handle
+
+    def test_client_query(self, served, capsys):
+        assert main(["client", "--port", str(served.port),
+                     "SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)"]) == 0
+        out = capsys.readouterr().out
+        assert "200" in out
+        assert "MB/s" in out
+
+    def test_client_blob_query_prints_hex(self, served, capsys):
+        assert main(["client", "--port", str(served.port),
+                     "SELECT MAX(v) FROM Tvector WHERE id = 3"]) == 0
+        assert "0x" in capsys.readouterr().out
+
+    def test_client_stats(self, served, capsys):
+        assert main(["client", "--port", str(served.port),
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert '"queries_ok"' in out
+        assert '"latency_p95"' in out
+
+    def test_client_sql_error(self, served, capsys):
+        assert main(["client", "--port", str(served.port),
+                     "SELECT FROM"]) == 1
+        assert "SQL_ERROR" in capsys.readouterr().err
+
+    def test_client_connection_refused(self, capsys):
+        # A port nothing listens on.
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["client", "--port", str(free_port),
+                     "SELECT 1 FROM T"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+def test_serve_subprocess_round_trip():
+    """``repro serve`` in a real subprocess, queried by ``repro
+    client``."""
+    import re
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--rows", "200"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        port = None
+        for _ in range(50):
+            line = proc.stdout.readline()
+            m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+                break
+        assert port, "server never reported its port"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "client", "--port",
+             str(port), "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0, result.stderr
+        assert "200" in result.stdout
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
 def test_module_invocation():
     """``python -m repro info`` works as a subprocess too."""
     result = subprocess.run(
