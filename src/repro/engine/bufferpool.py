@@ -61,6 +61,18 @@ class IoCounters:
         )
 
 
+class _ThreadIoState:
+    """One thread's private IO accounting: its own counters plus the
+    page id of its own previous physical read (per-stream sequential
+    classification)."""
+
+    __slots__ = ("counters", "last_physical")
+
+    def __init__(self):
+        self.counters = IoCounters()
+        self.last_physical: int | None = None
+
+
 class BufferPool:
     """LRU page cache with physical/logical read accounting.
 
@@ -69,6 +81,18 @@ class BufferPool:
     concurrent sessions (the :mod:`repro.server` worker pool) never
     corrupt the LRU structure and the counter invariant
     ``physical == sequential + random <= logical`` always holds.
+
+    Accounting is kept at two scopes.  The *global* counters
+    (:meth:`snapshot_counters`) aggregate every access by every thread
+    — the server-level view.  The *per-thread* counters
+    (:meth:`snapshot_thread_counters`) accumulate only the calling
+    thread's accesses, so a query executing on one worker thread can
+    diff them around its scan and get exact per-query IO even while
+    other queries run concurrently.  Sequential/random classification
+    is per-scope: global counters judge a read against the previous
+    physical read by *anyone* (the disk-arm view), thread counters
+    against the thread's own previous read (the per-stream read-ahead
+    view, which is what a query's own metrics should reflect).
 
     Args:
         pagefile: The page address space to serve.
@@ -85,6 +109,13 @@ class BufferPool:
         self.counters = IoCounters()
         self._last_physical: int | None = None
         self._lock = threading.RLock()
+        self._thread = threading.local()
+
+    def _thread_state(self) -> "_ThreadIoState":
+        state = getattr(self._thread, "state", None)
+        if state is None:
+            state = self._thread.state = _ThreadIoState()
+        return state
 
     @property
     def pagefile(self) -> PageFile:
@@ -98,14 +129,18 @@ class BufferPool:
         """Fetch a page, counting the access.
 
         Returns the page object; whether the fetch was physical is
-        visible in :attr:`counters`.
+        visible in :attr:`counters` (and in the calling thread's
+        counters, see :meth:`snapshot_thread_counters`).
         """
+        mine = self._thread_state()
         with self._lock:
             self.counters.logical_reads += 1
+            mine.counters.logical_reads += 1
             if page_id in self._cached:
                 self._cached.move_to_end(page_id)
             else:
                 self.counters.physical_reads += 1
+                mine.counters.physical_reads += 1
                 # Short forward jumps ride the read-ahead/elevator
                 # stream (skipping another object's extent costs no
                 # seek); backward or long jumps are seeks.
@@ -116,6 +151,13 @@ class BufferPool:
                 else:
                     self.counters.random_reads += 1
                 self._last_physical = page_id
+                if mine.last_physical is not None and \
+                        0 < page_id - mine.last_physical \
+                        <= SEQ_READ_WINDOW:
+                    mine.counters.sequential_reads += 1
+                else:
+                    mine.counters.random_reads += 1
+                mine.last_physical = page_id
                 self._cached[page_id] = None
                 if self._capacity is not None and \
                         len(self._cached) > self._capacity:
@@ -124,19 +166,43 @@ class BufferPool:
 
     def clear(self) -> None:
         """Drop every cached page — the paper's explicit cache clear
-        before each performance run (DBCC DROPCLEANBUFFERS)."""
+        before each performance run (DBCC DROPCLEANBUFFERS).
+
+        Note this evicts pages *other* threads' scans are mid-way
+        through; their subsequent fetches become physical reads.  A
+        ``cold`` query issued concurrently with others therefore
+        perturbs their physical-read counts (the counts stay accurate —
+        the evictions are real — but cold-cache isolation as in the
+        paper's runs needs concurrency 1).
+        """
+        mine = self._thread_state()
         with self._lock:
             self._cached.clear()
             self._last_physical = None
+            mine.last_physical = None
 
     def snapshot_counters(self) -> IoCounters:
-        """Consistent copy of the counters (taken under the lock, so a
-        concurrent fetch can never be seen half-applied)."""
+        """Consistent copy of the global counters (taken under the
+        lock, so a concurrent fetch can never be seen half-applied)."""
         with self._lock:
             return self.counters.snapshot()
 
+    def snapshot_thread_counters(self) -> IoCounters:
+        """Copy of the *calling thread's* counters.
+
+        Diffing two of these around a query isolates that query's IO
+        even with other threads fetching concurrently — the global
+        counters would attribute everyone's reads to everyone.
+        """
+        mine = self._thread_state()
+        with self._lock:
+            return mine.counters.snapshot()
+
     def reset_counters(self) -> IoCounters:
-        """Zero the counters, returning the values they had."""
+        """Zero the global counters, returning the values they had.
+
+        Per-thread counters are unaffected (they are monotonic and
+        only ever consumed as deltas)."""
         with self._lock:
             old = self.counters
             self.counters = IoCounters()

@@ -338,7 +338,17 @@ class Max(Min):
 
 
 class Executor:
-    """Runs aggregate scans against one database under a cost model."""
+    """Runs aggregate scans against one database under a cost model.
+
+    Per-query IO metrics are deltas of the *calling thread's* buffer
+    pool counters (:meth:`BufferPool.snapshot_thread_counters`), so
+    they stay exact when several queries run concurrently on the
+    server's worker pool — concurrent scans never inflate each other's
+    counts.  A ``cold=True`` query still evicts shared cache pages
+    mid-scan of others (its ``pool.clear()`` is real), which raises the
+    *physical* reads of those scans; that IO genuinely happens and is
+    charged to whoever re-fetches.
+    """
 
     def __init__(self, db: Database, model: CostModel = PAPER_HARDWARE):
         self.db = db
@@ -363,7 +373,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.snapshot_counters()
+        before = pool.snapshot_thread_counters()
 
         decode_cost = group_expr.static_cpu_cost(table, model)
         seen = set(group_expr.columns())
@@ -404,7 +414,7 @@ class Executor:
                 groups.items(),
                 key=lambda kv: (kv[0] is None, kv[0]))]
 
-        io = pool.snapshot_counters().delta_since(before)
+        io = pool.snapshot_thread_counters().delta_since(before)
         cpu = (rows * (model.cpu_row_base + decode_cost + step_cost)
                + payload_bytes * model.cpu_per_record_byte
                + ctx.stream_calls * model.cpu_stream_call
@@ -444,7 +454,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.snapshot_counters()
+        before = pool.snapshot_thread_counters()
         ctx = _RowContext(table, pool)
         states = [a.start() for a in aggregates]
         rows = 0
@@ -465,7 +475,7 @@ class Executor:
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
-        io = pool.snapshot_counters().delta_since(before)
+        io = pool.snapshot_thread_counters().delta_since(before)
         decode_cost = sum(
             a.expr.static_cpu_cost(table, model) for a in aggregates
             if a.expr is not None)
@@ -503,7 +513,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.snapshot_counters()
+        before = pool.snapshot_thread_counters()
         ctx = _RowContext(table, pool)
         states = [a.start() for a in aggregates]
         rows = 0
@@ -518,7 +528,7 @@ class Executor:
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
-        io = pool.snapshot_counters().delta_since(before)
+        io = pool.snapshot_thread_counters().delta_since(before)
         decode_cost = sum(
             a.expr.static_cpu_cost(table, model) for a in aggregates
             if a.expr is not None)
@@ -565,7 +575,7 @@ class Executor:
         pool = self.db.pool
         if cold:
             pool.clear()
-        before = pool.snapshot_counters()
+        before = pool.snapshot_thread_counters()
 
         # Per-row static CPU: scan base + referenced-column decodes +
         # aggregate steps (+ predicate).  UDF calls inside expressions
@@ -598,7 +608,7 @@ class Executor:
 
         values = tuple(a.finish(s, rows) for a, s in zip(aggregates, states))
 
-        io = pool.snapshot_counters().delta_since(before)
+        io = pool.snapshot_thread_counters().delta_since(before)
         cpu_core_seconds = (
             rows * (model.cpu_row_base + decode_cost + step_cost)
             + payload_bytes * model.cpu_per_record_byte

@@ -219,18 +219,20 @@ class SqlSession:
 
     # -- public API --------------------------------------------------------
 
-    def execute(self, sql: str, cold: bool = True):
+    def execute(self, sql: str, cold: bool = True, finalize=None):
         """Execute any supported statement.
 
         ``SELECT`` returns ``(values, metrics)`` (or ``(rows, metrics)``
         with GROUP BY); ``CREATE TABLE`` returns the new
         :class:`~repro.engine.table.Table`; ``INSERT`` returns the
-        number of rows inserted.
+        number of rows inserted.  ``finalize`` (SELECT only) is applied
+        to the result while the read lock is still held — see
+        :meth:`query`.
         """
         tokens = _tokenize(sql)
         head = tokens[0]
         if head == ("kw", "SELECT"):
-            return self.query(sql, cold=cold)
+            return self.query(sql, cold=cold, finalize=finalize)
         if head == ("kw", "CREATE"):
             with self.db.lock.write_lock():
                 return _Ddl(self, tokens).create_table()
@@ -277,7 +279,7 @@ class SqlSession:
             table.delete(key)
         return len(keys)
 
-    def query(self, sql: str, cold: bool = True):
+    def query(self, sql: str, cold: bool = True, finalize=None):
         """Execute one aggregate SELECT; returns (values, metrics).
 
         A ``WHERE <pk> = <constant>`` predicate is planned as a
@@ -287,9 +289,22 @@ class SqlSession:
 
         Executes under the database's shared (read) lock, so any number
         of sessions can scan concurrently while writers wait.
+
+        ``finalize``, if given, is called on the raw result *before*
+        the read lock is released and its return value is returned
+        instead.  Results can reference storage (a
+        :class:`~repro.engine.table.MaxBlobHandle` cell points at live
+        blob pages a writer may later mutate or free); a caller that
+        needs to dereference such handles must do it here, while
+        writers are still excluded, not after the statement returns.
+        ``finalize`` must not execute further statements (the lock is
+        not reentrant).
         """
         with self.db.lock.read_lock():
-            return self._query_locked(sql, cold)
+            result = self._query_locked(sql, cold)
+            if finalize is not None:
+                result = finalize(result)
+            return result
 
     def _query_locked(self, sql: str, cold: bool):
         parser = _Parser(self, _tokenize(sql))

@@ -17,6 +17,7 @@ See ``docs/SERVER.md`` for the protocol spec and deployment knobs.
 
 from .admission import AdmissionController
 from .client import (
+    NO_TIMEOUT,
     ArrayClient,
     AsyncArrayClient,
     QueryResult,
@@ -39,6 +40,7 @@ from .stats import LatencyWindow, ServerStats
 
 __all__ = [
     "AdmissionController",
+    "NO_TIMEOUT",
     "ArrayClient",
     "AsyncArrayClient",
     "QueryResult",

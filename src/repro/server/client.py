@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from . import protocol
 
 __all__ = [
+    "NO_TIMEOUT",
     "ServerError",
     "ServerBusyError",
     "QueryTimeoutError",
@@ -38,6 +39,23 @@ __all__ = [
     "ArrayClient",
     "AsyncArrayClient",
 ]
+
+#: Pass as a query's ``timeout`` to explicitly disable the per-query
+#: budget (``timeout=None`` means "use the server's default").
+NO_TIMEOUT = protocol.NO_TIMEOUT
+
+
+def _query_header(sql: str, cold: bool, timeout) -> dict:
+    """Build a query frame header.
+
+    ``timeout=None`` (the parameter default) omits the key so the
+    server applies its configured default; a number or
+    :data:`NO_TIMEOUT` is sent through for the server to validate.
+    """
+    header = {"type": "query", "sql": sql, "cold": cold}
+    if timeout is not None:
+        header["timeout"] = timeout
+    return header
 
 
 class ServerError(Exception):
@@ -159,10 +177,14 @@ class ArrayClient:
     def query(self, sql: str, cold: bool = True,
               timeout: float | None = None) -> QueryResult:
         """Execute one statement; raises :class:`ServerBusyError`,
-        :class:`QueryTimeoutError` or :class:`ServerError`."""
+        :class:`QueryTimeoutError` or :class:`ServerError`.
+
+        ``timeout=None`` uses the server's default budget; pass a
+        positive number to override it or :data:`NO_TIMEOUT` to
+        disable it for this query.
+        """
         header, blobs = self._request_raw(
-            {"type": "query", "sql": sql, "cold": cold,
-             "timeout": timeout})
+            _query_header(sql, cold, timeout))
         return _parse_result(header, blobs)
 
     execute = query
@@ -254,9 +276,10 @@ class AsyncArrayClient:
 
     async def query(self, sql: str, cold: bool = True,
                     timeout: float | None = None) -> QueryResult:
+        """Asyncio twin of :meth:`ArrayClient.query` (same ``timeout``
+        semantics: None → server default, :data:`NO_TIMEOUT` → off)."""
         header, blobs = await self._request(
-            {"type": "query", "sql": sql, "cold": cold,
-             "timeout": timeout})
+            _query_header(sql, cold, timeout))
         return _parse_result(header, blobs)
 
     async def stats(self) -> dict:

@@ -25,7 +25,13 @@ Message types
 Client to server:
 
 ``query``   ``{"type": "query", "sql": str, "cold": bool,
-"timeout": float | None}``
+"timeout": float | "none"}``
+
+A query's ``timeout`` key is optional: absent or ``null`` means "use
+the server's configured default"; a positive finite number is the
+budget in seconds; the string sentinel :data:`NO_TIMEOUT` (``"none"``)
+explicitly disables the budget.  Anything else is rejected with a
+``BAD_FRAME`` error reply (the connection survives).
 ``stats``   ``{"type": "stats"}``
 ``ping``    ``{"type": "ping"}``
 ``close``   ``{"type": "close"}``
@@ -55,6 +61,7 @@ from typing import Sequence
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "NO_TIMEOUT",
     "SERVER_BUSY",
     "QUERY_TIMEOUT",
     "SQL_ERROR",
@@ -77,6 +84,13 @@ PROTOCOL_VERSION = 1
 #: Default per-frame ceiling (64 MiB) — a malformed or hostile length
 #: prefix is rejected before any allocation happens.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Wire sentinel for a query frame's ``timeout`` key that *explicitly*
+#: disables the per-query budget.  A ``null`` (or absent) timeout means
+#: "use the server default" instead — so a client whose parameter
+#: simply defaults to ``None`` can never switch budgets off by
+#: accident.
+NO_TIMEOUT = "none"
 
 # Error codes.
 SERVER_BUSY = "SERVER_BUSY"

@@ -26,6 +26,7 @@ Embedders (tests, benchmarks, the CLI client's self-serve mode) can use
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -52,8 +53,11 @@ class ServerConfig:
         queue_limit: Admitted queries allowed to wait for a worker;
             beyond ``max_workers + queue_limit`` clients get
             ``SERVER_BUSY``.
-        query_timeout: Default per-query wall-clock budget in seconds
-            (a query frame may lower it; ``None`` disables).
+        query_timeout: Default per-query wall-clock budget in seconds,
+            applied whenever a query frame omits ``timeout`` (or sends
+            ``null``).  A frame may override it with its own positive
+            budget or disable it with the ``"none"`` sentinel;
+            ``None`` here means no default budget.
         max_frame: Largest accepted/emitted frame in bytes.
         name: Server name reported in the hello frame.
     """
@@ -159,8 +163,10 @@ class ArrayServer:
                                             header, blobs)
                 if done:
                     break
-        except (ConnectionError, asyncio.CancelledError):
+        except ConnectionError:
             pass  # client went away mid-write; nothing to answer
+        # CancelledError propagates: suppressing it would break task
+        # cancellation during event-loop shutdown (cleanup still runs).
         finally:
             self.stats.session_closed(session_id)
             self._writers.discard(writer)
@@ -194,6 +200,31 @@ class ArrayServer:
 
     # -- the query path -----------------------------------------------------
 
+    def _resolve_timeout(self, requested) -> float | None:
+        """Map a query frame's ``timeout`` value to a budget in seconds.
+
+        Absent/``null`` means the server default — a client parameter
+        that merely defaults to ``None`` must never disable the budget.
+        The :data:`protocol.NO_TIMEOUT` sentinel disables it on
+        purpose; a positive finite number is used as-is.  Anything
+        else raises ``ValueError`` (answered as ``BAD_FRAME``).
+        """
+        if requested is None:
+            return self.config.query_timeout
+        if requested == protocol.NO_TIMEOUT:
+            return None
+        if isinstance(requested, bool) or \
+                not isinstance(requested, (int, float)):
+            raise ValueError(
+                f"'timeout' must be a positive number or "
+                f"{protocol.NO_TIMEOUT!r}, got {requested!r}")
+        timeout = float(requested)
+        if not math.isfinite(timeout) or timeout <= 0:
+            raise ValueError(
+                f"'timeout' must be positive and finite, got "
+                f"{timeout!r}")
+        return timeout
+
     async def _run_query(self, session: SqlSession, session_id: int,
                          header: dict) -> tuple[dict, list[bytes]]:
         sql = header.get("sql")
@@ -201,7 +232,10 @@ class ArrayServer:
             return _error(protocol.SQL_ERROR,
                           "query frame needs a non-empty 'sql'"), []
         cold = bool(header.get("cold", True))
-        timeout = header.get("timeout", self.config.query_timeout)
+        try:
+            timeout = self._resolve_timeout(header.get("timeout"))
+        except ValueError as exc:
+            return _error(protocol.BAD_FRAME, str(exc)), []
 
         if not self.admission.try_acquire():
             self.stats.record_busy()
@@ -254,7 +288,8 @@ class ArrayServer:
     def _execute_sync(self, session: SqlSession, sql: str,
                       cold: bool) -> dict:
         """Worker-thread body: execute and normalize the result."""
-        result = session.execute(sql, cold=cold)
+        result = session.execute(sql, cold=cold,
+                                 finalize=self._materialize_result)
         if isinstance(result, Table):
             return {"kind": "ok", "rows": [],
                     "rowcount": 0, "metrics": None,
@@ -262,19 +297,28 @@ class ArrayServer:
         if isinstance(result, int):
             return {"kind": "ok", "rows": [], "rowcount": result,
                     "metrics": None}
-        values, metrics = result
-        rows = values if isinstance(values, list) else [tuple(values)]
-        rows = [tuple(self._materialize(cell) for cell in row)
-                for row in rows]
+        rows, metrics = result
         return {"kind": "rows", "rows": rows, "rowcount": len(rows),
                 "metrics": metrics.to_dict()}
 
-    def _materialize(self, cell):
-        """Out-of-page blob handles cannot cross the wire — read them
-        fully (charged to the shared pool) and ship the bytes."""
-        if isinstance(cell, MaxBlobHandle):
-            return cell.read_all(self.db.pool)
-        return cell
+    def _materialize_result(self, result):
+        """SELECT finalize hook: normalize to a row list and resolve
+        blob handles to bytes.
+
+        Runs inside :meth:`SqlSession.query`'s read lock on purpose —
+        a :class:`MaxBlobHandle` cell points at live blob pages, and
+        reading them after the lock drops would race a concurrent
+        DELETE/INSERT mutating or freeing those pages mid-read.
+        Out-of-page handles cannot cross the wire anyway, so ship the
+        bytes (charged to the shared pool).
+        """
+        values, metrics = result
+        rows = values if isinstance(values, list) else [tuple(values)]
+        rows = [tuple(cell.read_all(self.db.pool)
+                      if isinstance(cell, MaxBlobHandle) else cell
+                      for cell in row)
+                for row in rows]
+        return rows, metrics
 
     # -- stats ----------------------------------------------------------------
 

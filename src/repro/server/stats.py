@@ -58,7 +58,12 @@ class ServerStats:
         self._timeouts = 0
         self._sessions_opened = 0
         self._sessions_closed = 0
+        # Live sessions only — closed sessions fold their count into
+        # the aggregate below, so memory (and the stats frame) stays
+        # bounded by the number of *concurrent* connections, not the
+        # number ever opened.
         self._per_session: dict[int, int] = {}
+        self._closed_session_queries = 0
         self._io_totals = {
             "rows": 0,
             "io_bytes": 0,
@@ -79,6 +84,8 @@ class ServerStats:
     def session_closed(self, session_id: int) -> None:
         with self._lock:
             self._sessions_closed += 1
+            self._closed_session_queries += \
+                self._per_session.pop(session_id, 0)
 
     def record_query(self, session_id: int, latency_seconds: float,
                      metrics: dict | None) -> None:
@@ -125,6 +132,7 @@ class ServerStats:
                 "sessions_active": (self._sessions_opened
                                     - self._sessions_closed),
                 "per_session_queries": dict(self._per_session),
+                "closed_session_queries": self._closed_session_queries,
                 "latency_p50": self.latency.percentile(50),
                 "latency_p95": self.latency.percentile(95),
                 "latency_samples": len(self.latency),

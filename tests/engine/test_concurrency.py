@@ -67,6 +67,50 @@ class TestBufferPoolThreadSafety:
         assert snap.logical_reads > 0
         assert pool.cached_pages <= 16
 
+    def test_thread_counters_isolate_concurrent_fetchers(self):
+        """Each thread's counter delta covers exactly its own fetches,
+        however the threads interleave; the global counters aggregate
+        everyone."""
+        pagefile = PageFile()
+        page_ids = [pagefile.allocate(PAGE_DATA).page_id
+                    for _ in range(32)]
+        pool = BufferPool(pagefile)
+        barrier = threading.Barrier(2)
+        deltas = {}
+        errors = []
+
+        def worker(idx, n_fetches):
+            try:
+                barrier.wait(timeout=10)
+                before = pool.snapshot_thread_counters()
+                for i in range(n_fetches):
+                    pool.fetch(page_ids[i % len(page_ids)])
+                deltas[idx] = pool.snapshot_thread_counters() \
+                                  .delta_since(before)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(0, 100)),
+                   threading.Thread(target=worker, args=(1, 250))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        # Exact per-thread logical counts — a global-counter diff would
+        # mix in the other thread's fetches.
+        assert deltas[0].logical_reads == 100
+        assert deltas[1].logical_reads == 250
+        for d in deltas.values():
+            _counters_consistent(d)
+        # Every miss lands in exactly one thread's counters.
+        assert deltas[0].physical_reads + deltas[1].physical_reads \
+            == len(page_ids)
+        glob = pool.snapshot_counters()
+        _counters_consistent(glob)
+        assert glob.logical_reads == 350
+        assert glob.physical_reads == len(page_ids)
+
     def test_snapshot_counters_is_copy(self):
         pagefile = PageFile()
         pid = pagefile.allocate(PAGE_DATA).page_id
@@ -125,6 +169,39 @@ class TestConcurrentSessions:
                 assert s == pytest.approx(expected_sum)
                 assert m.rows == 500
         _counters_consistent(db.pool.snapshot_counters())
+
+    def test_concurrent_query_metrics_not_inflated(self, db):
+        """A query's IO metrics must not absorb a concurrent
+        neighbour's page reads: each cold COUNT reports at most the
+        solo page count (sharing can make it cheaper, never dearer)."""
+        solo = SqlSession(db).query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")[1]
+        assert solo.physical_reads > 0
+        collected = []
+        errors = []
+
+        def worker():
+            session = SqlSession(db)
+            try:
+                for _ in range(5):
+                    (n,), m = session.query(
+                        "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")
+                    collected.append((n, m))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(collected) == 15
+        for n, m in collected:
+            assert n == 500
+            assert 0 < m.physical_reads <= solo.physical_reads
+            assert m.physical_reads \
+                == m.sequential_reads + m.random_reads
 
     def test_writer_excludes_readers(self, db):
         """An INSERT in one session never interleaves mid-scan with a

@@ -12,6 +12,7 @@ import pytest
 
 from repro.engine import Column, Database
 from repro.server import (
+    NO_TIMEOUT,
     ArrayClient,
     AsyncArrayClient,
     QueryTimeoutError,
@@ -143,6 +144,26 @@ class TestStats:
         assert s["admission"]["max_workers"] == 4
         assert str(client.session_id) in s["per_session_queries"] or \
             client.session_id in s["per_session_queries"]
+
+    def test_closed_sessions_pruned_from_per_session_map(self, server):
+        """per_session_queries only tracks live sessions; closed ones
+        fold into closed_session_queries so the map (and the stats
+        frame) cannot grow without bound."""
+        with ArrayClient("127.0.0.1", server.port) as c:
+            c.query("SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)")
+            closed_id = c.session_id
+        with ArrayClient("127.0.0.1", server.port) as c2:
+            # The close is processed asynchronously server-side.
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                s = c2.stats()
+                ids = {int(k) for k in s["per_session_queries"]}
+                if closed_id not in ids:
+                    break
+                time.sleep(0.05)
+            assert closed_id not in ids
+            assert s["closed_session_queries"] >= 1
+            assert c2.session_id in ids
 
 
 class TestConcurrentClients:
@@ -284,6 +305,55 @@ class TestAdmissionControl:
             for t in threads:
                 t.join(timeout=60)
             assert results == [pytest.approx(0.0)] * 2
+
+    def test_null_timeout_on_wire_uses_server_default(self, slow):
+        """A frame carrying ``"timeout": null`` (what a client whose
+        parameter defaults to None used to send) must get the server's
+        configured budget, not an infinite one."""
+        with ServerThread(slow.db, slow.config(query_timeout=0.15),
+                          session_setup=slow.session_setup) as handle:
+            sock = socket.create_connection(("127.0.0.1", handle.port))
+            try:
+                assert read_frame_sock(sock)[0]["type"] == "hello"
+                write_frame_sock(sock, {
+                    "type": "query", "cold": True, "timeout": None,
+                    "sql": self.SLEEP_SQL})
+                header, _ = read_frame_sock(sock)
+                assert header["type"] == "error"
+                assert header["code"] == protocol.QUERY_TIMEOUT
+            finally:
+                sock.close()
+
+    def test_client_default_timeout_is_server_default(self, slow):
+        """Library clients that never mention a timeout still run
+        under the server's query_timeout."""
+        with ServerThread(slow.db, slow.config(query_timeout=0.15),
+                          session_setup=slow.session_setup) as handle:
+            with ArrayClient("127.0.0.1", handle.port) as c:
+                with pytest.raises(QueryTimeoutError):
+                    c.query(self.SLEEP_SQL)
+
+    def test_no_timeout_sentinel_disables_budget(self, slow):
+        """NO_TIMEOUT opts out of even a short server default."""
+        with ServerThread(slow.db, slow.config(query_timeout=0.15),
+                          session_setup=slow.session_setup) as handle:
+            with ArrayClient("127.0.0.1", handle.port) as c:
+                result = c.query(self.SLEEP_SQL, timeout=NO_TIMEOUT)
+                assert result.scalar() == pytest.approx(0.0)
+
+    def test_invalid_timeouts_rejected(self, slow):
+        """Garbage timeout values are answered with BAD_FRAME and the
+        connection survives."""
+        with ServerThread(slow.db, slow.config(),
+                          session_setup=slow.session_setup) as handle:
+            with ArrayClient("127.0.0.1", handle.port) as c:
+                for bad in (-1, 0, "soon", True, [1]):
+                    with pytest.raises(ServerError) as err:
+                        c.query("SELECT COUNT(*) FROM Tone "
+                                "WITH (NOLOCK)", timeout=bad)
+                    assert err.value.code == protocol.BAD_FRAME
+                assert c.query("SELECT COUNT(*) FROM Tone "
+                               "WITH (NOLOCK)").scalar() == 1
 
     def test_query_timeout(self, slow):
         with ServerThread(slow.db, slow.config(),
