@@ -1,13 +1,19 @@
 #!/usr/bin/env python
 """Regenerate every number quoted in EXPERIMENTS.md, in one run.
 
-Run:  python benchmarks/collect_results.py [rows]
+Run:  python benchmarks/collect_results.py [rows] [results.json]
 
 Prints the Table 1 projection, the Section 6.2/7.1 claims, the
-partial-read and Concat measurements, and the science-pipeline summary
-statistics, each tagged with the paper value it reproduces.
+row-vs-vector engine speedups, the partial-read and Concat
+measurements, and the science-pipeline summary statistics, each tagged
+with the paper value it reproduces.  The Table 1 projections and the
+vector-engine speedup ratios are also written to ``results.json``
+(second CLI argument; defaults to ``results.json`` next to this
+script).
 """
 
+import json
+import pathlib
 import sys
 import time
 
@@ -17,7 +23,7 @@ from table1_harness import PAPER, PAPER_ROWS, SQL_TEXT, load_tables, \
     run_queries
 
 
-def table1_block(rows: int) -> None:
+def table1_block(rows: int) -> dict:
     print("=" * 70)
     print(f"Table 1 (projected from {rows:,} rows to {PAPER_ROWS:,})")
     print("=" * 70)
@@ -50,6 +56,22 @@ def table1_block(rows: int) -> None:
           "(paper: 'at least 38 %')")
     extra = q4["sim_cpu_core_seconds"] / q5["sim_cpu_core_seconds"] - 1
     print(f"S7.1 item extraction surcharge: {extra:.1%} (paper: 22 %)")
+    return projected
+
+
+def vectorized_block(rows: int) -> dict:
+    print("=" * 70)
+    print("Vectorized batch engine: row vs vector wall time")
+    print("=" * 70)
+    from repro.engine import SqlSession
+
+    from bench_vectorized import vector_speedups
+    db, _ts, _tv = load_tables(rows)
+    speedups = vector_speedups(SqlSession(db))
+    for label, ratio in speedups.items():
+        print(f"  {label}: vector is {ratio:4.1f}x faster "
+              f"(identical values and IO accounting)")
+    return speedups
 
 
 def partial_reads_block() -> None:
@@ -147,16 +169,23 @@ def nbody_block() -> None:
     print(f"  P(k) low-k log-slope: {slope:.2f} (clustered: negative)")
 
 
-def main(rows: int = 20_000) -> None:
-    table1_block(rows)
+def main(rows: int = 20_000, json_out: str | None = None) -> None:
+    results = {"rows": rows, "paper_rows": PAPER_ROWS}
+    results["table1_projected"] = table1_block(rows)
+    results["vector_speedup"] = vectorized_block(rows)
     partial_reads_block()
     concat_block()
     turbulence_block()
     spectra_block()
     nbody_block()
+    path = pathlib.Path(json_out) if json_out else \
+        pathlib.Path(__file__).with_name("results.json")
+    path.write_text(json.dumps(results, indent=2) + "\n")
     print("=" * 70)
+    print(f"results JSON written to {path}")
     print("done; compare against EXPERIMENTS.md")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20_000)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20_000,
+         sys.argv[2] if len(sys.argv) > 2 else None)

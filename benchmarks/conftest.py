@@ -33,7 +33,7 @@ def table1_db():
         [Column("id", "bigint"), Column("v", "varbinary", cap=100)])
     rng = np.random.default_rng(0)
     values = rng.standard_normal((TABLE1_ROWS, 5))
-    for i in range(TABLE1_ROWS):
-        tscalar.insert((i, *values[i]))
-        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    tscalar.insert_many((i, *values[i]) for i in range(TABLE1_ROWS))
+    tvector.insert_many((i, FloatArray.Vector_5(*values[i]))
+                        for i in range(TABLE1_ROWS))
     return db, tscalar, tvector, values

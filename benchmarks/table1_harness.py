@@ -45,9 +45,9 @@ def load_tables(rows: int):
                     Column("v", "varbinary", cap=100)])
     rng = np.random.default_rng(0)
     values = rng.standard_normal((rows, 5))
-    for i in range(rows):
-        tscalar.insert((i, *values[i]))
-        tvector.insert((i, FloatArray.Vector_5(*values[i])))
+    tscalar.insert_many((i, *values[i]) for i in range(rows))
+    tvector.insert_many((i, FloatArray.Vector_5(*values[i]))
+                        for i in range(rows))
     return db, tscalar, tvector
 
 

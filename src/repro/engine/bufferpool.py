@@ -125,6 +125,37 @@ class BufferPool:
     def cached_pages(self) -> int:
         return len(self._cached)
 
+    def _record_access(self, page_id: int, mine: "_ThreadIoState") -> None:
+        """Account one page access.  Caller must hold the lock."""
+        self.counters.logical_reads += 1
+        mine.counters.logical_reads += 1
+        if page_id in self._cached:
+            self._cached.move_to_end(page_id)
+        else:
+            self.counters.physical_reads += 1
+            mine.counters.physical_reads += 1
+            # Short forward jumps ride the read-ahead/elevator
+            # stream (skipping another object's extent costs no
+            # seek); backward or long jumps are seeks.
+            if self._last_physical is not None and \
+                    0 < page_id - self._last_physical \
+                    <= SEQ_READ_WINDOW:
+                self.counters.sequential_reads += 1
+            else:
+                self.counters.random_reads += 1
+            self._last_physical = page_id
+            if mine.last_physical is not None and \
+                    0 < page_id - mine.last_physical \
+                    <= SEQ_READ_WINDOW:
+                mine.counters.sequential_reads += 1
+            else:
+                mine.counters.random_reads += 1
+            mine.last_physical = page_id
+            self._cached[page_id] = None
+            if self._capacity is not None and \
+                    len(self._cached) > self._capacity:
+                self._cached.popitem(last=False)
+
     def fetch(self, page_id: int) -> Page:
         """Fetch a page, counting the access.
 
@@ -134,35 +165,26 @@ class BufferPool:
         """
         mine = self._thread_state()
         with self._lock:
-            self.counters.logical_reads += 1
-            mine.counters.logical_reads += 1
-            if page_id in self._cached:
-                self._cached.move_to_end(page_id)
-            else:
-                self.counters.physical_reads += 1
-                mine.counters.physical_reads += 1
-                # Short forward jumps ride the read-ahead/elevator
-                # stream (skipping another object's extent costs no
-                # seek); backward or long jumps are seeks.
-                if self._last_physical is not None and \
-                        0 < page_id - self._last_physical \
-                        <= SEQ_READ_WINDOW:
-                    self.counters.sequential_reads += 1
-                else:
-                    self.counters.random_reads += 1
-                self._last_physical = page_id
-                if mine.last_physical is not None and \
-                        0 < page_id - mine.last_physical \
-                        <= SEQ_READ_WINDOW:
-                    mine.counters.sequential_reads += 1
-                else:
-                    mine.counters.random_reads += 1
-                mine.last_physical = page_id
-                self._cached[page_id] = None
-                if self._capacity is not None and \
-                        len(self._cached) > self._capacity:
-                    self._cached.popitem(last=False)
+            self._record_access(page_id, mine)
         return self._pagefile.get(page_id)
+
+    def fetch_many(self, page_ids) -> list[Page]:
+        """Fetch a run of pages under a single lock acquisition.
+
+        Classifies and charges each page id exactly as a sequence of
+        :meth:`fetch` calls would — same logical/physical counts, same
+        sequential/random classification at both the global and the
+        per-thread scope — but takes the lock once for the whole run.
+        This is the pin-batch API the vectorized scan uses: a leaf run
+        of N pages costs one lock round-trip instead of N.
+        """
+        mine = self._thread_state()
+        page_ids = list(page_ids)
+        with self._lock:
+            for page_id in page_ids:
+                self._record_access(page_id, mine)
+        get = self._pagefile.get
+        return [get(page_id) for page_id in page_ids]
 
     def clear(self) -> None:
         """Drop every cached page — the paper's explicit cache clear

@@ -51,6 +51,10 @@ class QueryMetrics:
     sim_exec_seconds: float = 0.0
     cores: int = 8
     wall_seconds: float = 0.0
+    #: Which execution path produced the result: ``"row"`` (tuple at a
+    #: time) or ``"vector"`` (columnar batches).  Purely diagnostic —
+    #: both paths return identical results and IO counters.
+    engine: str = "row"
 
     @property
     def cpu_percent(self) -> float:
@@ -94,6 +98,7 @@ class QueryMetrics:
             "sim_exec_seconds": self.sim_exec_seconds,
             "cores": self.cores,
             "wall_seconds": self.wall_seconds,
+            "engine": self.engine,
             # Derived Table 1 columns.
             "cpu_percent": self.cpu_percent,
             "io_mb_per_s": self.io_mb_per_s,
@@ -149,6 +154,7 @@ class QueryMetrics:
             sim_exec_seconds=max(io_s, cpu / self.cores),
             cores=self.cores,
             wall_seconds=self.wall_seconds,
+            engine=self.engine,
         )
 
 

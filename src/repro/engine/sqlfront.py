@@ -45,7 +45,10 @@ from __future__ import annotations
 import re
 from typing import Callable
 
+import numpy as np
+
 from ..tsql.namespaces import NAMESPACES
+from . import vectorized
 from .costmodel import CostModel
 from .executor import (
     Avg,
@@ -146,6 +149,12 @@ class _BinOp(Expression):
             return None  # SQL three-valued logic, collapsed to NULL
         return self._FUNCS[self.op](left, right)
 
+    def eval_batch(self, ctx):
+        lv, lm = vectorized.eval_node(self.left, ctx)
+        rv, rm = vectorized.eval_node(self.right, ctx)
+        return vectorized.binop_batch(self.op, self._FUNCS[self.op],
+                                      lv, lm, rv, rm, ctx.batch.n)
+
 
 class _Not(Expression):
     def __init__(self, inner: Expression):
@@ -160,6 +169,10 @@ class _Not(Expression):
     def eval(self, ctx):
         value = self.inner.eval(ctx)
         return None if value is None else not bool(value)
+
+    def eval_batch(self, ctx):
+        values, mask = vectorized.eval_node(self.inner, ctx)
+        return vectorized.not_batch(values, mask, ctx.batch.n)
 
 
 class _IsNull(Expression):
@@ -176,6 +189,11 @@ class _IsNull(Expression):
     def eval(self, ctx):
         is_null = self.inner.eval(ctx) is None
         return not is_null if self.negate else is_null
+
+    def eval_batch(self, ctx):
+        values, mask = vectorized.eval_node(self.inner, ctx)
+        return vectorized.isnull_batch(values, mask, ctx.batch.n,
+                                       self.negate)
 
 
 class _EvalContext:
@@ -204,22 +222,42 @@ class SqlSession:
         self.db = db
         self.executor = Executor(db, model) if model else Executor(db)
         self._functions: dict[str, tuple[Callable, object]] = {}
-        # The paper's cross-check UDF ships registered.
-        self.register_function("dbo.EmptyFunction",
-                               lambda *args: 0.0, body_cost="empty")
+        # The paper's cross-check UDF ships registered, with a trivial
+        # batch kernel so the vector engine never falls back on it.
+        self.register_function(
+            "dbo.EmptyFunction", lambda *args: 0.0, body_cost="empty",
+            vectorized=lambda args: (np.zeros(len(args[0]))
+                                     if args else None))
 
     def register_function(self, qualified_name: str, func: Callable,
-                          body_cost="item") -> None:
+                          body_cost="item",
+                          vectorized: Callable | None = None) -> None:
         """Register a scalar UDF callable as ``Schema.Name(...)``.
 
         ``body_cost`` is the managed-body cost class charged per call
-        ("item", "empty", or seconds as float).
+        ("item", "empty", or seconds as float).  ``vectorized``, if
+        given, is a batch kernel with the
+        :class:`~repro.engine.executor.ScalarUdf` kernel contract: it
+        receives a list of equal-length arrays (one per argument, no
+        NULLs) and returns a length-n array, or ``None`` to decline the
+        batch.  It is attached to ``func`` as its ``vectorized``
+        attribute, which :class:`ScalarUdf` picks up automatically.
         """
+        if vectorized is not None:
+            try:
+                func.vectorized = vectorized
+            except AttributeError:
+                # Builtins/bound methods reject attributes; wrap them.
+                plain = func
+                def func(*args, _f=plain):  # noqa: E306
+                    return _f(*args)
+                func.vectorized = vectorized
         self._functions[qualified_name.lower()] = (func, body_cost)
 
     # -- public API --------------------------------------------------------
 
-    def execute(self, sql: str, cold: bool = True, finalize=None):
+    def execute(self, sql: str, cold: bool = True, finalize=None,
+                engine: str | None = None):
         """Execute any supported statement.
 
         ``SELECT`` returns ``(values, metrics)`` (or ``(rows, metrics)``
@@ -227,12 +265,15 @@ class SqlSession:
         :class:`~repro.engine.table.Table`; ``INSERT`` returns the
         number of rows inserted.  ``finalize`` (SELECT only) is applied
         to the result while the read lock is still held — see
-        :meth:`query`.
+        :meth:`query`.  ``engine`` (SELECT only) picks the execution
+        path — ``"row"``, ``"vector"``, or ``None`` for the executor's
+        default; both produce identical results and metrics.
         """
         tokens = _tokenize(sql)
         head = tokens[0]
         if head == ("kw", "SELECT"):
-            return self.query(sql, cold=cold, finalize=finalize)
+            return self.query(sql, cold=cold, finalize=finalize,
+                              engine=engine)
         if head == ("kw", "CREATE"):
             with self.db.lock.write_lock():
                 return _Ddl(self, tokens).create_table()
@@ -279,7 +320,8 @@ class SqlSession:
             table.delete(key)
         return len(keys)
 
-    def query(self, sql: str, cold: bool = True, finalize=None):
+    def query(self, sql: str, cold: bool = True, finalize=None,
+              engine: str | None = None):
         """Execute one aggregate SELECT; returns (values, metrics).
 
         A ``WHERE <pk> = <constant>`` predicate is planned as a
@@ -301,12 +343,13 @@ class SqlSession:
         not reentrant).
         """
         with self.db.lock.read_lock():
-            result = self._query_locked(sql, cold)
+            result = self._query_locked(sql, cold, engine)
             if finalize is not None:
                 result = finalize(result)
             return result
 
-    def _query_locked(self, sql: str, cold: bool):
+    def _query_locked(self, sql: str, cold: bool,
+                      engine: str | None = None):
         parser = _Parser(self, _tokenize(sql))
         table, items, where, group = parser.parse()
         label = sql.strip()
@@ -327,7 +370,7 @@ class SqlSession:
                     "GROUP BY queries need at least one aggregate")
             return self.executor.run_grouped(
                 table, group_expr, aggs, where=where, cold=cold,
-                label=label)
+                label=label, engine=engine)
         aggregates = []
         for item in items:
             if item[0] != "agg":
@@ -337,15 +380,16 @@ class SqlSession:
         key = self._seek_key(table, where)
         if key is not None:
             return self.executor.run_point(table, key, aggregates,
-                                           cold=cold, label=label)
+                                           cold=cold, label=label,
+                                           engine=engine)
         plan = self._index_plan(table, where)
         if plan is not None:
             column, equals, lo, hi = plan
             return self.executor.run_index(
                 table, column, aggregates, equals=equals, lo=lo, hi=hi,
-                cold=cold, label=label)
+                cold=cold, label=label, engine=engine)
         return self.executor.run(table, aggregates, where=where,
-                                 cold=cold, label=label)
+                                 cold=cold, label=label, engine=engine)
 
     def explain(self, sql: str) -> str:
         """Describe the plan a SELECT would use without executing it.
@@ -790,7 +834,9 @@ class _Ddl:
         """``INSERT INTO name VALUES (v, ...), (v, ...), ...``.
 
         Values are literals, NULL, or schema-qualified function calls
-        over literals (``FloatArray.Vector_3(1, 2, 3)``).
+        over literals (``FloatArray.Vector_3(1, 2, 3)``).  The whole
+        statement is parsed first and inserted as one batch, so an
+        ascending load into an empty table takes the bulk-load path.
         """
         self._expect("kw", "INSERT")
         self._expect("kw", "INTO")
@@ -799,7 +845,7 @@ class _Ddl:
             raise SqlSyntaxError("expected a table name")
         table = self.session._resolve_table(name_tok[1])
         self._expect("kw", "VALUES")
-        inserted = 0
+        rows = []
         while True:
             self._expect("op", "(")
             values = [self._value()]
@@ -807,8 +853,7 @@ class _Ddl:
                 self._next()
                 values.append(self._value())
             self._expect("op", ")")
-            table.insert(tuple(values))
-            inserted += 1
+            rows.append(tuple(values))
             if self._peek() == ("op", ","):
                 self._next()
                 continue
@@ -816,7 +861,7 @@ class _Ddl:
         if self._peek()[0] != "eof":
             raise SqlSyntaxError(
                 f"unexpected trailing input {self._peek()[1]!r}")
-        return inserted
+        return table.insert_many(rows)
 
     def _value(self):
         kind, text = self._next()

@@ -45,16 +45,21 @@ __all__ = [
 NO_TIMEOUT = protocol.NO_TIMEOUT
 
 
-def _query_header(sql: str, cold: bool, timeout) -> dict:
+def _query_header(sql: str, cold: bool, timeout,
+                  engine: str | None = None) -> dict:
     """Build a query frame header.
 
     ``timeout=None`` (the parameter default) omits the key so the
     server applies its configured default; a number or
     :data:`NO_TIMEOUT` is sent through for the server to validate.
+    ``engine=None`` likewise omits the key (server default, the
+    vector path); ``"row"``/``"vector"`` are sent through.
     """
     header = {"type": "query", "sql": sql, "cold": cold}
     if timeout is not None:
         header["timeout"] = timeout
+    if engine is not None:
+        header["engine"] = engine
     return header
 
 
@@ -175,16 +180,20 @@ class ArrayClient:
     # -- public API ----------------------------------------------------------
 
     def query(self, sql: str, cold: bool = True,
-              timeout: float | None = None) -> QueryResult:
+              timeout: float | None = None,
+              engine: str | None = None) -> QueryResult:
         """Execute one statement; raises :class:`ServerBusyError`,
         :class:`QueryTimeoutError` or :class:`ServerError`.
 
         ``timeout=None`` uses the server's default budget; pass a
         positive number to override it or :data:`NO_TIMEOUT` to
-        disable it for this query.
+        disable it for this query.  ``engine`` picks the execution
+        path for a SELECT — ``None`` for the server default (vector),
+        or ``"row"``/``"vector"`` explicitly; the reply metrics'
+        ``"engine"`` key reports which path ran.
         """
         header, blobs = self._request_raw(
-            _query_header(sql, cold, timeout))
+            _query_header(sql, cold, timeout, engine))
         return _parse_result(header, blobs)
 
     execute = query
@@ -275,11 +284,12 @@ class AsyncArrayClient:
         return reply
 
     async def query(self, sql: str, cold: bool = True,
-                    timeout: float | None = None) -> QueryResult:
+                    timeout: float | None = None,
+                    engine: str | None = None) -> QueryResult:
         """Asyncio twin of :meth:`ArrayClient.query` (same ``timeout``
-        semantics: None → server default, :data:`NO_TIMEOUT` → off)."""
+        and ``engine`` semantics: None → server default)."""
         header, blobs = await self._request(
-            _query_header(sql, cold, timeout))
+            _query_header(sql, cold, timeout, engine))
         return _parse_result(header, blobs)
 
     async def stats(self) -> dict:

@@ -25,13 +25,18 @@ Message types
 Client to server:
 
 ``query``   ``{"type": "query", "sql": str, "cold": bool,
-"timeout": float | "none"}``
+"timeout": float | "none", "engine": "row" | "vector" | null}``
 
 A query's ``timeout`` key is optional: absent or ``null`` means "use
 the server's configured default"; a positive finite number is the
 budget in seconds; the string sentinel :data:`NO_TIMEOUT` (``"none"``)
 explicitly disables the budget.  Anything else is rejected with a
-``BAD_FRAME`` error reply (the connection survives).
+``BAD_FRAME`` error reply (the connection survives).  The optional
+``engine`` key picks the execution path for a SELECT — ``"row"``
+(tuple at a time) or ``"vector"`` (columnar batches, the default);
+any other value is a ``BAD_FRAME``.  Both paths return identical
+results and metrics (the metrics dict's ``"engine"`` key reports
+which one ran).
 ``stats``   ``{"type": "stats"}``
 ``ping``    ``{"type": "ping"}``
 ``close``   ``{"type": "close"}``

@@ -225,6 +225,22 @@ class ArrayServer:
                 f"{timeout!r}")
         return timeout
 
+    @staticmethod
+    def _resolve_engine(requested) -> str | None:
+        """Map a query frame's ``engine`` value to an executor engine.
+
+        Absent/``null`` means the executor's default (the vector
+        path); ``"row"`` / ``"vector"`` select a path explicitly.
+        Anything else raises ``ValueError`` (answered as
+        ``BAD_FRAME``).
+        """
+        if requested is None:
+            return None
+        if requested not in ("row", "vector"):
+            raise ValueError(
+                f"'engine' must be 'row' or 'vector', got {requested!r}")
+        return requested
+
     async def _run_query(self, session: SqlSession, session_id: int,
                          header: dict) -> tuple[dict, list[bytes]]:
         sql = header.get("sql")
@@ -234,6 +250,7 @@ class ArrayServer:
         cold = bool(header.get("cold", True))
         try:
             timeout = self._resolve_timeout(header.get("timeout"))
+            engine = self._resolve_engine(header.get("engine"))
         except ValueError as exc:
             return _error(protocol.BAD_FRAME, str(exc)), []
 
@@ -246,7 +263,7 @@ class ArrayServer:
 
         loop = asyncio.get_running_loop()
         future = self._executor.submit(self._execute_sync, session, sql,
-                                       cold)
+                                       cold, engine)
         # The slot is held until the worker truly finishes — releasing
         # on timeout would let abandoned queries pile up unbounded.
         future.add_done_callback(lambda _f: self.admission.release())
@@ -286,10 +303,11 @@ class ArrayServer:
         return reply, reply_blobs
 
     def _execute_sync(self, session: SqlSession, sql: str,
-                      cold: bool) -> dict:
+                      cold: bool, engine: str | None = None) -> dict:
         """Worker-thread body: execute and normalize the result."""
         result = session.execute(sql, cold=cold,
-                                 finalize=self._materialize_result)
+                                 finalize=self._materialize_result,
+                                 engine=engine)
         if isinstance(result, Table):
             return {"kind": "ok", "rows": [],
                     "rowcount": 0, "metrics": None,

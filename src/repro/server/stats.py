@@ -73,6 +73,10 @@ class ServerStats:
             "stream_calls": 0,
             "udf_calls": 0,
         }
+        # Successful SELECTs by execution path ("row" / "vector").
+        # Kept out of _io_totals: the metrics "engine" value is a
+        # string, not a summable counter.
+        self._engine_queries: dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -99,6 +103,10 @@ class ServerStats:
             if metrics:
                 for key in self._io_totals:
                     self._io_totals[key] += int(metrics.get(key, 0))
+                engine = metrics.get("engine")
+                if isinstance(engine, str):
+                    self._engine_queries[engine] = \
+                        self._engine_queries.get(engine, 0) + 1
 
     def record_failure(self, session_id: int) -> None:
         with self._lock:
@@ -137,4 +145,5 @@ class ServerStats:
                 "latency_p95": self.latency.percentile(95),
                 "latency_samples": len(self.latency),
                 "io_totals": dict(self._io_totals),
+                "engine_queries": dict(self._engine_queries),
             }

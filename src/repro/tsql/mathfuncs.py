@@ -33,15 +33,23 @@ is floating-point only.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core import ops as _ops
-from ..core.header import STORAGE_SHORT
+from ..core.header import STORAGE_SHORT, decode_header, encode_header
 from ..core.sqlarray import SqlArray
 from ..mathlib import fftw as _fftw
 from ..mathlib import lapack as _lapack
 from ..mathlib.nnls import nnls_arrays as _nnls_arrays
-from .namespaces import NAMESPACES, ArrayNamespace
+from .namespaces import (
+    MAX_INDEX_N,
+    MAX_VECTOR_N,
+    NAMESPACES,
+    ArrayNamespace,
+)
 
-__all__ = ["attach_math_functions", "MATH_EXPORTS"]
+__all__ = ["attach_math_functions", "attach_vector_kernels",
+           "MATH_EXPORTS"]
 
 #: Math functions exported to SQL, with their argument counts.
 MATH_EXPORTS = {
@@ -132,6 +140,122 @@ def _attach(ns: ArrayNamespace) -> None:
         setattr(ns, name, local[name])
 
 
+def _item_kernel(ns: ArrayNamespace, n_idx: int):
+    """Batch kernel for ``Item_N``: one strided gather over a run of
+    same-shape blobs instead of one header decode + frombuffer per row.
+
+    Follows the :class:`~repro.engine.executor.ScalarUdf` kernel
+    contract — it receives equal-length argument arrays with no NULL
+    lanes and returns a length-n value array, or ``None`` to decline
+    the batch (mixed shapes, type mismatches, out-of-bounds indices),
+    in which case the executor falls back to the per-row function and
+    its exact error semantics.
+    """
+    dt = np.dtype(ns.dtype.numpy_dtype).newbyteorder("<")
+
+    def kernel(args):
+        blobs, *index_args = args
+        if blobs.dtype != object or not len(blobs):
+            return None
+        first = blobs[0]
+        if type(first) is not bytes:
+            return None
+        try:
+            header = decode_header(first)
+        except Exception:
+            return None
+        if (header.dtype.code != ns.dtype.code
+                or header.storage != ns.storage
+                or header.rank != n_idx):
+            return None
+        length = len(first)
+        if (length - header.data_offset) % dt.itemsize:
+            return None
+        prefix = first[:header.data_offset]
+        for b in blobs:
+            if (type(b) is not bytes or len(b) != length
+                    or b[:header.data_offset] != prefix):
+                return None
+        n = len(blobs)
+        flat = np.zeros(n, dtype=np.int64)
+        stride = 1
+        for a, dim in zip(index_args, header.shape):
+            if a.dtype == object:
+                try:
+                    a = np.array([int(v) for v in a.tolist()],
+                                 dtype=np.int64)
+                except (TypeError, ValueError, OverflowError):
+                    return None
+            elif a.dtype.kind == "f":
+                if not np.isfinite(a).all():
+                    return None
+                a = np.trunc(a).astype(np.int64)
+            elif a.dtype.kind in "iu":
+                a = a.astype(np.int64)
+            else:
+                return None
+            if ((a < 0) | (a >= dim)).any():
+                return None  # the per-row path raises BoundsError
+            flat += a * stride
+            stride *= dim
+        raw = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        data = raw.reshape(n, length)[:, header.data_offset:]
+        return data.view(dt)[np.arange(n), flat]
+
+    return kernel
+
+
+def _vector_kernel(ns: ArrayNamespace, n_values: int):
+    """Batch kernel for ``Vector_N``: encode the shared header once and
+    pack all n blobs from one ``(n, N)`` element matrix."""
+    dt = np.dtype(ns.dtype.numpy_dtype).newbyteorder("<")
+
+    def kernel(args):
+        n = len(args[0])
+        cols = []
+        try:
+            for a in args:
+                if ns.dtype.is_integer:
+                    # Per-element int() keeps the row path's truncation
+                    # and out-of-range OverflowError semantics.
+                    a = np.array([int(v) for v in a.tolist()], dtype=dt)
+                elif a.dtype == object:
+                    cast = complex if ns.dtype.is_complex else float
+                    a = np.array([cast(v) for v in a.tolist()], dtype=dt)
+                else:
+                    a = a.astype(dt)
+                cols.append(a)
+        except Exception:
+            return None
+        head = encode_header(ns.storage, ns.dtype, (n_values,))
+        data = np.ascontiguousarray(np.stack(cols, axis=1)).tobytes()
+        step = n_values * dt.itemsize
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            out[i] = head + data[i * step:(i + 1) * step]
+        return out
+
+    return kernel
+
+
+def attach_vector_kernels() -> list[str]:
+    """Attach batch kernels to every schema's ``Item_N``/``Vector_N``.
+
+    :class:`~repro.engine.executor.ScalarUdf` discovers the kernels via
+    the callables' ``vectorized`` attribute, so SQL queries using these
+    functions run columnar under the vector engine.  Returns the schema
+    names touched.  Idempotent.
+    """
+    attached = []
+    for ns in NAMESPACES.values():
+        for n in range(1, MAX_INDEX_N + 1):
+            getattr(ns, f"Item_{n}").vectorized = _item_kernel(ns, n)
+        for n in range(1, MAX_VECTOR_N + 1):
+            getattr(ns, f"Vector_{n}").vectorized = _vector_kernel(ns, n)
+        attached.append(ns.name)
+    return attached
+
+
 def attach_math_functions() -> list[str]:
     """Attach the math UDFs to every floating and complex schema.
 
@@ -149,3 +273,4 @@ def attach_math_functions() -> list[str]:
 # The schemas ship with the math layer attached, like the paper's
 # library deploys its LAPACK/FFTW wrappers with the array assembly.
 attach_math_functions()
+attach_vector_kernels()

@@ -1,0 +1,208 @@
+"""Unit tests for the vectorized scan path: columnar batch decoding,
+batched buffer-pool accounting, and bulk loading.
+
+The end-to-end row-vs-vector equivalence lives in ``test_parity.py``;
+this file exercises the building blocks directly.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database, DuplicateKeyError
+from repro.engine.table import MaxBlobHandle
+from repro.engine.vectorized import DEFAULT_BATCH_PAGES
+from repro.tsql import FloatArray
+
+
+def make_table(db, rows, *, nulls=True, with_max=True, seed=0,
+               name="t"):
+    """A table covering every column family: fixed-width numerics,
+    short varbinary, and (optionally) varbinary_max with a mix of
+    inline and out-of-page blobs."""
+    cols = [Column("id", "bigint"), Column("a", "float"),
+            Column("b", "int"), Column("s", "varbinary", cap=64)]
+    if with_max:
+        cols.append(Column("m", "varbinary_max"))
+    table = db.create_table(name, cols)
+    rng = random.Random(seed)
+
+    def maybe_null(value):
+        return None if nulls and rng.random() < 0.12 else value
+
+    data = []
+    for i in range(rows):
+        row = [i,
+               maybe_null(rng.uniform(-10.0, 10.0)),
+               maybe_null(rng.randrange(-1000, 1000)),
+               maybe_null(rng.randbytes(rng.randrange(0, 20)))]
+        if with_max:
+            if rng.random() < 0.25:
+                blob = rng.randbytes(9000)  # forced out of page
+            else:
+                blob = FloatArray.Vector_5(
+                    *[rng.random() for _ in range(5)])
+            row.append(maybe_null(blob))
+        data.append(tuple(row))
+    table.insert_many(data)
+    return table, data
+
+
+class TestScanBatches:
+    def test_batches_reproduce_the_row_scan(self):
+        db = Database()
+        table, _data = make_table(db, 700)
+        expected = list(table.scan())
+        got = [row for batch in table.scan_batches()
+               for row in batch.rows()]
+        assert got == expected
+
+    def test_batch_sizes_respect_the_page_budget(self):
+        db = Database()
+        table, data = make_table(db, 700, with_max=False)
+        batches = list(table.scan_batches(batch_pages=2))
+        assert len(batches) > 1
+        assert sum(b.n for b in batches) == len(data)
+
+    def test_column_decode_matches_tuples(self):
+        db = Database()
+        table, data = make_table(db, 500)
+        seen = 0
+        for batch in table.scan_batches():
+            for idx, name in enumerate(["id", "a", "b", "s", "m"]):
+                values, mask = batch.column(name)
+                for lane in range(batch.n):
+                    expected = data[seen + lane][idx]
+                    if mask is not None and mask[lane]:
+                        assert expected is None
+                    else:
+                        got = values[lane]
+                        if isinstance(got, np.generic):
+                            got = got.item()
+                        elif isinstance(got, MaxBlobHandle):
+                            # Out-of-page cells decode to handles, by
+                            # design; materialize to compare.
+                            got = got.read_all(db.pool)
+                        assert got == expected
+            seen += batch.n
+        assert seen == len(data)
+
+    def test_nullfree_fixed_column_has_no_mask(self):
+        db = Database()
+        table, data = make_table(db, 200, nulls=False, with_max=False)
+        for batch in table.scan_batches():
+            values, mask = batch.column("a")
+            assert mask is None
+            assert values.dtype == np.dtype("<f8")
+
+    def test_compact_filters_rows_and_cached_columns(self):
+        db = Database()
+        table, data = make_table(db, 300, with_max=False)
+        batch = next(iter(table.scan_batches()))
+        batch.column("a")  # prime the column cache
+        keep = np.arange(batch.n) % 3 == 0
+        small = batch.compact(keep)
+        assert small.n == int(keep.sum())
+        expected = [row for row, k in zip(batch.rows(), keep) if k]
+        assert small.rows() == expected
+        values, mask = small.column("a")
+        assert len(values) == small.n
+
+
+class TestFetchMany:
+    def _leaf_page_ids(self, table):
+        return [page.page_id
+                for run in table._tree.scan_leaf_batches()
+                for page in run]
+
+    def test_cold_accounting_matches_per_page_fetches(self):
+        db = Database()
+        table, _data = make_table(db, 800, with_max=False)
+        ids = self._leaf_page_ids(table)
+        pool = db.pool
+
+        pool.clear()
+        before = pool.snapshot_counters()
+        one_by_one = [pool.fetch(i) for i in ids]
+        per_page = pool.snapshot_counters().delta_since(before)
+
+        pool.clear()
+        before = pool.snapshot_counters()
+        batched = pool.fetch_many(ids)
+        many = pool.snapshot_counters().delta_since(before)
+
+        assert many == per_page
+        assert many.physical_reads == len(ids)
+        assert [p.page_id for p in batched] == \
+            [p.page_id for p in one_by_one]
+
+    def test_warm_fetch_many_counts_logical_reads_only(self):
+        db = Database()
+        table, _data = make_table(db, 300, with_max=False)
+        ids = self._leaf_page_ids(table)
+        pool = db.pool
+        pool.fetch_many(ids)  # warm the cache
+        before = pool.snapshot_counters()
+        pool.fetch_many(ids)
+        delta = pool.snapshot_counters().delta_since(before)
+        assert delta.logical_reads == len(ids)
+        assert delta.physical_reads == 0
+
+
+class TestInsertMany:
+    def test_bulk_load_layout_matches_incremental_inserts(self):
+        db_bulk, db_one = Database(), Database()
+        t_bulk, data = make_table(db_bulk, 900, name="t")
+        t_one = db_one.create_table(
+            "t", [Column(c.name, c.type, cap=c.cap)
+                  for c in t_bulk.columns])
+        for row in data:
+            t_one.insert(row)
+        s_bulk, s_one = t_bulk.page_fill_stats(), t_one.page_fill_stats()
+        assert s_bulk == s_one
+        rows_bulk = [r[:4] for r in t_bulk.scan()]
+        rows_one = [r[:4] for r in t_one.scan()]
+        assert rows_bulk == rows_one
+
+    def test_bulk_load_backfills_secondary_indexes(self):
+        db = Database()
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("a", "float")])
+        table.create_index("a")
+        table.insert_many([(i, float(i % 7)) for i in range(200)])
+        index = table._indexes["a"]
+        assert sorted(index.seek(3.0)) == \
+            [i for i in range(200) if i % 7 == 3]
+
+    def test_non_ascending_keys_fall_back_to_per_row_inserts(self):
+        db = Database()
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("a", "float")])
+        rows = [(i, float(i)) for i in range(100)]
+        random.Random(3).shuffle(rows)
+        assert table.insert_many(rows) == 100
+        assert [r[0] for r in table.scan()] == list(range(100))
+
+    def test_duplicate_keys_raise_like_insert(self):
+        db = Database()
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("a", "float")])
+        with pytest.raises(DuplicateKeyError):
+            table.insert_many([(1, 1.0), (2, 2.0), (2, 3.0)])
+
+    def test_insert_many_into_nonempty_table(self):
+        db = Database()
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("a", "float")])
+        table.insert((0, 0.0))
+        assert table.insert_many([(i, float(i)) for i in range(1, 50)]) \
+            == 49
+        assert len(list(table.scan())) == 50
+
+    def test_empty_iterable_is_a_noop(self):
+        db = Database()
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("a", "float")])
+        assert table.insert_many([]) == 0
+        assert list(table.scan()) == []

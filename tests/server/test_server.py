@@ -436,3 +436,54 @@ class TestFaultInjection:
         # The server must keep answering others.
         with ArrayClient("127.0.0.1", server.port) as c:
             c.ping()
+
+
+class TestEngineToggle:
+    """Served queries run on the vectorized engine by default; the
+    per-query ``engine`` frame key toggles the row path end to end."""
+
+    SQL = "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)"
+
+    def test_default_path_is_vectorized(self, client):
+        result = client.query(self.SQL)
+        assert result.metrics["engine"] == "vector"
+        assert result.metrics["udf_calls"] == ROWS
+
+    def test_row_toggle_round_trips(self, client):
+        vec = client.query(self.SQL, engine="vector")
+        row = client.query(self.SQL, engine="row")
+        assert row.metrics["engine"] == "row"
+        assert vec.metrics["engine"] == "vector"
+        # Bit-identical values and identical IO accounting.
+        assert struct.pack("<d", row.scalar()) == \
+            struct.pack("<d", vec.scalar())
+        for key in ("rows", "io_bytes", "physical_reads",
+                    "sequential_reads", "random_reads", "stream_calls",
+                    "udf_calls"):
+            assert row.metrics[key] == vec.metrics[key], key
+
+    def test_bad_engine_value_is_a_bad_frame(self, client):
+        with pytest.raises(ServerError) as caught:
+            client.query(self.SQL, engine="columnar")
+        assert caught.value.code == protocol.BAD_FRAME
+        client.ping()  # connection survives
+
+    def test_stats_count_queries_per_engine(self, client):
+        before = client.stats()["engine_queries"]
+        client.query(self.SQL)
+        client.query(self.SQL, engine="row")
+        after = client.stats()["engine_queries"]
+        assert after.get("vector", 0) - before.get("vector", 0) >= 1
+        assert after.get("row", 0) - before.get("row", 0) == 1
+
+    def test_async_client_engine_param(self, server):
+        async def go():
+            client = await AsyncArrayClient.connect(
+                "127.0.0.1", server.port)
+            try:
+                row = await client.query(self.SQL, engine="row")
+                vec = await client.query(self.SQL)
+                return row.metrics["engine"], vec.metrics["engine"]
+            finally:
+                await client.close()
+        assert asyncio.run(go()) == ("row", "vector")
