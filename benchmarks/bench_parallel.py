@@ -1,0 +1,113 @@
+"""Benchmark: the morsel-driven parallel engine vs worker count.
+
+Times the two shapes the parallel engine was built for — the
+``SUM(Item_1(v, 0))`` full-table scan and a GROUP BY aggregate — on
+the vector engine and on ``engine="parallel"`` at 1, 2 and 4 workers,
+asserting bit-identical values throughout.  ``parallel_speedups`` is
+what ``collect_results.py`` records into ``results.json``.
+
+The ≥1.8x speedup assertion only runs on hosts with at least four
+cores: on a one-CPU container the workers time-slice one core and the
+honest measurement is a slowdown (process-pool overhead with no
+parallel hardware underneath).
+"""
+
+import os
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database
+from repro.engine.sqlfront import SqlSession
+from repro.tsql import FloatArray
+
+#: Rows loaded into the benchmark table.
+ROWS = int(os.environ.get("REPRO_BENCH_PARALLEL_ROWS", "20000"))
+
+WORKER_COUNTS = (1, 2, 4)
+
+SCAN_SQL = "SELECT SUM(FloatArray.Item_1(v, 0)), COUNT(*) FROM tp"
+GROUP_SQL = ("SELECT k, SUM(FloatArray.Item_1(v, 1)), COUNT(*) "
+             "FROM tp GROUP BY k")
+
+
+def build_session(rows: int = ROWS) -> SqlSession:
+    db = Database()
+    table = db.create_table(
+        "tp", [Column("id", "bigint"), Column("k", "int"),
+               Column("v", "varbinary", cap=100)])
+    values = np.random.default_rng(1).standard_normal((rows, 5))
+    table.insert_many(
+        (i, i % 8, FloatArray.Vector_5(*values[i]))
+        for i in range(rows))
+    return SqlSession(db)
+
+
+def _bits(value):
+    if isinstance(value, float):
+        return ("f", struct.pack("<d", value))
+    if isinstance(value, (tuple, list)):
+        return tuple(_bits(v) for v in value)
+    return value
+
+
+def _run(session, sql, engine, workers=None):
+    t0 = time.perf_counter()
+    values, metrics = session.query(sql, engine=engine, workers=workers)
+    return time.perf_counter() - t0, values, metrics
+
+
+def _best(session, sql, engine, workers=None, repeats=3):
+    timings = []
+    values = None
+    for _ in range(repeats):
+        t, values, _m = _run(session, sql, engine, workers)
+        timings.append(t)
+    return min(timings), values
+
+
+def parallel_speedups(session, worker_counts=WORKER_COUNTS) -> dict:
+    """Vector/parallel wall-time ratios per worker count (>1 means the
+    parallel engine wins), with bit-identical values asserted.  Used by
+    ``collect_results.py``."""
+    out = {}
+    for label, sql in (("item_scan", SCAN_SQL),
+                       ("group_by", GROUP_SQL)):
+        t_vec, ref = _best(session, sql, "vector")
+        per_workers = {}
+        for workers in worker_counts:
+            t_par, vals = _best(session, sql, "parallel", workers)
+            assert _bits(vals) == _bits(ref), (label, workers)
+            per_workers[str(workers)] = t_vec / max(t_par, 1e-9)
+        out[label] = per_workers
+    return out
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = build_session()
+    yield s
+    pool = getattr(s.db, "_worker_pool", None)
+    if pool is not None:
+        pool.shutdown()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("sql", [SCAN_SQL, GROUP_SQL])
+def test_parallel_matches_vector(session, sql, workers):
+    """Single pass (CI smoke): identical values, honest engine tag."""
+    _t, ref, _m = _run(session, sql, "vector")
+    _t, vals, m = _run(session, sql, "parallel", workers)
+    assert _bits(vals) == _bits(ref)
+    assert m.engine == "parallel"
+    assert m.workers == workers
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs >= 4 physical cores")
+def test_item_scan_speedup_at_least_1_8x_at_4_workers(session):
+    """The acceptance bar, on real parallel hardware only."""
+    speedups = parallel_speedups(session)
+    assert speedups["item_scan"]["4"] >= 1.8, speedups

@@ -13,6 +13,7 @@ script).
 """
 
 import json
+import os
 import pathlib
 import sys
 import time
@@ -71,6 +72,27 @@ def vectorized_block(rows: int) -> dict:
     for label, ratio in speedups.items():
         print(f"  {label}: vector is {ratio:4.1f}x faster "
               f"(identical values and IO accounting)")
+    return speedups
+
+
+def parallel_block(rows: int) -> dict:
+    print("=" * 70)
+    print("Parallel engine: vector vs parallel wall time by workers")
+    print("=" * 70)
+    from bench_parallel import build_session, parallel_speedups
+    session = build_session(rows)
+    speedups = parallel_speedups(session)
+    for label, per_workers in speedups.items():
+        line = ", ".join(f"{w} workers: {ratio:4.2f}x"
+                         for w, ratio in per_workers.items())
+        print(f"  {label}: {line}")
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        print(f"  (host has {cores} core(s); ratios above are honest "
+              "overhead numbers, not parallel wins)")
+    pool = getattr(session.db, "_worker_pool", None)
+    if pool is not None:
+        pool.shutdown()
     return speedups
 
 
@@ -173,6 +195,7 @@ def main(rows: int = 20_000, json_out: str | None = None) -> None:
     results = {"rows": rows, "paper_rows": PAPER_ROWS}
     results["table1_projected"] = table1_block(rows)
     results["vector_speedup"] = vectorized_block(rows)
+    results["parallel_speedup"] = parallel_block(rows)
     partial_reads_block()
     concat_block()
     turbulence_block()

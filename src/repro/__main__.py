@@ -87,6 +87,11 @@ def _cmd_serve(args: list[str]) -> int:
                         help="admission queue depth beyond the workers")
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="per-query timeout in seconds")
+    parser.add_argument("--engine-workers", type=int, default=None,
+                        metavar="N",
+                        help="default process count for queries run "
+                             "with engine=parallel (distinct from "
+                             "--workers, the query thread pool)")
     opts = parser.parse_args(args)
 
     import asyncio
@@ -98,15 +103,18 @@ def _cmd_serve(args: list[str]) -> int:
     config = ServerConfig(host=opts.host, port=opts.port,
                           max_workers=opts.workers,
                           queue_limit=opts.queue,
-                          query_timeout=opts.timeout)
+                          query_timeout=opts.timeout,
+                          engine_workers=opts.engine_workers)
     server = ArrayServer(db, config)
 
     async def _serve():
         await server.start()
+        engine_workers = (f", engine-workers={opts.engine_workers}"
+                          if opts.engine_workers else "")
         print(f"repro-array-server listening on "
               f"{opts.host}:{server.port} "
               f"(workers={opts.workers}, queue={opts.queue}, "
-              f"timeout={opts.timeout:g}s)")
+              f"timeout={opts.timeout:g}s{engine_workers})")
         await server.serve_forever()
 
     try:

@@ -200,6 +200,24 @@ class BTree:
             page = get(page.next_page)
             slot = 0
 
+    def charge_scan_descent(self, pool: BufferPool) -> list[int]:
+        """Charge the root-to-first-leaf descent exactly as a scan
+        would, returning the page ids touched in order.
+
+        The parallel engine's coordinator performs this descent itself
+        (workers receive explicit leaf page ids and never descend), so
+        the combined coordinator + worker accounting reproduces a
+        serial scan's page touches exactly.
+        """
+        touched = []
+        page = pool.fetch(self._root_id)
+        touched.append(page.page_id)
+        while page.level > 0:
+            _sep, child = _child_fields(page.get_record(0))
+            page = pool.fetch(child)
+            touched.append(page.page_id)
+        return touched
+
     def scan_leaf_batches(self, pool: BufferPool | None = None,
                           start: int | None = None,
                           batch_pages: int = 64) -> Iterator[list[Page]]:

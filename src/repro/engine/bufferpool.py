@@ -108,8 +108,46 @@ class BufferPool:
         self._cached: OrderedDict[int, None] = OrderedDict()
         self.counters = IoCounters()
         self._last_physical: int | None = None
+        self._physical_log: list[int] | None = None
         self._lock = threading.RLock()
         self._thread = threading.local()
+
+    def __getstate__(self):
+        """Pickle everything but the locks, cache contents and
+        accounting state (used by :meth:`Database.save` snapshots).
+        The unpickled pool starts *cold* — empty cache, zero counters
+        — so a worker process opening a snapshot charges its reads
+        exactly like a freshly started server would."""
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_thread"] = None
+        state["_physical_log"] = None
+        state["_cached"] = OrderedDict()
+        state["counters"] = IoCounters()
+        state["_last_physical"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._thread = threading.local()
+
+    def start_physical_log(self) -> None:
+        """Begin recording the ordered page ids of physical reads.
+
+        The parallel engine uses this to replay a worker's physical
+        accesses on the coordinator in morsel order, so the global
+        sequential/random classification comes out identical to a
+        serial scan regardless of how workers interleaved in time.
+        """
+        with self._lock:
+            self._physical_log = []
+
+    def take_physical_log(self) -> list[int]:
+        """Stop recording and return the ordered physical-read log."""
+        with self._lock:
+            log, self._physical_log = self._physical_log, None
+            return log if log is not None else []
 
     def _thread_state(self) -> "_ThreadIoState":
         state = getattr(self._thread, "state", None)
@@ -151,6 +189,8 @@ class BufferPool:
             else:
                 mine.counters.random_reads += 1
             mine.last_physical = page_id
+            if self._physical_log is not None:
+                self._physical_log.append(page_id)
             self._cached[page_id] = None
             if self._capacity is not None and \
                     len(self._cached) > self._capacity:

@@ -22,6 +22,8 @@ Example::
 from __future__ import annotations
 
 import operator
+import os
+import pickle
 import threading
 import time
 from dataclasses import dataclass
@@ -67,6 +69,10 @@ class Database:
     catalog dict so two concurrent CREATEs cannot race.
     """
 
+    #: True on databases opened as read-only snapshots (parallel
+    #: workers re-open the coordinator's snapshot this way).
+    read_only = False
+
     def __init__(self, buffer_pages: int | None = None):
         self.pagefile = PageFile()
         self.blob_store = BlobStore(self.pagefile)
@@ -75,8 +81,60 @@ class Database:
         self.lock = RWLock()
         self._catalog_lock = threading.Lock()
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Locks and the parallel worker pool are process-local.
+        state["lock"] = None
+        state["_catalog_lock"] = None
+        state.pop("_worker_pool", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.lock = RWLock()
+        self._catalog_lock = threading.Lock()
+
+    @property
+    def write_version(self) -> int:
+        """Monotonic write counter: bumps on every DDL/DML operation.
+
+        The parallel engine compares this against the version its
+        worker snapshot was taken at, and re-snapshots when stale.
+        """
+        return len(self.tables) + sum(
+            t.mutations for t in self.tables.values())
+
+    def save(self, path: str) -> None:
+        """Snapshot the whole database (pages, blobs, catalog) to a
+        file.  The snapshot is a pickle of this object minus its
+        process-local state (locks, worker pools, cached pages travel
+        but thread-local IO counters do not)."""
+        with open(path, "wb") as f:
+            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def open(cls, path: str, read_only: bool = False) -> "Database":
+        """Re-open a database snapshot written by :meth:`save`.
+
+        With ``read_only=True`` every mutator (``create_table`` and
+        the table insert/update/delete paths) refuses to run — the
+        mode parallel workers use, so a worker bug can never fork the
+        snapshot's contents away from the coordinator's."""
+        with open(path, "rb") as f:
+            db = pickle.load(f)
+        if not isinstance(db, Database):
+            raise TypeError(f"{path!r} is not a Database snapshot")
+        if read_only:
+            db.read_only = True
+            for table in db.tables.values():
+                table._read_only = True
+        return db
+
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         """Create and register a clustered table."""
+        if self.read_only:
+            raise PermissionError(
+                "cannot create tables in a read-only database snapshot")
         with self._catalog_lock:
             if name in self.tables:
                 raise ValueError(f"table {name!r} already exists")
@@ -259,6 +317,20 @@ class ScalarUdf(Expression):
         self.vectorized = (vectorized if vectorized is not None
                            else getattr(func, "vectorized", None))
 
+    def __getstate__(self):
+        """Batch kernels are closures over decode machinery and do not
+        pickle; drop the kernel and let the receiving process re-derive
+        it from its own copy of ``func`` (the ``repro.tsql`` functions
+        re-attach kernels at import time)."""
+        state = self.__dict__.copy()
+        state["vectorized"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.vectorized is None:
+            self.vectorized = getattr(self.func, "vectorized", None)
+
     def columns(self) -> set[str]:
         out: set[str] = set()
         for a in self.args:
@@ -310,10 +382,24 @@ class Aggregate:
 
     Subclasses implement the row-at-a-time protocol (:meth:`start`,
     :meth:`step`, :meth:`finish`).  The built-ins additionally provide
-    :meth:`step_value` (advance on one already-evaluated value, used by
-    the vectorized grouped path) and :meth:`step_batch` (advance over
-    the whole current batch).  Custom aggregates may omit both — the
-    vector engine then steps them per row over materialized tuples.
+    :meth:`step_value` (advance on one already-evaluated value),
+    :meth:`step_values` (advance over a list of already-evaluated
+    values in row order — the vectorized grouped path's per-group
+    form), and :meth:`step_batch` (advance over the whole current
+    batch).  Custom aggregates may omit all three — the vector engine
+    then steps them per row over materialized tuples.
+
+    The built-ins also implement the *mergeable-state* protocol the
+    parallel engine requires: :meth:`partial_start` /
+    :meth:`partial_step_values` accumulate a morsel-local partial
+    state on a worker, and :meth:`merge` folds a shipped partial into
+    the coordinator's running state.  Partials deliberately stay
+    *unreduced* (ordered value lists, not folded scalars) so the
+    coordinator can replay the exact left-fold the serial engines use
+    — merging in morsel order then yields bit-identical float SUM/AVG
+    (and NaN-faithful MIN/MAX) no matter how many workers ran.
+    Custom aggregates without :meth:`merge` make a query fall back to
+    the serial vector engine rather than risk a different answer.
     """
 
     expr: Expression | None = None
@@ -348,8 +434,20 @@ class Count(Aggregate):
     def step_value(self, state, value):
         return state + 1
 
+    def step_values(self, state, values):
+        return state + len(values)
+
     def step_batch(self, state, ctx: "vectorized.BatchContext"):
         return state + ctx.batch.n
+
+    def partial_start(self):
+        return 0
+
+    def partial_step_values(self, partial, values):
+        return partial + len(values)
+
+    def merge(self, state, partial):
+        return state + partial
 
 
 class Sum(Aggregate):
@@ -375,12 +473,26 @@ class Sum(Aggregate):
             return state
         return value if state is None else state + value
 
+    def step_values(self, state, values):
+        return vectorized.fold(
+            operator.add, state, (v for v in values if v is not None))
+
     def step_batch(self, state, ctx: "vectorized.BatchContext"):
         values, mask = vectorized.eval_node(self.expr, ctx)
         vals = vectorized.nonnull_values(values, mask, ctx.batch.n)
         # Left fold, not np.sum: pairwise summation would round floats
         # differently than the row engine's sequential accumulation.
         return vectorized.fold(operator.add, state, vals)
+
+    def partial_start(self):
+        return []
+
+    def partial_step_values(self, partial, values):
+        partial.extend(v for v in values if v is not None)
+        return partial
+
+    def merge(self, state, partial):
+        return vectorized.fold(operator.add, state, partial)
 
 
 class Avg(Sum):
@@ -405,11 +517,21 @@ class Avg(Sum):
         total, n = state
         return (value if total is None else total + value), n + 1
 
+    def step_values(self, state, values):
+        total, n = state
+        vals = [v for v in values if v is not None]
+        return vectorized.fold(operator.add, total, vals), n + len(vals)
+
     def step_batch(self, state, ctx: "vectorized.BatchContext"):
         total, n = state
         values, mask = vectorized.eval_node(self.expr, ctx)
         vals = vectorized.nonnull_values(values, mask, ctx.batch.n)
         return vectorized.fold(operator.add, total, vals), n + len(vals)
+
+    def merge(self, state, partial):
+        total, n = state
+        return (vectorized.fold(operator.add, total, partial),
+                n + len(partial))
 
     def finish(self, state, rows):
         total, n = state
@@ -439,10 +561,28 @@ class Min(Aggregate):
             return state
         return value if state is None else min(state, value)
 
+    def step_values(self, state, values):
+        return vectorized.fold(
+            min, state, (v for v in values if v is not None))
+
     def step_batch(self, state, ctx: "vectorized.BatchContext"):
         values, mask = vectorized.eval_node(self.expr, ctx)
         vals = vectorized.nonnull_values(values, mask, ctx.batch.n)
         return vectorized.fold(min, state, vals)
+
+    def partial_start(self):
+        return []
+
+    def partial_step_values(self, partial, values):
+        # Ship the full non-NULL value list, not a morsel-local
+        # min/max: Python's min/max keep the *first* operand on
+        # incomparable (NaN) pairs, which is order-dependent, so only
+        # a full replay of the left fold is bit-identical.
+        partial.extend(v for v in values if v is not None)
+        return partial
+
+    def merge(self, state, partial):
+        return vectorized.fold(min, state, partial)
 
 
 class Max(Min):
@@ -459,10 +599,31 @@ class Max(Min):
             return state
         return value if state is None else max(state, value)
 
+    def step_values(self, state, values):
+        return vectorized.fold(
+            max, state, (v for v in values if v is not None))
+
     def step_batch(self, state, ctx: "vectorized.BatchContext"):
         values, mask = vectorized.eval_node(self.expr, ctx)
         vals = vectorized.nonnull_values(values, mask, ctx.batch.n)
         return vectorized.fold(max, state, vals)
+
+    def merge(self, state, partial):
+        return vectorized.fold(max, state, partial)
+
+
+def _env_default_engine() -> str:
+    value = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    return value if value in ("row", "vector", "parallel") else "vector"
+
+
+def _env_default_workers() -> int | None:
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        workers = int(raw)
+    except ValueError:
+        return None
+    return workers if workers > 0 else None
 
 
 class Executor:
@@ -479,9 +640,16 @@ class Executor:
     """
 
     #: Execution path used when a call does not pass ``engine=``:
-    #: ``"vector"`` (columnar batches, the default) or ``"row"``.
-    #: Results, NULL handling and IO accounting are identical on both.
-    default_engine = "vector"
+    #: ``"vector"`` (columnar batches, the default), ``"row"``, or
+    #: ``"parallel"`` (morsel-driven multi-process).  Results, NULL
+    #: handling and cold-run IO accounting are identical on all three.
+    #: Overridable per process with ``REPRO_ENGINE``.
+    default_engine = _env_default_engine()
+
+    #: Worker-process count used when a parallel call does not pass
+    #: ``workers=``; ``None`` means "pick from the machine" (CPU count
+    #: capped at 8).  Overridable with ``REPRO_WORKERS``.
+    default_workers = _env_default_workers()
 
     def __init__(self, db: Database, model: CostModel = PAPER_HARDWARE):
         self.db = db
@@ -489,15 +657,59 @@ class Executor:
 
     def _resolve_engine(self, engine: str | None) -> str:
         engine = engine if engine is not None else self.default_engine
-        if engine not in ("row", "vector"):
+        if engine not in ("row", "vector", "parallel"):
             raise ValueError(
-                f"engine must be 'row' or 'vector', got {engine!r}")
+                f"engine must be 'row', 'vector' or 'parallel', "
+                f"got {engine!r}")
         return engine
+
+    def _resolve_workers(self, workers: int | None) -> int:
+        workers = (workers if workers is not None
+                   else self.default_workers)
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    def _parallel_metrics(self, res, label: str, decode_cost: float,
+                          step_cost: float, extra_cpu: float
+                          ) -> QueryMetrics:
+        """Build QueryMetrics from a merged parallel-scan result.
+
+        The IO counters were replayed in morsel order on the
+        coordinator, so on a cold run they are identical to what a
+        serial scan would have charged; the CPU formula is the same
+        one the serial paths use.
+        """
+        model = self.model
+        io = res.io
+        cpu = (res.rows * (model.cpu_row_base + decode_cost + step_cost)
+               + res.payload_bytes * model.cpu_per_record_byte
+               + res.stream_calls * model.cpu_stream_call
+               + res.stream_bytes * model.cpu_stream_byte
+               + extra_cpu)
+        io_seq, io_random = model.io_seconds_split(io)
+        return QueryMetrics(
+            label=label, rows=res.rows, io_bytes=io.physical_bytes,
+            physical_reads=io.physical_reads,
+            sequential_reads=io.sequential_reads,
+            random_reads=io.random_reads,
+            stream_calls=res.stream_calls, udf_calls=res.udf_calls,
+            sim_io_seconds=io_seq + io_random,
+            sim_io_seq_seconds=io_seq,
+            sim_io_random_seconds=io_random,
+            sim_cpu_core_seconds=cpu,
+            sim_exec_seconds=model.exec_seconds(io_seq + io_random, cpu),
+            cores=model.cores, wall_seconds=res.wall,
+            engine="parallel", workers=res.workers)
 
     def run_grouped(self, table: Table, group_expr: "Expression",
                     aggregates: Sequence[Aggregate],
                     where: "Expression | None" = None, cold: bool = True,
-                    label: str = "", engine: str | None = None
+                    label: str = "", engine: str | None = None,
+                    workers: int | None = None
                     ) -> tuple[list[tuple], QueryMetrics]:
         """Execute ``SELECT group, aggs FROM table GROUP BY group``.
 
@@ -513,9 +725,6 @@ class Executor:
         engine = self._resolve_engine(engine)
         model = self.model
         pool = self.db.pool
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
 
         decode_cost = group_expr.static_cpu_cost(table, model)
         seen = set(group_expr.columns())
@@ -528,6 +737,27 @@ class Executor:
         # Hash probe per row on top of the aggregate steps.
         step_cost = sum(a.step_cost(model) for a in aggregates) \
             + model.cpu_count_step
+
+        if engine == "parallel":
+            from . import parallel
+            res = parallel.run_parallel_grouped(
+                self.db, table, group_expr, aggregates, where, cold,
+                self._resolve_workers(workers))
+            if res is None:
+                engine = "vector"  # honest fallback
+            else:
+                result = [
+                    (group, *(a.finish(s, res.rows)
+                              for a, s in zip(aggregates, states)))
+                    for group, states in sorted(
+                        res.groups.items(),
+                        key=lambda kv: (kv[0] is None, kv[0]))]
+                return result, self._parallel_metrics(
+                    res, label, decode_cost, step_cost, 0.0)
+
+        if cold:
+            pool.clear()
+        before = pool.snapshot_thread_counters()
 
         if engine == "vector":
             ctx = vectorized.BatchContext(table, pool)
@@ -586,7 +816,7 @@ class Executor:
     def run_index(self, table: Table, column: str,
                   aggregates: Sequence[Aggregate], equals=None,
                   lo=None, hi=None, cold: bool = True, label: str = "",
-                  engine: str | None = None
+                  engine: str | None = None, workers: int | None = None
                   ) -> tuple[tuple, QueryMetrics]:
         """Execute aggregates over rows found through a secondary
         index: an index seek / range scan plus one clustered key lookup
@@ -657,7 +887,8 @@ class Executor:
 
     def run_point(self, table: Table, key: int,
                   aggregates: Sequence[Aggregate], cold: bool = True,
-                  label: str = "", engine: str | None = None
+                  label: str = "", engine: str | None = None,
+                  workers: int | None = None
                   ) -> tuple[tuple, QueryMetrics]:
         """Execute aggregates over the single row with the given
         primary key — a clustered index *seek* instead of a scan.
@@ -716,7 +947,8 @@ class Executor:
 
     def run(self, table: Table, aggregates: Sequence[Aggregate],
             where: Expression | None = None, cold: bool = True,
-            label: str = "", engine: str | None = None
+            label: str = "", engine: str | None = None,
+            workers: int | None = None
             ) -> tuple[tuple, QueryMetrics]:
         """Execute ``SELECT aggs FROM table [WHERE where]``.
 
@@ -728,10 +960,17 @@ class Executor:
                 evaluates falsy are skipped after being scanned).
             cold: Clear the buffer pool first, like the paper's runs.
             label: Name recorded in the metrics.
-            engine: ``"row"`` or ``"vector"``; ``None`` uses
-                :attr:`default_engine`.  Both produce bit-identical
-                results and identical IO accounting; vector is much
-                faster in wall-clock terms.
+            engine: ``"row"``, ``"vector"`` or ``"parallel"``; ``None``
+                uses :attr:`default_engine`.  All produce bit-identical
+                results; cold-run IO accounting is identical too.  A
+                parallel request that cannot parallelize safely (an
+                unpicklable plan, a UDF registered
+                ``parallel_safe=False``, a custom aggregate without
+                ``merge``) honestly falls back to the serial vector
+                path and reports ``engine="vector"``.
+            workers: Worker-process count for ``engine="parallel"``
+                (``None`` uses :attr:`default_workers`); ignored by
+                the serial engines.
 
         Returns:
             ``(values, metrics)``.
@@ -739,9 +978,6 @@ class Executor:
         engine = self._resolve_engine(engine)
         model = self.model
         pool = self.db.pool
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
 
         # Per-row static CPU: scan base + referenced-column decodes +
         # aggregate steps (+ predicate).  UDF calls inside expressions
@@ -756,6 +992,23 @@ class Executor:
             decode_cost += expr.static_cpu_cost(table, model)
             seen |= expr.columns()
         step_cost = sum(a.step_cost(model) for a in aggregates)
+
+        if engine == "parallel":
+            from . import parallel
+            res = parallel.run_parallel_scan(
+                self.db, table, aggregates, where, cold,
+                self._resolve_workers(workers))
+            if res is None:
+                engine = "vector"  # honest fallback
+            else:
+                values = tuple(a.finish(s, res.rows)
+                               for a, s in zip(aggregates, res.states))
+                return values, self._parallel_metrics(
+                    res, label, decode_cost, step_cost, res.extra_cpu)
+
+        if cold:
+            pool.clear()
+        before = pool.snapshot_thread_counters()
 
         if engine == "vector":
             ctx = vectorized.BatchContext(table, pool)

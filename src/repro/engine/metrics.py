@@ -52,9 +52,13 @@ class QueryMetrics:
     cores: int = 8
     wall_seconds: float = 0.0
     #: Which execution path produced the result: ``"row"`` (tuple at a
-    #: time) or ``"vector"`` (columnar batches).  Purely diagnostic —
-    #: both paths return identical results and IO counters.
+    #: time), ``"vector"`` (columnar batches) or ``"parallel"``
+    #: (morsel-driven multi-process).  Purely diagnostic — all paths
+    #: return identical results and cold-run IO counters.
     engine: str = "row"
+    #: Worker processes used by the parallel engine (0 for the serial
+    #: engines).
+    workers: int = 0
 
     @property
     def cpu_percent(self) -> float:
@@ -99,6 +103,7 @@ class QueryMetrics:
             "cores": self.cores,
             "wall_seconds": self.wall_seconds,
             "engine": self.engine,
+            "workers": self.workers,
             # Derived Table 1 columns.
             "cpu_percent": self.cpu_percent,
             "io_mb_per_s": self.io_mb_per_s,
@@ -155,6 +160,7 @@ class QueryMetrics:
             cores=self.cores,
             wall_seconds=self.wall_seconds,
             engine=self.engine,
+            workers=self.workers,
         )
 
 

@@ -210,6 +210,21 @@ class _EvalContext:
         self.extra_cpu = 0.0
 
 
+def _empty_function(*args):
+    """The paper's ``dbo.EmptyFunction``: takes anything, does
+    nothing.  Module-level so it pickles by reference into parallel
+    worker processes (which re-import this module and therefore see
+    the batch kernel attached below)."""
+    return 0.0
+
+
+def _empty_function_kernel(args):
+    return np.zeros(len(args[0])) if args else None
+
+
+_empty_function.vectorized = _empty_function_kernel
+
+
 class SqlSession:
     """Parses and executes T-SQL aggregate queries against a database.
 
@@ -224,14 +239,16 @@ class SqlSession:
         self._functions: dict[str, tuple[Callable, object]] = {}
         # The paper's cross-check UDF ships registered, with a trivial
         # batch kernel so the vector engine never falls back on it.
+        # It is a module-level function (not a lambda) so query plans
+        # that call it still pickle across the parallel engine's
+        # process boundary.
         self.register_function(
-            "dbo.EmptyFunction", lambda *args: 0.0, body_cost="empty",
-            vectorized=lambda args: (np.zeros(len(args[0]))
-                                     if args else None))
+            "dbo.EmptyFunction", _empty_function, body_cost="empty")
 
     def register_function(self, qualified_name: str, func: Callable,
                           body_cost="item",
-                          vectorized: Callable | None = None) -> None:
+                          vectorized: Callable | None = None,
+                          parallel_safe: bool = True) -> None:
         """Register a scalar UDF callable as ``Schema.Name(...)``.
 
         ``body_cost`` is the managed-body cost class charged per call
@@ -242,6 +259,13 @@ class SqlSession:
         NULLs) and returns a length-n array, or ``None`` to decline the
         batch.  It is attached to ``func`` as its ``vectorized``
         attribute, which :class:`ScalarUdf` picks up automatically.
+
+        ``parallel_safe=False`` marks a function that must not run in
+        worker processes (it closes over mutable state, talks to the
+        outside world, ...); plans calling it always fall back to the
+        serial vector engine.  Functions that are pure but simply fail
+        to pickle need no marking — the parallel engine detects that
+        and falls back on its own.
         """
         if vectorized is not None:
             try:
@@ -252,12 +276,14 @@ class SqlSession:
                 def func(*args, _f=plain):  # noqa: E306
                     return _f(*args)
                 func.vectorized = vectorized
+        if not parallel_safe:
+            func._parallel_safe = False
         self._functions[qualified_name.lower()] = (func, body_cost)
 
     # -- public API --------------------------------------------------------
 
     def execute(self, sql: str, cold: bool = True, finalize=None,
-                engine: str | None = None):
+                engine: str | None = None, workers: int | None = None):
         """Execute any supported statement.
 
         ``SELECT`` returns ``(values, metrics)`` (or ``(rows, metrics)``
@@ -266,14 +292,16 @@ class SqlSession:
         number of rows inserted.  ``finalize`` (SELECT only) is applied
         to the result while the read lock is still held — see
         :meth:`query`.  ``engine`` (SELECT only) picks the execution
-        path — ``"row"``, ``"vector"``, or ``None`` for the executor's
-        default; both produce identical results and metrics.
+        path — ``"row"``, ``"vector"``, ``"parallel"``, or ``None`` for
+        the executor's default; all produce identical results and
+        cold-run metrics.  ``workers`` sizes the parallel engine's
+        process pool (ignored by the serial engines).
         """
         tokens = _tokenize(sql)
         head = tokens[0]
         if head == ("kw", "SELECT"):
             return self.query(sql, cold=cold, finalize=finalize,
-                              engine=engine)
+                              engine=engine, workers=workers)
         if head == ("kw", "CREATE"):
             with self.db.lock.write_lock():
                 return _Ddl(self, tokens).create_table()
@@ -321,7 +349,7 @@ class SqlSession:
         return len(keys)
 
     def query(self, sql: str, cold: bool = True, finalize=None,
-              engine: str | None = None):
+              engine: str | None = None, workers: int | None = None):
         """Execute one aggregate SELECT; returns (values, metrics).
 
         A ``WHERE <pk> = <constant>`` predicate is planned as a
@@ -343,13 +371,14 @@ class SqlSession:
         not reentrant).
         """
         with self.db.lock.read_lock():
-            result = self._query_locked(sql, cold, engine)
+            result = self._query_locked(sql, cold, engine, workers)
             if finalize is not None:
                 result = finalize(result)
             return result
 
     def _query_locked(self, sql: str, cold: bool,
-                      engine: str | None = None):
+                      engine: str | None = None,
+                      workers: int | None = None):
         parser = _Parser(self, _tokenize(sql))
         table, items, where, group = parser.parse()
         label = sql.strip()
@@ -370,7 +399,7 @@ class SqlSession:
                     "GROUP BY queries need at least one aggregate")
             return self.executor.run_grouped(
                 table, group_expr, aggs, where=where, cold=cold,
-                label=label, engine=engine)
+                label=label, engine=engine, workers=workers)
         aggregates = []
         for item in items:
             if item[0] != "agg":
@@ -381,15 +410,17 @@ class SqlSession:
         if key is not None:
             return self.executor.run_point(table, key, aggregates,
                                            cold=cold, label=label,
-                                           engine=engine)
+                                           engine=engine,
+                                           workers=workers)
         plan = self._index_plan(table, where)
         if plan is not None:
             column, equals, lo, hi = plan
             return self.executor.run_index(
                 table, column, aggregates, equals=equals, lo=lo, hi=hi,
-                cold=cold, label=label, engine=engine)
+                cold=cold, label=label, engine=engine, workers=workers)
         return self.executor.run(table, aggregates, where=where,
-                                 cold=cold, label=label, engine=engine)
+                                 cold=cold, label=label, engine=engine,
+                                 workers=workers)
 
     def explain(self, sql: str) -> str:
         """Describe the plan a SELECT would use without executing it.

@@ -106,6 +106,10 @@ class Table:
             ``varbinary_max`` column).
     """
 
+    #: Set on tables of a read-only snapshot (a parallel worker's
+    #: database copy); mutators refuse to run.
+    _read_only = False
+
     def __init__(self, name: str, columns: Sequence[Column],
                  pagefile: PageFile, blob_store: BlobStore | None = None):
         if not columns:
@@ -130,6 +134,10 @@ class Table:
         self._nonkey = self.columns[1:]
         self._bitmap_bytes = (len(self._nonkey) + 7) // 8
         self._indexes: dict[str, "SecondaryIndex"] = {}
+        #: Count of completed write operations; the database's
+        #: ``write_version`` sums these so the parallel engine can tell
+        #: when its worker snapshots have gone stale.
+        self.mutations = 0
 
     # -- metadata -----------------------------------------------------------
 
@@ -293,12 +301,20 @@ class Table:
 
     # -- data access ------------------------------------------------------------
 
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise PermissionError(
+                f"table {self.name} belongs to a read-only database "
+                "snapshot")
+
     def insert(self, values: Sequence) -> None:
         """Insert one row (values in schema order, PK first)."""
+        self._check_writable()
         key = int(values[0])
         self._tree.insert(key, self._encode_row(values))
         for name, index in self._indexes.items():
             index.add(values[self.column_index(name)], key)
+        self.mutations += 1
 
     def insert_many(self, rows) -> int:
         """Insert an iterable of rows; returns how many were inserted.
@@ -310,6 +326,7 @@ class Table:
         row — same page layout, same duplicate-key semantics, far fewer
         page touches.  Any other shape falls back to per-row inserts.
         """
+        self._check_writable()
         rows = [row if isinstance(row, (tuple, list)) else tuple(row)
                 for row in rows]
         if not rows:
@@ -326,6 +343,7 @@ class Table:
                     col = self.column_index(name)
                     for key, row in zip(keys, rows):
                         index.add(row[col], key)
+                self.mutations += 1
                 return len(rows)
         for row in rows:
             self.insert(row)
@@ -338,20 +356,26 @@ class Table:
         (like deallocated-lazily LOB pages); the row itself disappears
         from every scan and from every secondary index.
         """
+        self._check_writable()
         key = int(key)
         old = self.get(key) if self._indexes else None
         deleted = self._tree.delete(key)
         if deleted and old is not None:
             for name, index in self._indexes.items():
                 index.remove(old[self.column_index(name)], key)
+        if deleted:
+            self.mutations += 1
         return deleted
 
     def update(self, values: Sequence) -> bool:
         """Replace an existing row (matched by its primary key);
         returns whether the key existed."""
+        self._check_writable()
         key = int(values[0])
         old = self.get(key) if self._indexes else None
         updated = self._tree.update(key, self._encode_row(values))
+        if updated:
+            self.mutations += 1
         if updated and old is not None:
             for name, index in self._indexes.items():
                 col = self.column_index(name)
@@ -398,6 +422,54 @@ class Table:
         unpack_key = struct.Struct("<q").unpack_from
         for pages in self._tree.scan_leaf_batches(
                 pool, batch_pages=batch_pages):
+            keys: list[int] = []
+            payloads: list[bytes] = []
+            for page in pages:
+                for slot in range(page.slot_count):
+                    record = page.get_record(slot)
+                    keys.append(unpack_key(record)[0])
+                    payloads.append(record[key_size:])
+            if payloads:
+                yield RowBatch(self, keys, payloads)
+
+    def batches_for_pages(self, pool: BufferPool | None, page_ids,
+                          batch_pages: int | None = None,
+                          skip_charge_first: bool = False) -> Iterator:
+        """Decode an explicit run of leaf page ids into ``RowBatch``es.
+
+        The morsel-scan primitive of the parallel engine: the
+        coordinator hands each worker a slice of
+        :meth:`data_page_ids`, and the worker charges its pool exactly
+        as :meth:`scan_batches` would for those pages — each chunk of
+        ``batch_pages`` pages goes through one
+        :meth:`BufferPool.fetch_many` call, in list order.
+
+        Args:
+            page_ids: Leaf page ids in key order (a contiguous slice of
+                the sibling chain).
+            skip_charge_first: Do not charge the first page (the serial
+                scan charges the first leaf during its root descent;
+                the coordinator replays that descent itself, so the
+                first morsel must not charge it again).
+        """
+        from .vectorized import DEFAULT_BATCH_PAGES, RowBatch
+
+        if batch_pages is None:
+            batch_pages = DEFAULT_BATCH_PAGES
+        key_size = struct.calcsize("<q")
+        unpack_key = struct.Struct("<q").unpack_from
+        page_ids = list(page_ids)
+        for start in range(0, len(page_ids), batch_pages):
+            chunk = page_ids[start:start + batch_pages]
+            charged = chunk
+            pages = []
+            if start == 0 and skip_charge_first:
+                pages.append(self._pagefile.get(chunk[0]))
+                charged = chunk[1:]
+            if pool is not None and charged:
+                pages.extend(pool.fetch_many(charged))
+            else:
+                pages.extend(self._pagefile.get(pid) for pid in charged)
             keys: list[int] = []
             payloads: list[bytes] = []
             for page in pages:

@@ -60,6 +60,7 @@ __all__ = [
     "as_full_array",
     "nonnull_values",
     "fold",
+    "partition_lanes",
     "scan_aggregate",
     "scan_grouped",
 ]
@@ -563,6 +564,53 @@ def isnull_batch(values, mask, n: int, negate: bool = False) -> tuple:
 # -- drivers -----------------------------------------------------------------
 
 
+def partition_lanes(values, mask, n: int):
+    """Partition a batch's group column into ``(key, lanes)`` pairs.
+
+    ``lanes`` are ascending lane indices, so folding each group's
+    values in partition order reproduces the row engine's per-group
+    accumulation order exactly.  NULL lanes form a final ``None``
+    group.  Returns ``None`` when the column cannot be partitioned
+    with array machinery without changing semantics — object dtype
+    (unhashable / mixed values) or float NaN keys, where the row
+    engine's per-object dict behaviour (every NaN its own group) must
+    be reproduced by the per-lane walk instead.
+    """
+    if not isinstance(values, np.ndarray):
+        if values is None:
+            return [(None, list(range(n)))]
+        if isinstance(values, float) and values != values:
+            return None
+        return [(values, list(range(n)))]
+    if values.dtype == object:
+        return None
+    if values.dtype.kind == "f" and bool(np.isnan(values).any()):
+        return None
+    out = []
+    if mask is not None and mask.any():
+        valid_idx = np.flatnonzero(~mask)
+        null_lanes_ = np.flatnonzero(mask).tolist()
+        vv = values[valid_idx]
+    else:
+        valid_idx = None
+        null_lanes_ = None
+        vv = values
+    if vv.size:
+        uniq, inv = np.unique(vv, return_inverse=True)
+        # Stable argsort keeps each group's lanes in row order.
+        order = np.argsort(inv, kind="stable")
+        sorted_lanes = (order if valid_idx is None
+                        else valid_idx[order]).tolist()
+        counts = np.bincount(inv, minlength=len(uniq)).tolist()
+        start = 0
+        for key, count in zip(uniq.tolist(), counts):
+            out.append((key, sorted_lanes[start:start + count]))
+            start += count
+    if null_lanes_:
+        out.append((None, null_lanes_))
+    return out
+
+
 def _step_batch_fallback(agg, state, ctx: BatchContext):
     """Per-row stepping for aggregates without a batch form."""
     prev = ctx.row
@@ -618,14 +666,23 @@ def scan_grouped(table: "Table", pool: "BufferPool", group_expr,
                  batch_pages: int = DEFAULT_BATCH_PAGES):
     """Vectorized hash-aggregation scan body.
 
-    Expressions are evaluated batch-at-a-time; the per-group state
-    updates walk the lanes in row order through ``step_value`` so the
-    accumulation order (and therefore float rounding) matches the row
-    engine.  Returns ``(groups, rows, payload_bytes)``.
+    Expressions are evaluated batch-at-a-time; the group column is
+    partitioned with :func:`partition_lanes` (np.unique + stable
+    argsort) and each group advances over its lane values in one
+    ``step_values`` call — the accumulation order within a group is
+    still row order, so float rounding matches the row engine.
+    Batches whose group keys cannot be partitioned faithfully (object
+    dtype, NaN) fall back to the per-lane ``step_value`` walk, and
+    aggregates without either hook fall back to per-row stepping.
+    Returns ``(groups, rows, payload_bytes)``.
     """
-    vectorizable = all(
+    partitionable = all(
+        getattr(agg, "step_values", None) is not None
+        for agg in aggregates)
+    per_lane_ok = all(
         getattr(agg, "step_value", None) is not None
         for agg in aggregates)
+    vectorizable = partitionable or per_lane_ok
     groups: dict = {}
     rows = 0
     payload_bytes = 0
@@ -639,11 +696,44 @@ def scan_grouped(table: "Table", pool: "BufferPool", group_expr,
                 continue
         if vectorizable:
             n = batch.n
-            gvals = to_pylist(*eval_node(group_expr, ctx), n)
+            gv, gm = eval_node(group_expr, ctx)
+            parts = partition_lanes(gv, gm, n) if partitionable else None
             cols = [
                 (to_pylist(*eval_node(agg.expr, ctx), n)
                  if agg.expr is not None else None)
                 for agg in aggregates]
+            if parts is not None:
+                for group, lanes in parts:
+                    states = groups.get(group)
+                    if states is None:
+                        states = [agg.start() for agg in aggregates]
+                        groups[group] = states
+                    for i, agg in enumerate(aggregates):
+                        col = cols[i]
+                        states[i] = agg.step_values(
+                            states[i],
+                            [col[lane] for lane in lanes]
+                            if col is not None
+                            else [None] * len(lanes))
+                continue
+            if not per_lane_ok:
+                # step_values-only aggregates on an unpartitionable
+                # batch: step per row like the non-vectorizable path.
+                prev = ctx.row
+                try:
+                    for row in batch.rows():
+                        ctx.row = row
+                        group = group_expr.eval(ctx)
+                        states = groups.get(group)
+                        if states is None:
+                            states = [agg.start() for agg in aggregates]
+                            groups[group] = states
+                        for i, agg in enumerate(aggregates):
+                            states[i] = agg.step(states[i], ctx)
+                finally:
+                    ctx.row = prev
+                continue
+            gvals = to_pylist(gv, gm, n)
             for lane in range(n):
                 group = gvals[lane]
                 states = groups.get(group)

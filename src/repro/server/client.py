@@ -46,20 +46,25 @@ NO_TIMEOUT = protocol.NO_TIMEOUT
 
 
 def _query_header(sql: str, cold: bool, timeout,
-                  engine: str | None = None) -> dict:
+                  engine: str | None = None,
+                  workers: int | None = None) -> dict:
     """Build a query frame header.
 
     ``timeout=None`` (the parameter default) omits the key so the
     server applies its configured default; a number or
     :data:`NO_TIMEOUT` is sent through for the server to validate.
     ``engine=None`` likewise omits the key (server default, the
-    vector path); ``"row"``/``"vector"`` are sent through.
+    vector path); ``"row"``/``"vector"``/``"parallel"`` are sent
+    through, as is ``workers`` (the parallel engine's process count;
+    ``None`` → server default).
     """
     header = {"type": "query", "sql": sql, "cold": cold}
     if timeout is not None:
         header["timeout"] = timeout
     if engine is not None:
         header["engine"] = engine
+    if workers is not None:
+        header["workers"] = workers
     return header
 
 
@@ -181,7 +186,8 @@ class ArrayClient:
 
     def query(self, sql: str, cold: bool = True,
               timeout: float | None = None,
-              engine: str | None = None) -> QueryResult:
+              engine: str | None = None,
+              workers: int | None = None) -> QueryResult:
         """Execute one statement; raises :class:`ServerBusyError`,
         :class:`QueryTimeoutError` or :class:`ServerError`.
 
@@ -189,11 +195,15 @@ class ArrayClient:
         positive number to override it or :data:`NO_TIMEOUT` to
         disable it for this query.  ``engine`` picks the execution
         path for a SELECT — ``None`` for the server default (vector),
-        or ``"row"``/``"vector"`` explicitly; the reply metrics'
-        ``"engine"`` key reports which path ran.
+        or ``"row"``/``"vector"``/``"parallel"`` explicitly; the reply
+        metrics' ``"engine"`` key reports which path actually ran (a
+        parallel request may legitimately come back ``"vector"`` when
+        the plan cannot parallelize).  ``workers`` sizes the parallel
+        engine's process pool for this query (``None`` → server
+        default).
         """
         header, blobs = self._request_raw(
-            _query_header(sql, cold, timeout, engine))
+            _query_header(sql, cold, timeout, engine, workers))
         return _parse_result(header, blobs)
 
     execute = query
@@ -285,11 +295,12 @@ class AsyncArrayClient:
 
     async def query(self, sql: str, cold: bool = True,
                     timeout: float | None = None,
-                    engine: str | None = None) -> QueryResult:
-        """Asyncio twin of :meth:`ArrayClient.query` (same ``timeout``
-        and ``engine`` semantics: None → server default)."""
+                    engine: str | None = None,
+                    workers: int | None = None) -> QueryResult:
+        """Asyncio twin of :meth:`ArrayClient.query` (same ``timeout``,
+        ``engine`` and ``workers`` semantics: None → server default)."""
         header, blobs = await self._request(
-            _query_header(sql, cold, timeout, engine))
+            _query_header(sql, cold, timeout, engine, workers))
         return _parse_result(header, blobs)
 
     async def stats(self) -> dict:

@@ -25,7 +25,8 @@ Message types
 Client to server:
 
 ``query``   ``{"type": "query", "sql": str, "cold": bool,
-"timeout": float | "none", "engine": "row" | "vector" | null}``
+"timeout": float | "none",
+"engine": "row" | "vector" | "parallel" | null, "workers": int | null}``
 
 A query's ``timeout`` key is optional: absent or ``null`` means "use
 the server's configured default"; a positive finite number is the
@@ -33,10 +34,14 @@ budget in seconds; the string sentinel :data:`NO_TIMEOUT` (``"none"``)
 explicitly disables the budget.  Anything else is rejected with a
 ``BAD_FRAME`` error reply (the connection survives).  The optional
 ``engine`` key picks the execution path for a SELECT — ``"row"``
-(tuple at a time) or ``"vector"`` (columnar batches, the default);
-any other value is a ``BAD_FRAME``.  Both paths return identical
-results and metrics (the metrics dict's ``"engine"`` key reports
-which one ran).
+(tuple at a time), ``"vector"`` (columnar batches, the default) or
+``"parallel"`` (morsel-driven multi-process); any other value is a
+``BAD_FRAME``.  The optional ``workers`` key (a positive integer)
+sizes the parallel engine's process pool; absent or ``null`` means
+the server's configured default.  All paths return identical results
+and cold-run metrics (the metrics dict's ``"engine"`` key reports
+which one actually ran — a parallel request falls back to ``vector``
+when its plan cannot parallelize).
 ``stats``   ``{"type": "stats"}``
 ``ping``    ``{"type": "ping"}``
 ``close``   ``{"type": "close"}``

@@ -60,6 +60,11 @@ class ServerConfig:
             ``None`` here means no default budget.
         max_frame: Largest accepted/emitted frame in bytes.
         name: Server name reported in the hello frame.
+        engine_workers: Default process count for queries served by the
+            ``parallel`` engine (a query frame's ``workers`` overrides
+            it); ``None`` means the executor's own default.  Distinct
+            from ``max_workers``, which sizes the *thread* pool that
+            admits queries.
     """
 
     host: str = "127.0.0.1"
@@ -69,6 +74,7 @@ class ServerConfig:
     query_timeout: float | None = 30.0
     max_frame: int = protocol.MAX_FRAME_BYTES
     name: str = "repro-array-server"
+    engine_workers: int | None = None
 
 
 class ArrayServer:
@@ -230,15 +236,35 @@ class ArrayServer:
         """Map a query frame's ``engine`` value to an executor engine.
 
         Absent/``null`` means the executor's default (the vector
-        path); ``"row"`` / ``"vector"`` select a path explicitly.
-        Anything else raises ``ValueError`` (answered as
+        path); ``"row"`` / ``"vector"`` / ``"parallel"`` select a path
+        explicitly.  Anything else raises ``ValueError`` (answered as
         ``BAD_FRAME``).
         """
         if requested is None:
             return None
-        if requested not in ("row", "vector"):
+        if requested not in ("row", "vector", "parallel"):
             raise ValueError(
-                f"'engine' must be 'row' or 'vector', got {requested!r}")
+                f"'engine' must be 'row', 'vector' or 'parallel', "
+                f"got {requested!r}")
+        return requested
+
+    def _resolve_workers(self, requested) -> int | None:
+        """Map a query frame's ``workers`` value to a process count.
+
+        Absent/``null`` means the server's configured default
+        (``engine_workers``, itself defaulting to the executor's
+        choice).  Only meaningful with ``engine="parallel"``; the
+        serial engines ignore it.
+        """
+        if requested is None:
+            return self.config.engine_workers
+        if isinstance(requested, bool) or not isinstance(requested, int):
+            raise ValueError(
+                f"'workers' must be a positive integer, "
+                f"got {requested!r}")
+        if requested < 1:
+            raise ValueError(
+                f"'workers' must be at least 1, got {requested!r}")
         return requested
 
     async def _run_query(self, session: SqlSession, session_id: int,
@@ -251,6 +277,7 @@ class ArrayServer:
         try:
             timeout = self._resolve_timeout(header.get("timeout"))
             engine = self._resolve_engine(header.get("engine"))
+            workers = self._resolve_workers(header.get("workers"))
         except ValueError as exc:
             return _error(protocol.BAD_FRAME, str(exc)), []
 
@@ -263,7 +290,7 @@ class ArrayServer:
 
         loop = asyncio.get_running_loop()
         future = self._executor.submit(self._execute_sync, session, sql,
-                                       cold, engine)
+                                       cold, engine, workers)
         # The slot is held until the worker truly finishes — releasing
         # on timeout would let abandoned queries pile up unbounded.
         future.add_done_callback(lambda _f: self.admission.release())
@@ -303,11 +330,12 @@ class ArrayServer:
         return reply, reply_blobs
 
     def _execute_sync(self, session: SqlSession, sql: str,
-                      cold: bool, engine: str | None = None) -> dict:
+                      cold: bool, engine: str | None = None,
+                      workers: int | None = None) -> dict:
         """Worker-thread body: execute and normalize the result."""
         result = session.execute(sql, cold=cold,
                                  finalize=self._materialize_result,
-                                 engine=engine)
+                                 engine=engine, workers=workers)
         if isinstance(result, Table):
             return {"kind": "ok", "rows": [],
                     "rowcount": 0, "metrics": None,
@@ -341,11 +369,15 @@ class ArrayServer:
     # -- stats ----------------------------------------------------------------
 
     def _stats_frame(self) -> dict:
+        from ..engine import parallel
         pool = self.db.pool.snapshot_counters()
         return {
             "type": "stats",
             "server": self.config.name,
             "admission": self.admission.snapshot(),
+            # Live processes across the parallel engine's worker
+            # pools (0 until the first parallel query spawns one).
+            "parallel_workers": parallel.active_workers(),
             "pool_counters": {
                 "logical_reads": pool.logical_reads,
                 "physical_reads": pool.physical_reads,

@@ -73,7 +73,9 @@ class ServerStats:
             "stream_calls": 0,
             "udf_calls": 0,
         }
-        # Successful SELECTs by execution path ("row" / "vector").
+        # Successful SELECTs by execution path ("row" / "vector" /
+        # "parallel" — the engine that actually ran, so a parallel
+        # request that fell back to serial counts as "vector").
         # Kept out of _io_totals: the metrics "engine" value is a
         # string, not a summable counter.
         self._engine_queries: dict[str, int] = {}

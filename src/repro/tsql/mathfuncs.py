@@ -46,6 +46,7 @@ from .namespaces import (
     MAX_VECTOR_N,
     NAMESPACES,
     ArrayNamespace,
+    _as_int_vector,
 )
 
 __all__ = ["attach_math_functions", "attach_vector_kernels",
@@ -137,7 +138,12 @@ def _attach(ns: ArrayNamespace) -> None:
 
     local = locals()
     for name in MATH_EXPORTS:
-        setattr(ns, name, local[name])
+        fn = local[name]
+        # Symbolic identity for cross-process plan pickling (see
+        # repro.engine.parallel).
+        fn._sql_schema = ns.name
+        fn._sql_name = name
+        setattr(ns, name, fn)
 
 
 def _item_kernel(ns: ArrayNamespace, n_idx: int):
@@ -238,8 +244,129 @@ def _vector_kernel(ns: ArrayNamespace, n_values: int):
     return kernel
 
 
+def _subarray_kernel(ns: ArrayNamespace):
+    """Batch kernel for ``Subarray``: when a run of rows shares one
+    array shape and one (offset, size, collapse) window — the common
+    "slice the same band out of every spectrum" query — decode the
+    window's flat element positions once and gather them from all rows
+    with a single fancy index, instead of decode + slice + re-encode
+    per row.
+
+    The per-row function is still run once, on the first row, and its
+    output is compared byte-for-byte against the gathered result; any
+    disagreement (or any irregularity in the batch: mixed shapes,
+    differing windows, non-blob cells) declines the batch and the
+    executor falls back to the exact per-row path.
+    """
+    dt = np.dtype(ns.dtype.numpy_dtype).newbyteorder("<")
+
+    def uniform_blob(col):
+        """The single bytes value a column holds, or None if mixed."""
+        if col.dtype != object or not len(col):
+            return None
+        value = col[0]
+        if type(value) is not bytes:
+            return None
+        for item in col:
+            if item != value:
+                return None
+        return value
+
+    def kernel(args):
+        if len(args) not in (3, 4):
+            return None
+        blobs = args[0]
+        if blobs.dtype != object or not len(blobs):
+            return None
+        first = blobs[0]
+        if type(first) is not bytes:
+            return None
+        try:
+            header = decode_header(first)
+        except Exception:
+            return None
+        if (header.dtype.code != ns.dtype.code
+                or header.storage != ns.storage):
+            return None
+        length = len(first)
+        if (length - header.data_offset) % dt.itemsize:
+            return None
+        prefix = first[:header.data_offset]
+        for b in blobs:
+            if (type(b) is not bytes or len(b) != length
+                    or b[:header.data_offset] != prefix):
+                return None
+        off_blob = uniform_blob(args[1])
+        size_blob = uniform_blob(args[2])
+        if off_blob is None or size_blob is None:
+            return None
+        collapse = 0
+        if len(args) == 4:
+            flags = args[3].tolist()
+            if any(f != flags[0] for f in flags[1:]):
+                return None
+            try:
+                collapse = int(flags[0])
+            except (TypeError, ValueError):
+                return None
+        try:
+            reference = ArrayNamespace.Subarray(
+                ns, first, off_blob, size_blob, collapse)
+            offsets = _as_int_vector(off_blob, "offset")
+            sizes = _as_int_vector(size_blob, "size")
+        except Exception:
+            return None  # per-row path raises the canonical error
+        if len(offsets) != len(header.shape) or \
+                len(sizes) != len(offsets):
+            return None
+        count = 1
+        for dim in header.shape:
+            count *= dim
+        grid = np.arange(count, dtype=np.int64).reshape(
+            header.shape, order="F")
+        try:
+            window = grid[tuple(slice(o, o + s)
+                                for o, s in zip(offsets, sizes))]
+        except Exception:
+            return None
+        flat = window.reshape(-1, order="F")
+        n = len(blobs)
+        raw = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        elems = raw.reshape(n, length)[:, header.data_offset:].view(dt)
+        gathered = np.ascontiguousarray(elems[:, flat])
+        step = flat.size * dt.itemsize
+        out_header = reference[:len(reference) - step]
+        data = gathered.tobytes()
+        if out_header + data[:step] != reference:
+            return None  # layout surprise: trust the per-row path
+        out = np.empty(n, dtype=object)
+        out[0] = reference
+        for i in range(1, n):
+            out[i] = out_header + data[i * step:(i + 1) * step]
+        return out
+
+    return kernel
+
+
+def _instance_subarray(ns: ArrayNamespace):
+    """A per-instance ``Subarray`` wrapper that can carry a batch
+    kernel (bound methods reject attribute assignment) and a symbolic
+    identity for cross-process plan pickling."""
+
+    def Subarray(blob, offset, size, collapse=0):
+        return ArrayNamespace.Subarray(ns, blob, offset, size, collapse)
+
+    Subarray.__name__ = "Subarray"
+    Subarray.__doc__ = ArrayNamespace.Subarray.__doc__
+    Subarray._sql_schema = ns.name
+    Subarray._sql_name = "Subarray"
+    Subarray.vectorized = _subarray_kernel(ns)
+    return Subarray
+
+
 def attach_vector_kernels() -> list[str]:
-    """Attach batch kernels to every schema's ``Item_N``/``Vector_N``.
+    """Attach batch kernels to every schema's ``Item_N``/``Vector_N``
+    and ``Subarray``.
 
     :class:`~repro.engine.executor.ScalarUdf` discovers the kernels via
     the callables' ``vectorized`` attribute, so SQL queries using these
@@ -252,6 +379,7 @@ def attach_vector_kernels() -> list[str]:
             getattr(ns, f"Item_{n}").vectorized = _item_kernel(ns, n)
         for n in range(1, MAX_VECTOR_N + 1):
             getattr(ns, f"Vector_{n}").vectorized = _vector_kernel(ns, n)
+        ns.Subarray = _instance_subarray(ns)
         attached.append(ns.name)
     return attached
 

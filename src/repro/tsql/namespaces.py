@@ -239,14 +239,84 @@ class ArrayNamespace:
     def Concat(self, rows, dims: bytes) -> bytes:
         """Assemble an array from ``(index_vector_blob, value)`` rows —
         the reader-based table-to-array conversion the paper recommends
-        over the UDA (Section 4.2)."""
+        over the UDA (Section 4.2).
+
+        Regular inputs (every index blob the same shape/type, in-range
+        indices, no duplicates) are assembled with one bulk decode and
+        a single scatter; anything irregular falls back to the per-row
+        reader and its exact error semantics.
+        """
         shape = _as_int_vector(dims, "dims")
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        fast = self._concat_vectorized(rows, shape)
+        if fast is not None:
+            return fast
 
         def decoded():
             for index_blob, value in rows:
                 yield _as_int_vector(index_blob, "row index"), value
 
         return self._out(_agg.concat_reader(decoded(), shape, self.dtype))
+
+    def _concat_vectorized(self, rows, shape) -> bytes | None:
+        """Bulk Concat over a regular row set; None declines to the
+        per-row reader."""
+        from ..core.header import decode_header
+
+        if not rows or not shape:
+            return None
+        first = rows[0]
+        if not (isinstance(first, (tuple, list)) and len(first) == 2):
+            return None
+        first_idx = first[0]
+        if type(first_idx) is not bytes:
+            return None
+        try:
+            header = decode_header(first_idx)
+        except Exception:
+            return None
+        if (header.rank != 1 or not header.dtype.is_integer
+                or tuple(header.shape) != (len(shape),)):
+            return None
+        idt = np.dtype(header.dtype.numpy_dtype).newbyteorder("<")
+        length = len(first_idx)
+        prefix = first_idx[:header.data_offset]
+        if length - header.data_offset != len(shape) * idt.itemsize:
+            return None
+        blobs = []
+        values = []
+        for row in rows:
+            if not (isinstance(row, (tuple, list)) and len(row) == 2):
+                return None
+            index_blob, value = row
+            if (type(index_blob) is not bytes
+                    or len(index_blob) != length
+                    or index_blob[:header.data_offset] != prefix):
+                return None
+            blobs.append(index_blob)
+            values.append(value)
+        raw = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        idx = raw.reshape(len(blobs), length)[:, header.data_offset:] \
+            .view(idt).astype(np.int64)
+        dims_arr = np.array(shape, dtype=np.int64)
+        if ((idx < 0) | (idx >= dims_arr)).any():
+            return None  # the reader raises the canonical BoundsError
+        flat = np.ravel_multi_index(tuple(idx.T), tuple(shape),
+                                    order="F")
+        if len(np.unique(flat)) != len(flat):
+            # Duplicate cells: sequential accumulation is last-write-
+            # wins, which a single scatter does not guarantee.
+            return None
+        try:
+            vals = np.asarray(values).astype(self.dtype.numpy_dtype,
+                                             casting="unsafe")
+        except Exception:
+            return None
+        total = int(np.prod(dims_arr))
+        cells = np.zeros(total, dtype=self.dtype.numpy_dtype)
+        cells[flat] = vals
+        return self._out(SqlArray.from_numpy(
+            cells.reshape(tuple(shape), order="F"), self.dtype))
 
     # -- aggregates and arithmetic ------------------------------------------------
 
@@ -382,15 +452,23 @@ def _attach_numbered_variants(ns: ArrayNamespace) -> None:
                         "constant.")
         return fill
 
+    def attach(fn):
+        # Symbolic identity for cross-process plan pickling: the
+        # parallel engine ships closures as (schema, name) pairs and
+        # re-resolves them in the worker (see repro.engine.parallel).
+        fn._sql_schema = ns.name
+        fn._sql_name = fn.__name__
+        setattr(ns, fn.__name__, fn)
+
     for n in range(1, MAX_VECTOR_N + 1):
-        setattr(ns, f"Vector_{n}", make_vector(n))
+        attach(make_vector(n))
     for n in range(1, MAX_MATRIX_N + 1):
-        setattr(ns, f"Matrix_{n}", make_matrix(n))
+        attach(make_matrix(n))
     for n in range(1, MAX_INDEX_N + 1):
-        setattr(ns, f"Item_{n}", make_item(n))
-        setattr(ns, f"UpdateItem_{n}", make_update(n))
-        setattr(ns, f"Zeros_{n}", make_zeros(n))
-        setattr(ns, f"Fill_{n}", make_fill(n))
+        attach(make_item(n))
+        attach(make_update(n))
+        attach(make_zeros(n))
+        attach(make_fill(n))
 
 
 def _build_namespaces() -> dict[str, ArrayNamespace]:

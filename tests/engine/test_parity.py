@@ -1,10 +1,15 @@
-"""Row-engine vs vector-engine parity.
+"""Row-engine vs vector-engine vs parallel-engine parity.
 
-Every query here runs twice — ``engine="row"`` and ``engine="vector"``
-— and must return bit-identical values *and* identical metrics (same
-logical/physical/sequential/random reads, same UDF/stream counters,
-same simulated cost).  Only ``wall_seconds`` and the ``engine`` tag may
-differ.
+Every query here runs on ``engine="row"`` and ``engine="vector"`` —
+and, when cold, on ``engine="parallel"`` too — and must return
+bit-identical values *and* identical metrics (same logical/physical/
+sequential/random reads, same UDF/stream counters, same simulated
+cost).  Only ``wall_seconds``, the ``engine`` tag and the ``workers``
+count may differ.
+
+The parallel engine is only compared on cold runs: each worker process
+keeps its own page cache, so warm-run physical reads are honest but
+not reproducible against the serial engines' shared pool.
 """
 
 import random
@@ -55,17 +60,24 @@ def session():
 
 
 def assert_parity(session, sql, cold=True, seek=False):
-    """Run ``sql`` on both engines and compare values and metrics.
+    """Run ``sql`` on every engine and compare values and metrics.
 
     A query that raises (NULL blob handed to a UDF, division by zero)
-    must raise the *same* exception on both engines.
+    must raise the *same* exception on every engine.
     """
-    def run(engine):
+    def run(engine, workers=None):
         if not cold:
             # Prime the cache so each engine's measured warm run sees
             # the same (fully cached) pool state.
             session.query(sql, cold=False, engine=engine)
-        return session.query(sql, cold=cold, engine=engine)
+        return session.query(sql, cold=cold, engine=engine,
+                             workers=workers)
+
+    def strip(metrics):
+        d = metrics.to_dict()
+        for key in ("wall_seconds", "engine", "workers"):
+            d.pop(key)
+        return d
 
     try:
         row_vals, row_m = run("row")
@@ -73,6 +85,10 @@ def assert_parity(session, sql, cold=True, seek=False):
         with pytest.raises(type(exc)) as caught:
             run("vector")
         assert str(caught.value) == str(exc), sql
+        if cold:
+            with pytest.raises(type(exc)) as caught:
+                run("parallel", workers=2)
+            assert str(caught.value) == str(exc), sql
         return
     vec_vals, vec_m = run("vector")
     assert _bits(row_vals) == _bits(vec_vals), sql
@@ -80,12 +96,19 @@ def assert_parity(session, sql, cold=True, seek=False):
     # Seek/index plans execute row-at-a-time under either toggle (a
     # point lookup has no batch to vectorize) and tag metrics honestly.
     assert vec_m.engine == ("row" if seek else "vector")
-    d_row, d_vec = row_m.to_dict(), vec_m.to_dict()
-    for key in ("wall_seconds", "engine"):
-        d_row.pop(key), d_vec.pop(key)
+    d_row, d_vec = strip(row_m), strip(vec_m)
     assert d_row == d_vec, (sql, {k: (d_row[k], d_vec[k])
                                   for k in d_row
                                   if d_row[k] != d_vec[k]})
+    if not cold:
+        return
+    par_vals, par_m = run("parallel", workers=2)
+    assert _bits(row_vals) == _bits(par_vals), sql
+    assert par_m.engine == ("row" if seek else "parallel")
+    d_par = strip(par_m)
+    assert d_row == d_par, (sql, {k: (d_row[k], d_par[k])
+                                  for k in d_row
+                                  if d_row[k] != d_par[k]})
 
 
 AGG_EXPRS = [
@@ -150,8 +173,8 @@ class TestRandomizedParity:
         assert_parity(session,
                       "SELECT COUNT(*) FROM t WHERE id >= 10 AND id < 40")
 
-    def test_division_by_zero_raises_on_both_engines(self, session):
-        for engine in ("row", "vector"):
+    def test_division_by_zero_raises_on_all_engines(self, session):
+        for engine in ("row", "vector", "parallel"):
             with pytest.raises(ZeroDivisionError):
                 session.query("SELECT SUM(x / (k - k)) FROM t "
                               "WHERE k IS NOT NULL AND x IS NOT NULL",
