@@ -1,0 +1,75 @@
+"""replint — AST-based invariant checks for the repro engine and server.
+
+Run as ``repro lint`` or ``python -m repro.analysis``.  The rules encode the
+concurrency and serialization invariants introduced by the server,
+vectorized, and parallel engine work:
+
+==========  ===========================================================
+RL001       lock discipline: SqlSession entry points hold db.lock
+            before touching BufferPool/Table/BTree/Executor sinks
+RL002       lock order: RWLock before pool ``_lock``, never inverse or
+            re-entrant
+RP101       parallel safety: registered/attached UDFs are module-level,
+            name-picklable functions (or ``parallel_safe=False``)
+RV201       kernel purity: batch kernels never mutate input arrays and
+            return fresh ``(values, mask)`` pairs
+RW301       wire-schema freeze: ``protocol.py`` matches
+            ``protocol_schema.json`` and ``docs/SERVER.md``
+==========  ===========================================================
+
+See ``docs/ANALYSIS.md`` for the full catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from .framework import (
+    Finding,
+    LintContext,
+    Rule,
+    SourceFile,
+    collect_files,
+    render_human,
+    render_json,
+    run_rules,
+)
+from .rules_kernels import KernelPurityRule
+from .rules_locks import LockDisciplineRule, LockOrderRule
+from .rules_parallel import ParallelSafetyRule
+from .rules_wire import WireSchemaRule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "SourceFile",
+    "collect_files",
+    "lint_paths",
+    "render_human",
+    "render_json",
+    "run_rules",
+]
+
+ALL_RULES: tuple[Rule, ...] = (
+    LockDisciplineRule(),
+    LockOrderRule(),
+    ParallelSafetyRule(),
+    KernelPurityRule(),
+    WireSchemaRule(),
+)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule] | None = None,
+    root: str | None = None,
+) -> list[Finding]:
+    """Lint files/directories and return the (suppression-filtered) findings."""
+
+    base = root or os.getcwd()
+    files = collect_files(paths, root=base)
+    ctx = LintContext(base)
+    return run_rules(files, tuple(rules) if rules is not None else ALL_RULES, ctx)

@@ -1,0 +1,99 @@
+"""Command-line entry point for replint (``python -m repro.analysis``)."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from . import ALL_RULES, lint_paths, render_human, render_json
+from .rules_wire import write_schema
+
+
+def _default_paths() -> list[str]:
+    # Prefer the engine/server tree when run from a repo checkout; fixture
+    # and test files exercise deliberate violations and are linted only by
+    # their own test suite.
+    for candidate in ("src/repro", "src"):
+        if os.path.isdir(candidate):
+            return [candidate]
+    return ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="replint: AST-based invariant checks for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--write-schema",
+        metavar="PROTOCOL_PY",
+        default=None,
+        help="regenerate protocol_schema.json next to the given protocol module",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    if args.write_schema is not None:
+        try:
+            schema_path = write_schema(args.write_schema)
+        except (OSError, SyntaxError) as exc:
+            print(f"replint: cannot write schema: {exc}", file=sys.stderr)
+            return 2
+        print(f"replint: wrote {schema_path}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rules:
+        wanted = {code.strip().upper() for code in args.rules.split(",") if code.strip()}
+        rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            print(
+                f"replint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = list(args.paths) if args.paths else _default_paths()
+    findings = lint_paths(paths, rules=rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_human(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

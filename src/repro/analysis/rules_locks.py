@@ -1,0 +1,221 @@
+"""RL001 lock discipline and RL002 lock ordering.
+
+RL001 — every path from a public ``SqlSession`` entry point to a page- or
+tree-mutating sink (``BufferPool.fetch``/``fetch_many``, ``Table.insert``/
+``insert_many``/``delete``, ``BTree.insert``/``delete``/``bulk_load``, and
+the ``Executor.run*`` family, which assumes the caller holds the lock) must
+pass through a ``db.lock.read_lock()`` / ``write_lock()`` context, the way
+``SqlSession.execute`` and ``SqlSession.query`` do.  Edges taken *inside* a
+guard are satisfied and not traversed further; any unguarded path that
+reaches a sink is reported at the first call edge of that path.
+
+RL002 — the BufferPool internal mutex (``self._lock``) is a leaf lock: the
+engine orders RWLock -> pool lock, never the inverse, and the RWLock is not
+re-entrant (a read holder taking ``write_lock`` deadlocks by design, see
+``repro.engine.locks``).  The rule flags, lexically and through calls:
+acquiring an RWLock guard while a pool guard is held (inverse order) and
+acquiring an RWLock guard while an RWLock guard is already held
+(re-entrancy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .callgraph import POOL_GUARD, RWLOCK_GUARD, CallGraph, CallSite, FunctionInfo
+from .framework import Finding, LintContext, Rule, SourceFile
+
+#: Classes whose public methods are statement entry points.
+ENTRY_CLASSES = ("SqlSession",)
+
+#: (class name, method name) pairs that require the database RWLock.
+LOCK_SINKS = frozenset(
+    {
+        ("BufferPool", "fetch"),
+        ("BufferPool", "fetch_many"),
+        ("Table", "insert"),
+        ("Table", "insert_many"),
+        ("Table", "delete"),
+        ("BTree", "insert"),
+        ("BTree", "delete"),
+        ("BTree", "bulk_load"),
+        ("Executor", "run"),
+        ("Executor", "run_point"),
+        ("Executor", "run_index"),
+        ("Executor", "run_grouped"),
+    }
+)
+
+
+def _is_sink(info: FunctionInfo) -> bool:
+    return (info.class_name or "", info.name) in LOCK_SINKS
+
+
+class LockDisciplineRule(Rule):
+    code = "RL001"
+    name = "lock-discipline"
+    description = (
+        "public SqlSession entry points must hold db.lock before reaching "
+        "BufferPool/Table/BTree/Executor sinks"
+    )
+
+    def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
+        graph = ctx.callgraph(files)
+        findings: list[Finding] = []
+        reported: set[tuple[str, str]] = set()
+        for entry_class in ENTRY_CLASSES:
+            for entry in graph.iter_methods(entry_class):
+                if entry.name.startswith("_"):
+                    continue
+                findings.extend(self._scan_entry(graph, entry, reported))
+        return findings
+
+    def _scan_entry(
+        self,
+        graph: CallGraph,
+        entry: FunctionInfo,
+        reported: set[tuple[str, str]],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        # BFS over unguarded call edges; each queue item carries the call
+        # path so the report can show how the sink is reached.
+        queue: deque[tuple[FunctionInfo, tuple[str, ...], CallSite | None]] = deque(
+            [(entry, (entry.qualname,), None)]
+        )
+        visited: set[int] = {id(entry)}
+        while queue:
+            func, path, first_edge = queue.popleft()
+            for call in func.calls:
+                if call.guarded:
+                    continue  # satisfied: the edge is under db.lock
+                for target in graph.resolve(call, func):
+                    edge = first_edge or call
+                    if _is_sink(target):
+                        key = (entry.qualname, target.qualname)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        chain = " -> ".join(path + (target.qualname,))
+                        findings.append(
+                            Finding(
+                                rule=self.code,
+                                path=func.display_path,
+                                line=call.line,
+                                message=(
+                                    f"{entry.qualname} reaches "
+                                    f"{target.qualname} without holding "
+                                    f"db.lock (path: {chain})"
+                                ),
+                            )
+                        )
+                        continue
+                    if id(target) in visited:
+                        continue
+                    visited.add(id(target))
+                    queue.append((target, path + (target.qualname,), edge))
+        return findings
+
+
+class LockOrderRule(Rule):
+    code = "RL002"
+    name = "lock-order"
+    description = (
+        "never acquire db.lock while holding a pool _lock, and never "
+        "re-acquire the non-reentrant RWLock"
+    )
+
+    def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
+        graph = ctx.callgraph(files)
+        findings: list[Finding] = []
+        for func in graph.functions:
+            findings.extend(self._lexical(func))
+            findings.extend(self._through_calls(graph, func))
+        return findings
+
+    def _lexical(self, func: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for event in func.lock_events:
+            if event.kind != RWLOCK_GUARD:
+                continue
+            if RWLOCK_GUARD in event.held_before:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=func.display_path,
+                        line=event.line,
+                        message=(
+                            f"{func.qualname} re-acquires the RWLock while "
+                            "already holding it (RWLock is not re-entrant)"
+                        ),
+                    )
+                )
+            if POOL_GUARD in event.held_before:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=func.display_path,
+                        line=event.line,
+                        message=(
+                            f"{func.qualname} acquires the RWLock while "
+                            "holding a pool _lock (inverse lock order)"
+                        ),
+                    )
+                )
+        return findings
+
+    def _through_calls(self, graph: CallGraph, func: FunctionInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for call in func.calls:
+            if not call.held:
+                continue
+            holds_rw = RWLOCK_GUARD in call.held
+            holds_pool = POOL_GUARD in call.held
+            if not (holds_rw or holds_pool):
+                continue
+            offender = self._reaches_rwlock(graph, call, func)
+            if offender is None:
+                continue
+            if holds_rw:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=func.display_path,
+                        line=call.line,
+                        message=(
+                            f"{func.qualname} holds the RWLock and calls into "
+                            f"{offender.label}, which re-acquires it "
+                            "(RWLock is not re-entrant)"
+                        ),
+                    )
+                )
+            elif holds_pool:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=func.display_path,
+                        line=call.line,
+                        message=(
+                            f"{func.qualname} holds a pool _lock and calls "
+                            f"into {offender.label}, which acquires the "
+                            "RWLock (inverse lock order)"
+                        ),
+                    )
+                )
+        return findings
+
+    def _reaches_rwlock(
+        self, graph: CallGraph, call: CallSite, caller: FunctionInfo
+    ) -> FunctionInfo | None:
+        queue: deque[FunctionInfo] = deque(graph.resolve(call, caller))
+        visited: set[int] = set()
+        while queue:
+            func = queue.popleft()
+            if id(func) in visited:
+                continue
+            visited.add(id(func))
+            if func.acquires_rwlock:
+                return func
+            for inner in func.calls:
+                queue.extend(graph.resolve(inner, func))
+        return None

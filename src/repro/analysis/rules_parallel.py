@@ -1,0 +1,190 @@
+"""RP101 — UDFs must be shippable to worker processes.
+
+The parallel engine pickles plans by *name* (``_PlanPickler`` resolves
+``_sql_schema``/``_sql_name`` markers or the function's module-qualified
+name), so any callable that reaches ``SqlSession.register_function`` or is
+attached to a ``repro.tsql`` namespace must be a module-level, importable
+function.  Lambdas, functions defined inside another function (closures),
+and locally bound callables all fail to resolve in a spawned worker; they
+are only acceptable when registered with ``parallel_safe=False``, which the
+engine honours by falling back to single-process execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from .framework import Finding, LintContext, Rule, SourceFile
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function (closures)."""
+
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Lambda):
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+def _has_parallel_safe_false(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "parallel_safe":
+            value = kw.value
+            if isinstance(value, ast.Constant) and value.value is False:
+                return True
+            # a non-literal value: assume the author knows what they pass
+            return not isinstance(value, ast.Constant)
+    return False
+
+
+def _stamped_names(scope: ast.AST) -> set[str]:
+    """Names that get ``x._sql_schema = ...`` stamped somewhere in scope."""
+
+    stamped: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in ("_sql_schema", "_sql_name")
+                    and isinstance(target.value, ast.Name)
+                ):
+                    stamped.add(target.value.id)
+        elif isinstance(node, ast.Call):
+            # setattr(fn, "_sql_schema", ...) style stamping
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "setattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in ("_sql_schema", "_sql_name")
+            ):
+                stamped.add(node.args[0].id)
+    return stamped
+
+
+class ParallelSafetyRule(Rule):
+    code = "RP101"
+    name = "parallel-safety"
+    description = (
+        "callables passed to register_function or attached to tsql "
+        "namespaces must be module-level and name-picklable"
+    )
+
+    def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            if source.tree is None:
+                continue
+            nested = _nested_function_names(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name == "register_function":
+                    findings.extend(
+                        self._check_register(source, node, nested)
+                    )
+                elif name == "setattr":
+                    findings.extend(self._check_setattr(source, node, nested))
+        return findings
+
+    def _check_register(
+        self, source: SourceFile, call: ast.Call, nested: set[str]
+    ) -> list[Finding]:
+        if _has_parallel_safe_false(call):
+            return []
+        func_arg: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "func":
+                func_arg = kw.value
+        if func_arg is None and len(call.args) >= 2:
+            func_arg = call.args[1]
+        if func_arg is None:
+            return []
+        if isinstance(func_arg, ast.Lambda):
+            return [
+                Finding(
+                    rule=self.code,
+                    path=source.display_path,
+                    line=call.lineno,
+                    message=(
+                        "lambda passed to register_function is not "
+                        "name-picklable; define a module-level function or "
+                        "register with parallel_safe=False"
+                    ),
+                )
+            ]
+        if isinstance(func_arg, ast.Name) and func_arg.id in nested:
+            return [
+                Finding(
+                    rule=self.code,
+                    path=source.display_path,
+                    line=call.lineno,
+                    message=(
+                        f"nested function '{func_arg.id}' passed to "
+                        "register_function cannot be pickled by name; move "
+                        "it to module level or register with "
+                        "parallel_safe=False"
+                    ),
+                )
+            ]
+        return []
+
+    def _check_setattr(
+        self, source: SourceFile, call: ast.Call, nested: set[str]
+    ) -> list[Finding]:
+        # setattr(ns, name, fn) attaching a namespace UDF: the callable must
+        # either be module-level or carry _sql_schema/_sql_name markers so
+        # the plan pickler can resolve it by name in a worker.
+        if len(call.args) != 3:
+            return []
+        value = call.args[2]
+        if isinstance(value, ast.Lambda):
+            return [
+                Finding(
+                    rule=self.code,
+                    path=source.display_path,
+                    line=call.lineno,
+                    message=(
+                        "lambda attached via setattr is not name-picklable; "
+                        "attach a module-level or _sql_name-stamped function"
+                    ),
+                )
+            ]
+        if not (isinstance(value, ast.Name) and value.id in nested):
+            return []
+        stamped = _stamped_names(source.tree) if source.tree is not None else set()
+        if value.id in stamped:
+            return []
+        return [
+            Finding(
+                rule=self.code,
+                path=source.display_path,
+                line=call.lineno,
+                message=(
+                    f"nested function '{value.id}' attached via setattr "
+                    "without _sql_schema/_sql_name markers; workers cannot "
+                    "resolve it by name"
+                ),
+            )
+        ]

@@ -1,0 +1,248 @@
+"""RW301 — the wire schema is frozen; drift must be deliberate.
+
+``repro.server.protocol`` is the contract between every deployed client and
+the server.  This rule extracts the observable schema from the module's AST
+and docstring — error-code constants, ``PROTOCOL_VERSION``,
+``MAX_FRAME_BYTES``, ``NO_TIMEOUT``, and the frame types/keys documented in
+the module docstring — and diffs it against the checked-in
+``protocol_schema.json`` sitting next to the module.  Any drift (a new
+error code, a removed frame key, a version bump) fails the lint until the
+schema file is regenerated *and* ``docs/SERVER.md`` documents the change;
+every error code must appear in the docs.
+
+Regenerate the schema after an intentional protocol change with::
+
+    python -m repro.analysis --write-schema src/repro/server/protocol.py
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Sequence
+
+from .framework import Finding, LintContext, Rule, SourceFile
+
+SCHEMA_FILENAME = "protocol_schema.json"
+_ERROR_CODE_RE = re.compile(r"^[A-Z][A-Z_]+$")
+_FRAME_TYPE_RE = re.compile(r"\"type\":\s*\"(\w+)\"")
+_FRAME_KEY_RE = re.compile(r"\"(\$?\w+)\"\s*:")
+
+
+def _fold_int(node: ast.expr) -> int | None:
+    """Evaluate small constant integer expressions (``64 * 1024 * 1024``)."""
+
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.BinOp):
+        left = _fold_int(node.left)
+        right = _fold_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Pow):
+            return left**right
+    return None
+
+
+def extract_schema(tree: ast.Module) -> dict[str, object]:
+    """Extract the observable wire schema from a protocol module's AST."""
+
+    error_codes: list[str] = []
+    protocol_version: int | None = None
+    max_frame_bytes: int | None = None
+    no_timeout: str | None = None
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        name = target.id
+        value = node.value
+        if name == "PROTOCOL_VERSION":
+            protocol_version = _fold_int(value)
+        elif name == "MAX_FRAME_BYTES":
+            max_frame_bytes = _fold_int(value)
+        elif name == "NO_TIMEOUT":
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                no_timeout = value.value
+        elif (
+            _ERROR_CODE_RE.match(name)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value.isupper()
+        ):
+            error_codes.append(value.value)
+
+    docstring = ast.get_docstring(tree, clean=False) or ""
+    frame_types = sorted(set(_FRAME_TYPE_RE.findall(docstring)))
+    frame_keys = sorted(set(_FRAME_KEY_RE.findall(docstring)))
+
+    return {
+        "error_codes": sorted(set(error_codes)),
+        "frame_keys": frame_keys,
+        "frame_types": frame_types,
+        "max_frame_bytes": max_frame_bytes,
+        "no_timeout": no_timeout,
+        "protocol_version": protocol_version,
+    }
+
+
+def write_schema(protocol_path: str) -> str:
+    """Regenerate ``protocol_schema.json`` next to the given module."""
+
+    with open(protocol_path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=protocol_path)
+    schema = extract_schema(tree)
+    schema_path = os.path.join(os.path.dirname(protocol_path), SCHEMA_FILENAME)
+    with open(schema_path, "w", encoding="utf-8") as handle:
+        json.dump(schema, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return schema_path
+
+
+def _find_server_docs(start_dir: str) -> str | None:
+    current = os.path.abspath(start_dir)
+    for _ in range(8):
+        candidate = os.path.join(current, "docs", "SERVER.md")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            break
+        current = parent
+    return None
+
+
+class WireSchemaRule(Rule):
+    code = "RW301"
+    name = "wire-schema-freeze"
+    description = (
+        "protocol.py must match the checked-in protocol_schema.json and "
+        "every error code must be documented in docs/SERVER.md"
+    )
+
+    def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            if source.basename != "protocol.py" or source.tree is None:
+                continue
+            schema = extract_schema(source.tree)
+            if not schema["error_codes"] and not schema["frame_types"]:
+                continue  # not a wire-protocol module
+            findings.extend(self._diff_schema(source, schema))
+            findings.extend(self._check_docs(source, schema))
+        return findings
+
+    def _diff_schema(
+        self, source: SourceFile, schema: dict[str, object]
+    ) -> list[Finding]:
+        schema_path = os.path.join(os.path.dirname(source.path), SCHEMA_FILENAME)
+        if not os.path.isfile(schema_path):
+            return [
+                Finding(
+                    rule=self.code,
+                    path=source.display_path,
+                    line=1,
+                    message=(
+                        f"no {SCHEMA_FILENAME} next to the protocol module; "
+                        "run python -m repro.analysis --write-schema "
+                        f"{source.display_path}"
+                    ),
+                )
+            ]
+        try:
+            with open(schema_path, "r", encoding="utf-8") as handle:
+                frozen = json.load(handle)
+        except (OSError, ValueError) as exc:
+            return [
+                Finding(
+                    rule=self.code,
+                    path=source.display_path,
+                    line=1,
+                    message=f"unreadable {SCHEMA_FILENAME}: {exc}",
+                )
+            ]
+        findings: list[Finding] = []
+        for field in ("error_codes", "frame_types", "frame_keys"):
+            current_raw = schema.get(field)
+            current = set(current_raw) if isinstance(current_raw, list) else set()
+            saved = set(frozen.get(field) or [])
+            for added in sorted(current - saved):
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=source.display_path,
+                        line=1,
+                        message=(
+                            f"{field}: '{added}' added to the wire protocol "
+                            f"but missing from {SCHEMA_FILENAME}; regenerate "
+                            "the schema and document the change"
+                        ),
+                    )
+                )
+            for removed in sorted(saved - current):
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=source.display_path,
+                        line=1,
+                        message=(
+                            f"{field}: '{removed}' is frozen in "
+                            f"{SCHEMA_FILENAME} but no longer present in the "
+                            "protocol module (breaking change)"
+                        ),
+                    )
+                )
+        for field in ("protocol_version", "max_frame_bytes", "no_timeout"):
+            if field in frozen and frozen[field] != schema.get(field):
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=source.display_path,
+                        line=1,
+                        message=(
+                            f"{field} drifted: protocol module has "
+                            f"{schema.get(field)!r}, {SCHEMA_FILENAME} has "
+                            f"{frozen[field]!r}"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_docs(
+        self, source: SourceFile, schema: dict[str, object]
+    ) -> list[Finding]:
+        docs_path = _find_server_docs(os.path.dirname(source.path))
+        if docs_path is None:
+            return []
+        try:
+            with open(docs_path, "r", encoding="utf-8") as handle:
+                docs_text = handle.read()
+        except OSError:
+            return []
+        findings: list[Finding] = []
+        error_codes = schema.get("error_codes") or []
+        assert isinstance(error_codes, list)
+        for code in error_codes:
+            if code not in docs_text:
+                findings.append(
+                    Finding(
+                        rule=self.code,
+                        path=source.display_path,
+                        line=1,
+                        message=(
+                            f"error code '{code}' is not documented in "
+                            f"{os.path.relpath(docs_path, os.path.dirname(source.path))}"
+                        ),
+                    )
+                )
+        return findings

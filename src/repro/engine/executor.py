@@ -26,7 +26,6 @@ import os
 import pickle
 import threading
 import time
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -309,13 +308,18 @@ class ScalarUdf(Expression):
 
     def __init__(self, func: Callable, *args: Expression,
                  body_cost="item", name: str | None = None,
-                 vectorized: Callable | None = None):
+                 vectorized: Callable | None = None,
+                 parallel_safe: bool = True):
         self.func = func
         self.args = args
         self.body_cost = body_cost
         self.name = name or getattr(func, "__name__", "udf")
         self.vectorized = (vectorized if vectorized is not None
                            else getattr(func, "vectorized", None))
+        # Recorded on the plan node (not stamped onto the user's
+        # callable) so the parallel engine can refuse to ship it; see
+        # SqlSession.register_function(parallel_safe=...).
+        self.parallel_safe = parallel_safe
 
     def __getstate__(self):
         """Batch kernels are closures over decode machinery and do not

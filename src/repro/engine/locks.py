@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Iterator
 
 __all__ = ["RWLock"]
 
@@ -34,7 +35,7 @@ class RWLock:
     statement granularity, entering once per statement.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer = False
@@ -55,12 +56,14 @@ class RWLock:
 
     def release_read(self) -> None:
         with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a read holder")
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
 
     @contextmanager
-    def read_lock(self):
+    def read_lock(self) -> Iterator["RWLock"]:
         """``with lock.read_lock(): ...`` — shared access."""
         self.acquire_read()
         try:
@@ -87,11 +90,13 @@ class RWLock:
 
     def release_write(self) -> None:
         with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without the write holder")
             self._writer = False
             self._cond.notify_all()
 
     @contextmanager
-    def write_lock(self):
+    def write_lock(self) -> Iterator["RWLock"]:
         """``with lock.write_lock(): ...`` — exclusive access."""
         self.acquire_write()
         try:

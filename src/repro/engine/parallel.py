@@ -170,8 +170,12 @@ def _build_plan(table, aggregates, where, group_expr) -> bytes | None:
                 return None
     for root in _plan_exprs(aggregates, where, group_expr):
         for node in _iter_expr_nodes(root):
-            if isinstance(node, ScalarUdf) and \
-                    getattr(node.func, "_parallel_safe", True) is False:
+            if isinstance(node, ScalarUdf) and (
+                    getattr(node, "parallel_safe", True) is False
+                    or getattr(node.func, "_parallel_safe", True) is False):
+                # The registry flag rides on the plan node; the func
+                # attribute is still honoured for callers who stamped
+                # their own callables.
                 return None
     plan = {
         "table": table.name,

@@ -64,7 +64,6 @@ from .executor import (
     ScalarUdf,
     Sum,
 )
-from .metrics import QueryMetrics
 from .table import Table
 
 __all__ = ["SqlSession", "SqlSyntaxError"]
@@ -236,7 +235,7 @@ class SqlSession:
     def __init__(self, db: Database, model: CostModel | None = None):
         self.db = db
         self.executor = Executor(db, model) if model else Executor(db)
-        self._functions: dict[str, tuple[Callable, object]] = {}
+        self._functions: dict[str, tuple[Callable, object, bool]] = {}
         # The paper's cross-check UDF ships registered, with a trivial
         # batch kernel so the vector engine never falls back on it.
         # It is a module-level function (not a lambda) so query plans
@@ -263,9 +262,12 @@ class SqlSession:
         ``parallel_safe=False`` marks a function that must not run in
         worker processes (it closes over mutable state, talks to the
         outside world, ...); plans calling it always fall back to the
-        serial vector engine.  Functions that are pure but simply fail
-        to pickle need no marking — the parallel engine detects that
-        and falls back on its own.
+        serial vector engine.  The flag lives in this session's
+        registry entry — the caller's function object is never
+        mutated — and is carried on the :class:`ScalarUdf` plan nodes
+        built from it.  Functions that are pure but simply fail to
+        pickle need no marking — the parallel engine detects that and
+        falls back on its own.
         """
         if vectorized is not None:
             try:
@@ -276,9 +278,8 @@ class SqlSession:
                 def func(*args, _f=plain):  # noqa: E306
                     return _f(*args)
                 func.vectorized = vectorized
-        if not parallel_safe:
-            func._parallel_safe = False
-        self._functions[qualified_name.lower()] = (func, body_cost)
+        self._functions[qualified_name.lower()] = (
+            func, body_cost, parallel_safe)
 
     # -- public API --------------------------------------------------------
 
@@ -512,7 +513,7 @@ class SqlSession:
         raise SqlSyntaxError(f"unknown table {name!r}")
 
     def _resolve_function(self, schema: str, func: str
-                          ) -> tuple[Callable, object]:
+                          ) -> tuple[Callable, object, bool]:
         qualified = f"{schema}.{func}".lower()
         if qualified in self._functions:
             return self._functions[qualified]
@@ -527,7 +528,7 @@ class SqlSession:
                 if method is None:
                     raise SqlSyntaxError(
                         f"schema {ns_name} has no function {func!r}")
-                return method, "item"
+                return method, "item", True
         raise SqlSyntaxError(f"unknown function {schema}.{func}")
 
 
@@ -557,7 +558,6 @@ class _Parser:
 
     def parse(self):
         self._expect("kw", "SELECT")
-        agg_tokens_start = self.i
         # The FROM table must be known before expressions referencing
         # columns are built; scan ahead for it first.
         depth = 0
@@ -712,10 +712,11 @@ class _Parser:
                 self._next()
                 args.append(self._expr())
         self._expect("op", ")")
-        callable_, body_cost = self.session._resolve_function(schema,
-                                                              func)
+        callable_, body_cost, parallel_safe = \
+            self.session._resolve_function(schema, func)
         return ScalarUdf(callable_, *args, body_cost=body_cost,
-                         name=f"{schema}.{func}")
+                         name=f"{schema}.{func}",
+                         parallel_safe=parallel_safe)
 
     # -- predicates ---------------------------------------------------------------
 
@@ -919,7 +920,7 @@ class _Ddl:
                     self._next()
                     args.append(self._value())
             self._expect("op", ")")
-            callable_, _cost = self.session._resolve_function(
+            callable_, _cost, _psafe = self.session._resolve_function(
                 text, func_name)
             return callable_(*args)
         raise SqlSyntaxError(f"unexpected value token {text!r}")

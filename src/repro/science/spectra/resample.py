@@ -44,8 +44,6 @@ def overlap_matrix(src_edges: np.ndarray,
     """
     src = _check_edges(src_edges, "source edges")
     dst = _check_edges(dst_edges, "target edges")
-    n_src = src.shape[0] - 1
-    n_dst = dst.shape[0] - 1
     lo = np.maximum(dst[:-1, None], src[None, :-1])
     hi = np.minimum(dst[1:, None], src[None, 1:])
     overlap = np.clip(hi - lo, 0.0, None)

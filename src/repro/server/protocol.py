@@ -66,7 +66,10 @@ import json
 import numbers
 import socket
 import struct
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # the sync client never has to import asyncio
+    import asyncio
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -118,7 +121,7 @@ class ProtocolError(Exception):
 
 # -- value packing -----------------------------------------------------------
 
-def _pack_value(value, blobs: list[bytes]):
+def _pack_value(value: object, blobs: list[bytes]) -> object:
     if value is None or isinstance(value, (bool, str)):
         return value
     if isinstance(value, (bytes, bytearray, memoryview)):
@@ -134,7 +137,7 @@ def _pack_value(value, blobs: list[bytes]):
         f"cannot encode value of type {type(value).__name__}")
 
 
-def _unpack_value(value, blobs: Sequence[bytes]):
+def _unpack_value(value: object, blobs: Sequence[bytes]) -> object:
     if isinstance(value, dict):
         if set(value) != {"$blob"}:
             raise ProtocolError(f"unexpected object cell {value!r}")
@@ -147,7 +150,8 @@ def _unpack_value(value, blobs: Sequence[bytes]):
     return value
 
 
-def pack_rows(rows: Sequence[Sequence]) -> tuple[list, list[bytes]]:
+def pack_rows(rows: Sequence[Sequence[object]]
+              ) -> tuple[list[list[object]], list[bytes]]:
     """JSON-encode result rows; blob cells are moved to the binary
     tail and replaced by ``{"$blob": i}`` markers."""
     blobs: list[bytes] = []
@@ -156,8 +160,8 @@ def pack_rows(rows: Sequence[Sequence]) -> tuple[list, list[bytes]]:
     return packed, blobs
 
 
-def unpack_rows(rows: Sequence[Sequence],
-                blobs: Sequence[bytes]) -> list[tuple]:
+def unpack_rows(rows: Sequence[Sequence[object]],
+                blobs: Sequence[bytes]) -> list[tuple[object, ...]]:
     """Invert :func:`pack_rows`, resolving blob markers."""
     return [tuple(_unpack_value(cell, blobs) for cell in row)
             for row in rows]
@@ -165,7 +169,8 @@ def unpack_rows(rows: Sequence[Sequence],
 
 # -- framing -----------------------------------------------------------------
 
-def encode_frame(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
+def encode_frame(header: dict[str, object],
+                 blobs: Sequence[bytes] = ()) -> bytes:
     """Serialize one frame (header JSON + binary tail)."""
     if "type" not in header:
         raise ProtocolError("frame header needs a 'type' key")
@@ -177,7 +182,7 @@ def encode_frame(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
     return _U32.pack(total) + _U32.pack(len(body)) + body + tail
 
 
-def decode_frame(payload: bytes) -> tuple[dict, list[bytes]]:
+def decode_frame(payload: bytes) -> tuple[dict[str, object], list[bytes]]:
     """Parse one frame payload (everything after the ``total`` prefix)
     into ``(header, blobs)``."""
     if len(payload) < 4:
@@ -202,7 +207,7 @@ def decode_frame(payload: bytes) -> tuple[dict, list[bytes]]:
         raise ProtocolError(
             f"blob lengths {lengths} do not cover a {len(tail)}-byte "
             "tail")
-    blobs = []
+    blobs: list[bytes] = []
     pos = 0
     for n in lengths:
         blobs.append(tail[pos:pos + n])
@@ -220,8 +225,9 @@ def _check_total(total: int, max_frame: int) -> None:
 
 # -- asyncio stream IO --------------------------------------------------------
 
-async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES
-                     ) -> tuple[dict, list[bytes]] | None:
+async def read_frame(reader: "asyncio.StreamReader",
+                     max_frame: int = MAX_FRAME_BYTES
+                     ) -> tuple[dict[str, object], list[bytes]] | None:
     """Read one frame from an asyncio stream reader.
 
     Returns ``None`` on a clean EOF (peer closed between frames);
@@ -244,7 +250,8 @@ async def read_frame(reader, max_frame: int = MAX_FRAME_BYTES
     return decode_frame(payload)
 
 
-async def write_frame(writer, header: dict,
+async def write_frame(writer: "asyncio.StreamWriter",
+                      header: dict[str, object],
                       blobs: Sequence[bytes] = ()) -> None:
     """Write one frame to an asyncio stream writer and drain."""
     writer.write(encode_frame(header, blobs))
@@ -254,7 +261,7 @@ async def write_frame(writer, header: dict,
 # -- blocking socket IO (sync client) ----------------------------------------
 
 def _recv_exactly(sock: socket.socket, n: int) -> bytes:
-    chunks = []
+    chunks: list[bytes] = []
     remaining = n
     while remaining:
         chunk = sock.recv(remaining)
@@ -269,7 +276,7 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
 
 def read_frame_sock(sock: socket.socket,
                     max_frame: int = MAX_FRAME_BYTES
-                    ) -> tuple[dict, list[bytes]] | None:
+                    ) -> tuple[dict[str, object], list[bytes]] | None:
     """Blocking-socket twin of :func:`read_frame` (None on clean EOF)."""
     prefix = sock.recv(4)
     if not prefix:
@@ -284,7 +291,7 @@ def read_frame_sock(sock: socket.socket,
     return decode_frame(_recv_exactly(sock, total))
 
 
-def write_frame_sock(sock: socket.socket, header: dict,
+def write_frame_sock(sock: socket.socket, header: dict[str, object],
                      blobs: Sequence[bytes] = ()) -> None:
     """Blocking-socket twin of :func:`write_frame`."""
     sock.sendall(encode_frame(header, blobs))

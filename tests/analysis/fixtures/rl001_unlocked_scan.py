@@ -1,0 +1,30 @@
+"""Seeded RL001 violation: a public session entry point reaches the buffer
+pool without taking the database RWLock first."""
+
+
+class BufferPool:
+    def fetch(self, page_id):
+        return page_id
+
+
+class RWLockStub:
+    def read_lock(self):
+        raise NotImplementedError
+
+    def write_lock(self):
+        raise NotImplementedError
+
+
+class Database:
+    def __init__(self):
+        self.pool = BufferPool()
+        self.lock = RWLockStub()
+
+
+class SqlSession:
+    def __init__(self, db):
+        self.db = db
+
+    def peek_page(self, page_id):
+        # RL001: no `with self.db.lock.read_lock():` around the pool access.
+        return self.db.pool.fetch(page_id)

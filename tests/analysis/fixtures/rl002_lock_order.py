@@ -1,0 +1,23 @@
+"""Seeded RL002 violation: the database RWLock is acquired while the pool's
+internal mutex is already held (inverse of the engine's lock order)."""
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLockStub:
+    @contextmanager
+    def write_lock(self):
+        yield self
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+def flush_pages(pool, db_lock):
+    with pool._lock:
+        # RL002: RWLock taken under the pool mutex — inverse lock order.
+        with db_lock.write_lock():
+            return True

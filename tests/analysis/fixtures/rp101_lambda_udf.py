@@ -1,0 +1,7 @@
+"""Seeded RP101 violation: a lambda registered as a SQL UDF cannot be
+pickled by name into a parallel worker."""
+
+
+def install_udfs(session):
+    # RP101: lambdas have no importable name; workers cannot resolve them.
+    session.register_function("dbo.DoubleIt", lambda v: v * 2.0)

@@ -1,0 +1,9 @@
+"""Seeded RV201 violation: a batch kernel writes into its input column
+array instead of producing a fresh result."""
+
+
+def scale_kernel(args):
+    values = args[0]
+    # RV201: in-place store into the shared input buffer.
+    values[:] = [v * 2.0 for v in values]
+    return list(values), None

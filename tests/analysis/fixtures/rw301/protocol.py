@@ -1,0 +1,18 @@
+"""Seeded RW301 violation: a wire-protocol module that grew an error code
+without regenerating its checked-in schema.
+
+Frames::
+
+    {"type": "query", "sql": str}
+    {"type": "result", "kind": str, "rows": list}
+    {"type": "error", "code": str, "message": str}
+"""
+
+PROTOCOL_VERSION = 1
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+NO_TIMEOUT = "none"
+
+SERVER_BUSY = "SERVER_BUSY"
+SQL_ERROR = "SQL_ERROR"
+# Added after the schema was frozen -- replint must flag the drift.
+SHARD_MOVED = "SHARD_MOVED"

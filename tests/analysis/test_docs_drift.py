@@ -1,0 +1,61 @@
+"""Wire-protocol documentation drift: every error code, frame type, and
+protocol constant in ``repro.server.protocol`` must be documented in
+``docs/SERVER.md`` and frozen in ``protocol_schema.json``.
+
+This is the standalone CI guard the lint job runs even when replint itself
+changes; RW301 enforces the same contract inside ``repro lint``.
+"""
+
+import ast
+import json
+import os
+import re
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+PROTOCOL = os.path.join(REPO_ROOT, "src", "repro", "server", "protocol.py")
+SCHEMA = os.path.join(REPO_ROOT, "src", "repro", "server",
+                      "protocol_schema.json")
+SERVER_MD = os.path.join(REPO_ROOT, "docs", "SERVER.md")
+
+
+def _protocol_error_codes():
+    with open(PROTOCOL, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    codes = []
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and re.match(r"^[A-Z][A-Z_]+$", node.targets[0].id)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+                and node.value.value.isupper()):
+            codes.append(node.value.value)
+    return codes
+
+
+def test_every_error_code_documented_in_server_md():
+    with open(SERVER_MD, encoding="utf-8") as handle:
+        docs = handle.read()
+    codes = _protocol_error_codes()
+    assert codes, "no error codes extracted from protocol.py"
+    missing = [code for code in codes if code not in docs]
+    assert not missing, f"undocumented error codes: {missing}"
+
+
+def test_every_error_code_frozen_in_schema():
+    with open(SCHEMA, encoding="utf-8") as handle:
+        frozen = json.load(handle)
+    assert sorted(set(_protocol_error_codes())) == frozen["error_codes"]
+
+
+def test_replint_wire_rule_passes_on_tree():
+    from repro.analysis import lint_paths
+    from repro.analysis.rules_wire import WireSchemaRule
+
+    findings = lint_paths(
+        [os.path.join(REPO_ROOT, "src", "repro", "server")],
+        rules=[WireSchemaRule()],
+        root=REPO_ROOT,
+    )
+    assert findings == [], [f.render() for f in findings]

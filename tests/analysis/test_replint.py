@@ -1,0 +1,301 @@
+"""replint self-tests: framework behavior, fixtures, and the real tree."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_paths, render_human, render_json
+from repro.analysis.framework import (
+    Finding,
+    LintContext,
+    SourceFile,
+    collect_files,
+    run_rules,
+)
+from repro.analysis.rules_wire import extract_schema
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+SRC_TREE = os.path.join(REPO_ROOT, "src", "repro")
+
+EXPECTED = {
+    "rl001_unlocked_scan.py": "RL001",
+    "rl002_lock_order.py": "RL002",
+    "rp101_lambda_udf.py": "RP101",
+    "rv201_mutating_kernel.py": "RV201",
+    os.path.join("rw301", "protocol.py"): "RW301",
+}
+
+
+def lint_fixture(relpath):
+    return lint_paths([os.path.join(FIXTURES, relpath)], root=FIXTURES)
+
+
+# -- fixtures: one seeded violation each, exactly its own rule -------------
+
+@pytest.mark.parametrize("relpath,rule", sorted(EXPECTED.items()))
+def test_fixture_triggers_exactly_its_rule(relpath, rule):
+    findings = lint_fixture(relpath)
+    assert len(findings) == 1, findings
+    assert findings[0].rule == rule
+
+
+@pytest.mark.parametrize("relpath,rule", sorted(EXPECTED.items()))
+def test_fixture_triggers_no_other_rule(relpath, rule):
+    other_rules = [r for r in ALL_RULES if r.code != rule]
+    findings = lint_paths(
+        [os.path.join(FIXTURES, relpath)], rules=other_rules, root=FIXTURES
+    )
+    assert findings == []
+
+
+def test_fixture_directory_as_a_whole():
+    findings = lint_paths([FIXTURES], root=FIXTURES)
+    assert sorted(f.rule for f in findings) == sorted(EXPECTED.values())
+
+
+# -- the real tree lints clean ---------------------------------------------
+
+def test_real_tree_is_clean():
+    findings = lint_paths([SRC_TREE], root=REPO_ROOT)
+    assert findings == [], render_human(findings)
+
+
+# -- suppressions ----------------------------------------------------------
+
+def _lint_texts(tmp_path, texts):
+    paths = []
+    for name, text in texts.items():
+        path = tmp_path / name
+        path.write_text(text)
+        paths.append(str(path))
+    return lint_paths(paths, root=str(tmp_path))
+
+
+def test_line_suppression(tmp_path):
+    text = (
+        "def install(session):\n"
+        "    session.register_function('dbo.F', lambda v: v)"
+        "  # replint: disable=RP101\n"
+    )
+    assert _lint_texts(tmp_path, {"sup.py": text}) == []
+
+
+def test_line_suppression_all(tmp_path):
+    text = (
+        "def install(session):\n"
+        "    session.register_function('dbo.F', lambda v: v)"
+        "  # replint: disable=all\n"
+    )
+    assert _lint_texts(tmp_path, {"sup.py": text}) == []
+
+
+def test_file_suppression(tmp_path):
+    text = (
+        "# replint: disable-file=RP101\n"
+        "def install(session):\n"
+        "    session.register_function('dbo.F', lambda v: v)\n"
+    )
+    assert _lint_texts(tmp_path, {"sup.py": text}) == []
+
+
+def test_wrong_rule_suppression_does_not_hide(tmp_path):
+    text = (
+        "def install(session):\n"
+        "    session.register_function('dbo.F', lambda v: v)"
+        "  # replint: disable=RV201\n"
+    )
+    findings = _lint_texts(tmp_path, {"sup.py": text})
+    assert [f.rule for f in findings] == ["RP101"]
+
+
+# -- framework mechanics ---------------------------------------------------
+
+def test_parse_error_reports_finding(tmp_path):
+    findings = _lint_texts(tmp_path, {"bad.py": "def broken(:\n"})
+    assert [f.rule for f in findings] == ["PARSE"]
+
+
+def test_json_output_roundtrips():
+    findings = [
+        Finding(rule="RL001", path="a.py", line=3, message="m"),
+    ]
+    payload = json.loads(render_json(findings))
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "RL001"
+
+
+def test_findings_sorted_and_deduped_paths(tmp_path):
+    texts = {
+        "b.py": "def f(session):\n"
+                "    session.register_function('x', lambda v: v)\n",
+        "a.py": "def g(session):\n"
+                "    session.register_function('y', lambda v: v)\n",
+    }
+    findings = _lint_texts(tmp_path, texts)
+    assert [os.path.basename(f.path) for f in findings] == ["a.py", "b.py"]
+
+
+def test_parallel_safe_false_exempts(tmp_path):
+    text = (
+        "def install(session):\n"
+        "    session.register_function('dbo.F', lambda v: v,\n"
+        "                              parallel_safe=False)\n"
+    )
+    assert _lint_texts(tmp_path, {"ok.py": text}) == []
+
+
+def test_rv201_out_kwarg_flagged(tmp_path):
+    text = (
+        "import numpy as np\n"
+        "def add_kernel(args):\n"
+        "    return np.add(args[0], args[1], out=args[0]), None\n"
+    )
+    findings = _lint_texts(tmp_path, {"k.py": text})
+    assert [f.rule for f in findings] == ["RV201"]
+
+
+def test_rv201_returning_input_flagged(tmp_path):
+    text = (
+        "def passthrough_kernel(args):\n"
+        "    return args[0]\n"
+    )
+    findings = _lint_texts(tmp_path, {"k.py": text})
+    assert [f.rule for f in findings] == ["RV201"]
+
+
+def test_rv201_fresh_kernel_clean(tmp_path):
+    text = (
+        "import numpy as np\n"
+        "def scale_kernel(args):\n"
+        "    out = np.empty(len(args[0]))\n"
+        "    np.multiply(args[0], 2.0, out=out)\n"
+        "    return out\n"
+    )
+    assert _lint_texts(tmp_path, {"k.py": text}) == []
+
+
+def test_rl002_reentrant_flagged(tmp_path):
+    text = (
+        "def statement(db):\n"
+        "    with db.lock.write_lock():\n"
+        "        with db.lock.read_lock():\n"
+        "            return 1\n"
+    )
+    findings = _lint_texts(tmp_path, {"l.py": text})
+    assert [f.rule for f in findings] == ["RL002"]
+
+
+def test_rl001_guarded_entry_clean(tmp_path):
+    text = (
+        "class BufferPool:\n"
+        "    def fetch(self, page_id):\n"
+        "        return page_id\n"
+        "class SqlSession:\n"
+        "    def __init__(self, db):\n"
+        "        self.db = db\n"
+        "    def peek_page(self, page_id):\n"
+        "        with self.db.lock.read_lock():\n"
+        "            return self.db.pool.fetch(page_id)\n"
+    )
+    assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+# -- schema extraction -----------------------------------------------------
+
+def test_extract_schema_matches_checked_in_file():
+    import ast
+
+    protocol_path = os.path.join(SRC_TREE, "server", "protocol.py")
+    schema_path = os.path.join(SRC_TREE, "server", "protocol_schema.json")
+    with open(protocol_path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read())
+    with open(schema_path, encoding="utf-8") as handle:
+        frozen = json.load(handle)
+    assert extract_schema(tree) == frozen
+
+
+# -- CLI -------------------------------------------------------------------
+
+def _run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
+
+
+def test_cli_clean_tree_exit_zero():
+    proc = _run_cli(os.path.join("src", "repro"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_fixture_exit_one_json():
+    proc = _run_cli(FIXTURES, "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == len(EXPECTED)
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in ALL_RULES:
+        assert rule.code in proc.stdout
+
+
+def test_cli_unknown_rule_exit_two():
+    proc = _run_cli("--rules", "NOPE")
+    assert proc.returncode == 2
+
+
+def test_cli_rule_filter():
+    proc = _run_cli(FIXTURES, "--rules", "RP101", "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert [f["rule"] for f in payload["findings"]] == ["RP101"]
+
+
+def test_repro_lint_subcommand():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", os.path.join("src", "repro")],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_collect_files_skips_pycache(tmp_path):
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text("def f(session):\n"
+                                   "    session.register_function('x', lambda v: v)\n")
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    files = collect_files([str(tmp_path)], root=str(tmp_path))
+    assert [f.basename for f in files] == ["ok.py"]
+
+
+def test_run_rules_with_explicit_context(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1\n")
+    files = collect_files([str(tmp_path)], root=str(tmp_path))
+    ctx = LintContext(str(tmp_path))
+    assert run_rules(files, ALL_RULES, ctx) == []
+
+
+def test_source_file_suppression_table():
+    source = SourceFile(
+        "/virtual/x.py",
+        "a = 1  # replint: disable=RL001,RL002\n"
+        "# replint: disable-file=RW301\n",
+    )
+    assert source.is_suppressed("RL001", 1)
+    assert source.is_suppressed("RL002", 1)
+    assert not source.is_suppressed("RL001", 2)
+    assert source.is_suppressed("RW301", 99)

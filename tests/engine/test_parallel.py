@@ -99,6 +99,24 @@ class TestEngineSelection:
             "SELECT SUM(dbo.Tally(x)) FROM t WHERE x IS NOT NULL",
             engine="vector")
         assert _bits(vals) == _bits(ref)
+        # The flag lives in the session registry, not stamped onto the
+        # caller's function object (which may be shared across sessions).
+        assert not hasattr(tally, "_parallel_safe")
+
+    def test_parallel_safe_flag_is_per_session(self, session):
+        def doubler(v):
+            return (v or 0.0) * 2.0
+
+        session.register_function("dbo.Doubler", doubler,
+                                  parallel_safe=False)
+        assert not hasattr(doubler, "_parallel_safe")
+        from repro.engine.sqlfront import SqlSession
+        other = SqlSession(session.db)
+        other.register_function("dbo.Doubler", doubler)
+        _, _, safe = other._resolve_function("dbo", "Doubler")
+        assert safe is True  # the first session's False did not leak
+        _, _, unsafe = session._resolve_function("dbo", "Doubler")
+        assert unsafe is False
 
     def test_unpicklable_udf_falls_back_to_vector(self, session):
         box = {"scale": 3.0}
