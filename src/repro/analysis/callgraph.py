@@ -16,8 +16,11 @@ constructed in place):
 
 Lock state is tracked while the body of each function is walked: ``with
 x.read_lock():`` / ``with x.write_lock():`` push an ``rwlock`` guard, ``with
-x._lock:`` pushes a ``pool`` guard (the BufferPool / stats internal mutex
-convention), and every call site records the guard stack held at that point.
+x.read_latch(...):`` / ``x.write_latch(...):`` / ``x.ddl_latch():`` push a
+``latch`` guard (the per-table latch hierarchy, see
+``repro.engine.latches``), ``with x._lock:`` pushes a ``pool`` guard (the
+BufferPool / PageFile / stats internal mutex convention), and every call
+site records the guard stack held at that point.
 """
 
 from __future__ import annotations
@@ -29,7 +32,11 @@ from typing import Iterator, Sequence
 from .framework import SourceFile
 
 RWLOCK_GUARD = "rwlock"
+LATCH_GUARD = "latch"
 POOL_GUARD = "pool"
+
+#: ``with``-context method names that acquire statement latches.
+LATCH_METHODS = frozenset({"read_latch", "write_latch", "ddl_latch"})
 
 #: Method names that collide with builtin container/str/regex APIs; an
 #: attribute call on an *unknown* receiver with one of these names is far more
@@ -95,14 +102,16 @@ class CallSite:
 
     @property
     def guarded(self) -> bool:
-        return RWLOCK_GUARD in self.held
+        """Whether a statement-level guard (the coarse RWLock or a
+        table-latch set) is held at this call site."""
+        return RWLOCK_GUARD in self.held or LATCH_GUARD in self.held
 
 
 @dataclasses.dataclass
 class LockEvent:
     """A ``with``-statement lock acquisition inside a function body."""
 
-    kind: str  # RWLOCK_GUARD or POOL_GUARD
+    kind: str  # RWLOCK_GUARD, LATCH_GUARD or POOL_GUARD
     line: int
     held_before: tuple[str, ...]
     detail: str  # source-ish description of the context expression
@@ -135,6 +144,10 @@ class FunctionInfo:
     def acquires_rwlock(self) -> bool:
         return any(event.kind == RWLOCK_GUARD for event in self.lock_events)
 
+    @property
+    def acquires_latch(self) -> bool:
+        return any(event.kind == LATCH_GUARD for event in self.lock_events)
+
 
 def _guard_kind(expr: ast.expr) -> tuple[str, str] | None:
     """Classify a ``with`` context expression as a lock guard, if it is one."""
@@ -142,6 +155,8 @@ def _guard_kind(expr: ast.expr) -> tuple[str, str] | None:
     if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
         if expr.func.attr in ("read_lock", "write_lock"):
             return RWLOCK_GUARD, expr.func.attr
+        if expr.func.attr in LATCH_METHODS:
+            return LATCH_GUARD, expr.func.attr
     if isinstance(expr, ast.Attribute) and expr.attr == "_lock":
         return POOL_GUARD, "._lock"
     return None

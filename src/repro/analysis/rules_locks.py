@@ -4,18 +4,27 @@ RL001 — every path from a public ``SqlSession`` entry point to a page- or
 tree-mutating sink (``BufferPool.fetch``/``fetch_many``, ``Table.insert``/
 ``insert_many``/``delete``, ``BTree.insert``/``delete``/``bulk_load``, and
 the ``Executor.run*`` family, which assumes the caller holds the lock) must
-pass through a ``db.lock.read_lock()`` / ``write_lock()`` context, the way
-``SqlSession.execute`` and ``SqlSession.query`` do.  Edges taken *inside* a
-guard are satisfied and not traversed further; any unguarded path that
-reaches a sink is reported at the first call edge of that path.
+pass through a statement guard — a ``db.latches.read_latch(...)`` /
+``write_latch(...)`` / ``ddl_latch()`` context (the per-table latch
+hierarchy, see ``repro.engine.latches``) or the legacy
+``db.lock.read_lock()`` / ``write_lock()`` — the way ``SqlSession.execute``
+and ``SqlSession.query`` do.  Edges taken *inside* a guard are satisfied
+and not traversed further; any unguarded path that reaches a sink is
+reported at the first call edge of that path.
 
-RL002 — the BufferPool internal mutex (``self._lock``) is a leaf lock: the
-engine orders RWLock -> pool lock, never the inverse, and the RWLock is not
-re-entrant (a read holder taking ``write_lock`` deadlocks by design, see
-``repro.engine.locks``).  The rule flags, lexically and through calls:
-acquiring an RWLock guard while a pool guard is held (inverse order) and
-acquiring an RWLock guard while an RWLock guard is already held
-(re-entrancy).
+RL002 — the lock hierarchy is ``catalog latch > table latches > pool/page
+``_lock`` mutexes``, acquired strictly downward, and neither the RWLock nor
+the latch set is re-entrant.  The rule flags, lexically and through calls:
+
+- acquiring an RWLock guard while a pool guard is held (inverse order);
+- acquiring an RWLock guard while an RWLock guard is already held
+  (re-entrancy — a read holder taking ``write_lock`` deadlocks by design,
+  see ``repro.engine.locks``);
+- acquiring a latch guard while a pool guard is held (a leaf mutex is
+  *below* the latch level; taking a latch under it inverts the hierarchy);
+- acquiring a latch guard while a latch guard is already held (unordered
+  multi-table acquisition — a statement's whole latch set must be taken in
+  one sorted ``read_latch``/``write_latch`` call, never incrementally).
 """
 
 from __future__ import annotations
@@ -23,7 +32,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Sequence
 
-from .callgraph import POOL_GUARD, RWLOCK_GUARD, CallGraph, CallSite, FunctionInfo
+from .callgraph import (
+    LATCH_GUARD,
+    POOL_GUARD,
+    RWLOCK_GUARD,
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+)
 from .framework import Finding, LintContext, Rule, SourceFile
 
 #: Classes whose public methods are statement entry points.
@@ -56,8 +72,8 @@ class LockDisciplineRule(Rule):
     code = "RL001"
     name = "lock-discipline"
     description = (
-        "public SqlSession entry points must hold db.lock before reaching "
-        "BufferPool/Table/BTree/Executor sinks"
+        "public SqlSession entry points must hold a table latch (or "
+        "db.lock) before reaching BufferPool/Table/BTree/Executor sinks"
     )
 
     def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
@@ -88,7 +104,7 @@ class LockDisciplineRule(Rule):
             func, path, first_edge = queue.popleft()
             for call in func.calls:
                 if call.guarded:
-                    continue  # satisfied: the edge is under db.lock
+                    continue  # satisfied: edge under a latch or db.lock
                 for target in graph.resolve(call, func):
                     edge = first_edge or call
                     if _is_sink(target):
@@ -105,7 +121,8 @@ class LockDisciplineRule(Rule):
                                 message=(
                                     f"{entry.qualname} reaches "
                                     f"{target.qualname} without holding "
-                                    f"db.lock (path: {chain})"
+                                    "a table latch or db.lock "
+                                    f"(path: {chain})"
                                 ),
                             )
                         )
@@ -121,8 +138,10 @@ class LockOrderRule(Rule):
     code = "RL002"
     name = "lock-order"
     description = (
-        "never acquire db.lock while holding a pool _lock, and never "
-        "re-acquire the non-reentrant RWLock"
+        "never acquire db.lock or a table latch while holding a pool "
+        "_lock, never re-acquire the non-reentrant RWLock, and never "
+        "nest latch acquisitions (multi-table latch sets are taken in "
+        "one sorted call)"
     )
 
     def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
@@ -136,32 +155,61 @@ class LockOrderRule(Rule):
     def _lexical(self, func: FunctionInfo) -> list[Finding]:
         findings: list[Finding] = []
         for event in func.lock_events:
-            if event.kind != RWLOCK_GUARD:
-                continue
-            if RWLOCK_GUARD in event.held_before:
-                findings.append(
-                    Finding(
-                        rule=self.code,
-                        path=func.display_path,
-                        line=event.line,
-                        message=(
-                            f"{func.qualname} re-acquires the RWLock while "
-                            "already holding it (RWLock is not re-entrant)"
-                        ),
+            if event.kind == RWLOCK_GUARD:
+                if RWLOCK_GUARD in event.held_before:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=event.line,
+                            message=(
+                                f"{func.qualname} re-acquires the RWLock "
+                                "while already holding it (RWLock is not "
+                                "re-entrant)"
+                            ),
+                        )
                     )
-                )
-            if POOL_GUARD in event.held_before:
-                findings.append(
-                    Finding(
-                        rule=self.code,
-                        path=func.display_path,
-                        line=event.line,
-                        message=(
-                            f"{func.qualname} acquires the RWLock while "
-                            "holding a pool _lock (inverse lock order)"
-                        ),
+                if POOL_GUARD in event.held_before:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=event.line,
+                            message=(
+                                f"{func.qualname} acquires the RWLock while "
+                                "holding a pool _lock (inverse lock order)"
+                            ),
+                        )
                     )
-                )
+            elif event.kind == LATCH_GUARD:
+                if LATCH_GUARD in event.held_before:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=event.line,
+                            message=(
+                                f"{func.qualname} acquires a table latch "
+                                "while already holding one (unordered "
+                                "multi-table acquisition; take the whole "
+                                "latch set in one sorted "
+                                "read_latch/write_latch call)"
+                            ),
+                        )
+                    )
+                if POOL_GUARD in event.held_before:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=event.line,
+                            message=(
+                                f"{func.qualname} acquires a table latch "
+                                "while holding a pool _lock (the pool lock "
+                                "is a leaf below the latch level)"
+                            ),
+                        )
+                    )
         return findings
 
     def _through_calls(self, graph: CallGraph, func: FunctionInfo) -> list[Finding]:
@@ -170,22 +218,56 @@ class LockOrderRule(Rule):
             if not call.held:
                 continue
             holds_rw = RWLOCK_GUARD in call.held
+            holds_latch = LATCH_GUARD in call.held
             holds_pool = POOL_GUARD in call.held
-            if not (holds_rw or holds_pool):
+            if not (holds_rw or holds_latch or holds_pool):
                 continue
-            offender = self._reaches_rwlock(graph, call, func)
-            if offender is None:
+            rw_offender = self._reaches(
+                graph, call, func, lambda f: f.acquires_rwlock)
+            if rw_offender is not None:
+                if holds_rw:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=call.line,
+                            message=(
+                                f"{func.qualname} holds the RWLock and "
+                                f"calls into {rw_offender.label}, which "
+                                "re-acquires it (RWLock is not re-entrant)"
+                            ),
+                        )
+                    )
+                elif holds_pool:
+                    findings.append(
+                        Finding(
+                            rule=self.code,
+                            path=func.display_path,
+                            line=call.line,
+                            message=(
+                                f"{func.qualname} holds a pool _lock and "
+                                f"calls into {rw_offender.label}, which "
+                                "acquires the RWLock (inverse lock order)"
+                            ),
+                        )
+                    )
+            if not (holds_latch or holds_pool):
                 continue
-            if holds_rw:
+            latch_offender = self._reaches(
+                graph, call, func, lambda f: f.acquires_latch)
+            if latch_offender is None:
+                continue
+            if holds_latch:
                 findings.append(
                     Finding(
                         rule=self.code,
                         path=func.display_path,
                         line=call.line,
                         message=(
-                            f"{func.qualname} holds the RWLock and calls into "
-                            f"{offender.label}, which re-acquires it "
-                            "(RWLock is not re-entrant)"
+                            f"{func.qualname} holds a table latch and calls "
+                            f"into {latch_offender.label}, which acquires "
+                            "another latch (unordered multi-table "
+                            "acquisition)"
                         ),
                     )
                 )
@@ -197,16 +279,23 @@ class LockOrderRule(Rule):
                         line=call.line,
                         message=(
                             f"{func.qualname} holds a pool _lock and calls "
-                            f"into {offender.label}, which acquires the "
-                            "RWLock (inverse lock order)"
+                            f"into {latch_offender.label}, which acquires a "
+                            "table latch (the pool lock is a leaf below "
+                            "the latch level)"
                         ),
                     )
                 )
         return findings
 
-    def _reaches_rwlock(
-        self, graph: CallGraph, call: CallSite, caller: FunctionInfo
+    def _reaches(
+        self,
+        graph: CallGraph,
+        call: CallSite,
+        caller: FunctionInfo,
+        predicate,
     ) -> FunctionInfo | None:
+        """First function reachable from ``call`` satisfying
+        ``predicate`` (BFS over resolved call edges), or ``None``."""
         queue: deque[FunctionInfo] = deque(graph.resolve(call, caller))
         visited: set[int] = set()
         while queue:
@@ -214,7 +303,7 @@ class LockOrderRule(Rule):
             if id(func) in visited:
                 continue
             visited.add(id(func))
-            if func.acquires_rwlock:
+            if predicate(func):
                 return func
             for inner in func.calls:
                 queue.extend(graph.resolve(inner, func))

@@ -22,6 +22,7 @@ from .constants import (
 from .costmodel import PAPER_HARDWARE, CostModel
 from .indexes import SecondaryIndex, float_to_ordered_int, \
     ordered_int_to_float
+from .latches import LatchManager
 from .locks import RWLock
 from .executor import (
     Avg,
@@ -67,6 +68,7 @@ __all__ = [
     "MaxBlobHandle",
     "SchemaError",
     "RWLock",
+    "LatchManager",
     "CostModel",
     "PAPER_HARDWARE",
     "QueryMetrics",

@@ -12,6 +12,7 @@ reads so the cost model can charge them differently.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -66,7 +67,7 @@ class _ThreadIoState:
     page id of its own previous physical read (per-stream sequential
     classification)."""
 
-    __slots__ = ("counters", "last_physical")
+    __slots__ = ("counters", "last_physical", "__weakref__")
 
     def __init__(self):
         self.counters = IoCounters()
@@ -111,6 +112,13 @@ class BufferPool:
         self._physical_log: list[int] | None = None
         self._lock = threading.RLock()
         self._thread = threading.local()
+        # Every live thread's IO state, so a cache clear can reset
+        # *all* threads' sequential-stream positions, not just the
+        # clearing thread's.  Weak: states die with their threads.
+        # Mutated and iterated only under the lock (WeakSet is not
+        # thread-safe).
+        self._thread_states: "weakref.WeakSet[_ThreadIoState]" = \
+            weakref.WeakSet()
 
     def __getstate__(self):
         """Pickle everything but the locks, cache contents and
@@ -121,6 +129,7 @@ class BufferPool:
         state = self.__dict__.copy()
         state["_lock"] = None
         state["_thread"] = None
+        state["_thread_states"] = None
         state["_physical_log"] = None
         state["_cached"] = OrderedDict()
         state["counters"] = IoCounters()
@@ -131,6 +140,7 @@ class BufferPool:
         self.__dict__.update(state)
         self._lock = threading.RLock()
         self._thread = threading.local()
+        self._thread_states = weakref.WeakSet()
 
     def start_physical_log(self) -> None:
         """Begin recording the ordered page ids of physical reads.
@@ -152,7 +162,10 @@ class BufferPool:
     def _thread_state(self) -> "_ThreadIoState":
         state = getattr(self._thread, "state", None)
         if state is None:
-            state = self._thread.state = _ThreadIoState()
+            state = _ThreadIoState()
+            with self._lock:
+                self._thread_states.add(state)
+            self._thread.state = state
         return state
 
     @property
@@ -236,12 +249,18 @@ class BufferPool:
         perturbs their physical-read counts (the counts stay accurate —
         the evictions are real — but cold-cache isolation as in the
         paper's runs needs concurrency 1).
+
+        Every thread's sequential-stream position is reset, not just
+        the calling thread's: after the clear, *anyone's* next physical
+        read starts a new stream (it cannot ride a read-ahead window
+        opened against the pre-clear cache), so classifying it as
+        sequential against a pre-clear page would be a lie.
         """
-        mine = self._thread_state()
         with self._lock:
             self._cached.clear()
             self._last_physical = None
-            mine.last_physical = None
+            for state in self._thread_states:
+                state.last_physical = None
 
     def snapshot_counters(self) -> IoCounters:
         """Consistent copy of the global counters (taken under the
@@ -264,9 +283,14 @@ class BufferPool:
         """Zero the global counters, returning the values they had.
 
         Per-thread counters are unaffected (they are monotonic and
-        only ever consumed as deltas)."""
+        only ever consumed as deltas), but every thread's
+        sequential-stream position restarts — the same all-threads
+        reset :meth:`clear` does, so post-reset classification never
+        chains onto a pre-reset read."""
         with self._lock:
             old = self.counters
             self.counters = IoCounters()
             self._last_physical = None
+            for state in self._thread_states:
+                state.last_physical = None
             return old

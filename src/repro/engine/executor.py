@@ -34,6 +34,7 @@ from . import vectorized
 from .blob import BlobStore
 from .bufferpool import BufferPool
 from .costmodel import PAPER_HARDWARE, CostModel
+from .latches import LatchManager
 from .locks import RWLock
 from .metrics import QueryMetrics
 from .page import PageFile
@@ -62,28 +63,46 @@ class Database:
     One database may be shared by many sessions (the
     :mod:`repro.server` worker pool multiplexes per-connection
     :class:`~repro.engine.sqlfront.SqlSession` objects over a single
-    instance).  :attr:`lock` is the statement-granularity
-    reader/writer lock those sessions take — shared for SELECT,
-    exclusive for DDL/DML — and :meth:`create_table` itself guards the
+    instance).  :attr:`latches` is the statement-granularity latch
+    hierarchy those sessions take — a shared catalog latch plus
+    per-table reader/writer latches, so a writer on one table overlaps
+    readers on another (see :mod:`repro.engine.latches` and
+    ``docs/LOCKING.md``).  :attr:`lock` is the legacy coarse RWLock the
+    latches collapse onto under ``latch_mode="coarse"`` /
+    ``REPRO_LATCH=coarse``.  :meth:`create_table` itself guards the
     catalog dict so two concurrent CREATEs cannot race.
+
+    Args:
+        buffer_pages: Buffer pool capacity (``None`` = unbounded).
+        latch_mode: ``"table"`` (per-table latches, the default) or
+            ``"coarse"`` (one statement-granularity RWLock); ``None``
+            reads ``REPRO_LATCH``.
     """
 
     #: True on databases opened as read-only snapshots (parallel
     #: workers re-open the coordinator's snapshot this way).
     read_only = False
 
-    def __init__(self, buffer_pages: int | None = None):
+    def __init__(self, buffer_pages: int | None = None,
+                 latch_mode: str | None = None):
         self.pagefile = PageFile()
         self.blob_store = BlobStore(self.pagefile)
         self.pool = BufferPool(self.pagefile, buffer_pages)
         self.tables: dict[str, Table] = {}
         self.lock = RWLock()
+        self.latches = LatchManager(self.lock, self._table_names,
+                                    latch_mode)
         self._catalog_lock = threading.Lock()
+
+    def _table_names(self) -> list[str]:
+        """Current table names — the all-tables latch set."""
+        return list(self.tables)
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        # Locks and the parallel worker pool are process-local.
+        # Locks, latches and the parallel worker pool are process-local.
         state["lock"] = None
+        state["latches"] = None
         state["_catalog_lock"] = None
         state.pop("_worker_pool", None)
         return state
@@ -91,6 +110,7 @@ class Database:
     def __setstate__(self, state):
         self.__dict__.update(state)
         self.lock = RWLock()
+        self.latches = LatchManager(self.lock, self._table_names)
         self._catalog_lock = threading.Lock()
 
     @property

@@ -1,0 +1,194 @@
+"""Per-table latches: writers on one table overlap readers on another.
+
+The paper's host (SQL Server) lets any number of readers scan one table
+while a writer mutates a different one; until this module landed the
+reproduction serialized *every* writer against *all* readers behind one
+statement-granularity :class:`~repro.engine.locks.RWLock`.  The
+:class:`LatchManager` replaces that coarse lock with a two-level latch
+hierarchy:
+
+- a **catalog latch** (one :class:`RWLock` per database): shared by
+  every SELECT/INSERT/DELETE, exclusive for DDL (CREATE/DROP), so the
+  table set a statement latched cannot change under it;
+- one **table latch** (:class:`RWLock`, writer-preferring) per table:
+  shared for scans, exclusive for mutation.
+
+Lock hierarchy (acquire strictly downward, never upward)::
+
+    catalog latch  >  table latches (sorted by name)  >
+        BufferPool._lock / PageFile._lock (leaf mutexes)
+
+Deadlock avoidance: a statement's *entire* latch set is taken in one
+``read_latch(...)`` / ``write_latch(...)`` call, in sorted
+lower-cased table-name order, with the catalog latch always first.  No
+code path acquires a latch while already holding another latch, so no
+cycle can form; replint's RL002 enforces exactly that (no nested latch
+acquisition, no latch acquisition under a pool ``_lock``).
+
+The old coarse mode stays available for bisection: constructing the
+database with ``latch_mode="coarse"`` (or exporting
+``REPRO_LATCH=coarse``) maps every latch onto the single database
+RWLock — shared for reads, exclusive for writes and DDL — which is
+bit-for-bit the pre-latch behaviour.  ``REPRO_LATCH=table`` (or unset)
+selects the per-table latches.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+from .locks import RWLock
+
+__all__ = ["LatchManager", "LATCH_MODES"]
+
+#: Recognized latch modes: ``"table"`` (per-table latches, the default)
+#: and ``"coarse"`` (the legacy single statement-granularity RWLock).
+LATCH_MODES = ("table", "coarse")
+
+
+def _mode_from_env() -> str:
+    """Latch mode from ``REPRO_LATCH``; unknown values mean ``table``."""
+    value = os.environ.get("REPRO_LATCH", "").strip().lower()
+    return value if value in LATCH_MODES else "table"
+
+
+class LatchManager:
+    """Owns the catalog latch and one writer-preferring RWLock per table.
+
+    Latches are created lazily, keyed by lower-cased table name (the
+    front-end resolves tables case-insensitively, so ``T`` and ``t``
+    must share a latch).  The internals acquire/release explicitly with
+    ``try``/``finally`` rather than nesting ``with`` blocks: the
+    acquisition loop over a sorted latch set is *one* level of the
+    hierarchy, not a re-entrant stack.
+
+    Args:
+        db_lock: The database's coarse RWLock (used verbatim in
+            ``coarse`` mode, idle in ``table`` mode).
+        table_names: Callable returning the current table names (the
+            all-tables latch set for whole-database readers such as the
+            parallel engine's snapshots).
+        mode: ``"table"`` or ``"coarse"``; ``None`` reads
+            ``REPRO_LATCH`` (defaulting to ``"table"``).
+    """
+
+    def __init__(self, db_lock: RWLock,
+                 table_names: Callable[[], Iterable[str]],
+                 mode: str | None = None):
+        if mode is None:
+            mode = _mode_from_env()
+        if mode not in LATCH_MODES:
+            raise ValueError(
+                f"latch mode must be one of {LATCH_MODES}, got {mode!r}")
+        self.mode = mode
+        self._db_lock = db_lock
+        self._table_names = table_names
+        self._catalog = RWLock()
+        self._latches: dict[str, RWLock] = {}
+        # Leaf mutex guarding only the latch dict itself; nothing is
+        # acquired while it is held.
+        self._registry = threading.Lock()
+
+    def latch_for(self, name: str) -> RWLock:
+        """The latch guarding one table (created on first use)."""
+        key = name.lower()
+        with self._registry:
+            latch = self._latches.get(key)
+            if latch is None:
+                latch = self._latches[key] = RWLock()
+            return latch
+
+    def forget(self, name: str) -> None:
+        """Drop a table's latch (after DROP TABLE; caller must hold the
+        exclusive catalog latch so nobody can be waiting on it)."""
+        with self._registry:
+            self._latches.pop(name.lower(), None)
+
+    def _sorted_latches(self, names: Iterable[str]) -> list[RWLock]:
+        """Latches for a name set, in the canonical acquisition order
+        (sorted lower-cased names, duplicates collapsed)."""
+        return [self.latch_for(key)
+                for key in sorted({name.lower() for name in names})]
+
+    # -- statement-level guards ------------------------------------------------
+
+    @contextmanager
+    def read_latch(self, *tables: str) -> Iterator["LatchManager"]:
+        """Shared access to the named tables (a SELECT's latch set).
+
+        With no names, latches *every* current table — the guard a
+        whole-database reader needs (the parallel engine pickles a
+        snapshot of the full database, so all of it must be stable).
+        In ``coarse`` mode this is the database read lock regardless of
+        the name set.
+        """
+        if self.mode == "coarse":
+            self._db_lock.acquire_read()
+            try:
+                yield self
+            finally:
+                self._db_lock.release_read()
+            return
+        self._catalog.acquire_read()
+        held: list[RWLock] = []
+        try:
+            for latch in self._sorted_latches(
+                    tables if tables else self._table_names()):
+                latch.acquire_read()
+                held.append(latch)
+            yield self
+        finally:
+            for latch in reversed(held):
+                latch.release_read()
+            self._catalog.release_read()
+
+    @contextmanager
+    def write_latch(self, *tables: str) -> Iterator["LatchManager"]:
+        """Exclusive access to the named tables (an INSERT/DELETE's
+        latch set); readers and writers of *other* tables proceed.
+        The catalog latch is taken shared — DML never changes the table
+        set.  In ``coarse`` mode this is the database write lock.
+        """
+        if not tables:
+            raise ValueError("write_latch needs at least one table name")
+        if self.mode == "coarse":
+            self._db_lock.acquire_write()
+            try:
+                yield self
+            finally:
+                self._db_lock.release_write()
+            return
+        self._catalog.acquire_read()
+        held: list[RWLock] = []
+        try:
+            for latch in self._sorted_latches(tables):
+                latch.acquire_write()
+                held.append(latch)
+            yield self
+        finally:
+            for latch in reversed(held):
+                latch.release_write()
+            self._catalog.release_read()
+
+    @contextmanager
+    def ddl_latch(self) -> Iterator["LatchManager"]:
+        """Exclusive catalog access (CREATE/DROP TABLE).  Excludes
+        every concurrent statement — all of them hold the catalog latch
+        shared — without touching any table latch.  In ``coarse`` mode
+        this is the database write lock.
+        """
+        if self.mode == "coarse":
+            self._db_lock.acquire_write()
+            try:
+                yield self
+            finally:
+                self._db_lock.release_write()
+            return
+        self._catalog.acquire_write()
+        try:
+            yield self
+        finally:
+            self._catalog.release_write()

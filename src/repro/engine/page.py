@@ -14,9 +14,11 @@ charged to the IO model.
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Iterator
 
 from .constants import (
+    EXTENT_PAGES,
     PAGE_BODY_SIZE,
     PAGE_HEADER_SIZE,
     PAGE_SIZE,
@@ -175,6 +177,20 @@ class PageFile:
     def __init__(self):
         self._pages: list[Page | None] = []
         self._extents: dict[str | None, list[int]] = {}
+        # Leaf mutex: extent bookkeeping is shared across tables (and
+        # all tables' blobs share one allocation tag), so overlapping
+        # writers — legal under per-table latches — must serialize
+        # allocation.  Nothing is acquired while it is held.
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def page_count(self) -> int:
@@ -192,19 +208,22 @@ class PageFile:
     def allocate(self, kind: int, level: int = 0,
                  tag: str | None = None) -> Page:
         """Allocate a fresh page of the given kind within ``tag``'s
-        current extent (a new extent is opened when it fills)."""
-        free = self._extents.get(tag)
-        if not free:
-            start = len(self._pages)
-            from .constants import EXTENT_PAGES
-            self._pages.extend([None] * EXTENT_PAGES)
-            # Keep ascending order so pages of one tag are read forward.
-            free = list(range(start + EXTENT_PAGES - 1, start - 1, -1))
-            self._extents[tag] = free
-        page_id = free.pop()
-        page = Page(page_id, kind, level)
-        self._pages[page_id] = page
-        return page
+        current extent (a new extent is opened when it fills).
+        Thread-safe: concurrent writers on different tables allocate
+        under the internal mutex."""
+        with self._lock:
+            free = self._extents.get(tag)
+            if not free:
+                start = len(self._pages)
+                self._pages.extend([None] * EXTENT_PAGES)
+                # Keep ascending order so pages of one tag are read
+                # forward.
+                free = list(range(start + EXTENT_PAGES - 1, start - 1, -1))
+                self._extents[tag] = free
+            page_id = free.pop()
+            page = Page(page_id, kind, level)
+            self._pages[page_id] = page
+            return page
 
     def get(self, page_id: int) -> Page:
         """Fetch a page by id (no IO accounting — use the buffer pool)."""

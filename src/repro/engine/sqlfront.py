@@ -107,6 +107,28 @@ def _tokenize(text: str):
     return tokens
 
 
+def _statement_table(tokens, keyword: str) -> str:
+    """Name of the table a statement targets: the name token following
+    the first top-level ``keyword`` (``FROM`` or ``INTO``).
+
+    Statement planning runs this *before* any latch is taken, so the
+    statement's latch set is known up front (the grammar is
+    single-table, so the set is one name)."""
+    depth = 0
+    for i, (kind, value) in enumerate(tokens):
+        if kind == "op" and value == "(":
+            depth += 1
+        elif kind == "op" and value == ")":
+            depth -= 1
+        elif kind == "kw" and value == keyword and depth == 0:
+            name_tok = tokens[i + 1]
+            if name_tok[0] != "name":
+                raise SqlSyntaxError(
+                    f"expected a table name after {keyword}")
+            return name_tok[1]
+    raise SqlSyntaxError(f"missing {keyword} clause")
+
+
 class _BinOp(Expression):
     """Arithmetic/comparison/boolean operator over two expressions."""
 
@@ -291,12 +313,19 @@ class SqlSession:
         with GROUP BY); ``CREATE TABLE`` returns the new
         :class:`~repro.engine.table.Table`; ``INSERT`` returns the
         number of rows inserted.  ``finalize`` (SELECT only) is applied
-        to the result while the read lock is still held — see
+        to the result while the table latches are still held — see
         :meth:`query`.  ``engine`` (SELECT only) picks the execution
         path — ``"row"``, ``"vector"``, ``"parallel"``, or ``None`` for
         the executor's default; all produce identical results and
         cold-run metrics.  ``workers`` sizes the parallel engine's
         process pool (ignored by the serial engines).
+
+        Latching: CREATE takes the exclusive catalog latch; INSERT and
+        DELETE take the exclusive latch of the one table they target
+        (discovered from the token stream before locking anything), so
+        a writer here overlaps readers and writers of *other* tables.
+        Under ``REPRO_LATCH=coarse`` every write path degrades to the
+        single database write lock.
         """
         tokens = _tokenize(sql)
         head = tokens[0]
@@ -304,13 +333,15 @@ class SqlSession:
             return self.query(sql, cold=cold, finalize=finalize,
                               engine=engine, workers=workers)
         if head == ("kw", "CREATE"):
-            with self.db.lock.write_lock():
+            with self.db.latches.ddl_latch():
                 return _Ddl(self, tokens).create_table()
         if head == ("kw", "INSERT"):
-            with self.db.lock.write_lock():
+            with self.db.latches.write_latch(
+                    _statement_table(tokens, "INTO")):
                 return _Ddl(self, tokens).insert()
         if head == ("kw", "DELETE"):
-            with self.db.lock.write_lock():
+            with self.db.latches.write_latch(
+                    _statement_table(tokens, "FROM")):
                 return self._delete(tokens)
         raise SqlSyntaxError(
             f"unsupported statement starting with {head[1]!r}")
@@ -358,29 +389,48 @@ class SqlSession:
         ``GROUP BY`` runs the hash-aggregation plan and returns
         ``(rows, metrics)`` with one ``(group, agg...)`` row per group.
 
-        Executes under the database's shared (read) lock, so any number
-        of sessions can scan concurrently while writers wait.
+        Executes under the shared latch of the table it scans (plus
+        the shared catalog latch), so any number of sessions can read
+        concurrently — and writers of *other* tables proceed too.  A
+        query that may run on the parallel engine latches every table
+        shared instead: parallel workers re-open a pickled snapshot of
+        the whole database, so all of it must be stable while the
+        snapshot is cut and the morsels run.  ``REPRO_LATCH=coarse``
+        restores the old database-wide read lock.
 
         ``finalize``, if given, is called on the raw result *before*
-        the read lock is released and its return value is returned
+        the latches are released and its return value is returned
         instead.  Results can reference storage (a
         :class:`~repro.engine.table.MaxBlobHandle` cell points at live
         blob pages a writer may later mutate or free); a caller that
         needs to dereference such handles must do it here, while
         writers are still excluded, not after the statement returns.
-        ``finalize`` must not execute further statements (the lock is
-        not reentrant).
+        ``finalize`` must not execute further statements (the latches
+        are not reentrant).
         """
-        with self.db.lock.read_lock():
-            result = self._query_locked(sql, cold, engine, workers)
+        tokens = _tokenize(sql)
+        with self.db.latches.read_latch(*self._latch_set(tokens, engine)):
+            result = self._query_locked(tokens, sql, cold, engine,
+                                        workers)
             if finalize is not None:
                 result = finalize(result)
             return result
 
-    def _query_locked(self, sql: str, cold: bool,
+    def _latch_set(self, tokens, engine: str | None) -> tuple[str, ...]:
+        """Tables a SELECT must latch: its FROM table — or every table
+        (the empty set means "all" to ``read_latch``) when the
+        statement may run on the parallel engine, whose workers
+        snapshot the whole database."""
+        resolved = engine if engine is not None \
+            else self.executor.default_engine
+        if resolved == "parallel":
+            return ()
+        return (_statement_table(tokens, "FROM"),)
+
+    def _query_locked(self, tokens, sql: str, cold: bool,
                       engine: str | None = None,
                       workers: int | None = None):
-        parser = _Parser(self, _tokenize(sql))
+        parser = _Parser(self, tokens)
         table, items, where, group = parser.parse()
         label = sql.strip()
         if group is not None:

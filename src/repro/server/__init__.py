@@ -22,6 +22,7 @@ from .client import (
     AsyncArrayClient,
     QueryResult,
     QueryTimeoutError,
+    ResultTooLargeError,
     ServerBusyError,
     ServerError,
 )
@@ -31,8 +32,10 @@ from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     QUERY_TIMEOUT,
+    RESULT_TOO_LARGE,
     SERVER_BUSY,
     SQL_ERROR,
+    FrameTooLargeError,
     ProtocolError,
 )
 from .server import ArrayServer, ServerConfig, ServerThread
@@ -47,13 +50,16 @@ __all__ = [
     "ServerError",
     "ServerBusyError",
     "QueryTimeoutError",
+    "ResultTooLargeError",
     "ProtocolError",
+    "FrameTooLargeError",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "SERVER_BUSY",
     "QUERY_TIMEOUT",
     "SQL_ERROR",
     "BAD_FRAME",
+    "RESULT_TOO_LARGE",
     "INTERNAL",
     "ArrayServer",
     "ServerConfig",

@@ -35,6 +35,7 @@ __all__ = [
     "ServerError",
     "ServerBusyError",
     "QueryTimeoutError",
+    "ResultTooLargeError",
     "QueryResult",
     "ArrayClient",
     "AsyncArrayClient",
@@ -85,9 +86,15 @@ class QueryTimeoutError(ServerError):
     """The query outlived its per-query budget and was abandoned."""
 
 
+class ResultTooLargeError(ServerError):
+    """The query ran but its result frame would exceed the server's
+    ``max_frame``; narrow the select list or raise the limit."""
+
+
 _ERROR_TYPES = {
     protocol.SERVER_BUSY: ServerBusyError,
     protocol.QUERY_TIMEOUT: QueryTimeoutError,
+    protocol.RESULT_TOO_LARGE: ResultTooLargeError,
 }
 
 

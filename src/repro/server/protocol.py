@@ -57,7 +57,16 @@ Server to client:
 ``goodbye`` ``{"type": "goodbye"}``
 
 Error codes are the :data:`SERVER_BUSY`, :data:`QUERY_TIMEOUT`,
-:data:`SQL_ERROR`, :data:`BAD_FRAME` and :data:`INTERNAL` constants.
+:data:`SQL_ERROR`, :data:`BAD_FRAME`, :data:`RESULT_TOO_LARGE` and
+:data:`INTERNAL` constants.
+
+The frame-size limit is enforced on *both* sides of the wire: readers
+reject an oversized length prefix before allocating anything, and the
+write helpers refuse to emit a frame larger than ``max_frame``
+(:class:`FrameTooLargeError`).  A server whose query result would
+exceed the limit answers with a ``RESULT_TOO_LARGE`` error frame
+instead — the statement ran, but its reply cannot ship; the connection
+survives and the client can narrow the select list or raise the limit.
 """
 
 from __future__ import annotations
@@ -79,8 +88,10 @@ __all__ = [
     "QUERY_TIMEOUT",
     "SQL_ERROR",
     "BAD_FRAME",
+    "RESULT_TOO_LARGE",
     "INTERNAL",
     "ProtocolError",
+    "FrameTooLargeError",
     "encode_frame",
     "decode_frame",
     "pack_rows",
@@ -110,6 +121,7 @@ SERVER_BUSY = "SERVER_BUSY"
 QUERY_TIMEOUT = "QUERY_TIMEOUT"
 SQL_ERROR = "SQL_ERROR"
 BAD_FRAME = "BAD_FRAME"
+RESULT_TOO_LARGE = "RESULT_TOO_LARGE"
 INTERNAL = "INTERNAL"
 
 _U32 = struct.Struct("!I")
@@ -117,6 +129,12 @@ _U32 = struct.Struct("!I")
 
 class ProtocolError(Exception):
     """Raised for frames that violate the wire format."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """Raised by the write helpers for an outgoing frame over the
+    ``max_frame`` limit — caught *before* any bytes hit the wire, so
+    the stream stays framed and the connection survives."""
 
 
 # -- value packing -----------------------------------------------------------
@@ -223,6 +241,22 @@ def _check_total(total: int, max_frame: int) -> None:
             f"frame of {total} bytes exceeds the {max_frame}-byte limit")
 
 
+def _check_outgoing(frame: bytes, max_frame: int) -> None:
+    """Reject an encoded frame the peer's reader is bound to refuse.
+
+    Mirrors the read-side :func:`_check_total`: ``total`` counts
+    everything after the 4-byte length prefix.  Emitting the frame
+    anyway would make the *receiver* kill the connection with a bare
+    ``ProtocolError`` and no diagnosis — failing here, before any bytes
+    are written, keeps the stream framed so the sender can answer with
+    a proper error frame instead."""
+    total = len(frame) - _U32.size
+    if total > max_frame:
+        raise FrameTooLargeError(
+            f"outgoing frame of {total} bytes exceeds the "
+            f"{max_frame}-byte limit")
+
+
 # -- asyncio stream IO --------------------------------------------------------
 
 async def read_frame(reader: "asyncio.StreamReader",
@@ -252,9 +286,16 @@ async def read_frame(reader: "asyncio.StreamReader",
 
 async def write_frame(writer: "asyncio.StreamWriter",
                       header: dict[str, object],
-                      blobs: Sequence[bytes] = ()) -> None:
-    """Write one frame to an asyncio stream writer and drain."""
-    writer.write(encode_frame(header, blobs))
+                      blobs: Sequence[bytes] = (),
+                      max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Write one frame to an asyncio stream writer and drain.
+
+    Raises :class:`FrameTooLargeError` — before writing anything — if
+    the encoded frame exceeds ``max_frame``.
+    """
+    frame = encode_frame(header, blobs)
+    _check_outgoing(frame, max_frame)
+    writer.write(frame)
     await writer.drain()
 
 
@@ -292,6 +333,10 @@ def read_frame_sock(sock: socket.socket,
 
 
 def write_frame_sock(sock: socket.socket, header: dict[str, object],
-                     blobs: Sequence[bytes] = ()) -> None:
-    """Blocking-socket twin of :func:`write_frame`."""
-    sock.sendall(encode_frame(header, blobs))
+                     blobs: Sequence[bytes] = (),
+                     max_frame: int = MAX_FRAME_BYTES) -> None:
+    """Blocking-socket twin of :func:`write_frame` (same
+    :class:`FrameTooLargeError` behaviour)."""
+    frame = encode_frame(header, blobs)
+    _check_outgoing(frame, max_frame)
+    sock.sendall(frame)

@@ -4,9 +4,12 @@ One process holds one shared :class:`~repro.engine.executor.Database`.
 Each TCP connection gets its own
 :class:`~repro.engine.sqlfront.SqlSession` (per-session UDF registry,
 like a SQL Server SPID); statements execute on a bounded thread pool
-behind the admission controller, under the database's reader/writer
-lock, so concurrent scans share and writers serialize — the same
-coarse protection the paper's host gives its CLR functions.
+behind the admission controller, under the database's per-table
+latches (:mod:`repro.engine.latches`), so concurrent scans share and a
+writer excludes only readers of *its own* table — writers on one table
+overlap scans of another, like the paper's host.  Exporting
+``REPRO_LATCH=coarse`` restores the old database-wide reader/writer
+lock.
 
 The connection protocol is strict request/response (no pipelining): the
 handler reads one frame, answers it, and only then reads the next.  A
@@ -81,7 +84,7 @@ class ArrayServer:
     """Serves the wire protocol over one shared database.
 
     Args:
-        db: The shared database (scans run under ``db.lock``).
+        db: The shared database (statements run under ``db.latches``).
         config: Deployment knobs; defaults are test-friendly.
         session_setup: Optional callable invoked with each new
             connection's :class:`SqlSession` — the hook deployments use
@@ -198,7 +201,19 @@ class ArrayServer:
         if kind == "query":
             reply, reply_blobs = await self._run_query(
                 session, session_id, header)
-            await protocol.write_frame(writer, reply, reply_blobs)
+            try:
+                await protocol.write_frame(writer, reply, reply_blobs,
+                                           self.config.max_frame)
+            except protocol.FrameTooLargeError as exc:
+                # The query ran, but its reply cannot ship: the client
+                # would reject the oversized frame and kill the
+                # connection with no diagnosis.  Nothing has hit the
+                # wire yet, so answer with an error frame instead and
+                # keep the connection alive.
+                await protocol.write_frame(writer, _error(
+                    protocol.RESULT_TOO_LARGE,
+                    f"{exc}; narrow the select list or raise "
+                    f"max_frame"))
             return False
         await protocol.write_frame(writer, _error(
             protocol.BAD_FRAME, f"unknown message type {kind!r}"))
@@ -415,16 +430,34 @@ class ServerThread:
     def start(self) -> "ServerThread":
         self._thread.start()
         self._ready.wait(timeout=30)
-        if self._startup_error is not None:
-            raise self._startup_error
+        error = self._take_error()
+        if error is not None:
+            raise error
         if self.port is None:
             raise RuntimeError("server failed to start within 30 s")
         return self
 
     def stop(self) -> None:
+        """Stop the server and join its thread.
+
+        Re-raises any error the serving loop died with — including a
+        crash *after* startup succeeded, which otherwise would vanish
+        silently (the thread is a daemon; nothing else ever reads it).
+        """
         if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already dead — the error surfaces below
         self._thread.join(timeout=30)
+        error = self._take_error()
+        if error is not None:
+            raise error
+
+    def _take_error(self) -> BaseException | None:
+        """Consume the pending loop error, if any (raise-once)."""
+        error, self._startup_error = self._startup_error, None
+        return error
 
     def __enter__(self) -> "ServerThread":
         return self.start()
@@ -435,7 +468,10 @@ class ServerThread:
     def _run(self) -> None:
         try:
             asyncio.run(self._main())
-        except BaseException as exc:  # startup failure → re-raised
+        except BaseException as exc:
+            # Startup failures are re-raised from start(); a crash
+            # after _ready.set() is held for stop()/__exit__ to
+            # surface.
             self._startup_error = exc
             self._ready.set()
 

@@ -1,0 +1,24 @@
+"""Seeded RL002 violation: a table latch is acquired while the pool's
+internal mutex is already held (the pool lock is a leaf *below* the
+latch level, so this inverts the latch hierarchy)."""
+
+import threading
+from contextlib import contextmanager
+
+
+class LatchStub:
+    @contextmanager
+    def read_latch(self, *tables):
+        yield self
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+def evict_and_rescan(pool, latches):
+    with pool._lock:
+        # RL002: latch taken under the pool mutex — hierarchy inversion.
+        with latches.read_latch("t"):
+            return True

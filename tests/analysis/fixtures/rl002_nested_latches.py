@@ -1,0 +1,23 @@
+"""Seeded RL002 violation: a second table latch is acquired while one
+is already held.  A statement's whole latch set must be taken in one
+sorted ``read_latch``/``write_latch`` call — incremental acquisition
+reintroduces the deadlock the sorted order exists to prevent."""
+
+from contextlib import contextmanager
+
+
+class LatchStub:
+    @contextmanager
+    def read_latch(self, *tables):
+        yield self
+
+    @contextmanager
+    def write_latch(self, *tables):
+        yield self
+
+
+def copy_table(latches):
+    with latches.read_latch("src"):
+        # RL002: nested latch acquisition — unordered multi-table lock.
+        with latches.write_latch("dst"):
+            return True

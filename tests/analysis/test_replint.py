@@ -24,7 +24,9 @@ SRC_TREE = os.path.join(REPO_ROOT, "src", "repro")
 
 EXPECTED = {
     "rl001_unlocked_scan.py": "RL001",
+    "rl002_latch_under_pool.py": "RL002",
     "rl002_lock_order.py": "RL002",
+    "rl002_nested_latches.py": "RL002",
     "rp101_lambda_udf.py": "RP101",
     "rv201_mutating_kernel.py": "RV201",
     os.path.join("rw301", "protocol.py"): "RW301",
@@ -188,6 +190,61 @@ def test_rl002_reentrant_flagged(tmp_path):
     )
     findings = _lint_texts(tmp_path, {"l.py": text})
     assert [f.rule for f in findings] == ["RL002"]
+
+
+def test_rl002_latch_through_call_flagged(tmp_path):
+    # A helper that takes its own latch, called while one is held:
+    # the nested acquisition is reached through the call graph, not
+    # lexically.
+    text = (
+        "from contextlib import contextmanager\n"
+        "class LatchStub:\n"
+        "    @contextmanager\n"
+        "    def write_latch(self, *tables):\n"
+        "        yield self\n"
+        "def refresh(latches):\n"
+        "    with latches.write_latch('aux'):\n"
+        "        return 1\n"
+        "def statement(latches):\n"
+        "    with latches.write_latch('main'):\n"
+        "        return refresh(latches)\n"
+    )
+    findings = _lint_texts(tmp_path, {"l.py": text})
+    assert [f.rule for f in findings] == ["RL002"]
+    assert "another latch" in findings[0].message
+
+
+def test_rl001_latch_guarded_entry_clean(tmp_path):
+    # A SqlSession entry point reaching a sink through a table-latch
+    # guard satisfies RL001 just like the legacy db.lock guard does.
+    text = (
+        "class BufferPool:\n"
+        "    def fetch(self, page_id):\n"
+        "        return page_id\n"
+        "class SqlSession:\n"
+        "    def __init__(self, db):\n"
+        "        self.db = db\n"
+        "    def peek_page(self, page_id):\n"
+        "        with self.db.latches.read_latch('t'):\n"
+        "            return self.db.pool.fetch(page_id)\n"
+    )
+    assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+def test_rl001_unlatched_entry_flagged(tmp_path):
+    # Same shape without the guard: RL001 fires.
+    text = (
+        "class BufferPool:\n"
+        "    def fetch(self, page_id):\n"
+        "        return page_id\n"
+        "class SqlSession:\n"
+        "    def __init__(self, db):\n"
+        "        self.db = db\n"
+        "    def peek_page(self, page_id):\n"
+        "        return self.db.pool.fetch(page_id)\n"
+    )
+    findings = _lint_texts(tmp_path, {"s.py": text})
+    assert [f.rule for f in findings] == ["RL001"]
 
 
 def test_rl001_guarded_entry_clean(tmp_path):

@@ -111,6 +111,54 @@ class TestBufferPoolThreadSafety:
         assert glob.logical_reads == 350
         assert glob.physical_reads == len(page_ids)
 
+    def _sequential_stream_reset_by(self, reset):
+        """Regression: ``clear()``/``reset_counters()`` used to reset
+        only the *calling* thread's sequential-stream position.  A
+        worker mid-stream would then classify its next physical read
+        as sequential against a pre-clear page — chaining a read-ahead
+        stream across a cache clear, which no real disk would do."""
+        pagefile = PageFile()
+        page_ids = [pagefile.allocate(PAGE_DATA).page_id
+                    for _ in range(3)]
+        assert page_ids == [0, 1, 2]  # contiguous: 1 and 2 ride 0's stream
+        pool = BufferPool(pagefile)
+        fetched_two = threading.Event()
+        cleared = threading.Event()
+        deltas = []
+        errors = []
+
+        def worker():
+            try:
+                pool.fetch(page_ids[0])   # random (stream start)
+                pool.fetch(page_ids[1])   # sequential
+                fetched_two.set()
+                assert cleared.wait(timeout=10)
+                pool.fetch(page_ids[2])   # must be random again
+                deltas.append(pool.snapshot_thread_counters())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert fetched_two.wait(timeout=10)
+        reset(pool)                       # from the *main* thread
+        cleared.set()
+        t.join(timeout=10)
+        assert not errors
+        (delta,) = deltas
+        assert delta.physical_reads == 3
+        assert delta.sequential_reads == 1, \
+            "post-clear read chained onto the pre-clear stream"
+        assert delta.random_reads == 2
+        _counters_consistent(delta)
+
+    def test_clear_resets_other_threads_streams(self):
+        self._sequential_stream_reset_by(lambda pool: pool.clear())
+
+    def test_reset_counters_resets_other_threads_streams(self):
+        self._sequential_stream_reset_by(
+            lambda pool: pool.reset_counters())
+
     def test_snapshot_counters_is_copy(self):
         pagefile = PageFile()
         pid = pagefile.allocate(PAGE_DATA).page_id
@@ -202,6 +250,63 @@ class TestConcurrentSessions:
             assert 0 < m.physical_reads <= solo.physical_reads
             assert m.physical_reads \
                 == m.sequential_reads + m.random_reads
+
+    def test_concurrent_clear_charges_refetch_to_refetcher(self, db):
+        """Pins the documented concurrent-cold-query semantics
+        (docs/SERVER.md): a cold neighbour's cache clear makes a warm
+        session re-fetch its pages, and that IO is charged to whoever
+        actually re-fetches — the counts stay accurate, they just move
+        to the session doing the reads."""
+        session_a = SqlSession(db)
+        # Prime the cache and learn the table's full physical cost.
+        (_, cold_m) = session_a.query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)",
+            engine="vector")
+        assert cold_m.physical_reads > 0
+        (_, warm_m) = session_a.query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)", cold=False,
+            engine="vector")
+        assert warm_m.physical_reads == 0
+
+        # Session B (another thread) runs a cold query to completion:
+        # the clear *and* the re-fetch IO both belong to B.
+        b_metrics = []
+
+        def cold_neighbour():
+            session_b = SqlSession(db)
+            b_metrics.append(session_b.query(
+                "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)",
+            engine="vector")[1])
+
+        t = threading.Thread(target=cold_neighbour)
+        t.start()
+        t.join(timeout=60)
+        assert b_metrics[0].physical_reads == cold_m.physical_reads
+
+        # B left the cache warm, so A still reads for free...
+        (_, warm_m2) = session_a.query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)", cold=False,
+            engine="vector")
+        assert warm_m2.physical_reads == 0
+
+        # ...but after a bare concurrent clear (a cold query's first
+        # act), A's next warm query re-fetches everything and the IO
+        # lands in *A's* metrics, while the clearing thread is charged
+        # nothing.
+        clearer_counters = []
+
+        def clearer():
+            db.pool.clear()
+            clearer_counters.append(db.pool.snapshot_thread_counters())
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        t.join(timeout=10)
+        assert clearer_counters[0].physical_reads == 0
+        (_, evicted_m) = session_a.query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)", cold=False,
+            engine="vector")
+        assert evicted_m.physical_reads == cold_m.physical_reads
 
     def test_writer_excludes_readers(self, db):
         """An INSERT in one session never interleaves mid-scan with a

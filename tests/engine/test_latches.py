@@ -1,0 +1,385 @@
+"""The per-table latch layer: writers on one table overlap readers of
+another, acquisition order prevents deadlock, DDL excludes everything,
+and ``coarse`` mode restores the old single-RWLock behaviour."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import Column, Database, RWLock
+from repro.engine.latches import LATCH_MODES, LatchManager, _mode_from_env
+from repro.engine.sqlfront import SqlSession, _tokenize
+from repro.tsql import FloatArray
+
+
+def _blocked(fn, settle=0.2):
+    """Run ``fn`` on a thread; report whether it is still blocked after
+    ``settle`` seconds.  Returns (thread, done_event)."""
+    done = threading.Event()
+
+    def run():
+        fn()
+        done.set()
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t, done, not done.wait(settle)
+
+
+class TestLatchManagerUnit:
+    def _manager(self, mode="table", tables=("a", "b")):
+        return LatchManager(RWLock(), lambda: list(tables), mode=mode)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._manager(mode="fine")
+
+    def test_mode_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LATCH", "coarse")
+        assert _mode_from_env() == "coarse"
+        monkeypatch.setenv("REPRO_LATCH", " Table ")
+        assert _mode_from_env() == "table"
+        monkeypatch.setenv("REPRO_LATCH", "bogus")
+        assert _mode_from_env() == "table"
+        monkeypatch.delenv("REPRO_LATCH")
+        assert _mode_from_env() == "table"
+
+    def test_latch_is_case_insensitive(self):
+        lm = self._manager()
+        assert lm.latch_for("Ta") is lm.latch_for("ta")
+        assert lm.latch_for("TA") is lm.latch_for("ta")
+
+    def test_forget_drops_the_latch(self):
+        lm = self._manager()
+        first = lm.latch_for("x")
+        lm.forget("X")
+        assert lm.latch_for("x") is not first
+
+    def test_write_latch_requires_a_table(self):
+        lm = self._manager()
+        with pytest.raises(ValueError):
+            with lm.write_latch():
+                pass
+
+    def test_writer_excludes_reader_of_same_table(self):
+        lm = self._manager()
+        with lm.write_latch("a"):
+            def read():
+                with lm.read_latch("a"):
+                    pass
+            t, done, blocked = _blocked(read)
+            assert blocked
+        assert done.wait(10)
+        t.join(timeout=10)
+
+    def test_writer_does_not_block_reader_of_other_table(self):
+        lm = self._manager()
+        with lm.write_latch("b"):
+            def read():
+                with lm.read_latch("a"):
+                    pass
+            t, done, blocked = _blocked(read)
+            assert not blocked, "reader of A blocked behind writer of B"
+        t.join(timeout=10)
+
+    def test_writers_of_distinct_tables_overlap(self):
+        lm = self._manager()
+        with lm.write_latch("a"):
+            def write_other():
+                with lm.write_latch("b"):
+                    pass
+            t, done, blocked = _blocked(write_other)
+            assert not blocked
+        t.join(timeout=10)
+
+    def test_sorted_acquisition_order_prevents_deadlock(self):
+        """Two threads latching the same pair in opposite textual order
+        never deadlock: both sets are acquired in sorted-name order."""
+        lm = self._manager()
+        errors = []
+
+        def worker(names):
+            try:
+                for _ in range(200):
+                    with lm.write_latch(*names):
+                        pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(("a", "b"),)),
+                   threading.Thread(target=worker, args=(("b", "a"),))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "latch deadlock"
+        assert not errors
+
+    def test_ddl_excludes_readers_and_writers(self):
+        lm = self._manager()
+        with lm.ddl_latch():
+            def read():
+                with lm.read_latch("a"):
+                    pass
+            def write():
+                with lm.write_latch("b"):
+                    pass
+            tr, doner, blockedr = _blocked(read)
+            tw, donew, blockedw = _blocked(write)
+            assert blockedr and blockedw
+        assert doner.wait(10) and donew.wait(10)
+        tr.join(timeout=10)
+        tw.join(timeout=10)
+
+    def test_statements_exclude_ddl(self):
+        lm = self._manager()
+        with lm.read_latch("a"):
+            def ddl():
+                with lm.ddl_latch():
+                    pass
+            t, done, blocked = _blocked(ddl)
+            assert blocked
+        assert done.wait(10)
+        t.join(timeout=10)
+
+    def test_empty_read_latch_covers_all_tables(self):
+        lm = self._manager(tables=("a", "b"))
+        with lm.read_latch():
+            def write():
+                with lm.write_latch("b"):
+                    pass
+            t, done, blocked = _blocked(write)
+            assert blocked, "all-table read latch let a writer through"
+        assert done.wait(10)
+        t.join(timeout=10)
+
+    def test_coarse_mode_maps_onto_db_lock(self):
+        db_lock = RWLock()
+        lm = LatchManager(db_lock, lambda: ["a"], mode="coarse")
+        with lm.read_latch("a"):
+            assert db_lock.acquire_write(timeout=0.05) is False
+        assert db_lock.acquire_write(timeout=5.0) is True
+        db_lock.release_write()
+        with lm.write_latch("a"):
+            assert db_lock.acquire_read(timeout=0.05) is False
+
+    def test_coarse_mode_serializes_distinct_tables(self):
+        lm = self._manager(mode="coarse")
+        with lm.write_latch("b"):
+            def read():
+                with lm.read_latch("a"):
+                    pass
+            t, done, blocked = _blocked(read)
+            assert blocked, "coarse mode must serialize across tables"
+        assert done.wait(10)
+        t.join(timeout=10)
+
+
+def _two_table_db(**kwargs):
+    db = Database(**kwargs)
+    for name in ("Ta", "Tb"):
+        t = db.create_table(
+            name, [Column("id", "bigint"),
+                   Column("v", "varbinary", cap=100)])
+        for i in range(200):
+            t.insert((i, FloatArray.Vector_3(float(i), 2.0, 3.0)))
+    return db
+
+
+class TestStatementsOverlap:
+    """The tentpole's acceptance: a SELECT on A proceeds while a writer
+    holds B in ``table`` mode, and blocks in ``coarse`` mode."""
+
+    def _query_ta(self, db, results):
+        (n,), _ = SqlSession(db).query(
+            "SELECT COUNT(*) FROM Ta WITH (NOLOCK)", cold=False,
+            engine="vector")
+        results.append(n)
+
+    def test_reader_of_a_proceeds_while_writer_holds_b(self):
+        db = _two_table_db(latch_mode="table")
+        results = []
+        with db.latches.write_latch("Tb"):
+            t, done, blocked = _blocked(
+                lambda: self._query_ta(db, results), settle=2.0)
+            assert not blocked, \
+                "SELECT on Ta blocked behind a write latch on Tb"
+        t.join(timeout=10)
+        assert results == [200]
+
+    def test_coarse_mode_reader_blocks_behind_any_writer(self):
+        db = _two_table_db(latch_mode="coarse")
+        results = []
+        with db.latches.write_latch("Tb"):
+            t, done, blocked = _blocked(
+                lambda: self._query_ta(db, results))
+            assert blocked, "coarse mode should serialize everything"
+        assert done.wait(10)
+        t.join(timeout=10)
+        assert results == [200]
+
+    def test_serial_results_identical_across_modes(self):
+        for mode in LATCH_MODES:
+            db = _two_table_db(latch_mode=mode)
+            session = SqlSession(db)
+            (s,), _ = session.query(
+                "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Ta "
+                "WITH (NOLOCK)")
+            assert s == pytest.approx(float(sum(range(200))))
+            session.execute(
+                "INSERT INTO Ta VALUES (999, "
+                "FloatArray.Vector_3(7.0, 8.0, 9.0))")
+            (n,), _ = session.query(
+                "SELECT COUNT(*) FROM Ta WITH (NOLOCK)")
+            assert n == 201
+
+    def test_latch_set_planning(self):
+        """Row/vector SELECTs latch only the scanned table; a query
+        that may run on the parallel engine latches everything (its
+        workers re-open a whole-database snapshot)."""
+        db = _two_table_db(latch_mode="table")
+        session = SqlSession(db)
+        tokens = _tokenize("SELECT COUNT(*) FROM Ta WITH (NOLOCK)")
+        assert session._latch_set(tokens, "vector") == ("Ta",)
+        assert session._latch_set(tokens, "row") == ("Ta",)
+        assert session._latch_set(tokens, "parallel") == ()
+
+    def test_ddl_via_sql_excludes_concurrent_reader(self):
+        db = _two_table_db(latch_mode="table")
+        holder = SqlSession(db)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def long_read():
+            def hold(result):
+                entered.set()
+                release.wait(10)
+                return result
+            holder.query("SELECT COUNT(*) FROM Ta WITH (NOLOCK)",
+                         cold=False, engine="vector", finalize=hold)
+
+        reader = threading.Thread(target=long_read, daemon=True)
+        reader.start()
+        assert entered.wait(10)
+        t, done, blocked = _blocked(
+            lambda: SqlSession(db).execute(
+                "CREATE TABLE Tc (id bigint)"))
+        assert blocked, "CREATE TABLE ran inside a reader's statement"
+        release.set()
+        assert done.wait(10)
+        reader.join(timeout=10)
+        t.join(timeout=10)
+        assert "tc" in {n.lower() for n in db.tables}
+
+
+class TestMixedTrafficStress:
+    def test_readers_on_a_while_writer_churns_b(self):
+        """Readers of A must see bit-stable values while a writer
+        mutates B the whole time — a torn read would surface as a
+        wrong COUNT or SUM."""
+        db = _two_table_db(latch_mode="table")
+        expected_sum = float(sum(range(200)))
+        errors = []
+        reads = []
+        writer_done = threading.Event()
+
+        def reader():
+            session = SqlSession(db)
+            try:
+                while not writer_done.is_set():
+                    (n,), _ = session.query(
+                        "SELECT COUNT(*) FROM Ta WITH (NOLOCK)",
+                        cold=False, engine="vector")
+                    (s,), _ = session.query(
+                        "SELECT SUM(FloatArray.Item_1(v, 0)) FROM Ta "
+                        "WITH (NOLOCK)", cold=False, engine="vector")
+                    reads.append((n, s))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer():
+            session = SqlSession(db)
+            try:
+                for i in range(40):
+                    session.execute(
+                        f"INSERT INTO Tb VALUES ({1000 + i}, "
+                        "FloatArray.Vector_3(1.0, 2.0, 3.0))")
+                    if i % 10 == 9:
+                        session.execute(
+                            f"DELETE FROM Tb WHERE id = {1000 + i}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                writer_done.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert reads, "readers never completed a query"
+        for n, s in reads:
+            assert n == 200
+            assert s == pytest.approx(expected_sum)
+        (nb,), _ = SqlSession(db).query(
+            "SELECT COUNT(*) FROM Tb WITH (NOLOCK)")
+        assert nb == 200 + 40 - 4
+
+    def test_concurrent_writers_on_distinct_tables(self):
+        """Writers of different tables overlap under table latches; the
+        page file's extent bookkeeping (shared across tables) must stay
+        consistent under that overlap."""
+        db = _two_table_db(latch_mode="table")
+        errors = []
+
+        def writer(table, base):
+            session = SqlSession(db)
+            try:
+                for i in range(60):
+                    session.execute(
+                        f"INSERT INTO {table} VALUES ({base + i}, "
+                        f"FloatArray.Vector_3({float(i)}, 0.0, 0.0))")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=("Ta", 5000)),
+                   threading.Thread(target=writer, args=("Tb", 6000))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        session = SqlSession(db)
+        for table in ("Ta", "Tb"):
+            (n,), _ = session.query(
+                f"SELECT COUNT(*) FROM {table} WITH (NOLOCK)")
+            assert n == 260
+            # The inserted vectors decode correctly: no torn blob pages.
+            (s,), _ = session.query(
+                "SELECT SUM(FloatArray.Item_1(v, 0)) "
+                f"FROM {table} WITH (NOLOCK)")
+            assert s == pytest.approx(
+                float(sum(range(200))) + float(sum(range(60))))
+
+
+class TestDatabaseIntegration:
+    def test_default_mode_comes_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LATCH", "coarse")
+        assert Database().latches.mode == "coarse"
+        monkeypatch.delenv("REPRO_LATCH")
+        assert Database().latches.mode == "table"
+
+    def test_explicit_mode_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LATCH", "coarse")
+        assert Database(latch_mode="table").latches.mode == "table"
+
+    def test_pickle_roundtrip_recreates_latches(self):
+        db = _two_table_db(latch_mode="table")
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone.latches.mode in LATCH_MODES
+        (n,), _ = SqlSession(clone).query(
+            "SELECT COUNT(*) FROM Ta WITH (NOLOCK)")
+        assert n == 200

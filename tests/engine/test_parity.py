@@ -188,3 +188,43 @@ class TestRandomizedParity:
         assert_parity(session,
                       "SELECT SUM(x), AVG(x), MIN(x), MAX(x), COUNT(*) "
                       "FROM t WHERE x > 1000")
+
+
+class TestParityUnderTableLatches:
+    """Three-way parity with the per-table latch layer forced on
+    (``latch_mode="table"`` regardless of ``REPRO_LATCH``): the latch
+    planning — single-table sets for row/vector, the all-table set for
+    parallel snapshot cuts — must not perturb values or metrics."""
+
+    @pytest.fixture(scope="class")
+    def latched_session(self):
+        db = Database(buffer_pages=2048, latch_mode="table")
+        table = db.create_table(
+            "t", [Column("id", "bigint"), Column("x", "float"),
+                  Column("k", "int"),
+                  Column("b", "varbinary", cap=400)])
+        rng = random.Random(11)
+        table.insert_many([
+            (i,
+             None if rng.random() < 0.1 else rng.uniform(-5.0, 5.0),
+             rng.randrange(0, 4),
+             FloatArray.Vector_5(*[rng.uniform(-1.0, 1.0)
+                                   for _ in range(5)]))
+            for i in range(300)])
+        # A second table proves single-table latch sets still plan
+        # correctly when the catalog holds more than one table.
+        db.create_table("u", [Column("id", "bigint")])
+        return SqlSession(db)
+
+    def test_three_way_parity(self, latched_session):
+        for sql in [
+            "SELECT COUNT(*), SUM(x) FROM t",
+            "SELECT AVG(FloatArray.Item_1(b, 2)) FROM t WHERE x > 0",
+            "SELECT k, COUNT(*), MAX(x) FROM t GROUP BY k",
+            "SELECT MIN(x), MAX(x) FROM t WHERE x IS NOT NULL",
+        ]:
+            assert_parity(latched_session, sql)
+
+    def test_seek_plan_parity(self, latched_session):
+        assert_parity(latched_session,
+                      "SELECT SUM(x) FROM t WHERE id = 42", seek=True)

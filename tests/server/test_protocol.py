@@ -179,6 +179,65 @@ class TestMalformedFrames:
             b.close()
 
 
+class TestWriteSideLimit:
+    """Regression: the frame-size limit used to be read-side only — a
+    writer could emit a frame its peer was bound to refuse, killing the
+    connection with an undiagnosable ProtocolError at the *receiver*."""
+
+    def test_frame_too_large_is_a_protocol_error(self):
+        assert issubclass(protocol.FrameTooLargeError, ProtocolError)
+
+    def test_oversized_write_raises_before_sending(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(protocol.FrameTooLargeError,
+                               match="exceeds"):
+                write_frame_sock(a, {"type": "result", "rows": []},
+                                 [b"x" * 2048], max_frame=1024)
+            # Not a single byte hit the wire: the stream stays framed.
+            b.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                b.recv(1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_exactly_at_limit_is_sent(self):
+        header = {"type": "ping"}
+        limit = len(encode_frame(header)) - 4   # total excludes prefix
+        a, b = socket.socketpair()
+        try:
+            write_frame_sock(a, header, max_frame=limit)
+            assert read_frame_sock(b) == (header, [])
+            with pytest.raises(protocol.FrameTooLargeError):
+                write_frame_sock(a, header, max_frame=limit - 1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_async_write_frame_enforces_limit(self):
+        class _Writer:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            async def drain(self):
+                pass
+
+        writer = _Writer()
+
+        async def run():
+            await protocol.write_frame(
+                writer, {"type": "result", "rows": []},
+                [b"x" * 2048], max_frame=1024)
+
+        with pytest.raises(protocol.FrameTooLargeError):
+            asyncio.run(run())
+        assert writer.chunks == []
+
+
 class TestAsyncFrameIO:
     def _reader_with(self, data: bytes) -> asyncio.StreamReader:
         reader = asyncio.StreamReader()

@@ -16,6 +16,7 @@ from repro.server import (
     ArrayClient,
     AsyncArrayClient,
     QueryTimeoutError,
+    ResultTooLargeError,
     ServerBusyError,
     ServerConfig,
     ServerError,
@@ -436,6 +437,70 @@ class TestFaultInjection:
         # The server must keep answering others.
         with ArrayClient("127.0.0.1", server.port) as c:
             c.ping()
+
+
+class TestResultTooLarge:
+    """Regression: the frame-size limit was read-side only, so a query
+    whose result outgrew ``max_frame`` made the *client* kill the
+    connection with a bare ProtocolError.  The server now refuses to
+    send the frame and answers RESULT_TOO_LARGE instead."""
+
+    @pytest.fixture
+    def big_blob_server(self):
+        db = Database()
+        t = db.create_table(
+            "Tbig", [Column("id", "bigint"),
+                     Column("v", "varbinary", cap=8000)])
+        t.insert((1, FloatArray.Vector([float(i) for i in range(900)])))
+        with ServerThread(db, ServerConfig(max_frame=2048)) as handle:
+            yield handle
+
+    def test_oversized_result_answered_with_error(self, big_blob_server):
+        with ArrayClient("127.0.0.1", big_blob_server.port) as c:
+            with pytest.raises(ResultTooLargeError) as err:
+                c.query("SELECT MAX(v) FROM Tbig WITH (NOLOCK)")
+            assert err.value.code == protocol.RESULT_TOO_LARGE
+            assert "max_frame" in err.value.message
+            # Nothing of the oversized frame was sent: the connection
+            # survives and keeps serving.
+            c.ping()
+            assert c.query("SELECT COUNT(*) FROM Tbig "
+                           "WITH (NOLOCK)").scalar() == 1
+
+    def test_small_results_unaffected_by_the_limit(self, big_blob_server):
+        with ArrayClient("127.0.0.1", big_blob_server.port) as c:
+            assert c.query("SELECT COUNT(*) FROM Tbig "
+                           "WITH (NOLOCK)").scalar() == 1
+
+
+class TestServerThreadCrashSurfaced:
+    """Regression: a serving-loop crash after startup was stored in
+    ``_startup_error`` and never read — the daemon thread died silently
+    and ``stop()`` reported success."""
+
+    def test_loop_death_mid_serve_raises_from_stop(self):
+        handle = ServerThread(Database()).start()
+        try:
+            assert handle.port is not None
+            # Kill the event loop out from under asyncio.run: the
+            # serving coroutine is still pending, so the loop runner
+            # raises and the thread dies mid-serve.
+            handle._loop.call_soon_threadsafe(handle._loop.stop)
+            handle._thread.join(timeout=10)
+            assert not handle._thread.is_alive()
+        finally:
+            with pytest.raises(RuntimeError):
+                handle.stop()
+
+    def test_context_manager_surfaces_the_crash(self):
+        with pytest.raises(RuntimeError):
+            with ServerThread(Database()) as handle:
+                handle._loop.call_soon_threadsafe(handle._loop.stop)
+                handle._thread.join(timeout=10)
+
+    def test_clean_stop_raises_nothing(self):
+        handle = ServerThread(Database()).start()
+        handle.stop()
 
 
 class TestEngineToggle:
