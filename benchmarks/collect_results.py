@@ -96,6 +96,23 @@ def parallel_block(rows: int) -> dict:
     return speedups
 
 
+def sharded_block(rows: int) -> dict:
+    print("=" * 70)
+    print("Sharded backend: scatter-gather throughput by shard count")
+    print("=" * 70)
+    from bench_sharded import sharded_throughput
+    numbers = sharded_throughput(rows=rows)
+    for shards, d in numbers.items():
+        print(f"  {shards} shard(s): {d['qps']:7.1f} q/s   "
+              f"p95 {d['p95_ms']:6.1f} ms")
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        print(f"  (host has {cores} core(s); shard processes "
+              "time-slice it, so these are coordination-overhead "
+              "numbers, not scaling wins)")
+    return numbers
+
+
 def partial_reads_block() -> None:
     print("=" * 70)
     print("S3.3 partial subarray reads (8^3 window)")
@@ -196,6 +213,7 @@ def main(rows: int = 20_000, json_out: str | None = None) -> None:
     results["table1_projected"] = table1_block(rows)
     results["vector_speedup"] = vectorized_block(rows)
     results["parallel_speedup"] = parallel_block(rows)
+    results["sharded_throughput"] = sharded_block(min(rows, 8_000))
     partial_reads_block()
     concat_block()
     turbulence_block()

@@ -8,6 +8,8 @@ Commands:
   functions, supported element types.
 * ``serve`` — run the array-database server over the two Table 1
   evaluation tables (see ``docs/SERVER.md``).
+* ``shard-serve`` — run a sharded cluster: N shard server processes
+  plus a scatter-gather coordinator (see ``docs/SHARDING.md``).
 * ``client`` — issue a query (or fetch stats) against a running
   server and print rows plus the Table 1 metrics triple.
 * ``lint`` — run replint, the AST-based invariant checker, over the
@@ -126,6 +128,86 @@ def _cmd_serve(args: list[str]) -> int:
     return 0
 
 
+def _cmd_shard_serve(args: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro shard-serve",
+        description="Serve the array database as a sharded cluster: "
+                    "N shard processes plus a coordinator speaking "
+                    "the ordinary wire protocol.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7433,
+                        help="coordinator port (shards bind ephemeral "
+                             "loopback ports)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--partitioning", choices=("range", "hash"),
+                        default="range")
+    parser.add_argument("--rows", type=int, default=5000,
+                        help="rows loaded into the evaluation tables")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="query workers per shard and on the "
+                             "coordinator")
+    parser.add_argument("--queue", type=int, default=8,
+                        help="admission queue depth beyond the workers")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="coordinator per-query timeout in seconds")
+    opts = parser.parse_args(args)
+
+    import asyncio
+
+    import numpy as np
+
+    from repro.server import ServerConfig
+    from repro.shard import ShardConfig, ShardServer, start_cluster
+    from repro.tsql import FloatArray
+
+    shard_config = ShardConfig(
+        shards=opts.shards, partitioning=opts.partitioning,
+        key_lo=0, key_hi=max(opts.rows, 1),
+        host="127.0.0.1", max_workers=opts.workers,
+        queue_limit=opts.queue)
+    print(f"Starting {opts.shards} shard process(es) ...")
+    fleet, router = start_cluster(shard_config)
+    try:
+        print(f"Loading evaluation tables at {opts.rows:,} rows ...")
+        router.execute(
+            "CREATE TABLE Tscalar (id BIGINT PRIMARY KEY, "
+            "v1 FLOAT, v2 FLOAT, v3 FLOAT, v4 FLOAT, v5 FLOAT)")
+        router.execute(
+            "CREATE TABLE Tvector (id BIGINT PRIMARY KEY, "
+            "v VARBINARY(100))")
+        values = np.random.default_rng(0).standard_normal(
+            (opts.rows, 5))
+        router.insert_rows(
+            "Tscalar",
+            [(i, *map(float, values[i])) for i in range(opts.rows)])
+        router.insert_rows(
+            "Tvector",
+            [(i, bytes(FloatArray.Vector_5(*values[i])))
+             for i in range(opts.rows)])
+
+        coordinator = ShardServer(router, ServerConfig(
+            host=opts.host, port=opts.port,
+            max_workers=opts.workers, queue_limit=opts.queue,
+            query_timeout=opts.timeout, name="repro-shard-coordinator"))
+
+        async def _serve():
+            await coordinator.start()
+            shards = ", ".join(f"{h}:{p}" for h, p in fleet.addresses)
+            print(f"repro-shard-coordinator listening on "
+                  f"{opts.host}:{coordinator.port} "
+                  f"({opts.shards} shards [{shards}], "
+                  f"partitioning={opts.partitioning})")
+            await coordinator.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    finally:
+        fleet.stop()
+    return 0
+
+
 def _cmd_client(args: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro client",
@@ -185,8 +267,8 @@ def _cmd_lint(args: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     commands = {"table1": _cmd_table1, "info": _cmd_info,
-                "serve": _cmd_serve, "client": _cmd_client,
-                "lint": _cmd_lint}
+                "serve": _cmd_serve, "shard-serve": _cmd_shard_serve,
+                "client": _cmd_client, "lint": _cmd_lint}
     if not argv or argv[0] not in commands:
         names = ", ".join(sorted(commands))
         print(f"usage: python -m repro {{{names}}} [args]",

@@ -15,6 +15,8 @@ RV201       kernel purity: batch kernels never mutate input arrays and
             return fresh ``(values, mask)`` pairs
 RW301       wire-schema freeze: ``protocol.py`` matches
             ``protocol_schema.json`` and ``docs/SERVER.md``
+RS401       shard hygiene: ``merge_*`` functions in shard modules are
+            pure; coordinator code never touches BufferPool storage
 ==========  ===========================================================
 
 See ``docs/ANALYSIS.md`` for the full catalogue and suppression syntax.
@@ -38,6 +40,7 @@ from .framework import (
 from .rules_kernels import KernelPurityRule
 from .rules_locks import LockDisciplineRule, LockOrderRule
 from .rules_parallel import ParallelSafetyRule
+from .rules_shard import ShardHygieneRule
 from .rules_wire import WireSchemaRule
 
 __all__ = [
@@ -59,6 +62,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ParallelSafetyRule(),
     KernelPurityRule(),
     WireSchemaRule(),
+    ShardHygieneRule(),
 )
 
 

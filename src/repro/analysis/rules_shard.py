@@ -1,0 +1,146 @@
+"""RS401 — shard hygiene: pure merges, storage-free coordinator.
+
+The distributed-aggregation design rests on two structural facts:
+
+* **Merge purity.**  The coordinator folds shard partial states with
+  ``merge_*`` functions; determinism (and bit-identical float SUM/AVG
+  under range partitioning) holds only if a merge is a pure function
+  of its arguments.  A merge that mutates an argument, reaches for
+  module state via ``global``/``nonlocal``, or performs I/O could give
+  different results depending on reply arrival order or be impossible
+  to re-run — so inside any function whose name starts with ``merge``
+  in a shard module, RS401 flags argument mutation (attribute or
+  subscript assignment rooted at a parameter, mutator method calls on
+  a parameter), ``global``/``nonlocal``, and ``open``/``print`` calls.
+
+* **Storage-free coordinator.**  The coordinator routes and merges; it
+  must never read pages itself, or a shard-side write could race a
+  coordinator-side read with no latch protecting the pair.  In shard
+  modules (every file with a ``shard`` path component except
+  ``process.py``, which legitimately builds per-shard databases),
+  RS401 flags ``.pool`` attribute access and any ``BufferPool``
+  reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Sequence
+
+from .framework import Finding, LintContext, Rule, SourceFile
+
+_MUTATORS = frozenset({
+    "append", "extend", "add", "update", "insert", "pop", "remove",
+    "clear", "setdefault", "discard", "write", "send",
+})
+
+_IO_CALLS = frozenset({"open", "print"})
+
+
+def _is_shard_file(source: SourceFile) -> bool:
+    return "shard" in re.split(r"[\\/]", source.display_path)
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The leftmost ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ShardHygieneRule(Rule):
+    code = "RS401"
+    name = "shard-hygiene"
+    description = (
+        "merge_* functions in shard modules must be pure; shard "
+        "coordinator code must not touch BufferPool storage"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            if source.tree is None or not _is_shard_file(source):
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) and \
+                        node.name.startswith("merge"):
+                    findings.extend(self._check_merge(source, node))
+            if source.basename != "process.py":
+                findings.extend(self._check_storage(source))
+        return findings
+
+    # -- merge purity --------------------------------------------------------
+
+    def _check_merge(self, source: SourceFile,
+                     func: ast.FunctionDef) -> list[Finding]:
+        params = {arg.arg for arg in (
+            func.args.posonlyargs + func.args.args
+            + func.args.kwonlyargs)}
+        if func.args.vararg is not None:
+            params.add(func.args.vararg.arg)
+        if func.args.kwarg is not None:
+            params.add(func.args.kwarg.arg)
+        params.discard("self")
+        params.discard("cls")
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(Finding(
+                rule=self.code, path=source.display_path,
+                line=getattr(node, "lineno", func.lineno),
+                message=(f"merge function '{func.name}' must stay "
+                         f"pure: {what}")))
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                flag(node, "uses global state")
+            elif isinstance(node, ast.Nonlocal):
+                flag(node, "uses nonlocal state")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Attribute,
+                                           ast.Subscript)) and \
+                            _root_name(target) in params:
+                        flag(node, f"assigns into argument "
+                                   f"'{_root_name(target)}'")
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and \
+                        node.func.id in _IO_CALLS:
+                    flag(node, f"performs I/O via {node.func.id}()")
+                elif isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in _MUTATORS and \
+                        _root_name(node.func.value) in params:
+                    flag(node, f"mutates argument "
+                               f"'{_root_name(node.func.value)}' via "
+                               f".{node.func.attr}()")
+        return findings
+
+    # -- coordinator storage isolation ---------------------------------------
+
+    def _check_storage(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "pool":
+                findings.append(Finding(
+                    rule=self.code, path=source.display_path,
+                    line=node.lineno,
+                    message=("shard coordinator code must not touch "
+                             "the buffer pool; storage belongs to the "
+                             "shard processes")))
+            elif isinstance(node, ast.Name) and \
+                    node.id == "BufferPool":
+                findings.append(Finding(
+                    rule=self.code, path=source.display_path,
+                    line=node.lineno,
+                    message=("shard coordinator code must not use "
+                             "BufferPool directly; storage belongs to "
+                             "the shard processes")))
+        return findings

@@ -636,6 +636,72 @@ class Max(Min):
         return vectorized.fold(max, state, partial)
 
 
+class PartialCapture(Aggregate):
+    """Adapter that runs an aggregate's *partial* protocol behind the
+    ordinary scan interface, so any engine yields the unreduced
+    mergeable state instead of a finished value.
+
+    This is the shard side of distributed aggregation: wrap each
+    aggregate of a plan, execute the plan unchanged (row, vector or
+    parallel path), and the "values" that come back are the inner
+    aggregates' partial states — ordered non-NULL value lists (or a
+    running count) in scan order, exactly what :meth:`Aggregate.merge`
+    consumes.  The coordinator then replays the serial left fold over
+    the shipped partials in shard order, which keeps float SUM/AVG
+    bit-identical to a single-node run (see ``docs/SHARDING.md``).
+
+    The capture implements the mergeable protocol itself — partials
+    concatenate in morsel order — so a shard is free to execute its
+    slice on the parallel engine and still ship one ordered partial.
+    """
+
+    def __init__(self, inner: Aggregate):
+        self.inner = inner
+        self.expr = inner.expr
+
+    def step_cost(self, model: CostModel) -> float:
+        return self.inner.step_cost(model)
+
+    def start(self):
+        return self.inner.partial_start()
+
+    def step(self, state, ctx):
+        value = 1 if self.expr is None else self.expr.eval(ctx)
+        return self.inner.partial_step_values(state, (value,))
+
+    def step_value(self, state, value):
+        return self.inner.partial_step_values(state, (value,))
+
+    def step_values(self, state, values):
+        return self.inner.partial_step_values(state, values)
+
+    def step_batch(self, state, ctx: "vectorized.BatchContext"):
+        if self.expr is None:
+            # COUNT(*): only the lane count matters.
+            return self.inner.partial_step_values(
+                state, range(ctx.batch.n))
+        values, mask = vectorized.eval_node(self.expr, ctx)
+        return self.inner.partial_step_values(
+            state, vectorized.to_pylist(values, mask, ctx.batch.n))
+
+    def finish(self, state, rows):
+        return state
+
+    def partial_start(self):
+        return self.inner.partial_start()
+
+    def partial_step_values(self, partial, values):
+        return self.inner.partial_step_values(partial, values)
+
+    def merge(self, state, partial):
+        # Captured partials concatenate (value lists) or add (counts);
+        # either way the inner value order is preserved.
+        if isinstance(state, list):
+            state.extend(partial)
+            return state
+        return state + partial
+
+
 def _env_default_engine() -> str:
     value = os.environ.get("REPRO_ENGINE", "").strip().lower()
     return value if value in ("row", "vector", "parallel") else "vector"

@@ -42,7 +42,9 @@ declare their own.
 
 from __future__ import annotations
 
+import math
 import re
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -60,13 +62,14 @@ from .executor import (
     Expression,
     Max,
     Min,
+    PartialCapture,
     ReadBlob,
     ScalarUdf,
     Sum,
 )
 from .table import Table
 
-__all__ = ["SqlSession", "SqlSyntaxError"]
+__all__ = ["SelectPlan", "SqlSession", "SqlSyntaxError"]
 
 
 class SqlSyntaxError(Exception):
@@ -127,6 +130,43 @@ def _statement_table(tokens, keyword: str) -> str:
                     f"expected a table name after {keyword}")
             return name_tok[1]
     raise SqlSyntaxError(f"missing {keyword} clause")
+
+
+@dataclass
+class SelectPlan:
+    """A parsed, routable aggregate SELECT.
+
+    Produced once by :meth:`SqlSession.plan_select` and executable
+    anywhere: locally (``SqlSession`` feeds it straight to the
+    executor) or remotely (the shard coordinator inspects ``key`` /
+    ``pk_range`` to route, then ships the statement text to the owning
+    shards).  ``kind`` selects the executor entry point:
+
+    * ``"scan"``    — full clustered scan (:meth:`Executor.run`)
+    * ``"point"``   — clustered index seek (:meth:`Executor.run_point`)
+    * ``"index"``   — secondary index seek/range
+      (:meth:`Executor.run_index`)
+    * ``"grouped"`` — hash aggregation (:meth:`Executor.run_grouped`)
+
+    ``pk_range`` is the half-open primary-key interval ``[lo, hi)``
+    implied by the WHERE clause (either bound ``None`` when open);
+    it never widens the predicate, so a router may prune shards whose
+    key slices fall outside it without changing results.
+    """
+
+    table: Table
+    label: str
+    kind: str
+    aggregates: list
+    where: Expression | None = None
+    group_expr: Expression | None = None
+    group_text: str | None = None
+    key: int | None = None
+    index_column: str | None = None
+    index_equals: object = None
+    index_lo: object = None
+    index_hi: object = None
+    pk_range: tuple[int | None, int | None] | None = None
 
 
 class _BinOp(Expression):
@@ -430,6 +470,21 @@ class SqlSession:
     def _query_locked(self, tokens, sql: str, cold: bool,
                       engine: str | None = None,
                       workers: int | None = None):
+        return self._execute_plan(self._plan_tokens(tokens, sql), cold,
+                                  engine, workers)
+
+    def plan_select(self, sql: str) -> SelectPlan:
+        """Parse one aggregate SELECT into a routable
+        :class:`SelectPlan` without executing it (and without taking
+        any latch — planning only touches the catalog).
+
+        The same plan object drives local execution (:meth:`query`)
+        and remote routing (the shard coordinator reads ``key`` and
+        ``pk_range`` to decide which shards must run the statement).
+        """
+        return self._plan_tokens(_tokenize(sql), sql)
+
+    def _plan_tokens(self, tokens, sql: str) -> SelectPlan:
         parser = _Parser(self, tokens)
         table, items, where, group = parser.parse()
         label = sql.strip()
@@ -448,9 +503,11 @@ class SqlSession:
             if not aggs:
                 raise SqlSyntaxError(
                     "GROUP BY queries need at least one aggregate")
-            return self.executor.run_grouped(
-                table, group_expr, aggs, where=where, cold=cold,
-                label=label, engine=engine, workers=workers)
+            return SelectPlan(
+                table=table, label=label, kind="grouped",
+                aggregates=aggs, where=where, group_expr=group_expr,
+                group_text=group_text,
+                pk_range=self._pk_range(table, where))
         aggregates = []
         for item in items:
             if item[0] != "agg":
@@ -459,19 +516,168 @@ class SqlSession:
             aggregates.append(item[1])
         key = self._seek_key(table, where)
         if key is not None:
-            return self.executor.run_point(table, key, aggregates,
-                                           cold=cold, label=label,
-                                           engine=engine,
-                                           workers=workers)
-        plan = self._index_plan(table, where)
-        if plan is not None:
-            column, equals, lo, hi = plan
+            return SelectPlan(table=table, label=label, kind="point",
+                              aggregates=aggregates, where=where,
+                              key=key, pk_range=(key, key + 1))
+        index = self._index_plan(table, where)
+        if index is not None:
+            column, equals, lo, hi = index
+            return SelectPlan(table=table, label=label, kind="index",
+                              aggregates=aggregates, where=where,
+                              index_column=column, index_equals=equals,
+                              index_lo=lo, index_hi=hi,
+                              pk_range=self._pk_range(table, where))
+        return SelectPlan(table=table, label=label, kind="scan",
+                          aggregates=aggregates, where=where,
+                          pk_range=self._pk_range(table, where))
+
+    def _execute_plan(self, plan: SelectPlan, cold: bool,
+                      engine: str | None = None,
+                      workers: int | None = None):
+        """Run a :class:`SelectPlan` on this session's executor.
+
+        Callers must hold the appropriate read latches (the public
+        entry points :meth:`query` / :meth:`query_partial` take them).
+        """
+        if plan.kind == "grouped":
+            return self.executor.run_grouped(
+                plan.table, plan.group_expr, plan.aggregates,
+                where=plan.where, cold=cold, label=plan.label,
+                engine=engine, workers=workers)
+        if plan.kind == "point":
+            return self.executor.run_point(
+                plan.table, plan.key, plan.aggregates, cold=cold,
+                label=plan.label, engine=engine, workers=workers)
+        if plan.kind == "index":
             return self.executor.run_index(
-                table, column, aggregates, equals=equals, lo=lo, hi=hi,
-                cold=cold, label=label, engine=engine, workers=workers)
-        return self.executor.run(table, aggregates, where=where,
-                                 cold=cold, label=label, engine=engine,
-                                 workers=workers)
+                plan.table, plan.index_column, plan.aggregates,
+                equals=plan.index_equals, lo=plan.index_lo,
+                hi=plan.index_hi, cold=cold, label=plan.label,
+                engine=engine, workers=workers)
+        return self.executor.run(
+            plan.table, plan.aggregates, where=plan.where, cold=cold,
+            label=plan.label, engine=engine, workers=workers)
+
+    def query_partial(self, sql: str, cold: bool = True,
+                      engine: str | None = None,
+                      workers: int | None = None, finalize=None):
+        """Execute one aggregate SELECT but return the *unreduced*
+        mergeable partial states instead of finished values — the
+        shard-side half of distributed aggregation.
+
+        Each aggregate is wrapped in a
+        :class:`~repro.engine.executor.PartialCapture`, so the scan
+        produces the state its ``merge`` method consumes (ordered
+        non-NULL value lists, or a running count).  The caller — a
+        shard server answering a ``pquery`` frame — ships those states
+        to the coordinator, which folds them in shard order and
+        finishes the original aggregates, reproducing single-node
+        results bit for bit.
+
+        Returns a dict with ``rows`` (rows scanned), ``metrics``
+        (:class:`~repro.engine.metrics.QueryMetrics`), and either
+        ``states`` (one partial per aggregate; ``groups`` is None) or
+        ``groups`` (ordered ``(group_value, [partials...])`` pairs;
+        ``states`` is None) for GROUP BY.  ``finalize`` has
+        :meth:`query` semantics: applied under the latches, so blob
+        handles inside MIN/MAX partials can be materialized safely.
+        """
+        tokens = _tokenize(sql)
+        with self.db.latches.read_latch(*self._latch_set(tokens, engine)):
+            plan = self._plan_tokens(tokens, sql)
+            wrapped = replace(plan, aggregates=[
+                PartialCapture(agg) for agg in plan.aggregates])
+            result = self._execute_plan(wrapped, cold, engine, workers)
+            if plan.kind == "grouped":
+                rows, metrics = result
+                payload = {
+                    "rows": metrics.rows,
+                    "states": None,
+                    "groups": [(row[0], list(row[1:])) for row in rows],
+                    "metrics": metrics,
+                }
+            else:
+                values, metrics = result
+                payload = {
+                    "rows": metrics.rows,
+                    "states": list(values),
+                    "groups": None,
+                    "metrics": metrics,
+                }
+            if finalize is not None:
+                payload = finalize(payload)
+            return payload
+
+    def parse_insert(self, sql: str) -> tuple[Table, list[tuple]]:
+        """Parse ``INSERT INTO ... VALUES`` into ``(table, rows)``
+        without executing it (namespace calls in the VALUES list are
+        evaluated to their blob values).  The shard coordinator uses
+        this to partition the rows by primary key and bulk-load each
+        owning shard; :meth:`execute` feeds the same rows to
+        :meth:`~repro.engine.table.Table.insert_many` locally.
+        """
+        return _Ddl(self, _tokenize(sql)).parse_insert()
+
+    def _pk_range(self, table: Table, where
+                  ) -> tuple[int | None, int | None] | None:
+        """Half-open integer primary-key interval ``[lo, hi)`` implied
+        by the WHERE clause, or None when the predicate does not bound
+        the key.
+
+        Conservative by construction: bounds are read only off simple
+        ``pk <op> const`` conjuncts of a top-level AND chain (any other
+        conjunct merely narrows the result further, so ignoring it
+        keeps the interval a superset of the matching keys).  A
+        top-level OR yields None — either branch could match anywhere.
+        """
+        if where is None:
+            return None
+        pk = table.columns[0].name
+        conjuncts = [where]
+        leaves = []
+        while conjuncts:
+            node = conjuncts.pop()
+            if isinstance(node, _BinOp) and node.op == "AND":
+                conjuncts.append(node.left)
+                conjuncts.append(node.right)
+            else:
+                leaves.append(node)
+        if isinstance(where, _BinOp) and where.op == "OR":
+            return None
+        lo: int | None = None
+        hi: int | None = None
+        for leaf in leaves:
+            parts = self._cmp_parts(leaf)
+            if parts is None or parts[0] != pk:
+                continue
+            _col, op, value = parts
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)) or not math.isfinite(value):
+                continue
+            # Keys are integers: snap each bound to the tightest
+            # integer interval containing the predicate's solutions.
+            if op == "=":
+                if value != int(value):
+                    return (0, 0)  # pk = 1.5 matches nothing
+                lo = max(lo, int(value)) if lo is not None \
+                    else int(value)
+                hi = min(hi, int(value) + 1) if hi is not None \
+                    else int(value) + 1
+            elif op == ">=":
+                bound = math.ceil(value)
+                lo = bound if lo is None else max(lo, bound)
+            elif op == ">":
+                bound = math.floor(value) + 1
+                lo = bound if lo is None else max(lo, bound)
+            elif op == "<":
+                bound = math.ceil(value)
+                hi = bound if hi is None else min(hi, bound)
+            elif op == "<=":
+                bound = math.floor(value) + 1
+                hi = bound if hi is None else min(hi, bound)
+        if lo is None and hi is None:
+            return None
+        return (lo, hi)
 
     def explain(self, sql: str) -> str:
         """Describe the plan a SELECT would use without executing it.
@@ -912,13 +1118,15 @@ class _Ddl:
                     "only the first column can be the primary key")
         return column
 
-    def insert(self) -> int:
-        """``INSERT INTO name VALUES (v, ...), (v, ...), ...``.
+    def parse_insert(self) -> tuple[Table, list[tuple]]:
+        """Parse ``INSERT INTO name VALUES (v, ...), ...`` into
+        ``(table, rows)`` without touching storage.
 
         Values are literals, NULL, or schema-qualified function calls
-        over literals (``FloatArray.Vector_3(1, 2, 3)``).  The whole
-        statement is parsed first and inserted as one batch, so an
-        ascending load into an empty table takes the bulk-load path.
+        over literals (``FloatArray.Vector_3(1, 2, 3)``), evaluated
+        here — the returned rows are plain tuples ready for
+        :meth:`~repro.engine.table.Table.insert_many` (or for shipping
+        to the shard that owns them).
         """
         self._expect("kw", "INSERT")
         self._expect("kw", "INTO")
@@ -943,6 +1151,16 @@ class _Ddl:
         if self._peek()[0] != "eof":
             raise SqlSyntaxError(
                 f"unexpected trailing input {self._peek()[1]!r}")
+        return table, rows
+
+    def insert(self) -> int:
+        """``INSERT INTO name VALUES ...``; returns rows inserted.
+
+        The whole statement is parsed first and inserted as one batch,
+        so an ascending load into an empty table takes the bulk-load
+        path.
+        """
+        table, rows = self.parse_insert()
         return table.insert_many(rows)
 
     def _value(self):

@@ -23,8 +23,10 @@ from .client import (
     QueryResult,
     QueryTimeoutError,
     ResultTooLargeError,
+    RetryPolicy,
     ServerBusyError,
     ServerError,
+    ShardUnavailableError,
 )
 from .protocol import (
     BAD_FRAME,
@@ -34,9 +36,11 @@ from .protocol import (
     QUERY_TIMEOUT,
     RESULT_TOO_LARGE,
     SERVER_BUSY,
+    SHARD_UNAVAILABLE,
     SQL_ERROR,
     FrameTooLargeError,
     ProtocolError,
+    WireError,
 )
 from .server import ArrayServer, ServerConfig, ServerThread
 from .stats import LatencyWindow, ServerStats
@@ -47,12 +51,15 @@ __all__ = [
     "ArrayClient",
     "AsyncArrayClient",
     "QueryResult",
+    "RetryPolicy",
     "ServerError",
     "ServerBusyError",
     "QueryTimeoutError",
     "ResultTooLargeError",
+    "ShardUnavailableError",
     "ProtocolError",
     "FrameTooLargeError",
+    "WireError",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "SERVER_BUSY",
@@ -60,6 +67,7 @@ __all__ = [
     "SQL_ERROR",
     "BAD_FRAME",
     "RESULT_TOO_LARGE",
+    "SHARD_UNAVAILABLE",
     "INTERNAL",
     "ArrayServer",
     "ServerConfig",

@@ -26,6 +26,7 @@ Example::
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass, field
 
 from . import protocol
@@ -36,6 +37,8 @@ __all__ = [
     "ServerBusyError",
     "QueryTimeoutError",
     "ResultTooLargeError",
+    "ShardUnavailableError",
+    "RetryPolicy",
     "QueryResult",
     "ArrayClient",
     "AsyncArrayClient",
@@ -91,11 +94,43 @@ class ResultTooLargeError(ServerError):
     ``max_frame``; narrow the select list or raise the limit."""
 
 
+class ShardUnavailableError(ServerError):
+    """A shard coordinator needed a shard that is dead or stayed
+    saturated through the coordinator's bounded retry.  The connection
+    survives; retry once the shard recovers."""
+
+
 _ERROR_TYPES = {
     protocol.SERVER_BUSY: ServerBusyError,
     protocol.QUERY_TIMEOUT: QueryTimeoutError,
     protocol.RESULT_TOO_LARGE: ResultTooLargeError,
+    protocol.SHARD_UNAVAILABLE: ShardUnavailableError,
 }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in bounded exponential backoff for ``SERVER_BUSY``.
+
+    Off by default everywhere: a client constructed without a policy
+    raises :class:`ServerBusyError` on the first rejection, exactly as
+    before.  With a policy, a busy reply is retried up to
+    ``max_retries`` more times, sleeping ``backoff_base * 2**attempt``
+    seconds (capped at ``backoff_cap``) before each retry.
+
+    Only ``SERVER_BUSY`` is ever retried: it is the one reply that
+    guarantees the statement did *not* run.  A ``QUERY_TIMEOUT`` means
+    the query consumed its whole server-side budget — retrying would
+    double the damage — and the other codes are not transient.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** attempt))
 
 
 def _raise_for_error(header: dict) -> None:
@@ -161,12 +196,16 @@ class ArrayClient:
         host / port: Server address.
         timeout: Socket timeout for connect and replies (seconds).
         max_frame: Largest accepted reply frame.
+        retry: Optional :class:`RetryPolicy` enabling bounded backoff
+            on ``SERVER_BUSY`` (default None: fail fast, as before).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7433,
                  timeout: float | None = 60.0,
-                 max_frame: int = protocol.MAX_FRAME_BYTES):
+                 max_frame: int = protocol.MAX_FRAME_BYTES,
+                 retry: RetryPolicy | None = None):
         self._max_frame = max_frame
+        self._retry = retry
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -208,10 +247,23 @@ class ArrayClient:
         the plan cannot parallelize).  ``workers`` sizes the parallel
         engine's process pool for this query (``None`` → server
         default).
+
+        With a :class:`RetryPolicy`, ``SERVER_BUSY`` rejections are
+        retried with bounded exponential backoff; every other error
+        (including ``QUERY_TIMEOUT``) raises immediately.
         """
-        header, blobs = self._request_raw(
-            _query_header(sql, cold, timeout, engine, workers))
-        return _parse_result(header, blobs)
+        attempt = 0
+        while True:
+            try:
+                header, blobs = self._request_raw(
+                    _query_header(sql, cold, timeout, engine, workers))
+                return _parse_result(header, blobs)
+            except ServerBusyError:
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                time.sleep(self._retry.delay(attempt))
+                attempt += 1
 
     execute = query
 
@@ -269,21 +321,24 @@ class AsyncArrayClient:
     """
 
     def __init__(self, reader, writer,
-                 max_frame: int = protocol.MAX_FRAME_BYTES):
+                 max_frame: int = protocol.MAX_FRAME_BYTES,
+                 retry: RetryPolicy | None = None):
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._retry = retry
         self.server_name = ""
         self.session_id = None
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 7433,
-                      max_frame: int = protocol.MAX_FRAME_BYTES
+                      max_frame: int = protocol.MAX_FRAME_BYTES,
+                      retry: RetryPolicy | None = None
                       ) -> "AsyncArrayClient":
         import asyncio
 
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame)
+        client = cls(reader, writer, max_frame, retry)
         hello = await protocol.read_frame(reader, max_frame)
         if hello is None or hello[0].get("type") != "hello":
             raise ServerError(protocol.INTERNAL,
@@ -305,10 +360,21 @@ class AsyncArrayClient:
                     engine: str | None = None,
                     workers: int | None = None) -> QueryResult:
         """Asyncio twin of :meth:`ArrayClient.query` (same ``timeout``,
-        ``engine`` and ``workers`` semantics: None → server default)."""
-        header, blobs = await self._request(
-            _query_header(sql, cold, timeout, engine, workers))
-        return _parse_result(header, blobs)
+        ``engine``, ``workers`` and ``SERVER_BUSY``-retry semantics)."""
+        import asyncio
+
+        attempt = 0
+        while True:
+            try:
+                header, blobs = await self._request(
+                    _query_header(sql, cold, timeout, engine, workers))
+                return _parse_result(header, blobs)
+            except ServerBusyError:
+                if self._retry is None or \
+                        attempt >= self._retry.max_retries:
+                    raise
+                await asyncio.sleep(self._retry.delay(attempt))
+                attempt += 1
 
     async def stats(self) -> dict:
         header, _ = await self._request({"type": "stats"})

@@ -45,6 +45,26 @@ when its plan cannot parallelize).
 ``stats``   ``{"type": "stats"}``
 ``ping``    ``{"type": "ping"}``
 ``close``   ``{"type": "close"}``
+``pquery``  ``{"type": "pquery", "sql": str, "cold": bool,
+"timeout": float | "none",
+"engine": "row" | "vector" | "parallel" | null, "workers": int | null}``
+
+A partial-state query: same key semantics and validation as ``query``,
+but the statement must be an aggregate SELECT and the reply is a
+``presult`` frame carrying the aggregates' *unreduced* mergeable
+partial states instead of finished values.  This is the shard half of
+distributed aggregation — a coordinator scatters one ``pquery`` per
+shard, merges the partial states in shard order, and finishes the
+aggregates itself (see ``docs/SHARDING.md``).
+
+``insert``  ``{"type": "insert", "table": str, "rows": [...],
+"timeout": float | "none"}``
+
+A binary bulk load: ``rows`` are packed like result rows (blob cells
+as ``{"$blob": i}`` markers into the frame tail) and appended to the
+named table in one :meth:`Table.insert_many` batch under its exclusive
+latch.  Answered with an ok ``result`` frame whose ``rowcount`` is the
+number of rows inserted.
 
 Server to client:
 
@@ -55,10 +75,28 @@ Server to client:
 ``stats``   ``{"type": "stats", ...snapshot...}``
 ``pong``    ``{"type": "pong"}``
 ``goodbye`` ``{"type": "goodbye"}``
+``presult`` ``{"type": "presult", "rows": int,
+"states": [...] | null, "groups": [[group, [...]], ...] | null,
+"metrics": dict, "elapsed_seconds": float}``
+
+The reply to a ``pquery``: ``rows`` is the number of rows the shard
+scanned, ``states`` holds one packed partial state per aggregate (a
+scalar SELECT; ``groups`` is null), and ``groups`` holds ordered
+``[group_value, [partial, ...]]`` pairs for GROUP BY (``states`` is
+null).  A partial state is packed by :func:`pack_partial`: a count
+partial ships as a plain JSON int; an all-float value list ships as a
+little-endian float64 blob referenced by ``{"$pf8": i}``; an all-int
+list as an int64 blob under ``{"$pi8": i}``; anything else falls back
+to ``{"$pvals": [...]}`` with per-value packing (blob cells become
+``{"$blob": i}``).
 
 Error codes are the :data:`SERVER_BUSY`, :data:`QUERY_TIMEOUT`,
-:data:`SQL_ERROR`, :data:`BAD_FRAME`, :data:`RESULT_TOO_LARGE` and
-:data:`INTERNAL` constants.
+:data:`SQL_ERROR`, :data:`BAD_FRAME`, :data:`RESULT_TOO_LARGE`,
+:data:`SHARD_UNAVAILABLE` and :data:`INTERNAL` constants.
+``SHARD_UNAVAILABLE`` is raised only by a shard coordinator: a
+statement needed a shard that is dead or stayed saturated through the
+coordinator's bounded retry.  The client connection survives, and the
+statement can be retried once the shard recovers.
 
 The frame-size limit is enforced on *both* sides of the wire: readers
 reject an oversized length prefix before allocating anything, and the
@@ -89,13 +127,19 @@ __all__ = [
     "SQL_ERROR",
     "BAD_FRAME",
     "RESULT_TOO_LARGE",
+    "SHARD_UNAVAILABLE",
     "INTERNAL",
     "ProtocolError",
     "FrameTooLargeError",
+    "WireError",
     "encode_frame",
     "decode_frame",
     "pack_rows",
     "unpack_rows",
+    "pack_cell",
+    "unpack_cell",
+    "pack_partial",
+    "unpack_partial",
     "read_frame",
     "write_frame",
     "read_frame_sock",
@@ -122,6 +166,7 @@ QUERY_TIMEOUT = "QUERY_TIMEOUT"
 SQL_ERROR = "SQL_ERROR"
 BAD_FRAME = "BAD_FRAME"
 RESULT_TOO_LARGE = "RESULT_TOO_LARGE"
+SHARD_UNAVAILABLE = "SHARD_UNAVAILABLE"
 INTERNAL = "INTERNAL"
 
 _U32 = struct.Struct("!I")
@@ -135,6 +180,22 @@ class FrameTooLargeError(ProtocolError):
     """Raised by the write helpers for an outgoing frame over the
     ``max_frame`` limit — caught *before* any bytes hit the wire, so
     the stream stays framed and the connection survives."""
+
+
+class WireError(Exception):
+    """A typed failure to be answered as an ``error`` frame.
+
+    Raised by layers that execute *behind* a server — the shard
+    coordinator, mainly — to surface a specific error code
+    (:data:`SHARD_UNAVAILABLE`, a shard's own ``SQL_ERROR``, ...) to
+    the client instead of the generic :data:`INTERNAL` mapping for
+    unexpected exceptions.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
 
 
 # -- value packing -----------------------------------------------------------
@@ -183,6 +244,93 @@ def unpack_rows(rows: Sequence[Sequence[object]],
     """Invert :func:`pack_rows`, resolving blob markers."""
     return [tuple(_unpack_value(cell, blobs) for cell in row)
             for row in rows]
+
+
+def pack_cell(value: object, blobs: list[bytes]) -> object:
+    """Pack one standalone value (a GROUP BY key, say) with result-row
+    cell semantics: blob values move into ``blobs`` and become
+    ``{"$blob": i}`` markers."""
+    return _pack_value(value, blobs)
+
+
+def unpack_cell(value: object, blobs: Sequence[bytes]) -> object:
+    """Invert :func:`pack_cell`."""
+    return _unpack_value(value, blobs)
+
+
+# -- partial aggregate states (pquery/presult) -------------------------------
+
+def pack_partial(partial: object, blobs: list[bytes]) -> object:
+    """Encode one mergeable aggregate partial for a ``presult`` frame.
+
+    A count partial (int) stays inline JSON.  A value-list partial —
+    the ordered non-NULL values a SUM/AVG/MIN/MAX fold consumes —
+    becomes a typed binary column in the frame tail when homogeneous:
+    ``{"$pf8": i}`` for little-endian float64, ``{"$pi8": i}`` for
+    little-endian int64, so a million-value partial ships as 8 MB of
+    raw bytes rather than JSON text.  The exact bit patterns survive
+    the round trip, which is what keeps distributed float SUM/AVG
+    bit-identical.  Mixed or non-numeric lists (MIN/MAX over blobs,
+    say) fall back to ``{"$pvals": [...]}`` with per-value packing.
+    """
+    if isinstance(partial, bool):
+        raise ProtocolError("a bool is not a partial aggregate state")
+    if isinstance(partial, numbers.Integral):
+        return int(partial)
+    if not isinstance(partial, (list, tuple)):
+        raise ProtocolError(
+            f"cannot encode partial state of type "
+            f"{type(partial).__name__}")
+    values = list(partial)
+    if values:
+        if all(isinstance(v, float) and not isinstance(v, bool)
+               for v in values):
+            blobs.append(struct.pack(f"<{len(values)}d", *values))
+            return {"$pf8": len(blobs) - 1}
+        if all(isinstance(v, numbers.Integral)
+               and not isinstance(v, bool) for v in values):
+            try:
+                blobs.append(
+                    struct.pack(f"<{len(values)}q",
+                                *(int(v) for v in values)))
+                return {"$pi8": len(blobs) - 1}
+            except struct.error:
+                pass  # out of int64 range: fall back to JSON ints
+    return {"$pvals": [_pack_value(v, blobs) for v in values]}
+
+
+def _partial_blob(marker: object, blobs: Sequence[bytes]) -> bytes:
+    if not isinstance(marker, int) or isinstance(marker, bool) or \
+            not 0 <= marker < len(blobs):
+        raise ProtocolError(
+            f"partial blob reference {marker!r} out of range")
+    data = blobs[marker]
+    if len(data) % 8:
+        raise ProtocolError(
+            f"partial blob of {len(data)} bytes is not a multiple of 8")
+    return data
+
+
+def unpack_partial(value: object, blobs: Sequence[bytes]) -> object:
+    """Invert :func:`pack_partial`."""
+    if isinstance(value, bool):
+        raise ProtocolError("a bool is not a partial aggregate state")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, dict):
+        if set(value) == {"$pf8"}:
+            data = _partial_blob(value["$pf8"], blobs)
+            return list(struct.unpack(f"<{len(data) // 8}d", data))
+        if set(value) == {"$pi8"}:
+            data = _partial_blob(value["$pi8"], blobs)
+            return list(struct.unpack(f"<{len(data) // 8}q", data))
+        if set(value) == {"$pvals"}:
+            items = value["$pvals"]
+            if not isinstance(items, list):
+                raise ProtocolError(
+                    f"bad generic partial payload {items!r}")
+            return [_unpack_value(v, blobs) for v in items]
+    raise ProtocolError(f"bad partial state {value!r}")
 
 
 # -- framing -----------------------------------------------------------------

@@ -198,9 +198,14 @@ class ArrayServer:
         if kind == "stats":
             await protocol.write_frame(writer, self._stats_frame())
             return False
-        if kind == "query":
-            reply, reply_blobs = await self._run_query(
-                session, session_id, header)
+        if kind in ("query", "pquery", "insert"):
+            if kind == "insert":
+                reply, reply_blobs = await self._run_insert(
+                    session, session_id, header, blobs)
+            else:
+                reply, reply_blobs = await self._run_query(
+                    session, session_id, header,
+                    partial=(kind == "pquery"))
             try:
                 await protocol.write_frame(writer, reply, reply_blobs,
                                            self.config.max_frame)
@@ -282,30 +287,23 @@ class ArrayServer:
                 f"'workers' must be at least 1, got {requested!r}")
         return requested
 
-    async def _run_query(self, session: SqlSession, session_id: int,
-                         header: dict) -> tuple[dict, list[bytes]]:
-        sql = header.get("sql")
-        if not isinstance(sql, str) or not sql.strip():
-            return _error(protocol.SQL_ERROR,
-                          "query frame needs a non-empty 'sql'"), []
-        cold = bool(header.get("cold", True))
-        try:
-            timeout = self._resolve_timeout(header.get("timeout"))
-            engine = self._resolve_engine(header.get("engine"))
-            workers = self._resolve_workers(header.get("workers"))
-        except ValueError as exc:
-            return _error(protocol.BAD_FRAME, str(exc)), []
+    async def _admit_and_run(self, session_id: int,
+                             timeout: float | None, job):
+        """Admit one statement and run it on the worker pool — the
+        shared body of the ``query``, ``pquery`` and ``insert`` paths.
 
+        Returns ``((result, latency), None)`` on success or
+        ``(None, error_header)`` for rejection, timeout or failure.
+        """
         if not self.admission.try_acquire():
             self.stats.record_busy()
-            return _error(
+            return None, _error(
                 protocol.SERVER_BUSY,
                 f"admission queue full "
-                f"({self.admission.capacity} in flight); retry later"), []
+                f"({self.admission.capacity} in flight); retry later")
 
         loop = asyncio.get_running_loop()
-        future = self._executor.submit(self._execute_sync, session, sql,
-                                       cold, engine, workers)
+        future = self._executor.submit(job)
         # The slot is held until the worker truly finishes — releasing
         # on timeout would let abandoned queries pile up unbounded.
         future.add_done_callback(lambda _f: self.admission.release())
@@ -321,28 +319,108 @@ class ArrayServer:
             wrapped.add_done_callback(
                 lambda f: f.cancelled() or f.exception())
             self.stats.record_timeout(session_id)
-            return _error(
+            return None, _error(
                 protocol.QUERY_TIMEOUT,
-                f"query exceeded its {timeout:g} s budget"), []
+                f"query exceeded its {timeout:g} s budget")
         except SqlSyntaxError as exc:
             self.stats.record_failure(session_id)
-            return _error(protocol.SQL_ERROR, str(exc)), []
+            return None, _error(protocol.SQL_ERROR, str(exc))
+        except protocol.WireError as exc:
+            # A typed failure from behind the server (the shard
+            # coordinator's SHARD_UNAVAILABLE, a shard's own error
+            # passing through): keep its code on the wire.
+            self.stats.record_failure(session_id)
+            return None, _error(exc.code, exc.message)
         except CancelledError:
             self.stats.record_failure(session_id)
-            return _error(protocol.INTERNAL, "query cancelled"), []
+            return None, _error(protocol.INTERNAL, "query cancelled")
         except Exception as exc:  # engine bug surfaced to one client
             self.stats.record_failure(session_id)
-            return _error(protocol.INTERNAL,
-                          f"{type(exc).__name__}: {exc}"), []
-        latency = loop.time() - started
+            return None, _error(protocol.INTERNAL,
+                                f"{type(exc).__name__}: {exc}")
+        return (result, loop.time() - started), None
+
+    async def _run_query(self, session: SqlSession, session_id: int,
+                         header: dict, partial: bool = False
+                         ) -> tuple[dict, list[bytes]]:
+        sql = header.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return _error(protocol.SQL_ERROR,
+                          "query frame needs a non-empty 'sql'"), []
+        cold = bool(header.get("cold", True))
+        try:
+            timeout = self._resolve_timeout(header.get("timeout"))
+            engine = self._resolve_engine(header.get("engine"))
+            workers = self._resolve_workers(header.get("workers"))
+        except ValueError as exc:
+            return _error(protocol.BAD_FRAME, str(exc)), []
+
+        if partial:
+            job = lambda: self._execute_partial_sync(  # noqa: E731
+                session, sql, cold, engine, workers)
+        else:
+            job = lambda: self._execute_sync(  # noqa: E731
+                session, sql, cold, engine, workers)
+        outcome, error = await self._admit_and_run(session_id, timeout,
+                                                   job)
+        if error is not None:
+            return error, []
+        result, latency = outcome
         self.stats.record_query(session_id, latency,
                                 result.get("metrics"))
+        if partial:
+            return self._pack_presult(result, latency)
         packed, reply_blobs = protocol.pack_rows(result["rows"])
         reply = {"type": "result", "kind": result["kind"],
                  "rows": packed, "rowcount": result["rowcount"],
                  "metrics": result["metrics"],
                  "elapsed_seconds": latency}
         return reply, reply_blobs
+
+    @staticmethod
+    def _pack_presult(result: dict, latency: float
+                      ) -> tuple[dict, list[bytes]]:
+        blobs: list[bytes] = []
+        states = result["states"]
+        groups = result["groups"]
+        packed_states = None if states is None else [
+            protocol.pack_partial(state, blobs) for state in states]
+        packed_groups = None if groups is None else [
+            [protocol.pack_cell(group, blobs),
+             [protocol.pack_partial(part, blobs) for part in parts]]
+            for group, parts in groups]
+        reply = {"type": "presult", "rows": result["rows"],
+                 "states": packed_states, "groups": packed_groups,
+                 "metrics": result["metrics"],
+                 "elapsed_seconds": latency}
+        return reply, blobs
+
+    async def _run_insert(self, session: SqlSession, session_id: int,
+                          header: dict, blobs) -> tuple[dict, list[bytes]]:
+        table_name = header.get("table")
+        if not isinstance(table_name, str) or not table_name:
+            return _error(protocol.BAD_FRAME,
+                          "insert frame needs a 'table' name"), []
+        packed = header.get("rows")
+        if not isinstance(packed, list):
+            return _error(protocol.BAD_FRAME,
+                          "insert frame needs a 'rows' list"), []
+        try:
+            rows = protocol.unpack_rows(packed, blobs)
+            timeout = self._resolve_timeout(header.get("timeout"))
+        except (protocol.ProtocolError, ValueError) as exc:
+            return _error(protocol.BAD_FRAME, str(exc)), []
+        outcome, error = await self._admit_and_run(
+            session_id, timeout,
+            lambda: self._execute_insert_sync(session, table_name,
+                                              rows))
+        if error is not None:
+            return error, []
+        inserted, latency = outcome
+        self.stats.record_query(session_id, latency, None)
+        return {"type": "result", "kind": "ok", "rows": [],
+                "rowcount": inserted, "metrics": None,
+                "elapsed_seconds": latency}, []
 
     def _execute_sync(self, session: SqlSession, sql: str,
                       cold: bool, engine: str | None = None,
@@ -361,6 +439,47 @@ class ArrayServer:
         rows, metrics = result
         return {"kind": "rows", "rows": rows, "rowcount": len(rows),
                 "metrics": metrics.to_dict()}
+
+    def _execute_partial_sync(self, session: SqlSession, sql: str,
+                              cold: bool, engine: str | None = None,
+                              workers: int | None = None) -> dict:
+        """Worker-thread body of the ``pquery`` path: run the SELECT
+        with its aggregates' mergeable partial states left unreduced
+        (the shard half of distributed aggregation)."""
+        payload = session.query_partial(
+            sql, cold=cold, engine=engine, workers=workers,
+            finalize=self._materialize_partials)
+        return {"kind": "partial", "rows": payload["rows"],
+                "states": payload["states"],
+                "groups": payload["groups"],
+                "metrics": payload["metrics"].to_dict()}
+
+    def _materialize_partials(self, payload: dict) -> dict:
+        """``query_partial`` finalize hook: resolve blob handles inside
+        MIN/MAX value-list partials while the table latch is held (same
+        reasoning as :meth:`_materialize_result`)."""
+        def fix(partial):
+            if isinstance(partial, list):
+                return [cell.read_all(self.db.pool)
+                        if isinstance(cell, MaxBlobHandle) else cell
+                        for cell in partial]
+            return partial
+
+        if payload["states"] is not None:
+            payload["states"] = [fix(s) for s in payload["states"]]
+        if payload["groups"] is not None:
+            payload["groups"] = [(group, [fix(s) for s in parts])
+                                 for group, parts in payload["groups"]]
+        return payload
+
+    def _execute_insert_sync(self, session: SqlSession,
+                             table_name: str, rows) -> int:
+        """Worker-thread body of the binary bulk-load path: append the
+        batch through :meth:`Table.insert_many` under the table's
+        exclusive latch — the same discipline as a SQL INSERT."""
+        table = session._resolve_table(table_name)
+        with self.db.latches.write_latch(table.name):
+            return table.insert_many(rows)
 
     def _materialize_result(self, result):
         """SELECT finalize hook: normalize to a row list and resolve
@@ -416,9 +535,16 @@ class ServerThread:
     manager.
     """
 
-    def __init__(self, db: Database, config: ServerConfig | None = None,
-                 session_setup=None):
-        self.server = ArrayServer(db, config, session_setup)
+    def __init__(self, db: Database | None = None,
+                 config: ServerConfig | None = None,
+                 session_setup=None,
+                 server: ArrayServer | None = None):
+        if server is None:
+            if db is None:
+                raise ValueError(
+                    "ServerThread needs a db or a prebuilt server")
+            server = ArrayServer(db, config, session_setup)
+        self.server = server
         self.port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None

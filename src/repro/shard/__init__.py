@@ -1,0 +1,46 @@
+"""repro.shard — a sharded multi-process backend for the array engine.
+
+A cluster is N independent :class:`~repro.server.server.ArrayServer`
+processes (:class:`ShardFleet`), each owning a partitioned slice of
+every table, fronted by a coordinator (:class:`ShardRouter` inside a
+:class:`ShardServer`) that plans each statement once, routes it —
+point statements to one shard, key ranges to the owning shards, scans
+to all — and merges replies.  Aggregates travel as unreduced mergeable
+partial states (``pquery``/``presult`` frames) and are folded in shard
+order, so float SUM/AVG under range partitioning are bit-identical to
+single-node execution.
+
+Quick start::
+
+    from repro.shard import ShardConfig, ShardClient, start_cluster
+    from repro.server.server import ServerThread
+
+    fleet, router = start_cluster(ShardConfig(shards=4))
+    with ServerThread(server=ShardServer(router)) as coord:
+        with ShardClient("127.0.0.1", coord.port) as client:
+            client.query("CREATE TABLE a (pk INT, v FLOAT)")
+            ...
+    fleet.stop()
+
+or ``repro shard-serve --shards 4`` from the command line.  See
+``docs/SHARDING.md``.
+"""
+
+from .client import ShardClient, ShardLink
+from .config import ShardConfig
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .process import ShardFleet
+from .router import ShardRouter, ShardServer, start_cluster
+
+__all__ = [
+    "ShardClient",
+    "ShardConfig",
+    "ShardFleet",
+    "ShardLink",
+    "ShardRouter",
+    "ShardServer",
+    "Partitioner",
+    "RangePartitioner",
+    "HashPartitioner",
+    "start_cluster",
+]

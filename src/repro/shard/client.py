@@ -1,0 +1,109 @@
+"""Coordinator-to-shard links and the user-facing cluster client.
+
+:class:`ShardLink` is the coordinator's half of one shard connection —
+a lazy blocking socket speaking the ordinary wire protocol, split into
+``send`` and ``recv`` so the router can fan a request out to every
+target shard *before* blocking on the first reply (shards execute
+concurrently; replies are gathered in shard order for deterministic
+merges).
+
+:class:`ShardClient` is what applications connect to the *coordinator*
+with.  The coordinator speaks the unchanged wire protocol, so this is
+just :class:`~repro.server.client.ArrayClient` plus cluster-awareness
+in the stats snapshot.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..server import protocol
+from ..server.client import ArrayClient
+
+__all__ = ["ShardLink", "ShardClient"]
+
+
+class ShardLink:
+    """One lazily-(re)connected link from the coordinator to a shard.
+
+    Not thread-safe by design: the router keeps one link per (worker
+    thread, shard) pair, so the strict request/reply discipline of the
+    wire protocol is preserved without locking.  After any send/recv
+    failure the caller must :meth:`close` — the next use reconnects.
+    """
+
+    def __init__(self, shard_id: int, host: str, port: int,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float | None = 30.0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES):
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.max_frame = max_frame
+        self._sock: socket.socket | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self) -> None:
+        """Connect and consume the hello frame (idempotent)."""
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.request_timeout)
+            hello = protocol.read_frame_sock(sock, self.max_frame)
+            if hello is None or hello[0].get("type") != "hello":
+                raise protocol.ProtocolError(
+                    f"shard {self.shard_id} did not say hello")
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def send(self, header: dict, blobs=()) -> None:
+        """Ship one request frame (connecting first if needed)."""
+        self.connect()
+        protocol.write_frame_sock(self._sock, header, blobs,
+                                  self.max_frame)
+
+    def recv(self) -> tuple[dict, list[bytes]]:
+        """Read one reply frame; the request timeout bounds the wait
+        (``socket.timeout`` is an ``OSError`` — a shard that stops
+        answering surfaces as a link failure, never a hang)."""
+        if self._sock is None:
+            raise protocol.ProtocolError(
+                f"shard {self.shard_id} link is not connected")
+        reply = protocol.read_frame_sock(self._sock, self.max_frame)
+        if reply is None:
+            raise protocol.ProtocolError(
+                f"shard {self.shard_id} closed the connection")
+        return reply
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+class ShardClient(ArrayClient):
+    """Client for a shard coordinator.
+
+    The coordinator serves the unchanged wire protocol, so every
+    :class:`~repro.server.client.ArrayClient` feature works as-is —
+    queries, retry policies, ``query_array``.  Two additions surface
+    the cluster: :meth:`shard_count` and the coordinator's stats frame
+    carrying a ``"shards"`` section.
+    """
+
+    def shard_count(self) -> int:
+        """Number of shards behind the coordinator (from stats)."""
+        return int(self.stats().get("shards", {}).get("count", 0))

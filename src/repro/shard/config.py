@@ -1,0 +1,69 @@
+"""Cluster configuration: how many shards, where, and how keys split.
+
+One :class:`ShardConfig` describes a whole cluster — the fleet spawner
+derives each shard's :class:`~repro.server.server.ServerConfig` from
+it, and the router derives its partitioner — so a cluster is
+reproducible from one picklable value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..server.protocol import MAX_FRAME_BYTES
+from ..server.server import ServerConfig
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+
+__all__ = ["ShardConfig"]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Deployment knobs for one sharded cluster.
+
+    Attributes:
+        shards: Number of shard server processes.
+        partitioning: ``"range"`` (contiguous key slices; the default —
+            keeps distributed float aggregates bit-identical to
+            single-node, see ``docs/SHARDING.md``) or ``"hash"``.
+        key_lo / key_hi: The expected primary-key interval, used only
+            by range partitioning to place its cut points (keys
+            outside it still route — to the first/last shard).
+        host: Address the shard servers bind (loopback by default).
+        max_workers / queue_limit: Per-shard admission knobs (each
+            shard runs its own :class:`AdmissionController`).
+        query_timeout: Per-shard default query budget; None disables
+            it — the coordinator's own request timeout bounds shard
+            calls instead, so a dead shard still cannot hang a client.
+        max_frame: Largest frame on the coordinator-to-shard hop.
+    """
+
+    shards: int = 2
+    partitioning: str = "range"
+    key_lo: int = 0
+    key_hi: int = 1 << 20
+    host: str = "127.0.0.1"
+    max_workers: int = 4
+    queue_limit: int = 8
+    query_timeout: float | None = None
+    max_frame: int = MAX_FRAME_BYTES
+
+    def make_partitioner(self) -> Partitioner:
+        if self.partitioning == "range":
+            return RangePartitioner.for_keyspace(
+                self.shards, self.key_lo, self.key_hi)
+        if self.partitioning == "hash":
+            return HashPartitioner(self.shards)
+        raise ValueError(
+            f"partitioning must be 'range' or 'hash', got "
+            f"{self.partitioning!r}")
+
+    def shard_server_config(self, index: int) -> ServerConfig:
+        """The :class:`ServerConfig` for shard ``index`` (port 0: the
+        fleet reads the bound port from the child's pipe)."""
+        return ServerConfig(
+            host=self.host, port=0, max_workers=self.max_workers,
+            queue_limit=self.queue_limit,
+            query_timeout=self.query_timeout,
+            max_frame=self.max_frame,
+            name=f"repro-shard-{index}")

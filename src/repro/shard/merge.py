@@ -1,0 +1,119 @@
+"""Coordinator-side merging of shard partial states.
+
+The shards ship the *unreduced* mergeable states their scans produced
+(:class:`~repro.engine.executor.PartialCapture`); these helpers fold
+them — in the shard order the caller supplies — and finish the original
+aggregates.  With range partitioning, shard order is key order, so the
+fold visits values in exactly the sequence a single-node scan would
+and float SUM/AVG come out bit-identical.
+
+Every function here is *pure* (replint RS401 enforces this for
+``merge_*`` names): fresh state in, merged value out, no argument
+mutated and no process state touched.  Purity is what makes the merge
+order the only thing that matters — the coordinator can gather replies
+in any arrival order and still merge deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.metrics import QueryMetrics
+
+__all__ = [
+    "merge_scalar_states",
+    "merge_grouped_states",
+    "merge_metrics",
+    "finalize_scalar",
+    "finalize_grouped",
+]
+
+
+def merge_scalar_states(aggregates: Sequence, shard_states: Sequence):
+    """Fold each aggregate's per-shard partials in the given order.
+
+    ``shard_states[s][i]`` is shard ``s``'s partial for aggregate
+    ``i``; returns one merged (still unfinished) state per aggregate.
+    """
+    states = [agg.start() for agg in aggregates]
+    merged = []
+    for i, agg in enumerate(aggregates):
+        state = states[i]
+        for per_shard in shard_states:
+            state = agg.merge(state, per_shard[i])
+        merged.append(state)
+    return merged
+
+
+def merge_grouped_states(aggregates: Sequence, shard_groups: Sequence):
+    """Fold grouped partials across shards.
+
+    ``shard_groups[s]`` is shard ``s``'s ordered list of
+    ``(group_value, [partial, ...])`` pairs.  Returns
+    ``{group_value: [merged_state, ...]}`` — groups seen by several
+    shards are folded in shard order, groups seen by one shard pass
+    through.
+    """
+    groups: dict = {}
+    for per_shard in shard_groups:
+        for group, partials in per_shard:
+            states = groups.get(group)
+            if states is None:
+                states = [agg.start() for agg in aggregates]
+            groups[group] = [
+                agg.merge(state, partial)
+                for agg, state, partial in zip(aggregates, states,
+                                               partials)]
+    return groups
+
+
+def merge_metrics(parts: Sequence[dict], label: str,
+                  shards: int) -> QueryMetrics:
+    """Combine per-shard :meth:`QueryMetrics.to_dict` payloads into
+    the coordinator's view of the statement.
+
+    Additive counters (rows, IO, UDF calls, modeled IO/CPU seconds)
+    sum across shards; the modeled execution time and measured wall
+    time take the slowest shard, because shards run concurrently.
+    ``engine`` is reported as ``"sharded"`` and ``workers`` as the
+    cluster's shard count.
+    """
+    merged = QueryMetrics(label=label, engine="sharded",
+                          workers=shards)
+    for part in parts:
+        m = QueryMetrics.from_dict(part)
+        merged.rows += m.rows
+        merged.io_bytes += m.io_bytes
+        merged.physical_reads += m.physical_reads
+        merged.sequential_reads += m.sequential_reads
+        merged.random_reads += m.random_reads
+        merged.stream_calls += m.stream_calls
+        merged.udf_calls += m.udf_calls
+        merged.sim_io_seconds += m.sim_io_seconds
+        merged.sim_io_seq_seconds += m.sim_io_seq_seconds
+        merged.sim_io_random_seconds += m.sim_io_random_seconds
+        merged.sim_cpu_core_seconds += m.sim_cpu_core_seconds
+        merged.sim_exec_seconds = max(merged.sim_exec_seconds,
+                                      m.sim_exec_seconds)
+        merged.wall_seconds = max(merged.wall_seconds, m.wall_seconds)
+        merged.cores = m.cores
+    return merged
+
+
+def finalize_scalar(aggregates: Sequence, states: Sequence,
+                    rows: int) -> tuple:
+    """Finish merged scalar states into the statement's value row."""
+    return tuple(agg.finish(state, rows)
+                 for agg, state in zip(aggregates, states))
+
+
+def finalize_grouped(aggregates: Sequence, groups: dict,
+                     rows: int) -> list[tuple]:
+    """Finish merged grouped states into sorted result rows (same
+    NULL-last group order as :meth:`Executor.run_grouped`)."""
+    finished = [
+        (group, *[agg.finish(state, rows)
+                  for agg, state in zip(aggregates, states)])
+        for group, states in groups.items()]
+    finished.sort(key=lambda row: (row[0] is None, row[0]))
+    return finished

@@ -1,0 +1,124 @@
+"""Key partitioners: which shard owns a primary key.
+
+Both schemes map every integer primary key to exactly one shard, so a
+point statement touches one server and a scatter covers each row once.
+They differ in what a *range* costs and in what merge order means:
+
+* :class:`RangePartitioner` (the default) gives shard ``i`` a
+  contiguous key interval.  Shard order equals key order, so the
+  coordinator's shard-order merge replays the exact serial left fold a
+  single node would run — float SUM/AVG stay bit-identical — and a
+  ``pk >= a AND pk < b`` SELECT prunes to the owning shards.
+* :class:`HashPartitioner` scatters keys by a deterministic
+  multiplicative hash: perfectly even placement under skewed key
+  ranges, but key order is lost, so only exact-key statements prune
+  and float aggregates are merged in *shard* order, which is a
+  different (still deterministic) fold order than single-node key
+  order.  See ``docs/SHARDING.md`` for the trade-off.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = ["Partitioner", "RangePartitioner", "HashPartitioner"]
+
+
+class Partitioner:
+    """Maps integer primary keys to shard indices ``0..shards-1``."""
+
+    kind = "?"
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, key: int) -> int:
+        """The shard owning ``key``."""
+        raise NotImplementedError
+
+    def shards_for_range(self, lo: int | None,
+                         hi: int | None) -> list[int]:
+        """Shards that may own a key in ``[lo, hi)`` (either bound
+        None = open), in ascending shard order.  Must never omit an
+        owner; returning extra shards is only a performance loss."""
+        return list(range(self.shards))
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.shards})"
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous key intervals split by ``boundaries``.
+
+    ``boundaries`` is a strictly increasing list of ``shards - 1`` cut
+    points; shard ``i`` owns keys in ``[boundaries[i-1],
+    boundaries[i])`` (the first and last intervals are open-ended).
+    """
+
+    kind = "range"
+
+    def __init__(self, boundaries: list[int]):
+        super().__init__(len(boundaries) + 1)
+        if any(nxt <= prev
+               for nxt, prev in zip(boundaries[1:], boundaries)):
+            raise ValueError(
+                f"boundaries must be strictly increasing, got "
+                f"{boundaries!r}")
+        self.boundaries = list(boundaries)
+
+    @classmethod
+    def for_keyspace(cls, shards: int, lo: int,
+                     hi: int) -> "RangePartitioner":
+        """Even split of ``[lo, hi)`` into ``shards`` intervals."""
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if hi <= lo:
+            raise ValueError(f"empty keyspace [{lo}, {hi})")
+        span = hi - lo
+        return cls([lo + (span * i) // shards
+                    for i in range(1, shards)])
+
+    def shard_of(self, key: int) -> int:
+        return bisect_right(self.boundaries, key)
+
+    def shards_for_range(self, lo: int | None,
+                         hi: int | None) -> list[int]:
+        first = 0 if lo is None else self.shard_of(lo)
+        last = self.shards - 1 if hi is None else self.shard_of(hi - 1)
+        if hi is not None and lo is not None and hi <= lo:
+            return []
+        return list(range(first, last + 1))
+
+    def describe(self) -> str:
+        return f"range({self.shards}, cuts={self.boundaries})"
+
+
+class HashPartitioner(Partitioner):
+    """Multiplicative hash placement (Fibonacci hashing).
+
+    Deterministic across processes and Python versions — no reliance
+    on ``hash()`` randomization — so a router restart routes every key
+    to the same shard.
+    """
+
+    kind = "hash"
+
+    _MULTIPLIER = 0x9E3779B97F4A7C15  # 2**64 / golden ratio
+    _MASK = (1 << 64) - 1
+
+    def shard_of(self, key: int) -> int:
+        mixed = ((int(key) * self._MULTIPLIER) & self._MASK) >> 32
+        return mixed % self.shards
+
+    def shards_for_range(self, lo: int | None,
+                         hi: int | None) -> list[int]:
+        # Hashing destroys key locality: only a unit interval (a point
+        # lookup) routes to one shard; anything wider needs them all.
+        if lo is not None and hi is not None:
+            if hi <= lo:
+                return []
+            if hi - lo == 1:
+                return [self.shard_of(lo)]
+        return list(range(self.shards))

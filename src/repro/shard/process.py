@@ -1,0 +1,148 @@
+"""Shard fleet lifecycle: spawn, handshake, kill, stop.
+
+Each shard is a separate OS process running its own
+:class:`~repro.server.server.ArrayServer` over its own
+:class:`~repro.engine.executor.Database` — nothing is shared, which is
+the point: a shard crash cannot corrupt its siblings, and each shard's
+buffer pool, latches and admission controller are private.
+
+Processes are started with the ``spawn`` context (no forked locks or
+event loops) and bind port 0; the child reports its bound port back
+over a pipe, so clusters never race for fixed ports in tests.
+
+:meth:`ShardFleet.kill` SIGKILLs one shard — the fault-injection hook
+the shard tests use to prove a dead shard surfaces as a typed
+``SHARD_UNAVAILABLE`` error instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+from typing import Callable
+
+from ..engine.executor import Database
+from ..engine.sqlfront import SqlSession
+from ..server.server import ServerConfig, ServerThread
+from .config import ShardConfig
+
+__all__ = ["ShardFleet"]
+
+_START_TIMEOUT = 30.0
+
+
+def _shard_main(index: int, conn,
+                config: ServerConfig,
+                session_setup: Callable[[SqlSession], None] | None) -> None:
+    """Child-process entry point: serve one empty shard database.
+
+    Must stay module-level and importable — the spawn context pickles
+    a reference to it, not the function itself.
+    """
+    thread = ServerThread(Database(), config,
+                          session_setup=session_setup)
+    thread.start()
+    conn.send(thread.port)
+    conn.close()
+    # Serve until the fleet terminates the process; the server lives
+    # on a daemon thread, so the block below is the process lifetime.
+    # A terminal Ctrl-C reaches every process in the foreground group,
+    # so swallow it here — shutdown belongs to the fleet, and the
+    # coordinator's own handler prints the one goodbye message.
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+
+
+class ShardFleet:
+    """Owns the lifetime of N shard server processes.
+
+    Usage::
+
+        with ShardFleet(ShardConfig(shards=4)) as fleet:
+            router = ShardRouter(fleet.addresses,
+                                 fleet.config.make_partitioner())
+            ...
+
+    ``session_setup`` must be picklable (a module-level function) —
+    it crosses the process boundary to run on each shard.
+    """
+
+    def __init__(self, config: ShardConfig,
+                 session_setup: Callable[[SqlSession], None] | None = None):
+        self.config = config
+        self.session_setup = session_setup
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self.addresses: list[tuple[str, int]] = []
+
+    def start(self) -> "ShardFleet":
+        """Spawn every shard and wait for each to report its port."""
+        if self._procs:
+            return self
+        pending = []
+        try:
+            for index in range(self.config.shards):
+                parent, child = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=_shard_main,
+                    args=(index, child,
+                          self.config.shard_server_config(index),
+                          self.session_setup),
+                    daemon=True,
+                    name=f"repro-shard-{index}")
+                proc.start()
+                child.close()
+                pending.append((index, proc, parent))
+            for index, proc, parent in pending:
+                if not parent.poll(_START_TIMEOUT):
+                    raise RuntimeError(
+                        f"shard {index} did not report a port within "
+                        f"{_START_TIMEOUT:.0f}s")
+                port = parent.recv()
+                parent.close()
+                self.addresses.append((self.config.host, port))
+                self._procs.append(proc)
+        except BaseException:
+            for _index, proc, parent in pending:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5.0)
+            self._procs = []
+            self.addresses = []
+            raise
+        return self
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one shard — fault injection for tests; the fleet
+        keeps running and the router reports the hole as
+        ``SHARD_UNAVAILABLE``."""
+        proc = self._procs[index]
+        if proc.is_alive() and proc.pid is not None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=10.0)
+
+    def alive(self) -> list[bool]:
+        return [proc.is_alive() for proc in self._procs]
+
+    def stop(self) -> None:
+        """Terminate every shard (idempotent)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._procs = []
+        self.addresses = []
+
+    def __enter__(self) -> "ShardFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

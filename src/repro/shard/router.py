@@ -1,0 +1,458 @@
+"""The shard coordinator: plan once, route, scatter-gather, merge.
+
+:class:`ShardRouter` fronts N per-shard
+:class:`~repro.server.server.ArrayServer` processes, each owning a
+partitioned slice of every sharded table.  A statement is planned
+*once* against the coordinator's catalog mirror
+(:meth:`SqlSession.plan_select` — the same plan object local execution
+uses) and then routed:
+
+* point SELECT / point DELETE — the one shard owning the key;
+* key-range SELECT (``pk >= a AND pk < b``) — the shards whose slices
+  intersect ``[a, b)`` (range partitioning);
+* everything else — scatter to all shards, gather, merge.
+
+Aggregation is distributed through the engine's mergeable-aggregate
+protocol: shards answer ``pquery`` frames with unreduced partial
+states, and the coordinator folds them in shard order
+(:mod:`repro.shard.merge`), so float SUM/AVG match single-node
+execution bit for bit under range partitioning.
+
+Fault handling is typed, never hanging: each shard exchange is bounded
+by the link's request timeout and a :class:`RetryPolicy`; a shard that
+stays dead or saturated surfaces as a
+``WireError(SHARD_UNAVAILABLE)``, which :class:`ShardServer` answers
+as an error frame with that code.
+
+The coordinator itself never touches storage — no ``BufferPool``, no
+latched scans; it parses, routes and merges (replint RS401 keeps it
+honest).  Its catalog mirror holds schemas only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..engine.executor import Database
+from ..engine.sqlfront import SelectPlan, SqlSession, SqlSyntaxError, \
+    _tokenize
+from ..server import protocol
+from ..server.client import RetryPolicy
+from ..server.server import ArrayServer, ServerConfig
+from .client import ShardLink
+from .config import ShardConfig
+from .merge import (
+    finalize_grouped,
+    finalize_scalar,
+    merge_grouped_states,
+    merge_metrics,
+    merge_scalar_states,
+)
+from .partitioner import Partitioner
+
+__all__ = ["ShardRouter", "ShardServer", "start_cluster"]
+
+
+class ShardRouter:
+    """Routes statements to a fleet of shard servers and merges replies.
+
+    Thread-safe: statements may run concurrently from many coordinator
+    worker threads; each thread keeps its own set of shard links.
+
+    Args:
+        addresses: One ``(host, port)`` per shard, in shard order.
+        partitioner: Key placement (must agree with how the data was
+            loaded).
+        retry: Per-shard bounded retry for link failures and
+            ``SERVER_BUSY`` (the default allows 2 retries).
+        connect_timeout / request_timeout: Socket budgets per shard
+            call; the request timeout is the no-hang guarantee.
+        session_setup: Applied to the catalog-mirror session (register
+            the same UDFs here as on the shards so planning resolves
+            them).
+    """
+
+    def __init__(self, addresses, partitioner: Partitioner,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float | None = 30.0,
+                 max_frame: int = protocol.MAX_FRAME_BYTES,
+                 session_setup: Callable[[SqlSession], None] | None = None):
+        addresses = [tuple(addr) for addr in addresses]
+        if partitioner.shards != len(addresses):
+            raise ValueError(
+                f"partitioner expects {partitioner.shards} shards, "
+                f"got {len(addresses)} addresses")
+        self.addresses = addresses
+        self.partitioner = partitioner
+        self.retry = retry if retry is not None else \
+            RetryPolicy(max_retries=2, backoff_base=0.05,
+                        backoff_cap=1.0)
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.max_frame = max_frame
+        self.catalog = Database()
+        self.session = SqlSession(self.catalog)
+        if session_setup is not None:
+            session_setup(self.session)
+        self._local = threading.local()
+
+    # -- statement entry point ----------------------------------------------
+
+    def execute(self, sql: str, cold: bool = True,
+                engine: str | None = None,
+                workers: int | None = None) -> dict:
+        """Route and execute one statement; returns the normalized
+        result dict (:meth:`ArrayServer._execute_sync` shape): keys
+        ``kind``, ``rows``, ``rowcount``, ``metrics``.
+
+        ``engine``/``workers`` are forwarded to the shards — each
+        shard may run its slice on its parallel engine; the merged
+        metrics report ``engine="sharded"``.
+        """
+        tokens = _tokenize(sql)
+        head = tokens[0]
+        if head == ("kw", "SELECT"):
+            return self._select(sql, cold, engine, workers)
+        if head == ("kw", "CREATE"):
+            return self._create(sql)
+        if head == ("kw", "INSERT"):
+            return self._insert(sql)
+        if head == ("kw", "DELETE"):
+            return self._delete(sql, tokens)
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {head[1]!r}")
+
+    def insert_rows(self, table_name: str, rows) -> int:
+        """Bulk-load rows: partition by primary key, ship one binary
+        ``insert`` frame per owning shard (all sends first, then
+        replies — shards load concurrently), and land on each shard's
+        :meth:`Table.insert_many` fast path.  Returns rows inserted.
+        """
+        buckets: dict[int, list] = {}
+        for row in rows:
+            key = row[0]
+            if isinstance(key, bool) or not isinstance(key, int):
+                raise SqlSyntaxError(
+                    "sharded tables need an integer primary key, got "
+                    f"{key!r}")
+            buckets.setdefault(self.partitioner.shard_of(key),
+                               []).append(tuple(row))
+        requests = []
+        for shard_id in sorted(buckets):
+            packed, blobs = protocol.pack_rows(buckets[shard_id])
+            requests.append((shard_id,
+                             {"type": "insert", "table": table_name,
+                              "rows": packed,
+                              "timeout": protocol.NO_TIMEOUT},
+                             blobs))
+        replies = self._scatter(requests)
+        return sum(reply.get("rowcount", 0) for _sid, reply, _b in replies)
+
+    def close(self) -> None:
+        """Close the calling thread's shard links (each worker thread
+        owns its own set; fleet shutdown severs the rest)."""
+        links = getattr(self._local, "links", None)
+        if links:
+            for link in links.values():
+                link.close()
+            links.clear()
+
+    # -- SELECT: scatter pquery, merge partials ------------------------------
+
+    def _select(self, sql: str, cold: bool, engine: str | None,
+                workers: int | None) -> dict:
+        plan = self.session.plan_select(sql)
+        targets = self._route(plan)
+        header: dict = {"type": "pquery", "sql": sql,
+                        "cold": bool(cold),
+                        "timeout": protocol.NO_TIMEOUT}
+        if engine is not None:
+            header["engine"] = engine
+        if workers is not None:
+            header["workers"] = workers
+        replies = self._scatter(
+            [(shard_id, header, ()) for shard_id in targets])
+        rows_total = sum(reply.get("rows", 0)
+                         for _sid, reply, _b in replies)
+        metrics = merge_metrics(
+            [reply.get("metrics") or {} for _sid, reply, _b in replies],
+            plan.label, self.partitioner.shards)
+        if plan.kind == "grouped":
+            shard_groups = []
+            for shard_id, reply, blobs in replies:
+                raw = reply.get("groups") or []
+                shard_groups.append([
+                    (protocol.unpack_cell(group, blobs),
+                     [protocol.unpack_partial(part, blobs)
+                      for part in parts])
+                    for group, parts in raw])
+            groups = merge_grouped_states(plan.aggregates,
+                                          shard_groups)
+            rows = finalize_grouped(plan.aggregates, groups,
+                                    rows_total)
+        else:
+            shard_states = []
+            for shard_id, reply, blobs in replies:
+                raw = reply.get("states")
+                if not isinstance(raw, list) or \
+                        len(raw) != len(plan.aggregates):
+                    raise protocol.WireError(
+                        protocol.INTERNAL,
+                        f"shard {shard_id} returned "
+                        f"{len(raw) if isinstance(raw, list) else raw!r}"
+                        f" partial states for {len(plan.aggregates)} "
+                        f"aggregates")
+                shard_states.append([
+                    protocol.unpack_partial(part, blobs)
+                    for part in raw])
+            states = merge_scalar_states(plan.aggregates, shard_states)
+            rows = [finalize_scalar(plan.aggregates, states,
+                                    rows_total)]
+        return {"kind": "rows", "rows": rows, "rowcount": len(rows),
+                "metrics": metrics.to_dict()}
+
+    def _route(self, plan: SelectPlan) -> list[int]:
+        """Shards a SELECT must touch: the key's owner for a point
+        seek, the owners of the pk interval for a key-range predicate,
+        every shard otherwise."""
+        if plan.key is not None:
+            return [self.partitioner.shard_of(plan.key)]
+        if plan.pk_range is not None:
+            return self.partitioner.shards_for_range(*plan.pk_range)
+        return list(range(self.partitioner.shards))
+
+    # -- writes --------------------------------------------------------------
+
+    def _create(self, sql: str) -> dict:
+        # Mirror into the catalog first — this both validates the DDL
+        # and lets later SELECTs plan against the schema — then
+        # broadcast so every shard owns an (empty) slice.
+        self.session.execute(sql)
+        header = {"type": "query", "sql": sql, "cold": False,
+                  "timeout": protocol.NO_TIMEOUT}
+        self._scatter([(shard_id, header, ())
+                       for shard_id in range(self.partitioner.shards)])
+        return {"kind": "ok", "rows": [], "rowcount": 0,
+                "metrics": None}
+
+    def _insert(self, sql: str) -> dict:
+        table, rows = self.session.parse_insert(sql)
+        inserted = self.insert_rows(table.name, rows)
+        return {"kind": "ok", "rows": [], "rowcount": inserted,
+                "metrics": None}
+
+    def _delete(self, sql: str, tokens) -> dict:
+        key = self._point_delete_key(tokens)
+        if key is not None:
+            targets = [self.partitioner.shard_of(key)]
+        else:
+            targets = list(range(self.partitioner.shards))
+        header = {"type": "query", "sql": sql, "cold": False,
+                  "timeout": protocol.NO_TIMEOUT}
+        replies = self._scatter(
+            [(shard_id, header, ()) for shard_id in targets])
+        deleted = sum(reply.get("rowcount", 0)
+                      for _sid, reply, _b in replies)
+        return {"kind": "ok", "rows": [], "rowcount": deleted,
+                "metrics": None}
+
+    def _point_delete_key(self, tokens) -> int | None:
+        """Key of a ``DELETE FROM t WHERE pk = <int>`` statement (the
+        single-shard fast path), or None for any other shape."""
+        if len(tokens) != 8:
+            return None
+        kinds = [tok[0] for tok in tokens]
+        if kinds != ["kw", "kw", "name", "kw", "name", "op", "number",
+                     "eof"]:
+            return None
+        if (tokens[0][1], tokens[1][1], tokens[3][1],
+                tokens[5][1]) != ("DELETE", "FROM", "WHERE", "="):
+            return None
+        try:
+            table = self.session._resolve_table(tokens[2][1])
+        except SqlSyntaxError:
+            return None
+        pk = table.columns[0].name
+        if tokens[4][1].lower() != pk.lower():
+            return None
+        text = tokens[6][1]
+        if "." in text or "e" in text.lower():
+            return None
+        return int(text)
+
+    # -- the wire ------------------------------------------------------------
+
+    def _links(self) -> dict[int, ShardLink]:
+        links = getattr(self._local, "links", None)
+        if links is None:
+            links = {}
+            self._local.links = links
+        return links
+
+    def _link(self, shard_id: int) -> ShardLink:
+        links = self._links()
+        link = links.get(shard_id)
+        if link is None:
+            host, port = self.addresses[shard_id]
+            link = ShardLink(shard_id, host, port,
+                             connect_timeout=self.connect_timeout,
+                             request_timeout=self.request_timeout,
+                             max_frame=self.max_frame)
+            links[shard_id] = link
+        return link
+
+    def _scatter(self, requests) -> list[tuple[int, dict, list[bytes]]]:
+        """Split-phase fan-out: send every request, then gather replies
+        in shard order.
+
+        Shards execute concurrently while the coordinator blocks on at
+        most one reply at a time; gathering in shard order keeps the
+        merge fold deterministic.  A failed send, failed receive or
+        ``SERVER_BUSY`` reply falls back to :meth:`_exchange`'s bounded
+        reconnect-and-retry; a shard error frame with any other code is
+        the statement's own failure and propagates typed.  If anything
+        raises mid-gather, every link of this thread is closed so no
+        connection is left holding an unread reply.
+        """
+        try:
+            sent: dict[int, bool] = {}
+            for shard_id, header, blobs in requests:
+                link = self._link(shard_id)
+                try:
+                    link.send(header, blobs)
+                    sent[shard_id] = True
+                except (OSError, protocol.ProtocolError):
+                    link.close()
+                    sent[shard_id] = False
+            replies = []
+            for shard_id, header, blobs in requests:
+                reply_pair = None
+                if sent[shard_id]:
+                    link = self._link(shard_id)
+                    try:
+                        reply_pair = link.recv()
+                    except (OSError, protocol.ProtocolError):
+                        link.close()
+                if reply_pair is not None:
+                    reply, rblobs = reply_pair
+                    if reply.get("type") != "error":
+                        replies.append((shard_id, reply, rblobs))
+                        continue
+                    code = reply.get("code")
+                    if code != protocol.SERVER_BUSY:
+                        raise protocol.WireError(
+                            code or protocol.INTERNAL,
+                            f"shard {shard_id}: "
+                            f"{reply.get('message', '')}")
+                    # Busy: fall through to the bounded retry.
+                reply, rblobs = self._exchange(shard_id, header, blobs)
+                replies.append((shard_id, reply, rblobs))
+            return replies
+        except BaseException:
+            self.close()
+            raise
+
+    def _exchange(self, shard_id: int, header: dict,
+                  blobs) -> tuple[dict, list[bytes]]:
+        """One request/reply against one shard with bounded retry.
+
+        Retries reconnectable failures (refused, reset, closed link,
+        timed-out reply) and ``SERVER_BUSY`` rejections with
+        exponential backoff.  After the cap the shard is declared
+        unavailable: ``WireError(SHARD_UNAVAILABLE)``, which the
+        serving layer answers as a typed error frame — the client's
+        connection survives and nothing hangs.
+        """
+        last = "no attempt made"
+        for attempt in range(self.retry.max_retries + 1):
+            if attempt:
+                time.sleep(self.retry.delay(attempt - 1))
+            link = self._link(shard_id)
+            try:
+                link.send(header, blobs)
+                reply, rblobs = link.recv()
+            except (OSError, protocol.ProtocolError) as exc:
+                link.close()
+                last = f"{type(exc).__name__}: {exc}"
+                continue
+            if reply.get("type") == "error":
+                code = reply.get("code")
+                if code == protocol.SERVER_BUSY:
+                    last = reply.get("message", "shard busy")
+                    continue
+                raise protocol.WireError(
+                    code or protocol.INTERNAL,
+                    f"shard {shard_id}: {reply.get('message', '')}")
+            return reply, rblobs
+        host, port = self.addresses[shard_id]
+        raise protocol.WireError(
+            protocol.SHARD_UNAVAILABLE,
+            f"shard {shard_id} ({host}:{port}) unavailable after "
+            f"{self.retry.max_retries + 1} attempts: {last}")
+
+
+class ShardServer(ArrayServer):
+    """The coordinator process: an :class:`ArrayServer` whose
+    statements execute through a :class:`ShardRouter` instead of local
+    storage.
+
+    Clients connect with the unchanged wire protocol
+    (:class:`~repro.shard.client.ShardClient` or plain
+    :class:`ArrayClient`); admission control, per-query timeouts and
+    stats work exactly as on a single node.  A dead or saturated shard
+    surfaces as a ``SHARD_UNAVAILABLE`` error frame — typed, bounded,
+    never a hang — and the client connection survives.
+    """
+
+    def __init__(self, router: ShardRouter,
+                 config: ServerConfig | None = None,
+                 session_setup: Callable[[SqlSession], None] | None = None):
+        super().__init__(router.catalog, config, session_setup)
+        self.router = router
+
+    def _execute_sync(self, session: SqlSession, sql: str,
+                      cold: bool, engine: str | None = None,
+                      workers: int | None = None) -> dict:
+        return self.router.execute(sql, cold=cold, engine=engine,
+                                   workers=workers)
+
+    def _execute_partial_sync(self, session: SqlSession, sql: str,
+                              cold: bool, engine: str | None = None,
+                              workers: int | None = None) -> dict:
+        raise protocol.WireError(
+            protocol.BAD_FRAME,
+            "the coordinator does not serve pquery frames; they are "
+            "shard-internal")
+
+    def _stats_frame(self) -> dict:
+        frame = super()._stats_frame()
+        frame["shards"] = {
+            "count": self.router.partitioner.shards,
+            "partitioning": self.router.partitioner.describe(),
+            "addresses": [f"{host}:{port}"
+                          for host, port in self.router.addresses],
+        }
+        return frame
+
+
+def start_cluster(config: ShardConfig,
+                  retry: RetryPolicy | None = None,
+                  session_setup: Callable[[SqlSession], None] | None = None):
+    """Spawn a shard fleet and build the router fronting it.
+
+    Returns ``(fleet, router)``; the caller owns the fleet's lifetime
+    (``fleet.stop()`` or use it as a context manager).  ``session_setup``
+    is applied on every shard's sessions *and* the router's catalog
+    mirror, so UDF registrations agree cluster-wide.
+    """
+    from .process import ShardFleet
+
+    fleet = ShardFleet(config, session_setup=session_setup)
+    fleet.start()
+    router = ShardRouter(fleet.addresses, config.make_partitioner(),
+                         retry=retry, max_frame=config.max_frame,
+                         session_setup=session_setup)
+    return fleet, router

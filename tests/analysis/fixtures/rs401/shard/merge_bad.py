@@ -1,0 +1,11 @@
+"""RS401 fixture: a shard merge function that mutates its argument.
+
+Folding partial states must be pure — extending the left state in
+place makes the merge result depend on whether the caller reuses the
+list across folds.
+"""
+
+
+def merge_count_lists(state, partial):
+    state.extend(partial)
+    return state

@@ -1,0 +1,9 @@
+"""RS401 fixture: coordinator code reading pages from the buffer pool.
+
+The coordinator owns no storage; a page read here races shard-side
+writers with no latch covering the pair.
+"""
+
+
+def coordinator_scan(db, page_id):
+    return db.pool.fetch(page_id)

@@ -30,6 +30,8 @@ EXPECTED = {
     "rp101_lambda_udf.py": "RP101",
     "rv201_mutating_kernel.py": "RV201",
     os.path.join("rw301", "protocol.py"): "RW301",
+    os.path.join("rs401", "shard", "merge_bad.py"): "RS401",
+    os.path.join("rs401", "shard", "router_pool.py"): "RS401",
 }
 
 

@@ -1,0 +1,63 @@
+"""Shared helpers for the sharded-backend test suite.
+
+Cluster startup spawns real OS processes, so fixtures are
+module-scoped and the data sets stay small.  ``setup_udfs`` must be a
+module-level function: it is pickled into the spawn-context shard
+processes.
+"""
+
+import struct
+
+from repro.engine import Column, Database
+from repro.engine.sqlfront import SqlSession
+
+ROWS = 3000
+KEY_HI = ROWS
+
+
+def scale_udf(v):
+    """A deterministic float UDF exercised through the shard path."""
+    return (v or 0.0) * 1.5 + 0.25
+
+
+def setup_udfs(session):
+    session.register_function("dbo.Scale", scale_udf)
+
+
+def make_rows(n=ROWS):
+    """Deterministic rows with negatives, NULLs and repeated groups —
+    enough texture that a wrong merge order shows up in float bits."""
+    rows = []
+    for i in range(n):
+        v = None if i % 37 == 0 else (i % 211) * 0.37 - 31.0
+        rows.append((i, v, i % 13))
+    return rows
+
+
+def make_reference(rows):
+    """A single-node session holding the same data and UDFs — the
+    bit-for-bit oracle every cluster answer is compared against."""
+    db = Database()
+    session = SqlSession(db)
+    setup_udfs(session)
+    db.create_table("t", [Column("id", "bigint"), Column("v", "float"),
+                          Column("g", "int")])
+    table = session._resolve_table("t")
+    table.insert_many(rows)
+    return session
+
+
+def bits(rows):
+    """Rows with floats replaced by their IEEE-754 bit patterns, so
+    equality is bitwise, not approximate."""
+    return [tuple(struct.pack(">d", c).hex() if isinstance(c, float)
+                  else c for c in row)
+            for row in rows]
+
+
+def normalize(result):
+    """Local ``SqlSession.query`` row payloads as a list of tuples."""
+    values = result[0] if isinstance(result, tuple) else result
+    if isinstance(values, list):
+        return [tuple(r) for r in values]
+    return [tuple(values)]
