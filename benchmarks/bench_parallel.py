@@ -111,3 +111,62 @@ def test_item_scan_speedup_at_least_1_8x_at_4_workers(session):
     """The acceptance bar, on real parallel hardware only."""
     speedups = parallel_speedups(session)
     assert speedups["item_scan"]["4"] >= 1.8, speedups
+
+
+def shm_vs_file_numbers(rows: int = ROWS, workers: int = 4,
+                        iterations: int = 5) -> dict:
+    """Snapshot shipping: shared-memory segments vs the temp-file
+    fallback, on the grouped-UDF shape with the table dirtied before
+    every query so each run pays a real snapshot cut.
+
+    Each mode gets its own session (and worker pool) built under the
+    matching ``REPRO_SHM`` setting; pool spawn happens outside the
+    timed region.  Reported per mode: best-of-N wall seconds for one
+    dirty-table grouped query, plus the file/shm ratio (>1 means the
+    shared-memory path wins).  Used by ``collect_results.py``.
+    """
+    out: dict = {}
+    values = {}
+    saved = os.environ.get("REPRO_SHM")
+    try:
+        for mode in ("shm", "file"):
+            os.environ["REPRO_SHM"] = "on" if mode == "shm" else "off"
+            session = build_session(rows)
+            table = session.db.tables["tp"]
+            next_id = rows
+            # Spawn the pool and ship the first snapshot untimed.
+            _run(session, GROUP_SQL, "parallel", workers)
+            timings = []
+            for _ in range(iterations):
+                table.insert((next_id, next_id % 8,
+                              FloatArray.Vector_5(*([0.0] * 5))))
+                next_id += 1
+                t, vals, metrics = _run(session, GROUP_SQL,
+                                        "parallel", workers)
+                assert metrics.engine == "parallel"
+                timings.append(t)
+            values[mode] = _bits(vals)
+            out[mode + "_seconds"] = min(timings)
+            pool = getattr(session.db, "_worker_pool", None)
+            if pool is not None:
+                pool.shutdown()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SHM", None)
+        else:
+            os.environ["REPRO_SHM"] = saved
+    assert values["shm"] == values["file"]
+    out["speedup"] = out["file_seconds"] / max(out["shm_seconds"],
+                                               1e-9)
+    return out
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="shm-vs-file needs >= 4 physical cores")
+def test_shm_snapshot_beats_file_reopen(session):
+    """The data-plane acceptance bar: shipping dirty-table snapshots
+    through shared memory beats the temp-file path on the grouped
+    shape (write-once/attach-many vs write-once/reopen-per-worker)."""
+    numbers = shm_vs_file_numbers(rows=min(ROWS, 10_000), workers=4,
+                                  iterations=3)
+    assert numbers["speedup"] > 1.0, numbers

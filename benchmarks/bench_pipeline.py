@@ -1,0 +1,188 @@
+"""Benchmark: the zero-copy data plane — pipelined prepared
+statements vs serial round trips, and partial-blob wire traffic vs
+whole-blob shipping.
+
+Two measurements, both against a live in-process server:
+
+* **Pipelining.**  ``depth`` point SELECTs sent as one ``pexec``
+  batch (one write, one drain, N replies) vs the same statements as
+  serial ``query`` round trips.  The win is round-trip amortization
+  plus the server-side plan cache: parse/plan happens once per
+  statement text, not once per call.  ``pipeline_numbers`` is what
+  ``collect_results.py`` records into ``results.json``; the direct
+  run asserts the >= 3x acceptance bar.
+* **Partial reads.**  A byte-range ``bquery`` against a multi-MB blob
+  vs shipping the whole blob, with the wire-traffic invariant
+  asserted: a partial read moves at most ``slice + chunk`` payload
+  bytes, never the blob.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py          # full
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke  # CI
+"""
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database
+from repro.server import ArrayClient, ServerConfig, ServerThread
+
+#: Rows in the point-SELECT table.
+ROWS = int(os.environ.get("REPRO_BENCH_PIPELINE_ROWS", "2000"))
+
+#: Stored blob size for the partial-read half.
+BLOB_BYTES = int(os.environ.get("REPRO_BENCH_PIPELINE_BLOB",
+                                str(4 * 1024 * 1024)))
+
+#: Statements per pipelined batch.
+DEPTH = 128
+
+BLOB_SQL = "SELECT MAX(v) FROM tblob WHERE id = 1"
+
+
+def make_db(rows: int = ROWS, blob_bytes: int = BLOB_BYTES) -> Database:
+    db = Database()
+    tq = db.create_table(
+        "tq", [Column("id", "bigint"), Column("x", "float")])
+    rng = np.random.default_rng(0)
+    tq.insert_many((i, float(v))
+                   for i, v in enumerate(rng.standard_normal(rows)))
+    tblob = db.create_table(
+        "tblob", [Column("id", "bigint"),
+                  Column("v", "varbinary_max")])
+    tblob.insert((1, rng.integers(0, 256, blob_bytes,
+                                  dtype=np.uint8).tobytes()))
+    return db
+
+
+#: Distinct statement texts in the workload — a prepared-statement
+#: client prepares a handful of queries and executes them over and
+#: over, so all but the first execution of each text hits the
+#: server-side plan cache.
+DISTINCT = 8
+
+
+def point_statements(n: int, rows: int = ROWS) -> list:
+    rng = np.random.default_rng(1)
+    ids = [int(rng.integers(0, rows)) for _ in range(DISTINCT)]
+    return [f"SELECT SUM(x) FROM tq WHERE id = {ids[i % DISTINCT]}"
+            for i in range(n)]
+
+
+def pipeline_numbers(port: int, statements: int = 512,
+                     depth: int = DEPTH) -> dict:
+    """Serial vs pipelined qps over the same point-SELECT stream,
+    with identical answers asserted.
+
+    The serial side is the pre-existing wire: one ``query`` frame,
+    one round trip, parse and plan on every call.  The pipelined side
+    is the new data plane: statements prepared once, then ``depth``
+    ``pexec`` frames per write with the replies drained in order.
+    """
+    sqls = point_statements(statements)
+    with ArrayClient("127.0.0.1", port) as client:
+        for sql in sqls[:DISTINCT]:
+            client.prepare(sql)
+        client.query(sqls[0], cold=False)  # connection warm-up
+        t0 = time.perf_counter()
+        serial = [client.query(sql, cold=False).scalar()
+                  for sql in sqls]
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pipelined = []
+        for start in range(0, len(sqls), depth):
+            batch = sqls[start:start + depth]
+            pipelined.extend(r.scalar() for r in
+                             client.query_pipeline(batch, cold=False))
+        t_pipeline = time.perf_counter() - t0
+    assert pipelined == serial
+    return {
+        "statements": statements,
+        "depth": depth,
+        "serial_qps": statements / max(t_serial, 1e-9),
+        "pipelined_qps": statements / max(t_pipeline, 1e-9),
+        "speedup": t_serial / max(t_pipeline, 1e-9),
+    }
+
+
+def partial_numbers(port: int, slice_bytes: int = 64 * 1024) -> dict:
+    """Whole-blob vs partial-read wire traffic, bit-identical slices
+    and the <= slice + chunk payload bound asserted."""
+    from repro.server.protocol import DEFAULT_CHUNK_BYTES
+
+    with ArrayClient("127.0.0.1", port) as client:
+        full = client.query_blob(BLOB_SQL, cold=False)
+        offset = full.blob_len // 3
+        part = client.query_blob(BLOB_SQL, offset=offset,
+                                 length=slice_bytes, cold=False)
+    assert part.data == full.data[offset:offset + slice_bytes]
+    assert part.wire_bytes <= slice_bytes + DEFAULT_CHUNK_BYTES, \
+        (part.wire_bytes, slice_bytes)
+    return {
+        "blob_bytes": full.blob_len,
+        "slice_bytes": slice_bytes,
+        "full_wire_bytes": full.wire_bytes,
+        "partial_wire_bytes": part.wire_bytes,
+        "wire_savings": full.wire_bytes / max(part.wire_bytes, 1),
+    }
+
+
+# -- pytest smoke (CI: parity single-pass, no timing assertions) ------------
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(make_db(rows=500, blob_bytes=256 * 1024)) \
+            as handle:
+        yield handle
+
+
+def test_pipeline_matches_serial(server):
+    sqls = point_statements(16, rows=500)
+    with ArrayClient("127.0.0.1", server.port) as client:
+        serial = [client.query(sql).scalar() for sql in sqls]
+        pipelined = [r.scalar()
+                     for r in client.query_pipeline(sqls)]
+    assert pipelined == serial
+
+
+def test_partial_read_wire_bound(server):
+    from repro.server.protocol import DEFAULT_CHUNK_BYTES
+
+    with ArrayClient("127.0.0.1", server.port) as client:
+        full = client.query_blob(BLOB_SQL)
+        part = client.query_blob(BLOB_SQL, offset=1000, length=8192)
+    assert part.data == full.data[1000:9192]
+    assert part.wire_bytes <= 8192 + DEFAULT_CHUNK_BYTES
+
+
+# -- direct run -------------------------------------------------------------
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    rows = 500 if smoke else ROWS
+    blob_bytes = 256 * 1024 if smoke else BLOB_BYTES
+    statements = 64 if smoke else 512
+    with ServerThread(make_db(rows=rows, blob_bytes=blob_bytes)) \
+            as handle:
+        pipeline = pipeline_numbers(handle.port,
+                                    statements=statements)
+        partial = partial_numbers(
+            handle.port,
+            slice_bytes=min(64 * 1024, blob_bytes // 4))
+    print(json.dumps({"pipeline": pipeline, "partial": partial},
+                     indent=2))
+    if not smoke:
+        assert pipeline["speedup"] >= 3.0, (
+            f"pipelined wire must beat serial round trips >= 3x, "
+            f"got {pipeline['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

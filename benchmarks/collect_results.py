@@ -96,6 +96,47 @@ def parallel_block(rows: int) -> dict:
     return speedups
 
 
+def pipeline_block() -> dict:
+    print("=" * 70)
+    print("Zero-copy data plane: pipelined statements, partial-blob "
+          "wire traffic")
+    print("=" * 70)
+    from bench_pipeline import make_db as make_pipeline_db, \
+        partial_numbers, pipeline_numbers
+    from repro.server import ServerThread
+
+    with ServerThread(make_pipeline_db()) as handle:
+        pipeline = pipeline_numbers(handle.port)
+        partial = partial_numbers(handle.port)
+    print(f"  point SELECTs: serial {pipeline['serial_qps']:7.0f} q/s"
+          f" vs pipelined {pipeline['pipelined_qps']:7.0f} q/s "
+          f"(depth {pipeline['depth']}, "
+          f"{pipeline['speedup']:.2f}x)")
+    print(f"  partial read: {partial['partial_wire_bytes']:,} of "
+          f"{partial['blob_bytes']:,} blob bytes on the wire "
+          f"({partial['wire_savings']:.0f}x less traffic)")
+    return {"pipeline": pipeline, "partial_wire": partial}
+
+
+def shm_snapshot_block(rows: int) -> dict:
+    print("=" * 70)
+    print("Snapshot shipping: shared memory vs temp-file fallback "
+          "(dirty grouped shape)")
+    print("=" * 70)
+    from bench_parallel import shm_vs_file_numbers
+
+    numbers = shm_vs_file_numbers(rows=rows, workers=4, iterations=3)
+    print(f"  shm {numbers['shm_seconds'] * 1e3:7.1f} ms vs file "
+          f"{numbers['file_seconds'] * 1e3:7.1f} ms  "
+          f"({numbers['speedup']:.2f}x)")
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        print(f"  (host has {cores} core(s); on time-sliced hardware "
+              "this measures transport overhead, not the "
+              "parallel-read win)")
+    return numbers
+
+
 def sharded_block(rows: int) -> dict:
     print("=" * 70)
     print("Sharded backend: scatter-gather throughput by shard count")
@@ -214,6 +255,8 @@ def main(rows: int = 20_000, json_out: str | None = None) -> None:
     results["vector_speedup"] = vectorized_block(rows)
     results["parallel_speedup"] = parallel_block(rows)
     results["sharded_throughput"] = sharded_block(min(rows, 8_000))
+    results["dataplane"] = pipeline_block()
+    results["shm_snapshot"] = shm_snapshot_block(min(rows, 10_000))
     partial_reads_block()
     concat_block()
     turbulence_block()

@@ -17,6 +17,8 @@ RW301       wire-schema freeze: ``protocol.py`` matches
             ``protocol_schema.json`` and ``docs/SERVER.md``
 RS401       shard hygiene: ``merge_*`` functions in shard modules are
             pure; coordinator code never touches BufferPool storage
+RM501       shm lifetime: classes creating SharedMemory segments
+            close() and unlink() them; attachers never unlink()
 ==========  ===========================================================
 
 See ``docs/ANALYSIS.md`` for the full catalogue and suppression syntax.
@@ -39,6 +41,7 @@ from .framework import (
 )
 from .rules_kernels import KernelPurityRule
 from .rules_locks import LockDisciplineRule, LockOrderRule
+from .rules_mem import ShmLifetimeRule
 from .rules_parallel import ParallelSafetyRule
 from .rules_shard import ShardHygieneRule
 from .rules_wire import WireSchemaRule
@@ -63,6 +66,7 @@ ALL_RULES: tuple[Rule, ...] = (
     KernelPurityRule(),
     WireSchemaRule(),
     ShardHygieneRule(),
+    ShmLifetimeRule(),
 )
 
 

@@ -1,0 +1,123 @@
+"""RM501 — shared-memory lifetime: owners retire, attachers never unlink.
+
+The shared-memory snapshot transport (:mod:`repro.engine.shm`) splits
+segment lifetime between two parties, and the split is load-bearing:
+
+* **Owners** create segments (``SharedMemory(create=True)``) and are
+  the only party allowed to destroy them.  A class that creates
+  segments must also call both ``.close()`` and ``.unlink()``
+  somewhere in its body — create without a retire path leaks the
+  segment past process exit (POSIX shm names are kernel-persistent).
+* **Attachers** map an existing segment (``SharedMemory(name=...)``
+  without ``create=True``) and may only ever ``.close()`` their local
+  mapping.  An attacher that calls ``.unlink()`` destroys a segment it
+  does not own: sibling workers still mapped to it get SIGBUS on next
+  touch, and the owner's own unlink then raises.
+
+RM501 flags (a) any class that calls ``SharedMemory(create=True)``
+without both a ``.close()`` and an ``.unlink()`` call in its body, and
+(b) any function that attaches (a ``SharedMemory(...)`` call without
+``create=True``) and also calls ``.unlink()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from .framework import Finding, LintContext, Rule, SourceFile
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _creates(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is True:
+            return True
+    return False
+
+
+class ShmLifetimeRule(Rule):
+    code = "RM501"
+    name = "shm-lifetime"
+    description = (
+        "classes that create SharedMemory segments must close() and "
+        "unlink() them; attach-side code must never unlink()"
+    )
+
+    def check(self, files: Sequence[SourceFile],
+              ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            if source.tree is None:
+                continue
+            if "SharedMemory" not in source.text:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    findings.extend(self._check_owner(source, node))
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    findings.extend(self._check_attacher(source, node))
+        return findings
+
+    # -- owner classes retire what they create -------------------------------
+
+    def _check_owner(self, source: SourceFile,
+                     cls: ast.ClassDef) -> list[Finding]:
+        creates_at: int | None = None
+        closes = unlinks = False
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                if _is_shared_memory_call(node) and _creates(node):
+                    if creates_at is None:
+                        creates_at = node.lineno
+                elif isinstance(node.func, ast.Attribute):
+                    if node.func.attr == "close":
+                        closes = True
+                    elif node.func.attr == "unlink":
+                        unlinks = True
+        if creates_at is None or (closes and unlinks):
+            return []
+        missing = " and ".join(
+            name for name, have in (("close()", closes),
+                                    ("unlink()", unlinks)) if not have)
+        return [Finding(
+            rule=self.code, path=source.display_path, line=creates_at,
+            message=(f"class '{cls.name}' creates SharedMemory "
+                     f"segments but never calls {missing}; owners "
+                     f"must retire every segment they create"))]
+
+    # -- attachers never unlink ----------------------------------------------
+
+    def _check_attacher(self, source: SourceFile,
+                        func: ast.FunctionDef) -> list[Finding]:
+        attaches = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and \
+                    _is_shared_memory_call(node) and not _creates(node):
+                attaches = True
+                break
+        if not attaches:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "unlink":
+                findings.append(Finding(
+                    rule=self.code, path=source.display_path,
+                    line=node.lineno,
+                    message=(f"attach-side function '{func.name}' "
+                             f"calls unlink(); only the segment owner "
+                             f"may unlink, attachers close() their "
+                             f"mapping and stop")))
+        return findings

@@ -29,6 +29,7 @@ __all__ = [
     "iter_byte_runs",
     "read_header",
     "read_subarray",
+    "read_window_blob",
     "read_item",
 ]
 
@@ -240,6 +241,22 @@ def read_subarray(stream: BlobStream, offset: Sequence[int],
         kept = tuple(s for s in size if s != 1)
         window = window.reshape(kept if kept else (1,), order="F")
     return SqlArray.from_numpy(window, header.dtype)
+
+
+def read_window_blob(stream: BlobStream, offset: Sequence[int],
+                     size: Sequence[int],
+                     collapse: bool = False) -> bytes:
+    """Read a window from a streamed array blob and re-encode it as a
+    standalone array blob.
+
+    This is the server side of a windowed ``bquery``: only the bytes
+    the window covers travel through ``stream``, and the result is a
+    self-describing blob the client can hand straight to
+    :meth:`SqlArray.from_blob` — bit-identical to materializing the
+    whole blob and running :func:`repro.core.ops.subarray` on it.
+    """
+    return read_subarray(stream, offset, size, collapse=collapse) \
+        .to_blob()
 
 
 def read_item(stream: BlobStream, *indices: int):

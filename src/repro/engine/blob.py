@@ -98,6 +98,14 @@ class BlobStore:
         stream = self.open(ref, pool)
         return stream.read_at(0, ref.length)
 
+    def read_range(self, ref: BlobRef, pool: BufferPool,
+                   offset: int, size: int) -> bytes:
+        """Read one byte range of a stored blob, touching only the
+        chunk pages the range covers (the wire layer's partial-read
+        path: a ``bquery`` slice never walks pages outside the
+        slice)."""
+        return self.open(ref, pool).read_at(offset, size)
+
 
 class BlobTreeStream:
     """Random-access stream over an out-of-page blob.

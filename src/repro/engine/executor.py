@@ -123,13 +123,33 @@ class Database:
         return len(self.tables) + sum(
             t.mutations for t in self.tables.values())
 
+    def snapshot_bytes(self) -> bytes:
+        """The pickled snapshot payload :meth:`save` writes — exposed
+        separately so the parallel engine can ship it through shared
+        memory without a file round-trip."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
     def save(self, path: str) -> None:
         """Snapshot the whole database (pages, blobs, catalog) to a
         file.  The snapshot is a pickle of this object minus its
         process-local state (locks, worker pools, cached pages travel
         but thread-local IO counters do not)."""
         with open(path, "wb") as f:
-            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.write(self.snapshot_bytes())
+
+    @classmethod
+    def from_snapshot_bytes(cls, payload,
+                            read_only: bool = False) -> "Database":
+        """Rebuild a database from :meth:`snapshot_bytes` output
+        (accepts any buffer, including a shared-memory view)."""
+        db = pickle.loads(payload)
+        if not isinstance(db, Database):
+            raise TypeError("payload is not a Database snapshot")
+        if read_only:
+            db.read_only = True
+            for table in db.tables.values():
+                table._read_only = True
+        return db
 
     @classmethod
     def open(cls, path: str, read_only: bool = False) -> "Database":
@@ -140,14 +160,8 @@ class Database:
         mode parallel workers use, so a worker bug can never fork the
         snapshot's contents away from the coordinator's."""
         with open(path, "rb") as f:
-            db = pickle.load(f)
-        if not isinstance(db, Database):
-            raise TypeError(f"{path!r} is not a Database snapshot")
-        if read_only:
-            db.read_only = True
-            for table in db.tables.values():
-                table._read_only = True
-        return db
+            payload = f.read()
+        return cls.from_snapshot_bytes(payload, read_only=read_only)
 
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         """Create and register a clustered table."""

@@ -3,9 +3,11 @@
 The vectorized engine made single-core scans fast; this module makes
 them scale with cores.  A table's leaf pages are split into *morsels*
 (contiguous runs of whole batch-sized page chunks) and shipped to a
-persistent pool of **spawned worker processes**.  Each worker re-opens
-the database read-only from a snapshot file, runs the full vectorized
-pipeline over its morsel locally — column decode, WHERE, projection
+persistent pool of **spawned worker processes**.  Each worker maps the
+database snapshot read-only out of a shared-memory segment (temp-file
+fallback when the segment budget is exceeded — see
+``repro.engine.shm``), runs the full vectorized pipeline over its
+morsel locally — column decode, WHERE, projection
 and UDF batch kernels, partial aggregate states — and ships back a
 small result.  The coordinator merges partial states **in morsel
 order**, which keeps float left-fold SUM/AVG bit-identical to the
@@ -45,7 +47,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from . import vectorized
+from . import shm, vectorized
 from .bufferpool import SEQ_READ_WINDOW, IoCounters
 
 __all__ = [
@@ -204,6 +206,21 @@ def _ship_exception(exc: BaseException) -> bytes:
             RuntimeError(f"{type(exc).__name__}: {exc}"))
 
 
+def _load_snapshot(snap_ref):
+    """Materialize a read-only database from a snapshot ref — a
+    ``("shm", name, size)`` segment or a ``("file", path)`` fallback.
+
+    Workers only ever *attach* and *close* shared-memory segments;
+    unlink rights stay with the owning pool (see RM501)."""
+    from .executor import Database
+    if snap_ref[0] == "shm":
+        return shm.read_segment(
+            snap_ref,
+            lambda buf: Database.from_snapshot_bytes(buf,
+                                                     read_only=True))
+    return Database.open(snap_ref[1], read_only=True)
+
+
 def _worker_main(task_q, result_q) -> None:
     """Worker process loop: open database snapshots read-only, run
     morsels, ship results.  ``None`` is the shutdown sentinel."""
@@ -218,15 +235,14 @@ def _worker_main(task_q, result_q) -> None:
             break
         if task is None:
             break
-        (task_id, db_path, query_id, cold, plan_bytes, page_ids,
+        (task_id, snap_ref, query_id, cold, plan_bytes, page_ids,
          skip_first, batch_pages) = task
         try:
-            db = databases.get(db_path)
+            db = databases.get(snap_ref)
             if db is None:
-                from .executor import Database
                 databases.clear()  # at most one snapshot resident
-                db = Database.open(db_path, read_only=True)
-                databases[db_path] = db
+                db = _load_snapshot(snap_ref)
+                databases[snap_ref] = db
             first_of_query = query_id != last_query
             last_query = query_id
             result = _run_morsel(db, plan_bytes, page_ids, skip_first,
@@ -343,21 +359,30 @@ class WorkerPool:
     only* from its snapshot path, so this is safe on every platform
     (and a worker bug cannot corrupt the coordinator's data).
 
-    The snapshot is re-taken automatically when the database's
-    ``write_version`` moves (DDL/DML since the last snapshot).
+    Snapshots ship through shared memory when they fit the segment
+    budget (``repro.engine.shm``) and fall back to a temp file when
+    not.  A snapshot is re-cut lazily, per *queried* table: a write to
+    table B does not force a re-cut (and a per-worker re-open) for
+    queries against untouched table A.  The pool owns every segment's
+    close/unlink; workers only attach and close.
     """
 
     def __init__(self, db, workers: int):
         self.db = db
         self.workers = int(workers)
         self.broken = False
+        #: How many snapshots this pool has cut (regression guard for
+        #: the lazy per-table refresh).
+        self.snapshot_cuts = 0
         self._ctx = multiprocessing.get_context("spawn")
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
         self._procs: list = []
+        self._segments = shm.SegmentOwner()
         self._snapshot_paths: list[str] = []
-        self._db_path: str | None = None
+        self._snap_ref: shm.SnapshotRef | None = None
         self._snapshot_version = None
+        self._table_versions: dict[str, int] = {}
         self._query_seq = 0
         self._mutex = threading.Lock()
         self._refresh_snapshot()
@@ -370,20 +395,46 @@ class WorkerPool:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _refresh_snapshot(self) -> None:
-        version = self.db.write_version
-        if self._db_path is not None and \
-                version == self._snapshot_version:
+    def _snapshot_stale_for(self, table_name: str | None) -> bool:
+        """Whether the live snapshot is stale for a query against
+        ``table_name`` (``None`` = stale on any write anywhere)."""
+        if self._snap_ref is None:
+            return True
+        if table_name is None:
+            return self.db.write_version != self._snapshot_version
+        table = self.db.tables.get(table_name)
+        if table is None:
+            return True  # new/renamed table: cut so workers see it
+        return self._table_versions.get(table_name) != table.mutations
+
+    def _refresh_snapshot(self, table_name: str | None = None) -> None:
+        """Cut a fresh snapshot if the one the workers hold is stale
+        *for the queried table*.  Writes to other tables leave the
+        snapshot (and every worker's resident copy) untouched."""
+        if not self._snapshot_stale_for(table_name):
             return
-        fd, path = tempfile.mkstemp(prefix="repro-db-", suffix=".snap")
-        os.close(fd)
-        self.db.save(path)
-        self._db_path = path
-        self._snapshot_version = version
-        self._snapshot_paths.append(path)
+        payload = self.db.snapshot_bytes()
+        old_ref = self._snap_ref
+        ref = self._segments.export(payload)
+        if ref is None:
+            fd, path = tempfile.mkstemp(prefix="repro-db-",
+                                        suffix=".snap")
+            with os.fdopen(fd, "wb") as f:
+                f.write(payload)
+            ref = ("file", path)
+            self._snapshot_paths.append(path)
+        self._snap_ref = ref
+        self._snapshot_version = self.db.write_version
+        self._table_versions = {
+            name: t.mutations for name, t in self.db.tables.items()}
+        self.snapshot_cuts += 1
+        # The previous segment is only referenced by finished (or
+        # abandoned) tasks; retire it so segments never pile up.
+        self._segments.release(old_ref)
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop the workers and remove the snapshot files."""
+        """Stop the workers, retire the shared-memory segments and
+        remove the snapshot files."""
         for _ in self._procs:
             try:
                 self._task_q.put(None)
@@ -397,6 +448,8 @@ class WorkerPool:
                 proc.join(1.0)
         self._procs = []
         self.broken = True
+        self._segments.close_all()
+        self._snap_ref = None
         for path in self._snapshot_paths:
             try:
                 os.unlink(path)
@@ -427,7 +480,7 @@ class WorkerPool:
         morsel order.  Raises the first worker-side exception, or
         :class:`WorkerDied` if a worker process disappears."""
         with self._mutex:
-            self._refresh_snapshot()
+            self._refresh_snapshot(table.name)
             self._query_seq += 1
             query_id = self._query_seq
             morsel_pages = self._morsel_pages(len(leaf_ids), batch_pages)
@@ -435,7 +488,7 @@ class WorkerPool:
                        for i in range(0, len(leaf_ids), morsel_pages)]
             for idx, pages in enumerate(morsels):
                 self._task_q.put((
-                    (query_id, idx), self._db_path, query_id, cold,
+                    (query_id, idx), self._snap_ref, query_id, cold,
                     plan_bytes, pages, idx == 0, batch_pages))
             results: dict[int, dict] = {}
             error = None

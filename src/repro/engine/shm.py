@@ -1,0 +1,145 @@
+"""Shared-memory snapshot transport for the parallel engine.
+
+``WorkerPool`` used to ship each ``Database.save()`` snapshot to its
+spawned workers as a temp *file*: the coordinator wrote the pickle to
+disk and every worker read it back.  This module ships the same pickle
+bytes through :mod:`multiprocessing.shared_memory` instead, so a
+snapshot is written once to memory and every worker unpickles straight
+out of the mapped segment — no disk write, no per-worker file read.
+
+Lifetime discipline (enforced by replint rule RM501):
+
+* The **owner** — :class:`SegmentOwner`, held by the coordinator's
+  ``WorkerPool`` — is the only party that may create segments, and it
+  must both ``close()`` and ``unlink()`` every segment it created, on
+  every path (retire-on-refresh and pool shutdown).
+* **Workers** attach read-only and only ever ``close()`` their local
+  mapping.  A worker must never ``unlink()``: the segment may still be
+  mapped by its siblings, and unlinking is the owner's job.
+
+Honest fallback: ``export`` returns ``None`` when shared memory is
+disabled (``REPRO_SHM=off``), the payload exceeds the segment budget
+(``REPRO_SHM_BUDGET`` bytes, default 1 GiB), or segment creation
+fails — the pool then falls back to the original temp-file path.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "SegmentOwner",
+    "shm_budget",
+    "shm_enabled",
+    "read_segment",
+]
+
+#: Default per-segment byte budget; snapshots above it ship as files.
+DEFAULT_BUDGET = 1 << 30
+
+#: A snapshot reference shipped in worker task tuples: either
+#: ``("shm", segment_name, payload_len)`` or ``("file", path)``.
+SnapshotRef = tuple
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory shipping is on (``REPRO_SHM`` gate)."""
+    return os.environ.get("REPRO_SHM", "on").lower() not in (
+        "off", "0", "no", "false")
+
+
+def shm_budget() -> int:
+    """Largest payload (bytes) allowed into one segment."""
+    raw = os.environ.get("REPRO_SHM_BUDGET")
+    if not raw:
+        return DEFAULT_BUDGET
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_BUDGET
+
+
+class SegmentOwner:
+    """Creates and retires shared-memory segments for one pool.
+
+    Every segment created here is tracked until :meth:`release` or
+    :meth:`close_all` runs ``close()`` + ``unlink()`` on it.  Callers
+    must route *all* segment teardown through those two methods so the
+    close/unlink pair cannot be skipped on any path.
+    """
+
+    def __init__(self, budget: int | None = None):
+        self._budget = budget
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def export(self, payload: bytes) -> SnapshotRef | None:
+        """Copy ``payload`` into a fresh segment and return its ref,
+        or ``None`` when the caller should fall back to a file."""
+        budget = self._budget if self._budget is not None \
+            else shm_budget()
+        if not shm_enabled() or len(payload) > budget:
+            return None
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload)))
+        except OSError:
+            return None
+        try:
+            shm.buf[:len(payload)] = payload
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self._segments[shm.name] = shm
+        return ("shm", shm.name, len(payload))
+
+    def release(self, ref: SnapshotRef | None) -> None:
+        """Retire one segment (close + unlink).  File refs and refs
+        from another owner are ignored."""
+        if not ref or ref[0] != "shm":
+            return
+        shm = self._segments.pop(ref[1], None)
+        if shm is None:
+            return
+        shm.close()
+        shm.unlink()
+
+    def close_all(self) -> None:
+        """Retire every live segment (pool shutdown path)."""
+        segments, self._segments = self._segments, {}
+        for shm in segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    # Attaching registers the name with the resource tracker on
+    # Python <= 3.12, but spawned workers share the coordinator's
+    # tracker process, so that registration is a set no-op — the
+    # name is already tracked by the owner's create.  Do NOT
+    # unregister here: the tracker keeps one entry per name, and
+    # removing it would orphan the owner's registration.
+    return shared_memory.SharedMemory(name=name)
+
+
+def read_segment(ref: SnapshotRef, loads):
+    """Attach a segment read-only, run ``loads`` over its payload
+    bytes, detach, and return the loaded object.
+
+    The mapping is closed before returning (``loads`` — typically
+    ``pickle.loads`` — copies everything it needs out of the buffer);
+    the segment itself is never unlinked here.
+    """
+    _kind, name, size = ref
+    shm = _attach(name)
+    view = shm.buf[:size]
+    try:
+        return loads(view)
+    finally:
+        view.release()
+        shm.close()

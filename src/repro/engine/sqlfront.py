@@ -298,6 +298,10 @@ class SqlSession:
         self.db = db
         self.executor = Executor(db, model) if model else Executor(db)
         self._functions: dict[str, tuple[Callable, object, bool]] = {}
+        # Prepared-statement plan cache, keyed by exact SQL text.
+        # Invalidated wholesale on DDL (a plan holds a Table
+        # reference, and new tables can change how a name resolves).
+        self._plan_cache: dict[str, SelectPlan] = {}
         # The paper's cross-check UDF ships registered, with a trivial
         # batch kernel so the vector engine never falls back on it.
         # It is a module-level function (not a lambda) so query plans
@@ -374,7 +378,9 @@ class SqlSession:
                               engine=engine, workers=workers)
         if head == ("kw", "CREATE"):
             with self.db.latches.ddl_latch():
-                return _Ddl(self, tokens).create_table()
+                result = _Ddl(self, tokens).create_table()
+            self._plan_cache.clear()
+            return result
         if head == ("kw", "INSERT"):
             with self.db.latches.write_latch(
                     _statement_table(tokens, "INTO")):
@@ -472,6 +478,48 @@ class SqlSession:
                       workers: int | None = None):
         return self._execute_plan(self._plan_tokens(tokens, sql), cold,
                                   engine, workers)
+
+    def prepare(self, sql: str) -> SelectPlan:
+        """Parse and plan an aggregate SELECT once, caching the plan
+        by exact SQL text — the server side of a ``prepare`` frame.
+
+        Repeated :meth:`query_prepared` calls for the same text skip
+        tokenizing, parsing and plan construction entirely.  The cache
+        is cleared on DDL (see :meth:`execute`); data-only writes
+        leave plans valid — a plan captures *structure* (expressions,
+        seek keys parsed from constants), never row contents.
+        """
+        plan = self._plan_cache.get(sql)
+        if plan is None:
+            plan = self.plan_select(sql)
+            self._plan_cache[sql] = plan
+        return plan
+
+    def query_prepared(self, sql: str, cold: bool = True,
+                       finalize=None, engine: str | None = None,
+                       workers: int | None = None):
+        """Execute one aggregate SELECT through the prepared-plan
+        cache: :meth:`query` semantics (latching, ``finalize`` under
+        the latches, identical results) minus the per-call parse and
+        plan."""
+        plan = self.prepare(sql)
+        with self.db.latches.read_latch(
+                *self._plan_latch_set(plan, engine)):
+            result = self._execute_plan(plan, cold, engine, workers)
+            if finalize is not None:
+                result = finalize(result)
+            return result
+
+    def _plan_latch_set(self, plan: SelectPlan,
+                        engine: str | None) -> tuple[str, ...]:
+        """:meth:`_latch_set` for an already-built plan (no token
+        walk): the plan's table, or every table when the statement may
+        run on the parallel engine."""
+        resolved = engine if engine is not None \
+            else self.executor.default_engine
+        if resolved == "parallel":
+            return ()
+        return (plan.table.name,)
 
     def plan_select(self, sql: str) -> SelectPlan:
         """Parse one aggregate SELECT into a routable

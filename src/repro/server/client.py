@@ -25,6 +25,7 @@ Example::
 
 from __future__ import annotations
 
+import os
 import socket
 import time
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ __all__ = [
     "ShardUnavailableError",
     "RetryPolicy",
     "QueryResult",
+    "BlobSlice",
     "ArrayClient",
     "AsyncArrayClient",
 ]
@@ -47,6 +49,19 @@ __all__ = [
 #: Pass as a query's ``timeout`` to explicitly disable the per-query
 #: budget (``timeout=None`` means "use the server's default").
 NO_TIMEOUT = protocol.NO_TIMEOUT
+
+
+def _wire_mode() -> str:
+    """The request frame type ``query()`` uses for plain statements.
+
+    ``REPRO_WIRE=prepared`` routes every statement through ``pexec``
+    (the server's prepared-plan cache) instead of ``query`` — replies
+    are ordinary result frames, so the switch is transparent to
+    callers.  Used by CI to re-run the whole server suite over the
+    pipelined wire.
+    """
+    return "pexec" if os.environ.get("REPRO_WIRE") == "prepared" \
+        else "query"
 
 
 def _query_header(sql: str, cold: bool, timeout,
@@ -175,6 +190,34 @@ class QueryResult:
         return QueryMetrics.from_dict(self.metrics)
 
 
+@dataclass(frozen=True)
+class BlobSlice:
+    """One ``bquery``'s worth of partial-blob bytes.
+
+    Attributes:
+        data: The slice payload (byte mode: the raw bytes; window
+            mode: a standalone array blob for ``SqlArray.from_blob``).
+        blob_len: Length of the *whole* stored blob — the bytes that
+            did NOT have to cross the wire are ``blob_len -
+            len(data)``.
+        offset: Byte offset the slice was served from (0 in window
+            mode).
+        chunks: ``bchunk`` frames the stream took.
+        wire_bytes: Payload bytes received (== ``len(data)``; kept
+            separate so callers can assert on wire traffic directly).
+        metrics: Cold-run metrics from the final chunk.
+        elapsed_seconds: Server-side latency of the statement.
+    """
+
+    data: bytes
+    blob_len: int
+    offset: int
+    chunks: int
+    wire_bytes: int
+    metrics: dict | None
+    elapsed_seconds: float
+
+
 def _parse_result(header: dict, blobs) -> QueryResult:
     _raise_for_error(header)
     if header.get("type") != "result":
@@ -253,10 +296,11 @@ class ArrayClient:
         (including ``QUERY_TIMEOUT``) raises immediately.
         """
         attempt = 0
+        request = dict(_query_header(sql, cold, timeout, engine,
+                                     workers), type=_wire_mode())
         while True:
             try:
-                header, blobs = self._request_raw(
-                    _query_header(sql, cold, timeout, engine, workers))
+                header, blobs = self._request_raw(request)
                 return _parse_result(header, blobs)
             except ServerBusyError:
                 if self._retry is None or \
@@ -267,12 +311,153 @@ class ArrayClient:
 
     execute = query
 
+    def prepare(self, sql: str) -> dict:
+        """Parse and plan a SELECT server-side (cached by statement
+        text); returns the ``prepared`` reply's ``{"kind", "table"}``.
+        Optional — :meth:`query_pipeline` auto-prepares on first use —
+        but preparing up front moves the parse cost out of the first
+        pipelined batch."""
+        header, _ = self._request_raw({"type": "prepare", "sql": sql})
+        _raise_for_error(header)
+        if header.get("type") != "prepared":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected prepared, got "
+                              f"{header.get('type')!r}")
+        return {"kind": header.get("kind"),
+                "table": header.get("table")}
+
+    def query_pipeline(self, statements, cold: bool = True,
+                       timeout: float | None = None,
+                       engine: str | None = None,
+                       workers: int | None = None,
+                       return_exceptions: bool = False) -> list:
+        """Execute many statements pipelined: every ``pexec`` frame is
+        sent before the first reply is read, so the round trip is paid
+        once per *batch* instead of once per statement.
+
+        Replies come back in statement order.  A failed statement's
+        slot holds its :class:`ServerError`; with the default
+        ``return_exceptions=False`` the first error is raised *after*
+        all replies are drained (the connection stays usable either
+        way).
+        """
+        statements = list(statements)
+        buffer = bytearray()
+        for sql in statements:
+            header = dict(_query_header(sql, cold, timeout, engine,
+                                        workers), type="pexec")
+            buffer += protocol.encode_frame(header)
+        if buffer:
+            self._sock.sendall(bytes(buffer))
+        results: list = []
+        first_error: ServerError | None = None
+        # The server answers a batch with one buffered write, so the
+        # replies arrive in a few large segments: read through a local
+        # buffer and slice frames out of it instead of paying two
+        # recv() calls per reply.
+        replies = bytearray()
+        for _ in statements:
+            while len(replies) < 4:
+                self._recv_into(replies)
+            (total,) = protocol._U32.unpack(replies[:4])
+            if total > self._max_frame:
+                raise ServerError(
+                    protocol.INTERNAL,
+                    f"reply frame of {total} bytes exceeds the "
+                    f"client max_frame {self._max_frame}")
+            while len(replies) - 4 < total:
+                self._recv_into(replies)
+            payload = bytes(replies[4:4 + total])
+            del replies[:4 + total]
+            header, blobs = protocol.decode_frame(payload)
+            try:
+                results.append(_parse_result(header, blobs))
+            except ServerError as exc:
+                results.append(exc)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    def _recv_into(self, buffer: bytearray) -> None:
+        chunk = self._sock.recv(1 << 16)
+        if not chunk:
+            raise ServerError(protocol.INTERNAL,
+                              "server closed the connection")
+        buffer += chunk
+
+    def query_blob(self, sql: str, offset: int = 0,
+                   length: int | None = None, cold: bool = True,
+                   timeout: float | None = None,
+                   chunk_bytes: int | None = None) -> BlobSlice:
+        """Read one byte range of a blob-valued scalar SELECT without
+        shipping the rest of the blob.
+
+        The server walks the blob B-tree's pointer chain to the pages
+        the range covers and streams the slice back as bounded
+        ``bchunk`` frames; :attr:`BlobSlice.wire_bytes` is exactly the
+        slice, not the blob.  ``length=None`` reads to the end.
+        """
+        header: dict = {"type": "bquery", "sql": sql, "cold": cold,
+                        "offset": int(offset)}
+        if length is not None:
+            header["length"] = int(length)
+        if timeout is not None:
+            header["timeout"] = timeout
+        if chunk_bytes is not None:
+            header["chunk_bytes"] = int(chunk_bytes)
+        return self._read_bquery(header)
+
+    def _read_bquery(self, header: dict) -> BlobSlice:
+        protocol.write_frame_sock(self._sock, header)
+        parts: list[bytes] = []
+        seq = 0
+        while True:
+            reply, blobs = self._request_raw(None)
+            if seq == 0:
+                _raise_for_error(reply)
+            if reply.get("type") != "bchunk" or reply.get("seq") != seq:
+                raise ServerError(
+                    protocol.INTERNAL,
+                    f"expected bchunk {seq}, got {reply!r}")
+            parts.append(blobs[0] if blobs else b"")
+            seq += 1
+            if reply.get("eof"):
+                data = b"".join(parts)
+                return BlobSlice(
+                    data=data,
+                    blob_len=reply.get("blob_len", 0),
+                    offset=reply.get("offset", 0),
+                    chunks=seq,
+                    wire_bytes=len(data),
+                    metrics=reply.get("metrics"),
+                    elapsed_seconds=reply.get("elapsed_seconds")
+                    or 0.0)
+
     def query_array(self, sql: str, cold: bool = True,
-                    timeout: float | None = None):
+                    timeout: float | None = None, slice=None):
         """Run a query whose scalar result is an array blob and decode
-        it to a NumPy array (the paper's client-side ``ToArray()``)."""
+        it to a NumPy array (the paper's client-side ``ToArray()``).
+
+        With ``slice=(offset, size)`` (one entry per dimension) only
+        the requested window crosses the wire: the server reads the
+        window's byte runs through the blob stream and re-encodes them
+        as a standalone array blob — bit-identical to slicing the full
+        array client-side.
+        """
         from ..core import SqlArray
 
+        if slice is not None:
+            win_offset, win_size = slice
+            header: dict = {
+                "type": "bquery", "sql": sql, "cold": cold,
+                "window": {"offset": [int(o) for o in win_offset],
+                           "size": [int(s) for s in win_size]}}
+            if timeout is not None:
+                header["timeout"] = timeout
+            result = self._read_bquery(header)
+            return SqlArray.from_blob(result.data).to_numpy()
         blob = self.query(sql, cold=cold, timeout=timeout).scalar()
         if not isinstance(blob, (bytes, bytearray)):
             raise ValueError(
@@ -364,10 +549,11 @@ class AsyncArrayClient:
         import asyncio
 
         attempt = 0
+        request = dict(_query_header(sql, cold, timeout, engine,
+                                     workers), type=_wire_mode())
         while True:
             try:
-                header, blobs = await self._request(
-                    _query_header(sql, cold, timeout, engine, workers))
+                header, blobs = await self._request(request)
                 return _parse_result(header, blobs)
             except ServerBusyError:
                 if self._retry is None or \
@@ -375,6 +561,120 @@ class AsyncArrayClient:
                     raise
                 await asyncio.sleep(self._retry.delay(attempt))
                 attempt += 1
+
+    async def prepare(self, sql: str) -> dict:
+        """Asyncio twin of :meth:`ArrayClient.prepare`."""
+        header, _ = await self._request({"type": "prepare",
+                                         "sql": sql})
+        _raise_for_error(header)
+        if header.get("type") != "prepared":
+            raise ServerError(protocol.INTERNAL,
+                              f"expected prepared, got "
+                              f"{header.get('type')!r}")
+        return {"kind": header.get("kind"),
+                "table": header.get("table")}
+
+    async def query_pipeline(self, statements, cold: bool = True,
+                             timeout: float | None = None,
+                             engine: str | None = None,
+                             workers: int | None = None,
+                             return_exceptions: bool = False) -> list:
+        """Asyncio twin of :meth:`ArrayClient.query_pipeline`: all
+        ``pexec`` frames are written (and drained) before the first
+        reply is awaited."""
+        statements = list(statements)
+        for sql in statements:
+            header = dict(_query_header(sql, cold, timeout, engine,
+                                        workers), type="pexec")
+            self._writer.write(protocol.encode_frame(header))
+        if statements:
+            await self._writer.drain()
+        results: list = []
+        first_error: ServerError | None = None
+        for _ in statements:
+            reply = await protocol.read_frame(self._reader,
+                                              self._max_frame)
+            if reply is None:
+                raise ServerError(protocol.INTERNAL,
+                                  "server closed the connection")
+            try:
+                results.append(_parse_result(*reply))
+            except ServerError as exc:
+                results.append(exc)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    async def query_blob(self, sql: str, offset: int = 0,
+                         length: int | None = None, cold: bool = True,
+                         timeout: float | None = None,
+                         chunk_bytes: int | None = None) -> BlobSlice:
+        """Asyncio twin of :meth:`ArrayClient.query_blob`."""
+        header: dict = {"type": "bquery", "sql": sql, "cold": cold,
+                        "offset": int(offset)}
+        if length is not None:
+            header["length"] = int(length)
+        if timeout is not None:
+            header["timeout"] = timeout
+        if chunk_bytes is not None:
+            header["chunk_bytes"] = int(chunk_bytes)
+        return await self._read_bquery(header)
+
+    async def _read_bquery(self, header: dict) -> BlobSlice:
+        await protocol.write_frame(self._writer, header)
+        parts: list[bytes] = []
+        seq = 0
+        while True:
+            frame = await protocol.read_frame(self._reader,
+                                              self._max_frame)
+            if frame is None:
+                raise ServerError(protocol.INTERNAL,
+                                  "server closed the connection")
+            reply, blobs = frame
+            if seq == 0:
+                _raise_for_error(reply)
+            if reply.get("type") != "bchunk" or reply.get("seq") != seq:
+                raise ServerError(
+                    protocol.INTERNAL,
+                    f"expected bchunk {seq}, got {reply!r}")
+            parts.append(blobs[0] if blobs else b"")
+            seq += 1
+            if reply.get("eof"):
+                data = b"".join(parts)
+                return BlobSlice(
+                    data=data,
+                    blob_len=reply.get("blob_len", 0),
+                    offset=reply.get("offset", 0),
+                    chunks=seq,
+                    wire_bytes=len(data),
+                    metrics=reply.get("metrics"),
+                    elapsed_seconds=reply.get("elapsed_seconds")
+                    or 0.0)
+
+    async def query_array(self, sql: str, cold: bool = True,
+                          timeout: float | None = None, slice=None):
+        """Asyncio twin of :meth:`ArrayClient.query_array` (including
+        the windowed ``slice=`` partial-read path)."""
+        from ..core import SqlArray
+
+        if slice is not None:
+            win_offset, win_size = slice
+            header: dict = {
+                "type": "bquery", "sql": sql, "cold": cold,
+                "window": {"offset": [int(o) for o in win_offset],
+                           "size": [int(s) for s in win_size]}}
+            if timeout is not None:
+                header["timeout"] = timeout
+            result = await self._read_bquery(header)
+            return SqlArray.from_blob(result.data).to_numpy()
+        blob = (await self.query(sql, cold=cold,
+                                 timeout=timeout)).scalar()
+        if not isinstance(blob, (bytes, bytearray)):
+            raise ValueError(
+                f"query returned {type(blob).__name__}, not a blob")
+        return SqlArray.from_blob(blob).to_numpy()
 
     async def stats(self) -> dict:
         header, _ = await self._request({"type": "stats"})

@@ -66,6 +66,49 @@ named table in one :meth:`Table.insert_many` batch under its exclusive
 latch.  Answered with an ok ``result`` frame whose ``rowcount`` is the
 number of rows inserted.
 
+``prepare`` ``{"type": "prepare", "sql": str}``
+
+Parse and plan an aggregate SELECT server-side, caching the plan in
+the connection's session keyed by exact SQL text.  Answered with a
+``prepared`` frame (or an ``error`` with ``SQL_ERROR``).  Preparing is
+idempotent and optional — a ``pexec`` for unprepared text auto-prepares
+on first execution.
+
+``pexec``   ``{"type": "pexec", "sql": str, "cold": bool,
+"timeout": float | "none",
+"engine": "row" | "vector" | "parallel" | null, "workers": int | null}``
+
+Execute a statement through the session's prepared-plan cache: same
+key semantics, validation and reply (``result``/``error``) as
+``query``, but a SELECT skips per-request parsing and planning.
+``pexec`` is the one request type that may be **pipelined**: a client
+may send N ``pexec`` frames back-to-back before reading the N replies.
+Replies always come back in request order, one per request; a failed
+statement answers with an ``error`` frame in its slot without aborting
+the later pipelined statements.  The server drains contiguous buffered
+``pexec`` frames into one admission slot and one worker-pool hop (the
+batch shares the first frame's timeout budget; on timeout every
+statement in the batch answers ``QUERY_TIMEOUT``).
+
+``bquery``  ``{"type": "bquery", "sql": str, "cold": bool,
+"timeout": float | "none",
+"engine": "row" | "vector" | "parallel" | null, "workers": int | null,
+"offset": int, "length": int | null,
+"window": {"offset": [int, ...], "size": [int, ...]} | null,
+"chunk_bytes": int | null}``
+
+A streamed *partial-blob* read: the statement must produce a single
+blob-valued cell (``SELECT MAX(m) FROM t WHERE id = k``, say).  The
+server resolves the cell to a blob *handle* under the table latch and
+reads only the requested bytes — a byte range (``offset``/``length``;
+``length`` null means "to the end") or a ``window`` (a
+``Subarray``-shaped slice of a stored array, served by walking the
+blob B-tree's pointer chain and re-encoded as a standalone array
+blob).  The reply is a sequence of ``bchunk`` frames, each carrying at
+most ``chunk_bytes`` of payload (server-clamped), so a corner of a
+huge blob never trips ``RESULT_TOO_LARGE``.  Total payload on the
+wire is the slice's bytes, not the blob's.
+
 Server to client:
 
 ``hello``   ``{"type": "hello", "server": str, "protocol": 1}``
@@ -75,6 +118,28 @@ Server to client:
 ``stats``   ``{"type": "stats", ...snapshot...}``
 ``pong``    ``{"type": "pong"}``
 ``goodbye`` ``{"type": "goodbye"}``
+``prepared`` ``{"type": "prepared", "sql": str, "kind": str,
+"table": str}``
+
+The reply to a ``prepare``: echoes the statement text and reports the
+cached plan's access-path ``kind`` (``"scan"``, ``"point"``,
+``"index"`` or ``"grouped"``) and target ``table``.
+
+``bchunk`` ``{"type": "bchunk", "seq": int, "eof": bool,
+"blob_len": int, "offset": int, "length": int,
+"metrics": dict | null, "elapsed_seconds": float | null}``
+
+One chunk of a ``bquery`` reply, carrying exactly one tail blob (the
+chunk's payload — possibly empty on the final frame of an empty
+slice).  ``seq`` counts from 0; ``blob_len`` is the *whole* stored
+blob's length; ``offset``/``length`` describe the byte range actually
+served (window mode reports the re-encoded window blob:
+``offset`` 0 and ``length`` equal to its size).  Frames arrive in
+``seq`` order and the stream ends with the single frame whose ``eof``
+is true, which also carries the cold-run ``metrics`` and
+``elapsed_seconds`` (earlier frames ship ``null`` for both).  Errors
+are only ever sent *instead of* the first chunk — once chunk 0 is on
+the wire the stream always runs to ``eof``.
 ``presult`` ``{"type": "presult", "rows": int,
 "states": [...] | null, "groups": [[group, [...]], ...] | null,
 "metrics": dict, "elapsed_seconds": float}``
@@ -121,6 +186,7 @@ if TYPE_CHECKING:  # the sync client never has to import asyncio
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "DEFAULT_CHUNK_BYTES",
     "NO_TIMEOUT",
     "SERVER_BUSY",
     "QUERY_TIMEOUT",
@@ -152,6 +218,12 @@ PROTOCOL_VERSION = 1
 #: Default per-frame ceiling (64 MiB) — a malformed or hostile length
 #: prefix is rejected before any allocation happens.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Default (and also maximum-honoured) payload bytes per ``bchunk``
+#: frame.  A client may ask for less via the ``chunk_bytes`` request
+#: key; asking for more is clamped, so a stream's frames always fit
+#: well under ``MAX_FRAME_BYTES``.
+DEFAULT_CHUNK_BYTES = 256 * 1024
 
 #: Wire sentinel for a query frame's ``timeout`` key that *explicitly*
 #: disables the per-query budget.  A ``null`` (or absent) timeout means

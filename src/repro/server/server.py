@@ -11,12 +11,20 @@ overlap scans of another, like the paper's host.  Exporting
 ``REPRO_LATCH=coarse`` restores the old database-wide reader/writer
 lock.
 
-The connection protocol is strict request/response (no pipelining): the
-handler reads one frame, answers it, and only then reads the next.  A
-query that outlives its timeout gets an immediate ``QUERY_TIMEOUT``
-error; the worker thread finishes in the background and its admission
-slot is returned only when it actually ends, so timeouts cannot be used
-to stampede past the concurrency bound.
+The connection protocol is strict request/response for every frame type
+except ``pexec``: the handler reads one frame, answers it, and only
+then reads the next.  ``pexec`` frames may be *pipelined* — a client
+sends N of them back-to-back, the handler drains the contiguous run
+already sitting in the stream buffer into one batch (one admission
+slot, one worker-pool hop, statements sequential) and answers with N
+result frames in request order.  ``bquery`` replies are a *stream* of
+bounded ``bchunk`` frames: the blob slice is resolved and read under
+the table latch, then shipped chunk by chunk, so a corner of a huge
+blob never trips the frame-size limit.  A query that outlives its
+timeout gets an immediate ``QUERY_TIMEOUT`` error; the worker thread
+finishes in the background and its admission slot is returned only
+when it actually ends, so timeouts cannot be used to stampede past the
+concurrency bound.
 
 Embedders (tests, benchmarks, the CLI client's self-serve mode) can use
 :class:`ServerThread` to run a server on a background event loop::
@@ -31,10 +39,14 @@ from __future__ import annotations
 import asyncio
 import math
 import threading
+import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
+from ..core.errors import BoundsError, ShapeError
+from ..core.header import HeaderError
+from ..core.partial import BytesBlobStream, read_window_blob
 from ..engine.executor import Database
 from ..engine.sqlfront import SqlSession, SqlSyntaxError
 from ..engine.table import MaxBlobHandle, Table
@@ -43,6 +55,10 @@ from .admission import AdmissionController
 from .stats import ServerStats
 
 __all__ = ["ServerConfig", "ArrayServer", "ServerThread"]
+
+#: Most ``pexec`` frames drained into one pipelined batch — bounds how
+#: long a batch can hold its single admission slot.
+PIPELINE_BATCH_MAX = 32
 
 
 @dataclass
@@ -168,6 +184,21 @@ class ArrayServer:
                 if frame is None:
                     break
                 header, blobs = frame
+                if header.get("type") == "pexec":
+                    try:
+                        batch, carry = await self._drain_pexec(reader)
+                    except protocol.ProtocolError as exc:
+                        try:
+                            await protocol.write_frame(writer, _error(
+                                protocol.BAD_FRAME, str(exc)))
+                        except (ConnectionError, RuntimeError):
+                            pass
+                        break
+                    await self._run_pexec_batch(
+                        writer, session, session_id, [header] + batch)
+                    if carry is None:
+                        continue
+                    header, blobs = carry
                 done = await self._dispatch(writer, session, session_id,
                                             header, blobs)
                 if done:
@@ -184,6 +215,38 @@ class ArrayServer:
                 await writer.wait_closed()
             except (ConnectionError, asyncio.CancelledError):
                 pass
+
+    async def _drain_pexec(self, reader: asyncio.StreamReader
+                           ) -> tuple[list[dict], tuple | None]:
+        """Collect the contiguous run of pipelined ``pexec`` frames the
+        client already has in flight.
+
+        Only frames *fully buffered* in the stream reader are taken —
+        the length prefix of the next frame is peeked and an incomplete
+        frame is left for the normal read loop, so draining never
+        blocks on the network and a lone ``pexec`` behaves exactly like
+        strict request/response.  Returns ``(headers, carry)`` where
+        ``carry`` is a buffered non-``pexec`` frame that must be
+        dispatched after the batch is answered (or None).
+        """
+        batch: list[dict] = []
+        carry = None
+        while len(batch) + 1 < PIPELINE_BATCH_MAX:
+            buffered = getattr(reader, "_buffer", None)
+            if buffered is None or len(buffered) < 4:
+                break
+            (total,) = protocol._U32.unpack(bytes(buffered[:4]))
+            if len(buffered) - 4 < total:
+                break
+            frame = await protocol.read_frame(reader,
+                                              self.config.max_frame)
+            if frame is None:
+                break
+            if frame[0].get("type") != "pexec":
+                carry = frame
+                break
+            batch.append(frame[0])
+        return batch, carry
 
     async def _dispatch(self, writer, session: SqlSession,
                         session_id: int, header: dict, blobs) -> bool:
@@ -220,6 +283,19 @@ class ArrayServer:
                     f"{exc}; narrow the select list or raise "
                     f"max_frame"))
             return False
+        if kind == "prepare":
+            await self._run_prepare(writer, session, header)
+            return False
+        if kind == "pexec":
+            # The connection loop batches contiguous pexec runs before
+            # dispatching; one arriving here (e.g. as a carried frame)
+            # is simply a batch of one.
+            await self._run_pexec_batch(writer, session, session_id,
+                                        [header])
+            return False
+        if kind == "bquery":
+            return await self._run_bquery(writer, session, session_id,
+                                          header)
         await protocol.write_frame(writer, _error(
             protocol.BAD_FRAME, f"unknown message type {kind!r}"))
         return False
@@ -422,6 +498,295 @@ class ArrayServer:
                 "rowcount": inserted, "metrics": None,
                 "elapsed_seconds": latency}, []
 
+    # -- prepared statements and pipelining ----------------------------------
+
+    async def _run_prepare(self, writer, session: SqlSession,
+                           header: dict) -> None:
+        """Answer one ``prepare`` frame with a ``prepared`` reply.
+
+        Planning is pure catalog work (no latch, no IO), so it runs
+        inline on the event loop instead of burning an admission slot.
+        """
+        sql = header.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            await protocol.write_frame(writer, _error(
+                protocol.SQL_ERROR,
+                "prepare frame needs a non-empty 'sql'"))
+            return
+        try:
+            kind, table = self._prepare_sync(session, sql)
+        except SqlSyntaxError as exc:
+            await protocol.write_frame(writer, _error(
+                protocol.SQL_ERROR, str(exc)))
+            return
+        except protocol.WireError as exc:
+            await protocol.write_frame(writer, _error(exc.code,
+                                                      exc.message))
+            return
+        except Exception as exc:
+            await protocol.write_frame(writer, _error(
+                protocol.INTERNAL, f"{type(exc).__name__}: {exc}"))
+            return
+        self.stats.record_prepare()
+        await protocol.write_frame(writer, {
+            "type": "prepared", "sql": sql, "kind": kind,
+            "table": table})
+
+    def _prepare_sync(self, session: SqlSession,
+                      sql: str) -> tuple[str, str]:
+        """Plan (and cache) one SELECT; returns ``(kind, table)``."""
+        plan = session.prepare(sql)
+        return plan.kind, plan.table.name
+
+    async def _run_pexec_batch(self, writer, session: SqlSession,
+                               session_id: int,
+                               headers: list[dict]) -> None:
+        """Answer one pipelined batch of ``pexec`` frames.
+
+        The whole batch takes one admission slot and one worker-pool
+        hop; statements run sequentially on the worker thread and every
+        request gets exactly one reply, in request order.  A statement
+        that fails answers with an error frame in its slot without
+        aborting the rest; a batch-level failure (busy, timeout)
+        answers every slot with a copy of the same error.
+        """
+        requests: list[dict | tuple] = []
+        timeout = self.config.query_timeout
+        timeout_set = False
+        for header in headers:
+            sql = header.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                requests.append(_error(
+                    protocol.SQL_ERROR,
+                    "pexec frame needs a non-empty 'sql'"))
+                continue
+            try:
+                resolved = self._resolve_timeout(header.get("timeout"))
+                engine = self._resolve_engine(header.get("engine"))
+                workers = self._resolve_workers(header.get("workers"))
+            except ValueError as exc:
+                requests.append(_error(protocol.BAD_FRAME, str(exc)))
+                continue
+            if not timeout_set:
+                # One admission slot means one wall-clock budget: the
+                # first valid frame's timeout bounds the whole batch.
+                timeout = resolved
+                timeout_set = True
+            requests.append((sql, bool(header.get("cold", True)),
+                             engine, workers))
+
+        def job():
+            replies = []
+            for request in requests:
+                if isinstance(request, dict):  # pre-validated error
+                    replies.append((request, None))
+                    continue
+                sql, cold, engine, workers = request
+                started = time.perf_counter()
+                try:
+                    result = self._execute_prepared_sync(
+                        session, sql, cold, engine, workers)
+                except SqlSyntaxError as exc:
+                    replies.append((_error(protocol.SQL_ERROR,
+                                           str(exc)), None))
+                    continue
+                except protocol.WireError as exc:
+                    replies.append((_error(exc.code, exc.message),
+                                    None))
+                    continue
+                except Exception as exc:
+                    replies.append((_error(
+                        protocol.INTERNAL,
+                        f"{type(exc).__name__}: {exc}"), None))
+                    continue
+                replies.append((result,
+                                time.perf_counter() - started))
+            return replies
+
+        outcome, error = await self._admit_and_run(session_id, timeout,
+                                                   job)
+        if error is not None:
+            # Busy/timeout hit the batch as a whole — but the client
+            # pipelined N requests and will read N replies.
+            for _ in headers:
+                await protocol.write_frame(writer, error)
+            return
+        replies, _batch_latency = outcome
+        self.stats.record_pipeline(len(headers))
+        # All N replies go out as one buffered write + drain — the
+        # reply-side half of pipelining.  Per-frame drains would put a
+        # syscall back on every statement and eat the batching win.
+        buffer = bytearray()
+        for reply, latency in replies:
+            if latency is None:  # a per-statement error placeholder
+                self.stats.record_failure(session_id)
+                buffer += protocol.encode_frame(reply)
+                continue
+            self.stats.record_query(session_id, latency,
+                                    reply["metrics"])
+            packed, reply_blobs = protocol.pack_rows(reply["rows"])
+            frame = {"type": "result", "kind": reply["kind"],
+                     "rows": packed, "rowcount": reply["rowcount"],
+                     "metrics": reply["metrics"],
+                     "elapsed_seconds": latency}
+            encoded = protocol.encode_frame(frame, reply_blobs)
+            if len(encoded) > self.config.max_frame:
+                encoded = protocol.encode_frame(_error(
+                    protocol.RESULT_TOO_LARGE,
+                    f"result frame of {len(encoded)} bytes exceeds "
+                    f"max_frame {self.config.max_frame}; narrow the "
+                    f"select list or raise max_frame"))
+            buffer += encoded
+        writer.write(bytes(buffer))
+        await writer.drain()
+
+    def _execute_prepared_sync(self, session: SqlSession, sql: str,
+                               cold: bool, engine: str | None = None,
+                               workers: int | None = None) -> dict:
+        """Worker-thread body of the ``pexec`` path: a SELECT executes
+        through the session's prepared-plan cache (parsed and planned
+        once per statement text); anything else falls back to
+        :meth:`_execute_sync`."""
+        if sql.lstrip()[:6].upper() == "SELECT":
+            rows, metrics = session.query_prepared(
+                sql, cold=cold, finalize=self._materialize_result,
+                engine=engine, workers=workers)
+            return {"kind": "rows", "rows": rows,
+                    "rowcount": len(rows),
+                    "metrics": metrics.to_dict()}
+        return self._execute_sync(session, sql, cold, engine, workers)
+
+    # -- streamed partial-blob reads -----------------------------------------
+
+    async def _run_bquery(self, writer, session: SqlSession,
+                          session_id: int, header: dict) -> bool:
+        """Answer one ``bquery``: resolve the blob cell and read the
+        requested slice under the table latch on a worker thread, then
+        stream it as bounded ``bchunk`` frames once the latch is
+        released.  Returns the dispatch loop's ``done`` flag (the base
+        server never closes the connection here)."""
+        sql = header.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            await protocol.write_frame(writer, _error(
+                protocol.SQL_ERROR,
+                "bquery frame needs a non-empty 'sql'"))
+            return False
+        cold = bool(header.get("cold", True))
+        try:
+            timeout = self._resolve_timeout(header.get("timeout"))
+            engine = self._resolve_engine(header.get("engine"))
+            workers = self._resolve_workers(header.get("workers"))
+            offset, length, window = _resolve_blob_range(header)
+            chunk_bytes = self._resolve_chunk_bytes(
+                header.get("chunk_bytes"))
+        except ValueError as exc:
+            await protocol.write_frame(writer, _error(
+                protocol.BAD_FRAME, str(exc)))
+            return False
+        outcome, error = await self._admit_and_run(
+            session_id, timeout,
+            lambda: self._execute_bquery_sync(
+                session, sql, cold, engine, workers, offset, length,
+                window))
+        if error is not None:
+            await protocol.write_frame(writer, error)
+            return False
+        result, latency = outcome
+        self.stats.record_query(session_id, latency, result["metrics"])
+        payload = result["payload"]
+        chunks = [payload[i:i + chunk_bytes]
+                  for i in range(0, len(payload), chunk_bytes)] or [b""]
+        self.stats.record_bquery(len(chunks), len(payload))
+        for seq, chunk in enumerate(chunks):
+            eof = seq == len(chunks) - 1
+            frame = {"type": "bchunk", "seq": seq, "eof": eof,
+                     "blob_len": result["blob_len"],
+                     "offset": result["offset"],
+                     "length": len(payload),
+                     "metrics": result["metrics"] if eof else None,
+                     "elapsed_seconds": latency if eof else None}
+            await protocol.write_frame(writer, frame, [chunk],
+                                       self.config.max_frame)
+        return False
+
+    def _resolve_chunk_bytes(self, requested) -> int:
+        """Map a ``bquery`` frame's ``chunk_bytes`` to a payload size
+        per chunk: the protocol default, clamped so a chunk frame
+        always fits well inside ``max_frame``."""
+        cap = max(1, min(protocol.DEFAULT_CHUNK_BYTES,
+                         self.config.max_frame - 1024))
+        if requested is None:
+            return cap
+        if isinstance(requested, bool) or \
+                not isinstance(requested, int) or requested < 1:
+            raise ValueError(
+                f"'chunk_bytes' must be a positive integer, "
+                f"got {requested!r}")
+        return min(requested, cap)
+
+    def _execute_bquery_sync(self, session: SqlSession, sql: str,
+                             cold: bool, engine: str | None,
+                             workers: int | None, offset: int,
+                             length: int | None,
+                             window: tuple | None) -> dict:
+        """Worker-thread body of the ``bquery`` path.
+
+        The statement runs like any SELECT, but the finalize hook —
+        executing while the table latch is still held, so a concurrent
+        DELETE cannot free the blob pages mid-read — resolves the
+        single blob cell to a *stream* and reads only the requested
+        byte range (or re-encodes the requested array window), never
+        the whole blob.
+        """
+        def finalize(result):
+            values, metrics = result
+            if isinstance(values, list):
+                raise protocol.WireError(
+                    protocol.SQL_ERROR,
+                    "a bquery statement cannot use GROUP BY")
+            cells = tuple(values)
+            if len(cells) != 1:
+                raise protocol.WireError(
+                    protocol.SQL_ERROR,
+                    f"a bquery statement must select exactly one "
+                    f"aggregate, got {len(cells)}")
+            cell = cells[0]
+            if isinstance(cell, MaxBlobHandle):
+                stream = cell.open_stream(self.db.pool)
+            elif isinstance(cell, (bytes, bytearray, memoryview)):
+                stream = BytesBlobStream(bytes(cell))
+            else:
+                raise protocol.WireError(
+                    protocol.SQL_ERROR,
+                    f"a bquery statement must produce a blob cell, "
+                    f"got {type(cell).__name__}")
+            blob_len = stream.length()
+            try:
+                if window is not None:
+                    payload = read_window_blob(stream, window[0],
+                                               window[1])
+                    served_offset = 0
+                else:
+                    end = blob_len if length is None else \
+                        offset + length
+                    if offset > blob_len or end > blob_len:
+                        raise protocol.WireError(
+                            protocol.BAD_FRAME,
+                            f"byte range [{offset}, {end}) beyond "
+                            f"blob of {blob_len} bytes")
+                    payload = stream.read_at(offset, end - offset)
+                    served_offset = offset
+            except (BoundsError, ShapeError, HeaderError,
+                    ValueError) as exc:
+                raise protocol.WireError(protocol.BAD_FRAME,
+                                         str(exc)) from exc
+            return {"payload": payload, "blob_len": blob_len,
+                    "offset": served_offset,
+                    "metrics": metrics.to_dict()}
+
+        return session.query(sql, cold=cold, finalize=finalize,
+                             engine=engine, workers=workers)
+
     def _execute_sync(self, session: SqlSession, sql: str,
                       cold: bool, engine: str | None = None,
                       workers: int | None = None) -> dict:
@@ -524,6 +889,55 @@ class ArrayServer:
 
 def _error(code: str, message: str) -> dict:
     return {"type": "error", "code": code, "message": message}
+
+
+def _resolve_blob_range(header: dict
+                        ) -> tuple[int, int | None, tuple | None]:
+    """Validate a ``bquery`` frame's slice keys.
+
+    Returns ``(offset, length, window)`` — byte mode leaves ``window``
+    None; window mode returns ``(offset_tuple, size_tuple)`` in
+    ``window`` with the byte keys forced to their defaults.  Raises
+    ``ValueError`` (answered as ``BAD_FRAME``) for malformed or mixed
+    requests.
+    """
+    offset = header.get("offset", 0)
+    length = header.get("length")
+    window = header.get("window")
+    if isinstance(offset, bool) or not isinstance(offset, int) or \
+            offset < 0:
+        raise ValueError(
+            f"'offset' must be a non-negative integer, got {offset!r}")
+    if length is not None and (
+            isinstance(length, bool) or not isinstance(length, int)
+            or length < 0):
+        raise ValueError(
+            f"'length' must be a non-negative integer or null, "
+            f"got {length!r}")
+    if window is None:
+        return offset, length, None
+    if offset or length is not None:
+        raise ValueError(
+            "a bquery is either a byte range or a window, not both")
+    if not isinstance(window, dict) or \
+            set(window) != {"offset", "size"}:
+        raise ValueError(
+            "'window' must be an object with 'offset' and 'size' "
+            "lists")
+    win_offset = window["offset"]
+    win_size = window["size"]
+    for name, values in (("offset", win_offset), ("size", win_size)):
+        if not isinstance(values, list) or not values or not all(
+                isinstance(v, int) and not isinstance(v, bool)
+                for v in values):
+            raise ValueError(
+                f"window '{name}' must be a non-empty list of "
+                f"integers, got {values!r}")
+    if len(win_offset) != len(win_size):
+        raise ValueError(
+            f"window offset/size rank mismatch: {len(win_offset)} vs "
+            f"{len(win_size)}")
+    return 0, None, (tuple(win_offset), tuple(win_size))
 
 
 class ServerThread:

@@ -79,6 +79,17 @@ class ServerStats:
         # Kept out of _io_totals: the metrics "engine" value is a
         # string, not a summable counter.
         self._engine_queries: dict[str, int] = {}
+        # Zero-copy data-plane counters: prepare frames answered,
+        # pipelined pexec batches (and how deep they ran), and bquery
+        # streams with their chunk/byte totals — the "bytes on the
+        # wire" half of the partial-read story.
+        self._prepares = 0
+        self._pipeline_batches = 0
+        self._pipeline_statements = 0
+        self._pipeline_depth_max = 0
+        self._bquery_streams = 0
+        self._bquery_chunks = 0
+        self._bquery_bytes = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -126,6 +137,28 @@ class ServerStats:
             self._per_session[session_id] = \
                 self._per_session.get(session_id, 0) + 1
 
+    def record_prepare(self) -> None:
+        """One ``prepare`` frame answered with a ``prepared`` reply."""
+        with self._lock:
+            self._prepares += 1
+
+    def record_pipeline(self, batch_size: int) -> None:
+        """One ``pexec`` batch executed (``batch_size`` >= 1; serial
+        clients show up as depth-1 batches)."""
+        with self._lock:
+            self._pipeline_batches += 1
+            self._pipeline_statements += batch_size
+            self._pipeline_depth_max = max(self._pipeline_depth_max,
+                                           batch_size)
+
+    def record_bquery(self, chunks: int, payload_bytes: int) -> None:
+        """One ``bquery`` stream completed: how many ``bchunk`` frames
+        it took and how many payload bytes crossed the wire."""
+        with self._lock:
+            self._bquery_streams += 1
+            self._bquery_chunks += chunks
+            self._bquery_bytes += payload_bytes
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -148,4 +181,15 @@ class ServerStats:
                 "latency_samples": len(self.latency),
                 "io_totals": dict(self._io_totals),
                 "engine_queries": dict(self._engine_queries),
+                "prepares": self._prepares,
+                "pipeline": {
+                    "batches": self._pipeline_batches,
+                    "statements": self._pipeline_statements,
+                    "depth_max": self._pipeline_depth_max,
+                },
+                "bquery": {
+                    "streams": self._bquery_streams,
+                    "chunks": self._bquery_chunks,
+                    "payload_bytes": self._bquery_bytes,
+                },
             }

@@ -31,6 +31,7 @@ honest).  Its catalog mirror holds schemas only.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from typing import Callable
@@ -40,7 +41,7 @@ from ..engine.sqlfront import SelectPlan, SqlSession, SqlSyntaxError, \
     _tokenize
 from ..server import protocol
 from ..server.client import RetryPolicy
-from ..server.server import ArrayServer, ServerConfig
+from ..server.server import ArrayServer, ServerConfig, _error
 from .client import ShardLink
 from .config import ShardConfig
 from .merge import (
@@ -98,6 +99,14 @@ class ShardRouter:
         if session_setup is not None:
             session_setup(self.session)
         self._local = threading.local()
+        # Coordinator-side plan cache: SELECTs are planned once per
+        # statement text against the catalog mirror and the plan
+        # (routing key, pk range, aggregates) is reused by every
+        # worker thread.  DDL invalidates it (see _create); data-only
+        # writes leave plans valid — a plan captures structure, never
+        # row contents.
+        self._plan_cache: dict[str, SelectPlan] = {}
+        self._plan_lock = threading.Lock()
 
     # -- statement entry point ----------------------------------------------
 
@@ -162,9 +171,30 @@ class ShardRouter:
 
     # -- SELECT: scatter pquery, merge partials ------------------------------
 
+    def prepare(self, sql: str) -> SelectPlan:
+        """Plan one SELECT through the coordinator's plan cache.
+
+        Planning is not free at coordinator scale — every scatter pays
+        it before a single shard is contacted — so hot statements
+        (point SELECTs in a pipelined stream, mainly) hit the cache
+        instead.  Thread-safe; a cache miss may plan the same text
+        twice concurrently, which is merely redundant, never wrong.
+        """
+        with self._plan_lock:
+            plan = self._plan_cache.get(sql)
+        if plan is None:
+            plan = self.session.plan_select(sql)
+            with self._plan_lock:
+                self._plan_cache[sql] = plan
+        return plan
+
+    def _invalidate_plans(self) -> None:
+        with self._plan_lock:
+            self._plan_cache.clear()
+
     def _select(self, sql: str, cold: bool, engine: str | None,
                 workers: int | None) -> dict:
-        plan = self.session.plan_select(sql)
+        plan = self.prepare(sql)
         targets = self._route(plan)
         header: dict = {"type": "pquery", "sql": sql,
                         "cold": bool(cold),
@@ -229,8 +259,10 @@ class ShardRouter:
     def _create(self, sql: str) -> dict:
         # Mirror into the catalog first — this both validates the DDL
         # and lets later SELECTs plan against the schema — then
-        # broadcast so every shard owns an (empty) slice.
+        # broadcast so every shard owns an (empty) slice.  Cached
+        # plans hold pre-DDL Table objects, so they go.
         self.session.execute(sql)
+        self._invalidate_plans()
         header = {"type": "query", "sql": sql, "cold": False,
                   "timeout": protocol.NO_TIMEOUT}
         self._scatter([(shard_id, header, ())
@@ -426,6 +458,108 @@ class ShardServer(ArrayServer):
             protocol.BAD_FRAME,
             "the coordinator does not serve pquery frames; they are "
             "shard-internal")
+
+    def _prepare_sync(self, session: SqlSession,
+                      sql: str) -> tuple[str, str]:
+        # Prepare against the router's shared plan cache, not the
+        # connection session: every coordinator worker thread reuses
+        # the same plan for routing.
+        plan = self.router.prepare(sql)
+        return plan.kind, plan.table.name
+
+    def _execute_prepared_sync(self, session: SqlSession, sql: str,
+                               cold: bool, engine: str | None = None,
+                               workers: int | None = None) -> dict:
+        # router.execute plans through the coordinator cache (see
+        # ShardRouter.prepare), so pexec skips re-planning here too.
+        return self.router.execute(sql, cold=cold, engine=engine,
+                                   workers=workers)
+
+    async def _run_bquery(self, writer, session: SqlSession,
+                          session_id: int, header: dict) -> bool:
+        """Serve a ``bquery`` by *relaying*: route to the one shard
+        owning the key and forward each ``bchunk`` frame to the client
+        as it arrives — the slice is never re-buffered whole on the
+        coordinator.
+
+        Returns True (close the connection) only when the stream dies
+        after chunk 0 is already on the wire; the framing contract
+        promises a started stream runs to eof, so a mid-stream shard
+        failure cannot be answered with an error frame.
+        """
+        sql = header.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            await protocol.write_frame(writer, _error(
+                protocol.SQL_ERROR,
+                "bquery frame needs a non-empty 'sql'"))
+            return False
+        try:
+            timeout = self._resolve_timeout(header.get("timeout"))
+        except ValueError as exc:
+            await protocol.write_frame(writer, _error(
+                protocol.BAD_FRAME, str(exc)))
+            return False
+        loop = asyncio.get_running_loop()
+        relayed: list[int] = []
+        outcome, error = await self._admit_and_run(
+            session_id, timeout,
+            lambda: self._relay_bquery(loop, writer, header, sql,
+                                       relayed))
+        if error is not None:
+            if relayed:
+                return True  # stream already started: hang up
+            await protocol.write_frame(writer, error)
+            return False
+        result, latency = outcome
+        self.stats.record_query(session_id, latency,
+                                result["metrics"])
+        self.stats.record_bquery(result["chunks"], result["bytes"])
+        return False
+
+    def _relay_bquery(self, loop, writer, header: dict, sql: str,
+                      relayed: list[int]) -> dict:
+        """Worker-thread body of the coordinator ``bquery`` path: one
+        shard exchange, chunk frames forwarded one at a time through
+        the connection's event loop (``relayed`` records each chunk's
+        payload size so the async side knows whether the stream
+        started)."""
+        plan = self.router.prepare(sql)
+        if plan.key is None:
+            raise protocol.WireError(
+                protocol.BAD_FRAME,
+                "a sharded bquery needs a point predicate on the "
+                "primary key (exactly one owning shard)")
+        shard_id = self.router.partitioner.shard_of(plan.key)
+        forward = dict(header, timeout=protocol.NO_TIMEOUT)
+        link = self.router._link(shard_id)
+        try:
+            link.send(forward)
+            chunks = 0
+            total = 0
+            while True:
+                reply, blobs = link.recv()
+                if reply.get("type") == "error":
+                    raise protocol.WireError(
+                        reply.get("code") or protocol.INTERNAL,
+                        f"shard {shard_id}: "
+                        f"{reply.get('message', '')}")
+                asyncio.run_coroutine_threadsafe(
+                    protocol.write_frame(writer, reply, blobs,
+                                         self.config.max_frame),
+                    loop).result()
+                size = len(blobs[0]) if blobs else 0
+                relayed.append(size)
+                chunks += 1
+                total += size
+                if reply.get("eof"):
+                    return {"chunks": chunks, "bytes": total,
+                            "metrics": reply.get("metrics")}
+        except (OSError, protocol.ProtocolError) as exc:
+            link.close()
+            raise protocol.WireError(
+                protocol.SHARD_UNAVAILABLE,
+                f"shard {shard_id} failed mid-bquery: "
+                f"{type(exc).__name__}: {exc}") from exc
 
     def _stats_frame(self) -> dict:
         frame = super()._stats_frame()

@@ -1,0 +1,12 @@
+"""RM501 fixture: attach-side function unlinks a segment it doesn't own."""
+
+from multiprocessing import shared_memory
+
+
+def read_segment(name, size, loads):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return loads(bytes(shm.buf[:size]))
+    finally:
+        shm.close()
+        shm.unlink()

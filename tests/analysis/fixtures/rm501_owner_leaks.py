@@ -1,0 +1,20 @@
+"""RM501 fixture: owner class creates segments but never unlink()s."""
+
+from multiprocessing import shared_memory
+
+
+class LeakyOwner:
+    def __init__(self):
+        self._segments = {}
+
+    def export(self, payload):
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload)))
+        shm.buf[:len(payload)] = payload
+        self._segments[shm.name] = shm
+        return shm.name
+
+    def release(self, name):
+        shm = self._segments.pop(name, None)
+        if shm is not None:
+            shm.close()

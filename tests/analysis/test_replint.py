@@ -27,6 +27,8 @@ EXPECTED = {
     "rl002_latch_under_pool.py": "RL002",
     "rl002_lock_order.py": "RL002",
     "rl002_nested_latches.py": "RL002",
+    "rm501_attach_unlinks.py": "RM501",
+    "rm501_owner_leaks.py": "RM501",
     "rp101_lambda_udf.py": "RP101",
     "rv201_mutating_kernel.py": "RV201",
     os.path.join("rw301", "protocol.py"): "RW301",

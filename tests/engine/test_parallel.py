@@ -176,12 +176,38 @@ class TestWorkerPool:
         session.query("SELECT COUNT(*) FROM t", engine="parallel",
                       workers=2)
         pool = session.db._worker_pool
-        paths = list(pool._snapshot_paths)
-        assert paths and all(os.path.exists(p) for p in paths)
+        ref = pool._snap_ref
+        assert ref is not None and ref[0] == "shm"
+        assert pool._segments._segments  # live segment owned by pool
         pool.shutdown()
         assert pool.broken
         assert not pool._procs
+        assert not pool._segments._segments
+        assert pool._snap_ref is None
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+            shared_memory.SharedMemory(name=ref[1])
+
+    def test_file_fallback_when_shm_disabled(self, session,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "off")
+        (count,), _ = session.query("SELECT COUNT(*) FROM t",
+                                    engine="parallel", workers=2)
+        assert count == ROWS
+        pool = session.db._worker_pool
+        assert pool._snap_ref[0] == "file"
+        paths = list(pool._snapshot_paths)
+        assert paths and all(os.path.exists(p) for p in paths)
+        pool.shutdown()
         assert not any(os.path.exists(p) for p in paths)
+
+    def test_file_fallback_when_over_budget(self, session,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BUDGET", "1024")
+        (count,), _ = session.query("SELECT COUNT(*) FROM t",
+                                    engine="parallel", workers=2)
+        assert count == ROWS
+        assert session.db._worker_pool._snap_ref[0] == "file"
 
     def test_snapshot_refreshes_after_writes(self, session):
         sql = "SELECT COUNT(*) FROM t"
@@ -189,6 +215,38 @@ class TestWorkerPool:
         session.execute("INSERT INTO t VALUES (9001, 1.0, 0, NULL)")
         (count2,), _ = session.query(sql, engine="parallel", workers=2)
         assert count2 == count1 + 1
+
+    def test_refresh_is_lazy_per_table(self, session):
+        """A write to table B must not force a snapshot re-cut (and a
+        per-worker re-open) for queries against untouched table A."""
+        session.execute(
+            "CREATE TABLE other (id bigint, y float)")
+        session.db.tables["other"].insert_many(
+            [(i, float(i)) for i in range(50)])
+        sql_t = "SELECT COUNT(*) FROM t"
+        session.query(sql_t, engine="parallel", workers=2)
+        pool = session.db._worker_pool
+        assert pool.snapshot_cuts == 1
+        # Write to the *other* table: t's snapshot stays valid.
+        session.execute("INSERT INTO other VALUES (100, 1.0)")
+        session.query(sql_t, engine="parallel", workers=2)
+        assert pool.snapshot_cuts == 1
+        # Now query the written table: re-cut exactly once, and the
+        # fresh snapshot covers both tables again.
+        (n,), _ = session.query("SELECT COUNT(*) FROM other",
+                                engine="parallel", workers=2)
+        assert n == 51
+        assert pool.snapshot_cuts == 2
+        session.query(sql_t, engine="parallel", workers=2)
+        assert pool.snapshot_cuts == 2
+
+    def test_refresh_recuts_for_written_table(self, session):
+        sql = "SELECT COUNT(*) FROM t"
+        session.query(sql, engine="parallel", workers=2)
+        pool = session.db._worker_pool
+        session.execute("INSERT INTO t VALUES (9002, 1.0, 0, NULL)")
+        session.query(sql, engine="parallel", workers=2)
+        assert pool.snapshot_cuts == 2
 
     def test_morsels_align_to_batch_boundaries(self, session):
         session.query("SELECT COUNT(*) FROM t", engine="parallel",
