@@ -10,18 +10,29 @@ proceed.  Reported is reader throughput (queries completed in a fixed
 window) per mode — the fine mode's win is the stall time given back to
 the readers.
 
-The fine-beats-coarse assertion only runs on hosts with at least four
-cores, mirroring ``bench_parallel.py``: on a one-CPU container the
-threads time-slice one core and scheduling noise can swamp the stall
-effect the benchmark isolates.
+The second workload is the one per-table latches cannot help with:
+the writer churns INSERT/DELETE on the *same* table the readers scan.
+With ``REPRO_MVCC=off`` every reader queues behind the writer's
+exclusive table latch; with MVCC on (the default) readers pin a
+copy-on-write page-version snapshot and scan latch-free, so reader
+throughput barely notices the writer.  ``mvcc_overlap_results``
+reports both modes; the acceptance bar is MVCC readers completing at
+least twice the off-mode reader work.
+
+The fine-beats-coarse and MVCC-beats-off assertions only run on hosts
+with at least four cores, mirroring ``bench_parallel.py``: on a
+one-CPU container the threads time-slice one core and scheduling
+noise can swamp the stall effect the benchmark isolates.
 
 Run directly for JSON output::
 
-    PYTHONPATH=src python benchmarks/bench_latches.py
+    PYTHONPATH=src python benchmarks/bench_latches.py [--smoke]
 """
 
 import json
+import math
 import os
+import sys
 import threading
 import time
 
@@ -43,8 +54,9 @@ READERS = 3
 READ_SQL = "SELECT SUM(FloatArray.Item_1(v, 0)), COUNT(*) FROM ta"
 
 
-def build_db(latch_mode: str, rows: int = ROWS) -> Database:
-    db = Database(latch_mode=latch_mode)
+def build_db(latch_mode: str, rows: int = ROWS,
+             mvcc_mode: str | None = None) -> Database:
+    db = Database(latch_mode=latch_mode, mvcc_mode=mvcc_mode)
     values = np.random.default_rng(2).standard_normal((rows, 5))
     ta = db.create_table(
         "ta", [Column("id", "bigint"),
@@ -117,6 +129,78 @@ def latch_overlap_results(window: float = WINDOW) -> dict:
             for mode in ("table", "coarse")}
 
 
+def intra_table_traffic(mvcc_mode: str, window: float = WINDOW,
+                        readers: int = READERS,
+                        rows: int = ROWS) -> dict:
+    """Reader/writer throughput with all traffic on ONE table.
+
+    The writer alternates INSERT and DELETE of a fresh key in ``ta``
+    while reader threads run warm aggregate scans of ``ta``.  Latch
+    mode is ``"table"`` in both runs — per-table latches cannot
+    separate this workload, only MVCC can.  Readers sanity-check every
+    result: the row count must be the base count or one more (the
+    writer's in-flight key), and the sum must match the base sum since
+    churned keys carry a zero payload — a snapshot may be stale, never
+    torn.
+    """
+    db = build_db("table", rows=rows, mvcc_mode=mvcc_mode)
+    base = SqlSession(db).query(READ_SQL, cold=False,
+                                engine="vector")[0]
+    base_sum, base_count = base
+    stop = threading.Event()
+    counts = [0] * (readers + 1)
+    errors = []
+
+    def reader(slot):
+        session = SqlSession(db)
+        try:
+            while not stop.is_set():
+                (s, n), _ = session.query(READ_SQL, cold=False,
+                                          engine="vector")
+                assert n in (base_count, base_count + 1), (n, base_count)
+                assert math.isclose(s, base_sum, rel_tol=1e-9,
+                                    abs_tol=1e-9), (s, base_sum)
+                counts[slot] += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def writer():
+        session = SqlSession(db)
+        key = rows
+        try:
+            while not stop.is_set():
+                session.execute(
+                    f"INSERT INTO ta VALUES ({key}, "
+                    "FloatArray.Vector_3(0.0, 0.0, 0.0))")
+                session.execute(f"DELETE FROM ta WHERE id = {key}")
+                key += 1
+                counts[readers] += 2
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(readers)]
+    threads.append(threading.Thread(target=writer))
+    for t in threads:
+        t.start()
+    time.sleep(window)
+    stop.set()
+    for t in threads:
+        t.join(timeout=60)
+    if errors:
+        raise errors[0]
+    return {"reader_ops": sum(counts[:readers]),
+            "writer_ops": counts[readers]}
+
+
+def mvcc_overlap_results(window: float = WINDOW,
+                         rows: int = ROWS) -> dict:
+    """MVCC on vs off under the same intra-table churn
+    (collect-friendly)."""
+    return {mode: intra_table_traffic(mode, window, rows=rows)
+            for mode in ("on", "off")}
+
+
 def test_reader_on_a_completes_while_writer_holds_b():
     """Smoke (any host): with a write latch pinned on B, a SELECT on A
     still completes in fine mode — the direct overlap the benchmark's
@@ -155,19 +239,47 @@ def test_fine_latches_beat_coarse_lock_under_mixed_traffic():
         results["coarse"]["reader_ops"], results
 
 
-def main() -> None:
-    results = latch_overlap_results()
+def test_intra_table_traffic_runs_in_both_mvcc_modes():
+    """Smoke (any host): readers and the same-table writer both make
+    progress in each MVCC mode and every read passes the stale-never-
+    torn sanity checks."""
+    for mode in ("on", "off"):
+        ops = intra_table_traffic(mode, window=0.2, readers=2,
+                                  rows=500)
+        assert ops["reader_ops"] > 0
+        assert ops["writer_ops"] > 0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="throughput comparison needs >= 4 cores")
+def test_mvcc_readers_at_least_double_off_mode_under_same_table_writer():
+    """The acceptance bar: with the writer churning the SAME table the
+    readers scan, MVCC snapshot readers complete at least twice the
+    work of the off-mode (latch-per-scan) baseline."""
+    results = mvcc_overlap_results()
+    assert results["on"]["reader_ops"] >= \
+        2 * results["off"]["reader_ops"], results
+
+
+def main(smoke: bool = False) -> None:
+    window = min(WINDOW, 0.25) if smoke else WINDOW
+    rows = min(ROWS, 1000) if smoke else ROWS
+    results = latch_overlap_results(window)
     fine, coarse = results["table"], results["coarse"]
+    intra = mvcc_overlap_results(window, rows=rows)
     print(json.dumps({
         "bench": "latches",
-        "rows": ROWS,
-        "window_seconds": WINDOW,
+        "rows": ROWS if not smoke else rows,
+        "window_seconds": window,
         "readers": READERS,
         "results": results,
         "reader_speedup": fine["reader_ops"] /
             max(coarse["reader_ops"], 1),
+        "intra_table": intra,
+        "mvcc_reader_speedup": intra["on"]["reader_ops"] /
+            max(intra["off"]["reader_ops"], 1),
     }, indent=2))
 
 
 if __name__ == "__main__":
-    main()
+    main(smoke="--smoke" in sys.argv[1:])

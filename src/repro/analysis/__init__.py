@@ -9,6 +9,8 @@ RL001       lock discipline: SqlSession entry points hold db.lock
             before touching BufferPool/Table/BTree/Executor sinks
 RL002       lock order: RWLock before pool ``_lock``, never inverse or
             re-entrant
+RL003       latch yield (warn): generators never yield while a latch
+            or RWLock guard is held (``@contextmanager`` exempt)
 RP101       parallel safety: registered/attached UDFs are module-level,
             name-picklable functions (or ``parallel_safe=False``)
 RV201       kernel purity: batch kernels never mutate input arrays and
@@ -19,7 +21,12 @@ RS401       shard hygiene: ``merge_*`` functions in shard modules are
             pure; coordinator code never touches BufferPool storage
 RM501       shm lifetime: classes creating SharedMemory segments
             close() and unlink() them; attachers never unlink()
+RC601       version lifetime: pinned MVCC snapshots are unpinned on
+            all exit paths; begin_write pairs with end_write/finally
 ==========  ===========================================================
+
+Each rule carries a severity: ``error`` findings gate CI (exit 1),
+``warn`` findings are reported but warnings alone exit 0.
 
 See ``docs/ANALYSIS.md`` for the full catalogue and suppression syntax.
 """
@@ -35,6 +42,7 @@ from .framework import (
     Rule,
     SourceFile,
     collect_files,
+    error_count,
     render_human,
     render_json,
     run_rules,
@@ -42,6 +50,7 @@ from .framework import (
 from .rules_kernels import KernelPurityRule
 from .rules_locks import LockDisciplineRule, LockOrderRule
 from .rules_mem import ShmLifetimeRule
+from .rules_mvcc import LatchYieldRule, VersionLifetimeRule
 from .rules_parallel import ParallelSafetyRule
 from .rules_shard import ShardHygieneRule
 from .rules_wire import WireSchemaRule
@@ -53,6 +62,7 @@ __all__ = [
     "Rule",
     "SourceFile",
     "collect_files",
+    "error_count",
     "lint_paths",
     "render_human",
     "render_json",
@@ -62,11 +72,13 @@ __all__ = [
 ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     LockOrderRule(),
+    LatchYieldRule(),
     ParallelSafetyRule(),
     KernelPurityRule(),
     WireSchemaRule(),
     ShardHygieneRule(),
     ShmLifetimeRule(),
+    VersionLifetimeRule(),
 )
 
 

@@ -7,7 +7,7 @@ import os
 import sys
 from typing import Sequence
 
-from . import ALL_RULES, lint_paths, render_human, render_json
+from . import ALL_RULES, error_count, lint_paths, render_human, render_json
 from .rules_wire import write_schema
 
 
@@ -62,7 +62,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.name}: {rule.description}")
+            print(f"{rule.code}  [{rule.severity}] "
+                  f"{rule.name}: {rule.description}")
         return 0
 
     if args.write_schema is not None:
@@ -92,7 +93,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_json(findings))
     else:
         print(render_human(findings))
-    return 1 if findings else 0
+    # Warnings alone do not gate the build; only error-tier findings
+    # (including PARSE failures) flip the exit code.
+    return 1 if error_count(findings) else 0
 
 
 if __name__ == "__main__":

@@ -36,7 +36,14 @@ LATCH_GUARD = "latch"
 POOL_GUARD = "pool"
 
 #: ``with``-context method names that acquire statement latches.
-LATCH_METHODS = frozenset({"read_latch", "write_latch", "ddl_latch"})
+#: ``catalog_latch`` is the MVCC reader guard (shared catalog, no table
+#: latch — snapshot pins protect the pages); ``_mvcc_select_guard`` is
+#: the SqlSession helper that resolves a SELECT plan to its statement
+#: guard (catalog latch, index-plan table latch, or the parallel
+#: coordinator's own brief all-table latch), so a ``with`` on it is a
+#: statement guard by construction.
+LATCH_METHODS = frozenset({"read_latch", "write_latch", "ddl_latch",
+                           "catalog_latch", "_mvcc_select_guard"})
 
 #: Method names that collide with builtin container/str/regex APIs; an
 #: attribute call on an *unknown* receiver with one of these names is far more

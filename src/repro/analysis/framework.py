@@ -12,7 +12,8 @@ Suppression syntax (mirrors the usual linter conventions):
 - ``# replint: disable-file=RL001`` anywhere in a file suppresses the rule(s)
   for the whole file.
 
-Exit codes: 0 = clean, 1 = findings (or unparsable source), 2 = usage error.
+Exit codes: 0 = clean or warnings only, 1 = error-tier findings (or
+unparsable source), 2 = usage error.
 """
 
 from __future__ import annotations
@@ -34,14 +35,24 @@ _SUPPRESS_RE = re.compile(
 )
 
 
+SEVERITIES = ("error", "warn")
+
+
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """A single rule violation anchored to a file and line."""
+    """A single rule violation anchored to a file and line.
+
+    ``severity`` is ``"error"`` (breaks the build — exit code 1) or
+    ``"warn"`` (reported, but warnings alone leave the exit code 0).
+    Rules normally leave it to :func:`run_rules`, which stamps each
+    finding with its rule's severity.
+    """
 
     rule: str
     path: str
     line: int
     message: str
+    severity: str = "error"
 
     def sort_key(self) -> tuple[str, int, str]:
         return (self.path, self.line, self.rule)
@@ -52,10 +63,12 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
 
 
 class SourceFile:
@@ -129,6 +142,8 @@ class Rule:
     code: str = ""
     name: str = ""
     description: str = ""
+    #: ``"error"`` rules gate CI (exit 1); ``"warn"`` rules only report.
+    severity: str = "error"
 
     def check(self, files: Sequence[SourceFile], ctx: LintContext) -> list[Finding]:
         raise NotImplementedError
@@ -201,16 +216,29 @@ def run_rules(
                     continue
                 if finding.path != source.display_path:
                     finding = dataclasses.replace(finding, path=source.display_path)
+            if finding.severity != rule.severity:
+                finding = dataclasses.replace(finding, severity=rule.severity)
             findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def error_count(findings: Sequence[Finding]) -> int:
+    """Findings that gate the exit code (severity ``error``; a PARSE
+    failure always counts)."""
+    return sum(1 for f in findings if f.severity == "error")
 
 
 def render_human(findings: Sequence[Finding]) -> str:
     if not findings:
         return "replint: clean"
     lines = [finding.render() for finding in findings]
-    lines.append(f"replint: {len(findings)} finding(s)")
+    errors = error_count(findings)
+    warns = len(findings) - errors
+    summary = f"replint: {len(findings)} finding(s)"
+    if warns:
+        summary += f" ({errors} error(s), {warns} warning(s))"
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -219,6 +247,7 @@ def render_json(findings: Sequence[Finding]) -> str:
         {
             "findings": [finding.to_dict() for finding in findings],
             "count": len(findings),
+            "errors": error_count(findings),
         },
         indent=2,
         sort_keys=True,

@@ -1,0 +1,278 @@
+"""RL003 latch-yield hygiene and RC601 version lifetime (MVCC rules).
+
+RL003 (warn) — a generator must not ``yield`` while lexically inside a
+latch or RWLock guard: the consumer decides when the next batch is
+pulled, so the latch is held across an unbounded suspension (the exact
+anti-pattern MVCC snapshots exist to remove — a scan parked on a held
+table latch starves every writer of that table).  Functions decorated
+with ``@contextmanager`` are exempt: their single ``yield`` under the
+guard *is* the guard protocol.  This rule is a warning tier — the
+legacy ``REPRO_MVCC=off`` paths intentionally scan under the table
+latch and must stay representable.
+
+RC601 (error) — copy-on-write version objects have bracketed
+lifetimes, enforced per function body:
+
+- every ``<x>.pin_snapshot()`` result that is bound to a name must be
+  released on all exit paths: the same name must be unpinned inside a
+  ``finally`` block (``snap.unpin(...)``), used as a context manager
+  (``with snap:`` / ``with t.pin_snapshot() as snap:``), or returned
+  to the caller (ownership transfer, e.g. a pin helper);
+- every ``<x>.begin_write(...)`` must have a matching ``end_write()``
+  inside a ``finally`` block, so the clone set a writer opened is
+  always closed out (published or reconciled) even when the statement
+  fails mid-flight — otherwise the next writer would re-clone pages
+  that were never accounted for and the pool would leak dead versions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from .framework import Finding, LintContext, Rule, SourceFile
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_contextmanager(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in func.decorator_list:
+        name = dec.attr if isinstance(dec, ast.Attribute) else (
+            dec.id if isinstance(dec, ast.Name) else None)
+        if name in ("contextmanager", "asynccontextmanager"):
+            return True
+    return False
+
+
+#: ``with``-context method names whose guard must not span a ``yield``.
+#: Kept in sync with ``callgraph.LATCH_METHODS`` plus the legacy RWLock.
+_GUARD_METHODS = frozenset({
+    "read_latch", "write_latch", "ddl_latch", "catalog_latch",
+    "_mvcc_select_guard", "read_lock", "write_lock",
+})
+
+
+def _guard_line(item: ast.withitem) -> int | None:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute) \
+            and expr.func.attr in _GUARD_METHODS:
+        return expr.lineno
+    return None
+
+
+class _YieldScan(ast.NodeVisitor):
+    """Collect yields lexically under a guard, not crossing into nested
+    function definitions."""
+
+    def __init__(self) -> None:
+        self.guard_stack: list[int] = []
+        self.hits: list[tuple[int, int]] = []  # (yield line, guard line)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are scanned on their own terms
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in node.items:
+            line = _guard_line(item)
+            if line is not None:
+                self.guard_stack.append(line)
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.guard_stack.pop()
+
+    visit_With = _visit_with  # type: ignore[assignment]
+    visit_AsyncWith = _visit_with  # type: ignore[assignment]
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if self.guard_stack:
+            self.hits.append((node.lineno, self.guard_stack[-1]))
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if self.guard_stack:
+            self.hits.append((node.lineno, self.guard_stack[-1]))
+
+
+class LatchYieldRule(Rule):
+    code = "RL003"
+    name = "latch-yield"
+    description = (
+        "generators must not yield while a latch or RWLock guard is "
+        "held (the consumer controls how long the suspension lasts); "
+        "@contextmanager functions are exempt"
+    )
+    severity = "warn"
+
+    def check(self, files: Sequence[SourceFile],
+              ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            assert source.tree is not None
+            for func in _iter_functions(source.tree):
+                if _is_contextmanager(func):
+                    continue
+                scan = _YieldScan()
+                for stmt in func.body:
+                    scan.visit(stmt)
+                for yline, gline in scan.hits:
+                    findings.append(Finding(
+                        rule=self.code,
+                        path=source.path,
+                        line=yline,
+                        message=(
+                            f"{func.name} yields while holding the "
+                            f"latch acquired at line {gline}; the "
+                            "guard spans an unbounded consumer-driven "
+                            "suspension (scan a pinned snapshot "
+                            "instead, or materialize before yielding)"
+                        ),
+                    ))
+        return findings
+
+
+class _LifetimeScan:
+    """Per-function bookkeeping for RC601."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.pins: list[tuple[str, int]] = []  # (name, line) of pin assigns
+        self.with_pins: set[str] = set()  # `with x.pin_snapshot() as s`
+        self.ctx_used: set[str] = set()  # `with snap:` style
+        self.finally_unpinned: set[str] = set()
+        self.returned: set[str] = set()
+        self.begin_writes: list[int] = []
+        self.finally_end_writes = 0
+        self._walk(func.body, in_finally=False)
+
+    @staticmethod
+    def _calls_method(expr: ast.expr, method: str) -> bool:
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == method)
+
+    def _contains_pin_call(self, expr: ast.expr) -> bool:
+        return any(
+            self._calls_method(node, "pin_snapshot")
+            for node in ast.walk(expr) if isinstance(node, ast.expr))
+
+    def _scan_expr(self, expr: ast.expr, in_finally: bool) -> None:
+        """Record interesting calls in one expression tree (expressions
+        cannot contain statements, so this never double-counts)."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "begin_write":
+                    self.begin_writes.append(node.lineno)
+                elif node.func.attr == "end_write" and in_finally:
+                    self.finally_end_writes += 1
+                elif node.func.attr == "unpin" and in_finally \
+                        and isinstance(node.func.value, ast.Name):
+                    self.finally_unpinned.add(node.func.value.id)
+
+    def _walk(self, body: Sequence[ast.stmt], in_finally: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested definitions are scanned on their own
+            if isinstance(stmt, ast.Try):
+                self._walk(stmt.body, in_finally)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, in_finally)
+                self._walk(stmt.orelse, in_finally)
+                self._walk(stmt.finalbody, True)
+                continue
+            if isinstance(stmt, ast.Assign) and stmt.value is not None \
+                    and self._contains_pin_call(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.pins.append((target.id, stmt.lineno))
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                # Ownership transfer is only `return snap` (or a tuple
+                # of names) — returning a *derived* value keeps the
+                # pin's lifetime in this function.
+                value = stmt.value
+                elts = value.elts if isinstance(
+                    value, (ast.Tuple, ast.List)) else [value]
+                for elt in elts:
+                    if isinstance(elt, ast.Name):
+                        self.returned.add(elt.id)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    expr = item.context_expr
+                    if self._calls_method(expr, "pin_snapshot"):
+                        if isinstance(item.optional_vars, ast.Name):
+                            self.with_pins.add(item.optional_vars.id)
+                    elif isinstance(expr, ast.Name):
+                        self.ctx_used.add(expr.id)
+            # Direct expressions of this statement, then nested bodies.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, in_finally)
+                elif isinstance(child, ast.stmt):
+                    self._walk([child], in_finally)
+                elif isinstance(child, (ast.excepthandler, ast.match_case,
+                                        ast.withitem)):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.stmt):
+                            self._walk([sub], in_finally)
+                        elif isinstance(sub, ast.expr):
+                            self._scan_expr(sub, in_finally)
+
+
+class VersionLifetimeRule(Rule):
+    code = "RC601"
+    name = "version-lifetime"
+    description = (
+        "pinned snapshots must be unpinned on all exit paths (finally "
+        "or context manager) and begin_write must pair with end_write "
+        "in a finally"
+    )
+    severity = "error"
+
+    def check(self, files: Sequence[SourceFile],
+              ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for source in files:
+            assert source.tree is not None
+            for func in _iter_functions(source.tree):
+                scan = _LifetimeScan(func)
+                for name, line in scan.pins:
+                    if name in scan.finally_unpinned \
+                            or name in scan.ctx_used \
+                            or name in scan.with_pins \
+                            or name in scan.returned:
+                        continue
+                    findings.append(Finding(
+                        rule=self.code,
+                        path=source.path,
+                        line=line,
+                        message=(
+                            f"{func.name} pins a snapshot into "
+                            f"{name!r} but never unpins it on all "
+                            "exit paths (call unpin in a finally, use "
+                            "it as a context manager, or return it)"
+                        ),
+                    ))
+                if scan.begin_writes and not scan.finally_end_writes:
+                    findings.append(Finding(
+                        rule=self.code,
+                        path=source.path,
+                        line=scan.begin_writes[0],
+                        message=(
+                            f"{func.name} calls begin_write without "
+                            "an end_write in a finally block; the "
+                            "writer's clone set must be closed out "
+                            "even when the statement fails"
+                        ),
+                    ))
+        return findings

@@ -23,10 +23,42 @@ from .bufferpool import BufferPool
 from .constants import PAGE_INDEX
 from .page import Page, PageFile, PageFullError
 
-__all__ = ["BTree", "DuplicateKeyError"]
+__all__ = ["BTree", "BTreeReader", "DuplicateKeyError"]
 
 _KEY_STRUCT = struct.Struct("<q")
 _CHILD_STRUCT = struct.Struct("<qi")
+
+
+def _descend_slot(page: Page, key: int) -> int:
+    """Child slot to follow in an internal page: the rightmost record
+    whose separator key is <= ``key`` (slot 0 if none)."""
+    lo, hi = 0, page.slot_count - 1
+    best = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        sep, _child = _child_fields(page.get_record(mid))
+        if sep <= key:
+            best = mid
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def _leaf_slot(page: Page, key: int) -> tuple[int, bool]:
+    """Binary search a leaf: ``(slot, found)`` where slot is the
+    insertion position when not found."""
+    lo, hi = 0, page.slot_count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        k = _leaf_key(page.get_record(mid))
+        if k < key:
+            lo = mid + 1
+        elif k > key:
+            hi = mid
+        else:
+            return mid, True
+    return lo, False
 
 
 class DuplicateKeyError(Exception):
@@ -72,6 +104,47 @@ class BTree:
         self._root_id = root.page_id
         self._height = 1
         self._count = 0
+        # Copy-on-write state: while a version is open via
+        # :meth:`begin_write`, every page obtained through :meth:`_wget`
+        # is cloned at that version before mutation and the superseded
+        # page ids are logged for retirement bookkeeping.
+        self._wv: int | None = None
+        self._cow: set[int] = set()
+
+    # -- copy-on-write plumbing (MVCC) ---------------------------------------
+
+    def begin_write(self, version: int) -> None:
+        """Open a copy-on-write scope: until :meth:`end_write`, pages
+        touched by mutators are cloned at ``version`` (stable ids, new
+        ``pv``) so concurrent readers pinned at older versions keep
+        resolving the superseded pages."""
+        self._wv = version
+        self._cow = set()
+
+    def end_write(self) -> set[int]:
+        """Close the copy-on-write scope; returns the page ids that
+        gained a history entry during it (the owning table tracks them
+        for version retirement)."""
+        pids, self._cow = self._cow, set()
+        self._wv = None
+        return pids
+
+    def _wget(self, page_id: int) -> Page:
+        """A page for mutation: the current page outside a write scope
+        (the legacy in-place path), its version-``_wv`` clone inside
+        one."""
+        if self._wv is None:
+            return self._pagefile.get(page_id)
+        page, cloned = self._pagefile.get_for_write(page_id, self._wv)
+        if cloned:
+            self._cow.add(page_id)
+        return page
+
+    def _alloc(self, kind: int, level: int = 0) -> Page:
+        """Allocate a page stamped with the open write version (0
+        outside a write scope — the legacy behaviour)."""
+        return self._pagefile.allocate(kind, level, tag=self._tag,
+                                       pv=self._wv or 0)
 
     # -- introspection ------------------------------------------------------
 
@@ -119,43 +192,19 @@ class BTree:
     # -- search ------------------------------------------------------------
 
     def _descend_slot(self, page: Page, key: int) -> int:
-        """Child slot to follow in an internal page: the rightmost record
-        whose separator key is <= ``key`` (slot 0 if none)."""
-        lo, hi = 0, page.slot_count - 1
-        best = 0
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            sep, _child = _child_fields(page.get_record(mid))
-            if sep <= key:
-                best = mid
-                lo = mid + 1
-            else:
-                hi = mid - 1
-        return best
+        return _descend_slot(page, key)
 
     def _find_leaf(self, key: int, pool: BufferPool | None) -> Page:
         get = pool.fetch if pool is not None else self._pagefile.get
         page = get(self._root_id)
         while page.level > 0:
-            slot = self._descend_slot(page, key)
+            slot = _descend_slot(page, key)
             _sep, child = _child_fields(page.get_record(slot))
             page = get(child)
         return page
 
     def _leaf_slot(self, page: Page, key: int) -> tuple[int, bool]:
-        """Binary search a leaf: ``(slot, found)`` where slot is the
-        insertion position when not found."""
-        lo, hi = 0, page.slot_count
-        while lo < hi:
-            mid = (lo + hi) // 2
-            k = _leaf_key(page.get_record(mid))
-            if k < key:
-                lo = mid + 1
-            elif k > key:
-                hi = mid
-            else:
-                return mid, True
-        return lo, False
+        return _leaf_slot(page, key)
 
     def search(self, key: int, pool: BufferPool | None = None
                ) -> bytes | None:
@@ -164,7 +213,7 @@ class BTree:
         Pass a buffer pool to have the traversal's page touches counted.
         """
         leaf = self._find_leaf(key, pool)
-        slot, found = self._leaf_slot(leaf, key)
+        slot, found = _leaf_slot(leaf, key)
         if not found:
             return None
         return _leaf_payload(leaf.get_record(slot))
@@ -186,7 +235,7 @@ class BTree:
             slot = 0
         else:
             page = self._find_leaf(start, pool)
-            slot, _found = self._leaf_slot(page, start)
+            slot, _found = _leaf_slot(page, start)
         while True:
             while slot < page.slot_count:
                 record = page.get_record(slot)
@@ -274,7 +323,7 @@ class BTree:
         """
         if self._count != 0:
             raise ValueError("bulk_load requires an empty tree")
-        page = self._pagefile.get(self._root_id)
+        page = self._wget(self._root_id)
         if page.level != 0 or page.slot_count != 0:
             raise ValueError("bulk_load requires an empty tree")
         nodes: list[tuple[int, int]] = []  # (first_key, page_id)
@@ -290,8 +339,7 @@ class BTree:
                 page.add_record(record)
             except PageFullError:
                 nodes.append((_leaf_key(page.get_record(0)), page.page_id))
-                new_page = self._pagefile.allocate(
-                    self._leaf_kind, level=0, tag=self._tag)
+                new_page = self._alloc(self._leaf_kind, level=0)
                 new_page.prev_page = page.page_id
                 page.next_page = new_page.page_id
                 page = new_page
@@ -305,8 +353,7 @@ class BTree:
         while len(nodes) > 1:
             level += 1
             parents: list[tuple[int, int]] = []
-            parent = self._pagefile.allocate(PAGE_INDEX, level=level,
-                                             tag=self._tag)
+            parent = self._alloc(PAGE_INDEX, level=level)
             parent_first = nodes[0][0]
             for key, child in nodes:
                 record = _child_record(key, child)
@@ -314,8 +361,7 @@ class BTree:
                     parent.add_record(record)
                 except PageFullError:
                     parents.append((parent_first, parent.page_id))
-                    parent = self._pagefile.allocate(
-                        PAGE_INDEX, level=level, tag=self._tag)
+                    parent = self._alloc(PAGE_INDEX, level=level)
                     parent_first = key
                     parent.add_record(record)
             parents.append((parent_first, parent.page_id))
@@ -331,13 +377,12 @@ class BTree:
         Raises:
             DuplicateKeyError: if ``key`` is already present.
         """
-        split = self._insert_into(self._pagefile.get(self._root_id),
+        split = self._insert_into(self._wget(self._root_id),
                                   key, payload)
         if split is not None:
             sep_key, new_page_id = split
             old_root = self._pagefile.get(self._root_id)
-            new_root = self._pagefile.allocate(
-                PAGE_INDEX, level=old_root.level + 1, tag=self._tag)
+            new_root = self._alloc(PAGE_INDEX, level=old_root.level + 1)
             first_key = self._smallest_key(old_root)
             new_root.add_record(_child_record(first_key, old_root.page_id))
             new_root.add_record(_child_record(sep_key, new_page_id))
@@ -356,7 +401,7 @@ class BTree:
         """Recursive insert; returns ``(separator, new_page_id)`` when
         this page split, else ``None``."""
         if page.level == 0:
-            slot, found = self._leaf_slot(page, key)
+            slot, found = _leaf_slot(page, key)
             if found:
                 raise DuplicateKeyError(f"key {key} already exists")
             record = _leaf_record(key, payload)
@@ -366,9 +411,9 @@ class BTree:
             except PageFullError:
                 return self._split_leaf(page, slot, record)
 
-        slot = self._descend_slot(page, key)
+        slot = _descend_slot(page, key)
         _sep, child_id = _child_fields(page.get_record(slot))
-        split = self._insert_into(self._pagefile.get(child_id), key, payload)
+        split = self._insert_into(self._wget(child_id), key, payload)
         if split is None:
             return None
         sep_key, new_child = split
@@ -390,8 +435,7 @@ class BTree:
         mid = (len(records) - 1 if slot == len(records) - 1
                else len(records) // 2)
         left, right = records[:mid], records[mid:]
-        new_page = self._pagefile.allocate(self._leaf_kind, level=0,
-                                           tag=self._tag)
+        new_page = self._alloc(self._leaf_kind, level=0)
         for r in left:
             page.add_record(r)
         for r in right:
@@ -399,7 +443,9 @@ class BTree:
         new_page.next_page = page.next_page
         new_page.prev_page = page.page_id
         if page.next_page >= 0:
-            self._pagefile.get(page.next_page).prev_page = new_page.page_id
+            # The right neighbour's back link changes too, so it is
+            # cloned as well under copy-on-write.
+            self._wget(page.next_page).prev_page = new_page.page_id
         page.next_page = new_page.page_id
         return _leaf_key(right[0]), new_page.page_id
 
@@ -412,13 +458,13 @@ class BTree:
         so scans stay correct.
         """
         path: list[tuple[Page, int]] = []  # (internal page, child slot)
-        page = self._pagefile.get(self._root_id)
+        page = self._wget(self._root_id)
         while page.level > 0:
-            slot = self._descend_slot(page, key)
+            slot = _descend_slot(page, key)
             path.append((page, slot))
             _sep, child = _child_fields(page.get_record(slot))
-            page = self._pagefile.get(child)
-        slot, found = self._leaf_slot(page, key)
+            page = self._wget(child)
+        slot, found = _leaf_slot(page, key)
         if not found:
             return False
         page.delete_record(slot)
@@ -431,9 +477,9 @@ class BTree:
                      path: list[tuple[Page, int]]) -> None:
         """Remove an empty leaf from the sibling chain and the tree."""
         if leaf.prev_page >= 0:
-            self._pagefile.get(leaf.prev_page).next_page = leaf.next_page
+            self._wget(leaf.prev_page).next_page = leaf.next_page
         if leaf.next_page >= 0:
-            self._pagefile.get(leaf.next_page).prev_page = leaf.prev_page
+            self._wget(leaf.next_page).prev_page = leaf.prev_page
         leaf.prev_page = leaf.next_page = -1
         # Remove the parent entries bottom-up while pages empty out.
         for parent, slot in reversed(path):
@@ -442,8 +488,7 @@ class BTree:
                 return
         # The root itself ran out of children: collapse to a fresh
         # empty leaf-rooted tree.
-        root = self._pagefile.allocate(self._leaf_kind, level=0,
-                                       tag=self._tag)
+        root = self._alloc(self._leaf_kind, level=0)
         self._root_id = root.page_id
         self._height = 1
 
@@ -454,8 +499,8 @@ class BTree:
         If the new record does not fit the page, it is deleted and
         re-inserted (a row-forwarding rewrite).
         """
-        leaf = self._find_leaf(key, None)
-        slot, found = self._leaf_slot(leaf, key)
+        leaf = self._wget(self._find_leaf(key, None).page_id)
+        slot, found = _leaf_slot(leaf, key)
         if not found:
             return False
         record = _leaf_record(key, payload)
@@ -474,11 +519,160 @@ class BTree:
         mid = (len(records) - 1 if slot == len(records) - 1
                else len(records) // 2)
         left, right = records[:mid], records[mid:]
-        new_page = self._pagefile.allocate(PAGE_INDEX, level=page.level,
-                                           tag=self._tag)
+        new_page = self._alloc(PAGE_INDEX, level=page.level)
         for r in left:
             page.add_record(r)
         for r in right:
             new_page.add_record(r)
         sep_key = _child_fields(right[0])[0]
         return sep_key, new_page.page_id
+
+
+class BTreeReader:
+    """Latch-free read view of a B+tree frozen at one table version.
+
+    Constructed from a pinned snapshot's ``(version, root_id, height,
+    count)``; every page is resolved against that version — the current
+    page when old enough, else the copy-on-write history
+    (:meth:`PageFile.resolve`) — and charged to the pool under the
+    version-aware cache key (:meth:`BufferPool.fetch_page`).  Because
+    copy-on-write keeps superseded pages reachable while the version is
+    pinned, no latch is needed for the traversal: a concurrent writer
+    mutates clones, never the pages this view resolves.
+
+    Mirrors the read API of :class:`BTree` (``search``/``scan``/
+    ``leaf_page_ids``/``charge_scan_descent``/``scan_leaf_batches``) so
+    the executor's scan and point paths take either interchangeably.
+    """
+
+    def __init__(self, pagefile: PageFile, version: int, root_id: int,
+                 height: int, count: int):
+        self._pagefile = pagefile
+        self.version = version
+        self._root_id = root_id
+        self._height = height
+        self._count = count
+
+    @property
+    def root_page_id(self) -> int:
+        return self._root_id
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _get(self, page_id: int) -> Page:
+        return self._pagefile.resolve(page_id, self.version)
+
+    def _getter(self, pool: BufferPool | None):
+        if pool is None:
+            return self._get
+        resolve = self._pagefile.resolve
+        version = self.version
+        fetch_page = pool.fetch_page
+        return lambda pid: fetch_page(resolve(pid, version))
+
+    def _find_leaf(self, key: int, pool: BufferPool | None) -> Page:
+        get = self._getter(pool)
+        page = get(self._root_id)
+        while page.level > 0:
+            slot = _descend_slot(page, key)
+            _sep, child = _child_fields(page.get_record(slot))
+            page = get(child)
+        return page
+
+    def search(self, key: int, pool: BufferPool | None = None
+               ) -> bytes | None:
+        """Point lookup at the pinned version; see :meth:`BTree.search`."""
+        leaf = self._find_leaf(key, pool)
+        slot, found = _leaf_slot(leaf, key)
+        if not found:
+            return None
+        return _leaf_payload(leaf.get_record(slot))
+
+    def scan(self, pool: BufferPool | None = None,
+             start: int | None = None, stop: int | None = None
+             ) -> Iterator[tuple[int, bytes]]:
+        """Ordered scan at the pinned version; page touches are charged
+        exactly as :meth:`BTree.scan` charges them."""
+        get = self._getter(pool)
+        if start is None:
+            page = get(self._root_id)
+            while page.level > 0:
+                _sep, child = _child_fields(page.get_record(0))
+                page = get(child)
+            slot = 0
+        else:
+            page = self._find_leaf(start, pool)
+            slot, _found = _leaf_slot(page, start)
+        while True:
+            while slot < page.slot_count:
+                record = page.get_record(slot)
+                key = _leaf_key(record)
+                if stop is not None and key >= stop:
+                    return
+                yield key, _leaf_payload(record)
+                slot += 1
+            if page.next_page < 0:
+                return
+            page = get(page.next_page)
+            slot = 0
+
+    def leaf_page_ids(self) -> list[int]:
+        """Leaf page ids in key order, as of the pinned version."""
+        page = self._get(self._root_id)
+        while page.level > 0:
+            first_child = _child_fields(page.get_record(0))[1]
+            page = self._get(first_child)
+        ids = []
+        while page is not None:
+            ids.append(page.page_id)
+            page = (self._get(page.next_page)
+                    if page.next_page >= 0 else None)
+        return ids
+
+    def charge_scan_descent(self, pool: BufferPool) -> list[int]:
+        """Charge the root-to-first-leaf descent; see
+        :meth:`BTree.charge_scan_descent`."""
+        touched = []
+        page = pool.fetch_page(self._get(self._root_id))
+        touched.append(page.page_id)
+        while page.level > 0:
+            _sep, child = _child_fields(page.get_record(0))
+            page = pool.fetch_page(self._get(child))
+            touched.append(page.page_id)
+        return touched
+
+    def scan_leaf_batches(self, pool: BufferPool | None = None,
+                          start: int | None = None,
+                          batch_pages: int = 64) -> Iterator[list[Page]]:
+        """Yield runs of up to ``batch_pages`` leaf pages at the pinned
+        version, charging exactly as :meth:`BTree.scan_leaf_batches`
+        does (descent page by page, leaves after the first of each run
+        through one batched pool charge)."""
+        get = self._getter(pool)
+        if start is None:
+            page = get(self._root_id)
+            while page.level > 0:
+                _sep, child = _child_fields(page.get_record(0))
+                page = get(child)
+        else:
+            page = self._find_leaf(start, pool)
+        while True:
+            batch = [page]
+            tail = page
+            while len(batch) < batch_pages and tail.next_page >= 0:
+                # Peek the sibling link version-resolved; the pool
+                # charge for the whole run lands in fetch_pages below.
+                tail = self._get(tail.next_page)
+                batch.append(tail)
+            if pool is not None and len(batch) > 1:
+                pool.fetch_pages(batch[1:])
+            yield batch
+            if tail.next_page < 0:
+                return
+            page = get(tail.next_page)

@@ -65,13 +65,22 @@ class IoCounters:
 class _ThreadIoState:
     """One thread's private IO accounting: its own counters plus the
     page id of its own previous physical read (per-stream sequential
-    classification)."""
+    classification).
 
-    __slots__ = ("counters", "last_physical", "__weakref__")
+    ``cold_seen`` is the thread's *cold view* (see
+    :meth:`BufferPool.begin_cold_view`): while set, the thread's first
+    touch of every key is charged as a physical read — in both scopes —
+    without evicting the shared cache, so a cold query's counters come
+    out exactly as a serial cold run's while concurrent queries keep
+    their warm hits.
+    """
+
+    __slots__ = ("counters", "last_physical", "cold_seen", "__weakref__")
 
     def __init__(self):
         self.counters = IoCounters()
         self.last_physical: int | None = None
+        self.cold_seen: set | None = None
 
 
 class BufferPool:
@@ -176,12 +185,26 @@ class BufferPool:
     def cached_pages(self) -> int:
         return len(self._cached)
 
-    def _record_access(self, page_id: int, mine: "_ThreadIoState") -> None:
-        """Account one page access.  Caller must hold the lock."""
+    @staticmethod
+    def _key_for(page: Page):
+        """Cache key of a page object: plain id for never-versioned
+        pages (bit-for-bit the legacy key), ``(id, pv)`` for pages a
+        copy-on-write writer has stamped — distinct versions of one
+        page id are distinct cache residents."""
+        return page.page_id if page.pv == 0 else (page.page_id, page.pv)
+
+    def _record_access(self, key, page_id: int,
+                       mine: "_ThreadIoState") -> None:
+        """Account one access to cache key ``key`` (classification uses
+        ``page_id``).  Caller must hold the lock."""
         self.counters.logical_reads += 1
         mine.counters.logical_reads += 1
-        if page_id in self._cached:
-            self._cached.move_to_end(page_id)
+        cold = mine.cold_seen
+        forced_miss = cold is not None and key not in cold
+        if forced_miss:
+            cold.add(key)
+        if key in self._cached and not forced_miss:
+            self._cached.move_to_end(key)
         else:
             self.counters.physical_reads += 1
             mine.counters.physical_reads += 1
@@ -204,7 +227,8 @@ class BufferPool:
             mine.last_physical = page_id
             if self._physical_log is not None:
                 self._physical_log.append(page_id)
-            self._cached[page_id] = None
+            self._cached[key] = None
+            self._cached.move_to_end(key)
             if self._capacity is not None and \
                     len(self._cached) > self._capacity:
                 self._cached.popitem(last=False)
@@ -218,7 +242,7 @@ class BufferPool:
         """
         mine = self._thread_state()
         with self._lock:
-            self._record_access(page_id, mine)
+            self._record_access(page_id, page_id, mine)
         return self._pagefile.get(page_id)
 
     def fetch_many(self, page_ids) -> list[Page]:
@@ -235,9 +259,69 @@ class BufferPool:
         page_ids = list(page_ids)
         with self._lock:
             for page_id in page_ids:
-                self._record_access(page_id, mine)
+                self._record_access(page_id, page_id, mine)
         get = self._pagefile.get
         return [get(page_id) for page_id in page_ids]
+
+    def fetch_page(self, page: Page) -> Page:
+        """Charge one access to an already-resolved page object.
+
+        The MVCC read path resolves pages against a pinned version
+        *before* charging (``PageFile.resolve``), so the pool cannot
+        look them up by id; it charges the resolved object under its
+        version-aware cache key instead.
+        """
+        mine = self._thread_state()
+        with self._lock:
+            self._record_access(self._key_for(page), page.page_id, mine)
+        return page
+
+    def fetch_pages(self, pages) -> list[Page]:
+        """Charge a run of resolved page objects under one lock
+        acquisition — :meth:`fetch_many` for the MVCC read path."""
+        pages = list(pages)
+        mine = self._thread_state()
+        with self._lock:
+            for page in pages:
+                self._record_access(self._key_for(page), page.page_id,
+                                    mine)
+        return pages
+
+    # -- cold views (MVCC cold queries) ---------------------------------------
+
+    def begin_cold_view(self) -> None:
+        """Enter a per-thread cold view: until :meth:`end_cold_view`,
+        the calling thread's first touch of every cache key is charged
+        as a physical read (in both counter scopes, entering the
+        physical log) *without* evicting the shared cache.
+
+        This replaces :meth:`clear` for MVCC cold queries: the thread's
+        own counters come out exactly as a serial post-clear run's —
+        same misses, same sequential/random classification against the
+        reset stream position — while concurrent warm queries keep
+        their hits instead of eating the re-fetch charge (the wart the
+        :meth:`clear` docstring describes).
+        """
+        mine = self._thread_state()
+        with self._lock:
+            mine.cold_seen = set()
+            mine.last_physical = None
+            self._last_physical = None
+
+    def end_cold_view(self) -> None:
+        """Leave the cold view; subsequent accesses are charged
+        normally against the real cache."""
+        mine = self._thread_state()
+        with self._lock:
+            mine.cold_seen = None
+
+    def discard_keys(self, keys) -> None:
+        """Evict specific cache keys — version retirement drops the
+        ``(page_id, pv)`` residents of dead page versions so the cache
+        never leaks retired versions."""
+        with self._lock:
+            for key in keys:
+                self._cached.pop(key, None)
 
     def clear(self) -> None:
         """Drop every cached page — the paper's explicit cache clear

@@ -26,6 +26,7 @@ import os
 import pickle
 import threading
 import time
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 import numpy as np
@@ -34,7 +35,7 @@ from . import vectorized
 from .blob import BlobStore
 from .bufferpool import BufferPool
 from .costmodel import PAPER_HARDWARE, CostModel
-from .latches import LatchManager
+from .latches import MVCC_MODES, LatchManager, mvcc_from_env
 from .locks import RWLock
 from .metrics import QueryMetrics
 from .page import PageFile
@@ -77,6 +78,10 @@ class Database:
         latch_mode: ``"table"`` (per-table latches, the default) or
             ``"coarse"`` (one statement-granularity RWLock); ``None``
             reads ``REPRO_LATCH``.
+        mvcc_mode: ``"on"`` (copy-on-write page versions: readers pin
+            frozen snapshots and scan them latch-free, the default) or
+            ``"off"`` (latch-per-scan, bit-for-bit the pre-MVCC
+            behaviour); ``None`` reads ``REPRO_MVCC``.
     """
 
     #: True on databases opened as read-only snapshots (parallel
@@ -84,7 +89,15 @@ class Database:
     read_only = False
 
     def __init__(self, buffer_pages: int | None = None,
-                 latch_mode: str | None = None):
+                 latch_mode: str | None = None,
+                 mvcc_mode: str | None = None):
+        if mvcc_mode is None:
+            mvcc_mode = mvcc_from_env()
+        if mvcc_mode not in MVCC_MODES:
+            raise ValueError(
+                f"mvcc mode must be one of {MVCC_MODES}, "
+                f"got {mvcc_mode!r}")
+        self.mvcc = mvcc_mode == "on"
         self.pagefile = PageFile()
         self.blob_store = BlobStore(self.pagefile)
         self.pool = BufferPool(self.pagefile, buffer_pages)
@@ -112,6 +125,8 @@ class Database:
         self.lock = RWLock()
         self.latches = LatchManager(self.lock, self._table_names)
         self._catalog_lock = threading.Lock()
+        for table in self.tables.values():
+            table._pool_ref = self.pool
 
     @property
     def write_version(self) -> int:
@@ -171,7 +186,9 @@ class Database:
         with self._catalog_lock:
             if name in self.tables:
                 raise ValueError(f"table {name!r} already exists")
-            table = Table(name, columns, self.pagefile, self.blob_store)
+            table = Table(name, columns, self.pagefile, self.blob_store,
+                          mvcc=self.mvcc)
+            table._pool_ref = self.pool
             self.tables[name] = table
             return table
 
@@ -777,6 +794,37 @@ class Executor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         return workers
 
+    @contextmanager
+    def _read_view(self, table: Table, cold: bool, pin: bool = True):
+        """Statement-scoped read view over one table.
+
+        Under MVCC the statement reads a pinned frozen snapshot of the
+        table (``pin=False`` keeps the live table — the index-seek
+        path, whose secondary indexes are not versioned and run under
+        the session's table latch), and a ``cold`` statement gets a
+        *private* cold view of the buffer pool instead of clearing it
+        for everybody — so per-query IO counters are independent under
+        concurrency and a cold scan no longer makes its neighbours
+        re-fetch and eat the charge.  Without MVCC this is the legacy
+        behaviour: ``cold`` clears the shared pool.
+        """
+        pool = self.db.pool
+        if not getattr(table, "mvcc", False):
+            if cold:
+                pool.clear()
+            yield table
+            return
+        snap = table.pin_snapshot() if pin else None
+        if cold:
+            pool.begin_cold_view()
+        try:
+            yield snap if snap is not None else table
+        finally:
+            if cold:
+                pool.end_cold_view()
+            if snap is not None:
+                snap.unpin(pool)
+
     def _parallel_metrics(self, res, label: str, decode_cost: float,
                           step_cost: float, extra_cpu: float
                           ) -> QueryMetrics:
@@ -859,36 +907,35 @@ class Executor:
                 return result, self._parallel_metrics(
                     res, label, decode_cost, step_cost, 0.0)
 
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
+        with self._read_view(table, cold) as view:
+            before = pool.snapshot_thread_counters()
 
-        if engine == "vector":
-            ctx = vectorized.BatchContext(table, pool)
-            started = time.perf_counter()
-            groups, rows, payload_bytes = vectorized.scan_grouped(
-                table, pool, group_expr, aggregates, where, ctx)
-            wall = time.perf_counter() - started
-        else:
-            ctx = _RowContext(table, pool)
-            groups = {}
-            rows = 0
-            payload_bytes = 0
-            started = time.perf_counter()
-            for key, payload in table.tree.scan(pool):
-                rows += 1
-                payload_bytes += len(payload)
-                ctx.row = table.decode(key, payload)
-                if where is not None and not where.eval(ctx):
-                    continue
-                group = group_expr.eval(ctx)
-                states = groups.get(group)
-                if states is None:
-                    states = [a.start() for a in aggregates]
-                    groups[group] = states
-                for i, agg in enumerate(aggregates):
-                    states[i] = agg.step(states[i], ctx)
-            wall = time.perf_counter() - started
+            if engine == "vector":
+                ctx = vectorized.BatchContext(view, pool)
+                started = time.perf_counter()
+                groups, rows, payload_bytes = vectorized.scan_grouped(
+                    view, pool, group_expr, aggregates, where, ctx)
+                wall = time.perf_counter() - started
+            else:
+                ctx = _RowContext(view, pool)
+                groups = {}
+                rows = 0
+                payload_bytes = 0
+                started = time.perf_counter()
+                for key, payload in view.tree.scan(pool):
+                    rows += 1
+                    payload_bytes += len(payload)
+                    ctx.row = view.decode(key, payload)
+                    if where is not None and not where.eval(ctx):
+                        continue
+                    group = group_expr.eval(ctx)
+                    states = groups.get(group)
+                    if states is None:
+                        states = [a.start() for a in aggregates]
+                        groups[group] = states
+                    for i, agg in enumerate(aggregates):
+                        states[i] = agg.step(states[i], ctx)
+                wall = time.perf_counter() - started
 
         result = [
             (group, *(a.finish(s, rows)
@@ -942,26 +989,25 @@ class Executor:
             raise ValueError(f"no index on column {column!r}")
         model = self.model
         pool = self.db.pool
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
-        ctx = _RowContext(table, pool)
-        states = [a.start() for a in aggregates]
-        rows = 0
-        started = time.perf_counter()
-        if equals is not None:
-            pks = index.seek(equals, pool)
-        else:
-            pks = index.range(lo, hi, pool)
-        for pk in pks:
-            payload = table.tree.search(pk, pool)
-            if payload is None:
-                continue
-            rows += 1
-            ctx.row = table.decode(pk, payload)
-            for i, agg in enumerate(aggregates):
-                states[i] = agg.step(states[i], ctx)
-        wall = time.perf_counter() - started
+        with self._read_view(table, cold, pin=False):
+            before = pool.snapshot_thread_counters()
+            ctx = _RowContext(table, pool)
+            states = [a.start() for a in aggregates]
+            rows = 0
+            started = time.perf_counter()
+            if equals is not None:
+                pks = index.seek(equals, pool)
+            else:
+                pks = index.range(lo, hi, pool)
+            for pk in pks:
+                payload = table.tree.search(pk, pool)
+                if payload is None:
+                    continue
+                rows += 1
+                ctx.row = table.decode(pk, payload)
+                for i, agg in enumerate(aggregates):
+                    states[i] = agg.step(states[i], ctx)
+            wall = time.perf_counter() - started
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
@@ -1006,20 +1052,19 @@ class Executor:
         self._resolve_engine(engine)
         model = self.model
         pool = self.db.pool
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
-        ctx = _RowContext(table, pool)
-        states = [a.start() for a in aggregates]
-        rows = 0
-        started = time.perf_counter()
-        payload = table.tree.search(int(key), pool)
-        if payload is not None:
-            rows = 1
-            ctx.row = table.decode(int(key), payload)
-            for i, agg in enumerate(aggregates):
-                states[i] = agg.step(states[i], ctx)
-        wall = time.perf_counter() - started
+        with self._read_view(table, cold) as view:
+            before = pool.snapshot_thread_counters()
+            ctx = _RowContext(view, pool)
+            states = [a.start() for a in aggregates]
+            rows = 0
+            started = time.perf_counter()
+            payload = view.tree.search(int(key), pool)
+            if payload is not None:
+                rows = 1
+                ctx.row = view.decode(int(key), payload)
+                for i, agg in enumerate(aggregates):
+                    states[i] = agg.step(states[i], ctx)
+            wall = time.perf_counter() - started
         values = tuple(a.finish(s, rows)
                        for a, s in zip(aggregates, states))
 
@@ -1110,31 +1155,30 @@ class Executor:
                 return values, self._parallel_metrics(
                     res, label, decode_cost, step_cost, res.extra_cpu)
 
-        if cold:
-            pool.clear()
-        before = pool.snapshot_thread_counters()
+        with self._read_view(table, cold) as view:
+            before = pool.snapshot_thread_counters()
 
-        if engine == "vector":
-            ctx = vectorized.BatchContext(table, pool)
-            started = time.perf_counter()
-            states, rows, payload_bytes = vectorized.scan_aggregate(
-                table, pool, aggregates, where, ctx)
-            wall = time.perf_counter() - started
-        else:
-            ctx = _RowContext(table, pool)
-            states = [a.start() for a in aggregates]
-            rows = 0
-            payload_bytes = 0
-            started = time.perf_counter()
-            for key, payload in table.tree.scan(pool):
-                rows += 1
-                payload_bytes += len(payload)
-                ctx.row = table.decode(key, payload)
-                if where is not None and not where.eval(ctx):
-                    continue
-                for i, agg in enumerate(aggregates):
-                    states[i] = agg.step(states[i], ctx)
-            wall = time.perf_counter() - started
+            if engine == "vector":
+                ctx = vectorized.BatchContext(view, pool)
+                started = time.perf_counter()
+                states, rows, payload_bytes = vectorized.scan_aggregate(
+                    view, pool, aggregates, where, ctx)
+                wall = time.perf_counter() - started
+            else:
+                ctx = _RowContext(view, pool)
+                states = [a.start() for a in aggregates]
+                rows = 0
+                payload_bytes = 0
+                started = time.perf_counter()
+                for key, payload in view.tree.scan(pool):
+                    rows += 1
+                    payload_bytes += len(payload)
+                    ctx.row = view.decode(key, payload)
+                    if where is not None and not where.eval(ctx):
+                        continue
+                    for i, agg in enumerate(aggregates):
+                        states[i] = agg.step(states[i], ctx)
+                wall = time.perf_counter() - started
 
         values = tuple(a.finish(s, rows) for a, s in zip(aggregates, states))
 

@@ -42,17 +42,29 @@ from typing import Callable, Iterable, Iterator
 
 from .locks import RWLock
 
-__all__ = ["LatchManager", "LATCH_MODES"]
+__all__ = ["LatchManager", "LATCH_MODES", "MVCC_MODES",
+           "mvcc_from_env"]
 
 #: Recognized latch modes: ``"table"`` (per-table latches, the default)
 #: and ``"coarse"`` (the legacy single statement-granularity RWLock).
 LATCH_MODES = ("table", "coarse")
+
+#: Recognized MVCC modes: ``"on"`` (copy-on-write page versions, the
+#: default) and ``"off"`` (latch-per-scan, bit-for-bit the pre-MVCC
+#: behaviour).
+MVCC_MODES = ("on", "off")
 
 
 def _mode_from_env() -> str:
     """Latch mode from ``REPRO_LATCH``; unknown values mean ``table``."""
     value = os.environ.get("REPRO_LATCH", "").strip().lower()
     return value if value in LATCH_MODES else "table"
+
+
+def mvcc_from_env() -> str:
+    """MVCC mode from ``REPRO_MVCC``; unknown values mean ``on``."""
+    value = os.environ.get("REPRO_MVCC", "").strip().lower()
+    return value if value in MVCC_MODES else "on"
 
 
 class LatchManager:
@@ -171,6 +183,27 @@ class LatchManager:
         finally:
             for latch in reversed(held):
                 latch.release_write()
+            self._catalog.release_read()
+
+    @contextmanager
+    def catalog_latch(self) -> Iterator["LatchManager"]:
+        """Shared catalog access and *no* table latch — the guard an
+        MVCC reader takes: it only needs the table set stable while it
+        pins its snapshots; the snapshots themselves are scanned
+        latch-free.  In ``coarse`` mode this is the database read lock
+        (coarse mode has no finer guard to offer).
+        """
+        if self.mode == "coarse":
+            self._db_lock.acquire_read()
+            try:
+                yield self
+            finally:
+                self._db_lock.release_read()
+            return
+        self._catalog.acquire_read()
+        try:
+            yield self
+        finally:
             self._catalog.release_read()
 
     @contextmanager

@@ -45,19 +45,35 @@ class Page:
         level: B-tree level (0 for leaves and plain data pages).
         prev_page / next_page: Sibling links for leaf-level scans
             (-1 when absent).
+        pv: Table version that created this page object (0 for pages
+            never touched by an MVCC writer).  The page *id* is stable
+            across versions — copy-on-write clones keep the id and bump
+            only ``pv`` — so sibling and parent links never need
+            cross-page rewrites when a page is versioned.
     """
 
     __slots__ = ("page_id", "kind", "level", "prev_page", "next_page",
-                 "_body", "_slots")
+                 "pv", "_body", "_slots")
 
-    def __init__(self, page_id: int, kind: int, level: int = 0):
+    def __init__(self, page_id: int, kind: int, level: int = 0,
+                 pv: int = 0):
         self.page_id = page_id
         self.kind = kind
         self.level = level
         self.prev_page = -1
         self.next_page = -1
+        self.pv = pv
         self._body = bytearray()
         self._slots: list[tuple[int, int]] = []  # (offset, length)
+
+    def clone(self, pv: int) -> "Page":
+        """Copy-on-write twin: same id and content, new version stamp."""
+        twin = Page(self.page_id, self.kind, self.level, pv=pv)
+        twin.prev_page = self.prev_page
+        twin.next_page = self.next_page
+        twin._body = bytearray(self._body)
+        twin._slots = list(self._slots)
+        return twin
 
     # -- capacity ---------------------------------------------------------
 
@@ -177,6 +193,13 @@ class PageFile:
     def __init__(self):
         self._pages: list[Page | None] = []
         self._extents: dict[str | None, list[int]] = {}
+        # Superseded page versions, keyed by page id, ascending ``pv``.
+        # Written only by MVCC writers (under their table's exclusive
+        # mutate step) and pruned by version retirement; readers resolve
+        # against it without any lock — every update replaces the list
+        # object wholesale, so a racing reader holding an old list still
+        # sees a consistent chain.
+        self._history: dict[int, list[Page]] = {}
         # Leaf mutex: extent bookkeeping is shared across tables (and
         # all tables' blobs share one allocation tag), so overlapping
         # writers — legal under per-table latches — must serialize
@@ -186,6 +209,10 @@ class PageFile:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_lock"] = None
+        # Snapshots ship only the committed current pages; version
+        # history is a live-process structure (pins die with the
+        # process, so a worker could never resolve into it anyway).
+        state["_history"] = {}
         return state
 
     def __setstate__(self, state):
@@ -206,7 +233,7 @@ class PageFile:
         return len(self._pages) * PAGE_SIZE
 
     def allocate(self, kind: int, level: int = 0,
-                 tag: str | None = None) -> Page:
+                 tag: str | None = None, pv: int = 0) -> Page:
         """Allocate a fresh page of the given kind within ``tag``'s
         current extent (a new extent is opened when it fills).
         Thread-safe: concurrent writers on different tables allocate
@@ -221,7 +248,7 @@ class PageFile:
                 free = list(range(start + EXTENT_PAGES - 1, start - 1, -1))
                 self._extents[tag] = free
             page_id = free.pop()
-            page = Page(page_id, kind, level)
+            page = Page(page_id, kind, level, pv=pv)
             self._pages[page_id] = page
             return page
 
@@ -231,6 +258,86 @@ class PageFile:
         if page is None:
             raise IndexError(f"page {page_id} is unallocated extent slack")
         return page
+
+    # -- copy-on-write versions (MVCC) ----------------------------------------
+
+    def get_for_write(self, page_id: int, version: int
+                      ) -> tuple[Page, bool]:
+        """Writable page for a mutation publishing ``version``.
+
+        If the current page was already created at ``version`` it is
+        returned as-is; otherwise it is cloned (same id, ``pv`` set to
+        ``version``), the old page is chained into the version history,
+        and the clone is installed as current.  Returns ``(page,
+        cloned)``.  The install order — history first, then the clone —
+        is what keeps latch-free readers safe: a reader that sees the
+        too-new clone is guaranteed to find the superseded page in the
+        history already.
+        """
+        page = self.get(page_id)
+        if page.pv == version:
+            return page, False
+        clone = page.clone(version)
+        with self._lock:
+            hist = self._history.get(page_id)
+            self._history[page_id] = ([*hist, page] if hist else [page])
+        self._pages[page_id] = clone
+        return clone, True
+
+    def resolve(self, page_id: int, version: int) -> Page:
+        """The newest page for ``page_id`` visible at ``version``
+        (``page.pv <= version``), walking the version history when the
+        current page is too new.  Latch-free: see :meth:`get_for_write`
+        for the ordering argument.
+        """
+        page = self.get(page_id)
+        if page.pv <= version:
+            return page
+        for old in reversed(self._history.get(page_id, ())):
+            if old.pv <= version:
+                return old
+        raise KeyError(
+            f"page {page_id} has no version visible at {version} "
+            "(pin retired too early?)")
+
+    def history_len(self, page_id: int) -> int:
+        """Superseded versions currently retained for one page."""
+        return len(self._history.get(page_id, ()))
+
+    def prune_history(self, page_ids, live_versions
+                      ) -> list[tuple[int, int]]:
+        """Drop history entries no live pinned version can resolve to.
+
+        ``live_versions`` are the owning table's currently pinned
+        versions (readers at the published tip resolve to the current
+        pages and never need history).  Returns the ``(page_id, pv)``
+        pairs dropped, so the buffer pool can evict their cache entries.
+        Lists are replaced wholesale, never mutated, so racing readers
+        stay consistent.
+        """
+        live = sorted(live_versions)
+        dropped: list[tuple[int, int]] = []
+        with self._lock:
+            for pid in page_ids:
+                hist = self._history.get(pid)
+                if not hist:
+                    continue
+                current = self._pages[pid]
+                bounds = [p.pv for p in hist[1:]]
+                bounds.append(current.pv if current is not None
+                              else hist[-1].pv + 1)
+                keep = []
+                for page, until in zip(hist, bounds):
+                    # The entry serves reads pinned in [page.pv, until).
+                    if any(page.pv <= v < until for v in live):
+                        keep.append(page)
+                    else:
+                        dropped.append((pid, page.pv))
+                if keep:
+                    self._history[pid] = keep
+                else:
+                    del self._history[pid]
+        return dropped
 
     def pages_of_kind(self, kind: int) -> Iterator[Page]:
         """Iterate pages with a given kind tag."""

@@ -45,6 +45,7 @@ import queue as queue_mod
 import tempfile
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from . import shm, vectorized
@@ -385,7 +386,11 @@ class WorkerPool:
         self._table_versions: dict[str, int] = {}
         self._query_seq = 0
         self._mutex = threading.Lock()
-        self._refresh_snapshot()
+        # Under MVCC the eager cut would race an in-flight writer (the
+        # pool is built outside any latch); every MVCC query cuts under
+        # a brief all-table latch instead, so stay lazy there.
+        if not getattr(db, "mvcc", False):
+            self._refresh_snapshot()
         for i in range(self.workers):
             proc = self._ctx.Process(
                 target=_worker_main, args=(self._task_q, self._result_q),
@@ -474,6 +479,15 @@ class WorkerPool:
 
     # -- query execution -----------------------------------------------------
 
+    @contextmanager
+    def guard(self):
+        """The pool's dispatch mutex, exposed so the MVCC coordinator
+        can keep pin -> snapshot-cut -> dispatch atomic against other
+        parallel queries while holding the all-table latch only for
+        the cut itself (see :func:`_execute_mvcc`)."""
+        with self._mutex:
+            yield self
+
     def run_query(self, table, plan_bytes: bytes, cold: bool,
                   leaf_ids: list[int], batch_pages: int) -> list[dict]:
         """Dispatch one query's morsels and return their results in
@@ -481,34 +495,43 @@ class WorkerPool:
         :class:`WorkerDied` if a worker process disappears."""
         with self._mutex:
             self._refresh_snapshot(table.name)
-            self._query_seq += 1
-            query_id = self._query_seq
-            morsel_pages = self._morsel_pages(len(leaf_ids), batch_pages)
-            morsels = [leaf_ids[i:i + morsel_pages]
-                       for i in range(0, len(leaf_ids), morsel_pages)]
-            for idx, pages in enumerate(morsels):
-                self._task_q.put((
-                    (query_id, idx), self._snap_ref, query_id, cold,
-                    plan_bytes, pages, idx == 0, batch_pages))
-            results: dict[int, dict] = {}
-            error = None
-            while len(results) < len(morsels) and error is None:
-                try:
-                    task_id, ok, payload = self._result_q.get(
-                        timeout=_POLL_SECONDS)
-                except queue_mod.Empty:
-                    self._check_alive()
-                    continue
-                qid, idx = task_id
-                if qid != query_id:
-                    continue  # stale result from an aborted query
-                if ok:
-                    results[idx] = payload
-                else:
-                    error = pickle.loads(payload)
-            if error is not None:
-                raise error
-            return [results[i] for i in range(len(morsels))]
+            return self._dispatch_locked(plan_bytes, cold, leaf_ids,
+                                         batch_pages)
+
+    def _dispatch_locked(self, plan_bytes: bytes, cold: bool,
+                         leaf_ids: list[int],
+                         batch_pages: int) -> list[dict]:
+        """Morsel dispatch + gather; ``self._mutex`` must be held and
+        the live snapshot must already match the pages in
+        ``leaf_ids``."""
+        self._query_seq += 1
+        query_id = self._query_seq
+        morsel_pages = self._morsel_pages(len(leaf_ids), batch_pages)
+        morsels = [leaf_ids[i:i + morsel_pages]
+                   for i in range(0, len(leaf_ids), morsel_pages)]
+        for idx, pages in enumerate(morsels):
+            self._task_q.put((
+                (query_id, idx), self._snap_ref, query_id, cold,
+                plan_bytes, pages, idx == 0, batch_pages))
+        results: dict[int, dict] = {}
+        error = None
+        while len(results) < len(morsels) and error is None:
+            try:
+                task_id, ok, payload = self._result_q.get(
+                    timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            qid, idx = task_id
+            if qid != query_id:
+                continue  # stale result from an aborted query
+            if ok:
+                results[idx] = payload
+            else:
+                error = pickle.loads(payload)
+        if error is not None:
+            raise error
+        return [results[i] for i in range(len(morsels))]
 
     def _morsel_pages(self, n_pages: int, batch_pages: int) -> int:
         """Morsel size in pages: whole batch_pages chunks, sized so
@@ -625,6 +648,9 @@ def _execute(db, table, plan_bytes: bytes, aggregates, cold: bool,
     started = time.perf_counter()
     pool_mgr = get_pool(db, workers)
     batch_pages = vectorized.DEFAULT_BATCH_PAGES
+    if getattr(db, "mvcc", False):
+        return _execute_mvcc(db, table, plan_bytes, aggregates, cold,
+                             grouped, pool_mgr, batch_pages, started)
     leaf_ids = table.data_page_ids()
 
     # The coordinator performs (and is charged for) the root-to-leaf
@@ -644,7 +670,59 @@ def _execute(db, table, plan_bytes: bytes, aggregates, cold: bool,
 
     morsel_results = pool_mgr.run_query(
         table, plan_bytes, cold, leaf_ids, batch_pages)
+    return _merge_results(pool_mgr, aggregates, grouped, morsel_results,
+                          descent_delta, descent_log, started)
 
+
+def _execute_mvcc(db, table, plan_bytes: bytes, aggregates, cold: bool,
+                  grouped: bool, pool_mgr: WorkerPool, batch_pages: int,
+                  started: float) -> ParallelResult:
+    """MVCC coordinator path: pin a version and cut the worker
+    snapshot under one *brief* all-table shared latch — writers'
+    publish steps are excluded exactly while the pickle runs, so the
+    shipped bytes are the pinned version's committed tip — then scan
+    latch-free: the coordinator's descent and the workers' morsels
+    read only copy-on-write-stable pages of the pinned version.
+
+    The pool mutex spans pin -> cut -> dispatch so a concurrent query
+    cannot swap the worker snapshot between this query's cut and its
+    morsels reaching the task queue.  A cold run charges the
+    coordinator's descent through a cold *view* (forced misses)
+    instead of ``pool.clear()``, leaving neighbours' counters alone.
+    """
+    coord_pool = db.pool
+    with pool_mgr.guard():
+        with db.latches.read_latch():
+            snap = table.pin_snapshot()
+            pool_mgr._refresh_snapshot(table.name)
+        try:
+            leaf_ids = snap.data_page_ids()
+            if cold:
+                coord_pool.begin_cold_view()
+            try:
+                before = coord_pool.snapshot_thread_counters()
+                coord_pool.start_physical_log()
+                try:
+                    snap.tree.charge_scan_descent(coord_pool)
+                finally:
+                    descent_log = coord_pool.take_physical_log()
+                descent_delta = coord_pool.snapshot_thread_counters() \
+                    .delta_since(before)
+                morsel_results = pool_mgr._dispatch_locked(
+                    plan_bytes, cold, leaf_ids, batch_pages)
+            finally:
+                if cold:
+                    coord_pool.end_cold_view()
+        finally:
+            snap.unpin(coord_pool)
+    return _merge_results(pool_mgr, aggregates, grouped, morsel_results,
+                          descent_delta, descent_log, started)
+
+
+def _merge_results(pool_mgr: WorkerPool, aggregates, grouped: bool,
+                   morsel_results: list[dict],
+                   descent_delta: IoCounters, descent_log: list[int],
+                   started: float) -> ParallelResult:
     res = ParallelResult(workers=pool_mgr.workers)
     res.io = _replay_io(descent_delta, descent_log, morsel_results)
     for r in morsel_results:

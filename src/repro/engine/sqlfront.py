@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import re
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Callable
 
@@ -368,8 +369,14 @@ class SqlSession:
         DELETE take the exclusive latch of the one table they target
         (discovered from the token stream before locking anything), so
         a writer here overlaps readers and writers of *other* tables.
-        Under ``REPRO_LATCH=coarse`` every write path degrades to the
-        single database write lock.
+        Under MVCC (the default) the write latch shrinks further, to
+        the copy-on-write mutate + publish step: rows are parsed and
+        encoded first, a key-range write intent is declared (so
+        disjoint-range writers of the *same* table overlap too), and
+        only then is the table latched exclusively — concurrent
+        snapshot readers never block on any of it.  Under
+        ``REPRO_LATCH=coarse`` every write path degrades to the single
+        database write lock.
         """
         tokens = _tokenize(sql)
         head = tokens[0]
@@ -382,15 +389,94 @@ class SqlSession:
             self._plan_cache.clear()
             return result
         if head == ("kw", "INSERT"):
+            if self.db.mvcc:
+                return self._insert_mvcc(tokens)
             with self.db.latches.write_latch(
                     _statement_table(tokens, "INTO")):
                 return _Ddl(self, tokens).insert()
         if head == ("kw", "DELETE"):
+            if self.db.mvcc:
+                return self._delete_mvcc(tokens)
             with self.db.latches.write_latch(
                     _statement_table(tokens, "FROM")):
                 return self._delete(tokens)
         raise SqlSyntaxError(
             f"unsupported statement starting with {head[1]!r}")
+
+    def _insert_mvcc(self, tokens) -> int:
+        """MVCC INSERT: parse and encode every row (blob writes
+        included) before any latch, declare a write intent over the
+        statement's key range, then latch the table only for the
+        copy-on-write apply + publish step."""
+        table, rows = _Ddl(self, tokens).parse_insert()
+        if not rows:
+            return 0
+        prep = table.prepare_insert(rows)
+        token = table.acquire_intent(min(prep.keys),
+                                     max(prep.keys) + 1)
+        try:
+            with self.db.latches.write_latch(table.name):
+                return table.apply_insert(prep)
+        finally:
+            table.release_intent(token)
+
+    def _delete_mvcc(self, tokens) -> int:
+        """MVCC DELETE: pick the victim keys on a pinned snapshot
+        (consistent, and concurrent with disjoint writers), then latch
+        the table only for the copy-on-write delete + publish step.
+        The write intent spans the WHERE clause's primary-key range —
+        the whole key space when the predicate does not bound it — so
+        the victim set cannot change between selection and deletion.
+        """
+        parser = _Parser(self, tokens)
+        parser._expect("kw", "DELETE")
+        parser._expect("kw", "FROM")
+        name_tok = parser._next()
+        if name_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name")
+        table = self._resolve_table(name_tok[1])
+        parser.table = table
+        where = None
+        if parser._peek() == ("kw", "WHERE"):
+            parser._next()
+            where = parser._predicate()
+        if parser._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {parser._peek()[1]!r}")
+        pk_range = self._pk_range(table, where)
+        lo, hi = pk_range if pk_range is not None else (None, None)
+        token = table.acquire_intent(lo, hi)
+        try:
+            # Victim selection scans a pinned snapshot under the shared
+            # catalog latch only (no table latch): writers of this and
+            # other tables proceed; the latch just pins the catalog so
+            # a concurrent DROP cannot free pages (incl. blob pages the
+            # predicate reads) mid-scan.
+            with self.db.latches.catalog_latch():
+                snap = table.pin_snapshot()
+                try:
+                    if where is None:
+                        keys = [row[0] for row in snap.scan()]
+                    else:
+                        key = self._seek_key(table, where)
+                        if key is not None:
+                            keys = ([key] if snap.get(key) is not None
+                                    else [])
+                        else:
+                            ctx = _EvalContext(table)
+                            keys = []
+                            for row in snap.scan():
+                                ctx.row = row
+                                if where.eval(ctx):
+                                    keys.append(row[0])
+                finally:
+                    snap.unpin(self.db.pool)
+            with self.db.latches.write_latch(table.name):
+                for key in keys:
+                    table.delete(key)
+            return len(keys)
+        finally:
+            table.release_intent(token)
 
     def _delete(self, tokens) -> int:
         """``DELETE FROM t [WHERE pred]``; returns rows deleted."""
@@ -453,14 +539,51 @@ class SqlSession:
         writers are still excluded, not after the statement returns.
         ``finalize`` must not execute further statements (the latches
         are not reentrant).
+
+        Under MVCC (the default) a snapshot-pinning plan holds no
+        table latch at all — only the shared catalog latch while it
+        runs — so this SELECT proceeds concurrently with INSERT/DELETE
+        on the *same* table; see :meth:`_mvcc_select_guard`.
         """
         tokens = _tokenize(sql)
+        # The linter cannot see that the parallel coordinator's own
+        # all-table latch (_execute_mvcc) runs only under MVCC, where
+        # _mvcc_select_guard is a nullcontext for parallel plans, and
+        # never under the legacy read_latch branch below.
+        if self.db.mvcc:
+            plan = self._plan_tokens(tokens, sql)
+            with self._mvcc_select_guard(plan, engine):
+                result = self._execute_plan(plan, cold, engine,  # replint: disable=RL002
+                                            workers)
+                if finalize is not None:
+                    result = finalize(result)
+                return result
         with self.db.latches.read_latch(*self._latch_set(tokens, engine)):
-            result = self._query_locked(tokens, sql, cold, engine,
+            result = self._query_locked(tokens, sql, cold, engine,  # replint: disable=RL002
                                         workers)
             if finalize is not None:
                 result = finalize(result)
             return result
+
+    def _mvcc_select_guard(self, plan: SelectPlan, engine: str | None):
+        """Latch guard for one SELECT in MVCC mode.
+
+        Index plans keep the table's shared latch — secondary indexes
+        are not versioned, so the seek must exclude writers the old
+        way.  Parallel-capable plans take no latch here: the parallel
+        engine latches all tables shared itself, just around pinning
+        snapshots and refreshing its worker snapshot, then scans
+        latch-free.  Everything else holds only the shared catalog
+        latch (keeping the table set stable while pinning) and scans a
+        pinned snapshot without any table latch.
+        """
+        resolved = engine if engine is not None \
+            else self.executor.default_engine
+        if plan.kind == "index":
+            return self.db.latches.read_latch(plan.table.name)
+        if resolved == "parallel" and plan.kind in ("scan", "grouped"):
+            return nullcontext()
+        return self.db.latches.catalog_latch()
 
     def _latch_set(self, tokens, engine: str | None) -> tuple[str, ...]:
         """Tables a SELECT must latch: its FROM table — or every table
@@ -503,9 +626,17 @@ class SqlSession:
         the latches, identical results) minus the per-call parse and
         plan."""
         plan = self.prepare(sql)
+        # replint: same cross-mode RL002 false positive as query().
+        if self.db.mvcc:
+            with self._mvcc_select_guard(plan, engine):
+                result = self._execute_plan(plan, cold, engine,  # replint: disable=RL002
+                                            workers)
+                if finalize is not None:
+                    result = finalize(result)
+                return result
         with self.db.latches.read_latch(
                 *self._plan_latch_set(plan, engine)):
-            result = self._execute_plan(plan, cold, engine, workers)
+            result = self._execute_plan(plan, cold, engine, workers)  # replint: disable=RL002
             if finalize is not None:
                 result = finalize(result)
             return result
@@ -631,30 +762,44 @@ class SqlSession:
         handles inside MIN/MAX partials can be materialized safely.
         """
         tokens = _tokenize(sql)
+        # replint: same cross-mode RL002 false positive as query().
+        if self.db.mvcc:
+            plan = self._plan_tokens(tokens, sql)
+            with self._mvcc_select_guard(plan, engine):
+                return self._partial_locked(plan, cold, engine,  # replint: disable=RL002
+                                            workers, finalize)
         with self.db.latches.read_latch(*self._latch_set(tokens, engine)):
             plan = self._plan_tokens(tokens, sql)
-            wrapped = replace(plan, aggregates=[
-                PartialCapture(agg) for agg in plan.aggregates])
-            result = self._execute_plan(wrapped, cold, engine, workers)
-            if plan.kind == "grouped":
-                rows, metrics = result
-                payload = {
-                    "rows": metrics.rows,
-                    "states": None,
-                    "groups": [(row[0], list(row[1:])) for row in rows],
-                    "metrics": metrics,
-                }
-            else:
-                values, metrics = result
-                payload = {
-                    "rows": metrics.rows,
-                    "states": list(values),
-                    "groups": None,
-                    "metrics": metrics,
-                }
-            if finalize is not None:
-                payload = finalize(payload)
-            return payload
+            return self._partial_locked(plan, cold, engine, workers,  # replint: disable=RL002
+                                        finalize)
+
+    def _partial_locked(self, plan: SelectPlan, cold: bool,
+                        engine: str | None, workers: int | None,
+                        finalize):
+        """Run a plan with its aggregates wrapped for partial capture
+        and shape the shard-side payload (caller holds the latches)."""
+        wrapped = replace(plan, aggregates=[
+            PartialCapture(agg) for agg in plan.aggregates])
+        result = self._execute_plan(wrapped, cold, engine, workers)
+        if plan.kind == "grouped":
+            rows, metrics = result
+            payload = {
+                "rows": metrics.rows,
+                "states": None,
+                "groups": [(row[0], list(row[1:])) for row in rows],
+                "metrics": metrics,
+            }
+        else:
+            values, metrics = result
+            payload = {
+                "rows": metrics.rows,
+                "states": list(values),
+                "groups": None,
+                "metrics": metrics,
+            }
+        if finalize is not None:
+            payload = finalize(payload)
+        return payload
 
     def parse_insert(self, sql: str) -> tuple[Table, list[tuple]]:
         """Parse ``INSERT INTO ... VALUES`` into ``(table, rows)``

@@ -17,16 +17,22 @@ reproduce the paper's "43 % bigger" observation from first principles.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from .blob import BlobRef, BlobStore, BlobTreeStream
 from .bufferpool import BufferPool
-from .btree import BTree
+from .btree import BTree, BTreeReader
 from .constants import MAX_IN_ROW_BYTES, PAGE_DATA, ROW_OVERHEAD
 from .page import PageFile
 
-__all__ = ["Column", "MaxBlobHandle", "Table", "SchemaError"]
+__all__ = ["Column", "MaxBlobHandle", "Table", "TableSnapshot",
+           "SchemaError"]
+
+#: Sentinel bounds for write intents covering an unbounded key range.
+_KEY_MIN = -(2 ** 63)
+_KEY_MAX = 2 ** 63
 
 
 class SchemaError(Exception):
@@ -117,7 +123,8 @@ class Table:
     _read_only = False
 
     def __init__(self, name: str, columns: Sequence[Column],
-                 pagefile: PageFile, blob_store: BlobStore | None = None):
+                 pagefile: PageFile, blob_store: BlobStore | None = None,
+                 *, mvcc: bool = False):
         if not columns:
             raise SchemaError("a table needs at least one column")
         if columns[0].type != "bigint":
@@ -144,6 +151,54 @@ class Table:
         #: ``write_version`` sums these so the parallel engine can tell
         #: when its worker snapshots have gone stale.
         self.mutations = 0
+        #: MVCC switch: when true, mutators copy-on-write the pages
+        #: they touch and publish a new version atomically, and readers
+        #: pin frozen snapshots instead of latching the table.
+        self.mvcc = mvcc
+        #: Last published version; 0 is the empty table as created.
+        self.version = 0
+        #: ``version -> (root_page_id, height, count)`` for the current
+        #: version plus every version still pinned by a reader.
+        self._published: dict[int, tuple[int, int, int]] = {
+            0: (self._tree.root_page_id, self._tree.height,
+                self._tree.count)}
+        self._pins: dict[int, int] = {}
+        self._pin_lock = threading.Lock()
+        #: Serializes copy-on-write mutations for direct ``Table``
+        #: users; under SQL the session's write latch already does, so
+        #: it is uncontended there.
+        self._mutate_lock = threading.Lock()
+        self._intent_cond = threading.Condition()
+        self._intents: list[tuple[int, int, int]] = []
+        self._intent_seq = 0
+        #: Page ids that currently carry version history — the pruning
+        #: work-list for retirement.
+        self._cow_pids: set[int] = set()
+        #: Buffer pool to purge retired page versions from (wired by
+        #: the owning database; ``None`` for standalone tables).
+        self._pool_ref: BufferPool | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Locks are process-local, pins and intents die with the
+        # process, and a worker snapshot only ever reads the committed
+        # tip — so ship only that.
+        state["_pin_lock"] = None
+        state["_mutate_lock"] = None
+        state["_intent_cond"] = None
+        state["_pool_ref"] = None
+        state["_pins"] = {}
+        state["_intents"] = []
+        state["_cow_pids"] = set()
+        state["_published"] = {
+            self.version: self._published[self.version]}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pin_lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
+        self._intent_cond = threading.Condition()
 
     # -- metadata -----------------------------------------------------------
 
@@ -305,6 +360,111 @@ class Table:
         """The index on a column, if one exists."""
         return self._indexes.get(column_name)
 
+    # -- MVCC: version chain, pins, retirement ------------------------------
+
+    def pin_snapshot(self) -> "TableSnapshot":
+        """Pin the current published version and return a frozen read
+        view over it.
+
+        The pin keeps every page of that version (including superseded
+        pages in the version history) resolvable until
+        :meth:`TableSnapshot.unpin`; the snapshot itself is scanned
+        without holding any table latch.
+        """
+        with self._pin_lock:
+            version = self.version
+            root_id, height, count = self._published[version]
+            self._pins[version] = self._pins.get(version, 0) + 1
+        return TableSnapshot(self, version, root_id, height, count)
+
+    def unpin(self, version: int,
+              pool: BufferPool | None = None) -> None:
+        """Drop one pin on ``version``; when it was the last, retire
+        page versions nothing can read any more."""
+        with self._pin_lock:
+            remaining = self._pins.get(version, 0) - 1
+            if remaining > 0:
+                self._pins[version] = remaining
+                return
+            self._pins.pop(version, None)
+        self._retire(pool)
+
+    def pinned_versions(self) -> dict[int, int]:
+        """Current pin counts by version (diagnostics and tests)."""
+        with self._pin_lock:
+            return dict(self._pins)
+
+    def _publish(self, version: int, cow_pids: set[int]) -> None:
+        """Atomically expose a completed mutation as the new tip.
+
+        This is the only point where readers change what they pin: a
+        ``pin_snapshot`` racing this publish gets either the old or the
+        new version, never a torn mix, because the root/height/count
+        triple swaps under ``_pin_lock``.
+        """
+        with self._pin_lock:
+            self._cow_pids |= cow_pids
+            self._published[version] = (
+                self._tree.root_page_id, self._tree.height,
+                self._tree.count)
+            self.version = version
+            self.mutations += 1
+        self._retire(None)
+
+    def _retire(self, pool: BufferPool | None) -> None:
+        """Drop version metadata and page history nothing can read.
+
+        A history entry stays live while a pinned version — or the
+        published tip, whose readers may still race an in-flight
+        writer's fresh clones — falls inside the half-open version
+        window the entry serves.
+        """
+        if pool is None:
+            pool = self._pool_ref
+        with self._pin_lock:
+            live = set(self._pins)
+            live.add(self.version)
+            for version in [v for v in self._published
+                            if v not in live]:
+                del self._published[version]
+            if not self._cow_pids:
+                return
+            dropped = self._pagefile.prune_history(
+                list(self._cow_pids), live)
+            self._cow_pids = {
+                pid for pid in self._cow_pids
+                if self._pagefile.history_len(pid)}
+        if pool is not None and dropped:
+            pool.discard_keys(
+                [pid if pv == 0 else (pid, pv) for pid, pv in dropped])
+
+    # -- MVCC: row-level write intents --------------------------------------
+
+    def acquire_intent(self, lo: int | None, hi: int | None) -> int:
+        """Declare intent to write keys in ``[lo, hi)`` (``None`` =
+        unbounded on that side); blocks while an overlapping intent is
+        held, so disjoint-range writers overlap and overlapping ones
+        serialize before either takes the table's write latch.  Returns
+        a token for :meth:`release_intent`.
+        """
+        lo = _KEY_MIN if lo is None else int(lo)
+        hi = _KEY_MAX if hi is None else int(hi)
+        with self._intent_cond:
+            while any(lo < other_hi and other_lo < hi
+                      for other_lo, other_hi, _ in self._intents):
+                self._intent_cond.wait()
+            self._intent_seq += 1
+            token = self._intent_seq
+            self._intents.append((lo, hi, token))
+            return token
+
+    def release_intent(self, token: int) -> None:
+        """Release a held write intent and wake blocked writers."""
+        with self._intent_cond:
+            self._intents = [entry for entry in self._intents
+                             if entry[2] != token]
+            self._intent_cond.notify_all()
+
     # -- data access ------------------------------------------------------------
 
     def _check_writable(self) -> None:
@@ -316,11 +476,64 @@ class Table:
     def insert(self, values: Sequence) -> None:
         """Insert one row (values in schema order, PK first)."""
         self._check_writable()
+        if self.mvcc:
+            self.apply_insert(self.prepare_insert([values]))
+            return
         key = int(values[0])
         self._tree.insert(key, self._encode_row(values))
         for name, index in self._indexes.items():
             index.add(values[self.column_index(name)], key)
         self.mutations += 1
+
+    def prepare_insert(self, rows) -> "_PreparedInsert":
+        """Encode rows — blob writes included — without touching the
+        tree: the part of an MVCC INSERT that needs no latch, so two
+        writers of one table overlap their encoding work."""
+        self._check_writable()
+        rows = [row if isinstance(row, (tuple, list)) else tuple(row)
+                for row in rows]
+        keys = [int(row[0]) for row in rows]
+        encoded = [self._encode_row(row) for row in rows]
+        return _PreparedInsert(rows, keys, encoded)
+
+    def apply_insert(self, prep: "_PreparedInsert") -> int:
+        """Copy-on-write the tree with prepared rows and publish one
+        new version — the (briefly) latched step of an MVCC INSERT.
+
+        On a mid-statement error (say a duplicate key) the rows already
+        inserted are published, mirroring the legacy per-row path where
+        earlier rows stay visible.
+        """
+        self._check_writable()
+        if not prep.keys:
+            return 0
+        with self._mutate_lock:
+            version = self.version + 1
+            self._tree.begin_write(version)
+            done = 0
+            try:
+                keys = prep.keys
+                if self._tree.count == 0 and all(
+                        b > a for a, b in zip(keys, keys[1:])):
+                    self._tree.bulk_load(list(zip(keys, prep.encoded)))
+                    done = len(keys)
+                    for name, index in self._indexes.items():
+                        col = self.column_index(name)
+                        for key, row in zip(keys, prep.rows):
+                            index.add(row[col], key)
+                else:
+                    for key, row, payload in zip(keys, prep.rows,
+                                                 prep.encoded):
+                        self._tree.insert(key, payload)
+                        done += 1
+                        for name, index in self._indexes.items():
+                            index.add(row[self.column_index(name)],
+                                      key)
+            finally:
+                cow = self._tree.end_write()
+                if done:
+                    self._publish(version, cow)
+        return done
 
     def insert_many(self, rows) -> int:
         """Insert an iterable of rows; returns how many were inserted.
@@ -333,6 +546,8 @@ class Table:
         page touches.  Any other shape falls back to per-row inserts.
         """
         self._check_writable()
+        if self.mvcc:
+            return self.apply_insert(self.prepare_insert(rows))
         rows = [row if isinstance(row, (tuple, list)) else tuple(row)
                 for row in rows]
         if not rows:
@@ -364,6 +579,8 @@ class Table:
         """
         self._check_writable()
         key = int(key)
+        if self.mvcc:
+            return self._mvcc_delete(key)
         old = self.get(key) if self._indexes else None
         deleted = self._tree.delete(key)
         if deleted and old is not None:
@@ -373,11 +590,29 @@ class Table:
             self.mutations += 1
         return deleted
 
+    def _mvcc_delete(self, key: int) -> bool:
+        with self._mutate_lock:
+            old = self.get(key) if self._indexes else None
+            version = self.version + 1
+            self._tree.begin_write(version)
+            try:
+                deleted = self._tree.delete(key)
+            finally:
+                cow = self._tree.end_write()
+            if deleted:
+                if old is not None:
+                    for name, index in self._indexes.items():
+                        index.remove(old[self.column_index(name)], key)
+                self._publish(version, cow)
+        return deleted
+
     def update(self, values: Sequence) -> bool:
         """Replace an existing row (matched by its primary key);
         returns whether the key existed."""
         self._check_writable()
         key = int(values[0])
+        if self.mvcc:
+            return self._mvcc_update(key, tuple(values))
         old = self.get(key) if self._indexes else None
         updated = self._tree.update(key, self._encode_row(values))
         if updated:
@@ -388,6 +623,26 @@ class Table:
                 if old[col] != values[col]:
                     index.remove(old[col], key)
                     index.add(values[col], key)
+        return updated
+
+    def _mvcc_update(self, key: int, values: tuple) -> bool:
+        payload = self._encode_row(values)
+        with self._mutate_lock:
+            old = self.get(key) if self._indexes else None
+            version = self.version + 1
+            self._tree.begin_write(version)
+            try:
+                updated = self._tree.update(key, payload)
+            finally:
+                cow = self._tree.end_write()
+            if updated:
+                if old is not None:
+                    for name, index in self._indexes.items():
+                        col = self.column_index(name)
+                        if old[col] != values[col]:
+                            index.remove(old[col], key)
+                            index.add(values[col], key)
+                self._publish(version, cow)
         return updated
 
     def get(self, key: int, pool: BufferPool | None = None
@@ -485,3 +740,118 @@ class Table:
                     payloads.append(record[key_size:])
             if payloads:
                 yield RowBatch(self, keys, payloads)
+
+
+@dataclass(frozen=True)
+class _PreparedInsert:
+    """Rows encoded ahead of the latched apply step of an MVCC INSERT."""
+
+    rows: list[tuple]
+    keys: list[int]
+    encoded: list[bytes]
+
+
+class TableSnapshot:
+    """A pinned, frozen ``(table → version)`` read view.
+
+    Duck-types the read surface of :class:`Table` that the executor and
+    the vectorized scan kernels use — ``scan_batches``, ``tree`` (a
+    :class:`~repro.engine.btree.BTreeReader`), ``data_page_ids``,
+    ``get``/``scan``/``scan_raw``, ``row_count`` — so query plans run
+    against it unchanged.  All page reads resolve through the page
+    file's version history, never blocking on (or being torn by) a
+    concurrent writer.  Must be unpinned exactly once; use it as a
+    context manager or call :meth:`unpin` in a ``finally``.
+    """
+
+    def __init__(self, table: Table, version: int, root_id: int,
+                 height: int, count: int):
+        self.table = table
+        self.version = version
+        self._reader = BTreeReader(table._pagefile, version, root_id,
+                                   height, count)
+        self._unpinned = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def unpin(self, pool: BufferPool | None = None) -> None:
+        """Release the pin (idempotent); the last unpin of a dead
+        version retires its pages from the page file and ``pool``."""
+        if not self._unpinned:
+            self._unpinned = True
+            self.table.unpin(self.version, pool)
+
+    def __enter__(self) -> "TableSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unpin()
+
+    # -- Table read surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def columns(self):
+        return self.table.columns
+
+    @property
+    def row_count(self) -> int:
+        return self._reader.count
+
+    @property
+    def tree(self) -> BTreeReader:
+        return self._reader
+
+    def column_index(self, name: str) -> int:
+        return self.table.column_index(name)
+
+    def index_on(self, column_name: str):
+        return self.table.index_on(column_name)
+
+    def decode(self, key: int, payload: bytes) -> tuple:
+        return self.table.decode(key, payload)
+
+    def data_page_ids(self) -> list[int]:
+        return self._reader.leaf_page_ids()
+
+    def get(self, key: int, pool: BufferPool | None = None
+            ) -> tuple | None:
+        payload = self._reader.search(int(key), pool)
+        if payload is None:
+            return None
+        return self.table.decode(int(key), payload)
+
+    def scan(self, pool: BufferPool | None = None,
+             start: int | None = None, stop: int | None = None
+             ) -> Iterator[tuple]:
+        for key, payload in self._reader.scan(pool, start, stop):
+            yield self.table.decode(key, payload)
+
+    def scan_raw(self, pool: BufferPool | None = None
+                 ) -> Iterator[tuple[int, bytes]]:
+        return self._reader.scan(pool)
+
+    def scan_batches(self, pool: BufferPool | None = None,
+                     batch_pages: int | None = None) -> Iterator:
+        """Columnar scan of the pinned version; IO charges match
+        :meth:`Table.scan_batches` page for page."""
+        from .vectorized import DEFAULT_BATCH_PAGES, RowBatch
+
+        if batch_pages is None:
+            batch_pages = DEFAULT_BATCH_PAGES
+        key_size = struct.calcsize("<q")
+        unpack_key = struct.Struct("<q").unpack_from
+        for pages in self._reader.scan_leaf_batches(
+                pool, batch_pages=batch_pages):
+            keys: list[int] = []
+            payloads: list[bytes] = []
+            for page in pages:
+                for slot in range(page.slot_count):
+                    record = page.get_record(slot)
+                    keys.append(unpack_key(record)[0])
+                    payloads.append(record[key_size:])
+            if payloads:
+                yield RowBatch(self.table, keys, payloads)

@@ -1,0 +1,12 @@
+"""Seeded RC601 violation: a pinned snapshot with no unpin on the
+error path — an exception inside the scan loop leaks the pin, so the
+version chain (and its buffer-pool entries) can never be retired."""
+
+
+def count_rows(table):
+    snap = table.pin_snapshot()
+    total = 0
+    for _row in snap.scan():
+        total += 1
+    snap.unpin(None)  # not in a finally: skipped when scan() raises
+    return total

@@ -1,0 +1,20 @@
+"""Seeded RL003 violation: a generator yields while a latch is held.
+
+The consumer decides when (and whether) the next row is pulled, so the
+table latch is parked across an unbounded suspension.  The guard
+helper itself is a ``@contextmanager`` and therefore exempt.
+"""
+
+from contextlib import contextmanager
+
+
+class LatchStub:
+    @contextmanager
+    def read_latch(self, *tables):
+        yield self
+
+
+def scan_rows(latches, table):
+    with latches.read_latch(table.name):
+        for row in table.rows:
+            yield row

@@ -23,10 +23,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 SRC_TREE = os.path.join(REPO_ROOT, "src", "repro")
 
 EXPECTED = {
+    "rc601_unbalanced_pin.py": "RC601",
     "rl001_unlocked_scan.py": "RL001",
     "rl002_latch_under_pool.py": "RL002",
     "rl002_lock_order.py": "RL002",
     "rl002_nested_latches.py": "RL002",
+    "rl003_yield_under_latch.py": "RL003",
     "rm501_attach_unlinks.py": "RM501",
     "rm501_owner_leaks.py": "RM501",
     "rp101_lambda_udf.py": "RP101",
@@ -264,6 +266,146 @@ def test_rl001_guarded_entry_clean(tmp_path):
         "            return self.db.pool.fetch(page_id)\n"
     )
     assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+# -- severity tiers --------------------------------------------------------
+
+def test_rule_severities():
+    by_code = {rule.code: rule.severity for rule in ALL_RULES}
+    assert by_code["RL003"] == "warn"
+    assert by_code["RC601"] == "error"
+    assert all(sev in ("error", "warn") for sev in by_code.values())
+
+
+def test_findings_stamped_with_rule_severity():
+    findings = lint_fixture("rl003_yield_under_latch.py")
+    assert [f.severity for f in findings] == ["warn"]
+    findings = lint_fixture("rc601_unbalanced_pin.py")
+    assert [f.severity for f in findings] == ["error"]
+
+
+def test_render_human_severity_summary():
+    findings = lint_paths(
+        [os.path.join(FIXTURES, "rl003_yield_under_latch.py"),
+         os.path.join(FIXTURES, "rc601_unbalanced_pin.py")],
+        root=FIXTURES,
+    )
+    text = render_human(findings)
+    assert "[warn]" in text
+    assert "(1 error(s), 1 warning(s))" in text
+
+
+def test_json_includes_severity():
+    findings = lint_fixture("rl003_yield_under_latch.py")
+    payload = json.loads(render_json(findings))
+    assert payload["errors"] == 0
+    assert payload["findings"][0]["severity"] == "warn"
+
+
+def test_cli_warning_only_exit_zero():
+    proc = _run_cli(
+        os.path.join(FIXTURES, "rl003_yield_under_latch.py"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "RL003" in proc.stdout
+
+
+def test_cli_error_fixture_exit_one():
+    proc = _run_cli(
+        os.path.join(FIXTURES, "rc601_unbalanced_pin.py"))
+    assert proc.returncode == 1
+
+
+# -- RL003 / RC601 mechanics ------------------------------------------------
+
+def test_rl003_contextmanager_exempt(tmp_path):
+    text = (
+        "from contextlib import contextmanager\n"
+        "@contextmanager\n"
+        "def guard(db):\n"
+        "    with db.latches.read_latch('t'):\n"
+        "        yield db\n"
+    )
+    assert _lint_texts(tmp_path, {"g.py": text}) == []
+
+
+def test_rl003_yield_outside_guard_clean(tmp_path):
+    text = (
+        "def scan(db, table):\n"
+        "    with db.latches.read_latch(table):\n"
+        "        rows = list(range(3))\n"
+        "    for row in rows:\n"
+        "        yield row\n"
+    )
+    assert _lint_texts(tmp_path, {"g.py": text}) == []
+
+
+def test_rc601_finally_unpin_clean(tmp_path):
+    text = (
+        "def scan(table, pool):\n"
+        "    snap = table.pin_snapshot()\n"
+        "    try:\n"
+        "        return list(snap.scan())\n"
+        "    finally:\n"
+        "        snap.unpin(pool)\n"
+    )
+    assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+def test_rc601_context_manager_clean(tmp_path):
+    text = (
+        "def scan(table):\n"
+        "    with table.pin_snapshot() as snap:\n"
+        "        return list(snap.scan())\n"
+        "def scan2(table):\n"
+        "    snap = table.pin_snapshot()\n"
+        "    with snap:\n"
+        "        return list(snap.scan())\n"
+    )
+    assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+def test_rc601_ownership_transfer_clean(tmp_path):
+    text = (
+        "def pin(table):\n"
+        "    snap = table.pin_snapshot()\n"
+        "    return snap\n"
+    )
+    assert _lint_texts(tmp_path, {"s.py": text}) == []
+
+
+def test_rc601_derived_return_still_flagged(tmp_path):
+    text = (
+        "def rows(table):\n"
+        "    snap = table.pin_snapshot()\n"
+        "    return list(snap.scan())\n"
+    )
+    findings = _lint_texts(tmp_path, {"s.py": text})
+    assert [f.rule for f in findings] == ["RC601"]
+
+
+def test_rc601_begin_write_unpaired_flagged(tmp_path):
+    text = (
+        "def mutate(tree, key, payload):\n"
+        "    tree.begin_write(2)\n"
+        "    tree.insert(key, payload)\n"
+        "    tree.end_write()\n"
+    )
+    findings = _lint_texts(tmp_path, {"w.py": text})
+    assert [f.rule for f in findings] == ["RC601"]
+    assert "end_write" in findings[0].message
+
+
+def test_rc601_begin_write_finally_clean(tmp_path):
+    text = (
+        "def mutate(tree, key, payload):\n"
+        "    tree.begin_write(2)\n"
+        "    try:\n"
+        "        tree.insert(key, payload)\n"
+        "    finally:\n"
+        "        cow = tree.end_write()\n"
+        "    return cow\n"
+    )
+    assert _lint_texts(tmp_path, {"w.py": text}) == []
 
 
 # -- schema extraction -----------------------------------------------------

@@ -308,6 +308,46 @@ class TestConcurrentSessions:
             engine="vector")
         assert evicted_m.physical_reads == cold_m.physical_reads
 
+    def test_two_concurrent_cold_scans_match_serial_counters(self, db):
+        """Per-query IO counters are independent under concurrency:
+        two cold scans racing each other each report exactly what a
+        serial cold run reports.  Under MVCC a cold query charges
+        itself through a private cold *view* (per-thread forced
+        misses) instead of clearing the shared pool, so a neighbour
+        can neither donate hits to it nor eat re-fetch charges."""
+        if not db.mvcc:
+            pytest.skip("legacy cold=clear mode documents shifted IO")
+        serial = SqlSession(db).query(
+            "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)",
+            engine="vector")[1]
+        assert serial.physical_reads > 0
+        barrier = threading.Barrier(2)
+        metrics = []
+        errors = []
+
+        def worker():
+            session = SqlSession(db)
+            try:
+                barrier.wait(timeout=10)
+                metrics.append(session.query(
+                    "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)",
+                    engine="vector")[1])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(metrics) == 2
+        for m in metrics:
+            assert m.physical_reads == serial.physical_reads
+            assert m.sequential_reads == serial.sequential_reads
+            assert m.random_reads == serial.random_reads
+            assert m.rows == serial.rows
+
     def test_writer_excludes_readers(self, db):
         """An INSERT in one session never interleaves mid-scan with a
         COUNT in another: counts observed are consistent totals."""
