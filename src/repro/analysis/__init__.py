@@ -11,6 +11,11 @@ RL002       lock order: RWLock before pool ``_lock``, never inverse or
             re-entrant
 RL003       latch yield (warn): generators never yield while a latch
             or RWLock guard is held (``@contextmanager`` exempt)
+RL004       lock-order cycles: the whole-program acquired-while-held
+            graph over lock classes is acyclic and matches the
+            checked-in ``lock_graph.json``
+RL005       blocking under latch (warn): no sleep/subprocess/socket/
+            select call is reachable while an exclusive latch is held
 RP101       parallel safety: registered/attached UDFs are module-level,
             name-picklable functions (or ``parallel_safe=False``)
 RV201       kernel purity: batch kernels never mutate input arrays and
@@ -47,6 +52,7 @@ from .framework import (
     render_json,
     run_rules,
 )
+from .rules_flow import BlockingUnderLatchRule, LockCycleRule
 from .rules_kernels import KernelPurityRule
 from .rules_locks import LockDisciplineRule, LockOrderRule
 from .rules_mem import ShmLifetimeRule
@@ -73,6 +79,8 @@ ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     LockOrderRule(),
     LatchYieldRule(),
+    LockCycleRule(),
+    BlockingUnderLatchRule(),
     ParallelSafetyRule(),
     KernelPurityRule(),
     WireSchemaRule(),

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from typing import Sequence
 
 from . import ALL_RULES, error_count, lint_paths, render_human, render_json
+from .framework import apply_baseline, load_baseline, write_baseline
 from .rules_wire import write_schema
 
 
@@ -19,6 +21,35 @@ def _default_paths() -> list[str]:
         if os.path.isdir(candidate):
             return [candidate]
     return ["."]
+
+
+def _changed_paths() -> list[str] | None:
+    """Python files modified/added per ``git status --porcelain``
+    (``--changed`` mode); ``None`` when git is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out: list[str] = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        status, rest = line[:2], line[3:]
+        if "D" in status:
+            continue
+        # Renames are reported as "old -> new"; lint the new path.
+        if " -> " in rest:
+            rest = rest.split(" -> ", 1)[1]
+        path = rest.strip().strip('"')
+        if path.endswith(".py") and os.path.exists(path):
+            out.append(path)
+    return sorted(set(out))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,12 +79,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files modified per `git status --porcelain` "
+        "(pre-commit mode; positional paths are ignored)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in a baseline snapshot "
+        "(rule+path+message identity, line-number free)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="snapshot the current findings to FILE and exit 0",
+    )
+    parser.add_argument(
         "--write-schema",
         metavar="PROTOCOL_PY",
         default=None,
         help="regenerate protocol_schema.json next to the given protocol module",
     )
+    parser.add_argument(
+        "--write-lock-graph",
+        action="store_true",
+        help="recompute the whole-program lock-order graph and write "
+        "lock_graph.json (the runtime sentinel's rank table)",
+    )
     return parser
+
+
+def _write_lock_graph(paths: Sequence[str]) -> int:
+    from .callgraph import CallGraph
+    from .flow.lockgraph import ProgramLockAnalysis, default_lock_graph_path
+    from .framework import collect_files
+
+    files = collect_files(paths, root=os.getcwd())
+    analysis = ProgramLockAnalysis(files, CallGraph.build(files))
+    graph = analysis.lock_graph
+    cycles = graph.cycles()
+    if cycles:
+        for cycle in cycles:
+            print(f"replint: lock-order cycle: {' -> '.join(cycle)}",
+                  file=sys.stderr)
+        print("replint: refusing to write a cyclic lock graph "
+              "(fix the cycle or extend the exemptions)", file=sys.stderr)
+        return 1
+    path = default_lock_graph_path()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(graph.render_json())
+    print(f"replint: wrote {path} "
+          f"({len(graph.nodes)} classes, {len(graph.order_edges())} edges)")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -75,6 +155,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"replint: wrote {schema_path}")
         return 0
 
+    if args.write_lock_graph:
+        return _write_lock_graph(
+            list(args.paths) if args.paths else _default_paths())
+
     rules = ALL_RULES
     if args.rules:
         wanted = {code.strip().upper() for code in args.rules.split(",") if code.strip()}
@@ -87,8 +171,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
 
-    paths = list(args.paths) if args.paths else _default_paths()
+    if args.changed:
+        changed = _changed_paths()
+        if changed is None:
+            print("replint: --changed requires git", file=sys.stderr)
+            return 2
+        if not changed:
+            print("replint: clean (no changed python files)")
+            return 0
+        paths = changed
+    else:
+        paths = list(args.paths) if args.paths else _default_paths()
+
     findings = lint_paths(paths, rules=rules)
+
+    if args.write_baseline is not None:
+        try:
+            write_baseline(findings, args.write_baseline)
+        except OSError as exc:
+            print(f"replint: cannot write baseline: {exc}", file=sys.stderr)
+            return 2
+        print(f"replint: wrote {args.write_baseline} "
+              f"({len(findings)} finding(s) recorded)")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"replint: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, baseline)
+
     if args.format == "json":
         print(render_json(findings))
     else:

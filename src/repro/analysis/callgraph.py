@@ -101,6 +101,7 @@ class CallSite:
 
     name: str
     line: int
+    col: int  # 1-based column of the call expression
     is_attr: bool
     receiver: str | None  # "self", a local variable name, or None
     receiver_class: str | None  # resolved class for typed receivers
@@ -120,6 +121,7 @@ class LockEvent:
 
     kind: str  # RWLOCK_GUARD, LATCH_GUARD or POOL_GUARD
     line: int
+    col: int  # 1-based column of the context expression
     held_before: tuple[str, ...]
     detail: str  # source-ish description of the context expression
 
@@ -213,6 +215,7 @@ class _BodyWalker:
                     LockEvent(
                         kind=kind,
                         line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset + 1,
                         held_before=tuple(self.held),
                         detail=detail,
                     )
@@ -258,6 +261,7 @@ class _BodyWalker:
                 CallSite(
                     name=func.id,
                     line=call.lineno,
+                    col=call.col_offset + 1,
                     is_attr=False,
                     receiver=None,
                     receiver_class=None,
@@ -283,6 +287,7 @@ class _BodyWalker:
                 CallSite(
                     name=func.attr,
                     line=call.lineno,
+                    col=call.col_offset + 1,
                     is_attr=True,
                     receiver=receiver,
                     receiver_class=receiver_class,

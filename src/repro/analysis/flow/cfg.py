@@ -1,0 +1,392 @@
+"""Intraprocedural control-flow graph for one function body.
+
+The graph is statement-granular: every simple statement (and the
+header of every compound statement) is one node; edges carry *actions*
+that an abstract interpreter applies while traversing:
+
+- ``("with_enter", item)`` / ``("with_exit", item)`` — a ``with``
+  block's context manager is entered/exited along this edge.  Exits
+  are emitted on *every* way out of the body: normal fall-through,
+  ``return``/``break``/``continue``, and the exception edge of any
+  may-raise statement inside (``__exit__`` runs before the exception
+  escapes).
+- ``("return", stmt)`` — the edge realises a ``return`` statement
+  (``stmt`` is the :class:`ast.Return`, or ``None`` for the implicit
+  fall-off return).  Resource analyses use it for ownership-transfer
+  kills.
+- ``("assume", name, truthy)`` — the edge is the ``truthy`` branch of
+  an ``if``/``while`` whose test is a plain truthiness or ``is (not)
+  None`` check on local ``name``.  Resource analyses use the falsy
+  branch to drop resources bound to ``name`` (the ``if snap is not
+  None: snap.unpin()`` idiom).
+
+Exception flow is modelled pessimistically but cheaply: a statement
+*may raise* iff it contains a call, attribute access, subscript or
+binary operation in its own (non-nested-block) expressions.  Each
+may-raise node gets an *exceptional* edge (``Edge.exceptional``) to
+the innermost handler dispatch / ``finally`` entry, or to the
+synthetic ``raise_exit`` node when the exception would escape the
+function.  Abstract interpreters propagate the *pre*-statement state
+along exceptional edges — if the statement raised, its own effects did
+not happen.  ``finally`` bodies are cloned per continuation (normal
+fall-through, escaping exception, return, break, continue) so that a
+state can only leave the ``finally`` the same way it entered the
+``try`` — a shared ``finally`` exit that fans out to every
+continuation would fabricate paths (e.g. a fall-through state
+"returning" early) and break leak analyses.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterable, Sequence, Union
+
+Action = tuple  # ("with_enter", item) | ("with_exit", item) | ("return", stmt|None) | ("assume", name, bool)
+
+#: AST expression nodes whose evaluation can raise at runtime.
+_RAISING = (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp)
+
+
+@dataclasses.dataclass
+class Edge:
+    dst: int
+    actions: tuple[Action, ...] = ()
+    #: The edge models an exception escaping the source statement;
+    #: interpreters propagate the pre-statement state along it.
+    exceptional: bool = False
+
+
+class CFG:
+    """Statement-level CFG with synthetic entry/exit/raise-exit nodes."""
+
+    def __init__(self) -> None:
+        self.stmts: list[ast.stmt | None] = []
+        self.succ: list[list[Edge]] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+        self.raise_exit = self._new(None)
+
+    def _new(self, stmt: ast.stmt | None) -> int:
+        self.stmts.append(stmt)
+        self.succ.append([])
+        return len(self.stmts) - 1
+
+    def add_edge(self, src: int, dst: int,
+                 actions: Iterable[Action] = (),
+                 exceptional: bool = False) -> None:
+        self.succ[src].append(Edge(dst, tuple(actions), exceptional))
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Targets:
+    """Where control escapes to, from the current nesting level.
+
+    Each target pairs a node with the stack of ``with`` items that must
+    be exited on the way (innermost first).
+    """
+
+    exc: int
+    exc_exits: tuple[ast.withitem, ...] = ()
+    ret: int = -1
+    ret_exits: tuple[ast.withitem, ...] = ()
+    brk: int | None = None
+    brk_exits: tuple[ast.withitem, ...] = ()
+    cont: int | None = None
+    cont_exits: tuple[ast.withitem, ...] = ()
+
+    def push_with(self, items: Sequence[ast.withitem]) -> "_Targets":
+        added = tuple(reversed(items))
+        return dataclasses.replace(
+            self,
+            exc_exits=added + self.exc_exits,
+            ret_exits=added + self.ret_exits,
+            brk_exits=added + self.brk_exits,
+            cont_exits=added + self.cont_exits,
+        )
+
+    def loop(self, brk: int, cont: int) -> "_Targets":
+        return dataclasses.replace(
+            self, brk=brk, brk_exits=(), cont=cont, cont_exits=())
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether the statement's own expressions can raise (nested block
+    statements are separate nodes and judged on their own)."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue, ast.Global,
+                         ast.Nonlocal, ast.Import, ast.ImportFrom)):
+        return False
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            for node in ast.walk(child):
+                if isinstance(node, _RAISING):
+                    return True
+    return False
+
+
+def _assume_actions(test: ast.expr) -> tuple[Action | None, Action | None]:
+    """(truthy-edge action, falsy-edge action) for a recognisable
+    name-nullness test, else ``(None, None)``."""
+    name: str | None = None
+    true_means_bound = True
+    if isinstance(test, ast.Name):
+        name = test.id
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not) \
+            and isinstance(test.operand, ast.Name):
+        name = test.operand.id
+        true_means_bound = False
+    elif isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.left, ast.Name) \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        name = test.left.id
+        true_means_bound = isinstance(test.ops[0], ast.IsNot)
+    if name is None:
+        return (None, None)
+    return (("assume", name, true_means_bound),
+            ("assume", name, not true_means_bound))
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def build(self, body: Sequence[ast.stmt], entry: int,
+              targets: _Targets) -> int:
+        """Wire ``body`` after ``entry``; returns the fall-through node
+        (callers connect it onward), or -1 if the body cannot fall
+        through (every path returns/raises/breaks)."""
+        cur = entry
+        for stmt in body:
+            if cur < 0:
+                break  # unreachable tail
+            cur = self._stmt(stmt, cur, targets)
+        return cur
+
+    # -- helpers ------------------------------------------------------------
+
+    def _node(self, stmt: ast.stmt, prev: int,
+              actions: Iterable[Action] = ()) -> int:
+        node = self.cfg._new(stmt)
+        self.cfg.add_edge(prev, node, actions)
+        return node
+
+    def _exc_edge(self, node: int, targets: _Targets) -> None:
+        self.cfg.add_edge(
+            node, targets.exc,
+            tuple(("with_exit", item) for item in targets.exc_exits),
+            exceptional=True)
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, prev: int, targets: _Targets) -> int:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return self._node(stmt, prev)  # opaque: no flow effects
+        if isinstance(stmt, ast.Return):
+            node = self._node(stmt, prev)
+            if _may_raise(stmt):
+                self._exc_edge(node, targets)
+            self.cfg.add_edge(
+                node, targets.ret,
+                tuple(("with_exit", item) for item in targets.ret_exits)
+                + (("return", stmt),))
+            return -1
+        if isinstance(stmt, ast.Raise):
+            node = self._node(stmt, prev)
+            self._exc_edge(node, targets)
+            return -1
+        if isinstance(stmt, ast.Break) and targets.brk is not None:
+            node = self._node(stmt, prev)
+            self.cfg.add_edge(
+                node, targets.brk,
+                tuple(("with_exit", item) for item in targets.brk_exits))
+            return -1
+        if isinstance(stmt, ast.Continue) and targets.cont is not None:
+            node = self._node(stmt, prev)
+            self.cfg.add_edge(
+                node, targets.cont,
+                tuple(("with_exit", item) for item in targets.cont_exits))
+            return -1
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, prev, targets)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, prev, targets)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, prev, targets)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, prev, targets)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, prev, targets)
+        node = self._node(stmt, prev)
+        if _may_raise(stmt):
+            self._exc_edge(node, targets)
+        return node
+
+    def _if(self, stmt: ast.If, prev: int, targets: _Targets) -> int:
+        header = self._node(stmt, prev)
+        if _may_raise(stmt):
+            self._exc_edge(header, targets)
+        then_act, else_act = _assume_actions(stmt.test)
+        join = self.cfg._new(None)
+        body_entry = self.cfg._new(None)
+        self.cfg.add_edge(header, body_entry,
+                          (then_act,) if then_act else ())
+        tail = self.build(stmt.body, body_entry, targets)
+        if tail >= 0:
+            self.cfg.add_edge(tail, join)
+        else_entry = self.cfg._new(None)
+        self.cfg.add_edge(header, else_entry,
+                          (else_act,) if else_act else ())
+        tail = self.build(stmt.orelse, else_entry, targets)
+        if tail >= 0:
+            self.cfg.add_edge(tail, join)
+        return join if self.cfg.succ[header] else -1
+
+    def _loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+              prev: int, targets: _Targets) -> int:
+        header = self._node(stmt, prev)
+        if _may_raise(stmt):
+            self._exc_edge(header, targets)
+        after = self.cfg._new(None)
+        then_act: Action | None = None
+        else_act: Action | None = None
+        if isinstance(stmt, ast.While):
+            then_act, else_act = _assume_actions(stmt.test)
+        body_entry = self.cfg._new(None)
+        self.cfg.add_edge(header, body_entry,
+                          (then_act,) if then_act else ())
+        inner = targets.loop(brk=after, cont=header)
+        tail = self.build(stmt.body, body_entry, inner)
+        if tail >= 0:
+            self.cfg.add_edge(tail, header)  # back edge
+        exit_entry = self.cfg._new(None)
+        self.cfg.add_edge(header, exit_entry,
+                          (else_act,) if else_act else ())
+        tail = self.build(stmt.orelse, exit_entry, targets)
+        if tail >= 0:
+            self.cfg.add_edge(tail, after)
+        return after
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith], prev: int,
+              targets: _Targets) -> int:
+        header = self._node(stmt, prev)
+        # Context expressions evaluate (and may raise) before anything
+        # is acquired.
+        self._exc_edge(header, targets)
+        body_entry = self.cfg._new(None)
+        self.cfg.add_edge(
+            header, body_entry,
+            tuple(("with_enter", item) for item in stmt.items))
+        inner = targets.push_with(stmt.items)
+        tail = self.build(stmt.body, body_entry, inner)
+        after = self.cfg._new(None)
+        if tail >= 0:
+            self.cfg.add_edge(
+                tail, after,
+                tuple(("with_exit", item)
+                      for item in reversed(stmt.items)))
+        return after if self.cfg.succ[header] else -1
+
+    def _try(self, stmt: ast.Try, prev: int, targets: _Targets) -> int:
+        header = self._node(stmt, prev)
+        after = self.cfg._new(None)
+        outer = targets
+
+        def fin_clone(exit_dst: int,
+                      exit_actions: tuple[Action, ...]) -> int:
+            """Build one copy of the finally body that continues to
+            ``exit_dst``; returns its entry node.  Unused clones simply
+            stay unreachable (no in-edges, empty abstract states)."""
+            entry = self.cfg._new(None)
+            tail = self.build(stmt.finalbody, entry, outer)
+            if tail >= 0:
+                self.cfg.add_edge(tail, exit_dst, exit_actions)
+            return entry
+
+        if stmt.finalbody:
+            # One clone per way out of the protected region.  The
+            # with-exits *inside* the try are applied on the edge into
+            # the clone (by the escaping statement); the with-exits
+            # *outside* it on the clone's exit edge.
+            fin_norm = fin_clone(after, ())
+            fin_exc_entry = self.cfg._new(None)
+            fin_exc_tail = self.build(stmt.finalbody, fin_exc_entry, outer)
+            if fin_exc_tail >= 0:
+                # Not an exceptional edge: the finally body completed;
+                # this just re-routes the pending exception outward.
+                self.cfg.add_edge(fin_exc_tail, outer.exc, tuple(
+                    ("with_exit", item) for item in outer.exc_exits))
+            fin_ret = fin_clone(outer.ret, tuple(
+                ("with_exit", item) for item in outer.ret_exits))
+            fin_brk = (fin_clone(outer.brk, tuple(
+                ("with_exit", item) for item in outer.brk_exits))
+                if outer.brk is not None else None)
+            fin_cont = (fin_clone(outer.cont, tuple(
+                ("with_exit", item) for item in outer.cont_exits))
+                if outer.cont is not None else None)
+            routed = dataclasses.replace(
+                outer, exc=fin_exc_entry, exc_exits=(),
+                ret=fin_ret, ret_exits=(),
+                brk=fin_brk, brk_exits=(),
+                cont=fin_cont, cont_exits=())
+            normal_exit = fin_norm
+        else:
+            routed = outer
+            normal_exit = after
+
+        # Exception dispatch for the protected body.
+        if stmt.handlers:
+            dispatch = self.cfg._new(None)
+            self.cfg.add_edge(dispatch, routed.exc, tuple(
+                ("with_exit", item) for item in routed.exc_exits))
+            body_targets = dataclasses.replace(
+                routed, exc=dispatch, exc_exits=())
+        else:
+            dispatch = -1
+            body_targets = routed
+
+        body_entry = self.cfg._new(None)
+        self.cfg.add_edge(header, body_entry)
+        tail = self.build(stmt.body, body_entry, body_targets)
+        if tail >= 0 and stmt.orelse:
+            tail = self.build(stmt.orelse, tail, body_targets)
+        if tail >= 0:
+            self.cfg.add_edge(tail, normal_exit)
+
+        for handler in stmt.handlers:
+            h_entry = self.cfg._new(None)
+            self.cfg.add_edge(dispatch, h_entry)
+            tail = self.build(handler.body, h_entry, routed)
+            if tail >= 0:
+                self.cfg.add_edge(tail, normal_exit)
+        return after
+
+    def _match(self, stmt: ast.Match, prev: int, targets: _Targets) -> int:
+        header = self._node(stmt, prev)
+        if _may_raise(stmt):
+            self._exc_edge(header, targets)
+        after = self.cfg._new(None)
+        self.cfg.add_edge(header, after)  # no case matched
+        for case in stmt.cases:
+            c_entry = self.cfg._new(None)
+            self.cfg.add_edge(header, c_entry)
+            tail = self.build(case.body, c_entry, targets)
+            if tail >= 0:
+                self.cfg.add_edge(tail, after)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """CFG for one function body (nested defs are opaque nodes)."""
+    cfg = CFG()
+    targets = _Targets(exc=cfg.raise_exit, ret=cfg.exit)
+    tail = _Builder(cfg).build(func.body, cfg.entry, targets)
+    if tail >= 0:
+        cfg.add_edge(tail, cfg.exit, (("return", None),))
+    return cfg

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .callgraph import CallGraph
+    from .flow.lockgraph import ProgramLockAnalysis
 
 PARSE_RULE = "PARSE"
 
@@ -40,12 +41,14 @@ SEVERITIES = ("error", "warn")
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """A single rule violation anchored to a file and line.
+    """A single rule violation anchored to a file, line and column.
 
     ``severity`` is ``"error"`` (breaks the build — exit code 1) or
     ``"warn"`` (reported, but warnings alone leave the exit code 0).
     Rules normally leave it to :func:`run_rules`, which stamps each
-    finding with its rule's severity.
+    finding with its rule's severity.  ``col`` is 1-based (0 = not
+    known); ``end_line`` optionally closes a multi-line span — both
+    make the human output editor-clickable (``path:line:col:``).
     """
 
     rule: str
@@ -53,22 +56,35 @@ class Finding:
     line: int
     message: str
     severity: str = "error"
+    col: int = 0
+    end_line: int | None = None
 
-    def sort_key(self) -> tuple[str, int, str]:
-        return (self.path, self.line, self.rule)
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
+            "col": self.col,
             "message": self.message,
             "severity": self.severity,
         }
+        if self.end_line is not None:
+            out["end_line"] = self.end_line
+        return out
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by ``--baseline`` suppression.  Line and
+        column are deliberately excluded so unrelated edits above a
+        known finding don't un-suppress it."""
+        return (self.rule, self.path, self.message)
 
     def render(self) -> str:
         tag = "" if self.severity == "error" else f" [{self.severity}]"
-        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
+        pos = f"{self.line}:{self.col}" if self.col else f"{self.line}"
+        return f"{self.path}:{pos}: {self.rule}{tag} {self.message}"
 
 
 class SourceFile:
@@ -122,11 +138,13 @@ class SourceFile:
 
 
 class LintContext:
-    """Shared state for a lint run (memoises the call graph across rules)."""
+    """Shared state for a lint run (memoises the call graph and the
+    whole-program flow analysis across rules)."""
 
     def __init__(self, root: str) -> None:
         self.root = root
         self._graph: CallGraph | None = None
+        self._flow: ProgramLockAnalysis | None = None
 
     def callgraph(self, files: Sequence[SourceFile]) -> CallGraph:
         if self._graph is None:
@@ -134,6 +152,13 @@ class LintContext:
 
             self._graph = CallGraph.build(files)
         return self._graph
+
+    def flow(self, files: Sequence[SourceFile]) -> "ProgramLockAnalysis":
+        if self._flow is None:
+            from .flow.lockgraph import ProgramLockAnalysis
+
+            self._flow = ProgramLockAnalysis(files, self.callgraph(files))
+        return self._flow
 
 
 class Rule:
@@ -252,3 +277,48 @@ def render_json(findings: Sequence[Finding]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+# -- baselines ---------------------------------------------------------------
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    """Snapshot current findings so ``--baseline`` can suppress them.
+    Entries are (rule, path, message) — line/column free, so the
+    baseline survives unrelated edits."""
+    entries = sorted({finding.baseline_key() for finding in findings})
+    payload = {
+        "version": 1,
+        "entries": [
+            {"rule": rule, "path": fpath, "message": message}
+            for rule, fpath, message in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """Baseline keys from a snapshot file; raises ``ValueError`` on a
+    malformed file (a silently ignored baseline would unsuppress
+    everything)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or not isinstance(
+            payload.get("entries"), list):
+        raise ValueError(f"{path}: not a replint baseline file")
+    keys: set[tuple[str, str, str]] = set()
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: malformed baseline entry")
+        keys.add((str(entry.get("rule", "")), str(entry.get("path", "")),
+                  str(entry.get("message", ""))))
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: set[tuple[str, str, str]],
+) -> list[Finding]:
+    """Drop findings whose (rule, path, message) is in the baseline."""
+    return [f for f in findings if f.baseline_key() not in baseline]

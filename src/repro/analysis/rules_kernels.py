@@ -125,14 +125,14 @@ class _KernelChecker:
             target: ast.expr = stmt.target
             if isinstance(target, ast.Name) and self._is_input(target.id):
                 self._report(
-                    stmt.lineno,
+                    stmt.lineno, stmt.col_offset + 1,
                     f"augmented assignment mutates input '{target.id}' in place",
                 )
             elif isinstance(target, ast.Subscript):
                 base = self._subscript_base(target)
                 if self._is_input(base):
                     self._report(
-                        stmt.lineno,
+                        stmt.lineno, stmt.col_offset + 1,
                         f"subscript store writes into input array '{base}'",
                     )
             return
@@ -142,7 +142,7 @@ class _KernelChecker:
                 base = self._subscript_base(target)
                 if self._is_input(base):
                     self._report(
-                        stmt.lineno,
+                        stmt.lineno, stmt.col_offset + 1,
                         f"subscript store writes into input array '{base}'",
                     )
             elif isinstance(target, ast.Name):
@@ -174,7 +174,7 @@ class _KernelChecker:
                     offenders.append(base)
         for name in offenders:
             self._report(
-                stmt.lineno,
+                stmt.lineno, stmt.col_offset + 1,
                 f"kernel returns input array '{name}' instead of a fresh "
                 "(values, mask) result",
             )
@@ -191,14 +191,15 @@ class _KernelChecker:
                         name_node.id
                     ):
                         self._report(
-                            node.lineno,
+                            node.lineno, node.col_offset + 1,
                             f"out= argument aliases input array "
                             f"'{name_node.id}'",
                         )
 
-    def _report(self, line: int, message: str) -> None:
+    def _report(self, line: int, col: int, message: str) -> None:
         self.findings.append(
-            Finding(rule="RV201", path=self.path, line=line, message=message)
+            Finding(rule="RV201", path=self.path, line=line, col=col,
+                    message=message)
         )
 
 

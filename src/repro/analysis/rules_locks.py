@@ -118,6 +118,7 @@ class LockDisciplineRule(Rule):
                                 rule=self.code,
                                 path=func.display_path,
                                 line=call.line,
+                                col=call.col,
                                 message=(
                                     f"{entry.qualname} reaches "
                                     f"{target.qualname} without holding "
@@ -162,6 +163,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=event.line,
+                            col=event.col,
                             message=(
                                 f"{func.qualname} re-acquires the RWLock "
                                 "while already holding it (RWLock is not "
@@ -175,6 +177,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=event.line,
+                            col=event.col,
                             message=(
                                 f"{func.qualname} acquires the RWLock while "
                                 "holding a pool _lock (inverse lock order)"
@@ -188,6 +191,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=event.line,
+                            col=event.col,
                             message=(
                                 f"{func.qualname} acquires a table latch "
                                 "while already holding one (unordered "
@@ -203,6 +207,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=event.line,
+                            col=event.col,
                             message=(
                                 f"{func.qualname} acquires a table latch "
                                 "while holding a pool _lock (the pool lock "
@@ -231,6 +236,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=call.line,
+                            col=call.col,
                             message=(
                                 f"{func.qualname} holds the RWLock and "
                                 f"calls into {rw_offender.label}, which "
@@ -244,6 +250,7 @@ class LockOrderRule(Rule):
                             rule=self.code,
                             path=func.display_path,
                             line=call.line,
+                            col=call.col,
                             message=(
                                 f"{func.qualname} holds a pool _lock and "
                                 f"calls into {rw_offender.label}, which "
@@ -263,6 +270,7 @@ class LockOrderRule(Rule):
                         rule=self.code,
                         path=func.display_path,
                         line=call.line,
+                        col=call.col,
                         message=(
                             f"{func.qualname} holds a table latch and calls "
                             f"into {latch_offender.label}, which acquires "
@@ -277,6 +285,7 @@ class LockOrderRule(Rule):
                         rule=self.code,
                         path=func.display_path,
                         line=call.line,
+                        col=call.col,
                         message=(
                             f"{func.qualname} holds a pool _lock and calls "
                             f"into {latch_offender.label}, which acquires a "

@@ -15,9 +15,14 @@ segment lifetime between two parties, and the split is load-bearing:
   touch, and the owner's own unlink then raises.
 
 RM501 flags (a) any class that calls ``SharedMemory(create=True)``
-without both a ``.close()`` and an ``.unlink()`` call in its body, and
+without both a ``.close()`` and an ``.unlink()`` call in its body,
 (b) any function that attaches (a ``SharedMemory(...)`` call without
-``create=True``) and also calls ``.unlink()``.
+``create=True``) and also calls ``.unlink()``, and (c) — via the
+path-sensitive resource dataflow
+(:func:`repro.analysis.flow.dataflow.analyze_resources`) — any
+attach-side mapping that is not ``close()``d on every exit path: a
+mapping leaked on an exception unwind holds the segment's pages mapped
+for the worker's whole lifetime, long after the owner unlinked it.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 import ast
 from typing import Sequence
 
+from .flow.dataflow import analyze_resources
 from .framework import Finding, LintContext, Rule, SourceFile
 
 
@@ -50,7 +56,8 @@ class ShmLifetimeRule(Rule):
     name = "shm-lifetime"
     description = (
         "classes that create SharedMemory segments must close() and "
-        "unlink() them; attach-side code must never unlink()"
+        "unlink() them; attach-side code must never unlink() and must "
+        "close() its mapping on every exit path"
     )
 
     def check(self, files: Sequence[SourceFile],
@@ -67,6 +74,28 @@ class ShmLifetimeRule(Rule):
                 elif isinstance(node, (ast.FunctionDef,
                                        ast.AsyncFunctionDef)):
                     findings.extend(self._check_attacher(source, node))
+                    findings.extend(self._check_mapping_paths(source, node))
+        return findings
+
+    # -- attachers close on every path (flow-sensitive) ----------------------
+
+    def _check_mapping_paths(self, source: SourceFile,
+                             func: ast.FunctionDef) -> list[Finding]:
+        findings: list[Finding] = []
+        for leak in analyze_resources(func).leaks:
+            if leak.kind != "shm":
+                continue
+            detail = ("when an exception unwinds past it"
+                      if leak.paths == ("exception",)
+                      else "on an exit path")
+            findings.append(Finding(
+                rule=self.code, path=source.display_path,
+                line=leak.line, col=leak.col,
+                message=(f"'{func.name}' attaches a SharedMemory "
+                         f"mapping into {leak.name!r} but does not "
+                         f"close() it {detail}; a leaked mapping "
+                         f"keeps the segment's pages resident for "
+                         f"the process lifetime")))
         return findings
 
     # -- owner classes retire what they create -------------------------------
@@ -74,12 +103,14 @@ class ShmLifetimeRule(Rule):
     def _check_owner(self, source: SourceFile,
                      cls: ast.ClassDef) -> list[Finding]:
         creates_at: int | None = None
+        creates_col = 0
         closes = unlinks = False
         for node in ast.walk(cls):
             if isinstance(node, ast.Call):
                 if _is_shared_memory_call(node) and _creates(node):
                     if creates_at is None:
                         creates_at = node.lineno
+                        creates_col = node.col_offset + 1
                 elif isinstance(node.func, ast.Attribute):
                     if node.func.attr == "close":
                         closes = True
@@ -92,6 +123,7 @@ class ShmLifetimeRule(Rule):
                                     ("unlink()", unlinks)) if not have)
         return [Finding(
             rule=self.code, path=source.display_path, line=creates_at,
+            col=creates_col,
             message=(f"class '{cls.name}' creates SharedMemory "
                      f"segments but never calls {missing}; owners "
                      f"must retire every segment they create"))]
@@ -115,7 +147,7 @@ class ShmLifetimeRule(Rule):
                     node.func.attr == "unlink":
                 findings.append(Finding(
                     rule=self.code, path=source.display_path,
-                    line=node.lineno,
+                    line=node.lineno, col=node.col_offset + 1,
                     message=(f"attach-side function '{func.name}' "
                              f"calls unlink(); only the segment owner "
                              f"may unlink, attachers close() their "

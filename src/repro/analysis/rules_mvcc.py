@@ -11,18 +11,29 @@ legacy ``REPRO_MVCC=off`` paths intentionally scan under the table
 latch and must stay representable.
 
 RC601 (error) — copy-on-write version objects have bracketed
-lifetimes, enforced per function body:
+lifetimes, enforced *path-sensitively* by the resource dataflow
+(:func:`repro.analysis.flow.dataflow.analyze_resources`) over the
+function's CFG:
 
 - every ``<x>.pin_snapshot()`` result that is bound to a name must be
-  released on all exit paths: the same name must be unpinned inside a
-  ``finally`` block (``snap.unpin(...)``), used as a context manager
-  (``with snap:`` / ``with t.pin_snapshot() as snap:``), or returned
-  to the caller (ownership transfer, e.g. a pin helper);
-- every ``<x>.begin_write(...)`` must have a matching ``end_write()``
-  inside a ``finally`` block, so the clone set a writer opened is
-  always closed out (published or reconciled) even when the statement
-  fails mid-flight — otherwise the next writer would re-clone pages
-  that were never accounted for and the pool would leak dead versions.
+  released on **all** exit paths — normal fall-through, every early
+  ``return``, and every exception unwind.  A pin released by a
+  ``finally`` block, managed by a ``with`` statement, returned to the
+  caller, or stored into a container/attribute (ownership transfer)
+  is clean; a pin whose unpin can be skipped by an early return or a
+  raise between pin and unpin is a leak on exactly those paths, and
+  the finding says which;
+- every ``<x>.begin_write(...)`` must reach a matching ``end_write()``
+  on all exit paths, so the clone set a writer opened is always closed
+  out (published or reconciled) even when the statement fails
+  mid-flight — otherwise the next writer would re-clone pages that
+  were never accounted for and the pool would leak dead versions.
+
+Ownership transfer is deliberately shallow: ``return snap`` (or a
+tuple/list of names, or passing the pin directly to a call) hands the
+pin to the caller, but ``return list(snap.scan())`` returns *derived*
+data — the pin's lifetime stays in this function and an unbracketed
+exit path is still a leak.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Sequence
 
+from .flow.dataflow import ResourceLeak, analyze_resources
 from .framework import Finding, LintContext, Rule, SourceFile
 
 
@@ -72,7 +84,8 @@ class _YieldScan(ast.NodeVisitor):
 
     def __init__(self) -> None:
         self.guard_stack: list[int] = []
-        self.hits: list[tuple[int, int]] = []  # (yield line, guard line)
+        #: (yield line, yield col, guard line)
+        self.hits: list[tuple[int, int, int]] = []
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         pass  # nested defs are scanned on their own terms
@@ -97,11 +110,13 @@ class _YieldScan(ast.NodeVisitor):
 
     def visit_Yield(self, node: ast.Yield) -> None:
         if self.guard_stack:
-            self.hits.append((node.lineno, self.guard_stack[-1]))
+            self.hits.append((node.lineno, node.col_offset + 1,
+                              self.guard_stack[-1]))
 
     def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
         if self.guard_stack:
-            self.hits.append((node.lineno, self.guard_stack[-1]))
+            self.hits.append((node.lineno, node.col_offset + 1,
+                              self.guard_stack[-1]))
 
 
 class LatchYieldRule(Rule):
@@ -125,11 +140,12 @@ class LatchYieldRule(Rule):
                 scan = _YieldScan()
                 for stmt in func.body:
                     scan.visit(stmt)
-                for yline, gline in scan.hits:
+                for yline, ycol, gline in scan.hits:
                     findings.append(Finding(
                         rule=self.code,
                         path=source.path,
                         line=yline,
+                        col=ycol,
                         message=(
                             f"{func.name} yields while holding the "
                             f"latch acquired at line {gline}; the "
@@ -141,101 +157,22 @@ class LatchYieldRule(Rule):
         return findings
 
 
-class _LifetimeScan:
-    """Per-function bookkeeping for RC601."""
-
-    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        self.pins: list[tuple[str, int]] = []  # (name, line) of pin assigns
-        self.with_pins: set[str] = set()  # `with x.pin_snapshot() as s`
-        self.ctx_used: set[str] = set()  # `with snap:` style
-        self.finally_unpinned: set[str] = set()
-        self.returned: set[str] = set()
-        self.begin_writes: list[int] = []
-        self.finally_end_writes = 0
-        self._walk(func.body, in_finally=False)
-
-    @staticmethod
-    def _calls_method(expr: ast.expr, method: str) -> bool:
-        return (isinstance(expr, ast.Call)
-                and isinstance(expr.func, ast.Attribute)
-                and expr.func.attr == method)
-
-    def _contains_pin_call(self, expr: ast.expr) -> bool:
-        return any(
-            self._calls_method(node, "pin_snapshot")
-            for node in ast.walk(expr) if isinstance(node, ast.expr))
-
-    def _scan_expr(self, expr: ast.expr, in_finally: bool) -> None:
-        """Record interesting calls in one expression tree (expressions
-        cannot contain statements, so this never double-counts)."""
-        for node in ast.walk(expr):
-            if isinstance(node, ast.Call) \
-                    and isinstance(node.func, ast.Attribute):
-                if node.func.attr == "begin_write":
-                    self.begin_writes.append(node.lineno)
-                elif node.func.attr == "end_write" and in_finally:
-                    self.finally_end_writes += 1
-                elif node.func.attr == "unpin" and in_finally \
-                        and isinstance(node.func.value, ast.Name):
-                    self.finally_unpinned.add(node.func.value.id)
-
-    def _walk(self, body: Sequence[ast.stmt], in_finally: bool) -> None:
-        for stmt in body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef)):
-                continue  # nested definitions are scanned on their own
-            if isinstance(stmt, ast.Try):
-                self._walk(stmt.body, in_finally)
-                for handler in stmt.handlers:
-                    self._walk(handler.body, in_finally)
-                self._walk(stmt.orelse, in_finally)
-                self._walk(stmt.finalbody, True)
-                continue
-            if isinstance(stmt, ast.Assign) and stmt.value is not None \
-                    and self._contains_pin_call(stmt.value):
-                for target in stmt.targets:
-                    if isinstance(target, ast.Name):
-                        self.pins.append((target.id, stmt.lineno))
-            if isinstance(stmt, ast.Return) and stmt.value is not None:
-                # Ownership transfer is only `return snap` (or a tuple
-                # of names) — returning a *derived* value keeps the
-                # pin's lifetime in this function.
-                value = stmt.value
-                elts = value.elts if isinstance(
-                    value, (ast.Tuple, ast.List)) else [value]
-                for elt in elts:
-                    if isinstance(elt, ast.Name):
-                        self.returned.add(elt.id)
-            if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                for item in stmt.items:
-                    expr = item.context_expr
-                    if self._calls_method(expr, "pin_snapshot"):
-                        if isinstance(item.optional_vars, ast.Name):
-                            self.with_pins.add(item.optional_vars.id)
-                    elif isinstance(expr, ast.Name):
-                        self.ctx_used.add(expr.id)
-            # Direct expressions of this statement, then nested bodies.
-            for child in ast.iter_child_nodes(stmt):
-                if isinstance(child, ast.expr):
-                    self._scan_expr(child, in_finally)
-                elif isinstance(child, ast.stmt):
-                    self._walk([child], in_finally)
-                elif isinstance(child, (ast.excepthandler, ast.match_case,
-                                        ast.withitem)):
-                    for sub in ast.iter_child_nodes(child):
-                        if isinstance(sub, ast.stmt):
-                            self._walk([sub], in_finally)
-                        elif isinstance(sub, ast.expr):
-                            self._scan_expr(sub, in_finally)
+def _path_detail(leak: ResourceLeak) -> str:
+    """Which exit paths the resource escapes on, for the message."""
+    if leak.paths == ("exception",):
+        return "when an exception unwinds past it"
+    if leak.paths == ("normal",):
+        return "on an exit path"
+    return "on all exit paths"
 
 
 class VersionLifetimeRule(Rule):
     code = "RC601"
     name = "version-lifetime"
     description = (
-        "pinned snapshots must be unpinned on all exit paths (finally "
-        "or context manager) and begin_write must pair with end_write "
-        "in a finally"
+        "pinned snapshots must be unpinned on every exit path — "
+        "normal, early-return and exception — and begin_write must "
+        "reach end_write on every exit path (use a finally)"
     )
     severity = "error"
 
@@ -245,34 +182,34 @@ class VersionLifetimeRule(Rule):
         for source in files:
             assert source.tree is not None
             for func in _iter_functions(source.tree):
-                scan = _LifetimeScan(func)
-                for name, line in scan.pins:
-                    if name in scan.finally_unpinned \
-                            or name in scan.ctx_used \
-                            or name in scan.with_pins \
-                            or name in scan.returned:
-                        continue
-                    findings.append(Finding(
-                        rule=self.code,
-                        path=source.path,
-                        line=line,
-                        message=(
-                            f"{func.name} pins a snapshot into "
-                            f"{name!r} but never unpins it on all "
-                            "exit paths (call unpin in a finally, use "
-                            "it as a context manager, or return it)"
-                        ),
-                    ))
-                if scan.begin_writes and not scan.finally_end_writes:
-                    findings.append(Finding(
-                        rule=self.code,
-                        path=source.path,
-                        line=scan.begin_writes[0],
-                        message=(
-                            f"{func.name} calls begin_write without "
-                            "an end_write in a finally block; the "
-                            "writer's clone set must be closed out "
-                            "even when the statement fails"
-                        ),
-                    ))
+                for leak in analyze_resources(func).leaks:
+                    if leak.kind == "pin":
+                        findings.append(Finding(
+                            rule=self.code,
+                            path=source.path,
+                            line=leak.line,
+                            col=leak.col,
+                            message=(
+                                f"{func.name} pins a snapshot into "
+                                f"{leak.name!r} but never unpins it "
+                                f"{_path_detail(leak)} (call unpin in "
+                                "a finally, use it as a context "
+                                "manager, or return it)"
+                            ),
+                        ))
+                    elif leak.kind == "write":
+                        findings.append(Finding(
+                            rule=self.code,
+                            path=source.path,
+                            line=leak.line,
+                            col=leak.col,
+                            message=(
+                                f"{func.name} calls begin_write "
+                                "without reaching end_write "
+                                f"{_path_detail(leak)}; the writer's "
+                                "clone set must be closed out even "
+                                "when the statement fails (put "
+                                "end_write in a finally)"
+                            ),
+                        ))
         return findings

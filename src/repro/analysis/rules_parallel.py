@@ -127,6 +127,7 @@ class ParallelSafetyRule(Rule):
                     rule=self.code,
                     path=source.display_path,
                     line=call.lineno,
+                col=call.col_offset + 1,
                     message=(
                         "lambda passed to register_function is not "
                         "name-picklable; define a module-level function or "
@@ -140,6 +141,7 @@ class ParallelSafetyRule(Rule):
                     rule=self.code,
                     path=source.display_path,
                     line=call.lineno,
+                col=call.col_offset + 1,
                     message=(
                         f"nested function '{func_arg.id}' passed to "
                         "register_function cannot be pickled by name; move "
@@ -165,6 +167,7 @@ class ParallelSafetyRule(Rule):
                     rule=self.code,
                     path=source.display_path,
                     line=call.lineno,
+                col=call.col_offset + 1,
                     message=(
                         "lambda attached via setattr is not name-picklable; "
                         "attach a module-level or _sql_name-stamped function"
@@ -181,6 +184,7 @@ class ParallelSafetyRule(Rule):
                 rule=self.code,
                 path=source.display_path,
                 line=call.lineno,
+                col=call.col_offset + 1,
                 message=(
                     f"nested function '{value.id}' attached via setattr "
                     "without _sql_schema/_sql_name markers; workers cannot "

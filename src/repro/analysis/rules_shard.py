@@ -93,6 +93,7 @@ class ShardHygieneRule(Rule):
             findings.append(Finding(
                 rule=self.code, path=source.display_path,
                 line=getattr(node, "lineno", func.lineno),
+                col=getattr(node, "col_offset", -1) + 1,
                 message=(f"merge function '{func.name}' must stay "
                          f"pure: {what}")))
 
@@ -132,6 +133,7 @@ class ShardHygieneRule(Rule):
                 findings.append(Finding(
                     rule=self.code, path=source.display_path,
                     line=node.lineno,
+                    col=node.col_offset + 1,
                     message=("shard coordinator code must not touch "
                              "the buffer pool; storage belongs to the "
                              "shard processes")))
@@ -140,6 +142,7 @@ class ShardHygieneRule(Rule):
                 findings.append(Finding(
                     rule=self.code, path=source.display_path,
                     line=node.lineno,
+                    col=node.col_offset + 1,
                     message=("shard coordinator code must not use "
                              "BufferPool directly; storage belongs to "
                              "the shard processes")))

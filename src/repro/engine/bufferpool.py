@@ -16,6 +16,7 @@ import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from . import lockcheck
 from .constants import PAGE_SIZE
 from .page import Page, PageFile
 
@@ -119,7 +120,7 @@ class BufferPool:
         self.counters = IoCounters()
         self._last_physical: int | None = None
         self._physical_log: list[int] | None = None
-        self._lock = threading.RLock()
+        self._lock = lockcheck.tracked_lock("pool", reentrant=True)
         self._thread = threading.local()
         # Every live thread's IO state, so a cache clear can reset
         # *all* threads' sequential-stream positions, not just the
@@ -147,7 +148,7 @@ class BufferPool:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self._lock = threading.RLock()
+        self._lock = lockcheck.tracked_lock("pool", reentrant=True)
         self._thread = threading.local()
         self._thread_states = weakref.WeakSet()
 

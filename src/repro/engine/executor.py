@@ -815,13 +815,15 @@ class Executor:
             yield table
             return
         snap = table.pin_snapshot() if pin else None
-        if cold:
-            pool.begin_cold_view()
         try:
-            yield snap if snap is not None else table
-        finally:
             if cold:
-                pool.end_cold_view()
+                pool.begin_cold_view()
+            try:
+                yield snap if snap is not None else table
+            finally:
+                if cold:
+                    pool.end_cold_view()
+        finally:
             if snap is not None:
                 snap.unpin(pool)
 

@@ -99,6 +99,9 @@ class LatchManager:
         self._db_lock = db_lock
         self._table_names = table_names
         self._catalog = RWLock()
+        # Stamp sentinel identities (REPRO_LOCK_CHECK=1): the db-wide
+        # RWLock keeps its default "db" class.
+        self._catalog.lock_class = "catalog"
         self._latches: dict[str, RWLock] = {}
         # Leaf mutex guarding only the latch dict itself; nothing is
         # acquired while it is held.
@@ -111,6 +114,8 @@ class LatchManager:
             latch = self._latches.get(key)
             if latch is None:
                 latch = self._latches[key] = RWLock()
+                latch.lock_class = "table"
+                latch.lock_name = key
             return latch
 
     def forget(self, name: str) -> None:

@@ -20,6 +20,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from . import lockcheck
+
 __all__ = ["RWLock"]
 
 
@@ -40,16 +42,23 @@ class RWLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        # Sentinel identity (REPRO_LOCK_CHECK=1): owners re-stamp —
+        # the LatchManager marks its catalog latch "catalog" and each
+        # per-table latch "table" with the table name.
+        self.lock_class = "db"
+        self.lock_name: str | None = None
 
     # -- read side -----------------------------------------------------------
 
     def acquire_read(self, timeout: float | None = None) -> bool:
         """Take the shared side; returns False on timeout."""
+        lockcheck.note_acquire(self.lock_class, self.lock_name)
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: not self._writer and not self._writers_waiting,
                 timeout)
             if not ok:
+                lockcheck.note_release(self.lock_class, self.lock_name)
                 return False
             self._readers += 1
             return True
@@ -61,6 +70,7 @@ class RWLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        lockcheck.note_release(self.lock_class, self.lock_name)
 
     @contextmanager
     def read_lock(self) -> Iterator["RWLock"]:
@@ -75,6 +85,7 @@ class RWLock:
 
     def acquire_write(self, timeout: float | None = None) -> bool:
         """Take the exclusive side; returns False on timeout."""
+        lockcheck.note_acquire(self.lock_class, self.lock_name)
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -82,6 +93,8 @@ class RWLock:
                     lambda: not self._writer and self._readers == 0,
                     timeout)
                 if not ok:
+                    lockcheck.note_release(self.lock_class,
+                                           self.lock_name)
                     return False
                 self._writer = True
                 return True
@@ -94,6 +107,7 @@ class RWLock:
                 raise RuntimeError("release_write without the write holder")
             self._writer = False
             self._cond.notify_all()
+        lockcheck.note_release(self.lock_class, self.lock_name)
 
     @contextmanager
     def write_lock(self) -> Iterator["RWLock"]:

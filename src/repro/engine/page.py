@@ -14,9 +14,9 @@ charged to the IO model.
 from __future__ import annotations
 
 import struct
-import threading
 from typing import Iterator
 
+from . import lockcheck
 from .constants import (
     EXTENT_PAGES,
     PAGE_BODY_SIZE,
@@ -204,7 +204,7 @@ class PageFile:
         # all tables' blobs share one allocation tag), so overlapping
         # writers — legal under per-table latches — must serialize
         # allocation.  Nothing is acquired while it is held.
-        self._lock = threading.Lock()
+        self._lock = lockcheck.tracked_lock("pagefile")
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -217,7 +217,7 @@ class PageFile:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = lockcheck.tracked_lock("pagefile")
 
     @property
     def page_count(self) -> int:

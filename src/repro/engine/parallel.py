@@ -691,11 +691,12 @@ def _execute_mvcc(db, table, plan_bytes: bytes, aggregates, cold: bool,
     instead of ``pool.clear()``, leaving neighbours' counters alone.
     """
     coord_pool = db.pool
+    snap = None
     with pool_mgr.guard():
-        with db.latches.read_latch():
-            snap = table.pin_snapshot()
-            pool_mgr._refresh_snapshot(table.name)
         try:
+            with db.latches.read_latch():
+                snap = table.pin_snapshot()
+                pool_mgr._refresh_snapshot(table.name)
             leaf_ids = snap.data_page_ids()
             if cold:
                 coord_pool.begin_cold_view()
@@ -714,7 +715,8 @@ def _execute_mvcc(db, table, plan_bytes: bytes, aggregates, cold: bool,
                 if cold:
                     coord_pool.end_cold_view()
         finally:
-            snap.unpin(coord_pool)
+            if snap is not None:
+                snap.unpin(coord_pool)
     return _merge_results(pool_mgr, aggregates, grouped, morsel_results,
                           descent_delta, descent_log, started)
 

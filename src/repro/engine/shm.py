@@ -137,9 +137,11 @@ def read_segment(ref: SnapshotRef, loads):
     """
     _kind, name, size = ref
     shm = _attach(name)
-    view = shm.buf[:size]
     try:
-        return loads(view)
+        view = shm.buf[:size]
+        try:
+            return loads(view)
+        finally:
+            view.release()
     finally:
-        view.release()
         shm.close()

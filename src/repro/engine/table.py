@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from . import lockcheck
 from .blob import BlobRef, BlobStore, BlobTreeStream
 from .bufferpool import BufferPool
 from .btree import BTree, BTreeReader
@@ -449,14 +450,21 @@ class Table:
         """
         lo = _KEY_MIN if lo is None else int(lo)
         hi = _KEY_MAX if hi is None else int(hi)
-        with self._intent_cond:
-            while any(lo < other_hi and other_lo < hi
-                      for other_lo, other_hi, _ in self._intents):
-                self._intent_cond.wait()
-            self._intent_seq += 1
-            token = self._intent_seq
-            self._intents.append((lo, hi, token))
-            return token
+        # Validate-before-block: the sentinel raises here if any latch
+        # or leaf mutex is already held (intents rank above them all).
+        lockcheck.note_acquire("intent", self.name)
+        try:
+            with self._intent_cond:
+                while any(lo < other_hi and other_lo < hi
+                          for other_lo, other_hi, _ in self._intents):
+                    self._intent_cond.wait()
+                self._intent_seq += 1
+                token = self._intent_seq
+                self._intents.append((lo, hi, token))
+                return token
+        except BaseException:
+            lockcheck.note_release("intent", self.name)
+            raise
 
     def release_intent(self, token: int) -> None:
         """Release a held write intent and wake blocked writers."""
@@ -464,6 +472,7 @@ class Table:
             self._intents = [entry for entry in self._intents
                              if entry[2] != token]
             self._intent_cond.notify_all()
+        lockcheck.note_release("intent", self.name)
 
     # -- data access ------------------------------------------------------------
 

@@ -1,0 +1,18 @@
+"""Seeded RC601 violation: a pin that leaks *only* on an exception
+path.
+
+The unpin sits in a ``finally`` — a lexical balance check is satisfied
+— but ``codec.header`` runs between the pin and the ``try``: if it
+raises, the exception unwinds past the pin before any cleanup is
+armed, and the snapshot's version chain is never retired.  Only the
+flow-sensitive analysis sees that exit path.
+"""
+
+
+def export_rows(table, pool, codec):
+    snap = table.pin_snapshot()
+    header = codec.header(table.name)  # may raise: pin not yet guarded
+    try:
+        return header + codec.encode(snap.scan())
+    finally:
+        snap.unpin(pool)

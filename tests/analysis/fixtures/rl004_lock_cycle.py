@@ -1,0 +1,40 @@
+"""Seeded RL004 violation: two page pools take each other's mutex in
+opposite orders.
+
+``PagePoolA.ship`` calls ``PagePoolB.pull`` while holding A's mutex
+(edge ``mutex:PagePoolA -> mutex:PagePoolB``); ``PagePoolB.drain``
+calls ``PagePoolA.stash`` while holding B's (the reverse edge).  Each
+path is deadlock-free on its own — only the whole-program lock-order
+graph sees the cycle, which RL004 must report with both witness call
+paths.
+"""
+
+import threading
+
+
+class PagePoolA:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def ship(self, peer):
+        with self._lock:
+            peer.pull()
+
+    def stash(self):
+        with self._lock:
+            self._items.append(1)
+
+
+class PagePoolB:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def pull(self):
+        with self._lock:
+            self._items.append(2)
+
+    def drain(self, peer):
+        with self._lock:
+            peer.stash()

@@ -1,0 +1,16 @@
+"""Seeded RL005 violation: a blocking sleep reached while an exclusive
+table latch is held.
+
+Every reader and writer of the latched table stalls behind the sleep
+for its full duration — the latch is exclusive, so nothing overlaps
+it.  Blocking calls (sleep, sockets, subprocesses) must happen outside
+the latch; the latch should cover only the in-memory mutation.
+"""
+
+import time
+
+
+def compact_table(db, table):
+    with db.latches.write_latch(table):
+        time.sleep(0.25)
+        return table

@@ -2,6 +2,7 @@
 
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -22,21 +23,47 @@ FIXTURES = os.path.join(HERE, "fixtures")
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 SRC_TREE = os.path.join(REPO_ROOT, "src", "repro")
 
-EXPECTED = {
-    "rc601_unbalanced_pin.py": "RC601",
-    "rl001_unlocked_scan.py": "RL001",
-    "rl002_latch_under_pool.py": "RL002",
-    "rl002_lock_order.py": "RL002",
-    "rl002_nested_latches.py": "RL002",
-    "rl003_yield_under_latch.py": "RL003",
-    "rm501_attach_unlinks.py": "RM501",
-    "rm501_owner_leaks.py": "RM501",
-    "rp101_lambda_udf.py": "RP101",
-    "rv201_mutating_kernel.py": "RV201",
-    os.path.join("rw301", "protocol.py"): "RW301",
-    os.path.join("rs401", "shard", "merge_bad.py"): "RS401",
-    os.path.join("rs401", "shard", "router_pool.py"): "RS401",
-}
+_RULE_PREFIX = re.compile(r"^(r[a-z]\d{3})")
+
+
+def _discover_expected():
+    """Auto-discover the fixture matrix: every ``.py`` under fixtures/
+    is one seeded violation whose rule code is the ``rXNNN`` prefix of
+    its filename (or, for fixtures that need a package layout such as
+    ``rw301/`` and ``rs401/``, of the nearest named ancestor
+    directory).  New fixtures join the matrix just by being named
+    right — no hand-maintained table to forget to update."""
+    expected = {}
+    for dirpath, dirnames, filenames in os.walk(FIXTURES):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, filename), FIXTURES)
+            parts = rel.split(os.sep)
+            for part in (filename, *reversed(parts[:-1])):
+                match = _RULE_PREFIX.match(part)
+                if match:
+                    expected[rel] = match.group(1).upper()
+                    break
+            else:
+                raise AssertionError(
+                    f"fixture {rel} has no rXNNN rule prefix in its "
+                    "filename or directory path")
+    return expected
+
+
+EXPECTED = _discover_expected()
+
+
+def test_fixture_matrix_discovered():
+    # The matrix is derived from the tree; make a silent discovery
+    # regression (empty dir, renamed fixtures) loud.
+    assert len(EXPECTED) >= 16
+    assert set(EXPECTED.values()) >= {
+        "RC601", "RL001", "RL002", "RL003", "RL004", "RL005",
+        "RM501", "RP101", "RS401", "RV201", "RW301",
+    }
 
 
 def lint_fixture(relpath):
@@ -64,6 +91,27 @@ def test_fixture_triggers_no_other_rule(relpath, rule):
 def test_fixture_directory_as_a_whole():
     findings = lint_paths([FIXTURES], root=FIXTURES)
     assert sorted(f.rule for f in findings) == sorted(EXPECTED.values())
+
+
+def test_rl004_fixture_reports_both_witness_paths():
+    findings = lint_fixture("rl004_lock_cycle.py")
+    message = findings[0].message
+    assert "[mutex:PagePoolA -> mutex:PagePoolB] PagePoolA.ship" in message
+    assert "[mutex:PagePoolB -> mutex:PagePoolA] PagePoolB.drain" in message
+
+
+def test_rl005_fixture_names_call_and_latch():
+    findings = lint_fixture("rl005_sleep_under_latch.py")
+    assert findings[0].severity == "warn"
+    assert "sleep()" in findings[0].message
+    assert "exclusive 'table' latch" in findings[0].message
+
+
+def test_rc601_exception_path_fixture():
+    # The unpin is in a finally — a lexical balance scan is satisfied —
+    # but the leak on the pre-try exception path is still caught.
+    findings = lint_fixture("rc601_exception_leak.py")
+    assert "when an exception unwinds past it" in findings[0].message
 
 
 # -- the real tree lints clean ---------------------------------------------

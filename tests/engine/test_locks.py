@@ -10,7 +10,20 @@ import time
 
 import pytest
 
+from repro.engine import lockcheck
 from repro.engine.locks import RWLock
+
+
+@pytest.fixture(autouse=True)
+def _no_sentinel():
+    # This suite exercises the raw RWLock mechanics, including the
+    # documented self-deadlock shapes (upgrade attempts, re-entrant
+    # writes) probed with same-thread timeouts — the runtime order
+    # sentinel would reject them before the mechanics under test run.
+    was = lockcheck.is_active()
+    lockcheck.set_active(False)
+    yield
+    lockcheck.set_active(was)
 
 
 def test_readers_share():
