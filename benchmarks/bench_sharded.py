@@ -8,6 +8,12 @@ partitioning preserves the fold order, so float SUM/AVG must match
 exactly).  ``sharded_throughput`` is what ``collect_results.py``
 records into ``results.json``.
 
+Two replica measurements ride along: ``replica_read_throughput``
+(read qps over a 2-shard cluster as the replica count grows) and
+``kill_a_replica_drill``, which SIGKILLs a replica mid-workload and
+asserts zero client-visible errors with at least one recorded
+failover — the repeatable form of the PR's acceptance drill.
+
 The ≥1.5x scan-throughput assertion only runs on hosts with at least
 four cores — on a one-CPU container the shard processes time-slice
 one core and the honest measurement is pure coordination overhead.
@@ -59,9 +65,10 @@ def build_reference(rows: int = ROWS) -> SqlSession:
     return SqlSession(db)
 
 
-def build_cluster(shards: int, rows: int = ROWS):
+def build_cluster(shards: int, rows: int = ROWS, replicas: int = 1):
     """A loaded cluster; caller owns ``fleet.stop()``."""
-    config = ShardConfig(shards=shards, key_lo=0, key_hi=rows)
+    config = ShardConfig(shards=shards, replicas=replicas,
+                         key_lo=0, key_hi=rows)
     fleet = ShardFleet(config).start()
     try:
         router = ShardRouter(fleet.addresses, config.make_partitioner())
@@ -126,6 +133,72 @@ def sharded_throughput(rows: int = ROWS,
     return out
 
 
+def replica_read_throughput(rows: int = ROWS,
+                            replica_counts=(1, 2),
+                            iterations: int = 12) -> dict:
+    """Read qps over a fixed 2-shard cluster as the replica count
+    grows (reads round-robin across replicas, so extra replicas add
+    read capacity on parallel hardware).  Used by
+    ``collect_results.py``."""
+    reference = _reference_bits(rows)
+    out = {}
+    for replicas in replica_counts:
+        fleet, router = build_cluster(2, rows, replicas=replicas)
+        try:
+            got = router.execute(SCAN_SQL, cold=False)
+            assert _bits([tuple(r) for r in got["rows"]]) == \
+                reference[SCAN_SQL], replicas
+            latencies = []
+            t0 = time.perf_counter()
+            for i in range(iterations):
+                sql = SCAN_SQL if i % 2 == 0 else GROUP_SQL
+                q0 = time.perf_counter()
+                router.execute(sql, cold=False)
+                latencies.append(time.perf_counter() - q0)
+            elapsed = time.perf_counter() - t0
+            latencies.sort()
+            p95 = latencies[int(0.95 * (len(latencies) - 1))]
+            out[str(replicas)] = {
+                "qps": iterations / elapsed,
+                "p95_ms": p95 * 1e3,
+            }
+        finally:
+            router.shutdown()
+            fleet.stop()
+    return out
+
+
+def kill_a_replica_drill(rows: int = 2000, iterations: int = 40) -> dict:
+    """The failover drill: run the aggregate mix against a 2-shard x
+    2-replica cluster, SIGKILL one replica mid-run, and demand zero
+    client-visible errors plus bit-identical answers throughout.
+    Returns the error count (must be 0) and the failovers the router
+    recorded (must be >= 1)."""
+    reference = _reference_bits(rows)
+    fleet, router = build_cluster(2, rows, replicas=2)
+    try:
+        errors = 0
+        failovers = 0
+        kill_at = iterations // 4
+        for i in range(iterations):
+            if i == kill_at:
+                fleet.kill(0, replica=0)
+            sql = SCAN_SQL if i % 2 == 0 else GROUP_SQL
+            try:
+                got = router.execute(sql, cold=False)
+                if _bits([tuple(r) for r in got["rows"]]) != \
+                        reference[sql]:
+                    errors += 1
+            except Exception:
+                errors += 1
+        failovers = router.health()["failovers"]
+        return {"statements": iterations, "errors": errors,
+                "failovers": failovers}
+    finally:
+        router.shutdown()
+        fleet.stop()
+
+
 # -- pytest entry points ----------------------------------------------------
 
 @pytest.fixture(scope="module")
@@ -159,6 +232,14 @@ def test_scan_throughput_scales_1_5x_at_4_shards():
     assert ratio >= 1.5, results
 
 
+def test_kill_a_replica_drill_zero_errors():
+    """CI smoke of the failover drill: a SIGKILLed replica mid-run
+    must cost zero client-visible errors and record >= 1 failover."""
+    drill = kill_a_replica_drill(rows=1500, iterations=20)
+    assert drill["errors"] == 0, drill
+    assert drill["failovers"] >= 1, drill
+
+
 # -- CLI --------------------------------------------------------------------
 
 def main(argv):
@@ -169,7 +250,20 @@ def main(argv):
     for shards, numbers in results.items():
         print(f"  {shards} shard(s): {numbers['qps']:7.1f} q/s   "
               f"p95 {numbers['p95_ms']:6.1f} ms")
-    print(json.dumps({"rows": rows, "sharded_throughput": results}))
+    replicas = replica_read_throughput(rows=rows,
+                                       iterations=iterations)
+    for count, numbers in replicas.items():
+        print(f"  2 shards x {count} replica(s): "
+              f"{numbers['qps']:7.1f} q/s   "
+              f"p95 {numbers['p95_ms']:6.1f} ms")
+    drill = kill_a_replica_drill(rows=min(rows, 2000),
+                                 iterations=max(iterations * 2, 20))
+    print(f"  kill-a-replica drill: {drill['statements']} statements, "
+          f"{drill['errors']} errors, {drill['failovers']} failovers")
+    assert drill["errors"] == 0, drill
+    print(json.dumps({"rows": rows, "sharded_throughput": results,
+                      "replica_read_throughput": replicas,
+                      "kill_a_replica_drill": drill}))
     return 0
 
 

@@ -154,6 +154,25 @@ def sharded_block(rows: int) -> dict:
     return numbers
 
 
+def replica_block(rows: int) -> dict:
+    print("=" * 70)
+    print("Replica shards: read throughput by replica count, plus "
+          "the kill-a-replica drill")
+    print("=" * 70)
+    from bench_sharded import kill_a_replica_drill, \
+        replica_read_throughput
+    numbers = replica_read_throughput(rows=rows)
+    for count, d in numbers.items():
+        print(f"  2 shards x {count} replica(s): {d['qps']:7.1f} q/s"
+              f"   p95 {d['p95_ms']:6.1f} ms")
+    drill = kill_a_replica_drill(rows=min(rows, 2_000))
+    print(f"  drill: {drill['statements']} statements with a replica "
+          f"SIGKILLed mid-run -> {drill['errors']} errors, "
+          f"{drill['failovers']} failover(s)")
+    assert drill["errors"] == 0, drill
+    return {"read_throughput": numbers, "drill": drill}
+
+
 def latch_mvcc_block() -> dict:
     print("=" * 70)
     print("Latching and MVCC: reader throughput under concurrent "
@@ -285,6 +304,7 @@ def main(rows: int = 20_000, json_out: str | None = None) -> None:
     results["vector_speedup"] = vectorized_block(rows)
     results["parallel_speedup"] = parallel_block(rows)
     results["sharded_throughput"] = sharded_block(min(rows, 8_000))
+    results["replica_shards"] = replica_block(min(rows, 8_000))
     results["dataplane"] = pipeline_block()
     results["shm_snapshot"] = shm_snapshot_block(min(rows, 10_000))
     results["latch_mvcc"] = latch_mvcc_block()

@@ -139,6 +139,10 @@ def _cmd_shard_serve(args: list[str]) -> int:
                         help="coordinator port (shards bind ephemeral "
                              "loopback ports)")
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="server processes per shard; with more "
+                             "than one, reads fail over to a sibling "
+                             "when a replica dies")
     parser.add_argument("--partitioning", choices=("range", "hash"),
                         default="range")
     parser.add_argument("--rows", type=int, default=5000,
@@ -161,11 +165,13 @@ def _cmd_shard_serve(args: list[str]) -> int:
     from repro.tsql import FloatArray
 
     shard_config = ShardConfig(
-        shards=opts.shards, partitioning=opts.partitioning,
+        shards=opts.shards, replicas=opts.replicas,
+        partitioning=opts.partitioning,
         key_lo=0, key_hi=max(opts.rows, 1),
         host="127.0.0.1", max_workers=opts.workers,
         queue_limit=opts.queue)
-    print(f"Starting {opts.shards} shard process(es) ...")
+    print(f"Starting {opts.shards} shard(s) x {opts.replicas} "
+          f"replica(s) ...")
     fleet, router = start_cluster(shard_config)
     try:
         print(f"Loading evaluation tables at {opts.rows:,} rows ...")
@@ -192,10 +198,13 @@ def _cmd_shard_serve(args: list[str]) -> int:
 
         async def _serve():
             await coordinator.start()
-            shards = ", ".join(f"{h}:{p}" for h, p in fleet.addresses)
+            shards = ", ".join(
+                "|".join(f"{h}:{p}" for h, p in replica_set)
+                for replica_set in fleet.addresses)
             print(f"repro-shard-coordinator listening on "
                   f"{opts.host}:{coordinator.port} "
                   f"({opts.shards} shards [{shards}], "
+                  f"replicas={opts.replicas}, "
                   f"partitioning={opts.partitioning})")
             await coordinator.serve_forever()
 

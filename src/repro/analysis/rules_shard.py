@@ -20,6 +20,16 @@ The distributed-aggregation design rests on two structural facts:
   ``process.py``, which legitimately builds per-shard databases),
   RS401 flags ``.pool`` attribute access and any ``BufferPool``
   reference.
+
+* **Plan-free failover.**  A failover replays the *already-planned*
+  request on a sibling replica; it must not re-plan, or the replay
+  could route differently from the original (DDL may have moved the
+  catalog mirror under it mid-statement) and the two replicas would
+  serve different statements.  Inside any function whose name contains
+  ``failover`` or ``reprobe`` in a shard module, RS401 flags access to
+  ``.session`` / ``.catalog`` and calls to ``plan_select`` /
+  ``prepare`` — the failover and reprobe paths speak only to replica
+  links and health state, never to the planner.
 """
 
 from __future__ import annotations
@@ -56,7 +66,8 @@ class ShardHygieneRule(Rule):
     name = "shard-hygiene"
     description = (
         "merge_* functions in shard modules must be pure; shard "
-        "coordinator code must not touch BufferPool storage"
+        "coordinator code must not touch BufferPool storage; "
+        "failover/reprobe paths must not re-plan"
     )
 
     def check(self, files: Sequence[SourceFile],
@@ -66,10 +77,13 @@ class ShardHygieneRule(Rule):
             if source.tree is None or not _is_shard_file(source):
                 continue
             for node in ast.walk(source.tree):
-                if isinstance(node, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef)) and \
-                        node.name.startswith("merge"):
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("merge"):
                     findings.extend(self._check_merge(source, node))
+                if "failover" in node.name or "reprobe" in node.name:
+                    findings.extend(self._check_failover(source, node))
             if source.basename != "process.py":
                 findings.extend(self._check_storage(source))
         return findings
@@ -121,6 +135,37 @@ class ShardHygieneRule(Rule):
                     flag(node, f"mutates argument "
                                f"'{_root_name(node.func.value)}' via "
                                f".{node.func.attr}()")
+        return findings
+
+    # -- failover replay isolation -------------------------------------------
+
+    _PLANNER_ATTRS = frozenset({"session", "catalog"})
+    _PLANNER_CALLS = frozenset({"plan_select", "prepare"})
+
+    def _check_failover(self, source: SourceFile,
+                        func: ast.FunctionDef) -> list[Finding]:
+        """Failover/reprobe bodies replay or probe; they never plan.
+        Flags ``.session``/``.catalog`` access and planner calls so a
+        replay can never silently re-route mid-statement."""
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(Finding(
+                rule=self.code, path=source.display_path,
+                line=getattr(node, "lineno", func.lineno),
+                col=getattr(node, "col_offset", -1) + 1,
+                message=(f"failover path '{func.name}' must not "
+                         f"re-plan: {what}")))
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and \
+                    node.attr in self._PLANNER_ATTRS:
+                flag(node, f"touches .{node.attr} (the catalog "
+                           f"mirror/planner)")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in self._PLANNER_CALLS:
+                flag(node, f"calls .{node.func.attr}()")
         return findings
 
     # -- coordinator storage isolation ---------------------------------------

@@ -106,6 +106,10 @@ class Database:
         self.latches = LatchManager(self.lock, self._table_names,
                                     latch_mode)
         self._catalog_lock = threading.Lock()
+        # Keeps write_version monotonic across DROP TABLE: a dropped
+        # table's contribution (its catalog slot + mutations) would
+        # otherwise vanish and the counter could move backwards.
+        self._dropped_version_carry = 0
 
     def _table_names(self) -> list[str]:
         """Current table names — the all-tables latch set."""
@@ -136,7 +140,8 @@ class Database:
         worker snapshot was taken at, and re-snapshots when stale.
         """
         return len(self.tables) + sum(
-            t.mutations for t in self.tables.values())
+            t.mutations for t in self.tables.values()) + \
+            self._dropped_version_carry
 
     def snapshot_bytes(self) -> bytes:
         """The pickled snapshot payload :meth:`save` writes — exposed
@@ -191,6 +196,31 @@ class Database:
             table._pool_ref = self.pool
             self.tables[name] = table
             return table
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a table (the DROP TABLE primitive).
+
+        Removes the catalog entry (case-insensitive, like SQL name
+        resolution) and its latch.  The table's pages stay allocated
+        in the page file until the process exits — there is no extent
+        reclamation, which trades a little memory for never having to
+        prove that no pinned snapshot still walks them.  Callers going
+        through SQL hold the exclusive catalog latch
+        (:meth:`LatchManager.ddl_latch`), so no statement can be
+        scanning the table when it vanishes.
+        """
+        if self.read_only:
+            raise PermissionError(
+                "cannot drop tables in a read-only database snapshot")
+        with self._catalog_lock:
+            for key, table in self.tables.items():
+                if key.lower() == name.lower():
+                    del self.tables[key]
+                    self._dropped_version_carry += table.mutations + 2
+                    break
+            else:
+                raise ValueError(f"no such table {name!r}")
+        self.latches.forget(name)
 
     def report(self) -> str:
         """Human-readable catalog report: per-table rows, pages, sizes

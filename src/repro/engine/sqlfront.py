@@ -16,11 +16,12 @@ and compiles it onto the executor, so the five Table 1 queries run
 
 Grammar::
 
-    stmt    := query | create | insert | delete
+    stmt    := query | create | drop | insert | delete
     query   := SELECT item (',' item)* FROM name [WITH '(' NOLOCK ')']
                [WHERE pred] [GROUP BY expr]
     item    := agg | expr            (plain exprs only with GROUP BY)
     create  := CREATE TABLE name '(' col type [PRIMARY KEY] ... ')'
+    drop    := DROP TABLE name
     insert  := INSERT INTO name VALUES '(' value, ... ')' [, ...]
     delete  := DELETE FROM name [WHERE pred]
     agg     := COUNT '(' '*' ')' | (SUM|AVG|MIN|MAX) '(' expr ')'
@@ -88,7 +89,7 @@ _TOKEN_RE = re.compile(r"""
 _KEYWORDS = {"SELECT", "FROM", "WHERE", "WITH", "NOLOCK", "AND", "OR",
              "NOT", "COUNT", "SUM", "AVG", "MIN", "MAX", "AS", "NULL",
              "IS", "GROUP", "BY", "CREATE", "TABLE", "INSERT", "INTO",
-             "VALUES", "PRIMARY", "KEY", "DELETE"}
+             "VALUES", "PRIMARY", "KEY", "DELETE", "DROP"}
 
 
 def _tokenize(text: str):
@@ -356,8 +357,8 @@ class SqlSession:
 
         ``SELECT`` returns ``(values, metrics)`` (or ``(rows, metrics)``
         with GROUP BY); ``CREATE TABLE`` returns the new
-        :class:`~repro.engine.table.Table`; ``INSERT`` returns the
-        number of rows inserted.  ``finalize`` (SELECT only) is applied
+        :class:`~repro.engine.table.Table`; ``DROP TABLE`` returns 0;
+        ``INSERT`` returns the number of rows inserted.  ``finalize`` (SELECT only) is applied
         to the result while the table latches are still held — see
         :meth:`query`.  ``engine`` (SELECT only) picks the execution
         path — ``"row"``, ``"vector"``, ``"parallel"``, or ``None`` for
@@ -365,7 +366,7 @@ class SqlSession:
         cold-run metrics.  ``workers`` sizes the parallel engine's
         process pool (ignored by the serial engines).
 
-        Latching: CREATE takes the exclusive catalog latch; INSERT and
+        Latching: CREATE/DROP take the exclusive catalog latch; INSERT and
         DELETE take the exclusive latch of the one table they target
         (discovered from the token stream before locking anything), so
         a writer here overlaps readers and writers of *other* tables.
@@ -388,6 +389,11 @@ class SqlSession:
                 result = _Ddl(self, tokens).create_table()
             self._plan_cache.clear()
             return result
+        if head == ("kw", "DROP"):
+            with self.db.latches.ddl_latch():
+                _Ddl(self, tokens).drop_table()
+            self._plan_cache.clear()
+            return 0
         if head == ("kw", "INSERT"):
             if self.db.mvcc:
                 return self._insert_mvcc(tokens)
@@ -1310,6 +1316,22 @@ class _Ddl:
                 raise SqlSyntaxError(
                     "only the first column can be the primary key")
         return column
+
+    def drop_table(self) -> None:
+        """``DROP TABLE name`` — unregister the table from the catalog
+        (the caller holds the exclusive catalog latch)."""
+        self._expect("kw", "DROP")
+        self._expect("kw", "TABLE")
+        name_tok = self._next()
+        if name_tok[0] != "name":
+            raise SqlSyntaxError("expected a table name")
+        if self._peek()[0] != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._peek()[1]!r}")
+        try:
+            self.session.db.drop_table(name_tok[1])
+        except ValueError as exc:
+            raise SqlSyntaxError(str(exc)) from exc
 
     def parse_insert(self) -> tuple[Table, list[tuple]]:
         """Parse ``INSERT INTO name VALUES (v, ...), ...`` into

@@ -88,12 +88,21 @@ def _query_header(sql: str, cold: bool, timeout,
 
 
 class ServerError(Exception):
-    """An error frame from the server (or a broken conversation)."""
+    """An error frame from the server (or a broken conversation).
 
-    def __init__(self, code: str, message: str):
+    ``detail`` mirrors the frame's optional ``detail`` key — structured
+    context such as a shard coordinator's partial-progress report for
+    a cross-shard write that died halfway (``partial_rowcount``,
+    ``applied_shards``, ``failed_shards``); ``None`` when the frame
+    carried none.
+    """
+
+    def __init__(self, code: str, message: str,
+                 detail: object = None):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.detail = detail
 
 
 class ServerBusyError(ServerError):
@@ -152,7 +161,8 @@ def _raise_for_error(header: dict) -> None:
     if header.get("type") == "error":
         code = header.get("code", protocol.INTERNAL)
         exc_type = _ERROR_TYPES.get(code, ServerError)
-        raise exc_type(code, header.get("message", ""))
+        raise exc_type(code, header.get("message", ""),
+                       header.get("detail"))
 
 
 @dataclass

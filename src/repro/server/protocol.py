@@ -114,7 +114,18 @@ Server to client:
 ``hello``   ``{"type": "hello", "server": str, "protocol": 1}``
 ``result``  ``{"type": "result", "kind": "rows" | "ok",
 "rows": [...], "rowcount": int, "metrics": dict | None}``
-``error``   ``{"type": "error", "code": str, "message": str}``
+``error``   ``{"type": "error", "code": str, "message": str,
+"detail": object | null}``
+
+The optional ``detail`` key carries structured, machine-readable
+context for the failure; absent and ``null`` mean "no detail".  A
+shard coordinator uses it to report **partial progress** of a
+cross-shard write that died halfway: a ``SHARD_UNAVAILABLE`` reply to
+a broadcast DELETE or a bulk insert carries
+``{"partial_rowcount": int, "applied_shards": [int, ...],
+"failed_shards": [int, ...]}`` (and per-shard rowcounts under
+``"applied"``), so the caller knows exactly which shards committed
+before the failure instead of learning nothing.
 ``stats``   ``{"type": "stats", ...snapshot...}``
 ``pong``    ``{"type": "pong"}``
 ``goodbye`` ``{"type": "goodbye"}``
@@ -264,10 +275,14 @@ class WireError(Exception):
     unexpected exceptions.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str,
+                 detail: object = None) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        #: Optional JSON-serializable context shipped in the error
+        #: frame's ``detail`` key (partial-progress reports, mainly).
+        self.detail = detail
 
 
 # -- value packing -----------------------------------------------------------

@@ -408,7 +408,7 @@ class ArrayServer:
             # coordinator's SHARD_UNAVAILABLE, a shard's own error
             # passing through): keep its code on the wire.
             self.stats.record_failure(session_id)
-            return None, _error(exc.code, exc.message)
+            return None, _error(exc.code, exc.message, exc.detail)
         except CancelledError:
             self.stats.record_failure(session_id)
             return None, _error(protocol.INTERNAL, "query cancelled")
@@ -523,7 +523,8 @@ class ArrayServer:
             return
         except protocol.WireError as exc:
             await protocol.write_frame(writer, _error(exc.code,
-                                                      exc.message))
+                                                      exc.message,
+                                                      exc.detail))
             return
         except Exception as exc:
             await protocol.write_frame(writer, _error(
@@ -593,7 +594,8 @@ class ArrayServer:
                                            str(exc)), None))
                     continue
                 except protocol.WireError as exc:
-                    replies.append((_error(exc.code, exc.message),
+                    replies.append((_error(exc.code, exc.message,
+                                           exc.detail),
                                     None))
                     continue
                 except Exception as exc:
@@ -901,8 +903,11 @@ class ArrayServer:
         }
 
 
-def _error(code: str, message: str) -> dict:
-    return {"type": "error", "code": code, "message": message}
+def _error(code: str, message: str, detail: object = None) -> dict:
+    frame = {"type": "error", "code": code, "message": message}
+    if detail is not None:
+        frame["detail"] = detail
+    return frame
 
 
 def _resolve_blob_range(header: dict

@@ -1,14 +1,25 @@
 """repro.shard — a sharded multi-process backend for the array engine.
 
-A cluster is N independent :class:`~repro.server.server.ArrayServer`
-processes (:class:`ShardFleet`), each owning a partitioned slice of
-every table, fronted by a coordinator (:class:`ShardRouter` inside a
-:class:`ShardServer`) that plans each statement once, routes it —
-point statements to one shard, key ranges to the owning shards, scans
-to all — and merges replies.  Aggregates travel as unreduced mergeable
-partial states (``pquery``/``presult`` frames) and are folded in shard
-order, so float SUM/AVG under range partitioning are bit-identical to
+A cluster is N logical shards, each owning a partitioned slice of
+every table and each backed by one or more replica
+:class:`~repro.server.server.ArrayServer` processes
+(:class:`ShardFleet`, ``ShardConfig(replicas=...)``), fronted by a
+coordinator (:class:`ShardRouter` inside a :class:`ShardServer`) that
+plans each statement once, routes it — point statements to one shard,
+key ranges to the owning shards, scans to all — and merges replies.
+Aggregates travel as unreduced mergeable partial states
+(``pquery``/``presult`` frames) and are folded in shard order, so
+float SUM/AVG under range partitioning are bit-identical to
 single-node execution.
+
+Replicas make shard loss survivable: writes apply to every replica of
+the owning shard, reads round-robin across the live replicas, and a
+replica that dies mid-read is replaced by a sibling replaying the
+identical request — client-invisibly, down to the bytes of a streamed
+``bquery``.  ``SHARD_UNAVAILABLE`` is reserved for a fully dead
+replica set, and cross-shard writes that die halfway report their
+partial progress (and CREATE rolls itself back) instead of leaving
+the cluster silently inconsistent.
 
 Quick start::
 
@@ -22,8 +33,8 @@ Quick start::
             ...
     fleet.stop()
 
-or ``repro shard-serve --shards 4`` from the command line.  See
-``docs/SHARDING.md``.
+or ``repro shard-serve --shards 4 --replicas 2`` from the command
+line.  See ``docs/SHARDING.md``.
 """
 
 from .client import ShardClient, ShardLink

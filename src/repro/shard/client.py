@@ -99,11 +99,23 @@ class ShardClient(ArrayClient):
 
     The coordinator serves the unchanged wire protocol, so every
     :class:`~repro.server.client.ArrayClient` feature works as-is —
-    queries, retry policies, ``query_array``.  Two additions surface
-    the cluster: :meth:`shard_count` and the coordinator's stats frame
-    carrying a ``"shards"`` section.
+    queries, retry policies, ``query_array``.  The additions surface
+    the cluster: :meth:`shard_count`, :meth:`replica_counts`,
+    :meth:`failovers`, and the coordinator's stats frame carrying a
+    ``"shards"`` section with the replica health gauges.
     """
 
     def shard_count(self) -> int:
         """Number of shards behind the coordinator (from stats)."""
         return int(self.stats().get("shards", {}).get("count", 0))
+
+    def replica_counts(self) -> list[int]:
+        """Replicas per shard (one entry per shard, shard order)."""
+        counts = self.stats().get("shards", {}).get("replicas", [])
+        return [int(count) for count in counts]
+
+    def failovers(self) -> int:
+        """Cumulative reads the coordinator replayed on a sibling
+        replica after the first replica failed — the observable proof
+        that a replica loss stayed client-invisible."""
+        return int(self.stats().get("shards", {}).get("failovers", 0))

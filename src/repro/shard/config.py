@@ -1,20 +1,39 @@
 """Cluster configuration: how many shards, where, and how keys split.
 
 One :class:`ShardConfig` describes a whole cluster — the fleet spawner
-derives each shard's :class:`~repro.server.server.ServerConfig` from
+derives each replica's :class:`~repro.server.server.ServerConfig` from
 it, and the router derives its partitioner — so a cluster is
 reproducible from one picklable value.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from ..server.protocol import MAX_FRAME_BYTES
 from ..server.server import ServerConfig
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner
 
-__all__ = ["ShardConfig"]
+__all__ = ["ShardConfig", "replicas_from_env"]
+
+
+def replicas_from_env() -> int:
+    """Default replica count: ``REPRO_SHARD_REPLICAS`` or 1.
+
+    The environment knob lets CI re-run the whole shard suite over
+    replicated clusters without touching a single test.
+    """
+    raw = os.environ.get("REPRO_SHARD_REPLICAS", "1")
+    try:
+        replicas = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SHARD_REPLICAS must be an integer, got {raw!r}")
+    if replicas < 1:
+        raise ValueError(
+            f"REPRO_SHARD_REPLICAS must be >= 1, got {replicas}")
+    return replicas
 
 
 @dataclass(frozen=True)
@@ -22,7 +41,12 @@ class ShardConfig:
     """Deployment knobs for one sharded cluster.
 
     Attributes:
-        shards: Number of shard server processes.
+        shards: Number of logical shards (key slices).
+        replicas: Server processes per logical shard.  Every replica
+            of a shard holds the full slice: writes apply to all of
+            them, reads round-robin across the live ones and fail over
+            to a sibling when a replica dies (see ``docs/SHARDING.md``).
+            Defaults to ``REPRO_SHARD_REPLICAS`` (1 when unset).
         partitioning: ``"range"`` (contiguous key slices; the default —
             keeps distributed float aggregates bit-identical to
             single-node, see ``docs/SHARDING.md``) or ``"hash"``.
@@ -30,8 +54,8 @@ class ShardConfig:
             by range partitioning to place its cut points (keys
             outside it still route — to the first/last shard).
         host: Address the shard servers bind (loopback by default).
-        max_workers / queue_limit: Per-shard admission knobs (each
-            shard runs its own :class:`AdmissionController`).
+        max_workers / queue_limit: Per-replica admission knobs (each
+            replica runs its own :class:`AdmissionController`).
         query_timeout: Per-shard default query budget; None disables
             it — the coordinator's own request timeout bounds shard
             calls instead, so a dead shard still cannot hang a client.
@@ -39,6 +63,7 @@ class ShardConfig:
     """
 
     shards: int = 2
+    replicas: int = field(default_factory=replicas_from_env)
     partitioning: str = "range"
     key_lo: int = 0
     key_hi: int = 1 << 20
@@ -47,6 +72,12 @@ class ShardConfig:
     queue_limit: int = 8
     query_timeout: float | None = None
     max_frame: int = MAX_FRAME_BYTES
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(
+                f"a shard needs at least one replica, got "
+                f"{self.replicas}")
 
     def make_partitioner(self) -> Partitioner:
         if self.partitioning == "range":
@@ -58,12 +89,14 @@ class ShardConfig:
             f"partitioning must be 'range' or 'hash', got "
             f"{self.partitioning!r}")
 
-    def shard_server_config(self, index: int) -> ServerConfig:
-        """The :class:`ServerConfig` for shard ``index`` (port 0: the
-        fleet reads the bound port from the child's pipe)."""
+    def shard_server_config(self, index: int,
+                            replica: int = 0) -> ServerConfig:
+        """The :class:`ServerConfig` for replica ``replica`` of shard
+        ``index`` (port 0: the fleet reads the bound port from the
+        child's pipe)."""
         return ServerConfig(
             host=self.host, port=0, max_workers=self.max_workers,
             queue_limit=self.queue_limit,
             query_timeout=self.query_timeout,
             max_frame=self.max_frame,
-            name=f"repro-shard-{index}")
+            name=f"repro-shard-{index}r{replica}")

@@ -1,18 +1,22 @@
-"""Shard fleet lifecycle: spawn, handshake, kill, stop.
+"""Shard fleet lifecycle: spawn replica sets, handshake, kill, stop.
 
-Each shard is a separate OS process running its own
+Each replica is a separate OS process running its own
 :class:`~repro.server.server.ArrayServer` over its own
 :class:`~repro.engine.executor.Database` — nothing is shared, which is
-the point: a shard crash cannot corrupt its siblings, and each shard's
-buffer pool, latches and admission controller are private.
+the point: a replica crash cannot corrupt its siblings, and each
+replica's buffer pool, latches and admission controller are private.
+A logical shard is ``config.replicas`` such processes holding the same
+key slice; the router applies writes to all of them and spreads reads
+across them.
 
 Processes are started with the ``spawn`` context (no forked locks or
 event loops) and bind port 0; the child reports its bound port back
 over a pipe, so clusters never race for fixed ports in tests.
 
-:meth:`ShardFleet.kill` SIGKILLs one shard — the fault-injection hook
-the shard tests use to prove a dead shard surfaces as a typed
-``SHARD_UNAVAILABLE`` error instead of a hang.
+:meth:`ShardFleet.kill` SIGKILLs one replica — the fault-injection
+hook the replica tests use to prove a dead replica fails reads over
+to a sibling; :meth:`ShardFleet.kill_shard` kills the whole replica
+set, which is what turns into a typed ``SHARD_UNAVAILABLE``.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ __all__ = ["ShardFleet"]
 _START_TIMEOUT = 30.0
 
 
-def _shard_main(index: int, conn,
+def _shard_main(index: int, replica: int, conn,
                 config: ServerConfig,
                 session_setup: Callable[[SqlSession], None] | None) -> None:
     """Child-process entry point: serve one empty shard database.
@@ -58,17 +62,22 @@ def _shard_main(index: int, conn,
 
 
 class ShardFleet:
-    """Owns the lifetime of N shard server processes.
+    """Owns the lifetime of ``shards x replicas`` server processes.
 
     Usage::
 
-        with ShardFleet(ShardConfig(shards=4)) as fleet:
+        with ShardFleet(ShardConfig(shards=4, replicas=2)) as fleet:
             router = ShardRouter(fleet.addresses,
                                  fleet.config.make_partitioner())
             ...
 
+    ``addresses`` is one list per shard of that shard's replica
+    addresses, in replica order — the shape :class:`ShardRouter`
+    consumes directly (it also still accepts a flat one-address-per-
+    shard list for unreplicated clusters built by hand).
+
     ``session_setup`` must be picklable (a module-level function) —
-    it crosses the process boundary to run on each shard.
+    it crosses the process boundary to run on each replica.
     """
 
     def __init__(self, config: ShardConfig,
@@ -76,38 +85,45 @@ class ShardFleet:
         self.config = config
         self.session_setup = session_setup
         self._ctx = multiprocessing.get_context("spawn")
-        self._procs: list = []
-        self.addresses: list[tuple[str, int]] = []
+        self._procs: list[list] = []
+        self.addresses: list[list[tuple[str, int]]] = []
 
     def start(self) -> "ShardFleet":
-        """Spawn every shard and wait for each to report its port."""
+        """Spawn every replica and wait for each to report its port."""
         if self._procs:
             return self
         pending = []
         try:
             for index in range(self.config.shards):
-                parent, child = self._ctx.Pipe(duplex=False)
-                proc = self._ctx.Process(
-                    target=_shard_main,
-                    args=(index, child,
-                          self.config.shard_server_config(index),
-                          self.session_setup),
-                    daemon=True,
-                    name=f"repro-shard-{index}")
-                proc.start()
-                child.close()
-                pending.append((index, proc, parent))
-            for index, proc, parent in pending:
+                for replica in range(self.config.replicas):
+                    parent, child = self._ctx.Pipe(duplex=False)
+                    proc = self._ctx.Process(
+                        target=_shard_main,
+                        args=(index, replica, child,
+                              self.config.shard_server_config(index,
+                                                              replica),
+                              self.session_setup),
+                        daemon=True,
+                        name=f"repro-shard-{index}r{replica}")
+                    proc.start()
+                    child.close()
+                    pending.append((index, replica, proc, parent))
+            procs: list[list] = [[] for _ in range(self.config.shards)]
+            addresses: list[list[tuple[str, int]]] = [
+                [] for _ in range(self.config.shards)]
+            for index, replica, proc, parent in pending:
                 if not parent.poll(_START_TIMEOUT):
                     raise RuntimeError(
-                        f"shard {index} did not report a port within "
-                        f"{_START_TIMEOUT:.0f}s")
+                        f"shard {index} replica {replica} did not "
+                        f"report a port within {_START_TIMEOUT:.0f}s")
                 port = parent.recv()
                 parent.close()
-                self.addresses.append((self.config.host, port))
-                self._procs.append(proc)
+                addresses[index].append((self.config.host, port))
+                procs[index].append(proc)
+            self._procs = procs
+            self.addresses = addresses
         except BaseException:
-            for _index, proc, parent in pending:
+            for _index, _replica, proc, parent in pending:
                 if proc.is_alive():
                     proc.kill()
                 proc.join(timeout=5.0)
@@ -116,24 +132,34 @@ class ShardFleet:
             raise
         return self
 
-    def kill(self, index: int) -> None:
-        """SIGKILL one shard — fault injection for tests; the fleet
-        keeps running and the router reports the hole as
+    def kill(self, index: int, replica: int = 0) -> None:
+        """SIGKILL one replica — fault injection for tests.  The fleet
+        keeps running; with siblings left, the router fails reads over
+        to them, and only a fully dead replica set surfaces as
         ``SHARD_UNAVAILABLE``."""
-        proc = self._procs[index]
+        proc = self._procs[index][replica]
         if proc.is_alive() and proc.pid is not None:
             os.kill(proc.pid, signal.SIGKILL)
         proc.join(timeout=10.0)
 
-    def alive(self) -> list[bool]:
-        return [proc.is_alive() for proc in self._procs]
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL every replica of one shard (the whole-shard fault
+        the ``SHARD_UNAVAILABLE`` tests inject)."""
+        for replica in range(len(self._procs[index])):
+            self.kill(index, replica)
+
+    def alive(self) -> list[list[bool]]:
+        """Liveness matrix: ``alive()[shard][replica]``."""
+        return [[proc.is_alive() for proc in replicas]
+                for replicas in self._procs]
 
     def stop(self) -> None:
-        """Terminate every shard (idempotent)."""
-        for proc in self._procs:
+        """Terminate every replica (idempotent)."""
+        flat = [proc for replicas in self._procs for proc in replicas]
+        for proc in flat:
             if proc.is_alive():
                 proc.terminate()
-        for proc in self._procs:
+        for proc in flat:
             proc.join(timeout=10.0)
             if proc.is_alive():
                 proc.kill()

@@ -1,9 +1,9 @@
 """The shard coordinator: plan once, route, scatter-gather, merge.
 
-:class:`ShardRouter` fronts N per-shard
-:class:`~repro.server.server.ArrayServer` processes, each owning a
-partitioned slice of every sharded table.  A statement is planned
-*once* against the coordinator's catalog mirror
+:class:`ShardRouter` fronts N logical shards, each backed by one or
+more replica :class:`~repro.server.server.ArrayServer` processes
+holding the same partitioned key slice.  A statement is planned *once*
+against the coordinator's catalog mirror
 (:meth:`SqlSession.plan_select` — the same plan object local execution
 uses) and then routed:
 
@@ -12,21 +12,45 @@ uses) and then routed:
   intersect ``[a, b)`` (range partitioning);
 * everything else — scatter to all shards, gather, merge.
 
+Replication splits the two traffic classes:
+
+* **Reads** (``pquery`` scatter, relayed ``bquery`` streams, prepared
+  ``pexec`` SELECTs) go to *one* replica per target shard, chosen
+  round-robin over the live ones for throughput.  A link failure or an
+  exhausted ``SERVER_BUSY`` budget marks that replica **suspect** and
+  replays the identical request on a sibling — client-invisibly,
+  bit-identically (replicas hold the same rows, and the merge still
+  folds in shard order).  ``SHARD_UNAVAILABLE`` surfaces only when an
+  entire replica set is dead.  A background reprobe thread pings
+  suspect replicas and returns the recovered ones to rotation.
+* **Writes** (``insert`` frames, broadcast DDL and DELETE) fan out to
+  *every* in-rotation replica of the owning shard, so siblings never
+  diverge.  A replica that fails a write while a sibling commits it
+  has missed data and is marked **stale** — permanently out of
+  rotation (reprobe never revives it), because serving reads from it
+  would be silently wrong.
+
 Aggregation is distributed through the engine's mergeable-aggregate
 protocol: shards answer ``pquery`` frames with unreduced partial
 states, and the coordinator folds them in shard order
 (:mod:`repro.shard.merge`), so float SUM/AVG match single-node
 execution bit for bit under range partitioning.
 
-Fault handling is typed, never hanging: each shard exchange is bounded
-by the link's request timeout and a :class:`RetryPolicy`; a shard that
-stays dead or saturated surfaces as a
+Fault handling is typed, never hanging: each replica exchange is
+bounded by the link's request timeout and a :class:`RetryPolicy`; a
+replica set that stays dead or saturated surfaces as a
 ``WireError(SHARD_UNAVAILABLE)``, which :class:`ShardServer` answers
-as an error frame with that code.
+as an error frame with that code.  Cross-shard writes that die halfway
+report their partial progress in the error frame's ``detail`` key, and
+a partially-broadcast CREATE is rolled back (catalog mirror dropped,
+compensating ``DROP TABLE`` sent to the shards that succeeded) so the
+cluster never plans against a table some shards don't have.
 
 The coordinator itself never touches storage — no ``BufferPool``, no
 latched scans; it parses, routes and merges (replint RS401 keeps it
-honest).  Its catalog mirror holds schemas only.
+honest, and additionally proves the failover/reprobe paths never
+re-plan against the catalog mirror mid-statement).  Its catalog mirror
+holds schemas only.
 """
 
 from __future__ import annotations
@@ -34,11 +58,11 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..engine.executor import Database
 from ..engine.sqlfront import SelectPlan, SqlSession, SqlSyntaxError, \
-    _tokenize
+    _statement_table, _tokenize
 from ..server import protocol
 from ..server.client import RetryPolicy
 from ..server.server import ArrayServer, ServerConfig, _error
@@ -53,23 +77,85 @@ from .merge import (
 )
 from .partitioner import Partitioner
 
-__all__ = ["ShardRouter", "ShardServer", "start_cluster"]
+__all__ = ["Replica", "ShardRouter", "ShardServer", "start_cluster"]
+
+#: Replica health states.  ``live`` replicas serve reads and writes;
+#: ``suspect`` replicas failed a read-side exchange and sit out the
+#: read rotation until a reprobe revives them (they still receive
+#: writes, so they never silently miss data); ``stale`` replicas
+#: failed a write a sibling committed and are out for good.
+LIVE = "live"
+SUSPECT = "suspect"
+STALE = "stale"
+
+
+class Replica:
+    """One addressable shard server process and its health state."""
+
+    __slots__ = ("shard_id", "replica_id", "host", "port", "state")
+
+    def __init__(self, shard_id: int, replica_id: int, host: str,
+                 port: int):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.host = host
+        self.port = port
+        self.state = LIVE
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __repr__(self) -> str:
+        return (f"Replica(shard={self.shard_id}, "
+                f"replica={self.replica_id}, {self.address}, "
+                f"{self.state})")
+
+
+class _ReplicaUnavailable(Exception):
+    """One replica stayed dead or saturated through its retry budget
+    (internal to the router; the failover loop catches it)."""
+
+
+def _normalize_addresses(addresses) -> list[list[tuple[str, int]]]:
+    """Accept both address shapes: one ``(host, port)`` per shard
+    (unreplicated, the pre-replica API) or one *list* of replica
+    addresses per shard (what :class:`ShardFleet` produces)."""
+    sets: list[list[tuple[str, int]]] = []
+    for entry in addresses:
+        entry = list(entry)
+        if entry and isinstance(entry[0], (list, tuple)):
+            replica_set = [(str(h), int(p)) for h, p in entry]
+        else:
+            host, port = entry
+            replica_set = [(str(host), int(port))]
+        if not replica_set:
+            raise ValueError("a shard needs at least one replica "
+                             "address")
+        sets.append(replica_set)
+    return sets
 
 
 class ShardRouter:
     """Routes statements to a fleet of shard servers and merges replies.
 
     Thread-safe: statements may run concurrently from many coordinator
-    worker threads; each thread keeps its own set of shard links.
+    worker threads; each thread keeps its own set of replica links,
+    while replica health (live/suspect/stale), the read round-robin
+    and the failover counters are shared under one mutex.
 
     Args:
-        addresses: One ``(host, port)`` per shard, in shard order.
+        addresses: Per shard, either one ``(host, port)`` or a list of
+            replica ``(host, port)`` addresses, in shard order.
         partitioner: Key placement (must agree with how the data was
             loaded).
-        retry: Per-shard bounded retry for link failures and
+        retry: Per-replica bounded retry for link failures and
             ``SERVER_BUSY`` (the default allows 2 retries).
-        connect_timeout / request_timeout: Socket budgets per shard
+        connect_timeout / request_timeout: Socket budgets per replica
             call; the request timeout is the no-hang guarantee.
+        reprobe_interval: Seconds between background liveness probes
+            of suspect replicas (the thread starts lazily on the first
+            suspect and stops with :meth:`shutdown`).
         session_setup: Applied to the catalog-mirror session (register
             the same UDFs here as on the shards so planning resolves
             them).
@@ -80,13 +166,18 @@ class ShardRouter:
                  connect_timeout: float = 5.0,
                  request_timeout: float | None = 30.0,
                  max_frame: int = protocol.MAX_FRAME_BYTES,
+                 reprobe_interval: float = 0.25,
                  session_setup: Callable[[SqlSession], None] | None = None):
-        addresses = [tuple(addr) for addr in addresses]
-        if partitioner.shards != len(addresses):
+        address_sets = _normalize_addresses(addresses)
+        if partitioner.shards != len(address_sets):
             raise ValueError(
                 f"partitioner expects {partitioner.shards} shards, "
-                f"got {len(addresses)} addresses")
-        self.addresses = addresses
+                f"got {len(address_sets)} address sets")
+        self.addresses = address_sets
+        self.replica_sets: list[list[Replica]] = [
+            [Replica(shard_id, replica_id, host, port)
+             for replica_id, (host, port) in enumerate(replica_set)]
+            for shard_id, replica_set in enumerate(address_sets)]
         self.partitioner = partitioner
         self.retry = retry if retry is not None else \
             RetryPolicy(max_retries=2, backoff_base=0.05,
@@ -94,6 +185,7 @@ class ShardRouter:
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
         self.max_frame = max_frame
+        self.reprobe_interval = reprobe_interval
         self.catalog = Database()
         self.session = SqlSession(self.catalog)
         if session_setup is not None:
@@ -107,6 +199,15 @@ class ShardRouter:
         # row contents.
         self._plan_cache: dict[str, SelectPlan] = {}
         self._plan_lock = threading.Lock()
+        # Replica health: guards every Replica.state transition, the
+        # per-shard read round-robin and the failover counters.  Leaf
+        # lock — nothing else is ever acquired under it.
+        self._health_lock = threading.Lock()
+        self._rr = [0] * partitioner.shards
+        self._failovers = 0
+        self._reprobed = 0
+        self._reprobe_thread: threading.Thread | None = None
+        self._reprobe_stop = threading.Event()
 
     # -- statement entry point ----------------------------------------------
 
@@ -126,7 +227,9 @@ class ShardRouter:
         if head == ("kw", "SELECT"):
             return self._select(sql, cold, engine, workers)
         if head == ("kw", "CREATE"):
-            return self._create(sql)
+            return self._create(sql, tokens)
+        if head == ("kw", "DROP"):
+            return self._drop(sql)
         if head == ("kw", "INSERT"):
             return self._insert(sql)
         if head == ("kw", "DELETE"):
@@ -136,9 +239,18 @@ class ShardRouter:
 
     def insert_rows(self, table_name: str, rows) -> int:
         """Bulk-load rows: partition by primary key, ship one binary
-        ``insert`` frame per owning shard (all sends first, then
-        replies — shards load concurrently), and land on each shard's
+        ``insert`` frame per owning shard to *every* replica of that
+        shard (all sends first, then replies — replicas load
+        concurrently), and land on each replica's
         :meth:`Table.insert_many` fast path.  Returns rows inserted.
+
+        When a whole replica set is dead the raised
+        ``WireError(SHARD_UNAVAILABLE)`` carries the partial-commit
+        report in ``detail``: rows actually applied per shard
+        (``applied``), the shard ids that committed
+        (``applied_shards``), the dead ones (``failed_shards``) and
+        the total ``partial_rowcount`` — a failed bulk load never
+        leaves the caller guessing which shards took their slice.
         """
         buckets: dict[int, list] = {}
         for row in rows:
@@ -157,17 +269,155 @@ class ShardRouter:
                               "rows": packed,
                               "timeout": protocol.NO_TIMEOUT},
                              blobs))
-        replies = self._scatter(requests)
-        return sum(reply.get("rowcount", 0) for _sid, reply, _b in replies)
+        replies, dead = self._scatter_write(requests)
+        if dead:
+            applied = {str(sid): reply.get("rowcount", 0)
+                       for sid, (reply, _b) in sorted(replies.items())}
+            partial = sum(applied.values())
+            raise protocol.WireError(
+                protocol.SHARD_UNAVAILABLE,
+                f"bulk insert into {table_name!r} lost shard(s) "
+                f"{sorted(dead)}: {partial} row(s) committed on "
+                f"shard(s) {sorted(replies)} before the failure",
+                detail={"applied": applied,
+                        "applied_shards": sorted(replies),
+                        "failed_shards": sorted(dead),
+                        "partial_rowcount": partial})
+        return sum(reply.get("rowcount", 0)
+                   for reply, _b in replies.values())
 
     def close(self) -> None:
-        """Close the calling thread's shard links (each worker thread
-        owns its own set; fleet shutdown severs the rest)."""
+        """Close the calling thread's replica links (each worker
+        thread owns its own set; fleet shutdown severs the rest)."""
         links = getattr(self._local, "links", None)
         if links:
             for link in links.values():
                 link.close()
             links.clear()
+
+    def shutdown(self) -> None:
+        """Stop the background reprobe thread and close this thread's
+        links.  Idempotent; other threads' links die with their
+        threads (or with the fleet)."""
+        self._reprobe_stop.set()
+        thread = self._reprobe_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+        self.close()
+
+    # -- replica health -------------------------------------------------------
+
+    def health(self) -> dict:
+        """Health gauges for the stats frame: per-shard replica
+        counts, cumulative ``failovers`` (reads replayed on a sibling
+        after a replica failure), current ``suspects``/``stale``
+        replica counts, and cumulative ``reprobed`` revivals."""
+        with self._health_lock:
+            states = [replica.state
+                      for replica_set in self.replica_sets
+                      for replica in replica_set]
+            return {
+                "replicas": [len(replica_set)
+                             for replica_set in self.replica_sets],
+                "failovers": self._failovers,
+                "suspects": states.count(SUSPECT),
+                "stale": states.count(STALE),
+                "reprobed": self._reprobed,
+            }
+
+    def _mark_suspect(self, replica: Replica) -> None:
+        """Take a replica out of the read rotation after a failed
+        exchange; the reprobe thread owns bringing it back."""
+        with self._health_lock:
+            if replica.state == LIVE:
+                replica.state = SUSPECT
+        self._ensure_reprobe_thread()
+
+    def _mark_stale(self, replica: Replica) -> None:
+        """A sibling committed a write this replica missed: it is now
+        behind forever (no reprobe revival) — reads from it would be
+        silently wrong."""
+        with self._health_lock:
+            replica.state = STALE
+
+    def _read_candidates(self, shard_id: int) -> list[Replica]:
+        """Replicas to try for one read, in preference order: the live
+        ones starting at the round-robin cursor (load spreading), then
+        the suspect ones (still consistent — they never miss a write —
+        so they are worth a last attempt before declaring the shard
+        unavailable).  Stale replicas are never candidates."""
+        with self._health_lock:
+            replica_set = self.replica_sets[shard_id]
+            live = [r for r in replica_set if r.state == LIVE]
+            suspects = [r for r in replica_set if r.state == SUSPECT]
+            tick = self._rr[shard_id]
+            self._rr[shard_id] += 1
+        if live:
+            cut = tick % len(live)
+            live = live[cut:] + live[:cut]
+        return live + suspects
+
+    def _write_targets(self, shard_id: int) -> list[Replica]:
+        """Replicas a write must reach: every non-stale one.  Suspect
+        replicas are included on purpose — if one is actually alive it
+        must see the write or it could never be revived consistently."""
+        with self._health_lock:
+            return [r for r in self.replica_sets[shard_id]
+                    if r.state != STALE]
+
+    def _record_failover(self) -> None:
+        with self._health_lock:
+            self._failovers += 1
+
+    # -- background reprobe ---------------------------------------------------
+
+    def _ensure_reprobe_thread(self) -> None:
+        """Start the reprobe loop lazily on the first suspect (so
+        routers over healthy clusters never spawn a thread)."""
+        if self._reprobe_stop.is_set():
+            return
+        with self._health_lock:
+            thread = self._reprobe_thread
+            if thread is not None and thread.is_alive():
+                return
+            thread = threading.Thread(target=self._reprobe_loop,
+                                      name="shard-reprobe",
+                                      daemon=True)
+            self._reprobe_thread = thread
+        thread.start()
+
+    def _reprobe_loop(self) -> None:
+        """Background body: ping suspect replicas; a replica that
+        answers returns to the read rotation (it received every write
+        attempted while it was suspect, so it is not behind)."""
+        while not self._reprobe_stop.wait(self.reprobe_interval):
+            with self._health_lock:
+                suspects = [r for replica_set in self.replica_sets
+                            for r in replica_set
+                            if r.state == SUSPECT]
+            for replica in suspects:
+                if not self._reprobe_once(replica):
+                    continue
+                with self._health_lock:
+                    if replica.state == SUSPECT:
+                        replica.state = LIVE
+                        self._reprobed += 1
+
+    def _reprobe_once(self, replica: Replica) -> bool:
+        """One liveness probe on a throwaway link (the reprobe thread
+        never shares the worker threads' links)."""
+        link = ShardLink(replica.shard_id, replica.host, replica.port,
+                         connect_timeout=min(1.0, self.connect_timeout),
+                         request_timeout=self.request_timeout,
+                         max_frame=self.max_frame)
+        try:
+            link.send({"type": "ping"})
+            reply, _blobs = link.recv()
+            return reply.get("type") == "pong"
+        except (OSError, protocol.ProtocolError):
+            return False
+        finally:
+            link.close()
 
     # -- SELECT: scatter pquery, merge partials ------------------------------
 
@@ -203,7 +453,7 @@ class ShardRouter:
             header["engine"] = engine
         if workers is not None:
             header["workers"] = workers
-        replies = self._scatter(
+        replies = self._scatter_read(
             [(shard_id, header, ()) for shard_id in targets])
         rows_total = sum(reply.get("rows", 0)
                          for _sid, reply, _b in replies)
@@ -256,17 +506,91 @@ class ShardRouter:
 
     # -- writes --------------------------------------------------------------
 
-    def _create(self, sql: str) -> dict:
-        # Mirror into the catalog first — this both validates the DDL
-        # and lets later SELECTs plan against the schema — then
-        # broadcast so every shard owns an (empty) slice.  Cached
-        # plans hold pre-DDL Table objects, so they go.
+    def _create(self, sql: str, tokens) -> dict:
+        """Atomic-or-rolled-back cross-shard CREATE.
+
+        The catalog mirror is updated first — this both validates the
+        DDL and lets later SELECTs plan against the schema — then the
+        statement broadcasts so every replica of every shard owns an
+        (empty) slice.  If any whole replica set fails the broadcast,
+        the mirror entry is **rolled back** and compensating
+        ``DROP TABLE`` statements are sent to the shards that already
+        created the table, so the coordinator and every live shard end
+        up agreeing the table does not exist; the typed
+        ``SHARD_UNAVAILABLE`` carries which shards had to be
+        compensated.  (Before this, a shard dying mid-CREATE left the
+        coordinator planning against a table some shards didn't have.)
+        """
+        table_name = _statement_table(tokens, "TABLE")
         self.session.execute(sql)
         self._invalidate_plans()
         header = {"type": "query", "sql": sql, "cold": False,
                   "timeout": protocol.NO_TIMEOUT}
-        self._scatter([(shard_id, header, ())
-                       for shard_id in range(self.partitioner.shards)])
+        requests = [(shard_id, header, ())
+                    for shard_id in range(self.partitioner.shards)]
+        try:
+            replies, dead = self._scatter_write(requests)
+        except BaseException:
+            # A typed statement error (bad DDL reaching the shards
+            # after passing the mirror, a shard's own SQL_ERROR):
+            # nothing broadcast sticks — drop the mirror entry too.
+            self._rollback_create(table_name, ())
+            raise
+        if dead:
+            self._rollback_create(table_name, sorted(replies))
+            raise protocol.WireError(
+                protocol.SHARD_UNAVAILABLE,
+                f"CREATE TABLE {table_name} lost shard(s) "
+                f"{sorted(dead)}; rolled back on the coordinator and "
+                f"on shard(s) {sorted(replies)}",
+                detail={"rolled_back": table_name,
+                        "applied_shards": sorted(replies),
+                        "failed_shards": sorted(dead)})
+        return {"kind": "ok", "rows": [], "rowcount": 0,
+                "metrics": None}
+
+    def _rollback_create(self, table_name: str,
+                         applied: Sequence[int]) -> None:
+        """Undo a partially-broadcast CREATE: drop the catalog-mirror
+        entry, then send best-effort compensating DROPs to the shards
+        that acknowledged (a shard that dies between its CREATE ack
+        and the compensating DROP converges the same way: the table
+        is gone everywhere that still answers)."""
+        try:
+            self.session.execute(f"DROP TABLE {table_name}")
+        except SqlSyntaxError:
+            pass  # mirror never had it (CREATE failed validation)
+        self._invalidate_plans()
+        if not applied:
+            return
+        header = {"type": "query", "sql": f"DROP TABLE {table_name}",
+                  "cold": False, "timeout": protocol.NO_TIMEOUT}
+        try:
+            self._scatter_write([(shard_id, header, ())
+                                 for shard_id in applied])
+        except (protocol.WireError, protocol.ProtocolError, OSError):
+            pass  # compensation is best-effort; the mirror is clean
+
+    def _drop(self, sql: str) -> dict:
+        """Broadcast DROP TABLE: mirror first (validates the name),
+        then every shard.  A dead replica set surfaces typed with the
+        shards that did drop in ``detail`` — a DROP cannot be
+        compensated (the data is gone), so partial progress is
+        reported rather than rolled back."""
+        self.session.execute(sql)
+        self._invalidate_plans()
+        header = {"type": "query", "sql": sql, "cold": False,
+                  "timeout": protocol.NO_TIMEOUT}
+        requests = [(shard_id, header, ())
+                    for shard_id in range(self.partitioner.shards)]
+        replies, dead = self._scatter_write(requests)
+        if dead:
+            raise protocol.WireError(
+                protocol.SHARD_UNAVAILABLE,
+                f"DROP TABLE lost shard(s) {sorted(dead)}; dropped on "
+                f"shard(s) {sorted(replies)} and on the coordinator",
+                detail={"applied_shards": sorted(replies),
+                        "failed_shards": sorted(dead)})
         return {"kind": "ok", "rows": [], "rowcount": 0,
                 "metrics": None}
 
@@ -277,6 +601,12 @@ class ShardRouter:
                 "metrics": None}
 
     def _delete(self, sql: str, tokens) -> dict:
+        """Route a DELETE: the owning shard for a point predicate,
+        broadcast otherwise.  A broadcast that loses a whole replica
+        set after siblings already deleted rows surfaces the partial
+        progress — ``partial_rowcount`` and the shard ids that applied
+        — in the typed error's ``detail`` instead of silently
+        discarding it."""
         key = self._point_delete_key(tokens)
         if key is not None:
             targets = [self.partitioner.shard_of(key)]
@@ -284,10 +614,23 @@ class ShardRouter:
             targets = list(range(self.partitioner.shards))
         header = {"type": "query", "sql": sql, "cold": False,
                   "timeout": protocol.NO_TIMEOUT}
-        replies = self._scatter(
+        replies, dead = self._scatter_write(
             [(shard_id, header, ()) for shard_id in targets])
+        if dead:
+            applied = {str(sid): reply.get("rowcount", 0)
+                       for sid, (reply, _b) in sorted(replies.items())}
+            partial = sum(applied.values())
+            raise protocol.WireError(
+                protocol.SHARD_UNAVAILABLE,
+                f"DELETE lost shard(s) {sorted(dead)} after "
+                f"{partial} row(s) were already deleted on shard(s) "
+                f"{sorted(replies)}",
+                detail={"applied": applied,
+                        "applied_shards": sorted(replies),
+                        "failed_shards": sorted(dead),
+                        "partial_rowcount": partial})
         deleted = sum(reply.get("rowcount", 0)
-                      for _sid, reply, _b in replies)
+                      for reply, _b in replies.values())
         return {"kind": "ok", "rows": [], "rowcount": deleted,
                 "metrics": None}
 
@@ -317,53 +660,67 @@ class ShardRouter:
 
     # -- the wire ------------------------------------------------------------
 
-    def _links(self) -> dict[int, ShardLink]:
+    def _links(self) -> dict[tuple[int, int], ShardLink]:
         links = getattr(self._local, "links", None)
         if links is None:
             links = {}
             self._local.links = links
         return links
 
-    def _link(self, shard_id: int) -> ShardLink:
+    def _link(self, replica: Replica) -> ShardLink:
         links = self._links()
-        link = links.get(shard_id)
+        key = (replica.shard_id, replica.replica_id)
+        link = links.get(key)
         if link is None:
-            host, port = self.addresses[shard_id]
-            link = ShardLink(shard_id, host, port,
+            link = ShardLink(replica.shard_id, replica.host,
+                             replica.port,
                              connect_timeout=self.connect_timeout,
                              request_timeout=self.request_timeout,
                              max_frame=self.max_frame)
-            links[shard_id] = link
+            links[key] = link
         return link
 
-    def _scatter(self, requests) -> list[tuple[int, dict, list[bytes]]]:
-        """Split-phase fan-out: send every request, then gather replies
-        in shard order.
+    # -- reads: one replica per shard, failover on loss ----------------------
+
+    def _scatter_read(self, requests
+                      ) -> list[tuple[int, dict, list[bytes]]]:
+        """Split-phase read fan-out: send every request to one chosen
+        replica per target shard, then gather replies in shard order.
 
         Shards execute concurrently while the coordinator blocks on at
         most one reply at a time; gathering in shard order keeps the
-        merge fold deterministic.  A failed send, failed receive or
-        ``SERVER_BUSY`` reply falls back to :meth:`_exchange`'s bounded
-        reconnect-and-retry; a shard error frame with any other code is
-        the statement's own failure and propagates typed.  If anything
+        merge fold deterministic.  Any failure on the chosen replica —
+        failed send, failed receive, ``SERVER_BUSY`` past the budget —
+        drops into :meth:`_failover_read`, which retries that replica
+        within the budget and then replays the identical request on
+        its siblings; the statement only fails when a whole replica
+        set is down.  A shard error frame with any other code is the
+        statement's own failure and propagates typed.  If anything
         raises mid-gather, every link of this thread is closed so no
         connection is left holding an unread reply.
         """
         try:
-            sent: dict[int, bool] = {}
+            picked: list[Replica | None] = []
+            sent: list[bool] = []
             for shard_id, header, blobs in requests:
-                link = self._link(shard_id)
-                try:
-                    link.send(header, blobs)
-                    sent[shard_id] = True
-                except (OSError, protocol.ProtocolError):
-                    link.close()
-                    sent[shard_id] = False
+                candidates = self._read_candidates(shard_id)
+                replica = candidates[0] if candidates else None
+                picked.append(replica)
+                ok = False
+                if replica is not None:
+                    link = self._link(replica)
+                    try:
+                        link.send(header, blobs)
+                        ok = True
+                    except (OSError, protocol.ProtocolError):
+                        link.close()
+                sent.append(ok)
             replies = []
-            for shard_id, header, blobs in requests:
+            for index, (shard_id, header, blobs) in enumerate(requests):
+                replica = picked[index]
                 reply_pair = None
-                if sent[shard_id]:
-                    link = self._link(shard_id)
+                if replica is not None and sent[index]:
+                    link = self._link(replica)
                     try:
                         reply_pair = link.recv()
                     except (OSError, protocol.ProtocolError):
@@ -378,31 +735,70 @@ class ShardRouter:
                         raise protocol.WireError(
                             code or protocol.INTERNAL,
                             f"shard {shard_id}: "
-                            f"{reply.get('message', '')}")
-                    # Busy: fall through to the bounded retry.
-                reply, rblobs = self._exchange(shard_id, header, blobs)
+                            f"{reply.get('message', '')}",
+                            detail=reply.get("detail"))
+                    # Busy: fall through to retry + failover.
+                reply, rblobs = self._failover_read(shard_id, header,
+                                                    blobs,
+                                                    first=replica)
                 replies.append((shard_id, reply, rblobs))
             return replies
         except BaseException:
             self.close()
             raise
 
-    def _exchange(self, shard_id: int, header: dict,
-                  blobs) -> tuple[dict, list[bytes]]:
-        """One request/reply against one shard with bounded retry.
+    def _failover_read(self, shard_id: int, header: dict, blobs,
+                       first: Replica | None = None
+                       ) -> tuple[dict, list[bytes]]:
+        """Walk one shard's replicas until a reply lands.
+
+        ``first`` (the fast path's round-robin pick, when it had one)
+        is retried through the bounded budget before its siblings so a
+        transient glitch never triggers a spurious failover; each
+        replica that exhausts its budget is marked suspect.  Only when
+        every non-stale replica has failed does the shard surface as
+        ``SHARD_UNAVAILABLE`` — bounded, typed, never a hang.
+        """
+        candidates = self._read_candidates(shard_id)
+        if first is not None:
+            candidates = [first] + [r for r in candidates
+                                    if r is not first]
+        last = "no replica in rotation"
+        any_failed = False
+        for replica in candidates:
+            try:
+                reply, rblobs = self._exchange_on(replica, header,
+                                                  blobs)
+            except _ReplicaUnavailable as exc:
+                self._mark_suspect(replica)
+                any_failed = True
+                last = str(exc)
+                continue
+            if any_failed:
+                self._record_failover()
+            return reply, rblobs
+        raise protocol.WireError(
+            protocol.SHARD_UNAVAILABLE,
+            f"shard {shard_id} unavailable: all "
+            f"{len(self.replica_sets[shard_id])} replica(s) failed "
+            f"(last: {last})")
+
+    def _exchange_on(self, replica: Replica, header: dict,
+                     blobs) -> tuple[dict, list[bytes]]:
+        """One request/reply against one replica with bounded retry.
 
         Retries reconnectable failures (refused, reset, closed link,
         timed-out reply) and ``SERVER_BUSY`` rejections with
-        exponential backoff.  After the cap the shard is declared
-        unavailable: ``WireError(SHARD_UNAVAILABLE)``, which the
-        serving layer answers as a typed error frame — the client's
-        connection survives and nothing hangs.
+        exponential backoff.  After the cap the *replica* is declared
+        unavailable (:class:`_ReplicaUnavailable`) — whether that
+        fails the statement is the caller's call: reads fail over to a
+        sibling, writes mark the replica stale.
         """
         last = "no attempt made"
         for attempt in range(self.retry.max_retries + 1):
             if attempt:
                 time.sleep(self.retry.delay(attempt - 1))
-            link = self._link(shard_id)
+            link = self._link(replica)
             try:
                 link.send(header, blobs)
                 reply, rblobs = link.recv()
@@ -413,17 +809,207 @@ class ShardRouter:
             if reply.get("type") == "error":
                 code = reply.get("code")
                 if code == protocol.SERVER_BUSY:
-                    last = reply.get("message", "shard busy")
+                    last = reply.get("message", "replica busy")
                     continue
                 raise protocol.WireError(
                     code or protocol.INTERNAL,
-                    f"shard {shard_id}: {reply.get('message', '')}")
+                    f"shard {replica.shard_id}: "
+                    f"{reply.get('message', '')}",
+                    detail=reply.get("detail"))
             return reply, rblobs
-        host, port = self.addresses[shard_id]
+        raise _ReplicaUnavailable(
+            f"replica {replica.replica_id} ({replica.address}) of "
+            f"shard {replica.shard_id} unavailable after "
+            f"{self.retry.max_retries + 1} attempts: {last}")
+
+    # -- writes: every in-rotation replica, fan-in ---------------------------
+
+    def _scatter_write(self, requests
+                       ) -> tuple[dict[int, tuple[dict, list[bytes]]],
+                                  dict[int, str]]:
+        """Write fan-out: ship each request to **every** non-stale
+        replica of its target shard (all sends first, then replies),
+        and reconcile per shard.
+
+        Returns ``(replies, dead)``: ``replies[shard_id]`` is the
+        first successful replica's reply, ``dead[shard_id]`` the
+        failure summary for shards where *no* replica acknowledged.
+        A replica that fails while a sibling commits has missed the
+        write and is marked **stale** (permanently out of rotation);
+        when the whole set fails, nothing committed on that shard, so
+        its replicas are merely marked suspect.  A typed statement
+        error frame (not busy) propagates immediately — the statement
+        itself is wrong and is deterministically wrong on every
+        replica.
+        """
+        try:
+            sends: list[tuple[int, Replica, bool]] = []
+            for shard_id, header, blobs in requests:
+                for replica in self._write_targets(shard_id):
+                    link = self._link(replica)
+                    ok = False
+                    try:
+                        link.send(header, blobs)
+                        ok = True
+                    except (OSError, protocol.ProtocolError):
+                        link.close()
+                    sends.append((shard_id, replica, ok))
+            outcomes: dict[int, dict[int, tuple[dict, list[bytes]]]] = {}
+            failures: dict[int, dict[int, str]] = {}
+            cursor = 0
+            for shard_id, header, blobs in requests:
+                outcomes.setdefault(shard_id, {})
+                failures.setdefault(shard_id, {})
+                while cursor < len(sends) and \
+                        sends[cursor][0] == shard_id:
+                    _sid, replica, ok = sends[cursor]
+                    cursor += 1
+                    reply_pair = None
+                    if ok:
+                        link = self._link(replica)
+                        try:
+                            reply_pair = link.recv()
+                        except (OSError, protocol.ProtocolError):
+                            link.close()
+                    if reply_pair is not None:
+                        reply, rblobs = reply_pair
+                        if reply.get("type") != "error":
+                            outcomes[shard_id][replica.replica_id] = \
+                                (reply, rblobs)
+                            continue
+                        code = reply.get("code")
+                        if code != protocol.SERVER_BUSY:
+                            raise protocol.WireError(
+                                code or protocol.INTERNAL,
+                                f"shard {shard_id}: "
+                                f"{reply.get('message', '')}",
+                                detail=reply.get("detail"))
+                        # Busy: bounded retry below.
+                    try:
+                        reply, rblobs = self._exchange_on(replica,
+                                                          header,
+                                                          blobs)
+                        outcomes[shard_id][replica.replica_id] = \
+                            (reply, rblobs)
+                    except _ReplicaUnavailable as exc:
+                        failures[shard_id][replica.replica_id] = \
+                            str(exc)
+            replies: dict[int, tuple[dict, list[bytes]]] = {}
+            dead: dict[int, str] = {}
+            for shard_id, header, blobs in requests:
+                acked = outcomes.get(shard_id) or {}
+                failed = failures.get(shard_id) or {}
+                replica_set = self.replica_sets[shard_id]
+                if acked:
+                    first = min(acked)
+                    replies[shard_id] = acked[first]
+                    for replica in replica_set:
+                        if replica.replica_id in failed:
+                            # Missed a write a sibling committed.
+                            self._mark_stale(replica)
+                else:
+                    for replica in replica_set:
+                        if replica.replica_id in failed:
+                            # Nothing committed: the set is still
+                            # mutually consistent — reprobe may
+                            # revive these.
+                            self._mark_suspect(replica)
+                    dead[shard_id] = "; ".join(
+                        failed.values()) or "no replica in rotation"
+            return replies, dead
+        except BaseException:
+            self.close()
+            raise
+
+    # -- streamed blob relays (bquery) ---------------------------------------
+
+    def relay_bquery(self, shard_id: int, header: dict,
+                     emit: Callable[[dict, list[bytes]], None]) -> dict:
+        """Relay one ``bquery`` stream from the owning shard, chunk by
+        chunk, through ``emit`` (never re-buffering the slice whole).
+
+        Failover is chunk-exact: if the serving replica dies
+        mid-stream, the identical request replays on a sibling and the
+        chunks the client already holds are *skipped* — chunking is
+        deterministic (same blob bytes, same ``chunk_bytes`` clamp),
+        so the resumed stream continues at the next ``seq`` with
+        byte-identical frames.  A sibling chunk that disagrees in size
+        with one already relayed means the replicas diverged, which is
+        a hard ``INTERNAL`` error, never silent corruption.
+
+        Returns ``{"chunks", "bytes", "metrics"}`` for the stats hooks.
+        """
+        relayed: list[int] = []
+        return self._failover_relay(shard_id, header, emit, relayed)
+
+    def _failover_relay(self, shard_id: int, header: dict,
+                        emit: Callable[[dict, list[bytes]], None],
+                        relayed: list[int]) -> dict:
+        candidates = self._read_candidates(shard_id)
+        last = "no replica in rotation"
+        any_failed = False
+        for replica in candidates:
+            link = self._link(replica)
+            try:
+                link.send(header)
+                skip = len(relayed)
+                seen = 0
+                chunks = skip
+                total = sum(relayed)
+                while True:
+                    reply, blobs = link.recv()
+                    if reply.get("type") == "error":
+                        code = reply.get("code")
+                        if code == protocol.SERVER_BUSY:
+                            # Error frames only ever replace chunk 0,
+                            # so nothing of this attempt is on the
+                            # wire: the sibling can serve it whole.
+                            raise _ReplicaUnavailable(
+                                reply.get("message", "replica busy"))
+                        raise protocol.WireError(
+                            code or protocol.INTERNAL,
+                            f"shard {shard_id}: "
+                            f"{reply.get('message', '')}",
+                            detail=reply.get("detail"))
+                    size = len(blobs[0]) if blobs else 0
+                    if seen < skip:
+                        # Replaying after a mid-stream loss: the
+                        # client already holds this chunk.
+                        if size != relayed[seen] or reply.get("eof"):
+                            raise protocol.WireError(
+                                protocol.INTERNAL,
+                                f"shard {shard_id} replica "
+                                f"{replica.replica_id} chunk stream "
+                                f"diverged from its sibling at seq "
+                                f"{seen}")
+                        seen += 1
+                        continue
+                    emit(reply, blobs)
+                    relayed.append(size)
+                    seen += 1
+                    chunks += 1
+                    total += size
+                    if reply.get("eof"):
+                        if any_failed:
+                            self._record_failover()
+                        return {"chunks": chunks, "bytes": total,
+                                "metrics": reply.get("metrics")}
+            except (OSError, protocol.ProtocolError) as exc:
+                link.close()
+                self._mark_suspect(replica)
+                any_failed = True
+                last = f"{type(exc).__name__}: {exc}"
+                continue
+            except _ReplicaUnavailable as exc:
+                link.close()
+                self._mark_suspect(replica)
+                any_failed = True
+                last = str(exc)
+                continue
         raise protocol.WireError(
             protocol.SHARD_UNAVAILABLE,
-            f"shard {shard_id} ({host}:{port}) unavailable after "
-            f"{self.retry.max_retries + 1} attempts: {last}")
+            f"shard {shard_id} failed mid-bquery on every replica "
+            f"(last: {last})")
 
 
 class ShardServer(ArrayServer):
@@ -434,9 +1020,11 @@ class ShardServer(ArrayServer):
     Clients connect with the unchanged wire protocol
     (:class:`~repro.shard.client.ShardClient` or plain
     :class:`ArrayClient`); admission control, per-query timeouts and
-    stats work exactly as on a single node.  A dead or saturated shard
-    surfaces as a ``SHARD_UNAVAILABLE`` error frame — typed, bounded,
-    never a hang — and the client connection survives.
+    stats work exactly as on a single node.  A replica failure is
+    invisible to clients — reads replay on a sibling — and only a
+    fully dead replica set surfaces as a ``SHARD_UNAVAILABLE`` error
+    frame — typed, bounded, never a hang — with the client connection
+    surviving.
     """
 
     def __init__(self, router: ShardRouter,
@@ -480,12 +1068,15 @@ class ShardServer(ArrayServer):
         """Serve a ``bquery`` by *relaying*: route to the one shard
         owning the key and forward each ``bchunk`` frame to the client
         as it arrives — the slice is never re-buffered whole on the
-        coordinator.
+        coordinator.  A replica dying mid-stream fails over
+        chunk-exactly to a sibling (see
+        :meth:`ShardRouter.relay_bquery`).
 
         Returns True (close the connection) only when the stream dies
-        after chunk 0 is already on the wire; the framing contract
-        promises a started stream runs to eof, so a mid-stream shard
-        failure cannot be answered with an error frame.
+        after chunk 0 is already on the wire *and* no sibling could
+        resume it; the framing contract promises a started stream runs
+        to eof, so an unresumable mid-stream failure cannot be
+        answered with an error frame.
         """
         sql = header.get("sql")
         if not isinstance(sql, str) or not sql.strip():
@@ -518,11 +1109,12 @@ class ShardServer(ArrayServer):
 
     def _relay_bquery(self, loop, writer, header: dict, sql: str,
                       relayed: list[int]) -> dict:
-        """Worker-thread body of the coordinator ``bquery`` path: one
-        shard exchange, chunk frames forwarded one at a time through
-        the connection's event loop (``relayed`` records each chunk's
-        payload size so the async side knows whether the stream
-        started)."""
+        """Worker-thread body of the coordinator ``bquery`` path:
+        route to the owning shard and forward chunk frames one at a
+        time through the connection's event loop (``relayed`` records
+        each forwarded chunk's payload size so the async side knows
+        whether the stream started — and so a replica failover knows
+        how many chunks to skip on the sibling)."""
         plan = self.router.prepare(sql)
         if plan.key is None:
             raise protocol.WireError(
@@ -531,43 +1123,27 @@ class ShardServer(ArrayServer):
                 "primary key (exactly one owning shard)")
         shard_id = self.router.partitioner.shard_of(plan.key)
         forward = dict(header, timeout=protocol.NO_TIMEOUT)
-        link = self.router._link(shard_id)
-        try:
-            link.send(forward)
-            chunks = 0
-            total = 0
-            while True:
-                reply, blobs = link.recv()
-                if reply.get("type") == "error":
-                    raise protocol.WireError(
-                        reply.get("code") or protocol.INTERNAL,
-                        f"shard {shard_id}: "
-                        f"{reply.get('message', '')}")
-                asyncio.run_coroutine_threadsafe(
-                    protocol.write_frame(writer, reply, blobs,
-                                         self.config.max_frame),
-                    loop).result()
-                size = len(blobs[0]) if blobs else 0
-                relayed.append(size)
-                chunks += 1
-                total += size
-                if reply.get("eof"):
-                    return {"chunks": chunks, "bytes": total,
-                            "metrics": reply.get("metrics")}
-        except (OSError, protocol.ProtocolError) as exc:
-            link.close()
-            raise protocol.WireError(
-                protocol.SHARD_UNAVAILABLE,
-                f"shard {shard_id} failed mid-bquery: "
-                f"{type(exc).__name__}: {exc}") from exc
+
+        def emit(reply: dict, blobs: list[bytes]) -> None:
+            # _failover_relay records the chunk in `relayed` itself
+            # after a successful emit — no bookkeeping here.
+            asyncio.run_coroutine_threadsafe(
+                protocol.write_frame(writer, reply, blobs,
+                                     self.config.max_frame),
+                loop).result()
+
+        return self.router._failover_relay(shard_id, forward, emit,
+                                           relayed)
 
     def _stats_frame(self) -> dict:
         frame = super()._stats_frame()
         frame["shards"] = {
             "count": self.router.partitioner.shards,
             "partitioning": self.router.partitioner.describe(),
-            "addresses": [f"{host}:{port}"
-                          for host, port in self.router.addresses],
+            "addresses": [[f"{host}:{port}"
+                           for host, port in replica_set]
+                          for replica_set in self.router.addresses],
+            **self.router.health(),
         }
         return frame
 
@@ -579,7 +1155,7 @@ def start_cluster(config: ShardConfig,
 
     Returns ``(fleet, router)``; the caller owns the fleet's lifetime
     (``fleet.stop()`` or use it as a context manager).  ``session_setup``
-    is applied on every shard's sessions *and* the router's catalog
+    is applied on every replica's sessions *and* the router's catalog
     mirror, so UDF registrations agree cluster-wide.
     """
     from .process import ShardFleet

@@ -1,0 +1,15 @@
+"""RS401 fixture: a failover replay that consults the catalog mirror.
+
+The replay must ship the *already-planned* request to a sibling
+replica verbatim; touching the planner's catalog mid-failover can
+route differently (a concurrent DDL may have moved the mirror) and
+the sibling would execute a different statement than the replica that
+died.
+"""
+
+
+def failover_read(self, shard_id, header):
+    table = self.catalog.tables[header["table"]]
+    header = dict(header, columns=len(table.columns))
+    return self._exchange_on(self.replica_sets[shard_id][1],
+                             header, ())

@@ -41,6 +41,63 @@ class TestCreateTable:
             session.execute("CREATE TABLE t (id BIGINT, v VARBINARY)")
 
 
+class TestDropTable:
+    def test_drop_removes_from_catalog(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        assert session.execute("DROP TABLE t") == 0
+        assert "t" not in session.db.tables
+
+    def test_drop_is_case_insensitive(self, session):
+        session.execute("CREATE TABLE Weather (id BIGINT, x FLOAT)")
+        session.execute("DROP TABLE weather")
+        assert session.db.tables == {}
+
+    def test_drop_unknown_table(self, session):
+        with pytest.raises(SqlSyntaxError):
+            session.execute("DROP TABLE nowhere")
+
+    def test_drop_then_recreate_round_trip(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        session.execute("INSERT INTO t VALUES (1, 2.5)")
+        session.execute("DROP TABLE t")
+        session.execute("CREATE TABLE t (id BIGINT, y FLOAT, z INT)")
+        assert session.execute(
+            "INSERT INTO t VALUES (1, 0.5, 3)") == 1
+        (count,), _m = session.execute("SELECT COUNT(*) FROM t")
+        assert count == 1
+
+    def test_write_version_monotonic_across_drop(self, session):
+        """Snapshot refresh keys off a monotone write_version; a
+        drop/recreate cycle must never rewind it, or stale parallel
+        snapshots would look fresh."""
+        db = session.db
+        v0 = db.write_version
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        session.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+        v1 = db.write_version
+        assert v1 > v0
+        session.execute("DROP TABLE t")
+        v2 = db.write_version
+        assert v2 > v1
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        assert db.write_version > v2
+
+    def test_drop_invalidates_cached_plans(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        session.execute("INSERT INTO t VALUES (1, 1.0)")
+        session.query("SELECT COUNT(*) FROM t")
+        session.execute("DROP TABLE t")
+        with pytest.raises(SqlSyntaxError):
+            session.query("SELECT COUNT(*) FROM t")
+
+    def test_drop_readonly_snapshot_rejected(self, session):
+        session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")
+        snapshot = Database.from_snapshot_bytes(
+            session.db.snapshot_bytes(), read_only=True)
+        with pytest.raises(PermissionError):
+            snapshot.drop_table("t")
+
+
 class TestInsert:
     def test_literals_and_nulls(self, session):
         session.execute("CREATE TABLE t (id BIGINT, x FLOAT)")

@@ -1,0 +1,154 @@
+"""Cross-shard DDL is atomic-or-rolled-back.
+
+The regression these tests pin down: a shard dying between the
+coordinator's catalog-mirror update and the broadcast used to leave
+the cluster split-brained — the coordinator (and the shards that got
+the broadcast) had the table, the dead shard didn't, and every later
+scatter to it failed confusingly.  Now the mirror is rolled back,
+compensating DROPs go to the shards that acknowledged, and the client
+gets one typed error saying exactly what happened.
+"""
+
+import pytest
+
+from repro.server import (ArrayClient, RetryPolicy, ServerError,
+                          ShardUnavailableError, protocol)
+from repro.server.server import ServerConfig, ServerThread
+from repro.shard import (ShardClient, ShardConfig, ShardFleet,
+                         ShardRouter, ShardServer)
+
+from .conftest import KEY_HI, setup_udfs
+
+CREATE_T2 = "CREATE TABLE t2 (id BIGINT PRIMARY KEY, x FLOAT)"
+
+
+@pytest.fixture
+def cluster():
+    config = ShardConfig(shards=2, key_lo=0, key_hi=KEY_HI)
+    with ShardFleet(config, session_setup=setup_udfs) as fleet:
+        router = ShardRouter(
+            fleet.addresses, config.make_partitioner(),
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01,
+                              backoff_cap=0.05),
+            connect_timeout=2.0, request_timeout=5.0,
+            session_setup=setup_udfs)
+        try:
+            yield {"fleet": fleet, "router": router}
+        finally:
+            router.shutdown()
+
+
+def test_create_with_dead_shard_rolls_back_everywhere(cluster):
+    """Kill shard 1, CREATE: the typed error must leave the catalog
+    mirror *and* the surviving shard agreeing the table does not
+    exist — no half-created table anywhere that still answers."""
+    fleet, router = cluster["fleet"], cluster["router"]
+    fleet.kill_shard(1)
+    with pytest.raises(protocol.WireError) as excinfo:
+        router.execute(CREATE_T2)
+    assert excinfo.value.code == protocol.SHARD_UNAVAILABLE
+    assert excinfo.value.detail == {
+        "rolled_back": "t2", "applied_shards": [0],
+        "failed_shards": [1]}
+    # The mirror rolled back: the coordinator cannot plan against t2.
+    with pytest.raises(Exception):
+        router.prepare("SELECT COUNT(*) FROM t2")
+    # The live shard got its compensating DROP: asked directly (not
+    # through the router), it has never heard of t2 either.
+    host, port = fleet.addresses[0][0]
+    with ArrayClient(host, port) as direct:
+        with pytest.raises(ServerError):
+            direct.query("SELECT COUNT(*) FROM t2")
+    # The cluster is not wedged: a retried CREATE on the survivors'
+    # keyspace... still fails (shard 1 stays dead) but identically —
+    # and after that, statements to shard 0 work.
+    with pytest.raises(protocol.WireError):
+        router.execute(CREATE_T2)
+
+
+def test_create_retry_after_rollback_succeeds(cluster):
+    """The rollback leaves no debris: with every shard alive again
+    (nothing was actually killed here), CREATE + load + query work."""
+    router = cluster["router"]
+    out = router.execute(CREATE_T2)
+    assert out["kind"] == "ok"
+    assert router.insert_rows("t2", [(1, 0.5), (2000, 1.5)]) == 2
+    got = router.execute("SELECT COUNT(*), SUM(x) FROM t2")
+    assert tuple(got["rows"][0]) == (2, 2.0)
+
+
+def test_wire_client_sees_typed_error_with_detail(cluster):
+    """Through the coordinator server, the rollback surfaces as a
+    ``ShardUnavailableError`` whose ``detail`` carries the report —
+    the wire's ``detail`` key round-trips."""
+    fleet, router = cluster["fleet"], cluster["router"]
+    coordinator = ShardServer(router, ServerConfig(name="coord-ddl"))
+    with ServerThread(server=coordinator) as handle:
+        with ShardClient("127.0.0.1", handle.port) as client:
+            fleet.kill_shard(1)
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                client.query(CREATE_T2)
+            assert excinfo.value.detail["rolled_back"] == "t2"
+            assert excinfo.value.detail["failed_shards"] == [1]
+            # The connection survives the failure.
+            client.ping()
+
+
+def test_broadcast_delete_reports_partial_progress(cluster):
+    """A broadcast DELETE that loses a shard mid-flight reports how
+    many rows the surviving shards already deleted."""
+    fleet, router = cluster["fleet"], cluster["router"]
+    router.execute(CREATE_T2)
+    rows = [(i, float(i)) for i in range(0, KEY_HI, 10)]
+    assert router.insert_rows("t2", rows) == len(rows)
+    on_shard_0 = sum(1 for i, _ in rows
+                     if router.partitioner.shard_of(i) == 0)
+    fleet.kill_shard(1)
+    with pytest.raises(protocol.WireError) as excinfo:
+        router.execute("DELETE FROM t2 WHERE x >= 0.0")
+    assert excinfo.value.code == protocol.SHARD_UNAVAILABLE
+    detail = excinfo.value.detail
+    assert detail["applied_shards"] == [0]
+    assert detail["failed_shards"] == [1]
+    assert detail["partial_rowcount"] == on_shard_0
+    assert detail["applied"] == {"0": on_shard_0}
+
+
+def test_insert_rows_reports_rows_applied_per_shard(cluster):
+    """A bulk load that loses a shard reports the rows each surviving
+    shard committed — the fault-injection regression for the old
+    silent partial commit."""
+    fleet, router = cluster["fleet"], cluster["router"]
+    router.execute(CREATE_T2)
+    rows = [(i, float(i)) for i in range(0, KEY_HI, 7)]
+    on_shard_0 = sum(1 for i, _ in rows
+                     if router.partitioner.shard_of(i) == 0)
+    fleet.kill_shard(1)
+    with pytest.raises(protocol.WireError) as excinfo:
+        router.insert_rows("t2", rows)
+    assert excinfo.value.code == protocol.SHARD_UNAVAILABLE
+    detail = excinfo.value.detail
+    assert detail["applied_shards"] == [0]
+    assert detail["failed_shards"] == [1]
+    assert detail["partial_rowcount"] == on_shard_0
+    assert detail["applied"] == {"0": on_shard_0}
+    # The committed slice is really there: shard 1 is dead, so count
+    # inside shard 0's key interval only.
+    hi = router.partitioner.boundaries[0]
+    got = router.execute(
+        f"SELECT COUNT(*) FROM t2 WHERE id >= 0 AND id < {hi}")
+    assert got["rows"][0][0] == on_shard_0
+
+
+def test_drop_with_dead_shard_reports_partial(cluster):
+    """DROP cannot be compensated — the surviving shards' data is
+    gone — so a partial broadcast surfaces the applied/failed split
+    instead of pretending atomicity."""
+    fleet, router = cluster["fleet"], cluster["router"]
+    router.execute(CREATE_T2)
+    fleet.kill_shard(1)
+    with pytest.raises(protocol.WireError) as excinfo:
+        router.execute("DROP TABLE t2")
+    assert excinfo.value.code == protocol.SHARD_UNAVAILABLE
+    assert excinfo.value.detail == {"applied_shards": [0],
+                                    "failed_shards": [1]}

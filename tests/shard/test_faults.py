@@ -22,7 +22,12 @@ CREATE = "CREATE TABLE t (id BIGINT PRIMARY KEY, v FLOAT, g INT)"
 
 @pytest.fixture(scope="module")
 def wounded():
-    """A 2-shard cluster whose second shard gets killed mid-module."""
+    """A 2-shard cluster whose second shard gets killed mid-module.
+
+    ``kill_shard`` takes down the *whole* replica set, so these tests
+    hold under ``REPRO_SHARD_REPLICAS`` too: replica failover can mask
+    a single corpse, never a fully dead shard.
+    """
     config = ShardConfig(shards=2, key_lo=0, key_hi=KEY_HI)
     with ShardFleet(config, session_setup=setup_udfs) as fleet:
         router = ShardRouter(
@@ -39,7 +44,7 @@ def wounded():
                 # Sanity before the injection: the cluster answers.
                 assert client.query(
                     "SELECT COUNT(*) FROM t").rows[0][0] == ROWS
-                fleet.kill(1)
+                fleet.kill_shard(1)
                 yield {"fleet": fleet, "client": client,
                        "router": router}
 
@@ -75,7 +80,9 @@ def test_statements_on_live_shards_keep_working(wounded):
 
 
 def test_fleet_reports_the_corpse(wounded):
-    assert wounded["fleet"].alive() == [True, False]
+    alive = wounded["fleet"].alive()
+    assert all(alive[0]), "shard 0's replicas must all be up"
+    assert not any(alive[1]), "shard 1's replicas must all be dead"
 
 
 def test_insert_into_dead_shard_fails_typed(wounded):
@@ -85,6 +92,10 @@ def test_insert_into_dead_shard_fails_typed(wounded):
     with pytest.raises(protocol.WireError) as excinfo:
         wounded["router"].insert_rows("t", [(2900, 1.0, 0)])
     assert excinfo.value.code == protocol.SHARD_UNAVAILABLE
+    # Nothing committed anywhere: the partial-progress report says so.
+    assert excinfo.value.detail == {
+        "applied": {}, "applied_shards": [], "failed_shards": [1],
+        "partial_rowcount": 0}
     # The live shard still accepts keys it owns (-1 routes to the
     # first interval).
     assert wounded["router"].insert_rows("t", [(-1, 0.5, 0)]) == 1

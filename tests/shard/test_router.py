@@ -191,6 +191,73 @@ class TestRouting:
             router.insert_rows("t", [(True, 1.0, 0)])
 
 
+# -- replica bookkeeping (no processes) -------------------------------------
+
+class TestReplicaSets:
+    def test_flat_addresses_become_single_replica_sets(self):
+        router = make_router()
+        assert [len(s) for s in router.replica_sets] == [1, 1, 1]
+        assert router.addresses == [[("127.0.0.1", 1 + i)]
+                                    for i in range(3)]
+
+    def test_nested_addresses_build_replica_sets(self):
+        config = ShardConfig(shards=2, key_lo=0, key_hi=100)
+        addresses = [[("127.0.0.1", 1), ("127.0.0.1", 2)],
+                     [("127.0.0.1", 3), ("127.0.0.1", 4)]]
+        router = ShardRouter(addresses, config.make_partitioner())
+        assert [len(s) for s in router.replica_sets] == [2, 2]
+        replica = router.replica_sets[1][0]
+        assert (replica.shard_id, replica.replica_id,
+                replica.port) == (1, 0, 3)
+        assert router.health() == {
+            "replicas": [2, 2], "failovers": 0, "suspects": 0,
+            "stale": 0, "reprobed": 0}
+
+    def test_empty_replica_set_rejected(self):
+        config = ShardConfig(shards=1)
+        with pytest.raises(ValueError):
+            ShardRouter([[]], config.make_partitioner())
+
+    def test_read_candidates_rotate_and_skip_stale(self):
+        from repro.shard.router import STALE, SUSPECT
+        config = ShardConfig(shards=1, key_lo=0, key_hi=100)
+        addresses = [[("127.0.0.1", 1), ("127.0.0.1", 2),
+                      ("127.0.0.1", 3)]]
+        router = ShardRouter(addresses, config.make_partitioner())
+        first = [router._read_candidates(0)[0].replica_id
+                 for _ in range(6)]
+        assert first == [0, 1, 2, 0, 1, 2]
+        # Suspects drop to the back of the order; stale vanishes.
+        router.replica_sets[0][0].state = SUSPECT
+        router.replica_sets[0][2].state = STALE
+        order = [r.replica_id for r in router._read_candidates(0)]
+        assert order == [1, 0]
+
+    def test_write_targets_skip_stale_keep_suspect(self):
+        from repro.shard.router import STALE, SUSPECT
+        config = ShardConfig(shards=1, key_lo=0, key_hi=100)
+        addresses = [[("127.0.0.1", 1), ("127.0.0.1", 2),
+                      ("127.0.0.1", 3)]]
+        router = ShardRouter(addresses, config.make_partitioner())
+        router.replica_sets[0][0].state = SUSPECT
+        router.replica_sets[0][1].state = STALE
+        targets = [r.replica_id for r in router._write_targets(0)]
+        assert targets == [0, 2]
+
+    def test_config_replicas_validated(self):
+        with pytest.raises(ValueError):
+            ShardConfig(shards=2, replicas=0)
+
+    def test_replicas_from_env(self, monkeypatch):
+        from repro.shard.config import replicas_from_env
+        monkeypatch.setenv("REPRO_SHARD_REPLICAS", "3")
+        assert replicas_from_env() == 3
+        assert ShardConfig(shards=2).replicas == 3
+        monkeypatch.setenv("REPRO_SHARD_REPLICAS", "zero")
+        with pytest.raises(ValueError):
+            replicas_from_env()
+
+
 # -- metric merging ---------------------------------------------------------
 
 def test_merge_metrics_sums_and_maxes():
